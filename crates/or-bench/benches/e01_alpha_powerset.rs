@@ -1,0 +1,32 @@
+//! E1 (Proposition 2.1): `powerset` defined from `alpha` vs the native
+//! `powerset` baseline — both exponential, same outputs, comparable cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use or_nra::derived::powerset_via_alpha;
+use or_nra::morphism::Morphism;
+use or_nra::prelude::eval;
+use or_object::Value;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_alpha_powerset");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let via_alpha = powerset_via_alpha();
+    for n in [4usize, 6, 8, 10] {
+        let input = Value::int_set(0..n as i64);
+        group.bench_with_input(BenchmarkId::new("powerset_via_alpha", n), &input, |b, v| {
+            b.iter(|| eval(&via_alpha, v).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("native_powerset", n), &input, |b, v| {
+            b.iter(|| eval(&Morphism::Powerset, v).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 (Section 2): one `alpha` application over `n` two-element or-sets
+//! produces `2^n` sets; running time follows the output size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use or_object::alpha::alpha_set;
+use or_object::generate::Generator;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_alpha_blowup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for n in [4usize, 8, 12, 14] {
+        let input = Generator::alpha_blowup_witness(n);
+        group.bench_with_input(BenchmarkId::new("alpha", n), &input, |b, v| {
+            b.iter(|| alpha_set(v).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E3 (Theorem 6.2): normalization of the tightness-witness family — the
+//! cardinality of the normal form grows exactly as `3^{n/3}`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use or_nra::normalize::{normalize_value, possibility_count};
+use or_object::generate::Generator;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_cardinality_bound");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for k in [3usize, 5, 7, 8] {
+        let witness = Generator::tightness_witness(k);
+        group.bench_with_input(
+            BenchmarkId::new("normalize_witness", 3 * k),
+            &witness,
+            |b, v| b.iter(|| normalize_value(v)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("possibility_count", 3 * k),
+            &witness,
+            |b, v| b.iter(|| possibility_count(v)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

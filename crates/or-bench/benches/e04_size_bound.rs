@@ -1,0 +1,36 @@
+//! E4 (Theorems 6.3/6.5): size of normal forms — measuring the full cost
+//! report (normalization plus the closed-form bounds) on the witness family
+//! and on design-template workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use or_db::Workload;
+use or_nra::cost;
+use or_object::generate::Generator;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_size_bound");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    for k in [3usize, 5, 7] {
+        let witness = Generator::tightness_witness(k);
+        group.bench_with_input(BenchmarkId::new("measure_witness", 3 * k), &witness, |b, v| {
+            b.iter(|| cost::measure(v))
+        });
+    }
+    for components in [3usize, 5, 7] {
+        let template = Workload::new(17).design_object(components, 3);
+        group.bench_with_input(
+            BenchmarkId::new("measure_design_template", components),
+            &template,
+            |b, v| b.iter(|| cost::measure(v)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

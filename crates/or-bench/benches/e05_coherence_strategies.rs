@@ -1,0 +1,42 @@
+//! E5 (Theorem 4.2): coherence — different rewrite strategies reach the same
+//! normal form at different costs; the direct recursive implementation is the
+//! reference point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use or_nra::normalize::{normalize_value_typed, normalize_with_strategy, RewriteStrategy};
+use or_object::{Type, Value};
+
+fn workload() -> (Value, Type) {
+    // the Section 4 example scaled up: a set of or-sets paired with an or-set
+    let v = Value::pair(
+        Value::set((0..5).map(|i| Value::int_orset([3 * i, 3 * i + 1, 3 * i + 2]))),
+        Value::int_orset([100, 200]),
+    );
+    let t = Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Int));
+    (v, t)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_coherence_strategies");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let (v, t) = workload();
+    group.bench_function("direct_recursive", |b| {
+        b.iter(|| normalize_value_typed(&v, &t))
+    });
+    for strategy in RewriteStrategy::portfolio() {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", format!("{strategy:?}")),
+            &strategy,
+            |b, s| b.iter(|| normalize_with_strategy(&v, &t, *s).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

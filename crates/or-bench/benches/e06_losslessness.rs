@@ -1,0 +1,38 @@
+//! E6 (Theorem 5.1, Figure 2): the cost of querying through `preserve(f)`
+//! after normalizing once, versus normalizing the query result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use or_nra::morphism::Morphism as M;
+use or_nra::preserve::{losslessness_sides, preserve};
+use or_nra::prelude::eval;
+use or_object::Value;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_losslessness");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    // f = ormap(plus) over an or-set of pairs — within the Theorem 5.1 class
+    let f = M::ormap(M::Prim(or_nra::Prim::Plus));
+    let x = Value::orset(
+        (0..40).map(|i| Value::pair(Value::Int(i), Value::Int(i + 1))),
+    );
+    group.bench_function("both_sides_of_the_equation", |b| {
+        b.iter(|| losslessness_sides(&f, &x).unwrap())
+    });
+    let pf = preserve(&f);
+    let normalized = eval(&M::OrEta.then(M::Normalize), &x).unwrap();
+    group.bench_function("preserve_f_on_normal_form", |b| {
+        b.iter(|| eval(&pf, &normalized).unwrap())
+    });
+    group.bench_function("f_then_normalize", |b| {
+        b.iter(|| eval(&M::compose(M::Normalize, M::compose(M::OrEta, f.clone())), &x).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E7 (Section 6): existential queries over normal forms are SAT — eager
+//! normalization vs lazy enumeration vs the DPLL baseline on random 3-CNF.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use or_logic::cnf::CnfGenerator;
+use or_logic::encode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_sat_existential");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    for vars in [4u32, 6, 8] {
+        let clauses = ((vars as usize * 3) / 2).min(9);
+        let cnf = CnfGenerator::new(101 + u64::from(vars)).random_kcnf(vars, clauses, 3);
+        group.bench_with_input(BenchmarkId::new("eager_normalize", vars), &cnf, |b, f| {
+            b.iter(|| encode::sat_by_eager_normalization(f).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_normalize", vars), &cnf, |b, f| {
+            b.iter(|| encode::sat_by_lazy_normalization(f).unwrap().satisfiable)
+        });
+        group.bench_with_input(BenchmarkId::new("dpll", vars), &cnf, |b, f| {
+            b.iter(|| encode::sat_by_dpll(f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E8 (Propositions 3.1/3.2): direct order tests vs the closure of the
+//! elementary information-improvement steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use or_object::order::{hoare, smyth};
+use or_object::steps::{reachable, ClosureConfig, StepKind};
+
+fn zigzag(a: &u8, b: &u8) -> bool {
+    a == b || matches!((a, b), (0, 2) | (0, 3) | (1, 3) | (1, 4))
+}
+
+fn subsets() -> Vec<Vec<u8>> {
+    (0u32..32)
+        .map(|mask| (0u8..5).filter(|i| mask & (1 << i) != 0).collect())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_order_closure");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let all = subsets();
+    group.bench_function("hoare_direct_all_pairs", |b| {
+        b.iter(|| {
+            all.iter()
+                .flat_map(|x| all.iter().map(move |y| hoare(x, y, zigzag)))
+                .filter(|&r| r)
+                .count()
+        })
+    });
+    group.bench_function("smyth_direct_all_pairs", |b| {
+        b.iter(|| {
+            all.iter()
+                .flat_map(|x| all.iter().map(move |y| smyth(x, y, zigzag)))
+                .filter(|&r| r)
+                .count()
+        })
+    });
+    group.bench_function("hoare_closure_sample", |b| {
+        b.iter(|| {
+            reachable(
+                &[0u8],
+                &[2, 3, 4],
+                zigzag,
+                StepKind::Set,
+                ClosureConfig::default(),
+            )
+        })
+    });
+    group.bench_function("smyth_closure_sample", |b| {
+        b.iter(|| {
+            reachable(
+                &[0u8, 1, 4],
+                &[2, 4],
+                zigzag,
+                StepKind::OrSet,
+                ClosureConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

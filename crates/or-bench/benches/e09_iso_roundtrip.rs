@@ -1,0 +1,40 @@
+//! E9 (Theorem 3.3): the antichain isomorphisms `alpha_a` / `beta_a` — cost
+//! of the round trip on antichain objects of growing width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use or_object::alpha::{alpha_antichain, beta_antichain};
+use or_object::antichain::to_antichain;
+use or_object::generate::{GenConfig, Generator};
+use or_object::{BaseOrder, Type};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_iso_roundtrip");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let base = BaseOrder::FlatWithNull;
+    let ty = Type::set(Type::orset(Type::Int));
+    for width in [2usize, 3, 4] {
+        let config = GenConfig {
+            max_depth: 2,
+            max_width: width,
+            int_range: 30,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(55, config);
+        let v = to_antichain(base, &gen.object_of(&ty));
+        group.bench_with_input(BenchmarkId::new("alpha_a_then_beta_a", width), &v, |b, x| {
+            b.iter(|| {
+                let a = alpha_antichain(base, x).unwrap();
+                beta_antichain(base, &a).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

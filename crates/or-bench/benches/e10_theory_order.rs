@@ -1,0 +1,61 @@
+//! E10 (Proposition 3.4): deciding `x ⊑ y` directly vs through the modal
+//! theory (separating-formula search + entailment checks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use or_object::generate::{GenConfig, Generator};
+use or_object::order::object_leq;
+use or_object::theory::{canonical_formula, entails, separating_formula};
+use or_object::{BaseOrder, Type};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_theory_order");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let base = BaseOrder::FlatWithNull;
+    let ty = Type::set(Type::orset(Type::prod(Type::Int, Type::Bool)));
+    let config = GenConfig {
+        max_depth: 3,
+        max_width: 3,
+        int_range: 4,
+        ..GenConfig::default()
+    };
+    let mut gen = Generator::new(7, config);
+    let pairs: Vec<_> = (0..20)
+        .map(|_| (gen.object_of(&ty), gen.object_of(&ty)))
+        .collect();
+    group.bench_function("direct_order", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|(x, y)| object_leq(base, x, y))
+                .count()
+        })
+    });
+    group.bench_function("separating_formula_search", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|(x, y)| separating_formula(base, x, y).is_none())
+                .count()
+        })
+    });
+    group.bench_function("entailment_of_canonical_formulae", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|(x, y)| match canonical_formula(y) {
+                    Some(phi) => entails(base, x, &phi),
+                    None => false,
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E11 (Corollary 4.3): the `normalize` primitive vs its expansion into plain
+//! or-NRA (tagging, mirrored rewriting, untagging).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use or_nra::expand::{expand_normalize, expand_normalize_innermost};
+use or_nra::normalize::normalize_value_typed;
+use or_nra::prelude::eval;
+use or_object::{Type, Value};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_normalize_expansion");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let ty = Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Int));
+    let v = Value::pair(
+        Value::set((0..5).map(|i| Value::int_orset([2 * i, 2 * i + 1]))),
+        Value::int_orset([100, 200, 300]),
+    );
+    let outermost = expand_normalize(&ty).unwrap();
+    let innermost = expand_normalize_innermost(&ty).unwrap();
+    group.bench_function("primitive_normalize", |b| {
+        b.iter(|| normalize_value_typed(&v, &ty))
+    });
+    group.bench_function("expanded_outermost", |b| {
+        b.iter(|| eval(&outermost, &v).unwrap())
+    });
+    group.bench_function("expanded_innermost", |b| {
+        b.iter(|| eval(&innermost, &v).unwrap())
+    });
+    group.bench_function("build_expansion", |b| b.iter(|| expand_normalize(&ty).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

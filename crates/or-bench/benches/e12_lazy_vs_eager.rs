@@ -1,0 +1,47 @@
+//! E12 (Section 7 future work): lazy vs eager normalization for existential
+//! queries — early exit on satisfiable instances, full scans otherwise, on
+//! both CNF encodings and design-template budget queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use or_db::Workload;
+use or_logic::cnf::CnfGenerator;
+use or_logic::encode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_lazy_vs_eager");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    let sat = CnfGenerator::new(404).planted_satisfiable(6, 8, 3);
+    let unsat = CnfGenerator::new(405).unsatisfiable(6, 8, 3);
+    group.bench_function("lazy_on_satisfiable", |b| {
+        b.iter(|| encode::sat_by_lazy_normalization(&sat).unwrap().satisfiable)
+    });
+    group.bench_function("eager_on_satisfiable", |b| {
+        b.iter(|| encode::sat_by_eager_normalization(&sat).unwrap())
+    });
+    group.bench_function("lazy_on_unsatisfiable", |b| {
+        b.iter(|| encode::sat_by_lazy_normalization(&unsat).unwrap().satisfiable)
+    });
+    group.bench_function("eager_on_unsatisfiable", |b| {
+        b.iter(|| encode::sat_by_eager_normalization(&unsat).unwrap())
+    });
+
+    let template = Workload::new(9).uniform_design_template(8, 3);
+    group.bench_function("design_budget_lazy_hit", |b| {
+        b.iter(|| template.exists_design_within_budget(8 * 90).unwrap().0.is_some())
+    });
+    group.bench_function("design_budget_lazy_miss", |b| {
+        b.iter(|| template.exists_design_within_budget(8 * 9).unwrap().0.is_some())
+    });
+    group.bench_function("design_enumerate_all", |b| {
+        b.iter(|| template.completed_designs().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

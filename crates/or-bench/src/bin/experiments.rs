@@ -1,0 +1,46 @@
+//! `experiments` — run every experiment (E1–E12) and print its table.
+//!
+//! ```text
+//! cargo run --release -p or-bench --bin experiments            # all
+//! cargo run --release -p or-bench --bin experiments -- e03 e07 # a subset
+//! ```
+//!
+//! The output of a full run is archived in EXPERIMENTS.md next to the paper's
+//! corresponding claims.
+
+use or_bench::experiments;
+use or_bench::Table;
+
+fn all() -> Vec<(&'static str, fn() -> Table)> {
+    vec![
+        ("e01", || experiments::e01_alpha_powerset(10)),
+        ("e02", || experiments::e02_alpha_blowup(14)),
+        ("e03", || experiments::e03_cardinality_bound(7, 6)),
+        ("e04", || experiments::e04_size_bound(6)),
+        ("e05", || experiments::e05_coherence(4)),
+        ("e06", experiments::e06_losslessness),
+        ("e07", || experiments::e07_sat(10)),
+        ("e08", experiments::e08_order_closure),
+        ("e09", || experiments::e09_iso_roundtrip(12)),
+        ("e10", || experiments::e10_theory_order(60)),
+        ("e11", || experiments::e11_normalize_expansion(10)),
+        ("e12", experiments::e12_lazy_vs_eager),
+    ]
+}
+
+fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut ran = 0;
+    for (name, run) in all() {
+        if !requested.is_empty() && !requested.iter().any(|r| r == name) {
+            continue;
+        }
+        let table = run();
+        println!("{table}");
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched; known names: e01..e12");
+        std::process::exit(1);
+    }
+}

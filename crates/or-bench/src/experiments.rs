@@ -1,0 +1,735 @@
+//! The experiment suite: one function per experiment of DESIGN.md (E1–E12).
+//!
+//! Each function runs the workload at moderate, laptop-friendly sizes and
+//! returns a [`Table`] of the quantities the paper's corresponding claim is
+//! about.  The Criterion benches in `benches/` time the same code paths; the
+//! `experiments` binary prints these tables, and EXPERIMENTS.md archives
+//! them next to the paper's claims.
+
+use std::time::Instant;
+
+use or_db::Workload;
+use or_logic::cnf::CnfGenerator;
+use or_logic::encode;
+use or_nra::coherence::check_coherence;
+use or_nra::cost;
+use or_nra::derived::powerset_via_alpha;
+use or_nra::expand::{expand_normalize, expand_normalize_innermost};
+use or_nra::lazy::LazyNormalizer;
+use or_nra::morphism::Morphism as M;
+use or_nra::normalize::{normalize_value_typed, possibility_count, RewriteStrategy};
+use or_nra::preserve::{is_lossless_on, lossless_preconditions, preserve};
+use or_nra::prelude::eval;
+use or_object::alpha::{alpha_antichain, alpha_set, beta_antichain};
+use or_object::antichain::to_antichain;
+use or_object::generate::{GenConfig, Generator};
+use or_object::order::{hoare, object_leq, smyth};
+use or_object::steps::{reachable, ClosureConfig, StepKind};
+use or_object::theory::{entails, separating_formula};
+use or_object::{BaseOrder, Type, Value};
+
+use crate::table::Table;
+
+fn ms(start: Instant) -> String {
+    format!("{:.3}", start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// E1 (Proposition 2.1): `powerset` defined from `alpha` coincides with the
+/// native `powerset` baseline and both are exponential in the input size.
+pub fn e01_alpha_powerset(max_n: usize) -> Table {
+    let mut table = Table::new(
+        "E1 (Prop 2.1): powerset via alpha vs native powerset",
+        &["n", "|powerset|", "via alpha", "native", "equal", "alpha ms", "native ms"],
+    );
+    let via = powerset_via_alpha();
+    for n in (2..=max_n).step_by(2) {
+        let input = Value::int_set(0..n as i64);
+        let t0 = Instant::now();
+        let a = eval(&via, &input).expect("powerset via alpha");
+        let alpha_ms = ms(t0);
+        let t1 = Instant::now();
+        let b = eval(&M::Powerset, &input).expect("native powerset");
+        let native_ms = ms(t1);
+        table.push_row(vec![
+            n.to_string(),
+            (1u64 << n).to_string(),
+            a.elements().map_or(0, <[Value]>::len).to_string(),
+            b.elements().map_or(0, <[Value]>::len).to_string(),
+            (a == b).to_string(),
+            alpha_ms,
+            native_ms,
+        ]);
+    }
+    table
+}
+
+/// E2 (Section 2): one application of `alpha` to `n` two-element or-sets
+/// produces `2^n` sets.
+pub fn e02_alpha_blowup(max_n: usize) -> Table {
+    let mut table = Table::new(
+        "E2 (Sec. 2): exponential blow-up of a single alpha application",
+        &["n or-sets", "input size", "|alpha(x)|", "2^n", "ms"],
+    );
+    for n in (2..=max_n).step_by(2) {
+        let x = Generator::alpha_blowup_witness(n);
+        let t0 = Instant::now();
+        let out = alpha_set(&x).expect("alpha");
+        let elapsed = ms(t0);
+        table.push_row(vec![
+            n.to_string(),
+            x.size().to_string(),
+            out.elements().map_or(0, <[Value]>::len).to_string(),
+            (1u128 << n).to_string(),
+            elapsed,
+        ]);
+    }
+    table
+}
+
+/// E3 (Theorem 6.2): the cardinality of the normal form is bounded by
+/// `3^{n/3}`, with equality on the witness family.
+pub fn e03_cardinality_bound(max_k: usize, random_objects: usize) -> Table {
+    let mut table = Table::new(
+        "E3 (Thm 6.2): cardinality of normal forms vs 3^(n/3)",
+        &["object", "size n", "m(x)", "3^(n/3)", "within bound", "tight"],
+    );
+    for k in 1..=max_k {
+        let x = Generator::tightness_witness(k);
+        let report = cost::measure(&x);
+        table.push_row(vec![
+            format!("witness k={k}"),
+            report.input_size.to_string(),
+            report.cardinality.to_string(),
+            format!("{:.1}", report.cardinality_bound),
+            report.within_bounds.to_string(),
+            (report.cardinality as f64 == report.cardinality_bound).to_string(),
+        ]);
+    }
+    let config = GenConfig {
+        max_depth: 4,
+        max_width: 3,
+        ..GenConfig::default()
+    };
+    let mut gen = Generator::new(31, config);
+    let mut taken = 0;
+    while taken < random_objects {
+        let (_, x) = gen.typed_or_object();
+        if x.contains_empty_collection() {
+            continue;
+        }
+        taken += 1;
+        let report = cost::measure(&x);
+        table.push_row(vec![
+            format!("random #{taken}"),
+            report.input_size.to_string(),
+            report.cardinality.to_string(),
+            format!("{:.1}", report.cardinality_bound),
+            report.within_bounds.to_string(),
+            (report.cardinality as f64 == report.cardinality_bound).to_string(),
+        ]);
+    }
+    table
+}
+
+/// E4 (Theorems 6.3/6.5): the size of the normal form is bounded by
+/// `(n/2)·3^{n/3}` and the witness family attains `(n/3)·3^{n/3}`.
+pub fn e04_size_bound(max_k: usize) -> Table {
+    let mut table = Table::new(
+        "E4 (Thm 6.3/6.5): size of normal forms vs (n/2)*3^(n/3) and (n/3)*3^(n/3)",
+        &["object", "size n", "size nf(x)", "(n/2)*3^(n/3)", "(n/3)*3^(n/3)", "attains tight"],
+    );
+    for k in 2..=max_k {
+        let x = Generator::tightness_witness(k);
+        let report = cost::measure(&x);
+        let tight = cost::tight_size_bound(report.input_size);
+        table.push_row(vec![
+            format!("witness k={k}"),
+            report.input_size.to_string(),
+            report.normal_form_size.to_string(),
+            format!("{:.1}", report.size_bound),
+            format!("{:.1}", tight),
+            (report.normal_form_size as f64 == tight).to_string(),
+        ]);
+    }
+    let mut workload = Workload::new(17);
+    for components in [2usize, 3, 4] {
+        let x = workload.design_object(components, 3);
+        let report = cost::measure(&x);
+        let tight = cost::tight_size_bound(report.input_size);
+        table.push_row(vec![
+            format!("design template ({components} components)"),
+            report.input_size.to_string(),
+            report.normal_form_size.to_string(),
+            format!("{:.1}", report.size_bound),
+            format!("{:.1}", tight),
+            (report.normal_form_size as f64 == tight).to_string(),
+        ]);
+    }
+    table
+}
+
+/// E5 (Theorem 4.2): every rewriting strategy yields the same normal form;
+/// strategies differ only in the number of steps and the time taken.
+pub fn e05_coherence(objects: usize) -> Table {
+    let mut table = Table::new(
+        "E5 (Thm 4.2): coherence of normalization across rewrite strategies",
+        &["object", "size", "strategy", "rewrite steps", "ms", "agrees"],
+    );
+    let config = GenConfig {
+        max_depth: 4,
+        max_width: 2,
+        ..GenConfig::default()
+    };
+    let mut gen = Generator::new(2024, config);
+    for i in 0..objects {
+        let (ty, v) = gen.typed_or_object();
+        let report = check_coherence(&v, &ty, &RewriteStrategy::portfolio())
+            .expect("normalization succeeds");
+        for run in &report.runs {
+            let t0 = Instant::now();
+            let _ = or_nra::normalize::normalize_with_strategy(&v, &ty, run.strategy);
+            table.push_row(vec![
+                format!("random #{i}"),
+                v.size().to_string(),
+                format!("{:?}", run.strategy),
+                run.trace.steps.len().to_string(),
+                ms(t0),
+                report.coherent.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E6 (Theorem 5.1 / Proposition 5.2, Figure 2): losslessness of
+/// normalization for morphisms within the preconditions, and the behaviour of
+/// the construction outside them.
+pub fn e06_losslessness() -> Table {
+    let mut table = Table::new(
+        "E6 (Thm 5.1): losslessness of normalization per morphism",
+        &["morphism", "input type", "preconditions", "lossless on samples", "preserve size"],
+    );
+    let or_int = Type::orset(Type::Int);
+    let cases: Vec<(&str, M, Type, Vec<Value>)> = vec![
+        (
+            "pi1",
+            M::Proj1,
+            Type::prod(or_int.clone(), Type::set(Type::Int)),
+            vec![Value::pair(Value::int_orset([1, 2]), Value::int_set([5]))],
+        ),
+        (
+            "ormap(plus)",
+            M::ormap(M::Prim(or_nra::Prim::Plus)),
+            Type::orset(Type::prod(Type::Int, Type::Int)),
+            vec![Value::orset([
+                Value::pair(Value::Int(1), Value::Int(2)),
+                Value::pair(Value::Int(3), Value::Int(4)),
+            ])],
+        ),
+        (
+            "or_union",
+            M::OrUnion,
+            Type::prod(or_int.clone(), or_int.clone()),
+            vec![Value::pair(Value::int_orset([1, 2]), Value::int_orset([3]))],
+        ),
+        (
+            "alpha",
+            M::Alpha,
+            Type::set(or_int.clone()),
+            vec![Value::set([Value::int_orset([1, 2]), Value::int_orset([3])])],
+        ),
+        (
+            "eq at or-set type (excluded)",
+            M::Eq,
+            Type::prod(Type::orset(or_int.clone()), Type::orset(or_int.clone())),
+            vec![Value::pair(
+                Value::orset([Value::int_orset([1, 2])]),
+                Value::orset([Value::int_orset([1]), Value::int_orset([2])]),
+            )],
+        ),
+        (
+            "rho2 at or-set type (analog only)",
+            M::Rho2,
+            Type::prod(or_int, Type::set(Type::Int)),
+            vec![Value::pair(Value::int_orset([1, 2]), Value::int_set([3, 4]))],
+        ),
+    ];
+    for (name, f, input_ty, samples) in cases {
+        let (_, violations) =
+            lossless_preconditions(&f, &input_ty).expect("type checks");
+        let lossless = samples
+            .iter()
+            .all(|x| is_lossless_on(&f, x).unwrap_or(false));
+        table.push_row(vec![
+            name.to_string(),
+            input_ty.to_string(),
+            if violations.is_empty() {
+                "satisfied".to_string()
+            } else {
+                format!("{} violation(s)", violations.len())
+            },
+            lossless.to_string(),
+            preserve(&f).size().to_string(),
+        ]);
+    }
+    table
+}
+
+/// E7 (Section 6): deciding an existential query over the normal form is SAT;
+/// eager normalization vs lazy enumeration vs the DPLL baseline.
+pub fn e07_sat(max_vars: u32) -> Table {
+    let mut table = Table::new(
+        "E7 (Sec. 6): CNF satisfiability as an existential query over normal forms",
+        &["vars", "clauses", "denotations", "sat", "eager ms", "lazy ms", "lazy inspected", "dpll ms", "agree"],
+    );
+    let mut gen = CnfGenerator::new(101);
+    for vars in (4..=max_vars).step_by(2) {
+        let clauses = (vars as usize * 3) / 2;
+        let cnf = gen.random_kcnf(vars, clauses.min(9), 3);
+        let encoded = encode::encode_cnf(&cnf);
+        let denotations = or_nra::normalize::denotation_count(&encoded);
+        let t0 = Instant::now();
+        let eager = encode::sat_by_eager_normalization(&cnf).expect("eager");
+        let eager_ms = ms(t0);
+        let t1 = Instant::now();
+        let lazy = encode::sat_by_lazy_normalization(&cnf).expect("lazy");
+        let lazy_ms = ms(t1);
+        let t2 = Instant::now();
+        let dpll = encode::sat_by_dpll(&cnf);
+        let dpll_ms = ms(t2);
+        table.push_row(vec![
+            vars.to_string(),
+            cnf.clauses.len().to_string(),
+            denotations.to_string(),
+            dpll.to_string(),
+            eager_ms,
+            lazy_ms,
+            lazy.inspected.to_string(),
+            dpll_ms,
+            (eager == dpll && lazy.satisfiable == dpll).to_string(),
+        ]);
+    }
+    table
+}
+
+/// E8 (Propositions 3.1/3.2): the Hoare and Smyth orders coincide with the
+/// closures of the elementary information-improvement steps.
+pub fn e08_order_closure() -> Table {
+    let mut table = Table::new(
+        "E8 (Prop 3.1/3.2): order = closure of elementary steps",
+        &["relation", "antichain variant", "pairs checked", "agreements", "ms"],
+    );
+    // the zig-zag poset 0<2, 0<3, 1<3, 1<4 over 5 points
+    let leq = |a: &u8, b: &u8| a == b || matches!((a, b), (0, 2) | (0, 3) | (1, 3) | (1, 4));
+    let subsets: Vec<Vec<u8>> = (0u32..32)
+        .map(|mask| (0u8..5).filter(|i| mask & (1 << i) != 0).collect())
+        .collect();
+    for (kind, name) in [(StepKind::Set, "Hoare"), (StepKind::OrSet, "Smyth")] {
+        for antichain in [false, true] {
+            let cfg = ClosureConfig {
+                antichain,
+                ..ClosureConfig::default()
+            };
+            let candidates: Vec<&Vec<u8>> = if antichain {
+                subsets
+                    .iter()
+                    .filter(|s| {
+                        s.iter().all(|x| {
+                            s.iter().all(|y| x == y || (!leq(x, y) && !leq(y, x)))
+                        })
+                    })
+                    .collect()
+            } else {
+                subsets.iter().collect()
+            };
+            let t0 = Instant::now();
+            let mut checked = 0u64;
+            let mut agreements = 0u64;
+            for a in &candidates {
+                for b in &candidates {
+                    let direct = match kind {
+                        StepKind::Set => hoare(a, b, leq),
+                        StepKind::OrSet => smyth(a, b, leq),
+                    };
+                    let closure = reachable(a, b, leq, kind, cfg);
+                    checked += 1;
+                    if direct == closure {
+                        agreements += 1;
+                    }
+                }
+            }
+            table.push_row(vec![
+                name.to_string(),
+                antichain.to_string(),
+                checked.to_string(),
+                agreements.to_string(),
+                ms(t0),
+            ]);
+        }
+    }
+    table
+}
+
+/// E9 (Theorem 3.3): `alpha_a` and `beta_a` are mutually inverse order
+/// isomorphisms on the antichain semantics.
+pub fn e09_iso_roundtrip(objects: usize) -> Table {
+    let mut table = Table::new(
+        "E9 (Thm 3.3): alpha_a / beta_a isomorphism round-trips",
+        &["base order", "objects", "round-trips ok", "monotone pairs ok", "ms"],
+    );
+    for base in [BaseOrder::FlatWithNull, BaseOrder::NumericLeq] {
+        let config = GenConfig {
+            max_depth: 2,
+            max_width: 3,
+            int_range: 4,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(55, config);
+        let ty = Type::set(Type::orset(Type::Int));
+        let mut samples: Vec<Value> = Vec::new();
+        while samples.len() < objects {
+            let v = to_antichain(base, &gen.object_of(&ty));
+            if !v.contains_empty_orset() {
+                samples.push(v);
+            }
+        }
+        let t0 = Instant::now();
+        let mut roundtrips = 0usize;
+        for v in &samples {
+            let a = alpha_antichain(base, v).expect("alpha_a");
+            let back = beta_antichain(base, &a).expect("beta_a");
+            if back == *v {
+                roundtrips += 1;
+            }
+        }
+        let mut monotone = 0usize;
+        let mut pairs = 0usize;
+        for x in &samples {
+            for y in &samples {
+                pairs += 1;
+                let before = object_leq(base, x, y);
+                let after = object_leq(
+                    base,
+                    &alpha_antichain(base, x).unwrap(),
+                    &alpha_antichain(base, y).unwrap(),
+                );
+                if before == after {
+                    monotone += 1;
+                }
+            }
+        }
+        table.push_row(vec![
+            format!("{base:?}"),
+            format!("{roundtrips}/{}", samples.len()),
+            format!("{roundtrips}/{}", samples.len()),
+            format!("{monotone}/{pairs}"),
+            ms(t0),
+        ]);
+    }
+    table
+}
+
+/// E10 (Proposition 3.4): the modal theory characterizes the order.
+pub fn e10_theory_order(pairs: usize) -> Table {
+    let mut table = Table::new(
+        "E10 (Prop 3.4): x <= y iff Th(x) includes Th(y)",
+        &["object class", "pairs", "sound witnesses", "complete (witness iff not <=)", "ms"],
+    );
+    let base = BaseOrder::FlatWithNull;
+    // depth-1 or-sets: the class for which the ∨-only language is complete
+    let shallow_ty = Type::set(Type::orset(Type::prod(Type::Int, Type::Bool)));
+    let deep_ty = Type::orset(Type::orset(Type::Int));
+    for (name, ty) in [("or-sets of or-free elements", shallow_ty), ("nested or-sets", deep_ty)] {
+        let config = GenConfig {
+            max_depth: 3,
+            max_width: 2,
+            int_range: 3,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(77, config);
+        let t0 = Instant::now();
+        let mut sound = 0usize;
+        let mut complete = 0usize;
+        let mut counted = 0usize;
+        while counted < pairs {
+            let x = gen.object_of(&ty);
+            let y = gen.object_of(&ty);
+            if x.contains_empty_orset() || y.contains_empty_orset() {
+                continue;
+            }
+            counted += 1;
+            let leq = object_leq(base, &x, &y);
+            match separating_formula(base, &x, &y) {
+                Some(phi) => {
+                    if entails(base, &y, &phi) && !entails(base, &x, &phi) {
+                        sound += 1;
+                    }
+                    if !leq {
+                        complete += 1;
+                    }
+                }
+                None => {
+                    sound += 1;
+                    if leq {
+                        complete += 1;
+                    }
+                }
+            }
+        }
+        table.push_row(vec![
+            name.to_string(),
+            counted.to_string(),
+            format!("{sound}/{counted}"),
+            format!("{complete}/{counted}"),
+            ms(t0),
+        ]);
+    }
+    table
+}
+
+/// E11 (Corollary 4.3): the `normalize` primitive agrees with its expansion
+/// into plain or-NRA, at an interpretive cost.
+pub fn e11_normalize_expansion(objects: usize) -> Table {
+    let mut table = Table::new(
+        "E11 (Cor 4.3): normalize primitive vs its or-NRA expansion",
+        &["type", "expansion size", "objects", "agreements", "primitive ms", "expansion ms"],
+    );
+    let types = [
+        Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Int)),
+        Type::set(Type::orset(Type::orset(Type::Int))),
+        Type::set(Type::prod(Type::Str, Type::orset(Type::Int))),
+    ];
+    for ty in types {
+        let expanded = expand_normalize(&ty).expect("expansion");
+        let expanded_inner = expand_normalize_innermost(&ty).expect("expansion");
+        let mut gen = Generator::new(13, GenConfig { max_width: 2, ..GenConfig::default() });
+        let samples: Vec<Value> = (0..objects).map(|_| gen.object_of(&ty)).collect();
+        let t0 = Instant::now();
+        let reference: Vec<Value> = samples
+            .iter()
+            .map(|v| normalize_value_typed(v, &ty))
+            .collect();
+        let primitive_ms = ms(t0);
+        let t1 = Instant::now();
+        let mut agreements = 0usize;
+        for (v, expected) in samples.iter().zip(reference.iter()) {
+            let a = eval(&expanded, v).expect("expanded normalize");
+            let b = eval(&expanded_inner, v).expect("expanded normalize (innermost)");
+            if a == *expected && b == *expected {
+                agreements += 1;
+            }
+        }
+        let expansion_ms = ms(t1);
+        table.push_row(vec![
+            ty.to_string(),
+            expanded.size().to_string(),
+            samples.len().to_string(),
+            format!("{agreements}/{}", samples.len()),
+            primitive_ms,
+            expansion_ms,
+        ]);
+    }
+    table
+}
+
+/// E12 (Section 7 future work): lazy vs eager evaluation of existential
+/// queries — early exit on satisfiable instances, full scan on unsatisfiable
+/// ones.
+pub fn e12_lazy_vs_eager() -> Table {
+    let mut table = Table::new(
+        "E12 (Sec. 7): lazy vs eager normalization for existential queries",
+        &["instance", "candidates", "sat", "lazy inspected", "lazy ms", "eager ms"],
+    );
+    let mut gen = CnfGenerator::new(404);
+    let cases = vec![
+        ("planted satisfiable", gen.planted_satisfiable(6, 8, 3)),
+        ("random", gen.random_kcnf(6, 8, 3)),
+        ("unsatisfiable core", gen.unsatisfiable(6, 8, 3)),
+    ];
+    for (name, cnf) in cases {
+        let encoded = encode::encode_cnf(&cnf);
+        let total = LazyNormalizer::new(&encoded).total();
+        let t0 = Instant::now();
+        let lazy = encode::sat_by_lazy_normalization(&cnf).expect("lazy");
+        let lazy_ms = ms(t0);
+        let t1 = Instant::now();
+        let eager = encode::sat_by_eager_normalization(&cnf).expect("eager");
+        let eager_ms = ms(t1);
+        assert_eq!(lazy.satisfiable, eager);
+        table.push_row(vec![
+            name.to_string(),
+            total.to_string(),
+            eager.to_string(),
+            lazy.inspected.to_string(),
+            lazy_ms,
+            eager_ms,
+        ]);
+    }
+    // design-template variant of the same phenomenon
+    let mut workload = Workload::new(9);
+    let template = workload.uniform_design_template(8, 3);
+    let budget_generous = 8 * 90;
+    let budget_impossible = 8 * 9;
+    for (name, budget) in [("design budget=generous", budget_generous), ("design budget=impossible", budget_impossible)] {
+        let t0 = Instant::now();
+        let (witness, inspected) = template
+            .exists_design_within_budget(budget)
+            .expect("budget query");
+        let lazy_ms = ms(t0);
+        let t1 = Instant::now();
+        let all = template.completed_designs();
+        let eager_ms = ms(t1);
+        table.push_row(vec![
+            name.to_string(),
+            all.len().to_string(),
+            witness.is_some().to_string(),
+            inspected.to_string(),
+            lazy_ms,
+            eager_ms,
+        ]);
+    }
+    table
+}
+
+/// E5's companion measurement used by the Criterion bench: possibility count
+/// of a design template (a realistic normalization workload).
+pub fn design_possibilities(components: usize, alternatives: usize) -> u64 {
+    let mut workload = Workload::new(123);
+    let template = workload.uniform_design_template(components, alternatives);
+    possibility_count(&template.to_value())
+}
+
+/// Run every experiment at the default sizes and return the tables in order.
+pub fn run_all() -> Vec<Table> {
+    vec![
+        e01_alpha_powerset(10),
+        e02_alpha_blowup(14),
+        e03_cardinality_bound(7, 6),
+        e04_size_bound(6),
+        e05_coherence(4),
+        e06_losslessness(),
+        e07_sat(10),
+        e08_order_closure(),
+        e09_iso_roundtrip(12),
+        e10_theory_order(60),
+        e11_normalize_expansion(10),
+        e12_lazy_vs_eager(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e01_reports_agreement_between_alpha_and_powerset() {
+        let t = e01_alpha_powerset(6);
+        assert!(t.rows.iter().all(|r| r[4] == "true"));
+    }
+
+    #[test]
+    fn e02_matches_two_to_the_n() {
+        let t = e02_alpha_blowup(8);
+        for row in &t.rows {
+            assert_eq!(row[2], row[3]);
+        }
+    }
+
+    #[test]
+    fn e03_and_e04_stay_within_bounds() {
+        let t3 = e03_cardinality_bound(4, 4);
+        assert!(t3.rows.iter().all(|r| r[4] == "true"));
+        // the witness rows are tight
+        assert!(t3.rows.iter().take(4).all(|r| r[5] == "true"));
+        let t4 = e04_size_bound(4);
+        assert!(!t4.rows.is_empty());
+        assert!(t4.rows.iter().take(3).all(|r| r[5] == "true"));
+    }
+
+    #[test]
+    fn e05_reports_coherence() {
+        let t = e05_coherence(2);
+        assert!(t.rows.iter().all(|r| r[5] == "true"));
+    }
+
+    #[test]
+    fn e06_classifies_morphisms() {
+        let t = e06_losslessness();
+        let by_name: Vec<(&str, &str, &str)> = t
+            .rows
+            .iter()
+            .map(|r| (r[0].as_str(), r[2].as_str(), r[3].as_str()))
+            .collect();
+        // morphisms within the preconditions are lossless
+        for (name, pre, lossless) in &by_name {
+            if *pre == "satisfied" {
+                assert_eq!(*lossless, "true", "{name} should be lossless");
+            }
+        }
+        // the excluded equality example is genuinely not lossless
+        assert!(by_name
+            .iter()
+            .any(|(name, pre, lossless)| name.contains("eq") && *pre != "satisfied" && *lossless == "false"));
+    }
+
+    #[test]
+    fn e07_strategies_agree() {
+        let t = e07_sat(4);
+        assert!(t.rows.iter().all(|r| r[8] == "true"));
+    }
+
+    #[test]
+    fn e08_orders_equal_closures() {
+        let t = e08_order_closure();
+        for row in &t.rows {
+            assert_eq!(row[2], row[3], "closure disagrees with direct order");
+        }
+    }
+
+    #[test]
+    fn e09_roundtrips_hold() {
+        let t = e09_iso_roundtrip(6);
+        for row in &t.rows {
+            let parts: Vec<&str> = row[1].split('/').collect();
+            assert_eq!(parts[0], parts[1]);
+        }
+    }
+
+    #[test]
+    fn e10_witnesses_are_sound_and_complete_on_the_shallow_class() {
+        let t = e10_theory_order(30);
+        // soundness everywhere
+        for row in &t.rows {
+            let parts: Vec<&str> = row[2].split('/').collect();
+            assert_eq!(parts[0], parts[1], "unsound separating witness");
+        }
+        // completeness on the shallow class (first row)
+        let parts: Vec<&str> = t.rows[0][3].split('/').collect();
+        assert_eq!(parts[0], parts[1]);
+    }
+
+    #[test]
+    fn e11_expansion_agrees_with_primitive() {
+        let t = e11_normalize_expansion(4);
+        for row in &t.rows {
+            let parts: Vec<&str> = row[3].split('/').collect();
+            assert_eq!(parts[0], parts[1]);
+        }
+    }
+
+    #[test]
+    fn e12_lazy_inspects_no_more_than_candidates() {
+        let t = e12_lazy_vs_eager();
+        for row in &t.rows {
+            let candidates: u128 = row[1].parse().unwrap();
+            let inspected: u128 = row[3].parse().unwrap();
+            assert!(inspected <= candidates.max(1));
+        }
+    }
+
+    #[test]
+    fn design_possibility_helper_scales_exponentially() {
+        assert_eq!(design_possibilities(3, 2), 8);
+        assert_eq!(design_possibilities(4, 3), 81);
+    }
+}

@@ -1,0 +1,21 @@
+//! # or-bench — the experiment and benchmark harness
+//!
+//! The paper is a theory paper: its "evaluation" consists of worked examples,
+//! complexity bounds and expressiveness results rather than measured tables.
+//! This crate turns each of those claims into an executable experiment
+//! (E1–E12, indexed in DESIGN.md):
+//!
+//! * [`experiments`] — one function per experiment, producing a printable
+//!   [`table::Table`] of the measured quantities next to the paper's bounds;
+//! * the `experiments` binary prints every table (EXPERIMENTS.md archives a
+//!   run);
+//! * `benches/` contains one Criterion benchmark per experiment, timing the
+//!   same code paths over parameter sweeps.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

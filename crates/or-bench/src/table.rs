@@ -1,0 +1,91 @@
+//! A minimal fixed-width table printer for the experiment harness.
+//!
+//! Every experiment produces a [`Table`]; the `experiments` binary prints
+//! them, and EXPERIMENTS.md records the captured output.
+
+use std::fmt;
+
+/// A simple rectangular table with a title and column headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment identifier and description.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each row has exactly `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are converted to strings by the caller).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Convenience: append a row from displayable cells.
+    pub fn row<T: fmt::Display>(&mut self, cells: &[T]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let widths = self.widths();
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(widths.iter()) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_an_aligned_table() {
+        let mut t = Table::new("E0: demo", &["n", "value"]);
+        t.row(&[1, 10]);
+        t.row(&[22, 3]);
+        let s = t.to_string();
+        assert!(s.contains("## E0: demo"));
+        assert!(s.contains("| n  | value |"));
+        assert!(s.contains("| 22 | 3     |"));
+    }
+}

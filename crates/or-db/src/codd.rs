@@ -1,0 +1,272 @@
+//! Codd tables: importing classical incomplete information into or-sets.
+//!
+//! Section 3 of the paper recalls that "Codd's tables … can be captured by
+//! so-called flat domains which are obtained from unordered sets by adding a
+//! unique bottom element (null)".  This module provides that bridge for the
+//! design/planning substrate:
+//!
+//! * a [`CoddTable`] stores rows whose cells are either known base constants
+//!   or nulls;
+//! * [`CoddTable::to_relation_with_nulls`] imports it verbatim, representing
+//!   every null by the flat-domain bottom [`Value::Null`] (ordered by
+//!   [`or_object::BaseOrder::FlatWithNull`]);
+//! * [`CoddTable::to_relation_with_orsets`] imports it under the *closed
+//!   world* reading: every null becomes the or-set of the values occurring in
+//!   that column (its "active domain"), so the table becomes an object whose
+//!   normal form enumerates the possible completions.
+
+use std::collections::BTreeSet;
+
+use or_object::{Type, Value};
+
+use crate::relation::{Relation, RelationError};
+use crate::schema::{Field, Schema, SchemaError};
+
+/// A cell of a Codd table: a known constant or a null.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cell {
+    /// A known base constant.
+    Known(Value),
+    /// An unknown value (Codd null).
+    Null,
+}
+
+impl Cell {
+    /// Convenience constructor for a known integer.
+    pub fn int(i: i64) -> Cell {
+        Cell::Known(Value::Int(i))
+    }
+
+    /// Convenience constructor for a known string.
+    pub fn str(s: &str) -> Cell {
+        Cell::Known(Value::str(s))
+    }
+}
+
+/// A table with named, base-typed columns whose cells may be null.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoddTable {
+    /// Table name.
+    pub name: String,
+    columns: Vec<Field>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl CoddTable {
+    /// Create an empty table.  All column types must be base types.
+    pub fn new(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = Field>,
+    ) -> Result<CoddTable, SchemaError> {
+        let columns: Vec<Field> = columns.into_iter().collect();
+        if columns.is_empty() {
+            return Err(SchemaError::Empty);
+        }
+        for c in &columns {
+            if !c.ty.is_base() {
+                return Err(SchemaError::Mismatch(format!(
+                    "Codd table column {} must have a base type, found {}",
+                    c.name, c.ty
+                )));
+            }
+        }
+        Ok(CoddTable {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+        })
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Field] {
+        &self.columns
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    pub fn insert(&mut self, row: Vec<Cell>) -> Result<(), SchemaError> {
+        if row.len() != self.columns.len() {
+            return Err(SchemaError::Mismatch(format!(
+                "expected {} cells, got {}",
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (cell, col) in row.iter().zip(self.columns.iter()) {
+            if let Cell::Known(v) = cell {
+                if !v.has_type(&col.ty) {
+                    return Err(SchemaError::Mismatch(format!(
+                        "column {} expects {}, got {v}",
+                        col.name, col.ty
+                    )));
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Fraction of cells that are null (used by workload reports).
+    pub fn null_ratio(&self) -> f64 {
+        let total: usize = self.rows.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let nulls = self
+            .rows
+            .iter()
+            .flatten()
+            .filter(|c| matches!(c, Cell::Null))
+            .count();
+        nulls as f64 / total as f64
+    }
+
+    /// The active domain of a column: the known values occurring in it.
+    pub fn active_domain(&self, column: usize) -> Vec<Value> {
+        let mut out: BTreeSet<Value> = BTreeSet::new();
+        for row in &self.rows {
+            if let Cell::Known(v) = &row[column] {
+                out.insert(v.clone());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Import as a relation over the same (base-typed) schema, mapping nulls
+    /// to the flat-domain bottom `Value::Null`.
+    pub fn to_relation_with_nulls(&self) -> Result<Relation, RelationError> {
+        let schema = Schema::new(self.columns.iter().cloned())?;
+        let mut rel = Relation::new(self.name.clone(), schema);
+        for row in &self.rows {
+            let values: Vec<Value> = row
+                .iter()
+                .map(|cell| match cell {
+                    Cell::Known(v) => v.clone(),
+                    Cell::Null => Value::Null,
+                })
+                .collect();
+            rel.insert(values)?;
+        }
+        Ok(rel)
+    }
+
+    /// Import as a relation in which every column has been lifted to an
+    /// or-set type: a known value `v` becomes the singleton `<v>`, a null
+    /// becomes the or-set of the column's active domain (closed-world
+    /// completion).  Columns whose active domain is empty produce the empty
+    /// or-set, i.e. an inconsistency, mirroring the paper's reading of `< >`.
+    pub fn to_relation_with_orsets(&self) -> Result<Relation, RelationError> {
+        let schema = Schema::new(
+            self.columns
+                .iter()
+                .map(|f| Field::new(f.name.clone(), Type::orset(f.ty.clone()))),
+        )?;
+        let domains: Vec<Vec<Value>> = (0..self.columns.len())
+            .map(|c| self.active_domain(c))
+            .collect();
+        let mut rel = Relation::new(self.name.clone(), schema);
+        for row in &self.rows {
+            let values: Vec<Value> = row
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| match cell {
+                    Cell::Known(v) => Value::orset([v.clone()]),
+                    Cell::Null => Value::orset(domains[i].iter().cloned()),
+                })
+                .collect();
+            rel.insert(values)?;
+        }
+        Ok(rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use or_object::prelude::*;
+
+    fn office_table() -> CoddTable {
+        let mut t = CoddTable::new(
+            "offices",
+            [
+                Field::new("name", Type::Str),
+                Field::new("office", Type::Int),
+            ],
+        )
+        .unwrap();
+        t.insert(vec![Cell::str("Joe"), Cell::int(515)]).unwrap();
+        t.insert(vec![Cell::Null, Cell::int(212)]).unwrap();
+        t.insert(vec![Cell::str("Mary"), Cell::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn construction_validates_columns_and_rows() {
+        assert!(CoddTable::new("t", [Field::new("x", Type::set(Type::Int))]).is_err());
+        let mut t = CoddTable::new("t", [Field::new("x", Type::Int)]).unwrap();
+        assert!(t.insert(vec![Cell::str("oops")]).is_err());
+        assert!(t.insert(vec![Cell::int(1), Cell::int(2)]).is_err());
+        t.insert(vec![Cell::Null]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!((t.null_ratio() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn null_import_orders_below_completions() {
+        let t = office_table();
+        let rel = t.to_relation_with_nulls().unwrap();
+        assert_eq!(rel.len(), 3);
+        // (null, 212) is less informative than ("Bill", 212) in the flat order
+        let partial = Value::pair(Value::Null, Value::Int(212));
+        let complete = Value::pair(Value::str("Bill"), Value::Int(212));
+        assert!(object_leq(BaseOrder::FlatWithNull, &partial, &complete));
+        assert!(rel.records().contains(&partial));
+    }
+
+    #[test]
+    fn orset_import_uses_active_domains() {
+        let t = office_table();
+        assert_eq!(
+            t.active_domain(0),
+            vec![Value::str("Joe"), Value::str("Mary")]
+        );
+        let rel = t.to_relation_with_orsets().unwrap();
+        // the row with the null name now carries the or-set <"Joe","Mary">
+        let row = rel
+            .records()
+            .iter()
+            .find(|r| rel.schema().get(r, "office").unwrap() == Value::int_orset([212]))
+            .unwrap()
+            .clone();
+        assert_eq!(
+            rel.schema().get(&row, "name").unwrap(),
+            Value::orset([Value::str("Joe"), Value::str("Mary")])
+        );
+    }
+
+    #[test]
+    fn orset_import_normalizes_to_all_completions() {
+        let t = office_table();
+        let rel = t.to_relation_with_orsets().unwrap();
+        // name-null row: 2 choices; office-null row: 2 choices (515, 212);
+        // fully known row: 1 choice — up to 4 completions, some of which may
+        // coincide after set collapse.
+        let count = rel.possibility_count();
+        assert!(count >= 2 && count <= 4, "unexpected completion count {count}");
+    }
+
+    #[test]
+    fn null_ratio_reflects_missing_data() {
+        let t = office_table();
+        assert!((t.null_ratio() - 2.0 / 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,300 @@
+//! The design-template domain of Imielinski, Naqvi and Vadaparty.
+//!
+//! The paper's running example (Section 1): "a design template … may indicate
+//! that component A can be built by either module B or module C.  Such a
+//! template is structurally a complex object whose component A is the or-set
+//! containing B and C."  Designers ask *structural* questions ("what are the
+//! choices for component A?") and *conceptual* questions ("is there a
+//! low-cost completed design?").
+//!
+//! This module models templates, compiles them to complex objects, and
+//! provides both kinds of query — the conceptual ones via eager
+//! normalization, lazy normalization, or a direct branch-and-bound search
+//! used as a sanity baseline.
+
+use or_nra::lazy::LazyNormalizer;
+use or_nra::normalize::{normalize_value_typed, possibility_count};
+use or_nra::EvalError;
+use or_object::{Type, Value};
+
+/// One way of realizing a component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleOption {
+    /// Module name.
+    pub module: String,
+    /// Cost of using this module.
+    pub cost: i64,
+    /// Supplier of the module.
+    pub vendor: String,
+}
+
+impl ModuleOption {
+    /// Create a module option.
+    pub fn new(module: impl Into<String>, cost: i64, vendor: impl Into<String>) -> ModuleOption {
+        ModuleOption {
+            module: module.into(),
+            cost,
+            vendor: vendor.into(),
+        }
+    }
+
+    /// Encode as `(module, (cost, vendor))`.
+    pub fn to_value(&self) -> Value {
+        Value::pair(
+            Value::str(self.module.clone()),
+            Value::pair(Value::Int(self.cost), Value::str(self.vendor.clone())),
+        )
+    }
+
+    /// The object type of an encoded module option.
+    pub fn value_type() -> Type {
+        Type::prod(Type::Str, Type::prod(Type::Int, Type::Str))
+    }
+}
+
+/// A component of a design, with its alternative realizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Component name.
+    pub name: String,
+    /// The alternative modules that can realize the component.
+    pub options: Vec<ModuleOption>,
+}
+
+impl Component {
+    /// Create a component.
+    pub fn new(name: impl Into<String>, options: Vec<ModuleOption>) -> Component {
+        Component {
+            name: name.into(),
+            options,
+        }
+    }
+
+    /// Encode as `(name, <option, …>)` — the or-set of alternatives.
+    pub fn to_value(&self) -> Value {
+        Value::pair(
+            Value::str(self.name.clone()),
+            Value::orset(self.options.iter().map(ModuleOption::to_value)),
+        )
+    }
+
+    /// The object type of an encoded component.
+    pub fn value_type() -> Type {
+        Type::prod(Type::Str, Type::orset(ModuleOption::value_type()))
+    }
+}
+
+/// A design template: a set of components, each with alternatives.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DesignTemplate {
+    /// The components of the design.
+    pub components: Vec<Component>,
+}
+
+/// One fully resolved design: a chosen module (with cost and vendor) per
+/// component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedDesign {
+    /// `(component, chosen module, cost, vendor)` per component.
+    pub choices: Vec<(String, String, i64, String)>,
+}
+
+impl CompletedDesign {
+    /// Total cost of the design.
+    pub fn total_cost(&self) -> i64 {
+        self.choices.iter().map(|c| c.2).sum()
+    }
+}
+
+impl DesignTemplate {
+    /// Create a template from components.
+    pub fn new(components: Vec<Component>) -> DesignTemplate {
+        DesignTemplate { components }
+    }
+
+    /// Encode the template as a complex object of type
+    /// `{string × <string × (int × string)>}`.
+    pub fn to_value(&self) -> Value {
+        Value::set(self.components.iter().map(Component::to_value))
+    }
+
+    /// The object type of an encoded template.
+    pub fn value_type() -> Type {
+        Type::set(Component::value_type())
+    }
+
+    /// Structural query: the alternatives recorded for a named component.
+    pub fn choices_for(&self, component: &str) -> Option<&[ModuleOption]> {
+        self.components
+            .iter()
+            .find(|c| c.name == component)
+            .map(|c| c.options.as_slice())
+    }
+
+    /// The number of completed designs the template stands for.
+    pub fn completed_design_count(&self) -> u64 {
+        possibility_count(&self.to_value())
+    }
+
+    /// Conceptual query by eager normalization: all completed designs, as the
+    /// or-set `normalize(template)`.
+    pub fn completed_designs_value(&self) -> Value {
+        normalize_value_typed(&self.to_value(), &Self::value_type())
+    }
+
+    /// Decode every completed design into a [`CompletedDesign`] (eager;
+    /// exponential in the number of components).
+    pub fn completed_designs(&self) -> Vec<CompletedDesign> {
+        match self.completed_designs_value() {
+            Value::OrSet(items) => items.iter().filter_map(decode_completed).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Conceptual query: is there a completed design with total cost at most
+    /// `budget`?  Evaluated lazily: completed designs are enumerated as a
+    /// stream and the search stops at the first hit (Section 7's
+    /// lazy-evaluation strategy).  Returns the witness and the number of
+    /// candidates inspected.
+    pub fn exists_design_within_budget(
+        &self,
+        budget: i64,
+    ) -> Result<(Option<CompletedDesign>, u128), EvalError> {
+        let mut lazy = LazyNormalizer::new(&self.to_value());
+        let (witness, inspected) = lazy.find_witness(|candidate| {
+            Ok(decode_completed(candidate).map_or(false, |d| d.total_cost() <= budget))
+        })?;
+        Ok((witness.as_ref().and_then(decode_completed), inspected))
+    }
+
+    /// The cheapest completed design, by exhaustive (lazy, streaming)
+    /// enumeration.
+    pub fn cheapest_design(&self) -> Option<CompletedDesign> {
+        LazyNormalizer::new(&self.to_value())
+            .filter_map(|candidate| decode_completed(&candidate))
+            .min_by_key(CompletedDesign::total_cost)
+    }
+
+    /// A branch-and-bound baseline for [`DesignTemplate::cheapest_design`]
+    /// that never materializes or enumerates the normal form; used to
+    /// cross-check the or-set pipeline in tests and benchmarks.
+    pub fn cheapest_cost_direct(&self) -> Option<i64> {
+        self.components
+            .iter()
+            .map(|c| c.options.iter().map(|o| o.cost).min())
+            .sum::<Option<i64>>()
+    }
+}
+
+/// Decode one element of the normalized template back into a
+/// [`CompletedDesign`].
+fn decode_completed(candidate: &Value) -> Option<CompletedDesign> {
+    let items = match candidate {
+        Value::Set(items) => items,
+        _ => return None,
+    };
+    let mut choices = Vec::with_capacity(items.len());
+    for item in items {
+        let (component, rest) = item.as_pair()?;
+        let (module, rest) = rest.as_pair()?;
+        let (cost, vendor) = rest.as_pair()?;
+        choices.push((
+            component.as_str()?.to_string(),
+            module.as_str()?.to_string(),
+            cost.as_int()?,
+            vendor.as_str()?.to_string(),
+        ));
+    }
+    Some(CompletedDesign { choices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's component-A example, extended with a second component.
+    fn template() -> DesignTemplate {
+        DesignTemplate::new(vec![
+            Component::new(
+                "A",
+                vec![
+                    ModuleOption::new("B", 70, "acme"),
+                    ModuleOption::new("C", 40, "globex"),
+                ],
+            ),
+            Component::new(
+                "PSU",
+                vec![
+                    ModuleOption::new("P1", 30, "acme"),
+                    ModuleOption::new("P2", 55, "initech"),
+                    ModuleOption::new("P3", 90, "globex"),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn template_encodes_with_declared_type() {
+        let t = template();
+        assert!(t.to_value().has_type(&DesignTemplate::value_type()));
+    }
+
+    #[test]
+    fn structural_query_lists_choices() {
+        let t = template();
+        let choices = t.choices_for("A").unwrap();
+        assert_eq!(choices.len(), 2);
+        assert!(t.choices_for("missing").is_none());
+    }
+
+    #[test]
+    fn conceptual_query_enumerates_completed_designs() {
+        let t = template();
+        assert_eq!(t.completed_design_count(), 6);
+        let designs = t.completed_designs();
+        assert_eq!(designs.len(), 6);
+        assert!(designs.iter().all(|d| d.choices.len() == 2));
+    }
+
+    #[test]
+    fn budget_query_finds_a_cheap_design_and_stops_early() {
+        let t = template();
+        let (witness, inspected) = t.exists_design_within_budget(100).unwrap();
+        let witness = witness.expect("a design of cost <= 100 exists");
+        assert!(witness.total_cost() <= 100);
+        assert!(inspected <= 6);
+        // an impossible budget scans everything and finds nothing
+        let (none, inspected) = t.exists_design_within_budget(10).unwrap();
+        assert!(none.is_none());
+        assert_eq!(inspected, 6);
+    }
+
+    #[test]
+    fn cheapest_design_matches_the_direct_baseline() {
+        let t = template();
+        let cheapest = t.cheapest_design().unwrap();
+        assert_eq!(Some(cheapest.total_cost()), t.cheapest_cost_direct());
+        assert_eq!(cheapest.total_cost(), 70);
+    }
+
+    #[test]
+    fn component_without_options_makes_the_template_inconsistent() {
+        let t = DesignTemplate::new(vec![
+            Component::new("A", vec![ModuleOption::new("B", 10, "acme")]),
+            Component::new("broken", vec![]),
+        ]);
+        assert_eq!(t.completed_design_count(), 0);
+        assert!(t.completed_designs().is_empty());
+        let (witness, _) = t.exists_design_within_budget(1_000).unwrap();
+        assert!(witness.is_none());
+        // the direct baseline also reports that no design exists
+        assert_eq!(t.cheapest_cost_direct(), None);
+    }
+
+    #[test]
+    fn empty_template_has_exactly_one_trivial_design() {
+        let t = DesignTemplate::default();
+        assert_eq!(t.completed_design_count(), 1);
+        assert_eq!(t.cheapest_cost_direct(), Some(0));
+    }
+}

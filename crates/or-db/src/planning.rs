@@ -1,0 +1,236 @@
+//! A small scheduling/planning domain (the second application area named by
+//! Imielinski, Naqvi and Vadaparty).
+//!
+//! Each task has an or-set of admissible time slots; a *schedule* is a
+//! conceptual completion assigning one slot per task.  The planner asks
+//! whether a conflict-free schedule exists — structurally the same existential
+//! query as the satisfiability reduction of Section 6, here phrased over a
+//! realistic workload and answered either by lazy normalization or by a
+//! direct backtracking baseline.
+
+use or_nra::lazy::LazyNormalizer;
+use or_nra::normalize::possibility_count;
+use or_nra::EvalError;
+use or_object::{Type, Value};
+
+/// A task with its admissible time slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Task name.
+    pub name: String,
+    /// Admissible (integer) time slots.
+    pub slots: Vec<i64>,
+    /// How many consecutive slots the task occupies.
+    pub duration: i64,
+}
+
+impl Task {
+    /// Create a task.
+    pub fn new(name: impl Into<String>, slots: impl IntoIterator<Item = i64>, duration: i64) -> Task {
+        Task {
+            name: name.into(),
+            slots: slots.into_iter().collect(),
+            duration: duration.max(1),
+        }
+    }
+
+    /// Encode as `(name, (duration, <slot, …>))`.
+    pub fn to_value(&self) -> Value {
+        Value::pair(
+            Value::str(self.name.clone()),
+            Value::pair(
+                Value::Int(self.duration),
+                Value::orset(self.slots.iter().map(|&s| Value::Int(s))),
+            ),
+        )
+    }
+
+    /// The object type of an encoded task.
+    pub fn value_type() -> Type {
+        Type::prod(Type::Str, Type::prod(Type::Int, Type::orset(Type::Int)))
+    }
+}
+
+/// A planning problem: a set of tasks competing for one resource.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanningProblem {
+    /// The tasks to schedule.
+    pub tasks: Vec<Task>,
+}
+
+/// A concrete schedule: a start slot per task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// `(task, start slot, duration)` per task.
+    pub assignments: Vec<(String, i64, i64)>,
+}
+
+impl Schedule {
+    /// Is the schedule free of overlaps on the single shared resource?
+    pub fn conflict_free(&self) -> bool {
+        for (i, a) in self.assignments.iter().enumerate() {
+            for b in self.assignments.iter().skip(i + 1) {
+                let (a_start, a_end) = (a.1, a.1 + a.2);
+                let (b_start, b_end) = (b.1, b.1 + b.2);
+                if a_start < b_end && b_start < a_end {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl PlanningProblem {
+    /// Create a problem from tasks.
+    pub fn new(tasks: Vec<Task>) -> PlanningProblem {
+        PlanningProblem { tasks }
+    }
+
+    /// Encode the problem as a complex object of type
+    /// `{string × (int × <int>)}`.
+    pub fn to_value(&self) -> Value {
+        Value::set(self.tasks.iter().map(Task::to_value))
+    }
+
+    /// The object type of an encoded problem.
+    pub fn value_type() -> Type {
+        Type::set(Task::value_type())
+    }
+
+    /// The number of candidate schedules (the cardinality of the normal
+    /// form).
+    pub fn candidate_count(&self) -> u64 {
+        possibility_count(&self.to_value())
+    }
+
+    /// Existential conceptual query: is there a conflict-free schedule?
+    /// Answered by lazily enumerating the normal form and stopping at the
+    /// first conflict-free candidate.  Returns the witness and the number of
+    /// candidates inspected.
+    pub fn find_schedule_lazily(&self) -> Result<(Option<Schedule>, u128), EvalError> {
+        let mut lazy = LazyNormalizer::new(&self.to_value());
+        let (witness, inspected) = lazy.find_witness(|candidate| {
+            Ok(decode_schedule(candidate).map_or(false, |s| s.conflict_free()))
+        })?;
+        Ok((witness.as_ref().and_then(decode_schedule), inspected))
+    }
+
+    /// Backtracking baseline: assign tasks one by one, pruning conflicts
+    /// early.  Used to cross-check the or-set pipeline.
+    pub fn find_schedule_backtracking(&self) -> Option<Schedule> {
+        fn overlaps(a: (i64, i64), b: (i64, i64)) -> bool {
+            a.0 < b.0 + b.1 && b.0 < a.0 + a.1
+        }
+        fn go(tasks: &[Task], chosen: &mut Vec<(String, i64, i64)>) -> bool {
+            let Some(task) = tasks.first() else {
+                return true;
+            };
+            for &slot in &task.slots {
+                let candidate = (slot, task.duration);
+                if chosen
+                    .iter()
+                    .all(|c| !overlaps((c.1, c.2), candidate))
+                {
+                    chosen.push((task.name.clone(), slot, task.duration));
+                    if go(&tasks[1..], chosen) {
+                        return true;
+                    }
+                    chosen.pop();
+                }
+            }
+            false
+        }
+        let mut chosen = Vec::new();
+        if go(&self.tasks, &mut chosen) {
+            Some(Schedule {
+                assignments: chosen,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Decode one element of the normalized problem into a [`Schedule`].
+fn decode_schedule(candidate: &Value) -> Option<Schedule> {
+    let items = match candidate {
+        Value::Set(items) => items,
+        _ => return None,
+    };
+    let mut assignments = Vec::with_capacity(items.len());
+    for item in items {
+        let (name, rest) = item.as_pair()?;
+        let (duration, slot) = rest.as_pair()?;
+        assignments.push((name.as_str()?.to_string(), slot.as_int()?, duration.as_int()?));
+    }
+    Some(Schedule { assignments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feasible_problem() -> PlanningProblem {
+        PlanningProblem::new(vec![
+            Task::new("drill", [0, 2, 4], 2),
+            Task::new("paint", [0, 2], 2),
+            Task::new("pack", [4, 6], 1),
+        ])
+    }
+
+    fn infeasible_problem() -> PlanningProblem {
+        // two tasks of duration 2 competing for the single slot 0
+        PlanningProblem::new(vec![
+            Task::new("a", [0], 2),
+            Task::new("b", [0, 1], 2),
+        ])
+    }
+
+    #[test]
+    fn encoding_type_checks() {
+        let p = feasible_problem();
+        assert!(p.to_value().has_type(&PlanningProblem::value_type()));
+        assert_eq!(p.candidate_count(), 3 * 2 * 2);
+    }
+
+    #[test]
+    fn lazy_and_backtracking_agree_on_feasible_instances() {
+        let p = feasible_problem();
+        let (lazy, inspected) = p.find_schedule_lazily().unwrap();
+        let lazy = lazy.expect("a schedule exists");
+        assert!(lazy.conflict_free());
+        assert!(inspected <= p.candidate_count() as u128);
+        let direct = p.find_schedule_backtracking().expect("a schedule exists");
+        assert!(direct.conflict_free());
+    }
+
+    #[test]
+    fn lazy_and_backtracking_agree_on_infeasible_instances() {
+        let p = infeasible_problem();
+        let (lazy, inspected) = p.find_schedule_lazily().unwrap();
+        assert!(lazy.is_none());
+        assert_eq!(inspected, p.candidate_count() as u128);
+        assert!(p.find_schedule_backtracking().is_none());
+    }
+
+    #[test]
+    fn conflict_detection_handles_touching_intervals() {
+        let s = Schedule {
+            assignments: vec![("a".into(), 0, 2), ("b".into(), 2, 2)],
+        };
+        assert!(s.conflict_free());
+        let s = Schedule {
+            assignments: vec![("a".into(), 0, 3), ("b".into(), 2, 2)],
+        };
+        assert!(!s.conflict_free());
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_schedulable() {
+        let p = PlanningProblem::default();
+        let (schedule, _) = p.find_schedule_lazily().unwrap();
+        assert!(schedule.is_some());
+        assert!(p.find_schedule_backtracking().is_some());
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic workload generators for the examples and benchmarks.
+//!
+//! The paper has no experimental datasets, so the benchmark harness uses
+//! synthetic workloads modelled on its motivating applications: design
+//! templates with a configurable number of components and alternatives,
+//! planning problems with configurable slack, and Codd tables with a
+//! configurable null rate.  All generators are deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use or_object::Type;
+use or_object::Value;
+
+use crate::codd::{Cell, CoddTable};
+use crate::design::{Component, DesignTemplate, ModuleOption};
+use crate::planning::{PlanningProblem, Task};
+use crate::schema::Field;
+
+/// Deterministic workload generator.
+#[derive(Debug)]
+pub struct Workload {
+    rng: StdRng,
+}
+
+impl Workload {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Workload {
+        Workload {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A design template with `components` components, each with between 1
+    /// and `max_alternatives` alternatives, costs drawn from `10..=100`.
+    pub fn design_template(&mut self, components: usize, max_alternatives: usize) -> DesignTemplate {
+        let vendors = ["acme", "globex", "initech", "umbrella"];
+        let comps = (0..components)
+            .map(|i| {
+                let alts = self.rng.gen_range(1..=max_alternatives.max(1));
+                let options = (0..alts)
+                    .map(|j| {
+                        ModuleOption::new(
+                            format!("m{i}_{j}"),
+                            self.rng.gen_range(10..=100),
+                            vendors[self.rng.gen_range(0..vendors.len())],
+                        )
+                    })
+                    .collect();
+                Component::new(format!("c{i}"), options)
+            })
+            .collect();
+        DesignTemplate::new(comps)
+    }
+
+    /// A design template in which every component has exactly
+    /// `alternatives` alternatives (used for controlled scaling sweeps).
+    pub fn uniform_design_template(
+        &mut self,
+        components: usize,
+        alternatives: usize,
+    ) -> DesignTemplate {
+        let vendors = ["acme", "globex", "initech", "umbrella"];
+        let comps = (0..components)
+            .map(|i| {
+                let options = (0..alternatives.max(1))
+                    .map(|j| {
+                        ModuleOption::new(
+                            format!("m{i}_{j}"),
+                            self.rng.gen_range(10..=100),
+                            vendors[self.rng.gen_range(0..vendors.len())],
+                        )
+                    })
+                    .collect();
+                Component::new(format!("c{i}"), options)
+            })
+            .collect();
+        DesignTemplate::new(comps)
+    }
+
+    /// A planning problem with `tasks` tasks over a horizon of
+    /// `horizon` slots; `slack` controls how many admissible slots each task
+    /// gets (more slack makes the instance easier).
+    pub fn planning_problem(&mut self, tasks: usize, horizon: i64, slack: usize) -> PlanningProblem {
+        let ts = (0..tasks)
+            .map(|i| {
+                let duration = self.rng.gen_range(1..=2);
+                let nslots = slack.max(1);
+                let slots: Vec<i64> = (0..nslots)
+                    .map(|_| self.rng.gen_range(0..horizon.max(1)))
+                    .collect();
+                Task::new(format!("t{i}"), slots, duration)
+            })
+            .collect();
+        PlanningProblem::new(ts)
+    }
+
+    /// A Codd table over `columns` integer columns and `rows` rows, with each
+    /// cell independently null with probability `null_permille / 1000`.
+    pub fn codd_table(&mut self, columns: usize, rows: usize, null_permille: u32) -> CoddTable {
+        let mut table = CoddTable::new(
+            "synthetic",
+            (0..columns).map(|i| Field::new(format!("col{i}"), Type::Int)),
+        )
+        .expect("columns are base-typed");
+        for _ in 0..rows {
+            let row: Vec<Cell> = (0..columns)
+                .map(|_| {
+                    if self.rng.gen_range(0..1000) < null_permille {
+                        Cell::Null
+                    } else {
+                        Cell::int(self.rng.gen_range(0..20))
+                    }
+                })
+                .collect();
+            table.insert(row).expect("row matches schema");
+        }
+        table
+    }
+
+    /// A random complex object drawn from the design-template encoding (used
+    /// by benchmarks that need "realistic" nested or-objects of a given
+    /// scale).
+    pub fn design_object(&mut self, components: usize, alternatives: usize) -> Value {
+        self.uniform_design_template(components, alternatives).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let a = Workload::new(3).design_template(4, 3);
+        let b = Workload::new(3).design_template(4, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_templates_have_predictable_counts() {
+        let t = Workload::new(1).uniform_design_template(5, 3);
+        assert_eq!(t.completed_design_count(), 3u64.pow(5));
+    }
+
+    #[test]
+    fn planning_problems_respect_parameters() {
+        let p = Workload::new(7).planning_problem(6, 10, 3);
+        assert_eq!(p.tasks.len(), 6);
+        assert!(p.tasks.iter().all(|t| !t.slots.is_empty() && t.slots.len() <= 3));
+    }
+
+    #[test]
+    fn codd_tables_have_requested_shape_and_null_rate() {
+        let t = Workload::new(5).codd_table(4, 200, 250);
+        assert_eq!(t.len(), 200);
+        let ratio = t.null_ratio();
+        assert!(ratio > 0.15 && ratio < 0.35, "null ratio {ratio} out of range");
+    }
+
+    #[test]
+    fn design_objects_type_check() {
+        let v = Workload::new(9).design_object(3, 2);
+        assert!(v.has_type(&DesignTemplate::value_type()));
+    }
+}

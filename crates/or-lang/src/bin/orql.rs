@@ -1,0 +1,71 @@
+//! `orql` — an interactive REPL for the OrQL query language.
+//!
+//! ```text
+//! $ cargo run -p or-lang --bin orql
+//! orql> let db = { <|1,2|>, <|3|> }
+//! db : {<int>} = {<1, 2>, <3>}
+//! orql> normalize(db)
+//! - : <{int}> = <{1, 3}, {2, 3}>
+//! orql> <| x | x <- normalize(<|120, 80|>), x <= 100 |>
+//! - : <int> = <80>
+//! ```
+//!
+//! Commands: `:quit` exits, `:env` lists the current bindings, `:help` prints
+//! a short reference.  Everything else is parsed as an OrQL statement.
+
+use std::io::{self, BufRead, Write};
+
+use or_lang::session::Session;
+
+const HELP: &str = "\
+OrQL quick reference
+  sets        {1, 2, 3}            or-sets      <|1, 2, 3|>
+  pairs       (1, true)            strings      \"abc\"
+  comprehension   { x + 1 | x <- {1,2,3}, x <= 2 }
+  or-comprehension <| x | x <- normalize(db), x <= 100 |>
+  let x = e in e'      if c then a else b      let x = e   (REPL binding)
+  builtins: normalize alpha flatten orflatten union orunion member ormember
+            subset intersect difference powerset toset toorset isempty
+            orisempty fst snd
+  commands: :help :env :quit";
+
+fn main() -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    let mut session = Session::new();
+    println!("OrQL — a query language for or-sets (type :help for help, :quit to exit)");
+    loop {
+        print!("orql> ");
+        stdout.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ":quit" | ":q" => break,
+            ":help" | ":h" => {
+                println!("{HELP}");
+                continue;
+            }
+            ":env" => {
+                for (name, ty) in session.bindings() {
+                    println!("{name} : {ty}");
+                }
+                continue;
+            }
+            _ => {}
+        }
+        match session.run(line) {
+            Ok(result) => {
+                let name = result.bound.unwrap_or_else(|| "-".to_string());
+                println!("{name} : {} = {}", result.ty, result.value);
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

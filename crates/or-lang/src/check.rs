@@ -1,0 +1,414 @@
+//! The OrQL type checker.
+//!
+//! OrQL is explicitly first-order and monomorphic: every expression has an
+//! object type of or-NRA (`bool`, `int`, `string`, `unit`, products, sets,
+//! or-sets), and the checker computes it in a single syntax-directed pass.
+//! Empty collection literals are given element type `unit`; contexts that
+//! need a different element type must mention at least one element (the same
+//! convention as the monomorphic checker of `or-nra`).
+
+use std::fmt;
+
+use or_object::Type;
+
+use crate::ast::{BinOp, Builtin, Expr, Qualifier};
+
+/// A type error in an OrQL expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl CheckError {
+    fn new(message: impl Into<String>) -> CheckError {
+        CheckError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// A typing environment: variables in scope with their types (innermost
+/// binding last).
+pub type TypeEnv = Vec<(String, Type)>;
+
+fn lookup(env: &TypeEnv, name: &str) -> Option<Type> {
+    env.iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, t)| t.clone())
+}
+
+/// Infer the type of an expression in the given environment.
+pub fn infer_type(expr: &Expr, env: &TypeEnv) -> Result<Type, CheckError> {
+    match expr {
+        Expr::Unit => Ok(Type::Unit),
+        Expr::Int(_) => Ok(Type::Int),
+        Expr::Bool(_) => Ok(Type::Bool),
+        Expr::Str(_) => Ok(Type::Str),
+        Expr::Var(name) => lookup(env, name)
+            .ok_or_else(|| CheckError::new(format!("unbound variable {name}"))),
+        Expr::Pair(a, b) => Ok(Type::prod(infer_type(a, env)?, infer_type(b, env)?)),
+        Expr::SetLit(items) => Ok(Type::set(collection_element_type(items, env)?)),
+        Expr::OrSetLit(items) => Ok(Type::orset(collection_element_type(items, env)?)),
+        Expr::SetComp { head, qualifiers } => {
+            let inner_env = check_qualifiers(qualifiers, env, CollectionKind::Set)?;
+            Ok(Type::set(infer_type(head, &inner_env)?))
+        }
+        Expr::OrSetComp { head, qualifiers } => {
+            let inner_env = check_qualifiers(qualifiers, env, CollectionKind::OrSet)?;
+            Ok(Type::orset(infer_type(head, &inner_env)?))
+        }
+        Expr::Let { name, value, body } => {
+            let value_ty = infer_type(value, env)?;
+            let mut inner = env.clone();
+            inner.push((name.clone(), value_ty));
+            infer_type(body, &inner)
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            expect(cond, env, &Type::Bool, "the condition of if")?;
+            let t = infer_type(then_branch, env)?;
+            let e = infer_type(else_branch, env)?;
+            if t != e {
+                return Err(CheckError::new(format!(
+                    "branches of if have different types: {t} vs {e}"
+                )));
+            }
+            Ok(t)
+        }
+        Expr::BinOp(op, a, b) => {
+            let ta = infer_type(a, env)?;
+            let tb = infer_type(b, env)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                    require(&ta, &Type::Int, "arithmetic operand")?;
+                    require(&tb, &Type::Int, "arithmetic operand")?;
+                    Ok(Type::Int)
+                }
+                BinOp::Leq | BinOp::Lt | BinOp::Geq | BinOp::Gt => {
+                    require(&ta, &Type::Int, "comparison operand")?;
+                    require(&tb, &Type::Int, "comparison operand")?;
+                    Ok(Type::Bool)
+                }
+                BinOp::And | BinOp::Or => {
+                    require(&ta, &Type::Bool, "boolean operand")?;
+                    require(&tb, &Type::Bool, "boolean operand")?;
+                    Ok(Type::Bool)
+                }
+                BinOp::Eq | BinOp::Neq => {
+                    if ta != tb {
+                        return Err(CheckError::new(format!(
+                            "cannot compare values of different types {ta} and {tb}"
+                        )));
+                    }
+                    Ok(Type::Bool)
+                }
+            }
+        }
+        Expr::Not(a) => {
+            expect(a, env, &Type::Bool, "the operand of !")?;
+            Ok(Type::Bool)
+        }
+        Expr::Call(builtin, args) => infer_call(*builtin, args, env),
+    }
+}
+
+/// Check an expression against an expected type.
+pub fn check_type(expr: &Expr, env: &TypeEnv, expected: &Type) -> Result<(), CheckError> {
+    let actual = infer_type(expr, env)?;
+    if &actual == expected {
+        Ok(())
+    } else {
+        Err(CheckError::new(format!(
+            "expected {expected}, found {actual} in {expr}"
+        )))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CollectionKind {
+    Set,
+    OrSet,
+}
+
+fn check_qualifiers(
+    qualifiers: &[Qualifier],
+    env: &TypeEnv,
+    kind: CollectionKind,
+) -> Result<TypeEnv, CheckError> {
+    let mut inner = env.clone();
+    for q in qualifiers {
+        match q {
+            Qualifier::Generator(name, source) => {
+                let source_ty = infer_type(source, &inner)?;
+                let elem = match (kind, &source_ty) {
+                    (CollectionKind::Set, Type::Set(t)) => (**t).clone(),
+                    (CollectionKind::OrSet, Type::OrSet(t)) => (**t).clone(),
+                    (CollectionKind::Set, other) => {
+                        return Err(CheckError::new(format!(
+                            "a set comprehension generator must range over a set, found {other}"
+                        )))
+                    }
+                    (CollectionKind::OrSet, other) => {
+                        return Err(CheckError::new(format!(
+                            "an or-set comprehension generator must range over an or-set, \
+                             found {other}"
+                        )))
+                    }
+                };
+                inner.push((name.clone(), elem));
+            }
+            Qualifier::Guard(g) => {
+                expect(g, &inner, &Type::Bool, "a comprehension guard")?;
+            }
+        }
+    }
+    Ok(inner)
+}
+
+fn collection_element_type(items: &[Expr], env: &TypeEnv) -> Result<Type, CheckError> {
+    match items.first() {
+        None => Ok(Type::Unit),
+        Some(first) => {
+            let t = infer_type(first, env)?;
+            for item in &items[1..] {
+                let other = infer_type(item, env)?;
+                if other != t {
+                    return Err(CheckError::new(format!(
+                        "heterogeneous collection literal: {t} vs {other}"
+                    )));
+                }
+            }
+            Ok(t)
+        }
+    }
+}
+
+fn require(actual: &Type, expected: &Type, what: &str) -> Result<(), CheckError> {
+    if actual == expected {
+        Ok(())
+    } else {
+        Err(CheckError::new(format!(
+            "{what} must have type {expected}, found {actual}"
+        )))
+    }
+}
+
+fn expect(expr: &Expr, env: &TypeEnv, expected: &Type, what: &str) -> Result<(), CheckError> {
+    let actual = infer_type(expr, env)?;
+    require(&actual, expected, what)
+}
+
+fn infer_call(builtin: Builtin, args: &[Expr], env: &TypeEnv) -> Result<Type, CheckError> {
+    let arg = |i: usize| infer_type(&args[i], env);
+    let set_elem = |t: &Type, what: &str| -> Result<Type, CheckError> {
+        match t {
+            Type::Set(inner) => Ok((**inner).clone()),
+            other => Err(CheckError::new(format!("{what} expects a set, found {other}"))),
+        }
+    };
+    let orset_elem = |t: &Type, what: &str| -> Result<Type, CheckError> {
+        match t {
+            Type::OrSet(inner) => Ok((**inner).clone()),
+            other => Err(CheckError::new(format!(
+                "{what} expects an or-set, found {other}"
+            ))),
+        }
+    };
+    match builtin {
+        Builtin::Normalize => Ok(arg(0)?.normal_form()),
+        Builtin::Alpha => {
+            let elem = set_elem(&arg(0)?, "alpha")?;
+            let inner = orset_elem(&elem, "alpha")?;
+            Ok(Type::orset(Type::set(inner)))
+        }
+        Builtin::Flatten => {
+            let elem = set_elem(&arg(0)?, "flatten")?;
+            let inner = set_elem(&elem, "flatten")?;
+            Ok(Type::set(inner))
+        }
+        Builtin::OrFlatten => {
+            let elem = orset_elem(&arg(0)?, "orflatten")?;
+            let inner = orset_elem(&elem, "orflatten")?;
+            Ok(Type::orset(inner))
+        }
+        Builtin::Union | Builtin::Intersect | Builtin::Difference => {
+            let a = arg(0)?;
+            let b = arg(1)?;
+            set_elem(&a, builtin.name())?;
+            if a != b {
+                return Err(CheckError::new(format!(
+                    "{} expects two sets of the same type, found {a} and {b}",
+                    builtin.name()
+                )));
+            }
+            Ok(a)
+        }
+        Builtin::OrUnion => {
+            let a = arg(0)?;
+            let b = arg(1)?;
+            orset_elem(&a, "orunion")?;
+            if a != b {
+                return Err(CheckError::new(format!(
+                    "orunion expects two or-sets of the same type, found {a} and {b}"
+                )));
+            }
+            Ok(a)
+        }
+        Builtin::Member => {
+            let x = arg(0)?;
+            let s = arg(1)?;
+            let elem = set_elem(&s, "member")?;
+            if x != elem {
+                return Err(CheckError::new(format!(
+                    "member: element type {x} does not match set element type {elem}"
+                )));
+            }
+            Ok(Type::Bool)
+        }
+        Builtin::OrMember => {
+            let x = arg(0)?;
+            let s = arg(1)?;
+            let elem = orset_elem(&s, "ormember")?;
+            if x != elem {
+                return Err(CheckError::new(format!(
+                    "ormember: element type {x} does not match or-set element type {elem}"
+                )));
+            }
+            Ok(Type::Bool)
+        }
+        Builtin::Subset => {
+            let a = arg(0)?;
+            let b = arg(1)?;
+            set_elem(&a, "subset")?;
+            if a != b {
+                return Err(CheckError::new(format!(
+                    "subset expects two sets of the same type, found {a} and {b}"
+                )));
+            }
+            Ok(Type::Bool)
+        }
+        Builtin::Powerset => {
+            let elem = set_elem(&arg(0)?, "powerset")?;
+            Ok(Type::set(Type::set(elem)))
+        }
+        Builtin::ToSet => Ok(Type::set(orset_elem(&arg(0)?, "toset")?)),
+        Builtin::ToOrSet => Ok(Type::orset(set_elem(&arg(0)?, "toorset")?)),
+        Builtin::IsEmpty => {
+            set_elem(&arg(0)?, "isempty")?;
+            Ok(Type::Bool)
+        }
+        Builtin::OrIsEmpty => {
+            orset_elem(&arg(0)?, "orisempty")?;
+            Ok(Type::Bool)
+        }
+        Builtin::Fst => match arg(0)? {
+            Type::Prod(a, _) => Ok(*a),
+            other => Err(CheckError::new(format!("fst expects a pair, found {other}"))),
+        },
+        Builtin::Snd => match arg(0)? {
+            Type::Prod(_, b) => Ok(*b),
+            other => Err(CheckError::new(format!("snd expects a pair, found {other}"))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ty(src: &str, env: &TypeEnv) -> Result<Type, CheckError> {
+        infer_type(&parse(src).unwrap(), env)
+    }
+
+    #[test]
+    fn literals_and_operators() {
+        let env = TypeEnv::new();
+        assert_eq!(ty("1 + 2 * 3", &env).unwrap(), Type::Int);
+        assert_eq!(ty("1 <= 2 && true", &env).unwrap(), Type::Bool);
+        assert_eq!(ty("(1, \"a\")", &env).unwrap(), Type::prod(Type::Int, Type::Str));
+        assert_eq!(ty("{1, 2}", &env).unwrap(), Type::set(Type::Int));
+        assert_eq!(ty("<|1, 2|>", &env).unwrap(), Type::orset(Type::Int));
+        assert!(ty("1 + true", &env).is_err());
+        assert!(ty("{1, true}", &env).is_err());
+    }
+
+    #[test]
+    fn comprehensions_bind_variables() {
+        let env = TypeEnv::new();
+        assert_eq!(
+            ty("{ x + 1 | x <- {1,2,3}, x <= 2 }", &env).unwrap(),
+            Type::set(Type::Int)
+        );
+        assert_eq!(
+            ty("<| (x, y) | x <- <|1,2|>, y <- <|true|> |>", &env).unwrap(),
+            Type::orset(Type::prod(Type::Int, Type::Bool))
+        );
+        // a set generator inside an or-set comprehension is rejected
+        assert!(ty("<| x | x <- {1,2} |>", &env).is_err());
+        assert!(ty("{ x | x <- <|1,2|> }", &env).is_err());
+    }
+
+    #[test]
+    fn normalize_produces_the_normal_form_type() {
+        let env = vec![(
+            "db".to_string(),
+            Type::set(Type::orset(Type::Int)),
+        )];
+        assert_eq!(
+            ty("normalize(db)", &env).unwrap(),
+            Type::orset(Type::set(Type::Int))
+        );
+        assert_eq!(
+            ty("<| x | x <- normalize(db), isempty(x) |>", &env).unwrap(),
+            Type::orset(Type::set(Type::Int))
+        );
+    }
+
+    #[test]
+    fn builtins_are_checked() {
+        let env = TypeEnv::new();
+        assert_eq!(ty("union({1}, {2})", &env).unwrap(), Type::set(Type::Int));
+        assert_eq!(ty("member(1, {1,2})", &env).unwrap(), Type::Bool);
+        assert_eq!(
+            ty("alpha({<|1,2|>, <|3|>})", &env).unwrap(),
+            Type::orset(Type::set(Type::Int))
+        );
+        assert_eq!(ty("fst((1, true))", &env).unwrap(), Type::Int);
+        assert!(ty("member(true, {1})", &env).is_err());
+        assert!(ty("union({1}, <|2|>)", &env).is_err());
+        assert!(ty("flatten({1})", &env).is_err());
+    }
+
+    #[test]
+    fn let_if_and_scope() {
+        let env = TypeEnv::new();
+        assert_eq!(
+            ty("let s = {1,2} in if member(1, s) then 1 else 0", &env).unwrap(),
+            Type::Int
+        );
+        assert!(ty("if 1 then 2 else 3", &env).is_err());
+        assert!(ty("if true then 2 else false", &env).is_err());
+        assert!(ty("x + 1", &env).is_err());
+    }
+
+    #[test]
+    fn empty_collections_default_to_unit_elements() {
+        let env = TypeEnv::new();
+        assert_eq!(ty("{}", &env).unwrap(), Type::set(Type::Unit));
+        assert_eq!(ty("<| |>", &env).unwrap(), Type::orset(Type::Unit));
+    }
+}

@@ -1,0 +1,361 @@
+//! Elaboration of OrQL into or-NRA⁺ morphisms.
+//!
+//! This is the analogue of the paper's observation (Section 2) that the
+//! comprehension-style surface syntax "(x | x ∈ normalize(DB), ischeap(x))"
+//! elaborates into the algebraic form
+//! `orμ ∘ ormap(cond(ischeap, orη, K<> ∘ !)) ∘ normalize`.
+//!
+//! Variables are compiled away by the standard categorical environment
+//! translation: an expression with free variables `v₀,…,vₙ₋₁` becomes a
+//! morphism whose input is the left-nested environment tuple
+//! `((…(unit, v₀)…), vₙ₋₁)`; variable access is a chain of projections, `let`
+//! extends the tuple, and comprehension generators extend it inside
+//! `map`/`ormap` after pairing with `ρ₂`/`orρ₂`.
+
+use std::fmt;
+
+use or_nra::derived;
+use or_nra::morphism::{Morphism as M, Prim};
+use or_object::Value;
+
+use crate::ast::{BinOp, Builtin, Expr, Qualifier};
+
+/// An error produced during compilation (compilation is total on well-typed
+/// input; errors indicate unbound variables or arity mistakes that the type
+/// checker would also have caught).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError {
+        message: message.into(),
+    })
+}
+
+/// Compile an expression whose free variables are exactly `vars` into a
+/// morphism from the left-nested environment tuple
+/// `((…(unit, vars[0])…), vars[n-1])` to the expression's value.
+pub fn compile_with_env(expr: &Expr, vars: &[String]) -> Result<M, CompileError> {
+    let mut env: Vec<String> = vars.to_vec();
+    compile(expr, &mut env)
+}
+
+/// Compile a single-parameter query `param ↦ expr` into a morphism whose
+/// input is the parameter value itself.
+pub fn compile_query(expr: &Expr, param: &str) -> Result<M, CompileError> {
+    let body = compile_with_env(expr, &[param.to_string()])?;
+    Ok(M::pair(M::Bang, M::Id).then(body))
+}
+
+/// Compile a closed expression into a morphism that ignores its input.
+pub fn compile_closed(expr: &Expr) -> Result<M, CompileError> {
+    let body = compile_with_env(expr, &[])?;
+    Ok(M::Bang.then(body))
+}
+
+/// Access the `i`-th variable (0-based, outermost first) of an `n`-variable
+/// environment tuple.
+fn access(i: usize, n: usize) -> M {
+    let mut m = M::Id;
+    for _ in 0..(n - 1 - i) {
+        m = m.then(M::Proj1);
+    }
+    m.then(M::Proj2)
+}
+
+fn compile(expr: &Expr, env: &mut Vec<String>) -> Result<M, CompileError> {
+    match expr {
+        Expr::Unit => Ok(M::constant(Value::Unit)),
+        Expr::Int(i) => Ok(M::constant(Value::Int(*i))),
+        Expr::Bool(b) => Ok(M::constant(Value::Bool(*b))),
+        Expr::Str(s) => Ok(M::constant(Value::str(s.clone()))),
+        Expr::Var(name) => match env.iter().rposition(|v| v == name) {
+            Some(i) => Ok(access(i, env.len())),
+            None => err(format!("unbound variable {name}")),
+        },
+        Expr::Pair(a, b) => Ok(M::pair(compile(a, env)?, compile(b, env)?)),
+        Expr::SetLit(items) => compile_collection(items, env, true),
+        Expr::OrSetLit(items) => compile_collection(items, env, false),
+        Expr::SetComp { head, qualifiers } => compile_comprehension(head, qualifiers, env, true),
+        Expr::OrSetComp { head, qualifiers } => {
+            compile_comprehension(head, qualifiers, env, false)
+        }
+        Expr::Let { name, value, body } => {
+            let value_m = compile(value, env)?;
+            env.push(name.clone());
+            let body_m = compile(body, env);
+            env.pop();
+            Ok(M::pair(M::Id, value_m).then(body_m?))
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Ok(M::cond(
+            compile(cond, env)?,
+            compile(then_branch, env)?,
+            compile(else_branch, env)?,
+        )),
+        Expr::BinOp(op, a, b) => {
+            let ca = compile(a, env)?;
+            let cb = compile(b, env)?;
+            Ok(match op {
+                BinOp::Add => M::pair(ca, cb).then(M::Prim(Prim::Plus)),
+                BinOp::Sub => M::pair(ca, cb).then(M::Prim(Prim::Minus)),
+                BinOp::Mul => M::pair(ca, cb).then(M::Prim(Prim::Times)),
+                BinOp::Leq => M::pair(ca, cb).then(M::Prim(Prim::Leq)),
+                BinOp::Lt => M::pair(ca, cb).then(M::Prim(Prim::Lt)),
+                BinOp::Geq => M::pair(cb, ca).then(M::Prim(Prim::Leq)),
+                BinOp::Gt => M::pair(cb, ca).then(M::Prim(Prim::Lt)),
+                BinOp::And => M::pair(ca, cb).then(M::Prim(Prim::And)),
+                BinOp::Or => M::pair(ca, cb).then(M::Prim(Prim::Or)),
+                BinOp::Eq => M::pair(ca, cb).then(M::Eq),
+                BinOp::Neq => M::pair(ca, cb).then(M::Eq).then(M::Prim(Prim::Not)),
+            })
+        }
+        Expr::Not(a) => Ok(compile(a, env)?.then(M::Prim(Prim::Not))),
+        Expr::Call(builtin, args) => compile_call(*builtin, args, env),
+    }
+}
+
+fn compile_collection(
+    items: &[Expr],
+    env: &mut Vec<String>,
+    is_set: bool,
+) -> Result<M, CompileError> {
+    let (empty, single, union): (M, M, M) = if is_set {
+        (M::KEmptySet.after_bang(), M::Eta, M::Union)
+    } else {
+        (M::KEmptyOrSet.after_bang(), M::OrEta, M::OrUnion)
+    };
+    let mut acc: Option<M> = None;
+    for item in items {
+        let elem = compile(item, env)?.then(single.clone());
+        acc = Some(match acc {
+            None => elem,
+            Some(prev) => M::pair(prev, elem).then(union.clone()),
+        });
+    }
+    Ok(acc.unwrap_or(empty))
+}
+
+fn compile_comprehension(
+    head: &Expr,
+    qualifiers: &[Qualifier],
+    env: &mut Vec<String>,
+    is_set: bool,
+) -> Result<M, CompileError> {
+    // `cur` maps the outer environment tuple to the collection of extended
+    // environment tuples accumulated so far.
+    let (single, flatten, rho): (M, M, M) = if is_set {
+        (M::Eta, M::Mu, M::Rho2)
+    } else {
+        (M::OrEta, M::OrMu, M::OrRho2)
+    };
+    let map_op = |f: M| if is_set { M::map(f) } else { M::ormap(f) };
+    let select_op = |p: M| {
+        if is_set {
+            derived::select(p)
+        } else {
+            derived::or_select(p)
+        }
+    };
+    let mut cur = single.clone();
+    let mut added = 0usize;
+    let mut result: Result<M, CompileError> = Ok(M::Id);
+    for q in qualifiers {
+        match q {
+            Qualifier::Generator(name, source) => {
+                let source_m = match compile(source, env) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                };
+                // extend every environment tuple e with each element of
+                // source(e): map(ρ ∘ ⟨id, source⟩) then flatten
+                cur = cur
+                    .then(map_op(M::pair(M::Id, source_m).then(rho.clone())))
+                    .then(flatten.clone());
+                env.push(name.clone());
+                added += 1;
+            }
+            Qualifier::Guard(g) => {
+                let guard_m = match compile(g, env) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                };
+                cur = cur.then(select_op(guard_m));
+            }
+        }
+    }
+    if result.is_ok() {
+        result = compile(head, env).map(|head_m| cur.then(map_op(head_m)));
+    }
+    for _ in 0..added {
+        env.pop();
+    }
+    result
+}
+
+fn compile_call(builtin: Builtin, args: &[Expr], env: &mut Vec<String>) -> Result<M, CompileError> {
+    if args.len() != builtin.arity() {
+        return err(format!(
+            "{} expects {} argument(s), got {}",
+            builtin.name(),
+            builtin.arity(),
+            args.len()
+        ));
+    }
+    let unary = |m: M, args: &[Expr], env: &mut Vec<String>| -> Result<M, CompileError> {
+        Ok(compile(&args[0], env)?.then(m))
+    };
+    let binary = |m: M, args: &[Expr], env: &mut Vec<String>| -> Result<M, CompileError> {
+        let a = compile(&args[0], env)?;
+        let b = compile(&args[1], env)?;
+        Ok(M::pair(a, b).then(m))
+    };
+    match builtin {
+        Builtin::Normalize => unary(M::Normalize, args, env),
+        Builtin::Alpha => unary(M::Alpha, args, env),
+        Builtin::Flatten => unary(M::Mu, args, env),
+        Builtin::OrFlatten => unary(M::OrMu, args, env),
+        Builtin::Powerset => unary(M::Powerset, args, env),
+        Builtin::ToSet => unary(M::OrToSet, args, env),
+        Builtin::ToOrSet => unary(M::SetToOr, args, env),
+        Builtin::IsEmpty => unary(derived::is_empty(), args, env),
+        Builtin::OrIsEmpty => unary(derived::or_is_empty(), args, env),
+        Builtin::Fst => unary(M::Proj1, args, env),
+        Builtin::Snd => unary(M::Proj2, args, env),
+        Builtin::Union => binary(M::Union, args, env),
+        Builtin::OrUnion => binary(M::OrUnion, args, env),
+        Builtin::Member => binary(derived::member(), args, env),
+        Builtin::OrMember => binary(derived::or_member(), args, env),
+        Builtin::Subset => binary(derived::subset(), args, env),
+        Builtin::Intersect => binary(derived::intersect(), args, env),
+        Builtin::Difference => binary(derived::difference(), args, env),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use or_nra::eval::eval;
+    use or_object::Value;
+
+    fn run_closed(src: &str) -> Value {
+        let expr = parse(src).unwrap();
+        let m = compile_closed(&expr).unwrap();
+        eval(&m, &Value::Unit).unwrap()
+    }
+
+    fn run_query(src: &str, param: &str, input: &Value) -> Value {
+        let expr = parse(src).unwrap();
+        let m = compile_query(&expr, param).unwrap();
+        eval(&m, input).unwrap()
+    }
+
+    #[test]
+    fn closed_expressions_compile_and_evaluate() {
+        assert_eq!(run_closed("1 + 2 * 3"), Value::Int(7));
+        assert_eq!(run_closed("{1, 2, 2}"), Value::int_set([1, 2]));
+        assert_eq!(run_closed("<|3, 1|>"), Value::int_orset([1, 3]));
+        assert_eq!(
+            run_closed("let s = {1,2} in if member(1, s) then 1 else 0"),
+            Value::Int(1)
+        );
+        assert_eq!(run_closed("(1 != 2, 3 > 2)"), Value::pair(Value::Bool(true), Value::Bool(true)));
+        assert_eq!(run_closed("{}"), Value::empty_set());
+    }
+
+    #[test]
+    fn comprehensions_compile_to_monad_operations() {
+        assert_eq!(
+            run_closed("{ x + 1 | x <- {1,2,3}, x <= 2 }"),
+            Value::int_set([2, 3])
+        );
+        assert_eq!(
+            run_closed("<| (x, y) | x <- <|1,2|>, y <- <|5,6|>, x + y <= 7 |>"),
+            Value::orset([
+                Value::pair(Value::Int(1), Value::Int(5)),
+                Value::pair(Value::Int(1), Value::Int(6)),
+                Value::pair(Value::Int(2), Value::Int(5)),
+            ])
+        );
+    }
+
+    #[test]
+    fn the_papers_cheap_design_query_compiles_and_runs() {
+        // the database is an or-set of or-sets of costs: one inner or-set per
+        // partially designed component
+        let db = Value::orset([Value::int_orset([120, 80]), Value::int_orset([200, 150])]);
+        let out = run_query("<| x | x <- normalize(db), x <= 100 |>", "db", &db);
+        assert_eq!(out, Value::int_orset([80]));
+    }
+
+    #[test]
+    fn queries_over_nested_databases() {
+        // possible offices per person; who possibly sits in 212?
+        let db = Value::set([
+            Value::pair(Value::str("Joe"), Value::int_orset([515])),
+            Value::pair(Value::str("Mary"), Value::int_orset([515, 212])),
+        ]);
+        let out = run_query(
+            "{ fst(r) | r <- db, ormember(212, snd(r)) }",
+            "db",
+            &db,
+        );
+        assert_eq!(out, Value::set([Value::str("Mary")]));
+    }
+
+    #[test]
+    fn alpha_and_powerset_builtins() {
+        assert_eq!(
+            run_closed("alpha({<|1,2|>, <|3|>})"),
+            Value::orset([Value::int_set([1, 3]), Value::int_set([2, 3])])
+        );
+        assert_eq!(
+            run_closed("powerset({1,2})").elements().unwrap().len(),
+            4
+        );
+    }
+
+    #[test]
+    fn unbound_variables_are_compile_errors() {
+        let expr = parse("x + 1").unwrap();
+        assert!(compile_closed(&expr).is_err());
+    }
+
+    #[test]
+    fn let_scoping_restores_environment() {
+        // the inner let must not leak its binding into the second operand
+        assert_eq!(
+            run_closed("(let x = 1 in x + 1) + (let y = 10 in y)"),
+            Value::Int(12)
+        );
+    }
+
+    #[test]
+    fn nested_comprehensions_with_shadowing() {
+        assert_eq!(
+            run_closed("{ { x * y | y <- {1,2} } | x <- {10} }"),
+            Value::set([Value::int_set([10, 20])])
+        );
+    }
+}

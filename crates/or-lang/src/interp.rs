@@ -1,0 +1,379 @@
+//! A direct, environment-based interpreter for OrQL.
+//!
+//! The interpreter implements the same semantics as compilation to or-NRA
+//! followed by evaluation ([`crate::compile`]); having both lets the tests
+//! cross-check the elaboration, and gives the REPL a path that avoids
+//! building intermediate morphisms for every keystroke.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use or_nra::normalize::normalize_value;
+use or_object::alpha::alpha_set;
+use or_object::Value;
+
+use crate::ast::{BinOp, Builtin, Expr, Qualifier};
+
+/// A runtime error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl InterpError {
+    fn new(message: impl Into<String>) -> InterpError {
+        InterpError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A runtime environment mapping variable names to values.
+pub type Env = HashMap<String, Value>;
+
+/// Evaluate an expression in an environment.
+pub fn interpret(expr: &Expr, env: &Env) -> Result<Value, InterpError> {
+    match expr {
+        Expr::Unit => Ok(Value::Unit),
+        Expr::Int(i) => Ok(Value::Int(*i)),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Str(s) => Ok(Value::str(s.clone())),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| InterpError::new(format!("unbound variable {name}"))),
+        Expr::Pair(a, b) => Ok(Value::pair(interpret(a, env)?, interpret(b, env)?)),
+        Expr::SetLit(items) => Ok(Value::set(
+            items
+                .iter()
+                .map(|e| interpret(e, env))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Expr::OrSetLit(items) => Ok(Value::orset(
+            items
+                .iter()
+                .map(|e| interpret(e, env))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Expr::SetComp { head, qualifiers } => {
+            let results = run_comprehension(head, qualifiers, env, true)?;
+            Ok(Value::set(results))
+        }
+        Expr::OrSetComp { head, qualifiers } => {
+            let results = run_comprehension(head, qualifiers, env, false)?;
+            Ok(Value::orset(results))
+        }
+        Expr::Let { name, value, body } => {
+            let v = interpret(value, env)?;
+            let mut inner = env.clone();
+            inner.insert(name.clone(), v);
+            interpret(body, &inner)
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => match interpret(cond, env)? {
+            Value::Bool(true) => interpret(then_branch, env),
+            Value::Bool(false) => interpret(else_branch, env),
+            other => Err(InterpError::new(format!(
+                "condition did not evaluate to a boolean: {other}"
+            ))),
+        },
+        Expr::BinOp(op, a, b) => {
+            let va = interpret(a, env)?;
+            let vb = interpret(b, env)?;
+            binop(*op, &va, &vb)
+        }
+        Expr::Not(a) => match interpret(a, env)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(InterpError::new(format!("! expects a boolean, got {other}"))),
+        },
+        Expr::Call(builtin, args) => {
+            let values: Vec<Value> = args
+                .iter()
+                .map(|e| interpret(e, env))
+                .collect::<Result<Vec<_>, _>>()?;
+            call(*builtin, &values)
+        }
+    }
+}
+
+fn run_comprehension(
+    head: &Expr,
+    qualifiers: &[Qualifier],
+    env: &Env,
+    is_set: bool,
+) -> Result<Vec<Value>, InterpError> {
+    // `envs` is the list of environments surviving the qualifiers so far.
+    let mut envs = vec![env.clone()];
+    for q in qualifiers {
+        match q {
+            Qualifier::Generator(name, source) => {
+                let mut next = Vec::new();
+                for e in &envs {
+                    let src = interpret(source, e)?;
+                    let items = match (&src, is_set) {
+                        (Value::Set(items), true) => items.clone(),
+                        (Value::OrSet(items), false) => items.clone(),
+                        (other, true) => {
+                            return Err(InterpError::new(format!(
+                                "set comprehension generator must range over a set, got {other}"
+                            )))
+                        }
+                        (other, false) => {
+                            return Err(InterpError::new(format!(
+                                "or-set comprehension generator must range over an or-set, \
+                                 got {other}"
+                            )))
+                        }
+                    };
+                    for item in items {
+                        let mut extended = e.clone();
+                        extended.insert(name.clone(), item);
+                        next.push(extended);
+                    }
+                }
+                envs = next;
+            }
+            Qualifier::Guard(g) => {
+                let mut next = Vec::new();
+                for e in envs {
+                    match interpret(g, &e)? {
+                        Value::Bool(true) => next.push(e),
+                        Value::Bool(false) => {}
+                        other => {
+                            return Err(InterpError::new(format!(
+                                "comprehension guard must be boolean, got {other}"
+                            )))
+                        }
+                    }
+                }
+                envs = next;
+            }
+        }
+    }
+    envs.iter().map(|e| interpret(head, e)).collect()
+}
+
+fn binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, InterpError> {
+    let ints = |a: &Value, b: &Value| -> Result<(i64, i64), InterpError> {
+        match (a.as_int(), b.as_int()) {
+            (Some(x), Some(y)) => Ok((x, y)),
+            _ => Err(InterpError::new(format!(
+                "{} expects integers, got {a} and {b}",
+                op.symbol()
+            ))),
+        }
+    };
+    let bools = |a: &Value, b: &Value| -> Result<(bool, bool), InterpError> {
+        match (a.as_bool(), b.as_bool()) {
+            (Some(x), Some(y)) => Ok((x, y)),
+            _ => Err(InterpError::new(format!(
+                "{} expects booleans, got {a} and {b}",
+                op.symbol()
+            ))),
+        }
+    };
+    Ok(match op {
+        BinOp::Add => Value::Int(ints(a, b)?.0.wrapping_add(ints(a, b)?.1)),
+        BinOp::Sub => Value::Int(ints(a, b)?.0.wrapping_sub(ints(a, b)?.1)),
+        BinOp::Mul => Value::Int(ints(a, b)?.0.wrapping_mul(ints(a, b)?.1)),
+        BinOp::Leq => Value::Bool(ints(a, b)?.0 <= ints(a, b)?.1),
+        BinOp::Lt => Value::Bool(ints(a, b)?.0 < ints(a, b)?.1),
+        BinOp::Geq => Value::Bool(ints(a, b)?.0 >= ints(a, b)?.1),
+        BinOp::Gt => Value::Bool(ints(a, b)?.0 > ints(a, b)?.1),
+        BinOp::And => Value::Bool(bools(a, b)?.0 && bools(a, b)?.1),
+        BinOp::Or => Value::Bool(bools(a, b)?.0 || bools(a, b)?.1),
+        BinOp::Eq => Value::Bool(a == b),
+        BinOp::Neq => Value::Bool(a != b),
+    })
+}
+
+fn call(builtin: Builtin, args: &[Value]) -> Result<Value, InterpError> {
+    let set_items = |v: &Value, what: &str| -> Result<Vec<Value>, InterpError> {
+        match v {
+            Value::Set(items) => Ok(items.clone()),
+            other => Err(InterpError::new(format!("{what} expects a set, got {other}"))),
+        }
+    };
+    let orset_items = |v: &Value, what: &str| -> Result<Vec<Value>, InterpError> {
+        match v {
+            Value::OrSet(items) => Ok(items.clone()),
+            other => Err(InterpError::new(format!(
+                "{what} expects an or-set, got {other}"
+            ))),
+        }
+    };
+    match builtin {
+        Builtin::Normalize => Ok(normalize_value(&args[0])),
+        Builtin::Alpha => alpha_set(&args[0]).map_err(|e| InterpError::new(e.to_string())),
+        Builtin::Flatten => {
+            let mut out = Vec::new();
+            for item in set_items(&args[0], "flatten")? {
+                out.extend(set_items(&item, "flatten")?);
+            }
+            Ok(Value::set(out))
+        }
+        Builtin::OrFlatten => {
+            let mut out = Vec::new();
+            for item in orset_items(&args[0], "orflatten")? {
+                out.extend(orset_items(&item, "orflatten")?);
+            }
+            Ok(Value::orset(out))
+        }
+        Builtin::Union => {
+            let mut a = set_items(&args[0], "union")?;
+            a.extend(set_items(&args[1], "union")?);
+            Ok(Value::set(a))
+        }
+        Builtin::OrUnion => {
+            let mut a = orset_items(&args[0], "orunion")?;
+            a.extend(orset_items(&args[1], "orunion")?);
+            Ok(Value::orset(a))
+        }
+        Builtin::Member => Ok(Value::Bool(
+            set_items(&args[1], "member")?.contains(&args[0]),
+        )),
+        Builtin::OrMember => Ok(Value::Bool(
+            orset_items(&args[1], "ormember")?.contains(&args[0]),
+        )),
+        Builtin::Subset => {
+            let a = set_items(&args[0], "subset")?;
+            let b = set_items(&args[1], "subset")?;
+            Ok(Value::Bool(a.iter().all(|x| b.contains(x))))
+        }
+        Builtin::Intersect => {
+            let a = set_items(&args[0], "intersect")?;
+            let b = set_items(&args[1], "intersect")?;
+            Ok(Value::set(a.into_iter().filter(|x| b.contains(x))))
+        }
+        Builtin::Difference => {
+            let a = set_items(&args[0], "difference")?;
+            let b = set_items(&args[1], "difference")?;
+            Ok(Value::set(a.into_iter().filter(|x| !b.contains(x))))
+        }
+        Builtin::Powerset => {
+            let items = set_items(&args[0], "powerset")?;
+            if items.len() > 20 {
+                return Err(InterpError::new(format!(
+                    "powerset of a {}-element set is too large",
+                    items.len()
+                )));
+            }
+            let mut out = Vec::with_capacity(1 << items.len());
+            for mask in 0u32..(1u32 << items.len()) {
+                out.push(Value::set(
+                    items
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, v)| v.clone()),
+                ));
+            }
+            Ok(Value::set(out))
+        }
+        Builtin::ToSet => Ok(Value::set(orset_items(&args[0], "toset")?)),
+        Builtin::ToOrSet => Ok(Value::orset(set_items(&args[0], "toorset")?)),
+        Builtin::IsEmpty => Ok(Value::Bool(set_items(&args[0], "isempty")?.is_empty())),
+        Builtin::OrIsEmpty => Ok(Value::Bool(orset_items(&args[0], "orisempty")?.is_empty())),
+        Builtin::Fst => match args[0].as_pair() {
+            Some((a, _)) => Ok(a.clone()),
+            None => Err(InterpError::new(format!("fst expects a pair, got {}", args[0]))),
+        },
+        Builtin::Snd => match args[0].as_pair() {
+            Some((_, b)) => Ok(b.clone()),
+            None => Err(InterpError::new(format!("snd expects a pair, got {}", args[0]))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_query, compile_closed};
+    use crate::parser::parse;
+    use or_nra::eval::eval;
+
+    fn interp(src: &str, env: &Env) -> Value {
+        interpret(&parse(src).unwrap(), env).unwrap()
+    }
+
+    #[test]
+    fn basic_expressions() {
+        let env = Env::new();
+        assert_eq!(interp("1 + 2 * 3", &env), Value::Int(7));
+        assert_eq!(interp("{2, 1, 2}", &env), Value::int_set([1, 2]));
+        assert_eq!(interp("normalize(<| <|1,2|>, <|3|> |>)", &env), Value::int_orset([1, 2, 3]));
+        assert_eq!(
+            interp("{ x | x <- {1,2,3,4}, x > 2 }", &env),
+            Value::int_set([3, 4])
+        );
+    }
+
+    #[test]
+    fn interpreter_and_compiler_agree_on_closed_programs() {
+        let programs = [
+            "1 + 2 * 3 - 4",
+            "{ x + y | x <- {1,2}, y <- {10, 20}, x + y != 21 }",
+            "<| (x, member(x, {1,3})) | x <- <|1,2,3|> |>",
+            "let s = {1,2,3} in difference(s, {2})",
+            "if subset({1}, {1,2}) then intersect({1,2},{2,3}) else {}",
+            "alpha({<|1,2|>, <|3,4|>})",
+            "normalize({<|1,2|>, <|3|>})",
+            "union(powerset({1,2}), {{9}})",
+            "toset(<|5,6|>)",
+            "orisempty(<| |>)",
+            "(fst((1,2)), snd((1,2)))",
+            "!(1 == 2) && 3 >= 3",
+        ];
+        let env = Env::new();
+        for src in programs {
+            let expr = parse(src).unwrap();
+            let direct = interpret(&expr, &env).unwrap();
+            let compiled = compile_closed(&expr).unwrap();
+            let via_algebra = eval(&compiled, &Value::Unit).unwrap();
+            assert_eq!(direct, via_algebra, "disagreement on {src}");
+        }
+    }
+
+    #[test]
+    fn interpreter_and_compiler_agree_on_parameterized_queries() {
+        let db = Value::set([
+            Value::pair(Value::str("Joe"), Value::int_orset([515])),
+            Value::pair(Value::str("Mary"), Value::int_orset([515, 212])),
+        ]);
+        let queries = [
+            "{ fst(r) | r <- db, ormember(212, snd(r)) }",
+            "{ (fst(r), o) | r <- db, o <- toset(snd(r)) }",
+            "normalize(db)",
+        ];
+        for src in queries {
+            let expr = parse(src).unwrap();
+            let mut env = Env::new();
+            env.insert("db".to_string(), db.clone());
+            let direct = interpret(&expr, &env).unwrap();
+            let compiled = compile_query(&expr, "db").unwrap();
+            let via_algebra = eval(&compiled, &db).unwrap();
+            assert_eq!(direct, via_algebra, "disagreement on {src}");
+        }
+    }
+
+    #[test]
+    fn runtime_errors_are_reported() {
+        let env = Env::new();
+        assert!(interpret(&parse("x").unwrap(), &env).is_err());
+        assert!(interpret(&parse("1 + true").unwrap(), &env).is_err());
+        assert!(interpret(&parse("flatten({1,2})").unwrap(), &env).is_err());
+        assert!(interpret(&parse("if 3 then 1 else 2").unwrap(), &env).is_err());
+    }
+}

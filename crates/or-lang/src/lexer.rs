@@ -1,0 +1,396 @@
+//! The lexer for OrQL, the surface query language.
+//!
+//! OrQL plays the role of the paper's OR-SML host (Section 7): a small typed
+//! functional language with comprehensions over sets and or-sets that
+//! elaborates into or-NRA⁺.  Token syntax:
+//!
+//! * sets `{ … }`, or-sets `<| … |>`, pairs `( … , … )`;
+//! * comprehensions `{ e | x <- xs, p }` and `<| e | x <- xs, p |>`;
+//! * the usual literals, identifiers, keywords and operators.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// Keyword `let`.
+    Let,
+    /// Keyword `in`.
+    In,
+    /// Keyword `if`.
+    If,
+    /// Keyword `then`.
+    Then,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `true`.
+    True,
+    /// Keyword `false`.
+    False,
+    /// Keyword `unit` (the unit constant).
+    Unit,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `<|` — opening or-set bracket.
+    LOrSet,
+    /// `|>` — closing or-set bracket.
+    ROrSet,
+    /// `,`.
+    Comma,
+    /// `|` — comprehension separator.
+    Bar,
+    /// `<-` — comprehension generator arrow.
+    Arrow,
+    /// `=`.
+    Assign,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Neq,
+    /// `<=`.
+    Leq,
+    /// `>=`.
+    Geq,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Bang,
+    /// `;`.
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Let => write!(f, "let"),
+            Token::In => write!(f, "in"),
+            Token::If => write!(f, "if"),
+            Token::Then => write!(f, "then"),
+            Token::Else => write!(f, "else"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Unit => write!(f, "unit"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LOrSet => write!(f, "<|"),
+            Token::ROrSet => write!(f, "|>"),
+            Token::Comma => write!(f, ","),
+            Token::Bar => write!(f, "|"),
+            Token::Arrow => write!(f, "<-"),
+            Token::Assign => write!(f, "="),
+            Token::Eq => write!(f, "=="),
+            Token::Neq => write!(f, "!="),
+            Token::Leq => write!(f, "<="),
+            Token::Geq => write!(f, ">="),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+            Token::Semi => write!(f, ";"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '#' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Eq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        position: i,
+                        message: "expected '&&'".to_string(),
+                    });
+                }
+            }
+            '|' => match bytes.get(i + 1) {
+                Some(&b'|') => {
+                    tokens.push(Token::OrOr);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token::ROrSet);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Bar);
+                    i += 1;
+                }
+            },
+            '<' => match bytes.get(i + 1) {
+                Some(&b'|') => {
+                    tokens.push(Token::LOrSet);
+                    i += 2;
+                }
+                Some(&b'-') => {
+                    tokens.push(Token::Arrow);
+                    i += 2;
+                }
+                Some(&b'=') => {
+                    tokens.push(Token::Leq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Geq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        position: i,
+                        message: "unterminated string literal".to_string(),
+                    });
+                }
+                tokens.push(Token::Str(src[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    position: start,
+                    message: format!("integer literal {text} out of range"),
+                })?;
+                tokens.push(Token::Int(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                tokens.push(match word {
+                    "let" => Token::Let,
+                    "in" => Token::In,
+                    "if" => Token::If,
+                    "then" => Token::Then,
+                    "else" => Token::Else,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "unit" => Token::Unit,
+                    _ => Token::Ident(word.to_string()),
+                });
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_comprehension() {
+        let toks = tokenize("<| x | x <- normalize(db), cost(x) <= 100 |>").unwrap();
+        assert!(toks.contains(&Token::LOrSet));
+        assert!(toks.contains(&Token::ROrSet));
+        assert!(toks.contains(&Token::Arrow));
+        assert!(toks.contains(&Token::Leq));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn distinguishes_angle_like_tokens() {
+        assert_eq!(
+            tokenize("< <= <- <| |> |").unwrap(),
+            vec![
+                Token::Lt,
+                Token::Leq,
+                Token::Arrow,
+                Token::LOrSet,
+                Token::ROrSet,
+                Token::Bar,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals_keywords_and_comments() {
+        let toks = tokenize("let x = 42 in # comment\n \"hi\" == x").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Let,
+                Token::Ident("x".to_string()),
+                Token::Assign,
+                Token::Int(42),
+                Token::In,
+                Token::Str("hi".to_string()),
+                Token::Eq,
+                Token::Ident("x".to_string()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        let err = tokenize("1 $ 2").unwrap_err();
+        assert_eq!(err.position, 2);
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("a & b").is_err());
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = tokenize("1 + 2 * 3 - 4 >= 5 && !true || false != x").unwrap();
+        assert!(toks.contains(&Token::Plus));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Minus));
+        assert!(toks.contains(&Token::Geq));
+        assert!(toks.contains(&Token::AndAnd));
+        assert!(toks.contains(&Token::OrOr));
+        assert!(toks.contains(&Token::Bang));
+        assert!(toks.contains(&Token::Neq));
+    }
+}

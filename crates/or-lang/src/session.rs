@@ -1,0 +1,175 @@
+//! Stateful OrQL sessions: the engine behind the `orql` REPL.
+//!
+//! A [`Session`] holds named bindings (values with their types), evaluates
+//! statements, and reports both the value and the inferred type of every
+//! expression — like the OR-SML top level the paper describes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use or_object::{Type, Value};
+
+use crate::check::{infer_type, CheckError, TypeEnv};
+use crate::interp::{interpret, Env, InterpError};
+use crate::parser::{parse_statement, ParseError, Statement};
+
+/// The result of evaluating one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// The computed value.
+    pub value: Value,
+    /// Its inferred type.
+    pub ty: Type,
+    /// The name the value was bound to, if the statement was a binding.
+    pub bound: Option<String>,
+}
+
+/// Errors from session evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Type error.
+    Check(CheckError),
+    /// Runtime error.
+    Runtime(InterpError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Check(e) => write!(f, "{e}"),
+            SessionError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+
+impl From<CheckError> for SessionError {
+    fn from(e: CheckError) -> Self {
+        SessionError::Check(e)
+    }
+}
+
+impl From<InterpError> for SessionError {
+    fn from(e: InterpError) -> Self {
+        SessionError::Runtime(e)
+    }
+}
+
+/// A stateful OrQL session.
+#[derive(Debug, Default)]
+pub struct Session {
+    values: Env,
+    types: HashMap<String, Type>,
+}
+
+impl Session {
+    /// Create an empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Bind a pre-built value under a name (its type is inferred from the
+    /// value; values containing nulls cannot be bound this way).
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) {
+        let name = name.into();
+        if let Ok(ty) = value.infer_type() {
+            self.types.insert(name.clone(), ty);
+        }
+        self.values.insert(name, value);
+    }
+
+    /// The current bindings, sorted by name.
+    pub fn bindings(&self) -> Vec<(String, Type)> {
+        let mut out: Vec<(String, Type)> = self.types.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort();
+        out
+    }
+
+    fn type_env(&self) -> TypeEnv {
+        let mut env: TypeEnv = self.types.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        env.sort_by(|a, b| a.0.cmp(&b.0));
+        env
+    }
+
+    /// Parse, type-check and evaluate one statement, updating the session
+    /// state if it is a binding.
+    pub fn run(&mut self, source: &str) -> Result<SessionResult, SessionError> {
+        let statement = parse_statement(source)?;
+        match statement {
+            Statement::Expr(expr) => {
+                let ty = infer_type(&expr, &self.type_env())?;
+                let value = interpret(&expr, &self.values)?;
+                Ok(SessionResult {
+                    value,
+                    ty,
+                    bound: None,
+                })
+            }
+            Statement::Bind(name, expr) => {
+                let ty = infer_type(&expr, &self.type_env())?;
+                let value = interpret(&expr, &self.values)?;
+                self.types.insert(name.clone(), ty.clone());
+                self.values.insert(name.clone(), value.clone());
+                Ok(SessionResult {
+                    value,
+                    ty,
+                    bound: Some(name),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bindings_persist_across_statements() {
+        let mut s = Session::new();
+        let r = s.run("let db = { <|1,2|>, <|3|> }").unwrap();
+        assert_eq!(r.bound.as_deref(), Some("db"));
+        assert_eq!(r.ty, Type::set(Type::orset(Type::Int)));
+        let r = s.run("normalize(db)").unwrap();
+        assert_eq!(r.ty, Type::orset(Type::set(Type::Int)));
+        assert_eq!(
+            r.value,
+            Value::orset([Value::int_set([1, 3]), Value::int_set([2, 3])])
+        );
+        assert_eq!(s.bindings().len(), 1);
+    }
+
+    #[test]
+    fn external_values_can_be_bound() {
+        let mut s = Session::new();
+        s.bind("x", Value::Int(41));
+        assert_eq!(s.run("x + 1").unwrap().value, Value::Int(42));
+    }
+
+    #[test]
+    fn errors_are_classified() {
+        let mut s = Session::new();
+        assert!(matches!(s.run("1 +"), Err(SessionError::Parse(_))));
+        assert!(matches!(s.run("1 + true"), Err(SessionError::Check(_))));
+        assert!(matches!(s.run("nosuchvar"), Err(SessionError::Check(_))));
+    }
+
+    #[test]
+    fn session_reports_types_of_query_results() {
+        let mut s = Session::new();
+        s.run("let design = <| 120, 80 |>").unwrap();
+        let r = s.run("<| x | x <- normalize(design), x <= 100 |>").unwrap();
+        assert_eq!(r.ty, Type::orset(Type::Int));
+        assert_eq!(r.value, Value::int_orset([80]));
+    }
+}

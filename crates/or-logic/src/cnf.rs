@@ -1,0 +1,375 @@
+//! Propositional formulae in conjunctive normal form and random generators.
+//!
+//! Section 6 of the paper proves that existential queries over normal forms
+//! cannot be evaluated in time polynomial in the size of the *unnormalized*
+//! object (unless P = NP) by encoding CNF satisfiability.  This module is the
+//! supporting substrate: CNF formulae, assignments, evaluation, and the
+//! uniform random k-CNF generator used by experiments E7 and E12.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A propositional variable, identified by a 0-based index.
+pub type Var = u32;
+
+/// A literal: a variable together with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The variable.
+    pub var: Var,
+    /// `true` for the positive literal `u`, `false` for the negation `¬u`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal of a variable.
+    pub fn pos(var: Var) -> Literal {
+        Literal { var, positive: true }
+    }
+
+    /// Negative literal of a variable.
+    pub fn neg(var: Var) -> Literal {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The literal with opposite polarity.
+    pub fn negated(self) -> Literal {
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluate under an assignment (`None` entries are unassigned and make
+    /// the literal undetermined).
+    pub fn eval(self, assignment: &[Option<bool>]) -> Option<bool> {
+        assignment
+            .get(self.var as usize)
+            .copied()
+            .flatten()
+            .map(|v| v == self.positive)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "~x{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    /// The literals of the clause.
+    pub literals: Vec<Literal>,
+}
+
+impl Clause {
+    /// Build a clause from literals (duplicates removed, order normalized).
+    pub fn new(literals: impl IntoIterator<Item = Literal>) -> Clause {
+        let mut lits: Vec<Literal> = literals.into_iter().collect();
+        lits.sort();
+        lits.dedup();
+        Clause { literals: lits }
+    }
+
+    /// Is the clause a tautology (contains a literal and its negation)?
+    pub fn is_tautology(&self) -> bool {
+        self.literals
+            .iter()
+            .any(|l| self.literals.contains(&l.negated()))
+    }
+
+    /// Evaluate under a (total) assignment.
+    pub fn eval(&self, assignment: &[Option<bool>]) -> Option<bool> {
+        let mut undetermined = false;
+        for lit in &self.literals {
+            match lit.eval(assignment) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => undetermined = true,
+            }
+        }
+        if undetermined {
+            None
+        } else {
+            Some(false)
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, lit) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " \\/ ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over variables `0..num_vars`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Number of variables (variables are `0..num_vars`).
+    pub num_vars: u32,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Build a formula from clauses, computing `num_vars` from the maximum
+    /// variable mentioned.
+    pub fn new(clauses: impl IntoIterator<Item = Clause>) -> Cnf {
+        let clauses: Vec<Clause> = clauses.into_iter().collect();
+        let num_vars = clauses
+            .iter()
+            .flat_map(|c| c.literals.iter())
+            .map(|l| l.var + 1)
+            .max()
+            .unwrap_or(0);
+        Cnf { num_vars, clauses }
+    }
+
+    /// Evaluate under an assignment; `None` when the assignment leaves the
+    /// formula undetermined.
+    pub fn eval(&self, assignment: &[Option<bool>]) -> Option<bool> {
+        let mut undetermined = false;
+        for clause in &self.clauses {
+            match clause.eval(assignment) {
+                Some(false) => return Some(false),
+                Some(true) => {}
+                None => undetermined = true,
+            }
+        }
+        if undetermined {
+            None
+        } else {
+            Some(true)
+        }
+    }
+
+    /// Is the formula satisfied by a total assignment given as booleans?
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        let wrapped: Vec<Option<bool>> = assignment.iter().copied().map(Some).collect();
+        self.eval(&wrapped) == Some(true)
+    }
+
+    /// Brute-force satisfiability by enumerating all assignments; usable only
+    /// for small `num_vars`, as an oracle in tests.
+    pub fn brute_force_satisfiable(&self) -> bool {
+        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+        let n = self.num_vars;
+        (0u64..(1 << n)).any(|mask| {
+            let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            self.satisfied_by(&assignment)
+        })
+    }
+
+    /// Total number of literal occurrences.
+    pub fn literal_count(&self) -> usize {
+        self.clauses.iter().map(|c| c.literals.len()).sum()
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " /\\ ")?;
+            }
+            write!(f, "{clause}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic random k-CNF generator.
+#[derive(Debug)]
+pub struct CnfGenerator {
+    rng: StdRng,
+}
+
+impl CnfGenerator {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        CnfGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform random k-CNF formula with `num_vars` variables and
+    /// `num_clauses` clauses; each clause has `k` distinct variables with
+    /// random polarities.
+    pub fn random_kcnf(&mut self, num_vars: u32, num_clauses: usize, k: usize) -> Cnf {
+        assert!(k as u32 <= num_vars, "clause width exceeds variable count");
+        let mut clauses = Vec::with_capacity(num_clauses);
+        for _ in 0..num_clauses {
+            let mut vars: Vec<Var> = Vec::with_capacity(k);
+            while vars.len() < k {
+                let v = self.rng.gen_range(0..num_vars);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            clauses.push(Clause::new(vars.into_iter().map(|v| {
+                if self.rng.gen() {
+                    Literal::pos(v)
+                } else {
+                    Literal::neg(v)
+                }
+            })));
+        }
+        Cnf {
+            num_vars,
+            clauses,
+        }
+    }
+
+    /// A formula that is satisfiable by construction: plant a hidden
+    /// assignment and make sure every clause contains at least one literal it
+    /// satisfies.
+    pub fn planted_satisfiable(&mut self, num_vars: u32, num_clauses: usize, k: usize) -> Cnf {
+        let hidden: Vec<bool> = (0..num_vars).map(|_| self.rng.gen()).collect();
+        let mut cnf = self.random_kcnf(num_vars, num_clauses, k);
+        for clause in &mut cnf.clauses {
+            if clause.eval(&hidden.iter().copied().map(Some).collect::<Vec<_>>()) != Some(true) {
+                // flip one literal to agree with the hidden assignment
+                let lit = clause.literals[self.rng.gen_range(0..clause.literals.len())];
+                let fixed = Literal {
+                    var: lit.var,
+                    positive: hidden[lit.var as usize],
+                };
+                let mut lits = clause.literals.clone();
+                lits.retain(|l| l.var != lit.var);
+                lits.push(fixed);
+                *clause = Clause::new(lits);
+            }
+        }
+        cnf
+    }
+
+    /// An unsatisfiable formula: all `2^k` polarity combinations over the
+    /// same `k` variables (every assignment falsifies exactly one clause),
+    /// padded with random clauses up to `num_clauses`.
+    pub fn unsatisfiable(&mut self, num_vars: u32, num_clauses: usize, k: usize) -> Cnf {
+        assert!(k <= 16, "unsatisfiable core width limited to 16");
+        let core_vars: Vec<Var> = (0..k as u32).collect();
+        let mut clauses = Vec::new();
+        for mask in 0u32..(1 << k) {
+            clauses.push(Clause::new(core_vars.iter().enumerate().map(|(i, &v)| {
+                Literal {
+                    var: v,
+                    positive: mask & (1 << i) != 0,
+                }
+            })));
+        }
+        let mut cnf = self.random_kcnf(num_vars.max(k as u32), num_clauses.saturating_sub(clauses.len()), k);
+        clauses.append(&mut cnf.clauses);
+        Cnf {
+            num_vars: num_vars.max(k as u32),
+            clauses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_clause_evaluation() {
+        let assignment = vec![Some(true), Some(false), None];
+        assert_eq!(Literal::pos(0).eval(&assignment), Some(true));
+        assert_eq!(Literal::neg(0).eval(&assignment), Some(false));
+        assert_eq!(Literal::pos(2).eval(&assignment), None);
+        let clause = Clause::new([Literal::neg(0), Literal::pos(1)]);
+        assert_eq!(clause.eval(&assignment), Some(false));
+        let clause = Clause::new([Literal::neg(0), Literal::pos(2)]);
+        assert_eq!(clause.eval(&assignment), None);
+    }
+
+    #[test]
+    fn cnf_evaluation_and_satisfaction() {
+        // (x0 ∨ ¬x1) ∧ (¬x0 ∨ x1)  — satisfied iff x0 == x1
+        let cnf = Cnf::new([
+            Clause::new([Literal::pos(0), Literal::neg(1)]),
+            Clause::new([Literal::neg(0), Literal::pos(1)]),
+        ]);
+        assert!(cnf.satisfied_by(&[true, true]));
+        assert!(cnf.satisfied_by(&[false, false]));
+        assert!(!cnf.satisfied_by(&[true, false]));
+        assert!(cnf.brute_force_satisfiable());
+    }
+
+    #[test]
+    fn empty_formula_is_true_and_empty_clause_is_false() {
+        let empty = Cnf::new([]);
+        assert!(empty.satisfied_by(&[]));
+        let falsum = Cnf::new([Clause::new([])]);
+        assert!(!falsum.brute_force_satisfiable());
+    }
+
+    #[test]
+    fn tautology_detection() {
+        let clause = Clause::new([Literal::pos(0), Literal::neg(0)]);
+        assert!(clause.is_tautology());
+        let clause = Clause::new([Literal::pos(0), Literal::neg(1)]);
+        assert!(!clause.is_tautology());
+    }
+
+    #[test]
+    fn random_kcnf_has_requested_shape() {
+        let mut gen = CnfGenerator::new(11);
+        let cnf = gen.random_kcnf(10, 30, 3);
+        assert_eq!(cnf.num_vars, 10);
+        assert_eq!(cnf.clauses.len(), 30);
+        assert!(cnf.clauses.iter().all(|c| c.literals.len() == 3));
+    }
+
+    #[test]
+    fn planted_formulae_are_satisfiable() {
+        let mut gen = CnfGenerator::new(3);
+        for _ in 0..10 {
+            let cnf = gen.planted_satisfiable(8, 24, 3);
+            assert!(cnf.brute_force_satisfiable());
+        }
+    }
+
+    #[test]
+    fn constructed_unsatisfiable_formulae_are_unsatisfiable() {
+        let mut gen = CnfGenerator::new(4);
+        for _ in 0..5 {
+            let cnf = gen.unsatisfiable(6, 12, 3);
+            assert!(!cnf.brute_force_satisfiable());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CnfGenerator::new(7).random_kcnf(6, 10, 3);
+        let b = CnfGenerator::new(7).random_kcnf(6, 10, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_renders_formulae() {
+        let cnf = Cnf::new([Clause::new([Literal::pos(0), Literal::neg(1)])]);
+        assert_eq!(cnf.to_string(), "(x0 \\/ ~x1)");
+    }
+}

@@ -1,0 +1,276 @@
+//! A DPLL satisfiability solver.
+//!
+//! The solver is the *baseline* for experiments E7/E12: the paper's point is
+//! that deciding an existential query over a normal form amounts to SAT, so a
+//! dedicated SAT procedure (polynomial space, exponential worst-case time)
+//! is the natural comparator for the normalize-then-scan evaluation
+//! strategies.  The implementation is a classic recursive DPLL with unit
+//! propagation, pure-literal elimination and a most-occurrences branching
+//! heuristic — deliberately simple, deterministic and dependency-free.
+
+use std::collections::HashMap;
+
+use crate::cnf::{Cnf, Literal, Var};
+
+/// Statistics of one solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+}
+
+/// The result of solving a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Solution {
+    /// Satisfiable, with a witnessing assignment (indexed by variable).
+    Satisfiable(Vec<bool>),
+    /// Unsatisfiable.
+    Unsatisfiable,
+}
+
+impl Solution {
+    /// Is the formula satisfiable?
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Solution::Satisfiable(_))
+    }
+}
+
+/// Solve a CNF formula with DPLL.
+pub fn solve(cnf: &Cnf) -> (Solution, SolverStats) {
+    let mut stats = SolverStats::default();
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars as usize];
+    let sat = dpll(cnf, &mut assignment, &mut stats);
+    if sat {
+        let witness: Vec<bool> = assignment.iter().map(|v| v.unwrap_or(false)).collect();
+        debug_assert!(cnf.satisfied_by(&witness));
+        (Solution::Satisfiable(witness), stats)
+    } else {
+        (Solution::Unsatisfiable, stats)
+    }
+}
+
+/// Convenience wrapper returning only the satisfiability verdict.
+pub fn is_satisfiable(cnf: &Cnf) -> bool {
+    solve(cnf).0.is_sat()
+}
+
+fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>, stats: &mut SolverStats) -> bool {
+    // Unit propagation and pure literal elimination to fixpoint.
+    let mut trail: Vec<Var> = Vec::new();
+    loop {
+        match propagate_once(cnf, assignment, stats) {
+            Propagation::Conflict => {
+                stats.conflicts += 1;
+                for v in trail {
+                    assignment[v as usize] = None;
+                }
+                return false;
+            }
+            Propagation::Assigned(v) => trail.push(v),
+            Propagation::Fixpoint => break,
+        }
+    }
+    match cnf.eval(assignment) {
+        Some(true) => return true,
+        Some(false) => {
+            stats.conflicts += 1;
+            for v in trail {
+                assignment[v as usize] = None;
+            }
+            return false;
+        }
+        None => {}
+    }
+    // Branch on the unassigned variable with the most occurrences in
+    // not-yet-satisfied clauses.
+    let var = match branching_variable(cnf, assignment) {
+        Some(v) => v,
+        None => {
+            // no unassigned variable left but formula undetermined cannot
+            // happen; treat defensively as conflict
+            for v in trail {
+                assignment[v as usize] = None;
+            }
+            return false;
+        }
+    };
+    for value in [true, false] {
+        stats.decisions += 1;
+        assignment[var as usize] = Some(value);
+        if dpll(cnf, assignment, stats) {
+            return true;
+        }
+        assignment[var as usize] = None;
+    }
+    for v in trail {
+        assignment[v as usize] = None;
+    }
+    false
+}
+
+enum Propagation {
+    Assigned(Var),
+    Conflict,
+    Fixpoint,
+}
+
+fn propagate_once(
+    cnf: &Cnf,
+    assignment: &mut [Option<bool>],
+    stats: &mut SolverStats,
+) -> Propagation {
+    // unit clauses
+    for clause in &cnf.clauses {
+        let mut unassigned: Option<Literal> = None;
+        let mut satisfied = false;
+        let mut unassigned_count = 0;
+        for lit in &clause.literals {
+            match lit.eval(assignment) {
+                Some(true) => {
+                    satisfied = true;
+                    break;
+                }
+                Some(false) => {}
+                None => {
+                    unassigned_count += 1;
+                    unassigned = Some(*lit);
+                }
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        match unassigned_count {
+            0 => return Propagation::Conflict,
+            1 => {
+                let lit = unassigned.expect("exactly one unassigned literal");
+                assignment[lit.var as usize] = Some(lit.positive);
+                stats.propagations += 1;
+                return Propagation::Assigned(lit.var);
+            }
+            _ => {}
+        }
+    }
+    // pure literals
+    let mut polarity: HashMap<Var, (bool, bool)> = HashMap::new();
+    for clause in &cnf.clauses {
+        if clause.eval(assignment) == Some(true) {
+            continue;
+        }
+        for lit in &clause.literals {
+            if assignment[lit.var as usize].is_none() {
+                let entry = polarity.entry(lit.var).or_insert((false, false));
+                if lit.positive {
+                    entry.0 = true;
+                } else {
+                    entry.1 = true;
+                }
+            }
+        }
+    }
+    for (var, (pos, neg)) in polarity {
+        if pos != neg {
+            assignment[var as usize] = Some(pos);
+            stats.propagations += 1;
+            return Propagation::Assigned(var);
+        }
+    }
+    Propagation::Fixpoint
+}
+
+fn branching_variable(cnf: &Cnf, assignment: &[Option<bool>]) -> Option<Var> {
+    let mut counts: HashMap<Var, usize> = HashMap::new();
+    for clause in &cnf.clauses {
+        if clause.eval(assignment) == Some(true) {
+            continue;
+        }
+        for lit in &clause.literals {
+            if assignment[lit.var as usize].is_none() {
+                *counts.entry(lit.var).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(var, count)| (count, std::cmp::Reverse(var)))
+        .map(|(var, _)| var)
+        .or_else(|| {
+            (0..cnf.num_vars).find(|&v| assignment[v as usize].is_none())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, CnfGenerator};
+
+    #[test]
+    fn trivial_formulae() {
+        assert!(is_satisfiable(&Cnf::new([])));
+        assert!(!is_satisfiable(&Cnf::new([Clause::new([])])));
+        assert!(is_satisfiable(&Cnf::new([Clause::new([Literal::pos(0)])])));
+    }
+
+    #[test]
+    fn simple_unsat_core() {
+        // x0 ∧ ¬x0
+        let cnf = Cnf::new([
+            Clause::new([Literal::pos(0)]),
+            Clause::new([Literal::neg(0)]),
+        ]);
+        assert!(!is_satisfiable(&cnf));
+    }
+
+    #[test]
+    fn xor_chain_is_satisfiable_with_witness() {
+        let cnf = Cnf::new([
+            Clause::new([Literal::pos(0), Literal::pos(1)]),
+            Clause::new([Literal::neg(0), Literal::neg(1)]),
+            Clause::new([Literal::pos(1), Literal::pos(2)]),
+            Clause::new([Literal::neg(1), Literal::neg(2)]),
+        ]);
+        let (solution, _) = solve(&cnf);
+        match solution {
+            Solution::Satisfiable(witness) => assert!(cnf.satisfied_by(&witness)),
+            Solution::Unsatisfiable => panic!("formula is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_formulae() {
+        let mut gen = CnfGenerator::new(21);
+        for round in 0..40 {
+            let num_vars = 4 + (round % 5) as u32;
+            let num_clauses = 3 + (round % 13);
+            let cnf = gen.random_kcnf(num_vars, num_clauses, 3.min(num_vars as usize));
+            assert_eq!(
+                is_satisfiable(&cnf),
+                cnf.brute_force_satisfiable(),
+                "disagreement on {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_and_constructed_families_are_classified_correctly() {
+        let mut gen = CnfGenerator::new(5);
+        for _ in 0..10 {
+            assert!(is_satisfiable(&gen.planted_satisfiable(12, 40, 3)));
+        }
+        for _ in 0..5 {
+            assert!(!is_satisfiable(&gen.unsatisfiable(10, 20, 3)));
+        }
+    }
+
+    #[test]
+    fn statistics_are_collected() {
+        let mut gen = CnfGenerator::new(9);
+        let cnf = gen.random_kcnf(12, 50, 3);
+        let (_, stats) = solve(&cnf);
+        assert!(stats.decisions + stats.propagations > 0);
+    }
+}

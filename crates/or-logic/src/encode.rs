@@ -1,0 +1,278 @@
+//! The Section 6 reduction: CNF satisfiability as an existential query over a
+//! normal form.
+//!
+//! A CNF formula is encoded as a complex object of type `{<int × bool>}`:
+//!
+//! * a positive literal `u` is the pair `(u, true)`, a negative literal `¬u`
+//!   is `(u, false)`;
+//! * a clause (disjunction) is the **or-set** of its literal encodings;
+//! * the conjunction of clauses is the ordinary **set** of its clause
+//!   encodings.
+//!
+//! Conceptually the object stands for a set of literal choices — one literal
+//! per clause.  Such a choice corresponds to a satisfying assignment exactly
+//! when it never picks both `(u, true)` and `(u, false)`, i.e. when the
+//! chosen set satisfies the functional dependency *variable → polarity*.
+//! Hence the paper's existential query
+//!
+//! ```text
+//! ∃(p)(normalize(x))        p = "the functional dependency #1 → #2 holds"
+//! ```
+//!
+//! is true iff the formula is satisfiable, which shows that existential
+//! queries over normal forms cannot be answered in time polynomial in the
+//! size of the *unnormalized* object unless P = NP.
+//!
+//! Three evaluation strategies are provided (compared in experiments E7 and
+//! E12): eager normalization, lazy normalization with early exit, and the
+//! DPLL baseline of [`crate::dpll`].
+
+use or_nra::derived::{cartesian_product, forall, negate};
+use or_nra::lazy::LazyNormalizer;
+use or_nra::morphism::Morphism as M;
+use or_nra::prelude::{eval, or_exists};
+use or_nra::EvalError;
+use or_object::{Type, Value};
+
+use crate::cnf::{Cnf, Literal};
+use crate::dpll;
+
+/// Encode a literal as `(variable, polarity)`.
+pub fn encode_literal(lit: Literal) -> Value {
+    Value::pair(Value::Int(lit.var as i64), Value::Bool(lit.positive))
+}
+
+/// Encode a CNF formula as an object of type `{<int × bool>}`.
+pub fn encode_cnf(cnf: &Cnf) -> Value {
+    Value::set(cnf.clauses.iter().map(|clause| {
+        Value::orset(clause.literals.iter().copied().map(encode_literal))
+    }))
+}
+
+/// The type of encoded formulae.
+pub fn encoding_type() -> Type {
+    Type::set(Type::orset(Type::prod(Type::Int, Type::Bool)))
+}
+
+/// The predicate `p : {int × bool} → bool` checking the functional dependency
+/// "variable determines polarity": whenever `(x, b)` and `(x, b')` are both
+/// in the relation, `b = b'`.  This is the paper's relational-algebra
+/// predicate, built from the derived operator library.
+pub fn fd_predicate() -> M {
+    // the element of the pairwise product is ((x, b), (y, b'))
+    let same_var = M::pair(M::Proj1.then(M::Proj1), M::Proj2.then(M::Proj1)).then(M::Eq);
+    let same_polarity = M::pair(M::Proj1.then(M::Proj2), M::Proj2.then(M::Proj2)).then(M::Eq);
+    let violation = M::pair(same_var, negate(same_polarity)).then(M::Prim(or_nra::Prim::And));
+    M::pair(M::Id, M::Id)
+        .then(cartesian_product())
+        .then(forall(negate(violation)))
+}
+
+/// The full or-NRA⁺ existential query `∃(p) ∘ normalize : {<int × bool>} → bool`.
+pub fn existential_sat_query() -> M {
+    M::Normalize.then(or_exists(fd_predicate()))
+}
+
+/// Decide satisfiability by evaluating the existential query with eager
+/// normalization (materializes the whole normal form — exponential).
+pub fn sat_by_eager_normalization(cnf: &Cnf) -> Result<bool, EvalError> {
+    if cnf.clauses.is_empty() {
+        // The empty conjunction encodes to the empty set, whose *typed*
+        // normal form at {<int × bool>} is <{}>; the empty choice satisfies
+        // the functional dependency vacuously, so the query is true.  (The
+        // untyped `normalize` primitive would leave the empty set unchanged —
+        // see the discussion in or_nra::normalize — so we answer the
+        // degenerate case directly.)
+        return Ok(true);
+    }
+    let encoded = encode_cnf(cnf);
+    let result = eval(&existential_sat_query(), &encoded)?;
+    Ok(result == Value::Bool(true))
+}
+
+/// The outcome of the lazy evaluation strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LazySatOutcome {
+    /// Whether the formula is satisfiable.
+    pub satisfiable: bool,
+    /// The witnessing choice of literals, if satisfiable.
+    pub witness: Option<Value>,
+    /// How many candidate denotations were inspected before stopping.
+    pub inspected: u128,
+    /// The total number of denotations the eager strategy would build.
+    pub total: u128,
+}
+
+/// Decide satisfiability by lazily enumerating the normal form and stopping
+/// at the first candidate satisfying the functional dependency (the
+/// stream-based evaluation suggested in the paper's conclusion).
+pub fn sat_by_lazy_normalization(cnf: &Cnf) -> Result<LazySatOutcome, EvalError> {
+    let encoded = encode_cnf(cnf);
+    let predicate = fd_predicate();
+    let mut lazy = LazyNormalizer::new(&encoded);
+    let total = lazy.total();
+    let (witness, inspected) = lazy.find_witness(|candidate| {
+        Ok(eval(&predicate, candidate)? == Value::Bool(true))
+    })?;
+    Ok(LazySatOutcome {
+        satisfiable: witness.is_some(),
+        witness,
+        inspected,
+        total,
+    })
+}
+
+/// Decide satisfiability with the DPLL baseline.
+pub fn sat_by_dpll(cnf: &Cnf) -> bool {
+    dpll::is_satisfiable(cnf)
+}
+
+/// Extract a variable assignment from a witnessing set of literal encodings
+/// (unmentioned variables default to `false`).
+pub fn assignment_from_witness(witness: &Value, num_vars: u32) -> Option<Vec<bool>> {
+    let items = match witness {
+        Value::Set(items) => items,
+        _ => return None,
+    };
+    let mut assignment = vec![false; num_vars as usize];
+    for item in items {
+        let (var, polarity) = item.as_pair()?;
+        let var = var.as_int()? as usize;
+        let polarity = polarity.as_bool()?;
+        if var < assignment.len() {
+            assignment[var] = polarity;
+        }
+    }
+    Some(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, CnfGenerator};
+
+    fn cnf_of(clauses: &[&[(u32, bool)]]) -> Cnf {
+        Cnf::new(clauses.iter().map(|clause| {
+            Clause::new(clause.iter().map(|&(v, pos)| Literal {
+                var: v,
+                positive: pos,
+            }))
+        }))
+    }
+
+    #[test]
+    fn encoding_has_the_right_type_and_shape() {
+        let cnf = cnf_of(&[&[(0, true), (1, false)], &[(1, true)]]);
+        let encoded = encode_cnf(&cnf);
+        assert!(encoded.has_type(&encoding_type()));
+        assert_eq!(encoded.elements().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fd_predicate_detects_conflicting_choices() {
+        let consistent = Value::set([
+            Value::pair(Value::Int(0), Value::Bool(true)),
+            Value::pair(Value::Int(1), Value::Bool(false)),
+        ]);
+        assert_eq!(eval(&fd_predicate(), &consistent).unwrap(), Value::Bool(true));
+        let conflicting = Value::set([
+            Value::pair(Value::Int(0), Value::Bool(true)),
+            Value::pair(Value::Int(0), Value::Bool(false)),
+        ]);
+        assert_eq!(
+            eval(&fd_predicate(), &conflicting).unwrap(),
+            Value::Bool(false)
+        );
+        // the empty choice is vacuously consistent
+        assert_eq!(
+            eval(&fd_predicate(), &Value::empty_set()).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn satisfiable_and_unsatisfiable_examples() {
+        // (x0 ∨ x1) ∧ (¬x0) — satisfiable with x1
+        let sat = cnf_of(&[&[(0, true), (1, true)], &[(0, false)]]);
+        assert!(sat_by_eager_normalization(&sat).unwrap());
+        assert!(sat_by_lazy_normalization(&sat).unwrap().satisfiable);
+        assert!(sat_by_dpll(&sat));
+
+        // x0 ∧ ¬x0 — unsatisfiable
+        let unsat = cnf_of(&[&[(0, true)], &[(0, false)]]);
+        assert!(!sat_by_eager_normalization(&unsat).unwrap());
+        assert!(!sat_by_lazy_normalization(&unsat).unwrap().satisfiable);
+        assert!(!sat_by_dpll(&unsat));
+    }
+
+    #[test]
+    fn empty_clause_makes_the_encoding_inconsistent() {
+        let falsum = cnf_of(&[&[]]);
+        let encoded = encode_cnf(&falsum);
+        assert!(encoded.contains_empty_orset());
+        assert!(!sat_by_eager_normalization(&falsum).unwrap());
+        assert!(!sat_by_lazy_normalization(&falsum).unwrap().satisfiable);
+    }
+
+    #[test]
+    fn empty_formula_is_trivially_satisfiable() {
+        let verum = Cnf::new([]);
+        assert!(sat_by_dpll(&verum));
+        assert!(sat_by_lazy_normalization(&verum).unwrap().satisfiable);
+        assert!(sat_by_eager_normalization(&verum).unwrap());
+    }
+
+    #[test]
+    fn all_strategies_agree_with_brute_force_on_random_formulae() {
+        let mut gen = CnfGenerator::new(42);
+        for round in 0..25 {
+            let num_vars = 3 + (round % 4) as u32;
+            let num_clauses = 2 + (round % 6);
+            let cnf = gen.random_kcnf(num_vars, num_clauses, 2 + (round % 2).min(num_vars as usize - 1));
+            let expected = cnf.brute_force_satisfiable();
+            assert_eq!(sat_by_dpll(&cnf), expected, "dpll on {cnf}");
+            assert_eq!(
+                sat_by_eager_normalization(&cnf).unwrap(),
+                expected,
+                "eager on {cnf}"
+            );
+            let lazy = sat_by_lazy_normalization(&cnf).unwrap();
+            assert_eq!(lazy.satisfiable, expected, "lazy on {cnf}");
+            if let Some(witness) = lazy.witness {
+                let assignment = assignment_from_witness(&witness, cnf.num_vars).unwrap();
+                assert!(cnf.satisfied_by(&assignment));
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_evaluation_stops_early_on_easy_satisfiable_formulae() {
+        // Keep the instance small: the lazy strategy's early exit is about
+        // *how many* candidates it inspects, not about instance size, and on
+        // adversarial orderings it can still need exponentially many
+        // inspections (that is exactly the NP-hardness content of Section 6).
+        let mut gen = CnfGenerator::new(8);
+        let cnf = gen.planted_satisfiable(6, 10, 3);
+        let outcome = sat_by_lazy_normalization(&cnf).unwrap();
+        assert!(outcome.satisfiable);
+        assert!(
+            outcome.inspected < outcome.total,
+            "early exit expected: inspected {} of {}",
+            outcome.inspected,
+            outcome.total
+        );
+    }
+
+    #[test]
+    fn witness_assignments_satisfy_the_formula() {
+        let cnf = cnf_of(&[
+            &[(0, true), (1, true)],
+            &[(0, false), (2, true)],
+            &[(1, false), (2, false)],
+        ]);
+        let outcome = sat_by_lazy_normalization(&cnf).unwrap();
+        assert!(outcome.satisfiable);
+        let assignment = assignment_from_witness(&outcome.witness.unwrap(), cnf.num_vars).unwrap();
+        assert!(cnf.satisfied_by(&assignment));
+    }
+}

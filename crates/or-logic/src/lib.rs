@@ -1,0 +1,37 @@
+//! # or-logic — Boolean satisfiability substrate for the Section 6 reduction
+//!
+//! The paper proves NP-hardness of existential queries over normal forms by
+//! encoding CNF satisfiability as the query "is there a possibility — in the
+//! normal form — that satisfies a functional dependency?".  This crate
+//! provides everything needed to run that reduction as an experiment:
+//!
+//! * [`cnf`] — CNF formulae, evaluation, and deterministic random generators
+//!   (uniform k-CNF, planted-satisfiable, constructed-unsatisfiable);
+//! * [`dpll`] — a classic DPLL solver used as the baseline;
+//! * [`encode`] — the encoding of CNF into objects of type `{<int × bool>}`,
+//!   the functional-dependency predicate expressed in or-NRA, and the three
+//!   evaluation strategies (eager normalization, lazy normalization with
+//!   early exit, DPLL).
+//!
+//! ```
+//! use or_logic::cnf::{Clause, Cnf, Literal};
+//! use or_logic::encode;
+//!
+//! // (x0 ∨ x1) ∧ ¬x0  — satisfiable
+//! let cnf = Cnf::new([
+//!     Clause::new([Literal::pos(0), Literal::pos(1)]),
+//!     Clause::new([Literal::neg(0)]),
+//! ]);
+//! assert!(encode::sat_by_dpll(&cnf));
+//! assert!(encode::sat_by_lazy_normalization(&cnf).unwrap().satisfiable);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cnf;
+pub mod dpll;
+pub mod encode;
+
+pub use cnf::{Clause, Cnf, CnfGenerator, Literal};
+pub use dpll::{is_satisfiable, solve, Solution};

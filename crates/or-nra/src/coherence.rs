@@ -1,0 +1,163 @@
+//! Executable coherence checking (Theorem 4.2).
+//!
+//! The Coherence Theorem states that the normal form of an object does not
+//! depend on the rewriting strategy used to reach it.  This module makes the
+//! theorem an executable property: [`check_coherence`] normalizes an object
+//! under a portfolio of strategies (plus the direct recursive implementation)
+//! and reports whether all runs agree.  Experiment E5 measures how much the
+//! strategies differ in *cost* while never differing in *result*.
+
+use or_object::{Type, Value};
+
+use crate::error::EvalError;
+use crate::normalize::{
+    normalize_value_typed, normalize_with_strategy, NormalizationTrace, RewriteStrategy,
+};
+
+/// The outcome of normalizing one object under one strategy.
+#[derive(Debug, Clone)]
+pub struct StrategyRun {
+    /// The strategy used.
+    pub strategy: RewriteStrategy,
+    /// The resulting normal form.
+    pub result: Value,
+    /// The rewriting trace (number of steps, order of redexes).
+    pub trace: NormalizationTrace,
+}
+
+/// The aggregated outcome of a coherence check.
+#[derive(Debug, Clone)]
+pub struct CoherenceReport {
+    /// The common normal form (when coherent).
+    pub normal_form: Value,
+    /// Individual runs.
+    pub runs: Vec<StrategyRun>,
+    /// Whether all strategies (and the direct implementation) agreed.
+    pub coherent: bool,
+}
+
+impl CoherenceReport {
+    /// The minimum and maximum number of rewrite steps across strategies.
+    pub fn step_range(&self) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0;
+        for run in &self.runs {
+            lo = lo.min(run.trace.steps.len());
+            hi = hi.max(run.trace.steps.len());
+        }
+        if self.runs.is_empty() {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+/// Normalize `v : ty` under every strategy in `strategies`, compare the
+/// results with each other and with the direct recursive normalization, and
+/// return the full report.
+pub fn check_coherence(
+    v: &Value,
+    ty: &Type,
+    strategies: &[RewriteStrategy],
+) -> Result<CoherenceReport, EvalError> {
+    let reference = normalize_value_typed(v, ty);
+    let mut runs = Vec::with_capacity(strategies.len());
+    let mut coherent = true;
+    for &strategy in strategies {
+        let (result, trace) = normalize_with_strategy(v, ty, strategy)?;
+        if result != reference {
+            coherent = false;
+        }
+        runs.push(StrategyRun {
+            strategy,
+            result,
+            trace,
+        });
+    }
+    Ok(CoherenceReport {
+        normal_form: reference,
+        runs,
+        coherent,
+    })
+}
+
+/// Convenience wrapper: check coherence under the default strategy portfolio
+/// and return the (unique) normal form, or an error describing the first
+/// disagreement.
+pub fn coherent_normal_form(v: &Value, ty: &Type) -> Result<Value, EvalError> {
+    let report = check_coherence(v, ty, &RewriteStrategy::portfolio())?;
+    if report.coherent {
+        Ok(report.normal_form)
+    } else {
+        Err(EvalError::Primitive {
+            primitive: "normalize".to_string(),
+            message: format!(
+                "coherence violation: strategies disagree on {v} : {ty} (this would \
+                 contradict Theorem 4.2 and indicates an implementation bug)"
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use or_object::generate::{GenConfig, Generator};
+
+    #[test]
+    fn section_4_example_is_coherent() {
+        let v = Value::pair(
+            Value::set([Value::int_orset([1, 2]), Value::int_orset([3])]),
+            Value::int_orset([1, 2]),
+        );
+        let t = Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Int));
+        let report = check_coherence(&v, &t, &RewriteStrategy::portfolio()).unwrap();
+        assert!(report.coherent);
+        assert_eq!(report.normal_form.elements().unwrap().len(), 4);
+        let (lo, hi) = report.step_range();
+        assert!(lo >= 1 && hi >= lo);
+    }
+
+    #[test]
+    fn random_objects_are_coherent() {
+        let config = GenConfig {
+            max_depth: 4,
+            max_width: 2,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(2024, config);
+        for _ in 0..40 {
+            let (ty, v) = gen.typed_or_object();
+            let report = check_coherence(&v, &ty, &RewriteStrategy::portfolio())
+                .unwrap_or_else(|e| panic!("normalization failed on {v} : {ty}: {e}"));
+            assert!(report.coherent, "incoherent normalization of {v} : {ty}");
+        }
+    }
+
+    #[test]
+    fn coherent_normal_form_returns_the_normal_form() {
+        let v = Value::orset([Value::int_orset([1, 2]), Value::int_orset([3])]);
+        let t = Type::orset(Type::orset(Type::Int));
+        assert_eq!(
+            coherent_normal_form(&v, &t).unwrap(),
+            Value::int_orset([1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn strategies_can_take_different_numbers_of_steps_on_bigger_types() {
+        // a type with several independent redexes lets strategies diverge in
+        // path, though never in result
+        let t = Type::prod(
+            Type::set(Type::orset(Type::Int)),
+            Type::prod(Type::orset(Type::Int), Type::orset(Type::Bool)),
+        );
+        let v = Value::pair(
+            Value::set([Value::int_orset([1, 2])]),
+            Value::pair(Value::int_orset([3, 4]), Value::orset([Value::Bool(true)])),
+        );
+        let report = check_coherence(&v, &t, &RewriteStrategy::portfolio()).unwrap();
+        assert!(report.coherent);
+    }
+}

@@ -1,0 +1,231 @@
+//! Corollary 4.3: `normalize` is expressible inside or-NRA.
+//!
+//! The conceptual language or-NRA⁺ adds `normalize` as a primitive for
+//! convenience, but for every fixed type `t` the morphism
+//! `normalize_t : t → nf(t)` is already definable in plain or-NRA.  The
+//! construction (the proof of Corollary 4.3) has three stages:
+//!
+//! 1. **Tagging.** Translate the object `o : t` to `o' : t'` where every set
+//!    element is paired with itself as a tag (`{x₁,…,xₙ}' = {(x₁', x₁),…}`).
+//!    The tags keep structurally distinct set elements distinct even when the
+//!    payloads later collapse to equal or-sets — this is how the multiset
+//!    semantics of Section 4 is simulated without multisets.
+//! 2. **Mirrored rewriting.** Follow any rewriting of the type `t` to its
+//!    normal form; each rewrite step is mirrored on tagged objects by the
+//!    primed functions `or_rho₂`, `or_rho₁`, `or_mu`, and
+//!    `α' = α ∘ map(or_rho₁)` (which threads the tag through).
+//! 3. **Untagging.** Project the tags away from the final or-set of tag-carrying
+//!    objects.
+//!
+//! Experiment E11 compares the expanded morphism with the native primitive.
+
+use or_object::types::{redexes, Redex, RewriteRule};
+use or_object::Type;
+
+use crate::derived::{or_rho1, parallel};
+use crate::error::TypeError;
+use crate::morphism::Morphism as M;
+
+/// The tag-carrying translation `t'` of a type: every set type `{s}` becomes
+/// `{s' × s}` (the second component is the tag), products and or-sets are
+/// translated componentwise, base types are unchanged.
+pub fn tagged_type(t: &Type) -> Type {
+    match t {
+        Type::Bool | Type::Int | Type::Str | Type::Unit => t.clone(),
+        Type::Prod(a, b) => Type::prod(tagged_type(a), tagged_type(b)),
+        Type::Set(s) => Type::set(Type::prod(tagged_type(s), (**s).clone())),
+        Type::OrSet(s) => Type::orset(tagged_type(s)),
+        Type::Bag(s) => Type::bag(Type::prod(tagged_type(s), (**s).clone())),
+    }
+}
+
+/// The or-NRA morphism `tag_t : t → t'` that attaches tags
+/// (`{x}' = {(x', x)}`).
+pub fn tagging(t: &Type) -> M {
+    match t {
+        Type::Bool | Type::Int | Type::Str | Type::Unit => M::Id,
+        Type::Prod(a, b) => parallel(tagging(a), tagging(b)),
+        Type::Set(s) | Type::Bag(s) => M::map(M::pair(tagging(s), M::Id)),
+        Type::OrSet(s) => M::ormap(tagging(s)),
+    }
+}
+
+/// The or-NRA morphism that removes the tags from a normalized, tag-carrying
+/// object whose or-set-free payload type is `strip` (i.e. `nf(t)` without the
+/// outer or-set).
+pub fn untagging(strip: &Type) -> M {
+    match strip {
+        Type::Bool | Type::Int | Type::Str | Type::Unit => M::Id,
+        Type::Prod(a, b) => parallel(untagging(a), untagging(b)),
+        Type::Set(s) | Type::Bag(s) => M::map(M::Proj1.then(untagging(s))),
+        Type::OrSet(s) => untagging(s),
+    }
+}
+
+/// The primed object-level function mirroring one rewrite step at type-path
+/// `path` of the (original, untagged) type `t`, acting on tagged objects.
+fn primed_dapp(t: &Type, path: &[u8], rule: RewriteRule) -> Result<M, TypeError> {
+    if path.is_empty() {
+        return Ok(match rule {
+            RewriteRule::PairRight => M::OrRho2,
+            RewriteRule::PairLeft => or_rho1(),
+            RewriteRule::OrFlatten => M::OrMu,
+            // α' threads the tag of each set element through the or-set
+            RewriteRule::SetAlpha => M::map(or_rho1()).then(M::Alpha),
+        });
+    }
+    let (step, rest) = (path[0], &path[1..]);
+    match (t, step) {
+        (Type::Prod(a, _), 0) => Ok(M::pair(
+            M::Proj1.then(primed_dapp(a, rest, rule)?),
+            M::Proj2,
+        )),
+        (Type::Prod(_, b), 1) => Ok(M::pair(
+            M::Proj1,
+            M::Proj2.then(primed_dapp(b, rest, rule)?),
+        )),
+        (Type::Set(s), 0) | (Type::Bag(s), 0) => Ok(M::map(M::pair(
+            M::Proj1.then(primed_dapp(s, rest, rule)?),
+            M::Proj2,
+        ))),
+        (Type::OrSet(s), 0) => Ok(M::ormap(primed_dapp(s, rest, rule)?)),
+        _ => Err(TypeError::Shape {
+            message: format!("invalid rewrite path {path:?} into type {t}"),
+        }),
+    }
+}
+
+/// Build the or-NRA expansion of `normalize_t` following a rewriting of `t`
+/// in which each step's redex is selected by `choose` from the available
+/// redexes (any choice yields the same function by the Coherence Theorem;
+/// different choices yield syntactically different — and differently
+/// expensive — morphisms).
+pub fn expand_normalize_with<F>(t: &Type, mut choose: F) -> Result<M, TypeError>
+where
+    F: FnMut(&[Redex]) -> usize,
+{
+    if !t.contains_orset() {
+        return Ok(M::Id);
+    }
+    let mut morphism = tagging(t);
+    let mut cur = t.clone();
+    loop {
+        let reds = redexes(&cur);
+        if reds.is_empty() {
+            break;
+        }
+        let idx = choose(&reds).min(reds.len() - 1);
+        let r = &reds[idx];
+        let step = primed_dapp(&cur, &r.path, r.rule)?;
+        morphism = morphism.then(step);
+        cur = or_object::types::apply_rule_at(&cur, &r.path, r.rule).ok_or_else(|| {
+            TypeError::Shape {
+                message: format!("rule {:?} inapplicable at {:?} in {cur}", r.rule, r.path),
+            }
+        })?;
+    }
+    // cur = nf(t) = <strip(t)>
+    let strip = t.strip_orsets();
+    Ok(morphism.then(M::ormap(untagging(&strip))))
+}
+
+/// The expansion of `normalize_t` using the outermost-first rewriting.
+pub fn expand_normalize(t: &Type) -> Result<M, TypeError> {
+    expand_normalize_with(t, |_| 0)
+}
+
+/// The expansion of `normalize_t` using an innermost-first rewriting — the
+/// order in which premature or-set collapses would occur without the tags,
+/// so this variant is the sharper test of the tagging construction.
+pub fn expand_normalize_innermost(t: &Type) -> Result<M, TypeError> {
+    expand_normalize_with(t, |reds| reds.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::infer::output_type;
+    use crate::normalize::normalize_value_typed;
+    use or_object::generate::{GenConfig, Generator};
+    use or_object::Value;
+
+    fn check_expansion(v: &Value, t: &Type) {
+        let expected = normalize_value_typed(v, t);
+        for expansion in [expand_normalize(t).unwrap(), expand_normalize_innermost(t).unwrap()] {
+            let got = eval(&expansion, v)
+                .unwrap_or_else(|e| panic!("expansion failed on {v} : {t}: {e}"));
+            assert_eq!(got, expected, "expansion of normalize at {t} applied to {v}");
+        }
+    }
+
+    #[test]
+    fn expansion_matches_normalize_on_the_section_4_example() {
+        let v = Value::pair(
+            Value::set([Value::int_orset([1, 2]), Value::int_orset([3])]),
+            Value::int_orset([1, 2]),
+        );
+        let t = Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Int));
+        check_expansion(&v, &t);
+    }
+
+    #[test]
+    fn tags_prevent_premature_collapse_of_duplicate_orsets() {
+        // Both elements of the set normalize to the or-set <1,2>; without the
+        // tagging the innermost rewriting would merge them and lose the
+        // possibility {1,2}.
+        let v = Value::set([
+            Value::orset([Value::int_orset([1, 2])]),
+            Value::orset([Value::int_orset([1]), Value::int_orset([2])]),
+        ]);
+        let t = Type::set(Type::orset(Type::orset(Type::Int)));
+        check_expansion(&v, &t);
+    }
+
+    #[test]
+    fn expansion_is_identity_on_orset_free_types() {
+        let t = Type::set(Type::prod(Type::Int, Type::Bool));
+        assert_eq!(expand_normalize(&t).unwrap(), M::Id);
+    }
+
+    #[test]
+    fn expansion_type_checks_to_the_normal_form() {
+        let t = Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Bool));
+        let m = expand_normalize(&t).unwrap();
+        assert!(!m.uses_normalize());
+        let out = output_type(&m, &t).unwrap();
+        assert_eq!(out, t.normal_form());
+    }
+
+    #[test]
+    fn expansion_matches_normalize_on_random_objects() {
+        let config = GenConfig {
+            max_depth: 4,
+            max_width: 2,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(77, config);
+        for _ in 0..30 {
+            let (t, v) = gen.typed_or_object();
+            check_expansion(&v, &t);
+        }
+    }
+
+    #[test]
+    fn empty_set_at_orset_type_expands_to_wrapped_empty_set() {
+        // normalize_{ {<int>} } ({}) = <{}> — the case where the structural
+        // heuristic of the untyped primitive differs (see normalize.rs docs).
+        let t = Type::set(Type::orset(Type::Int));
+        let m = expand_normalize(&t).unwrap();
+        let got = eval(&m, &Value::empty_set()).unwrap();
+        assert_eq!(got, Value::orset([Value::empty_set()]));
+    }
+
+    #[test]
+    fn tagged_type_and_tagging_agree() {
+        let t = Type::set(Type::orset(Type::Int));
+        let v = Value::set([Value::int_orset([1, 2]), Value::int_orset([3])]);
+        let tagged = eval(&tagging(&t), &v).unwrap();
+        assert!(tagged.has_type(&tagged_type(&t)));
+    }
+}

@@ -1,0 +1,675 @@
+//! Type inference and type checking for or-NRA morphisms.
+//!
+//! The paper notes (Section 2) that "type superscripts are usually omitted
+//! because the most general type of any given morphism can be inferred".
+//! This module provides both directions:
+//!
+//! * [`infer`] — Hindley–Milner-style inference of the *most general*
+//!   function type `dom → cod` of a morphism, with type variables standing
+//!   for the polymorphic parts.  `normalize` is rejected here because, as the
+//!   paper points out, it "cannot be defined in a polymorphic way".
+//! * [`output_type`] — monomorphic checking: given a concrete input type,
+//!   compute the concrete output type (this is what the evaluator, the
+//!   surface language and the losslessness machinery use).  `normalize` is
+//!   supported because the input type is known.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use or_object::Type;
+
+use crate::error::TypeError;
+use crate::morphism::{Morphism, Prim};
+
+/// A type possibly containing type variables (used during inference).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SType {
+    /// A type variable.
+    Var(u32),
+    /// Booleans.
+    Bool,
+    /// Integers.
+    Int,
+    /// Strings.
+    Str,
+    /// The unit type.
+    Unit,
+    /// Products.
+    Prod(Box<SType>, Box<SType>),
+    /// Sets.
+    Set(Box<SType>),
+    /// Or-sets.
+    OrSet(Box<SType>),
+}
+
+impl SType {
+    /// Product constructor.
+    pub fn prod(a: SType, b: SType) -> SType {
+        SType::Prod(Box::new(a), Box::new(b))
+    }
+
+    /// Set constructor.
+    pub fn set(t: SType) -> SType {
+        SType::Set(Box::new(t))
+    }
+
+    /// Or-set constructor.
+    pub fn orset(t: SType) -> SType {
+        SType::OrSet(Box::new(t))
+    }
+
+    /// Convert a ground scheme type into a concrete object type.
+    pub fn to_type(&self) -> Result<Type, TypeError> {
+        match self {
+            SType::Var(_) => Err(TypeError::NotGround {
+                ty: self.to_string(),
+            }),
+            SType::Bool => Ok(Type::Bool),
+            SType::Int => Ok(Type::Int),
+            SType::Str => Ok(Type::Str),
+            SType::Unit => Ok(Type::Unit),
+            SType::Prod(a, b) => Ok(Type::prod(a.to_type()?, b.to_type()?)),
+            SType::Set(t) => Ok(Type::set(t.to_type()?)),
+            SType::OrSet(t) => Ok(Type::orset(t.to_type()?)),
+        }
+    }
+
+    /// Convert a ground scheme type into a concrete object type, defaulting
+    /// any remaining type variables to `unit` (used for empty collections
+    /// whose element type is unconstrained).
+    pub fn to_type_defaulting(&self) -> Type {
+        match self {
+            SType::Var(_) => Type::Unit,
+            SType::Bool => Type::Bool,
+            SType::Int => Type::Int,
+            SType::Str => Type::Str,
+            SType::Unit => Type::Unit,
+            SType::Prod(a, b) => Type::prod(a.to_type_defaulting(), b.to_type_defaulting()),
+            SType::Set(t) => Type::set(t.to_type_defaulting()),
+            SType::OrSet(t) => Type::orset(t.to_type_defaulting()),
+        }
+    }
+
+    /// Embed a concrete object type.  Bag types are internal to the
+    /// normalization machinery and never appear in morphism types.
+    pub fn from_type(t: &Type) -> SType {
+        match t {
+            Type::Bool => SType::Bool,
+            Type::Int => SType::Int,
+            Type::Str => SType::Str,
+            Type::Unit => SType::Unit,
+            Type::Prod(a, b) => SType::prod(SType::from_type(a), SType::from_type(b)),
+            Type::Set(t) => SType::set(SType::from_type(t)),
+            Type::OrSet(t) => SType::orset(SType::from_type(t)),
+            Type::Bag(t) => SType::set(SType::from_type(t)),
+        }
+    }
+
+    fn occurs(&self, v: u32) -> bool {
+        match self {
+            SType::Var(w) => *w == v,
+            SType::Prod(a, b) => a.occurs(v) || b.occurs(v),
+            SType::Set(t) | SType::OrSet(t) => t.occurs(v),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for SType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SType::Var(v) => write!(f, "'t{v}"),
+            SType::Bool => write!(f, "bool"),
+            SType::Int => write!(f, "int"),
+            SType::Str => write!(f, "string"),
+            SType::Unit => write!(f, "unit"),
+            SType::Prod(a, b) => write!(f, "({a} * {b})"),
+            SType::Set(t) => write!(f, "{{{t}}}"),
+            SType::OrSet(t) => write!(f, "<{t}>"),
+        }
+    }
+}
+
+/// The inferred function type of a morphism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunType {
+    /// Domain type.
+    pub dom: SType,
+    /// Codomain type.
+    pub cod: SType,
+}
+
+impl fmt::Display for FunType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.dom, self.cod)
+    }
+}
+
+/// A union-find-free substitution-based unifier.
+#[derive(Debug, Default)]
+pub struct Unifier {
+    counter: u32,
+    bindings: HashMap<u32, SType>,
+}
+
+impl Unifier {
+    /// Create an empty unifier.
+    pub fn new() -> Self {
+        Unifier::default()
+    }
+
+    /// A fresh type variable.
+    pub fn fresh(&mut self) -> SType {
+        let v = self.counter;
+        self.counter += 1;
+        SType::Var(v)
+    }
+
+    /// Fully apply the current substitution to a type.
+    pub fn resolve(&self, t: &SType) -> SType {
+        match t {
+            SType::Var(v) => match self.bindings.get(v) {
+                Some(bound) => self.resolve(bound),
+                None => t.clone(),
+            },
+            SType::Prod(a, b) => SType::prod(self.resolve(a), self.resolve(b)),
+            SType::Set(inner) => SType::set(self.resolve(inner)),
+            SType::OrSet(inner) => SType::orset(self.resolve(inner)),
+            other => other.clone(),
+        }
+    }
+
+    /// Unify two types, extending the substitution.
+    pub fn unify(&mut self, a: &SType, b: &SType, context: &str) -> Result<(), TypeError> {
+        let a = self.resolve(a);
+        let b = self.resolve(b);
+        match (&a, &b) {
+            (SType::Var(v), _) => self.bind(*v, &b),
+            (_, SType::Var(v)) => self.bind(*v, &a),
+            (SType::Bool, SType::Bool)
+            | (SType::Int, SType::Int)
+            | (SType::Str, SType::Str)
+            | (SType::Unit, SType::Unit) => Ok(()),
+            (SType::Prod(a1, a2), SType::Prod(b1, b2)) => {
+                self.unify(a1, b1, context)?;
+                self.unify(a2, b2, context)
+            }
+            (SType::Set(x), SType::Set(y)) | (SType::OrSet(x), SType::OrSet(y)) => {
+                self.unify(x, y, context)
+            }
+            _ => Err(TypeError::Mismatch {
+                expected: a.to_string(),
+                found: b.to_string(),
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    fn bind(&mut self, v: u32, t: &SType) -> Result<(), TypeError> {
+        if let SType::Var(w) = t {
+            if *w == v {
+                return Ok(());
+            }
+        }
+        if t.occurs(v) {
+            return Err(TypeError::Occurs {
+                var: v,
+                ty: t.to_string(),
+            });
+        }
+        self.bindings.insert(v, t.clone());
+        Ok(())
+    }
+}
+
+fn prim_fun(u: &mut Unifier, p: Prim) -> FunType {
+    match p {
+        Prim::Plus | Prim::Minus | Prim::Times => FunType {
+            dom: SType::prod(SType::Int, SType::Int),
+            cod: SType::Int,
+        },
+        Prim::Leq | Prim::Lt => FunType {
+            dom: SType::prod(SType::Int, SType::Int),
+            cod: SType::Bool,
+        },
+        Prim::Not => FunType {
+            dom: SType::Bool,
+            cod: SType::Bool,
+        },
+        Prim::And | Prim::Or => FunType {
+            dom: SType::prod(SType::Bool, SType::Bool),
+            cod: SType::Bool,
+        },
+        Prim::ValueLeq => {
+            let a = u.fresh();
+            FunType {
+                dom: SType::prod(a.clone(), a),
+                cod: SType::Bool,
+            }
+        }
+    }
+}
+
+fn infer_in(u: &mut Unifier, m: &Morphism) -> Result<FunType, TypeError> {
+    let fun = |dom, cod| FunType { dom, cod };
+    match m {
+        Morphism::Id => {
+            let a = u.fresh();
+            Ok(fun(a.clone(), a))
+        }
+        Morphism::Compose(f, g) => {
+            let tg = infer_in(u, g)?;
+            let tf = infer_in(u, f)?;
+            u.unify(&tg.cod, &tf.dom, "composition")?;
+            Ok(fun(tg.dom, tf.cod))
+        }
+        Morphism::Proj1 => {
+            let a = u.fresh();
+            let b = u.fresh();
+            Ok(fun(SType::prod(a.clone(), b), a))
+        }
+        Morphism::Proj2 => {
+            let a = u.fresh();
+            let b = u.fresh();
+            Ok(fun(SType::prod(a, b.clone()), b))
+        }
+        Morphism::PairWith(f, g) => {
+            let tf = infer_in(u, f)?;
+            let tg = infer_in(u, g)?;
+            u.unify(&tf.dom, &tg.dom, "pair formation")?;
+            Ok(fun(tf.dom, SType::prod(tf.cod, tg.cod)))
+        }
+        Morphism::Bang => Ok(fun(u.fresh(), SType::Unit)),
+        Morphism::Const(c) => {
+            let ty = c.infer_type().map_err(|e| TypeError::Shape {
+                message: format!("cannot infer the type of constant {c}: {e}"),
+            })?;
+            Ok(fun(SType::Unit, SType::from_type(&ty)))
+        }
+        Morphism::Eq => {
+            let a = u.fresh();
+            Ok(fun(SType::prod(a.clone(), a), SType::Bool))
+        }
+        Morphism::Cond(p, f, g) => {
+            let tp = infer_in(u, p)?;
+            let tf = infer_in(u, f)?;
+            let tg = infer_in(u, g)?;
+            u.unify(&tp.cod, &SType::Bool, "cond predicate")?;
+            u.unify(&tp.dom, &tf.dom, "cond branches")?;
+            u.unify(&tf.dom, &tg.dom, "cond branches")?;
+            u.unify(&tf.cod, &tg.cod, "cond branches")?;
+            Ok(fun(tf.dom, tf.cod))
+        }
+        Morphism::Prim(p) => Ok(prim_fun(u, *p)),
+        Morphism::Eta => {
+            let a = u.fresh();
+            Ok(fun(a.clone(), SType::set(a)))
+        }
+        Morphism::Mu => {
+            let a = u.fresh();
+            Ok(fun(SType::set(SType::set(a.clone())), SType::set(a)))
+        }
+        Morphism::Map(f) => {
+            let tf = infer_in(u, f)?;
+            Ok(fun(SType::set(tf.dom), SType::set(tf.cod)))
+        }
+        Morphism::Rho2 => {
+            let a = u.fresh();
+            let b = u.fresh();
+            Ok(fun(
+                SType::prod(a.clone(), SType::set(b.clone())),
+                SType::set(SType::prod(a, b)),
+            ))
+        }
+        Morphism::Union => {
+            let a = u.fresh();
+            Ok(fun(
+                SType::prod(SType::set(a.clone()), SType::set(a.clone())),
+                SType::set(a),
+            ))
+        }
+        Morphism::KEmptySet => Ok(fun(SType::Unit, SType::set(u.fresh()))),
+        Morphism::OrEta => {
+            let a = u.fresh();
+            Ok(fun(a.clone(), SType::orset(a)))
+        }
+        Morphism::OrMu => {
+            let a = u.fresh();
+            Ok(fun(SType::orset(SType::orset(a.clone())), SType::orset(a)))
+        }
+        Morphism::OrMap(f) => {
+            let tf = infer_in(u, f)?;
+            Ok(fun(SType::orset(tf.dom), SType::orset(tf.cod)))
+        }
+        Morphism::OrRho2 => {
+            let a = u.fresh();
+            let b = u.fresh();
+            Ok(fun(
+                SType::prod(a.clone(), SType::orset(b.clone())),
+                SType::orset(SType::prod(a, b)),
+            ))
+        }
+        Morphism::OrUnion => {
+            let a = u.fresh();
+            Ok(fun(
+                SType::prod(SType::orset(a.clone()), SType::orset(a.clone())),
+                SType::orset(a),
+            ))
+        }
+        Morphism::KEmptyOrSet => Ok(fun(SType::Unit, SType::orset(u.fresh()))),
+        Morphism::Alpha => {
+            let a = u.fresh();
+            Ok(fun(
+                SType::set(SType::orset(a.clone())),
+                SType::orset(SType::set(a)),
+            ))
+        }
+        Morphism::OrToSet => {
+            let a = u.fresh();
+            Ok(fun(SType::orset(a.clone()), SType::set(a)))
+        }
+        Morphism::SetToOr => {
+            let a = u.fresh();
+            Ok(fun(SType::set(a.clone()), SType::orset(a)))
+        }
+        Morphism::Powerset => {
+            let a = u.fresh();
+            Ok(fun(SType::set(a.clone()), SType::set(SType::set(a))))
+        }
+        Morphism::Normalize => Err(TypeError::Shape {
+            message: "normalize has no polymorphic type; use output_type with a concrete \
+                      input type (Corollary 4.3 makes it expressible per-type only)"
+                .to_string(),
+        }),
+    }
+}
+
+/// Infer the most general function type of a morphism of or-NRA.
+pub fn infer(m: &Morphism) -> Result<FunType, TypeError> {
+    let mut u = Unifier::new();
+    let t = infer_in(&mut u, m)?;
+    Ok(FunType {
+        dom: u.resolve(&t.dom),
+        cod: u.resolve(&t.cod),
+    })
+}
+
+/// Check a morphism against a concrete input type and compute the concrete
+/// output type.  Supports `normalize` (whose output type is `nf(input)`).
+///
+/// Remaining unconstrained element types (arising only from empty-collection
+/// constants whose contents are never inspected) default to `unit`.
+pub fn output_type(m: &Morphism, input: &Type) -> Result<Type, TypeError> {
+    let mut u = Unifier::new();
+    let out = check_in(&mut u, m, &SType::from_type(input))?;
+    Ok(u.resolve(&out).to_type_defaulting())
+}
+
+fn expect_prod(
+    u: &mut Unifier,
+    t: &SType,
+    context: &str,
+) -> Result<(SType, SType), TypeError> {
+    let a = u.fresh();
+    let b = u.fresh();
+    u.unify(t, &SType::prod(a.clone(), b.clone()), context)?;
+    Ok((u.resolve(&a), u.resolve(&b)))
+}
+
+fn expect_set(u: &mut Unifier, t: &SType, context: &str) -> Result<SType, TypeError> {
+    let a = u.fresh();
+    u.unify(t, &SType::set(a.clone()), context)?;
+    Ok(u.resolve(&a))
+}
+
+fn expect_orset(u: &mut Unifier, t: &SType, context: &str) -> Result<SType, TypeError> {
+    let a = u.fresh();
+    u.unify(t, &SType::orset(a.clone()), context)?;
+    Ok(u.resolve(&a))
+}
+
+fn check_in(u: &mut Unifier, m: &Morphism, input: &SType) -> Result<SType, TypeError> {
+    match m {
+        Morphism::Id => Ok(input.clone()),
+        Morphism::Compose(f, g) => {
+            let mid = check_in(u, g, input)?;
+            check_in(u, f, &mid)
+        }
+        Morphism::Proj1 => Ok(expect_prod(u, input, "pi1")?.0),
+        Morphism::Proj2 => Ok(expect_prod(u, input, "pi2")?.1),
+        Morphism::PairWith(f, g) => {
+            let a = check_in(u, f, input)?;
+            let b = check_in(u, g, input)?;
+            Ok(SType::prod(a, b))
+        }
+        Morphism::Bang => Ok(SType::Unit),
+        Morphism::Const(c) => {
+            let ty = c.infer_type().map_err(|e| TypeError::Shape {
+                message: format!("cannot infer the type of constant {c}: {e}"),
+            })?;
+            Ok(SType::from_type(&ty))
+        }
+        Morphism::Eq => {
+            let (a, b) = expect_prod(u, input, "eq")?;
+            u.unify(&a, &b, "eq")?;
+            Ok(SType::Bool)
+        }
+        Morphism::Cond(p, f, g) => {
+            let tp = check_in(u, p, input)?;
+            u.unify(&tp, &SType::Bool, "cond predicate")?;
+            let tf = check_in(u, f, input)?;
+            let tg = check_in(u, g, input)?;
+            u.unify(&tf, &tg, "cond branches")?;
+            Ok(u.resolve(&tf))
+        }
+        Morphism::Prim(p) => {
+            let ft = prim_fun(u, *p);
+            u.unify(&ft.dom, input, p.name())?;
+            Ok(u.resolve(&ft.cod))
+        }
+        Morphism::Eta => Ok(SType::set(input.clone())),
+        Morphism::Mu => {
+            let inner = expect_set(u, input, "mu")?;
+            let elem = expect_set(u, &inner, "mu")?;
+            Ok(SType::set(elem))
+        }
+        Morphism::Map(f) => {
+            let elem = expect_set(u, input, "map")?;
+            let out = check_in(u, f, &elem)?;
+            Ok(SType::set(out))
+        }
+        Morphism::Rho2 => {
+            let (a, bs) = expect_prod(u, input, "rho2")?;
+            let b = expect_set(u, &bs, "rho2")?;
+            Ok(SType::set(SType::prod(a, b)))
+        }
+        Morphism::Union => {
+            let (a, b) = expect_prod(u, input, "union")?;
+            let ea = expect_set(u, &a, "union")?;
+            let eb = expect_set(u, &b, "union")?;
+            u.unify(&ea, &eb, "union")?;
+            Ok(SType::set(u.resolve(&ea)))
+        }
+        Morphism::KEmptySet => {
+            u.unify(input, &SType::Unit, "K{}")?;
+            Ok(SType::set(u.fresh()))
+        }
+        Morphism::OrEta => Ok(SType::orset(input.clone())),
+        Morphism::OrMu => {
+            let inner = expect_orset(u, input, "or_mu")?;
+            let elem = expect_orset(u, &inner, "or_mu")?;
+            Ok(SType::orset(elem))
+        }
+        Morphism::OrMap(f) => {
+            let elem = expect_orset(u, input, "ormap")?;
+            let out = check_in(u, f, &elem)?;
+            Ok(SType::orset(out))
+        }
+        Morphism::OrRho2 => {
+            let (a, bs) = expect_prod(u, input, "or_rho2")?;
+            let b = expect_orset(u, &bs, "or_rho2")?;
+            Ok(SType::orset(SType::prod(a, b)))
+        }
+        Morphism::OrUnion => {
+            let (a, b) = expect_prod(u, input, "or_union")?;
+            let ea = expect_orset(u, &a, "or_union")?;
+            let eb = expect_orset(u, &b, "or_union")?;
+            u.unify(&ea, &eb, "or_union")?;
+            Ok(SType::orset(u.resolve(&ea)))
+        }
+        Morphism::KEmptyOrSet => {
+            u.unify(input, &SType::Unit, "K<>")?;
+            Ok(SType::orset(u.fresh()))
+        }
+        Morphism::Alpha => {
+            let elem = expect_set(u, input, "alpha")?;
+            let inner = expect_orset(u, &elem, "alpha")?;
+            Ok(SType::orset(SType::set(inner)))
+        }
+        Morphism::OrToSet => {
+            let elem = expect_orset(u, input, "ortoset")?;
+            Ok(SType::set(elem))
+        }
+        Morphism::SetToOr => {
+            let elem = expect_set(u, input, "settoor")?;
+            Ok(SType::orset(elem))
+        }
+        Morphism::Powerset => {
+            let elem = expect_set(u, input, "powerset")?;
+            Ok(SType::set(SType::set(elem)))
+        }
+        Morphism::Normalize => {
+            let concrete = u.resolve(input).to_type()?;
+            Ok(SType::from_type(&concrete.normal_form()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morphism::Morphism as M;
+    use or_object::Value;
+
+    #[test]
+    fn identity_is_polymorphic() {
+        let t = infer(&M::Id).unwrap();
+        assert_eq!(t.dom, t.cod);
+        assert!(matches!(t.dom, SType::Var(_)));
+    }
+
+    #[test]
+    fn alpha_has_its_figure_1_type() {
+        let t = infer(&M::Alpha).unwrap();
+        assert_eq!(t.to_string(), "{<'t0>} -> <{'t0}>");
+    }
+
+    #[test]
+    fn composition_propagates_constraints() {
+        // or_mu ∘ ormap(or_eta) : <a> -> <a>
+        let m = M::compose(M::OrMu, M::ormap(M::OrEta));
+        let t = infer(&m).unwrap();
+        assert_eq!(t.dom, t.cod);
+        assert!(matches!(t.dom, SType::OrSet(_)));
+    }
+
+    #[test]
+    fn ill_typed_composition_is_rejected() {
+        // mu ∘ or_eta : flattening a set after building an or-set
+        let m = M::compose(M::Mu, M::OrEta);
+        assert!(infer(&m).is_err());
+    }
+
+    #[test]
+    fn cond_branches_must_agree() {
+        let good = M::cond(
+            M::Prim(Prim::Leq),
+            M::constant(Value::Int(1)),
+            M::constant(Value::Int(2)),
+        );
+        assert!(infer(&good).is_ok());
+        let bad = M::cond(
+            M::Prim(Prim::Leq),
+            M::constant(Value::Int(1)),
+            M::constant(Value::Bool(true)),
+        );
+        assert!(infer(&bad).is_err());
+    }
+
+    #[test]
+    fn normalize_is_not_polymorphic_but_checks_monomorphically() {
+        assert!(infer(&M::Normalize).is_err());
+        let input = Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Int));
+        let out = output_type(&M::Normalize, &input).unwrap();
+        assert_eq!(out, Type::orset(Type::prod(Type::set(Type::Int), Type::Int)));
+    }
+
+    #[test]
+    fn output_type_of_the_papers_cheap_design_query() {
+        // or_mu ∘ ormap(cond(ischeap, or_eta, K<> ∘ !)) ∘ normalize
+        // over a database whose designs are integer costs (Section 2).
+        let ischeap = M::pair(M::Id, M::constant(Value::Int(100))).then(M::Prim(Prim::Leq));
+        let query = M::Normalize
+            .then(M::ormap(M::cond(
+                ischeap,
+                M::OrEta,
+                M::KEmptyOrSet.after_bang(),
+            )))
+            .then(M::OrMu);
+        let input = Type::orset(Type::orset(Type::Int));
+        let out = output_type(&query, &input).unwrap();
+        assert_eq!(out, Type::orset(Type::Int));
+    }
+
+    #[test]
+    fn output_type_checks_simple_pipeline() {
+        // normalize a pair and keep the first components:
+        // ormap(pi1) ∘ normalize : {<int>} * <bool> -> <{int}>
+        let m = M::Normalize.then(M::ormap(M::Proj1));
+        let input = Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Bool));
+        let out = output_type(&m, &input).unwrap();
+        assert_eq!(out, Type::orset(Type::set(Type::Int)));
+    }
+
+    #[test]
+    fn empty_set_constant_defaults_to_unit_when_unconstrained() {
+        let m = M::KEmptySet;
+        let out = output_type(&m, &Type::Unit).unwrap();
+        assert_eq!(out, Type::set(Type::Unit));
+    }
+
+    #[test]
+    fn empty_set_constant_gets_constrained_by_context() {
+        // cond(leq, eta, K{} ∘ !) : int*int -> {int*int}?  The branches force
+        // the empty set to have element type int*int.
+        let m = M::cond(
+            M::Prim(Prim::Leq),
+            M::Eta,
+            M::KEmptySet.after_bang(),
+        );
+        let input = Type::prod(Type::Int, Type::Int);
+        let out = output_type(&m, &input).unwrap();
+        assert_eq!(out, Type::set(Type::prod(Type::Int, Type::Int)));
+    }
+
+    #[test]
+    fn projection_requires_a_product() {
+        assert!(output_type(&M::Proj1, &Type::Int).is_err());
+        assert_eq!(
+            output_type(&M::Proj1, &Type::prod(Type::Int, Type::Bool)).unwrap(),
+            Type::Int
+        );
+    }
+
+    #[test]
+    fn powerset_type() {
+        let t = infer(&M::Powerset).unwrap();
+        assert_eq!(t.to_string(), "{'t0} -> {{'t0}}");
+    }
+
+    #[test]
+    fn value_leq_is_polymorphic_equality_like() {
+        let t = infer(&M::Prim(Prim::ValueLeq)).unwrap();
+        assert!(matches!(t.cod, SType::Bool));
+    }
+}

@@ -1,0 +1,263 @@
+//! Lazy (streaming) normalization.
+//!
+//! The conclusion of the paper suggests producing the elements of a normal
+//! form "as elements of a stream", so that an existential query over the
+//! normal form can stop as soon as a witness is found, without materializing
+//! the whole — generally exponential — normal form.  (The idea was later
+//! developed by Libkin in "Normalizing incomplete databases", PODS 1995.)
+//!
+//! [`LazyNormalizer`] enumerates the conceptual denotations of an object one
+//! at a time.  Internally the object is compiled into a [`Plan`] whose nodes
+//! know how many denotations they have; the `i`-th denotation is then decoded
+//! by a mixed-radix walk, so producing one element costs time proportional to
+//! the size of the object, independent of how many elements the full normal
+//! form would have.
+
+use or_object::Value;
+
+use crate::error::EvalError;
+
+/// A compiled enumeration plan for the denotations of an object.
+#[derive(Debug, Clone)]
+enum Plan {
+    /// A base value: exactly one denotation.
+    Leaf(Value),
+    /// A pair: the product of the component enumerations.
+    Pair(Box<Plan>, Box<Plan>),
+    /// A set (one choice per element position): the product of the element
+    /// enumerations, assembled into a set.
+    SetOf(Vec<Plan>),
+    /// An or-set: the disjoint union of the element enumerations.
+    OneOf(Vec<Plan>),
+}
+
+impl Plan {
+    fn compile(v: &Value) -> Plan {
+        match v {
+            x if x.is_base() => Plan::Leaf(x.clone()),
+            Value::Pair(a, b) => Plan::Pair(Box::new(Plan::compile(a)), Box::new(Plan::compile(b))),
+            Value::Set(items) | Value::Bag(items) => {
+                Plan::SetOf(items.iter().map(Plan::compile).collect())
+            }
+            Value::OrSet(items) => Plan::OneOf(items.iter().map(Plan::compile).collect()),
+            _ => unreachable!("all shapes covered"),
+        }
+    }
+
+    /// Total number of denotations (with multiplicity), saturating at
+    /// `u128::MAX`.
+    fn count(&self) -> u128 {
+        match self {
+            Plan::Leaf(_) => 1,
+            Plan::Pair(a, b) => a.count().saturating_mul(b.count()),
+            Plan::SetOf(items) => items
+                .iter()
+                .map(Plan::count)
+                .fold(1u128, |acc, n| acc.saturating_mul(n)),
+            Plan::OneOf(items) => items.iter().map(Plan::count).fold(0u128, u128::saturating_add),
+        }
+    }
+
+    /// Decode the `idx`-th denotation (0-based, `idx < self.count()`).
+    fn decode(&self, idx: u128) -> Value {
+        match self {
+            Plan::Leaf(v) => v.clone(),
+            Plan::Pair(a, b) => {
+                let nb = b.count();
+                let va = a.decode(idx / nb);
+                let vb = b.decode(idx % nb);
+                Value::pair(va, vb)
+            }
+            Plan::SetOf(items) => {
+                let mut rest = idx;
+                let mut chosen = Vec::with_capacity(items.len());
+                // mixed-radix decoding, last element varies fastest
+                let radices: Vec<u128> = items.iter().map(Plan::count).collect();
+                let mut divisors = vec![1u128; items.len()];
+                for i in (0..items.len()).rev() {
+                    if i + 1 < items.len() {
+                        divisors[i] = divisors[i + 1].saturating_mul(radices[i + 1]);
+                    }
+                }
+                for (i, item) in items.iter().enumerate() {
+                    let digit = rest / divisors[i];
+                    rest %= divisors[i];
+                    chosen.push(item.decode(digit));
+                }
+                Value::set(chosen)
+            }
+            Plan::OneOf(items) => {
+                let mut rest = idx;
+                for item in items {
+                    let n = item.count();
+                    if rest < n {
+                        return item.decode(rest);
+                    }
+                    rest -= n;
+                }
+                unreachable!("index out of range for or-set plan")
+            }
+        }
+    }
+}
+
+/// A lazy enumerator of the conceptual denotations of an object.
+///
+/// The stream may contain duplicates (they correspond to distinct structural
+/// choices); use [`LazyNormalizer::dedup`] when set semantics are required.
+#[derive(Debug, Clone)]
+pub struct LazyNormalizer {
+    plan: Plan,
+    next: u128,
+    total: u128,
+}
+
+impl LazyNormalizer {
+    /// Compile an object for lazy normalization.
+    pub fn new(v: &Value) -> LazyNormalizer {
+        let plan = Plan::compile(v);
+        let total = plan.count();
+        LazyNormalizer {
+            plan,
+            next: 0,
+            total,
+        }
+    }
+
+    /// The total number of denotations (with multiplicity).
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// How many denotations have been produced so far.
+    pub fn produced(&self) -> u128 {
+        self.next
+    }
+
+    /// Produce all remaining denotations, duplicates removed, as an or-set
+    /// value (this recovers the eager `normalize`).
+    pub fn dedup(self) -> Value {
+        let items: Vec<Value> = self.collect();
+        Value::orset(items)
+    }
+
+    /// Search for a denotation satisfying `pred`, stopping at the first hit.
+    /// Returns the witness and the number of denotations inspected.
+    pub fn find_witness<F>(
+        &mut self,
+        mut pred: F,
+    ) -> Result<(Option<Value>, u128), EvalError>
+    where
+        F: FnMut(&Value) -> Result<bool, EvalError>,
+    {
+        let mut inspected = 0u128;
+        for candidate in self.by_ref() {
+            inspected += 1;
+            if pred(&candidate)? {
+                return Ok((Some(candidate), inspected));
+            }
+        }
+        Ok((None, inspected))
+    }
+}
+
+impl Iterator for LazyNormalizer {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        if self.next >= self.total {
+            return None;
+        }
+        let v = self.plan.decode(self.next);
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.total - self.next).min(usize::MAX as u128) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::{denotations, normalize_value};
+
+    #[test]
+    fn lazy_enumeration_matches_eager_denotations() {
+        let v = Value::pair(
+            Value::set([Value::int_orset([1, 2]), Value::int_orset([3])]),
+            Value::int_orset([1, 2]),
+        );
+        let eager = denotations(&v);
+        let lazy: Vec<Value> = LazyNormalizer::new(&v).collect();
+        assert_eq!(eager.len(), lazy.len());
+        let mut a = eager.clone();
+        let mut b = lazy.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dedup_recovers_normalize() {
+        let v = Value::set([
+            Value::orset([Value::int_orset([1, 2])]),
+            Value::orset([Value::int_orset([1]), Value::int_orset([2])]),
+        ]);
+        assert_eq!(LazyNormalizer::new(&v).dedup(), normalize_value(&v));
+    }
+
+    #[test]
+    fn total_counts_without_materializing() {
+        let v = or_object::generate::Generator::alpha_blowup_witness(20);
+        let lazy = LazyNormalizer::new(&v);
+        assert_eq!(lazy.total(), 1 << 20);
+    }
+
+    #[test]
+    fn early_exit_inspects_few_candidates() {
+        // find a denotation of the 2^16-element normal form containing 0;
+        // element 0 is in the very first candidate, so only one inspection.
+        let v = or_object::generate::Generator::alpha_blowup_witness(16);
+        let mut lazy = LazyNormalizer::new(&v);
+        let (witness, inspected) = lazy
+            .find_witness(|d| Ok(d.elements().map_or(false, |e| e.contains(&Value::Int(0)))))
+            .unwrap();
+        assert!(witness.is_some());
+        assert_eq!(inspected, 1);
+    }
+
+    #[test]
+    fn unsatisfiable_search_scans_everything() {
+        let v = or_object::generate::Generator::alpha_blowup_witness(8);
+        let mut lazy = LazyNormalizer::new(&v);
+        let (witness, inspected) = lazy
+            .find_witness(|d| Ok(d.elements().map_or(false, |e| e.contains(&Value::Int(999)))))
+            .unwrap();
+        assert!(witness.is_none());
+        assert_eq!(inspected, 256);
+    }
+
+    #[test]
+    fn empty_orset_yields_no_denotations() {
+        let v = Value::set([Value::int_orset([1]), Value::empty_orset()]);
+        let lazy = LazyNormalizer::new(&v);
+        assert_eq!(lazy.total(), 0);
+        assert_eq!(lazy.count(), 0);
+    }
+
+    #[test]
+    fn predicate_errors_propagate() {
+        let v = Value::int_orset([1, 2, 3]);
+        let mut lazy = LazyNormalizer::new(&v);
+        let result = lazy.find_witness(|_| {
+            Err(EvalError::Primitive {
+                primitive: "test".to_string(),
+                message: "boom".to_string(),
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! A rewrite-based simplifier for or-NRA morphisms.
+//!
+//! The conclusion of the paper points out that "every diagram in the proof of
+//! Theorem 4.2 gives rise to a new equation" and that the monad equations of
+//! the underlying NRA form an equational theory useful for optimization.
+//! This module implements a conservative simplifier over that theory:
+//!
+//! * category laws: `id ∘ f = f`, `f ∘ id = f`, associativity-agnostic
+//!   traversal;
+//! * product laws: `π₁ ∘ ⟨f, g⟩ = f`, `π₂ ∘ ⟨f, g⟩ = g`;
+//! * monad laws (for both the set and the or-set monad):
+//!   `μ ∘ η = id`, `μ ∘ map(η) = id`, `map(id) = id`,
+//!   `map(f) ∘ map(g) = map(f ∘ g)`, `map(f) ∘ η = η ∘ f`,
+//!   `μ ∘ map(map(f)) = map(f) ∘ μ`;
+//! * coherence-diagram equations from Theorem 4.2:
+//!   `ormap(ormap(f)) ∘ orμ = orμ ∘ ormap(ormap(... ))` is subsumed by the
+//!   monad laws; the `α`-naturality equation
+//!   `ormap(map(f)) ∘ α = α ∘ map(ormap(f))` is applied in the direction that
+//!   moves `map` below `α` (mapping before combining is never more expensive);
+//! * conditional simplifications: constant predicates select a branch,
+//!   identical branches drop the test;
+//! * `! ∘ f = !` (every morphism is total), `cond(p, f, f) = f`.
+//!
+//! Every rule preserves semantics for *well-typed* applications; the
+//! simplifier never turns a failing evaluation into a succeeding one on the
+//! original's domain because all rules are equations of the algebra.
+
+use or_object::Value;
+
+use crate::morphism::Morphism as M;
+
+/// Result statistics of a simplification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Size (constructor count) before.
+    pub before: usize,
+    /// Size after.
+    pub after: usize,
+    /// Number of rule applications.
+    pub rewrites: usize,
+}
+
+/// Simplify a morphism, returning the simplified form and statistics.
+pub fn optimize(m: &M) -> (M, OptimizeStats) {
+    let before = m.size();
+    let mut rewrites = 0;
+    let out = simplify(m, &mut rewrites);
+    let stats = OptimizeStats {
+        before,
+        after: out.size(),
+        rewrites,
+    };
+    (out, stats)
+}
+
+/// Simplify a morphism (convenience wrapper discarding statistics).
+pub fn simplified(m: &M) -> M {
+    optimize(m).0
+}
+
+fn simplify(m: &M, rewrites: &mut usize) -> M {
+    // bottom-up: simplify children first, then apply root rules to fixpoint
+    let rebuilt = match m {
+        M::Compose(f, g) => M::compose(simplify(f, rewrites), simplify(g, rewrites)),
+        M::PairWith(f, g) => M::pair(simplify(f, rewrites), simplify(g, rewrites)),
+        M::Cond(p, f, g) => M::cond(
+            simplify(p, rewrites),
+            simplify(f, rewrites),
+            simplify(g, rewrites),
+        ),
+        M::Map(f) => M::map(simplify(f, rewrites)),
+        M::OrMap(f) => M::ormap(simplify(f, rewrites)),
+        other => other.clone(),
+    };
+    let mut cur = rebuilt;
+    loop {
+        match rewrite_root(&cur) {
+            Some(next) => {
+                *rewrites += 1;
+                // children of the new root may expose further redexes
+                cur = match &next {
+                    M::Compose(f, g) => M::compose(simplify(f, rewrites), simplify(g, rewrites)),
+                    M::Map(f) => M::map(simplify(f, rewrites)),
+                    M::OrMap(f) => M::ormap(simplify(f, rewrites)),
+                    M::PairWith(f, g) => M::pair(simplify(f, rewrites), simplify(g, rewrites)),
+                    other => other.clone(),
+                };
+            }
+            None => return cur,
+        }
+    }
+}
+
+/// Apply one equation at the root, if any applies.
+fn rewrite_root(m: &M) -> Option<M> {
+    match m {
+        M::Map(inner) if **inner == M::Id => Some(M::Id),
+        M::OrMap(inner) if **inner == M::Id => Some(M::Id),
+        M::Cond(p, f, g) => {
+            if f == g {
+                return Some((**f).clone());
+            }
+            if let M::Compose(c, _) = &**p {
+                if let M::Const(Value::Bool(b)) = &**c {
+                    return Some(if *b { (**f).clone() } else { (**g).clone() });
+                }
+            }
+            if let M::Const(Value::Bool(b)) = &**p {
+                return Some(if *b { (**f).clone() } else { (**g).clone() });
+            }
+            None
+        }
+        M::Compose(f, g) => rewrite_compose(f, g),
+        _ => None,
+    }
+}
+
+fn rewrite_compose(f: &M, g: &M) -> Option<M> {
+    // f ∘ g
+    match (f, g) {
+        (M::Id, _) => Some(g.clone()),
+        (_, M::Id) => Some(f.clone()),
+        // ! ∘ g = !   (all morphisms are total functions)
+        (M::Bang, _) => Some(M::Bang),
+        // Kc ∘ g  stays as is (g might fail on ill-typed input only; under
+        // well-typedness it could be dropped, but we keep it conservative).
+
+        // projections of a pair
+        (M::Proj1, M::PairWith(a, _)) => Some((**a).clone()),
+        (M::Proj2, M::PairWith(_, b)) => Some((**b).clone()),
+        // (f1 ∘ f2) ∘ g — reassociate to expose adjacent redexes
+        (M::Compose(f1, f2), _) => {
+            let inner = rewrite_compose(f2, g)
+                .map(|r| M::compose((**f1).clone(), r));
+            match inner {
+                Some(result) => Some(result),
+                None => None,
+            }
+        }
+        // monad laws — set monad
+        (M::Mu, M::Eta) => Some(M::Id),
+        (M::Mu, M::Map(inner)) if **inner == M::Eta => Some(M::Id),
+        (M::Map(mf), M::Map(mg)) => Some(M::map(M::compose((**mf).clone(), (**mg).clone()))),
+        (M::Map(mf), M::Eta) => Some(M::compose(M::Eta, (**mf).clone())),
+        (M::Mu, M::Map(inner)) => {
+            // μ ∘ map(map(f)) = map(f) ∘ μ
+            if let M::Map(deep) = &**inner {
+                Some(M::compose(M::map((**deep).clone()), M::Mu))
+            } else {
+                None
+            }
+        }
+        // monad laws — or-set monad
+        (M::OrMu, M::OrEta) => Some(M::Id),
+        (M::OrMu, M::OrMap(inner)) if **inner == M::OrEta => Some(M::Id),
+        (M::OrMap(mf), M::OrMap(mg)) => {
+            Some(M::ormap(M::compose((**mf).clone(), (**mg).clone())))
+        }
+        (M::OrMap(mf), M::OrEta) => Some(M::compose(M::OrEta, (**mf).clone())),
+        (M::OrMu, M::OrMap(inner)) => {
+            if let M::OrMap(deep) = &**inner {
+                Some(M::compose(M::ormap((**deep).clone()), M::OrMu))
+            } else {
+                None
+            }
+        }
+        // α-naturality (a Theorem 4.2 diagram): ormap(map(f)) ∘ α = α ∘ map(ormap(f))
+        (M::OrMap(inner), M::Alpha) => {
+            if let M::Map(deep) = &**inner {
+                Some(M::compose(M::Alpha, M::map(M::ormap((**deep).clone()))))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::morphism::Prim;
+    use or_object::generate::Generator;
+    use or_object::Value;
+
+    #[test]
+    fn identity_compositions_collapse() {
+        let m = M::Id.then(M::Proj1).then(M::Id);
+        assert_eq!(simplified(&m), M::Proj1);
+    }
+
+    #[test]
+    fn projection_of_pair_simplifies() {
+        let m = M::pair(M::Proj2, M::Proj1).then(M::Proj1);
+        assert_eq!(simplified(&m), M::Proj2);
+    }
+
+    #[test]
+    fn monad_laws_collapse_eta_mu() {
+        assert_eq!(simplified(&M::Eta.then(M::Mu)), M::Id);
+        assert_eq!(simplified(&M::map(M::Eta).then(M::Mu)), M::Id);
+        assert_eq!(simplified(&M::OrEta.then(M::OrMu)), M::Id);
+        assert_eq!(simplified(&M::ormap(M::OrEta).then(M::OrMu)), M::Id);
+    }
+
+    #[test]
+    fn map_fusion() {
+        let m = M::map(M::Proj1).then(M::map(M::Eta));
+        let s = simplified(&m);
+        assert_eq!(s, M::map(M::Proj1.then(M::Eta)));
+        assert!(s.size() <= m.size());
+    }
+
+    #[test]
+    fn cond_with_constant_predicate_selects_branch() {
+        let m = M::cond(
+            M::constant(Value::Bool(true)),
+            M::Proj1,
+            M::Proj2,
+        );
+        assert_eq!(simplified(&m), M::Proj1);
+        let m = M::cond(M::constant(Value::Bool(false)), M::Proj1, M::Proj2);
+        assert_eq!(simplified(&m), M::Proj2);
+    }
+
+    #[test]
+    fn cond_with_equal_branches_drops_the_test() {
+        let m = M::cond(M::Prim(Prim::Leq), M::Proj1, M::Proj1);
+        assert_eq!(simplified(&m), M::Proj1);
+    }
+
+    #[test]
+    fn alpha_naturality_moves_map_below_alpha() {
+        let m = M::Alpha.then(M::ormap(M::map(M::Proj1)));
+        let s = simplified(&m);
+        assert_eq!(s, M::map(M::ormap(M::Proj1)).then(M::Alpha));
+    }
+
+    #[test]
+    fn simplification_preserves_semantics_on_samples() {
+        let samples: Vec<(M, Value)> = vec![
+            (
+                M::map(M::Proj1).then(M::map(M::Eta)).then(M::Mu),
+                Value::set([
+                    Value::pair(Value::Int(1), Value::Int(2)),
+                    Value::pair(Value::Int(3), Value::Int(4)),
+                ]),
+            ),
+            (
+                M::pair(M::Proj2, M::Proj1).then(M::Proj1).then(M::OrEta).then(M::ormap(M::Id)),
+                Value::pair(Value::Int(1), Value::Int(2)),
+            ),
+            (
+                M::Alpha.then(M::ormap(M::map(M::Id))),
+                Value::set([Value::int_orset([1, 2]), Value::int_orset([3])]),
+            ),
+            (
+                crate::derived::or_select(
+                    M::pair(M::Id, M::constant(Value::Int(2))).then(M::Prim(Prim::Leq)),
+                ),
+                Value::int_orset([1, 2, 3]),
+            ),
+        ];
+        for (m, v) in samples {
+            let s = simplified(&m);
+            assert_eq!(
+                eval(&m, &v).unwrap(),
+                eval(&s, &v).unwrap(),
+                "simplification changed the meaning of {m}"
+            );
+            assert!(s.size() <= m.size());
+        }
+    }
+
+    #[test]
+    fn optimizer_reports_statistics() {
+        let m = M::Id.then(M::map(M::Id)).then(M::Id);
+        let (s, stats) = optimize(&m);
+        assert_eq!(s, M::Id);
+        assert!(stats.rewrites >= 2);
+        assert!(stats.after < stats.before);
+    }
+
+    #[test]
+    fn expanded_normalize_morphisms_shrink_but_keep_meaning() {
+        let t = or_object::Type::prod(
+            or_object::Type::set(or_object::Type::orset(or_object::Type::Int)),
+            or_object::Type::orset(or_object::Type::Int),
+        );
+        let m = crate::expand::expand_normalize(&t).unwrap();
+        let s = simplified(&m);
+        assert!(s.size() <= m.size());
+        let mut gen = Generator::with_seed(5);
+        for _ in 0..10 {
+            let v = gen.object_of(&t);
+            assert_eq!(eval(&m, &v).unwrap(), eval(&s, &v).unwrap());
+        }
+    }
+}

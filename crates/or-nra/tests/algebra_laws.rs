@@ -1,0 +1,165 @@
+//! Property-based tests of the equational theory of or-NRA: the monad laws
+//! for both collection monads, the α-naturality equation from the coherence
+//! diagrams, and the soundness of the optimizer — all checked extensionally
+//! through the evaluator on random objects.
+
+use proptest::prelude::*;
+
+use or_nra::derived;
+use or_nra::morphism::{Morphism as M, Prim};
+use or_nra::normalize::{denotation_count, normalize_value};
+use or_nra::optimize::simplified;
+use or_nra::prelude::eval;
+use or_object::generate::{GenConfig, Generator};
+use or_object::{Type, Value};
+
+/// A random set of pairs of small integers (the workhorse input shape).
+fn pair_set() -> impl Strategy<Value = Value> {
+    proptest::collection::vec((0i64..6, 0i64..6), 0..6).prop_map(|pairs| {
+        Value::set(
+            pairs
+                .into_iter()
+                .map(|(a, b)| Value::pair(Value::Int(a), Value::Int(b))),
+        )
+    })
+}
+
+/// A random or-set of small integers.
+fn int_orset() -> impl Strategy<Value = Value> {
+    proptest::collection::vec(0i64..8, 0..6).prop_map(Value::int_orset)
+}
+
+/// A random set of or-sets of small integers.
+fn set_of_orsets() -> impl Strategy<Value = Value> {
+    proptest::collection::vec(proptest::collection::vec(0i64..6, 1..4), 0..4)
+        .prop_map(|os| Value::set(os.into_iter().map(Value::int_orset)))
+}
+
+fn agree(f: &M, g: &M, v: &Value) -> Result<bool, TestCaseError> {
+    let a = eval(f, v).map_err(|e| TestCaseError::fail(format!("lhs failed: {e}")))?;
+    let b = eval(g, v).map_err(|e| TestCaseError::fail(format!("rhs failed: {e}")))?;
+    Ok(a == b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Set-monad laws: μ∘η = id, μ∘map(η) = id, μ∘μ = μ∘map(μ),
+    /// map(f)∘η = η∘f.
+    #[test]
+    fn set_monad_laws(v in pair_set()) {
+        prop_assert!(agree(&M::Eta.then(M::Mu), &M::Id, &v)?);
+        prop_assert!(agree(&M::map(M::Eta).then(M::Mu), &M::Id, &v)?);
+        let doubly = Value::set([v.clone(), Value::set(v.elements().unwrap()[..v.elements().unwrap().len() / 2].to_vec())]);
+        let triply = Value::set([doubly.clone()]);
+        prop_assert!(agree(&M::Mu.then(M::Mu), &M::map(M::Mu).then(M::Mu), &triply)?);
+        let f = M::Proj1;
+        prop_assert!(agree(&M::Eta.then(M::map(f.clone())), &f.then(M::Eta), &Value::pair(Value::Int(1), Value::Int(2)))?);
+    }
+
+    /// Or-set-monad laws, mirrored.
+    #[test]
+    fn orset_monad_laws(v in int_orset()) {
+        prop_assert!(agree(&M::OrEta.then(M::OrMu), &M::Id, &v)?);
+        prop_assert!(agree(&M::ormap(M::OrEta).then(M::OrMu), &M::Id, &v)?);
+        let nested = Value::orset([v.clone(), Value::int_orset([0, 1])]);
+        let doubly_nested = Value::orset([nested.clone(), Value::orset([v.clone()])]);
+        prop_assert!(agree(&M::OrMu.then(M::OrMu), &M::ormap(M::OrMu).then(M::OrMu), &doubly_nested)?);
+    }
+
+    /// α-naturality (one of the Theorem 4.2 diagrams):
+    /// ormap(map(f)) ∘ α = α ∘ map(ormap(f)).
+    #[test]
+    fn alpha_naturality(v in set_of_orsets()) {
+        let f = M::pair(M::Id, M::Id).then(M::Prim(Prim::Plus)); // double each int
+        let lhs = M::Alpha.then(M::ormap(M::map(f.clone())));
+        let rhs = M::map(M::ormap(f)).then(M::Alpha);
+        prop_assert!(agree(&lhs, &rhs, &v)?);
+    }
+
+    /// ρ₂ and orρ₂ interact with projections as expected:
+    /// map(π₁) ∘ ρ₂ returns copies of the first component.
+    #[test]
+    fn rho_projections(x in 0i64..10, s in proptest::collection::vec(0i64..10, 0..5)) {
+        let v = Value::pair(Value::Int(x), Value::int_set(s.clone()));
+        let got = eval(&M::Rho2.then(M::map(M::Proj1)), &v).unwrap();
+        let expected = if s.is_empty() { Value::empty_set() } else { Value::int_set([x]) };
+        prop_assert_eq!(got, expected);
+        let w = Value::pair(Value::Int(x), Value::int_orset(s.clone()));
+        let got = eval(&M::OrRho2.then(M::ormap(M::Proj2)), &w).unwrap();
+        prop_assert_eq!(got, Value::int_orset(s));
+    }
+
+    /// The derived set operators satisfy their defining algebraic identities.
+    #[test]
+    fn derived_operator_identities(a in proptest::collection::vec(0i64..8, 0..6),
+                                   b in proptest::collection::vec(0i64..8, 0..6)) {
+        let sa = Value::int_set(a.clone());
+        let sb = Value::int_set(b.clone());
+        let pair = Value::pair(sa.clone(), sb.clone());
+        // intersection ⊆ both arguments, difference ⊆ first, and
+        // |intersect| + |difference| = |a|
+        let inter = eval(&derived::intersect(), &pair).unwrap();
+        let diff = eval(&derived::difference(), &pair).unwrap();
+        prop_assert_eq!(
+            eval(&derived::subset(), &Value::pair(inter.clone(), sa.clone())).unwrap(),
+            Value::Bool(true)
+        );
+        prop_assert_eq!(
+            eval(&derived::subset(), &Value::pair(diff.clone(), sa.clone())).unwrap(),
+            Value::Bool(true)
+        );
+        prop_assert_eq!(
+            inter.elements().unwrap().len() + diff.elements().unwrap().len(),
+            sa.elements().unwrap().len()
+        );
+        // union is the join: both arguments are subsets of it
+        let uni = eval(&M::Union, &pair).unwrap();
+        prop_assert_eq!(
+            eval(&derived::subset(), &Value::pair(sa, uni.clone())).unwrap(),
+            Value::Bool(true)
+        );
+        prop_assert_eq!(
+            eval(&derived::subset(), &Value::pair(sb, uni)).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    /// The optimizer is sound on randomly generated query pipelines over
+    /// randomly generated inputs of matching type.
+    #[test]
+    fn optimizer_soundness_on_generated_objects(seed in any::<u64>()) {
+        let config = GenConfig { max_depth: 3, max_width: 3, ..GenConfig::default() };
+        let mut gen = Generator::new(seed, config);
+        let ty = Type::set(Type::prod(Type::Int, Type::orset(Type::Int)));
+        let v = gen.object_of(&ty);
+        let queries = vec![
+            M::map(M::Proj2).then(M::map(M::ormap(M::Id))).then(M::Id),
+            derived::select(M::Proj2.then(derived::or_is_empty()).then(M::Prim(Prim::Not))),
+            M::map(M::pair(M::Proj1, M::Proj2)).then(M::map(M::Proj1)).then(M::map(M::Eta)).then(M::Mu),
+            M::Eta.then(M::map(derived::exists(M::Proj1.then(M::pair(M::Id, M::constant(Value::Int(3)))).then(M::Eq)))),
+        ];
+        for q in queries {
+            let s = simplified(&q);
+            prop_assert!(s.size() <= q.size());
+            prop_assert_eq!(eval(&q, &v).unwrap(), eval(&s, &v).unwrap());
+        }
+    }
+
+    /// Normalization commutes with or-set union at the top level:
+    /// normalize(a ∪or b) = normalize(a) ∪or normalize(b) for or-sets.
+    #[test]
+    fn normalize_distributes_over_or_union(a in set_of_orsets(), b in set_of_orsets()) {
+        prop_assume!(denotation_count(&a) <= 256 && denotation_count(&b) <= 256);
+        let oa = Value::orset([a.clone()]);
+        let ob = Value::orset([b.clone()]);
+        let unioned = eval(&M::OrUnion, &Value::pair(oa.clone(), ob.clone())).unwrap();
+        let lhs = normalize_value(&unioned);
+        let rhs = eval(
+            &M::OrUnion,
+            &Value::pair(normalize_value(&oa), normalize_value(&ob)),
+        )
+        .unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+}

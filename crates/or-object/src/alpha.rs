@@ -1,0 +1,334 @@
+//! The interaction operator `alpha` and its variants.
+//!
+//! `alpha : {<t>} -> <{t}>` combines the or-sets contained in an ordinary set
+//! "componentwise in all possible ways": each element of the result picks one
+//! alternative from every or-set of the input (a *choice function*).  It is
+//! essentially the translation of a conjunctive normal form into a
+//! disjunctive normal form and can be exponentially expensive (Section 2).
+//!
+//! Variants implemented here:
+//!
+//! * [`alpha_set`] — the plain set-semantics operator of Section 2;
+//! * [`alpha_bag`] — the duplicate-preserving `alpha_d : [|<t>|] -> <[|t|]>`
+//!   of Section 4, used by normalization;
+//! * [`alpha_antichain`] / [`beta_antichain`] — the antichain-semantics
+//!   mutually inverse isomorphisms of Theorem 3.3.
+
+use crate::antichain::{orset_min, set_max};
+use crate::base_order::BaseOrder;
+use crate::value::{Value, ValueError};
+
+/// Iterate over all choice functions of `lists`: every produced vector picks
+/// one element from each list, in lexicographic index order.
+///
+/// If any list is empty there are no choice functions.  If `lists` itself is
+/// empty there is exactly one (empty) choice function.
+pub struct ChoiceFunctions<'a, T> {
+    lists: &'a [Vec<T>],
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl<'a, T> ChoiceFunctions<'a, T> {
+    /// Create the iterator.
+    pub fn new(lists: &'a [Vec<T>]) -> Self {
+        let done = lists.iter().any(Vec::is_empty);
+        ChoiceFunctions {
+            lists,
+            indices: vec![0; lists.len()],
+            done,
+        }
+    }
+
+    /// The number of choice functions (product of the list lengths).
+    pub fn count_total(lists: &[Vec<T>]) -> u128 {
+        lists.iter().map(|l| l.len() as u128).product()
+    }
+}
+
+impl<'a, T> Iterator for ChoiceFunctions<'a, T> {
+    type Item = Vec<&'a T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let item: Vec<&T> = self
+            .indices
+            .iter()
+            .zip(self.lists.iter())
+            .map(|(&i, l)| &l[i])
+            .collect();
+        // advance odometer
+        let mut pos = self.lists.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.indices[pos] += 1;
+            if self.indices[pos] < self.lists[pos].len() {
+                break;
+            }
+            self.indices[pos] = 0;
+        }
+        Some(item)
+    }
+}
+
+fn orset_elements(v: &Value) -> Result<Vec<Value>, ValueError> {
+    match v {
+        Value::OrSet(items) => Ok(items.clone()),
+        other => Err(ValueError::Shape(format!(
+            "alpha expects a collection of or-sets, found element {other}"
+        ))),
+    }
+}
+
+/// The plain `alpha : {<t>} -> <{t}>` of Section 2.
+///
+/// * `alpha({})` is `<{}>` — there is exactly one (empty) choice;
+/// * if any member or-set is empty the result is the empty or-set `< >`
+///   (conceptual inconsistency), matching the `alpha([<1,2>, <>, <3>])`
+///   example of the introduction.
+pub fn alpha_set(v: &Value) -> Result<Value, ValueError> {
+    let items = match v {
+        Value::Set(items) => items,
+        other => {
+            return Err(ValueError::Shape(format!(
+                "alpha expects a set of or-sets, found {other}"
+            )))
+        }
+    };
+    let lists: Vec<Vec<Value>> = items
+        .iter()
+        .map(orset_elements)
+        .collect::<Result<_, _>>()?;
+    let mut out: Vec<Value> = Vec::new();
+    for choice in ChoiceFunctions::new(&lists) {
+        out.push(Value::set(choice.into_iter().cloned()));
+    }
+    Ok(Value::orset(out))
+}
+
+/// The duplicate-preserving `alpha_d : [|<t>|] -> <[|t|]>` of Section 4.
+///
+/// Duplicated or-sets in the input each contribute their own choice, so
+/// `alpha_d([|<1,2>, <1,2>|]) = <[|1,1|], [|1,2|], [|2,2|]>`.
+pub fn alpha_bag(v: &Value) -> Result<Value, ValueError> {
+    let items = match v {
+        Value::Bag(items) => items,
+        other => {
+            return Err(ValueError::Shape(format!(
+                "alpha_d expects a bag of or-sets, found {other}"
+            )))
+        }
+    };
+    let lists: Vec<Vec<Value>> = items
+        .iter()
+        .map(orset_elements)
+        .collect::<Result<_, _>>()?;
+    let mut out: Vec<Value> = Vec::new();
+    for choice in ChoiceFunctions::new(&lists) {
+        out.push(Value::bag(choice.into_iter().cloned()));
+    }
+    Ok(Value::orset(out))
+}
+
+/// The antichain-semantics `alpha_a : [[{<t>}]]_a -> [[<{t}>]]_a` of
+/// Theorem 3.3:
+///
+/// ```text
+/// alpha_a(A) = min_{f ∈ F_A} ( max f(A) )
+/// ```
+///
+/// where `f` ranges over choice functions, `max` is taken with respect to the
+/// element order, and `min` with respect to the Hoare order on the resulting
+/// sets.
+pub fn alpha_antichain(base: BaseOrder, v: &Value) -> Result<Value, ValueError> {
+    let items = match v {
+        Value::Set(items) => items,
+        other => {
+            return Err(ValueError::Shape(format!(
+                "alpha_a expects a set of or-sets, found {other}"
+            )))
+        }
+    };
+    let lists: Vec<Vec<Value>> = items
+        .iter()
+        .map(orset_elements)
+        .collect::<Result<_, _>>()?;
+    let mut candidates: Vec<Value> = Vec::new();
+    for choice in ChoiceFunctions::new(&lists) {
+        let chosen: Vec<Value> = choice.into_iter().cloned().collect();
+        candidates.push(Value::set(set_max(base, &chosen)));
+    }
+    candidates.sort();
+    candidates.dedup();
+    Ok(Value::orset(orset_min(base, &candidates)))
+}
+
+/// The inverse isomorphism `beta_a : [[<{t}>]]_a -> [[{<t>}]]_a` of
+/// Theorem 3.3:
+///
+/// ```text
+/// beta_a(A) = max_{f ∈ F_A} ( min f(A) )
+/// ```
+///
+/// where `f` now chooses one element from every *set* in the or-set, `min`
+/// is taken with respect to the element order, and `max` with respect to the
+/// Smyth order on the resulting or-sets.
+pub fn beta_antichain(base: BaseOrder, v: &Value) -> Result<Value, ValueError> {
+    let items = match v {
+        Value::OrSet(items) => items,
+        other => {
+            return Err(ValueError::Shape(format!(
+                "beta_a expects an or-set of sets, found {other}"
+            )))
+        }
+    };
+    let lists: Vec<Vec<Value>> = items
+        .iter()
+        .map(|x| match x {
+            Value::Set(inner) => Ok(inner.clone()),
+            other => Err(ValueError::Shape(format!(
+                "beta_a expects an or-set of sets, found element {other}"
+            ))),
+        })
+        .collect::<Result<_, _>>()?;
+    let mut candidates: Vec<Value> = Vec::new();
+    for choice in ChoiceFunctions::new(&lists) {
+        let chosen: Vec<Value> = choice.into_iter().cloned().collect();
+        candidates.push(Value::orset(orset_min(base, &chosen)));
+    }
+    candidates.sort();
+    candidates.dedup();
+    Ok(Value::set(set_max(base, &candidates)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_alpha_of_two_orsets() {
+        // alpha [ <2,3>, <4,5,3> ] = < {2,4},{2,5},{2,3},{3,4},{3,5},{3} >
+        let v = Value::set([Value::int_orset([2, 3]), Value::int_orset([4, 5, 3])]);
+        let out = alpha_set(&v).unwrap();
+        let expected = Value::orset([
+            Value::int_set([2, 4]),
+            Value::int_set([2, 5]),
+            Value::int_set([2, 3]),
+            Value::int_set([3, 4]),
+            Value::int_set([3, 5]),
+            Value::int_set([3]),
+        ]);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn paper_example_alpha_with_empty_orset_is_inconsistent() {
+        // alpha [ <1,2>, <>, <3> ] = <>
+        let v = Value::set([
+            Value::int_orset([1, 2]),
+            Value::empty_orset(),
+            Value::int_orset([3]),
+        ]);
+        assert_eq!(alpha_set(&v).unwrap(), Value::empty_orset());
+    }
+
+    #[test]
+    fn alpha_of_empty_set_is_singleton_empty_set() {
+        let v = Value::empty_set();
+        assert_eq!(alpha_set(&v).unwrap(), Value::orset([Value::empty_set()]));
+    }
+
+    #[test]
+    fn alpha_rejects_non_orset_elements() {
+        let v = Value::set([Value::Int(1)]);
+        assert!(alpha_set(&v).is_err());
+        assert!(alpha_set(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn alpha_bag_keeps_duplicates() {
+        // alpha_d [| <1,2>, <1,2> |] = < [|1,1|], [|1,2|], [|2,2|] >
+        let v = Value::bag([Value::int_orset([1, 2]), Value::int_orset([1, 2])]);
+        let out = alpha_bag(&v).unwrap();
+        let expected = Value::orset([
+            Value::bag([Value::Int(1), Value::Int(1)]),
+            Value::bag([Value::Int(1), Value::Int(2)]),
+            Value::bag([Value::Int(2), Value::Int(2)]),
+        ]);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn set_semantics_loses_choices_that_bag_semantics_keeps() {
+        // With plain sets, {<a,b>, <a,b>} collapses to {<a,b>} and alpha can
+        // no longer produce {a, b}; this is exactly the subtlety motivating
+        // multisets in Section 4.
+        let set_version = Value::set([Value::int_orset([1, 2]), Value::int_orset([1, 2])]);
+        let out = alpha_set(&set_version).unwrap();
+        assert_eq!(
+            out,
+            Value::orset([Value::int_set([1]), Value::int_set([2])])
+        );
+        assert!(!out
+            .elements()
+            .unwrap()
+            .contains(&Value::int_set([1, 2])));
+    }
+
+    #[test]
+    fn alpha_blowup_is_two_to_the_n() {
+        // n two-element or-sets, all elements distinct: 2^n result sets
+        let n = 8;
+        let orsets: Vec<Value> = (0..n)
+            .map(|i| Value::int_orset([2 * i as i64, 2 * i as i64 + 1]))
+            .collect();
+        let v = Value::set(orsets);
+        let out = alpha_set(&v).unwrap();
+        assert_eq!(out.elements().unwrap().len(), 1 << n);
+    }
+
+    #[test]
+    fn choice_function_count() {
+        let lists = vec![vec![1, 2], vec![3, 4, 5], vec![6]];
+        assert_eq!(ChoiceFunctions::count_total(&lists), 6);
+        assert_eq!(ChoiceFunctions::new(&lists).count(), 6);
+    }
+
+    #[test]
+    fn alpha_antichain_matches_plain_alpha_on_discrete_base() {
+        let v = Value::set([Value::int_orset([2, 3]), Value::int_orset([4, 5, 3])]);
+        let plain = alpha_set(&v).unwrap();
+        let anti = alpha_antichain(BaseOrder::Discrete, &v).unwrap();
+        // Every antichain-result set also appears in the plain result, and
+        // supersets of {3} (namely {2,3}, {3,4}, {3,5}) are pruned because
+        // {3} lies Hoare-below them.
+        let anti_items = anti.elements().unwrap();
+        for s in anti_items {
+            assert!(plain.elements().unwrap().contains(s));
+        }
+        assert_eq!(
+            anti,
+            Value::orset([
+                Value::int_set([2, 4]),
+                Value::int_set([2, 5]),
+                Value::int_set([3]),
+            ])
+        );
+    }
+
+    #[test]
+    fn alpha_and_beta_antichain_are_mutually_inverse_on_an_example() {
+        let base = BaseOrder::FlatWithNull;
+        // an antichain of antichains: [ <1,2>, <3> ]
+        let v = Value::set([Value::int_orset([1, 2]), Value::int_orset([3])]);
+        let a = alpha_antichain(base, &v).unwrap();
+        let back = beta_antichain(base, &a).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,187 @@
+//! Antichain semantics: `max`/`min` coercions and helpers.
+//!
+//! Section 3 proposes restricting set values to antichains of their element
+//! order, using the *maximal* elements for ordinary sets and the *minimal*
+//! elements for or-sets.  Under this "antichain semantics" an application
+//! that produces a set (or-set) is followed by `max` (`min`) to re-establish
+//! the invariant.
+
+use crate::base_order::BaseOrder;
+use crate::order::object_leq;
+use crate::value::Value;
+
+/// The maximal elements of `items` under `leq` (duplicates removed).
+pub fn max_elems<T, F>(items: &[T], mut leq: F) -> Vec<T>
+where
+    T: Clone + PartialEq,
+    F: FnMut(&T, &T) -> bool,
+{
+    let mut out: Vec<T> = Vec::new();
+    for (i, x) in items.iter().enumerate() {
+        let dominated = items.iter().enumerate().any(|(j, y)| {
+            if i == j {
+                return false;
+            }
+            // strictly above, or equal-but-earlier (to dedup equals)
+            (leq(x, y) && !leq(y, x)) || (leq(x, y) && leq(y, x) && j < i)
+        });
+        if !dominated && !out.contains(x) {
+            out.push(x.clone());
+        }
+    }
+    out
+}
+
+/// The minimal elements of `items` under `leq` (duplicates removed).
+pub fn min_elems<T, F>(items: &[T], mut leq: F) -> Vec<T>
+where
+    T: Clone + PartialEq,
+    F: FnMut(&T, &T) -> bool,
+{
+    max_elems(items, |a, b| leq(b, a))
+}
+
+/// Is `items` an antichain under `leq` (no two distinct comparable elements)?
+pub fn is_antichain<T, F>(items: &[T], mut leq: F) -> bool
+where
+    T: PartialEq,
+    F: FnMut(&T, &T) -> bool,
+{
+    for (i, x) in items.iter().enumerate() {
+        for (j, y) in items.iter().enumerate() {
+            if i != j && (leq(x, y) || leq(y, x)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Take the maximal elements of a set value under the structural order.
+pub fn set_max(base: BaseOrder, items: &[Value]) -> Vec<Value> {
+    max_elems(items, |a, b| object_leq(base, a, b))
+}
+
+/// Take the minimal elements of an or-set value under the structural order.
+pub fn orset_min(base: BaseOrder, items: &[Value]) -> Vec<Value> {
+    min_elems(items, |a, b| object_leq(base, a, b))
+}
+
+/// Coerce an object into the antichain semantics: recursively keep only the
+/// maximal elements of every set and the minimal elements of every or-set.
+/// Bags are left untouched (they are internal to normalization, which does
+/// not use the antichain semantics).
+pub fn to_antichain(base: BaseOrder, v: &Value) -> Value {
+    match v {
+        x if x.is_base() => x.clone(),
+        Value::Pair(a, b) => Value::pair(to_antichain(base, a), to_antichain(base, b)),
+        Value::Set(items) => {
+            let items: Vec<Value> = items.iter().map(|x| to_antichain(base, x)).collect();
+            Value::set(set_max(base, &items))
+        }
+        Value::OrSet(items) => {
+            let items: Vec<Value> = items.iter().map(|x| to_antichain(base, x)).collect();
+            Value::orset(orset_min(base, &items))
+        }
+        Value::Bag(items) => Value::bag(items.iter().map(|x| to_antichain(base, x))),
+        _ => unreachable!("all shapes covered"),
+    }
+}
+
+/// Is the object already in antichain form (every set an antichain of
+/// maximal elements, every or-set an antichain of minimal elements)?
+pub fn is_antichain_object(base: BaseOrder, v: &Value) -> bool {
+    match v {
+        x if x.is_base() => true,
+        Value::Pair(a, b) => is_antichain_object(base, a) && is_antichain_object(base, b),
+        Value::Set(items) | Value::OrSet(items) => {
+            items.iter().all(|x| is_antichain_object(base, x))
+                && is_antichain(items, |a, b| object_leq(base, a, b))
+        }
+        Value::Bag(items) => items.iter().all(|x| is_antichain_object(base, x)),
+        _ => unreachable!("all shapes covered"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_and_min_of_an_integer_chain() {
+        let leq = |a: &i64, b: &i64| a <= b;
+        assert_eq!(max_elems(&[1, 3, 2], leq), vec![3]);
+        assert_eq!(min_elems(&[1, 3, 2], leq), vec![1]);
+    }
+
+    #[test]
+    fn max_removes_duplicates_but_keeps_incomparables() {
+        let eq = |a: &i64, b: &i64| a == b;
+        let mut m = max_elems(&[2, 1, 2, 3], eq);
+        m.sort();
+        assert_eq!(m, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn antichain_detection() {
+        let leq = |a: &i64, b: &i64| a <= b;
+        assert!(is_antichain(&[5], leq));
+        assert!(!is_antichain(&[1, 2], leq));
+        let eq = |a: &i64, b: &i64| a == b;
+        assert!(is_antichain(&[1, 2, 3], eq));
+    }
+
+    #[test]
+    fn antichain_coercion_on_flat_records() {
+        // { (null, "515"), ("Joe", "515") } -- the first record is subsumed
+        let base = BaseOrder::FlatWithNull;
+        let v = Value::set([
+            Value::pair(Value::Null, Value::str("515")),
+            Value::pair(Value::str("Joe"), Value::str("515")),
+        ]);
+        let a = to_antichain(base, &v);
+        assert_eq!(
+            a,
+            Value::set([Value::pair(Value::str("Joe"), Value::str("515"))])
+        );
+        assert!(is_antichain_object(base, &a));
+        assert!(!is_antichain_object(base, &v));
+    }
+
+    #[test]
+    fn orsets_keep_minimal_elements() {
+        let base = BaseOrder::NumericLeq;
+        let v = Value::int_orset([3, 5, 7]);
+        let a = to_antichain(base, &v);
+        assert_eq!(a, Value::int_orset([3]));
+    }
+
+    #[test]
+    fn sets_keep_maximal_elements_under_numeric_order() {
+        let base = BaseOrder::NumericLeq;
+        let v = Value::int_set([3, 5, 7]);
+        let a = to_antichain(base, &v);
+        assert_eq!(a, Value::int_set([7]));
+    }
+
+    #[test]
+    fn coercion_is_idempotent() {
+        let base = BaseOrder::NumericLeq;
+        let v = Value::set([
+            Value::int_orset([1, 2, 3]),
+            Value::int_orset([2, 3]),
+            Value::int_orset([9]),
+        ]);
+        let once = to_antichain(base, &v);
+        let twice = to_antichain(base, &once);
+        assert_eq!(once, twice);
+        assert!(is_antichain_object(base, &once));
+    }
+
+    #[test]
+    fn coercion_preserves_discrete_objects() {
+        let base = BaseOrder::Discrete;
+        let v = Value::set([Value::int_orset([1, 2]), Value::int_orset([3, 4])]);
+        assert_eq!(to_antichain(base, &v), v);
+    }
+}

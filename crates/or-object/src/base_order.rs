@@ -1,0 +1,110 @@
+//! Orders on base values.
+//!
+//! Section 3 of the paper assumes that "orders on values of base types are
+//! given" and builds the order on complex objects on top of them.  Three
+//! concrete base orders are provided:
+//!
+//! * [`BaseOrder::Discrete`] — values of base types are totally unordered
+//!   (the paper notes this choice recovers databases *without* partial
+//!   information);
+//! * [`BaseOrder::FlatWithNull`] — a flat domain: a distinguished bottom
+//!   element ([`Value::Null`]) sits below every other value of the base type
+//!   and all other values are pairwise incomparable (Codd tables);
+//! * [`BaseOrder::NumericLeq`] — integers ordered by `<=` (booleans by
+//!   `false <= true`), all other base values as in the flat domain.  This
+//!   richer poset is useful for exercising the order-theoretic results on
+//!   nontrivial chains.
+
+use crate::value::Value;
+
+/// A partial order on base values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BaseOrder {
+    /// Every base value is comparable only to itself.
+    Discrete,
+    /// Flat domains: `Null` is below everything of the same base type,
+    /// distinct non-null values are incomparable.
+    #[default]
+    FlatWithNull,
+    /// Integers by `<=`, booleans by implication, `Null` below everything,
+    /// other base values incomparable unless equal.
+    NumericLeq,
+}
+
+impl BaseOrder {
+    /// Is `x ⊑ y` for base values `x`, `y`?
+    ///
+    /// Values of different base types are never comparable (except that
+    /// `Null` — which is untyped in our representation — is below every base
+    /// value under the non-discrete orders).
+    pub fn leq(&self, x: &Value, y: &Value) -> bool {
+        debug_assert!(x.is_base(), "base order applied to non-base value {x}");
+        debug_assert!(y.is_base(), "base order applied to non-base value {y}");
+        if x == y {
+            return true;
+        }
+        match self {
+            BaseOrder::Discrete => false,
+            BaseOrder::FlatWithNull => matches!(x, Value::Null),
+            BaseOrder::NumericLeq => match (x, y) {
+                (Value::Null, _) => true,
+                (Value::Int(a), Value::Int(b)) => a <= b,
+                (Value::Bool(a), Value::Bool(b)) => !a || *b,
+                _ => false,
+            },
+        }
+    }
+
+    /// Strict version of [`BaseOrder::leq`].
+    pub fn lt(&self, x: &Value, y: &Value) -> bool {
+        x != y && self.leq(x, y)
+    }
+
+    /// Are `x` and `y` comparable?
+    pub fn comparable(&self, x: &Value, y: &Value) -> bool {
+        self.leq(x, y) || self.leq(y, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_only_relates_equal_values() {
+        let o = BaseOrder::Discrete;
+        assert!(o.leq(&Value::Int(3), &Value::Int(3)));
+        assert!(!o.leq(&Value::Int(3), &Value::Int(4)));
+        assert!(!o.leq(&Value::Null, &Value::Int(4)));
+    }
+
+    #[test]
+    fn flat_with_null_has_bottom() {
+        let o = BaseOrder::FlatWithNull;
+        assert!(o.leq(&Value::Null, &Value::str("Joe")));
+        assert!(o.leq(&Value::Null, &Value::Int(1)));
+        assert!(!o.leq(&Value::str("Joe"), &Value::str("Mary")));
+        assert!(!o.leq(&Value::Int(1), &Value::Int(2)));
+        assert!(o.lt(&Value::Null, &Value::Int(1)));
+        assert!(!o.lt(&Value::Int(1), &Value::Int(1)));
+    }
+
+    #[test]
+    fn numeric_order_relates_integers_and_booleans() {
+        let o = BaseOrder::NumericLeq;
+        assert!(o.leq(&Value::Int(1), &Value::Int(2)));
+        assert!(!o.leq(&Value::Int(2), &Value::Int(1)));
+        assert!(o.leq(&Value::Bool(false), &Value::Bool(true)));
+        assert!(!o.leq(&Value::Bool(true), &Value::Bool(false)));
+        assert!(o.leq(&Value::Null, &Value::Int(-5)));
+        assert!(!o.leq(&Value::Int(1), &Value::Bool(true)));
+    }
+
+    #[test]
+    fn comparability_is_symmetric_in_the_flat_domain() {
+        let o = BaseOrder::FlatWithNull;
+        assert!(o.comparable(&Value::Null, &Value::Int(2)));
+        assert!(o.comparable(&Value::Int(2), &Value::Null));
+        assert!(!o.comparable(&Value::Int(2), &Value::Int(3)));
+    }
+}

@@ -1,0 +1,254 @@
+//! Random generators for types and objects.
+//!
+//! These are used by the property tests and by the benchmark workloads
+//! (experiments E3–E5, E8–E11).  Generation is deterministic given an RNG
+//! seed so that benchmark tables are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::Type;
+use crate::value::Value;
+
+/// Parameters controlling random generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum nesting depth of generated types/objects.
+    pub max_depth: usize,
+    /// Maximum number of elements in generated sets / or-sets.
+    pub max_width: usize,
+    /// Range of generated integer constants (inclusive upper bound).
+    pub int_range: i64,
+    /// Probability (0..=100) of generating an or-set at a collection site.
+    pub orset_bias: u8,
+    /// Allow empty or-sets (conceptually inconsistent objects).
+    pub allow_empty_orsets: bool,
+    /// Allow `Null` constants at base types.
+    pub allow_nulls: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 4,
+            max_width: 3,
+            int_range: 8,
+            orset_bias: 50,
+            allow_empty_orsets: false,
+            allow_nulls: false,
+        }
+    }
+}
+
+/// A deterministic generator of random types and objects.
+#[derive(Debug)]
+pub struct Generator {
+    rng: StdRng,
+    /// Generation parameters.
+    pub config: GenConfig,
+}
+
+impl Generator {
+    /// Create a generator from a seed and configuration.
+    pub fn new(seed: u64, config: GenConfig) -> Self {
+        Generator {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// Create a generator with default configuration.
+    pub fn with_seed(seed: u64) -> Self {
+        Generator::new(seed, GenConfig::default())
+    }
+
+    /// Generate a random object type of depth at most `config.max_depth`
+    /// that is guaranteed to mention an or-set.
+    pub fn or_type(&mut self) -> Type {
+        loop {
+            let t = self.object_type(self.config.max_depth);
+            if t.contains_orset() {
+                return t;
+            }
+        }
+    }
+
+    /// Generate a random object type of depth at most `depth`.
+    pub fn object_type(&mut self, depth: usize) -> Type {
+        if depth <= 1 {
+            return self.base_type();
+        }
+        match self.rng.gen_range(0..100u8) {
+            0..=24 => self.base_type(),
+            25..=49 => Type::prod(self.object_type(depth - 1), self.object_type(depth - 1)),
+            50..=74 => {
+                if self.rng.gen_range(0..100u8) < self.config.orset_bias {
+                    Type::orset(self.object_type(depth - 1))
+                } else {
+                    Type::set(self.object_type(depth - 1))
+                }
+            }
+            _ => {
+                if self.rng.gen_range(0..100u8) < self.config.orset_bias {
+                    Type::orset(self.object_type(depth - 1))
+                } else {
+                    Type::set(self.object_type(depth - 1))
+                }
+            }
+        }
+    }
+
+    fn base_type(&mut self) -> Type {
+        match self.rng.gen_range(0..3u8) {
+            0 => Type::Int,
+            1 => Type::Bool,
+            _ => Type::Str,
+        }
+    }
+
+    /// Generate a random object of the given type.
+    pub fn object_of(&mut self, ty: &Type) -> Value {
+        match ty {
+            Type::Unit => Value::Unit,
+            Type::Bool => {
+                if self.config.allow_nulls && self.rng.gen_ratio(1, 8) {
+                    Value::Null
+                } else {
+                    Value::Bool(self.rng.gen())
+                }
+            }
+            Type::Int => {
+                if self.config.allow_nulls && self.rng.gen_ratio(1, 8) {
+                    Value::Null
+                } else {
+                    Value::Int(self.rng.gen_range(0..=self.config.int_range))
+                }
+            }
+            Type::Str => {
+                if self.config.allow_nulls && self.rng.gen_ratio(1, 8) {
+                    Value::Null
+                } else {
+                    let names = ["a", "b", "c", "d", "e", "f"];
+                    Value::str(names[self.rng.gen_range(0..names.len())])
+                }
+            }
+            Type::Prod(a, b) => Value::pair(self.object_of(a), self.object_of(b)),
+            Type::Set(t) => {
+                let width = self.rng.gen_range(0..=self.config.max_width);
+                Value::set((0..width).map(|_| self.object_of(t)))
+            }
+            Type::OrSet(t) => {
+                let lo = usize::from(!self.config.allow_empty_orsets);
+                let width = self.rng.gen_range(lo..=self.config.max_width.max(lo));
+                Value::orset((0..width).map(|_| self.object_of(t)))
+            }
+            Type::Bag(t) => {
+                let width = self.rng.gen_range(0..=self.config.max_width);
+                Value::bag((0..width).map(|_| self.object_of(t)))
+            }
+        }
+    }
+
+    /// Generate a random object together with its type.
+    pub fn typed_object(&mut self) -> (Type, Value) {
+        let ty = self.object_type(self.config.max_depth);
+        let v = self.object_of(&ty);
+        (ty, v)
+    }
+
+    /// Generate a random or-set-containing object together with its type.
+    pub fn typed_or_object(&mut self) -> (Type, Value) {
+        let ty = self.or_type();
+        let v = self.object_of(&ty);
+        (ty, v)
+    }
+
+    /// The witness family of Theorem 6.2 / 6.5: a set of `k` three-element
+    /// or-sets over `3k` pairwise-distinct integers.  Its normal form has
+    /// exactly `3^k = 3^{n/3}` elements of size `k = n/3` each.
+    pub fn tightness_witness(k: usize) -> Value {
+        Value::set((0..k).map(|i| {
+            Value::int_orset([3 * i as i64, 3 * i as i64 + 1, 3 * i as i64 + 2])
+        }))
+    }
+
+    /// The exponential-blow-up family of Section 2: a set of `n` two-element
+    /// or-sets over `2n` pairwise-distinct integers.  `alpha` maps it to an
+    /// or-set of `2^n` sets.
+    pub fn alpha_blowup_witness(n: usize) -> Value {
+        Value::set((0..n).map(|i| Value::int_orset([2 * i as i64, 2 * i as i64 + 1])))
+    }
+
+    /// Access the underlying RNG (for workloads that need extra randomness).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut g1 = Generator::with_seed(7);
+        let mut g2 = Generator::with_seed(7);
+        for _ in 0..20 {
+            assert_eq!(g1.typed_object(), g2.typed_object());
+        }
+    }
+
+    #[test]
+    fn generated_objects_have_their_declared_type() {
+        let mut g = Generator::with_seed(42);
+        for _ in 0..200 {
+            let (ty, v) = g.typed_object();
+            assert!(v.has_type(&ty), "{v} should have type {ty}");
+        }
+    }
+
+    #[test]
+    fn or_type_always_contains_an_orset() {
+        let mut g = Generator::with_seed(3);
+        for _ in 0..50 {
+            assert!(g.or_type().contains_orset());
+        }
+    }
+
+    #[test]
+    fn empty_orsets_are_excluded_by_default() {
+        let mut g = Generator::with_seed(11);
+        for _ in 0..200 {
+            let (_, v) = g.typed_or_object();
+            assert!(!v.contains_empty_orset(), "{v} contains an empty or-set");
+        }
+    }
+
+    #[test]
+    fn nulls_appear_when_enabled() {
+        let config = GenConfig {
+            allow_nulls: true,
+            ..GenConfig::default()
+        };
+        let mut g = Generator::new(5, config);
+        let ty = Type::set(Type::Int);
+        let found_null = (0..200)
+            .map(|_| g.object_of(&ty))
+            .any(|v| v.subobjects().iter().any(|s| **s == Value::Null));
+        assert!(found_null);
+    }
+
+    #[test]
+    fn tightness_witness_has_expected_size() {
+        let w = Generator::tightness_witness(4);
+        assert_eq!(w.size(), 12);
+        assert_eq!(w.elements().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn blowup_witness_has_expected_shape() {
+        let w = Generator::alpha_blowup_witness(5);
+        assert_eq!(w.size(), 10);
+        assert_eq!(w.elements().unwrap().len(), 5);
+    }
+}

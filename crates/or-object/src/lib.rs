@@ -1,0 +1,77 @@
+//! # or-object — complex objects with or-sets
+//!
+//! The object-model substrate for the reproduction of
+//! *Semantic Representations and Query Languages for Or-Sets*
+//! (Libkin & Wong, PODS 1993 / JCSS 1996).
+//!
+//! An **or-set** `<x₁, …, xₙ>` is structurally a collection of alternatives
+//! but conceptually denotes *one* of its members.  This crate provides:
+//!
+//! * [`types::Type`] / [`value::Value`] — the object types and complex
+//!   objects of the paper (base types, products, sets `{·}`, or-sets `<·>`,
+//!   and the internal multisets of Section 4), with canonical
+//!   representations and the `size` measure of Section 6;
+//! * [`base_order::BaseOrder`] and [`order`] — the partial-information
+//!   orders of Section 3: base orders, the Hoare / Smyth / Plotkin orders on
+//!   finite sets, and the induced structural order on objects;
+//! * [`antichain`] — the antichain semantics (`max` for sets, `min` for
+//!   or-sets);
+//! * [`alpha`] — the interaction operator `alpha : {<t>} → <{t}>`, its
+//!   duplicate-preserving variant `alpha_d`, and the antichain isomorphisms
+//!   `alpha_a` / `beta_a` of Theorem 3.3;
+//! * [`steps`] — the elementary information-improvement steps whose closures
+//!   characterize the Hoare and Smyth orders (Propositions 3.1 / 3.2);
+//! * [`theory`] — modal-logic theories of objects and the order
+//!   characterization of Proposition 3.4;
+//! * [`generate`] — deterministic random generators for tests and benchmark
+//!   workloads.
+//!
+//! The query languages or-NRA and or-NRA⁺ themselves live in the `or-nra`
+//! crate, which builds on this one.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use or_object::prelude::*;
+//!
+//! // A design component that can be built from module 4 or module 7.
+//! let component = Value::pair(Value::str("A"), Value::int_orset([4, 7]));
+//! assert_eq!(component.to_string(), "(\"A\", <4, 7>)");
+//!
+//! // alpha combines a set of or-sets in all possible ways.
+//! let choices = Value::set([Value::int_orset([1, 2]), Value::int_orset([3])]);
+//! let combined = alpha::alpha_set(&choices).unwrap();
+//! assert_eq!(combined, Value::orset([
+//!     Value::int_set([1, 3]),
+//!     Value::int_set([2, 3]),
+//! ]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alpha;
+pub mod antichain;
+pub mod base_order;
+pub mod generate;
+pub mod order;
+pub mod steps;
+pub mod theory;
+pub mod types;
+pub mod value;
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::alpha;
+    pub use crate::antichain::{is_antichain_object, to_antichain};
+    pub use crate::base_order::BaseOrder;
+    pub use crate::generate::{GenConfig, Generator};
+    pub use crate::order::{object_leq, object_lt};
+    pub use crate::theory::{entails, separating_formula, Formula};
+    pub use crate::types::Type;
+    pub use crate::value::{Value, ValueError};
+}
+
+pub use base_order::BaseOrder;
+pub use types::Type;
+pub use value::{Value, ValueError};

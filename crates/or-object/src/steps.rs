@@ -1,0 +1,351 @@
+//! Elementary information-improvement steps and their closures
+//! (Propositions 3.1 and 3.2).
+//!
+//! Section 3 characterizes the Hoare and Smyth orders as reflexive–transitive
+//! closures of elementary transformations on finite sets over a poset
+//! `(X, ≤)`:
+//!
+//! * for ordinary sets (`⇝`):
+//!   1. replace an element `a` by a non-empty set `A'` of elements all above
+//!      `a`;
+//!   2. add an arbitrary element;
+//! * for or-sets (`↪`):
+//!   1. replace an element `a` by a non-empty set `A'` of elements all above
+//!      `a`;
+//!   2. remove an element, provided the result is non-empty.
+//!
+//! Proposition 3.1 states `⇝* = ⊑♭` and `↪* = ⊑♯`.  Proposition 3.2 states
+//! the analogous result for the antichain variants `⇝ₐ` / `↪ₐ` in which each
+//! step is followed by `max` / `min`.
+//!
+//! The closure checkers below perform a breadth-first search over step
+//! applications restricted to elements occurring in the source or the target
+//! (the proofs of Propositions 3.1/3.2 show that this restriction is
+//! complete).  They are intentionally independent of the direct order
+//! predicates in [`crate::order`], so tests and experiment E8 can confirm the
+//! propositions by comparing the two.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::antichain::{max_elems, min_elems};
+
+/// Which collection kind the steps operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Ordinary sets: replacement by larger elements and addition.
+    Set,
+    /// Or-sets: replacement by larger elements and removal (keeping the
+    /// result non-empty).
+    OrSet,
+}
+
+/// Configuration for the closure search.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosureConfig {
+    /// Apply the antichain coercion (`max` for sets, `min` for or-sets)
+    /// after every step, as in Proposition 3.2.
+    pub antichain: bool,
+    /// Safety cap on the number of states explored.
+    pub max_states: usize,
+}
+
+impl Default for ClosureConfig {
+    fn default() -> Self {
+        ClosureConfig {
+            antichain: false,
+            max_states: 200_000,
+        }
+    }
+}
+
+/// A state in the search: a finite subset of the universe, encoded as a
+/// sorted vector of universe indices.
+type State = Vec<usize>;
+
+fn canonical(mut s: State) -> State {
+    s.sort_unstable();
+    s.dedup();
+    s
+}
+
+/// Compute the successor states of `state` under the elementary steps,
+/// where the universe is indexed `0..n` and `leq(i, j)` gives the element
+/// order on universe indices.
+fn successors<F>(
+    state: &State,
+    universe_len: usize,
+    leq: &F,
+    kind: StepKind,
+    antichain: bool,
+) -> Vec<State>
+where
+    F: Fn(usize, usize) -> bool,
+{
+    let mut out: Vec<State> = Vec::new();
+    let coerce = |s: State| -> State {
+        if !antichain {
+            return canonical(s);
+        }
+        let items = canonical(s);
+        let picked = match kind {
+            StepKind::Set => max_elems(&items, |a, b| leq(*a, *b)),
+            StepKind::OrSet => min_elems(&items, |a, b| leq(*a, *b)),
+        };
+        canonical(picked)
+    };
+
+    // Rule 1 (both kinds): replace an element by a non-empty set of elements
+    // all above it.  We enumerate non-empty subsets of the up-set of `a`
+    // restricted to the universe.
+    for (pos, &a) in state.iter().enumerate() {
+        let ups: Vec<usize> = (0..universe_len).filter(|&x| leq(a, x)).collect();
+        if ups.is_empty() {
+            continue;
+        }
+        // enumerate non-empty subsets of `ups` (the universe is small in the
+        // intended uses: tests and experiment E8 keep it under ~12 elements)
+        let m = ups.len();
+        for mask in 1u32..(1u32 << m) {
+            let mut next: State = state.clone();
+            next.remove(pos);
+            for (bit, &u) in ups.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    next.push(u);
+                }
+            }
+            out.push(coerce(next));
+        }
+    }
+
+    match kind {
+        StepKind::Set => {
+            // Rule 2 for sets: add an arbitrary universe element.
+            for x in 0..universe_len {
+                if !state.contains(&x) {
+                    let mut next = state.clone();
+                    next.push(x);
+                    out.push(coerce(next));
+                }
+            }
+        }
+        StepKind::OrSet => {
+            // Rule 2 for or-sets: remove an element, result must be non-empty.
+            if state.len() > 1 {
+                for pos in 0..state.len() {
+                    let mut next = state.clone();
+                    next.remove(pos);
+                    out.push(coerce(next));
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Is `target` reachable from `source` by a (possibly empty) sequence of
+/// elementary steps, using only elements of `source ∪ target`?
+///
+/// `leq` is the element order.  Elements are compared for identity with
+/// `PartialEq`; duplicates between `source` and `target` are merged.
+pub fn reachable<T, F>(
+    source: &[T],
+    target: &[T],
+    mut leq: F,
+    kind: StepKind,
+    config: ClosureConfig,
+) -> bool
+where
+    T: Clone + PartialEq,
+    F: FnMut(&T, &T) -> bool,
+{
+    // Build the universe.
+    let mut universe: Vec<T> = Vec::new();
+    for x in source.iter().chain(target.iter()) {
+        if !universe.contains(x) {
+            universe.push(x.clone());
+        }
+    }
+    let index_of = |x: &T, universe: &[T]| universe.iter().position(|u| u == x).unwrap();
+    let src: State = canonical(source.iter().map(|x| index_of(x, &universe)).collect());
+    let tgt: State = canonical(target.iter().map(|x| index_of(x, &universe)).collect());
+
+    // Pre-compute the order relation on universe indices.
+    let n = universe.len();
+    let mut rel = vec![false; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            rel[i * n + j] = leq(&universe[i], &universe[j]);
+        }
+    }
+    let leq_idx = move |i: usize, j: usize| rel[i * n + j];
+
+    // The starting state must also be coerced when the antichain variant is
+    // requested (the relation is defined on antichains).
+    let start = if config.antichain {
+        let picked = match kind {
+            StepKind::Set => max_elems(&src, |a, b| leq_idx(*a, *b)),
+            StepKind::OrSet => min_elems(&src, |a, b| leq_idx(*a, *b)),
+        };
+        canonical(picked)
+    } else {
+        src
+    };
+    if start == tgt {
+        return true;
+    }
+
+    let mut seen: BTreeSet<State> = BTreeSet::new();
+    seen.insert(start.clone());
+    let mut queue: VecDeque<State> = VecDeque::new();
+    queue.push_back(start);
+    while let Some(state) = queue.pop_front() {
+        if seen.len() > config.max_states {
+            // Search exhausted its budget; report unreachable conservatively.
+            return false;
+        }
+        for next in successors(&state, n, &leq_idx, kind, config.antichain) {
+            if next == tgt {
+                return true;
+            }
+            if seen.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{hoare, smyth};
+
+    /// A small poset used throughout: 0 < 2, 0 < 3, 1 < 3, 1 < 4 (a "zig-zag").
+    fn zigzag(a: &u8, b: &u8) -> bool {
+        a == b
+            || matches!(
+                (a, b),
+                (0, 2) | (0, 3) | (1, 3) | (1, 4)
+            )
+    }
+
+    #[test]
+    fn office_example_reaches_more_informative_set() {
+        // {⊥} ⇝* {Joe, Mary, Bill}: replace the null record and add one.
+        // modelled on the zigzag poset: {0} should reach {2, 3, 4}
+        assert!(reachable(
+            &[0u8],
+            &[2, 3, 4],
+            zigzag,
+            StepKind::Set,
+            ClosureConfig::default()
+        ));
+    }
+
+    #[test]
+    fn set_closure_agrees_with_hoare_on_small_cases() {
+        let subsets: Vec<Vec<u8>> = (0u32..32)
+            .map(|mask| (0u8..5).filter(|i| mask & (1 << i) != 0).collect())
+            .collect();
+        for a in &subsets {
+            for b in &subsets {
+                let expect = hoare(a, b, |x, y| zigzag(x, y));
+                let got = reachable(a, b, zigzag, StepKind::Set, ClosureConfig::default());
+                assert_eq!(got, expect, "hoare mismatch for {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn orset_closure_agrees_with_smyth_on_small_cases() {
+        let subsets: Vec<Vec<u8>> = (0u32..32)
+            .map(|mask| (0u8..5).filter(|i| mask & (1 << i) != 0).collect())
+            .collect();
+        for a in &subsets {
+            for b in &subsets {
+                let expect = smyth(a, b, |x, y| zigzag(x, y));
+                let got = reachable(a, b, zigzag, StepKind::OrSet, ClosureConfig::default());
+                assert_eq!(got, expect, "smyth mismatch for {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn antichain_set_closure_agrees_with_hoare_on_antichains() {
+        // Proposition 3.2 restricted to antichains of the zigzag poset.
+        let all: Vec<Vec<u8>> = (0u32..32)
+            .map(|mask| (0u8..5).filter(|i| mask & (1 << i) != 0).collect())
+            .collect();
+        let antichains: Vec<&Vec<u8>> = all
+            .iter()
+            .filter(|s| {
+                s.iter().all(|x| {
+                    s.iter()
+                        .all(|y| x == y || (!zigzag(x, y) && !zigzag(y, x)))
+                })
+            })
+            .collect();
+        let cfg = ClosureConfig {
+            antichain: true,
+            ..ClosureConfig::default()
+        };
+        for a in &antichains {
+            for b in &antichains {
+                let expect = hoare(a, b, |x, y| zigzag(x, y));
+                let got = reachable(a, b, zigzag, StepKind::Set, cfg);
+                assert_eq!(got, expect, "antichain hoare mismatch for {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn antichain_orset_closure_agrees_with_smyth_on_antichains() {
+        let all: Vec<Vec<u8>> = (0u32..32)
+            .map(|mask| (0u8..5).filter(|i| mask & (1 << i) != 0).collect())
+            .collect();
+        let antichains: Vec<&Vec<u8>> = all
+            .iter()
+            .filter(|s| {
+                s.iter().all(|x| {
+                    s.iter()
+                        .all(|y| x == y || (!zigzag(x, y) && !zigzag(y, x)))
+                })
+            })
+            .collect();
+        let cfg = ClosureConfig {
+            antichain: true,
+            ..ClosureConfig::default()
+        };
+        for a in &antichains {
+            for b in &antichains {
+                let expect = smyth(a, b, |x, y| zigzag(x, y));
+                let got = reachable(a, b, zigzag, StepKind::OrSet, cfg);
+                assert_eq!(got, expect, "antichain smyth mismatch for {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn orset_cannot_reach_empty_target() {
+        assert!(!reachable(
+            &[0u8, 1],
+            &[],
+            zigzag,
+            StepKind::OrSet,
+            ClosureConfig::default()
+        ));
+    }
+
+    #[test]
+    fn empty_set_reaches_anything() {
+        assert!(reachable(
+            &[],
+            &[0u8, 4],
+            zigzag,
+            StepKind::Set,
+            ClosureConfig::default()
+        ));
+    }
+}

@@ -1,0 +1,432 @@
+//! Modal-logic theories of complex objects (Proposition 3.4).
+//!
+//! Following Winskel and Rounds, the paper assigns to every object `x` a
+//! theory `Th(x)` in a language with disjunction `∨`, a pairing connective,
+//! and the modalities `□` ("true of every member of the set") and `◇`
+//! ("true of at least one member of the or-set"):
+//!
+//! * `Th(x₁, x₂)` contains `φ₁ ⊗ φ₂` whenever `φᵢ ∈ Th(xᵢ)`;
+//! * `Th({x₁,…,xₙ})` contains `□φ` whenever `φ ∈ Th(xᵢ)` for *all* `i`;
+//! * `Th(<x₁,…,xₙ>)` contains `◇φ` whenever `φ ∈ Th(xᵢ)` for *some* `i`;
+//! * together with any `φ ∈ Th(x)`, every disjunction `φ ∨ ψ` is in `Th(x)`.
+//!
+//! At base types we take the atomic formulae to be `is(c)` for constants `c`,
+//! with `is(c) ∈ Th(x)` iff `x ⊑ c` in the base order; this satisfies the
+//! paper's two requirements (`x ⊏ y ⇒ Th(x) ⊃ Th(y)`, and distinct values
+//! have distinct theories) for all three provided base orders.
+//!
+//! Proposition 3.4: for objects `x`, `y` of the same type,
+//! `x ⊑ y  iff  Th(x) ⊇ Th(y)`.
+//!
+//! Theories are infinite, so they are represented intensionally: the
+//! membership test [`entails`] decides `φ ∈ Th(x)`, and
+//! [`separating_formula`] constructs — following the proof of the
+//! proposition — a witness `φ ∈ Th(y) \ Th(x)` whenever `x ⋢ y`.
+//!
+//! The only caveat (documented in DESIGN.md) concerns the *empty or-set*:
+//! with the minimal-theory reading, `Th(< >)` is empty, so the right-to-left
+//! direction of Proposition 3.4 can fail on objects containing empty or-sets.
+//! The paper regards such objects as conceptually inconsistent; all results
+//! here are stated and tested for objects free of empty or-sets.
+
+use std::fmt;
+
+use crate::base_order::BaseOrder;
+use crate::order::object_leq;
+use crate::value::Value;
+
+/// A modal formula over base constants.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// `is(c)`: an atomic assertion about a base value.
+    Is(Value),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// The pairing connective: a statement about each component of a pair.
+    Both(Box<Formula>, Box<Formula>),
+    /// `□φ`: `φ` holds of every member of the set.
+    Box_(Box<Formula>),
+    /// `◇φ`: `φ` holds of at least one member of the or-set.
+    Diamond(Box<Formula>),
+}
+
+impl Formula {
+    /// Atomic formula `is(c)`.
+    pub fn is(c: Value) -> Formula {
+        Formula::Is(c)
+    }
+
+    /// Disjunction of two formulae.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction of a non-empty list of formulae (right-nested).
+    pub fn or_all(mut items: Vec<Formula>) -> Option<Formula> {
+        let last = items.pop()?;
+        Some(items.into_iter().rev().fold(last, |acc, f| {
+            Formula::Or(Box::new(f), Box::new(acc))
+        }))
+    }
+
+    /// Pairing connective.
+    pub fn both(a: Formula, b: Formula) -> Formula {
+        Formula::Both(Box::new(a), Box::new(b))
+    }
+
+    /// `□φ`.
+    pub fn box_(f: Formula) -> Formula {
+        Formula::Box_(Box::new(f))
+    }
+
+    /// `◇φ`.
+    pub fn diamond(f: Formula) -> Formula {
+        Formula::Diamond(Box::new(f))
+    }
+
+    /// Number of connectives and atoms in the formula.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Is(_) => 1,
+            Formula::Or(a, b) | Formula::Both(a, b) => 1 + a.size() + b.size(),
+            Formula::Box_(f) | Formula::Diamond(f) => 1 + f.size(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Is(c) => write!(f, "is({c})"),
+            Formula::Or(a, b) => write!(f, "({a} \\/ {b})"),
+            Formula::Both(a, b) => write!(f, "({a}, {b})"),
+            Formula::Box_(inner) => write!(f, "[]{inner}"),
+            Formula::Diamond(inner) => write!(f, "<>{inner}"),
+        }
+    }
+}
+
+/// Decide `φ ∈ Th(x)` for the theory construction described in the module
+/// documentation.  A formula whose shape does not match the shape of `x`
+/// (e.g. a `□` formula applied to a pair) is not in the theory.
+pub fn entails(base: BaseOrder, x: &Value, phi: &Formula) -> bool {
+    match phi {
+        Formula::Or(a, b) => entails(base, x, a) || entails(base, x, b),
+        Formula::Is(c) => x.is_base() && c.is_base() && base.leq(x, c),
+        Formula::Both(a, b) => match x {
+            Value::Pair(x1, x2) => entails(base, x1, a) && entails(base, x2, b),
+            _ => false,
+        },
+        Formula::Box_(inner) => match x {
+            Value::Set(items) | Value::Bag(items) => {
+                items.iter().all(|xi| entails(base, xi, inner))
+            }
+            _ => false,
+        },
+        Formula::Diamond(inner) => match x {
+            Value::OrSet(items) => items.iter().any(|xi| entails(base, xi, inner)),
+            _ => false,
+        },
+    }
+}
+
+/// A canonical formula that every object (without empty or-sets) satisfies:
+/// `is(x)` at base values, the pairing of canonical formulae at pairs,
+/// `□(⋁ canonical(xᵢ))` at sets (with `□ is(unit)` for the empty set, which
+/// holds vacuously) and `◇ canonical(x₁)` at or-sets.
+pub fn canonical_formula(x: &Value) -> Option<Formula> {
+    match x {
+        v if v.is_base() => Some(Formula::is(v.clone())),
+        Value::Pair(a, b) => Some(Formula::both(canonical_formula(a)?, canonical_formula(b)?)),
+        Value::Set(items) | Value::Bag(items) => {
+            if items.is_empty() {
+                return Some(Formula::box_(Formula::is(Value::Unit)));
+            }
+            let each: Option<Vec<Formula>> = items.iter().map(canonical_formula).collect();
+            Some(Formula::box_(Formula::or_all(each?)?))
+        }
+        Value::OrSet(items) => {
+            let first = items.first()?;
+            Some(Formula::diamond(canonical_formula(first)?))
+        }
+        _ => unreachable!("all shapes covered"),
+    }
+}
+
+/// Construct a formula `φ ∈ Th(y) \ Th(x)` whenever `x ⋢ y`, for objects of
+/// the same type.  Returns `None` when `x ⊑ y` (no separating formula exists
+/// by Proposition 3.4) or when the construction cannot produce a witness
+/// (this can happen for objects containing empty or-sets, and — a genuine
+/// subtlety of the ∨-only language documented in EXPERIMENTS.md — for or-sets
+/// whose elements themselves contain or-sets).
+///
+/// Whenever a formula is returned it is *sound*: it is entailed by `y` and
+/// not entailed by `x` (this is asserted in debug builds and re-checked by
+/// the property tests).
+pub fn separating_formula(base: BaseOrder, x: &Value, y: &Value) -> Option<Formula> {
+    if object_leq(base, x, y) {
+        return None;
+    }
+    let avoid = [x];
+    let phi = against(base, y, &avoid)?;
+    debug_assert!(entails(base, y, &phi), "separating formula must hold at y");
+    debug_assert!(!entails(base, x, &phi), "separating formula must fail at x");
+    Some(phi)
+}
+
+/// Construct a formula `φ ∈ Th(y)` with `φ ∉ Th(a)` for every `a ∈ avoid`.
+///
+/// Precondition: every `a ∈ avoid` satisfies `a ⋢ y` (callers guarantee it;
+/// the function re-checks and returns `None` otherwise, because
+/// `a ⊑ y ⇒ Th(a) ⊇ Th(y)` makes the task impossible).
+fn against(base: BaseOrder, y: &Value, avoid: &[&Value]) -> Option<Formula> {
+    if avoid.iter().any(|a| object_leq(base, a, y)) {
+        return None;
+    }
+    // Objects of a different shape than `y` falsify every formula built from
+    // `y`'s outermost constructor, so only same-shape objects need handling.
+    let same_shape: Vec<&Value> = avoid
+        .iter()
+        .copied()
+        .filter(|a| same_constructor(a, y))
+        .collect();
+    if same_shape.is_empty() {
+        return canonical_formula(y);
+    }
+    match y {
+        v if v.is_base() => Some(Formula::is(v.clone())),
+        Value::Pair(y1, y2) => {
+            let mut left_avoid: Vec<&Value> = Vec::new();
+            let mut right_avoid: Vec<&Value> = Vec::new();
+            for a in &same_shape {
+                let (a1, a2) = a.as_pair().expect("same shape");
+                if !object_leq(base, a1, y1) {
+                    left_avoid.push(a1);
+                } else {
+                    // a ⋢ y and a1 ⊑ y1, so the second component must fail
+                    right_avoid.push(a2);
+                }
+            }
+            let psi1 = against(base, y1, &left_avoid)?;
+            let psi2 = against(base, y2, &right_avoid)?;
+            Some(Formula::both(psi1, psi2))
+        }
+        Value::Set(ys) | Value::Bag(ys) => {
+            // For every avoided set pick a witness element with nothing above
+            // it in `ys`; the formula must fail at all these witnesses.
+            let mut witnesses: Vec<&Value> = Vec::new();
+            for a in &same_shape {
+                let elems = a.elements().expect("same shape");
+                let w = elems
+                    .iter()
+                    .find(|e| !ys.iter().any(|yj| object_leq(base, e, yj)))?;
+                witnesses.push(w);
+            }
+            if ys.is_empty() {
+                // Th({}) contains every box formula; pick a body refuted by
+                // the shape of the witnesses.
+                let body = refuting_for_shape(witnesses[0]);
+                if witnesses.iter().any(|w| entails(base, w, &body)) {
+                    return None;
+                }
+                return Some(Formula::box_(body));
+            }
+            let parts: Vec<Formula> = ys
+                .iter()
+                .map(|yj| against(base, yj, &witnesses))
+                .collect::<Option<_>>()?;
+            Some(Formula::box_(Formula::or_all(parts)?))
+        }
+        Value::OrSet(ys) => {
+            if ys.is_empty() {
+                // Th(< >) is empty under the minimal reading: no witness.
+                return None;
+            }
+            // Gather every element of every avoided or-set; a candidate
+            // member y_j of `ys` is viable if none of these elements lies
+            // below it (otherwise that element's theory would contain any
+            // formula of Th(y_j)).
+            let all_elems: Vec<&Value> = same_shape
+                .iter()
+                .flat_map(|a| a.elements().expect("same shape").iter())
+                .collect();
+            for yj in ys {
+                let viable = !all_elems.iter().any(|e| object_leq(base, e, yj));
+                if !viable {
+                    continue;
+                }
+                if let Some(psi) = against(base, yj, &all_elems) {
+                    return Some(Formula::diamond(psi));
+                }
+            }
+            None
+        }
+        _ => unreachable!("all shapes covered"),
+    }
+}
+
+/// Do two values share the same outermost constructor (base/pair/set/or-set/
+/// bag)?  Base constants of different base types still count as "same shape"
+/// because the `is(·)` atoms compare them through the base order, which
+/// already makes them incomparable.
+fn same_constructor(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        _ if a.is_base() && b.is_base() => true,
+        (Value::Pair(..), Value::Pair(..)) => true,
+        (Value::Set(_), Value::Set(_)) => true,
+        (Value::OrSet(_), Value::OrSet(_)) => true,
+        (Value::Bag(_), Value::Bag(_)) => true,
+        _ => false,
+    }
+}
+
+/// A formula that no value of the same shape as `v` entails (used when the
+/// comparison target is the empty set, whose theory contains every box
+/// formula).
+fn refuting_for_shape(v: &Value) -> Formula {
+    match v {
+        x if x.is_base() => Formula::both(Formula::is(Value::Unit), Formula::is(Value::Unit)),
+        Value::Pair(..) => Formula::is(Value::Unit),
+        Value::Set(_) | Value::Bag(_) => Formula::diamond(Formula::is(Value::Unit)),
+        Value::OrSet(_) => Formula::box_(Formula::is(Value::Unit)),
+        _ => unreachable!("all shapes covered"),
+    }
+}
+
+/// Check the left-to-right direction of Proposition 3.4 on a specific
+/// formula: if `x ⊑ y` then `φ ∈ Th(y)` implies `φ ∈ Th(x)`.
+pub fn monotone_on(base: BaseOrder, x: &Value, y: &Value, phi: &Formula) -> bool {
+    !object_leq(base, x, y) || !entails(base, y, phi) || entails(base, x, phi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entailment_at_base_values_follows_the_base_order() {
+        let base = BaseOrder::FlatWithNull;
+        assert!(entails(base, &Value::Null, &Formula::is(Value::Int(3))));
+        assert!(entails(base, &Value::Int(3), &Formula::is(Value::Int(3))));
+        assert!(!entails(base, &Value::Int(4), &Formula::is(Value::Int(3))));
+    }
+
+    #[test]
+    fn box_means_all_elements() {
+        let base = BaseOrder::NumericLeq;
+        let s = Value::int_set([1, 2, 3]);
+        assert!(entails(base, &s, &Formula::box_(Formula::is(Value::Int(5)))));
+        assert!(!entails(base, &s, &Formula::box_(Formula::is(Value::Int(2)))));
+        // empty set satisfies every box formula
+        assert!(entails(
+            base,
+            &Value::empty_set(),
+            &Formula::box_(Formula::is(Value::Int(0)))
+        ));
+    }
+
+    #[test]
+    fn diamond_means_some_element() {
+        let base = BaseOrder::NumericLeq;
+        let o = Value::int_orset([1, 5]);
+        assert!(entails(base, &o, &Formula::diamond(Formula::is(Value::Int(1)))));
+        assert!(!entails(base, &o, &Formula::diamond(Formula::is(Value::Int(0)))));
+        // empty or-set satisfies no diamond formula
+        assert!(!entails(
+            base,
+            &Value::empty_orset(),
+            &Formula::diamond(Formula::is(Value::Int(1)))
+        ));
+    }
+
+    #[test]
+    fn disjunction_closure() {
+        let base = BaseOrder::FlatWithNull;
+        let v = Value::Int(3);
+        let phi = Formula::or(Formula::is(Value::Int(3)), Formula::is(Value::Int(9)));
+        assert!(entails(base, &v, &phi));
+        let psi = Formula::or(Formula::is(Value::Int(7)), Formula::is(Value::Int(9)));
+        assert!(!entails(base, &v, &psi));
+    }
+
+    #[test]
+    fn canonical_formula_is_always_entailed() {
+        let base = BaseOrder::FlatWithNull;
+        let samples = [
+            Value::Int(3),
+            Value::pair(Value::Int(1), Value::str("x")),
+            Value::int_set([1, 2, 3]),
+            Value::int_orset([4, 5]),
+            Value::set([Value::int_orset([1, 2]), Value::int_orset([3])]),
+            Value::empty_set(),
+        ];
+        for v in &samples {
+            let phi = canonical_formula(v).unwrap();
+            assert!(entails(base, v, &phi), "canonical formula must hold at {v}");
+        }
+    }
+
+    #[test]
+    fn separating_formula_exists_exactly_when_not_below() {
+        let base = BaseOrder::FlatWithNull;
+        let pairs = [
+            (Value::int_set([1]), Value::int_set([1, 2])),
+            (Value::int_set([1, 3]), Value::int_set([1, 2])),
+            (Value::int_orset([1, 2]), Value::int_orset([1])),
+            (Value::int_orset([1]), Value::int_orset([1, 2])),
+            (
+                Value::pair(Value::Null, Value::Int(2)),
+                Value::pair(Value::Int(1), Value::Int(2)),
+            ),
+            (
+                Value::pair(Value::Int(1), Value::Int(2)),
+                Value::pair(Value::Null, Value::Int(2)),
+            ),
+        ];
+        for (x, y) in &pairs {
+            let leq = object_leq(base, x, y);
+            let w = separating_formula(base, x, y);
+            assert_eq!(w.is_none(), leq, "witness existence for {x} vs {y}");
+            if let Some(phi) = w {
+                assert!(entails(base, y, &phi), "witness must hold at y={y}: {phi}");
+                assert!(!entails(base, x, &phi), "witness must fail at x={x}: {phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_3_4_left_to_right_on_samples() {
+        // x ⊑ y implies Th(x) ⊇ Th(y), spot-checked on generated formulae.
+        let base = BaseOrder::FlatWithNull;
+        let x = Value::set([
+            Value::pair(Value::Null, Value::str("515")),
+        ]);
+        let y = Value::set([
+            Value::pair(Value::str("Joe"), Value::str("515")),
+            Value::pair(Value::str("Bill"), Value::str("212")),
+        ]);
+        assert!(object_leq(base, &x, &y));
+        let formulas = [
+            canonical_formula(&y).unwrap(),
+            Formula::box_(Formula::or(
+                Formula::both(Formula::is(Value::str("Joe")), Formula::is(Value::str("515"))),
+                Formula::both(Formula::is(Value::str("Bill")), Formula::is(Value::str("212"))),
+            )),
+        ];
+        for phi in &formulas {
+            assert!(monotone_on(base, &x, &y, phi));
+        }
+    }
+
+    #[test]
+    fn separating_formula_on_nested_objects() {
+        let base = BaseOrder::FlatWithNull;
+        let x = Value::set([Value::int_orset([1, 2]), Value::int_orset([5])]);
+        let y = Value::set([Value::int_orset([2]), Value::int_orset([7])]);
+        // x ⋢ y because <5> has nothing above it in y
+        assert!(!object_leq(base, &x, &y));
+        let phi = separating_formula(base, &x, &y).unwrap();
+        assert!(entails(base, &y, &phi));
+        assert!(!entails(base, &x, &phi));
+    }
+}

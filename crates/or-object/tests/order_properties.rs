@@ -1,0 +1,144 @@
+//! Property-based tests for the order-theoretic core of `or-object`:
+//! the Hoare/Smyth/Plotkin orders, the antichain operations, and `alpha`.
+
+use proptest::prelude::*;
+
+use or_object::alpha::{alpha_bag, alpha_set, ChoiceFunctions};
+use or_object::antichain::{is_antichain, max_elems, min_elems};
+use or_object::order::{hoare, plotkin, smyth};
+use or_object::Value;
+
+/// Small integer sets, as plain vectors (the element order used below is the
+/// divisibility order, which has interesting chains and antichains).
+fn small_sets() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(1u8..=12, 0..6).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+fn divides(a: &u8, b: &u8) -> bool {
+    b % a == 0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Hoare and Smyth are preorders: reflexive and transitive.
+    #[test]
+    fn hoare_and_smyth_are_preorders(a in small_sets(), b in small_sets(), c in small_sets()) {
+        prop_assert!(hoare(&a, &a, divides));
+        prop_assert!(smyth(&a, &a, divides));
+        if hoare(&a, &b, divides) && hoare(&b, &c, divides) {
+            prop_assert!(hoare(&a, &c, divides));
+        }
+        if smyth(&a, &b, divides) && smyth(&b, &c, divides) {
+            prop_assert!(smyth(&a, &c, divides));
+        }
+    }
+
+    /// The Plotkin order is exactly the conjunction of the other two.
+    #[test]
+    fn plotkin_is_the_conjunction(a in small_sets(), b in small_sets()) {
+        prop_assert_eq!(
+            plotkin(&a, &b, divides),
+            hoare(&a, &b, divides) && smyth(&a, &b, divides)
+        );
+    }
+
+    /// Taking maximal (minimal) elements yields an antichain that is
+    /// Hoare- (Smyth-) equivalent to the original set.
+    #[test]
+    fn max_and_min_produce_equivalent_antichains(a in small_sets()) {
+        let maxes = max_elems(&a, divides);
+        prop_assert!(is_antichain(&maxes, divides));
+        prop_assert!(hoare(&a, &maxes, divides) && hoare(&maxes, &a, divides));
+
+        let mins = min_elems(&a, divides);
+        prop_assert!(is_antichain(&mins, divides));
+        prop_assert!(smyth(&a, &mins, divides) && smyth(&mins, &a, divides));
+    }
+
+    /// Adding an element never decreases a set in the Hoare order, and
+    /// removing one never decreases an or-set in the Smyth order.
+    #[test]
+    fn information_steps_go_up(a in small_sets(), x in 1u8..=12) {
+        let mut bigger = a.clone();
+        if !bigger.contains(&x) {
+            bigger.push(x);
+        }
+        prop_assert!(hoare(&a, &bigger, divides));
+        if a.len() > 1 {
+            let smaller: Vec<u8> = a[1..].to_vec();
+            prop_assert!(smyth(&a, &smaller, divides));
+        }
+    }
+
+    /// The empty or-set is Smyth-comparable only with itself.
+    #[test]
+    fn empty_orset_is_isolated(a in small_sets()) {
+        let empty: Vec<u8> = Vec::new();
+        prop_assert_eq!(smyth(&a, &empty, divides), a.is_empty());
+        prop_assert_eq!(smyth(&empty, &a, divides), a.is_empty());
+    }
+
+    /// `alpha` produces exactly one set per choice function (before
+    /// set-level deduplication), and every produced set picks one element
+    /// from each member or-set.
+    #[test]
+    fn alpha_outputs_are_choice_images(
+        orsets in proptest::collection::vec(proptest::collection::vec(0i64..6, 1..4), 0..4)
+    ) {
+        let input = Value::set(orsets.iter().map(|o| Value::int_orset(o.iter().copied())));
+        let out = alpha_set(&input).unwrap();
+        let member_orsets: Vec<Vec<Value>> = input
+            .elements()
+            .unwrap()
+            .iter()
+            .map(|o| o.elements().unwrap().to_vec())
+            .collect();
+        let total = ChoiceFunctions::count_total(&member_orsets);
+        let produced = out.elements().unwrap().len() as u128;
+        prop_assert!(produced <= total.max(1));
+        for set in out.elements().unwrap() {
+            // every member or-set is hit by the choice
+            for orset in &member_orsets {
+                prop_assert!(orset.iter().any(|x| set.elements().unwrap().contains(x)));
+            }
+            // and nothing outside the union of the member or-sets appears
+            for x in set.elements().unwrap() {
+                prop_assert!(member_orsets.iter().any(|o| o.contains(x)));
+            }
+        }
+    }
+
+    /// `alpha_d` on the bag form never produces fewer combinations than
+    /// `alpha` on the set form (duplicates can only add choices).
+    #[test]
+    fn bag_alpha_refines_set_alpha(
+        orsets in proptest::collection::vec(proptest::collection::vec(0i64..4, 1..3), 1..4)
+    ) {
+        let as_set = Value::set(orsets.iter().map(|o| Value::int_orset(o.iter().copied())));
+        let as_bag = Value::bag(orsets.iter().map(|o| Value::int_orset(o.iter().copied())));
+        let via_set = alpha_set(&as_set).unwrap();
+        let via_bag = alpha_bag(&as_bag).unwrap();
+        prop_assert!(via_set.elements().unwrap().len() <= via_bag.elements().unwrap().len());
+    }
+
+    /// Canonical values: building a set twice from shuffled input gives the
+    /// same object, and `size` is permutation-invariant.
+    #[test]
+    fn value_canonicalization(mut items in proptest::collection::vec(-9i64..9, 0..8)) {
+        let a = Value::int_set(items.clone());
+        items.reverse();
+        let b = Value::int_set(items.clone());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.size(), b.size());
+        let o1 = Value::int_orset(items.clone());
+        let half = items.len() / 2;
+        items.rotate_left(half);
+        let o2 = Value::int_orset(items);
+        prop_assert_eq!(o1, o2);
+    }
+}

@@ -1,0 +1,92 @@
+//! A product configurator over a design-template database.
+//!
+//! Run with `cargo run --example design_configurator`.
+//!
+//! This is the motivating application of Imielinski–Naqvi–Vadaparty and of
+//! the paper's introduction: an engineer builds a template in which every
+//! component records its alternative realizations (an or-set); the tool then
+//! answers *structural* questions ("what are my options?") and *conceptual*
+//! questions ("is there a completed design under budget?", "which one is
+//! cheapest?") — the latter by normalization, evaluated lazily so that a
+//! witness is found without enumerating the whole design space.
+
+use or_db::design::{Component, DesignTemplate, ModuleOption};
+use or_db::Workload;
+
+fn main() {
+    // A hand-written template for a small controller board.
+    let template = DesignTemplate::new(vec![
+        Component::new(
+            "cpu",
+            vec![
+                ModuleOption::new("cortex-m4", 12, "acme"),
+                ModuleOption::new("cortex-m7", 21, "acme"),
+                ModuleOption::new("riscv-e31", 9, "globex"),
+            ],
+        ),
+        Component::new(
+            "radio",
+            vec![
+                ModuleOption::new("ble-5", 7, "initech"),
+                ModuleOption::new("wifi-6", 19, "globex"),
+            ],
+        ),
+        Component::new(
+            "power",
+            vec![
+                ModuleOption::new("buck-3v3", 4, "acme"),
+                ModuleOption::new("ldo-3v3", 2, "umbrella"),
+                ModuleOption::new("pmic", 11, "initech"),
+            ],
+        ),
+    ]);
+
+    println!("structural object:\n  {}\n", template.to_value());
+
+    // Structural query: the recorded options for one component.
+    println!("choices for the cpu component:");
+    for option in template.choices_for("cpu").unwrap() {
+        println!("  {} ({} credits, {})", option.module, option.cost, option.vendor);
+    }
+
+    // Conceptual queries.
+    println!(
+        "\nthe template stands for {} completed designs",
+        template.completed_design_count()
+    );
+    let budget = 25;
+    match template.exists_design_within_budget(budget).unwrap() {
+        (Some(design), inspected) => {
+            println!(
+                "a design within budget {budget} exists (found after inspecting {inspected} candidates):"
+            );
+            for (component, module, cost, vendor) in &design.choices {
+                println!("  {component}: {module} from {vendor} ({cost} credits)");
+            }
+            println!("  total: {} credits", design.total_cost());
+        }
+        (None, inspected) => {
+            println!("no design fits budget {budget} (checked {inspected} candidates)")
+        }
+    }
+
+    let cheapest = template.cheapest_design().unwrap();
+    println!(
+        "\ncheapest design costs {} credits (direct bound: {:?})",
+        cheapest.total_cost(),
+        template.cheapest_cost_direct()
+    );
+
+    // A larger synthetic template shows the exponential design space that
+    // makes lazy evaluation worthwhile.
+    let big = Workload::new(7).uniform_design_template(10, 3);
+    println!(
+        "\nsynthetic template: 10 components x 3 alternatives = {} designs",
+        big.completed_design_count()
+    );
+    let (witness, inspected) = big.exists_design_within_budget(10 * 60).unwrap();
+    println!(
+        "  budget query inspected {inspected} candidates and {}",
+        if witness.is_some() { "found a design" } else { "found nothing" }
+    );
+}

@@ -1,0 +1,82 @@
+//! Incomplete information: from Codd tables to or-sets.
+//!
+//! Run with `cargo run --example incomplete_database`.
+//!
+//! Section 3 of the paper places or-sets in the tradition of partial
+//! information in databases: values are ordered by "how informative" they
+//! are, sets by the Hoare order, or-sets by the Smyth order.  This example
+//! starts from a classical Codd table with nulls, imports it either as
+//! flat-domain nulls or as closed-world or-sets, and shows how the order,
+//! the antichain semantics, and normalization interact.
+
+use or_db::codd::{Cell, CoddTable};
+use or_db::schema::Field;
+use or_object::antichain::to_antichain;
+use or_object::order::object_leq;
+use or_object::prelude::*;
+use or_object::Type;
+
+fn main() {
+    // The office-assignment example of Section 3.
+    let mut table = CoddTable::new(
+        "offices",
+        [
+            Field::new("name", Type::Str),
+            Field::new("office", Type::Int),
+        ],
+    )
+    .unwrap();
+    table.insert(vec![Cell::str("Joe"), Cell::int(515)]).unwrap();
+    table.insert(vec![Cell::Null, Cell::int(212)]).unwrap();
+    table.insert(vec![Cell::str("Mary"), Cell::Null]).unwrap();
+    println!(
+        "Codd table with {} rows, {:.0}% of cells null",
+        table.len(),
+        table.null_ratio() * 100.0
+    );
+
+    // 1. Flat-domain import: nulls become the bottom element of a flat order.
+    let with_nulls = table.to_relation_with_nulls().unwrap();
+    println!("\nflat-domain import: {}", with_nulls.to_value());
+    let partial = with_nulls.records()[1].clone();
+    let completed = Value::pair(Value::str("Bill"), Value::Int(212));
+    println!(
+        "  {partial}  <=  {completed} ?  {}",
+        object_leq(BaseOrder::FlatWithNull, &partial, &completed)
+    );
+
+    // 2. Closed-world or-set import: a null becomes the or-set of the values
+    //    seen in its column.
+    let with_orsets = table.to_relation_with_orsets().unwrap();
+    println!("\nor-set import: {}", with_orsets.to_value());
+    println!(
+        "  the table stands for {} complete instances",
+        with_orsets.possibility_count()
+    );
+    println!("  conceptual view: {}", with_orsets.normalize());
+
+    // 3. The antichain semantics removes redundant, less-informative rows.
+    let redundant = Value::set([
+        Value::pair(Value::Null, Value::Int(515)),
+        Value::pair(Value::str("Joe"), Value::Int(515)),
+        Value::pair(Value::str("Bill"), Value::Int(212)),
+    ]);
+    println!("\nredundant set:      {redundant}");
+    println!(
+        "antichain semantics: {}",
+        to_antichain(BaseOrder::FlatWithNull, &redundant)
+    );
+
+    // 4. Orders on or-sets: removing alternatives adds information.
+    let vague = Value::int_orset([212, 515, 614]);
+    let sharper = Value::int_orset([515]);
+    println!(
+        "\n{vague}  <=  {sharper} ?  {}   (or-sets gain information by shrinking)",
+        object_leq(BaseOrder::FlatWithNull, &vague, &sharper)
+    );
+    let empty = Value::empty_orset();
+    println!(
+        "{sharper}  <=  <> ?  {}   (the empty or-set is inconsistency, comparable to nothing)",
+        object_leq(BaseOrder::FlatWithNull, &sharper, &empty)
+    );
+}

@@ -1,0 +1,61 @@
+//! A scripted tour of the OrQL surface language.
+//!
+//! Run with `cargo run --example orql_tour` (or start the interactive REPL
+//! with `cargo run -p or-lang --bin orql`).
+//!
+//! The script walks through the constructs the paper's OR-SML implementation
+//! offered: building sets and or-sets, comprehensions at the structural
+//! level, `normalize` to move to the conceptual level, and the derived
+//! set/or-set library.
+
+use or_lang::session::Session;
+use or_object::Value;
+
+fn main() {
+    let mut session = Session::new();
+
+    // bind an external database value: per-person possible office assignments
+    session.bind(
+        "offices",
+        Value::set([
+            Value::pair(Value::str("Joe"), Value::int_orset([515])),
+            Value::pair(Value::str("Mary"), Value::int_orset([515, 212])),
+            Value::pair(Value::str("Bill"), Value::int_orset([212, 614])),
+        ]),
+    );
+
+    let script = [
+        "# structural level -------------------------------------------------",
+        "offices",
+        "{ fst(r) | r <- offices }",
+        "{ fst(r) | r <- offices, ormember(212, snd(r)) }",
+        "# conceptual level -------------------------------------------------",
+        "normalize(offices)",
+        "<| w | w <- normalize(offices), member((\"Mary\", 212), w) |>",
+        "# a design-template style query ------------------------------------",
+        "let design = { <|10, 25|>, <|7, 9, 30|> }",
+        "alpha(design)",
+        "<| w | w <- normalize(design), member(7, w) |>",
+        "# derived library ---------------------------------------------------",
+        "let a = {1, 2, 3, 4}",
+        "let b = {3, 4, 5}",
+        "(intersect(a, b), difference(a, b))",
+        "subset(intersect(a, b), a) && member(5, b)",
+        "powerset({1, 2})",
+        "if orisempty(<| |>) then \"inconsistent\" else \"fine\"",
+    ];
+
+    for line in script {
+        if let Some(comment) = line.strip_prefix('#') {
+            println!("\n#{comment}");
+            continue;
+        }
+        match session.run(line) {
+            Ok(result) => {
+                let name = result.bound.unwrap_or_else(|| "-".to_string());
+                println!("orql> {line}\n{name} : {} = {}", result.ty, result.value);
+            }
+            Err(e) => println!("orql> {line}\nerror: {e}"),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: or-sets in five minutes.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The example follows the introduction of the paper: a design template whose
+//! component can be built from one of several modules is *structurally* a
+//! complex object containing an or-set, and *conceptually* one of the
+//! completed designs.  `normalize` moves from the first view to the second,
+//! and queries can be asked at either level.
+
+use or_lang::session::Session;
+use or_nra::derived::or_exists;
+use or_nra::morphism::{Morphism, Prim};
+use or_nra::normalize::normalize_value;
+use or_nra::prelude::eval;
+use or_object::Value;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Complex objects: sets {…}, or-sets <…>, pairs (…, …)
+    // ------------------------------------------------------------------
+    // "component A can be built by module 4 or module 7"
+    let component_a = Value::pair(Value::str("A"), Value::int_orset([4, 7]));
+    // "component B needs module 1"
+    let component_b = Value::pair(Value::str("B"), Value::int_orset([1]));
+    let template = Value::set([component_a, component_b]);
+    println!("structural view of the template:\n  {template}");
+
+    // ------------------------------------------------------------------
+    // 2. The conceptual view: normalize
+    // ------------------------------------------------------------------
+    let completed = normalize_value(&template);
+    println!("\nconceptual view (all completed designs):\n  {completed}");
+    println!(
+        "  -> {} completed designs",
+        completed.elements().map_or(0, <[Value]>::len)
+    );
+
+    // ------------------------------------------------------------------
+    // 3. A conceptual query in the algebra (or-NRA+)
+    //    "is there a completed design that uses module 7?"
+    // ------------------------------------------------------------------
+    let uses_module_7 = or_nra::derived::exists(
+        Morphism::Proj2.then(Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(7))))
+            .then(Morphism::Eq),
+    );
+    let query = Morphism::Normalize.then(or_exists(uses_module_7));
+    let answer = eval(&query, &template).expect("query evaluates");
+    println!("\npossibly uses module 7?  {answer}");
+
+    // a numeric query: is some design cost below 100?
+    let cheap_template = Value::int_orset([120, 80, 250]);
+    let ischeap = Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(100)))
+        .then(Morphism::Prim(Prim::Leq));
+    let cheap_query = Morphism::Normalize.then(or_exists(ischeap));
+    println!(
+        "is there a cheap completed design in {cheap_template}?  {}",
+        eval(&cheap_query, &cheap_template).unwrap()
+    );
+
+    // ------------------------------------------------------------------
+    // 4. The same ideas in the OrQL surface language
+    // ------------------------------------------------------------------
+    let mut session = Session::new();
+    session.bind("design", Value::int_orset([120, 80, 250]));
+    for stmt in [
+        "normalize(design)",
+        "<| x | x <- normalize(design), x <= 100 |>",
+        "let db = { <|1,2|>, <|3|> }",
+        "alpha(db)",
+        "normalize(db)",
+    ] {
+        match session.run(stmt) {
+            Ok(result) => println!("orql> {stmt}\n  : {} = {}", result.ty, result.value),
+            Err(e) => println!("orql> {stmt}\n  error: {e}"),
+        }
+    }
+}

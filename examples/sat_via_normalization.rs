@@ -1,0 +1,73 @@
+//! The Section 6 reduction, end to end: CNF satisfiability as an existential
+//! query over a normal form.
+//!
+//! Run with `cargo run --example sat_via_normalization`.
+//!
+//! A CNF formula becomes an object of type `{<int × bool>}` (a set of
+//! clauses, each an or-set of signed literals).  Conceptually the object
+//! stands for every way of choosing one literal per clause; the formula is
+//! satisfiable exactly when some choice satisfies the functional dependency
+//! "variable determines polarity".  The example decides a few formulas with
+//! all three strategies — eager normalization, lazy normalization with early
+//! exit, and the DPLL baseline — and prints what each had to do.
+
+use or_logic::cnf::{Clause, Cnf, CnfGenerator, Literal};
+use or_logic::encode;
+
+fn describe(name: &str, cnf: &Cnf) {
+    println!("--- {name}: {cnf}");
+    let encoded = encode::encode_cnf(cnf);
+    println!("    encoded object: {encoded}");
+    let eager = encode::sat_by_eager_normalization(cnf).expect("eager");
+    let lazy = encode::sat_by_lazy_normalization(cnf).expect("lazy");
+    let dpll = encode::sat_by_dpll(cnf);
+    println!(
+        "    eager normalization: {}   lazy: {} ({} of {} candidates inspected)   dpll: {}",
+        eager, lazy.satisfiable, lazy.inspected, lazy.total, dpll
+    );
+    if let Some(witness) = &lazy.witness {
+        let assignment = encode::assignment_from_witness(witness, cnf.num_vars).unwrap();
+        println!("    witness choice {witness}  ->  assignment {assignment:?}");
+        assert!(cnf.satisfied_by(&assignment));
+    }
+    assert_eq!(eager, dpll);
+    assert_eq!(lazy.satisfiable, dpll);
+}
+
+fn main() {
+    // (x0 ∨ x1) ∧ (¬x0 ∨ x2) ∧ (¬x1 ∨ ¬x2)
+    let hand_written = Cnf::new([
+        Clause::new([Literal::pos(0), Literal::pos(1)]),
+        Clause::new([Literal::neg(0), Literal::pos(2)]),
+        Clause::new([Literal::neg(1), Literal::neg(2)]),
+    ]);
+    describe("hand-written satisfiable formula", &hand_written);
+
+    // x0 ∧ ¬x0, padded
+    let contradiction = Cnf::new([
+        Clause::new([Literal::pos(0)]),
+        Clause::new([Literal::neg(0)]),
+        Clause::new([Literal::pos(1), Literal::pos(2)]),
+    ]);
+    describe("contradictory formula", &contradiction);
+
+    let mut gen = CnfGenerator::new(2026);
+    describe("random 3-CNF (8 vars, 9 clauses)", &gen.random_kcnf(8, 9, 3));
+    describe(
+        "planted satisfiable 3-CNF (7 vars, 9 clauses)",
+        &gen.planted_satisfiable(7, 9, 3),
+    );
+    describe(
+        "constructed unsatisfiable 3-CNF",
+        &gen.unsatisfiable(6, 8, 3),
+    );
+
+    println!();
+    println!(
+        "The exponential gap the paper's Section 6 predicts: the encoded object is linear in the"
+    );
+    println!(
+        "formula, the normal form is exponential, and the existential query is NP-hard — which is"
+    );
+    println!("why the lazy strategy (and the DPLL baseline) matter in practice.");
+}

@@ -1,0 +1,29 @@
+//! # or-sets — a reproduction of "Semantic Representations and Query
+//! # Languages for Or-Sets" (Libkin & Wong, PODS 1993)
+//!
+//! This facade crate re-exports the workspace members so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`or_object`] — complex objects, or-sets, partial-information orders,
+//!   antichain semantics, modal theories;
+//! * [`or_nra`] — the structural query language or-NRA and the conceptual
+//!   language or-NRA⁺ (normalization, coherence, losslessness, cost bounds,
+//!   derived operators, optimizer);
+//! * [`or_logic`] — CNF formulae, a DPLL baseline, and the Section 6
+//!   reduction of SAT to existential queries over normal forms;
+//! * [`or_lang`] — OrQL, the comprehension-based surface language (the
+//!   OR-SML analogue) with type checker, compiler to or-NRA and REPL;
+//! * [`or_db`] — the design/planning database substrate: record schemas,
+//!   relations, Codd-table import, and synthetic workload generators.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and per-experiment index, and `EXPERIMENTS.md` for the reproduction of
+//! every quantitative claim of the paper.
+
+#![warn(missing_docs)]
+
+pub use or_db;
+pub use or_lang;
+pub use or_logic;
+pub use or_nra;
+pub use or_object;

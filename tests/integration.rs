@@ -1,0 +1,213 @@
+//! Cross-crate integration tests: the same questions asked through the
+//! object model, the algebra, the surface language and the database
+//! substrate must agree.
+
+use or_db::design::{Component, DesignTemplate, ModuleOption};
+use or_db::{Cell, CoddTable, Field, Workload};
+use or_lang::session::Session;
+use or_lang::{compile_query, parse};
+use or_logic::cnf::CnfGenerator;
+use or_logic::encode;
+use or_nra::coherence::check_coherence;
+use or_nra::derived::{or_exists, exists};
+use or_nra::expand::expand_normalize;
+use or_nra::lazy::LazyNormalizer;
+use or_nra::morphism::{Morphism, Prim};
+use or_nra::normalize::{normalize_value_typed, RewriteStrategy};
+use or_nra::prelude::{eval, output_type};
+use or_object::{Type, Value};
+
+/// A template shared by several tests.
+fn controller_template() -> DesignTemplate {
+    DesignTemplate::new(vec![
+        Component::new(
+            "cpu",
+            vec![
+                ModuleOption::new("m4", 12, "acme"),
+                ModuleOption::new("riscv", 9, "globex"),
+            ],
+        ),
+        Component::new(
+            "radio",
+            vec![
+                ModuleOption::new("ble", 7, "initech"),
+                ModuleOption::new("wifi", 19, "globex"),
+                ModuleOption::new("none", 0, "acme"),
+            ],
+        ),
+    ])
+}
+
+#[test]
+fn design_template_counts_agree_across_layers() {
+    let template = controller_template();
+    // domain layer
+    assert_eq!(template.completed_design_count(), 6);
+    // object/normalization layer
+    let v = template.to_value();
+    let nf = normalize_value_typed(&v, &DesignTemplate::value_type());
+    assert_eq!(nf.elements().unwrap().len(), 6);
+    // lazy layer
+    assert_eq!(LazyNormalizer::new(&v).total(), 6);
+    // algebra layer: normalize as a morphism, type-checked
+    let out_ty = output_type(&Morphism::Normalize, &DesignTemplate::value_type()).unwrap();
+    assert_eq!(out_ty, DesignTemplate::value_type().normal_form());
+    let out = eval(&Morphism::Normalize, &v).unwrap();
+    assert_eq!(out, nf);
+}
+
+#[test]
+fn budget_query_agrees_between_algebra_domain_and_orql() {
+    let template = controller_template();
+
+    // Domain layer: lazy existential query.
+    let (witness, _) = template.exists_design_within_budget(17).unwrap();
+    let domain_answer = witness.is_some();
+
+    // Direct baseline.
+    let direct_answer = template.cheapest_cost_direct().map(|c| c <= 17).unwrap_or(false);
+    assert_eq!(domain_answer, direct_answer);
+
+    // Algebra layer over a simplified cost-only encoding of the template:
+    // an or-set of costs per component.
+    let costs = Value::set(
+        template
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                Value::pair(
+                    Value::Int(i as i64),
+                    Value::orset(c.options.iter().map(|o| Value::Int(o.cost))),
+                )
+            }),
+    );
+    // "is there a completed choice whose costs are all <= 9?"  (a simpler
+    // predicate than summation, which or-NRA cannot express without folds)
+    let all_cheap = exists(
+        Morphism::Proj2
+            .then(Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(9))))
+            .then(Morphism::Prim(Prim::Leq))
+            .then(Morphism::Prim(Prim::Not)),
+    )
+    .then(Morphism::Prim(Prim::Not));
+    let query = Morphism::Normalize.then(or_exists(all_cheap));
+    let algebra_answer = eval(&query, &costs).unwrap();
+    assert_eq!(algebra_answer, Value::Bool(true)); // riscv (9) + none (0)
+
+    // Surface-language layer: the same question in OrQL, compiled to the
+    // algebra and evaluated on the same object.
+    let orql = "<| w | w <- normalize(db), isempty({ c | c <- w, 9 < snd(c) }) |>";
+    let expr = parse(orql).unwrap();
+    let compiled = compile_query(&expr, "db").unwrap();
+    let witnesses = eval(&compiled, &costs).unwrap();
+    assert!(!witnesses.elements().unwrap().is_empty());
+}
+
+#[test]
+fn orql_session_and_relation_queries_agree() {
+    // per-person possible offices
+    let mut workload_free_rows = vec![
+        ("Joe", vec![515]),
+        ("Mary", vec![515, 212]),
+        ("Bill", vec![212, 614]),
+    ];
+    workload_free_rows.sort();
+    let db = Value::set(workload_free_rows.iter().map(|(name, offices)| {
+        Value::pair(
+            Value::str(*name),
+            Value::int_orset(offices.iter().copied()),
+        )
+    }));
+
+    // or-NRA query: who possibly sits in 212?
+    let possibly_212 = or_nra::derived::select(
+        Morphism::Proj2.then(or_nra::derived::or_exists(
+            Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(212))).then(Morphism::Eq),
+        )),
+    )
+    .then(Morphism::map(Morphism::Proj1));
+    let algebra = eval(&possibly_212, &db).unwrap();
+
+    // OrQL query through a session
+    let mut session = Session::new();
+    session.bind("offices", db.clone());
+    let orql = session
+        .run("{ fst(r) | r <- offices, ormember(212, snd(r)) }")
+        .unwrap();
+    assert_eq!(orql.value, algebra);
+    assert_eq!(algebra, Value::set([Value::str("Bill"), Value::str("Mary")]));
+}
+
+#[test]
+fn codd_tables_round_trip_through_normalization() {
+    let mut table = CoddTable::new(
+        "parts",
+        [Field::new("part", Type::Str), Field::new("bin", Type::Int)],
+    )
+    .unwrap();
+    table.insert(vec![Cell::str("bolt"), Cell::int(1)]).unwrap();
+    table.insert(vec![Cell::str("nut"), Cell::Null]).unwrap();
+    table.insert(vec![Cell::Null, Cell::int(2)]).unwrap();
+
+    let rel = table.to_relation_with_orsets().unwrap();
+    let completions = rel.normalize();
+    // every completion is a set of fully-known records drawn from the active
+    // domains
+    for instance in completions.elements().unwrap() {
+        for record in instance.elements().unwrap() {
+            let (name, bin) = record.as_pair().unwrap();
+            assert!(name.as_str().is_some());
+            assert!(bin.as_int().is_some());
+        }
+    }
+    assert_eq!(rel.possibility_count() as usize, completions.elements().unwrap().len());
+}
+
+#[test]
+fn sat_reduction_agrees_with_dpll_on_a_workload() {
+    let mut gen = CnfGenerator::new(500);
+    for round in 0u32..10 {
+        let cnf = gen.random_kcnf(4 + round % 3, 4 + (round as usize % 5), 3);
+        let dpll = encode::sat_by_dpll(&cnf);
+        assert_eq!(encode::sat_by_eager_normalization(&cnf).unwrap(), dpll);
+        assert_eq!(encode::sat_by_lazy_normalization(&cnf).unwrap().satisfiable, dpll);
+    }
+}
+
+#[test]
+fn coherence_and_expansion_hold_on_database_shaped_objects() {
+    let mut workload = Workload::new(77);
+    let template = workload.uniform_design_template(3, 2);
+    let v = template.to_value();
+    let ty = DesignTemplate::value_type();
+    // every rewrite strategy and the direct implementation agree
+    let report = check_coherence(&v, &ty, &RewriteStrategy::portfolio()).unwrap();
+    assert!(report.coherent);
+    // the or-NRA expansion of normalize agrees with the primitive
+    let expansion = expand_normalize(&ty).unwrap();
+    assert_eq!(eval(&expansion, &v).unwrap(), report.normal_form);
+}
+
+#[test]
+fn planning_and_sat_use_the_same_lazy_machinery() {
+    let mut workload = Workload::new(3);
+    let problem = workload.planning_problem(5, 8, 2);
+    let (lazy, inspected) = problem.find_schedule_lazily().unwrap();
+    let direct = problem.find_schedule_backtracking();
+    assert_eq!(lazy.is_some(), direct.is_some());
+    assert!(inspected <= problem.candidate_count() as u128);
+}
+
+#[test]
+fn antichain_semantics_is_consistent_between_eval_and_object_layer() {
+    use or_object::antichain::to_antichain;
+    use or_object::BaseOrder;
+    let base = BaseOrder::FlatWithNull;
+    let a = Value::set([Value::pair(Value::Null, Value::Int(515))]);
+    let b = Value::set([Value::pair(Value::str("Joe"), Value::Int(515))]);
+    let unioned = eval(&Morphism::Union, &Value::pair(a.clone(), b.clone())).unwrap();
+    let anti_eval =
+        or_nra::eval::eval_antichain(base, &Morphism::Union, &Value::pair(a, b)).unwrap();
+    assert_eq!(anti_eval, to_antichain(base, &unioned));
+}

@@ -1,0 +1,324 @@
+//! Property-based tests (proptest) for the core invariants of the
+//! reproduction.
+//!
+//! Random complex objects are produced by composing proptest's shrinkable
+//! primitives with the deterministic generators of `or_object::generate`
+//! (seeded from a proptest-chosen seed), so failures reduce to a seed and a
+//! small configuration that can be replayed directly.
+
+use proptest::prelude::*;
+
+use or_nra::coherence::check_coherence;
+use or_nra::cost;
+use or_nra::expand::expand_normalize;
+use or_nra::lazy::LazyNormalizer;
+use or_nra::morphism::Morphism;
+use or_nra::normalize::{
+    denotation_count, denotations, normalize_value, normalize_value_typed, possibility_count,
+    RewriteStrategy,
+};
+use or_nra::optimize::simplified;
+use or_nra::preserve::is_lossless_on;
+use or_nra::prelude::eval;
+use or_object::alpha::{alpha_antichain, alpha_set, beta_antichain};
+use or_object::antichain::{is_antichain_object, to_antichain};
+use or_object::generate::{GenConfig, Generator};
+use or_object::order::{object_leq, object_lt};
+use or_object::theory::{entails, separating_formula};
+use or_object::{BaseOrder, Type, Value};
+
+/// A proptest strategy producing a random or-set-containing object (and its
+/// type) via the deterministic generator.
+fn typed_or_object() -> impl Strategy<Value = (Type, Value)> {
+    (any::<u64>(), 2usize..=4, 1usize..=3).prop_map(|(seed, depth, width)| {
+        let config = GenConfig {
+            max_depth: depth,
+            max_width: width,
+            ..GenConfig::default()
+        };
+        Generator::new(seed, config).typed_or_object()
+    })
+}
+
+/// A strategy producing arbitrary (possibly or-free) objects.
+fn typed_object() -> impl Strategy<Value = (Type, Value)> {
+    (any::<u64>(), 2usize..=4, 1usize..=3).prop_map(|(seed, depth, width)| {
+        let config = GenConfig {
+            max_depth: depth,
+            max_width: width,
+            ..GenConfig::default()
+        };
+        Generator::new(seed, config).typed_object()
+    })
+}
+
+/// Objects of a fixed shallow type, for the order/theory properties.
+fn shallow_object(seed: u64, width: usize) -> Value {
+    let config = GenConfig {
+        max_depth: 3,
+        max_width: width,
+        int_range: 4,
+        ..GenConfig::default()
+    };
+    let ty = Type::set(Type::orset(Type::Int));
+    Generator::new(seed, config).object_of(&ty)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    // ---------------------------------------------------------------------
+    // object model
+    // ---------------------------------------------------------------------
+
+    /// Canonical collections ignore order and duplicates.
+    #[test]
+    fn canonical_sets_ignore_order_and_duplicates(mut items in proptest::collection::vec(-20i64..20, 0..8)) {
+        let a = Value::int_set(items.clone());
+        items.reverse();
+        items.extend(items.clone());
+        let b = Value::int_set(items);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Generated objects inhabit their generated types.
+    #[test]
+    fn generated_objects_are_well_typed((ty, v) in typed_object()) {
+        prop_assert!(v.has_type(&ty));
+    }
+
+    /// The structural order is reflexive, and strictness excludes equality.
+    #[test]
+    fn order_is_reflexive_and_strictness_is_irreflexive((_, v) in typed_object()) {
+        for base in [BaseOrder::Discrete, BaseOrder::FlatWithNull, BaseOrder::NumericLeq] {
+            prop_assert!(object_leq(base, &v, &v));
+            prop_assert!(!object_lt(base, &v, &v));
+        }
+    }
+
+    /// The order is transitive on sampled triples of a common type.
+    #[test]
+    fn order_is_transitive(seed in any::<u64>()) {
+        let base = BaseOrder::FlatWithNull;
+        let xs: Vec<Value> = (0..4).map(|i| shallow_object(seed.wrapping_add(i), 2)).collect();
+        for x in &xs {
+            for y in &xs {
+                for z in &xs {
+                    if object_leq(base, x, y) && object_leq(base, y, z) {
+                        prop_assert!(object_leq(base, x, z));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Antichain coercion is idempotent, produces antichains, and never
+    /// increases the number of elements.
+    #[test]
+    fn antichain_coercion_is_idempotent((_, v) in typed_object()) {
+        let base = BaseOrder::NumericLeq;
+        let once = to_antichain(base, &v);
+        prop_assert!(is_antichain_object(base, &once));
+        prop_assert_eq!(to_antichain(base, &once), once.clone());
+        prop_assert!(once.size() <= v.size());
+    }
+
+    /// Theorem 3.3: alpha_a and beta_a are mutually inverse on antichains of
+    /// antichains (sets of or-sets).
+    #[test]
+    fn alpha_beta_roundtrip(seed in any::<u64>(), width in 1usize..=3) {
+        let base = BaseOrder::FlatWithNull;
+        let v = to_antichain(base, &shallow_object(seed, width));
+        prop_assume!(!v.contains_empty_orset());
+        let a = alpha_antichain(base, &v).unwrap();
+        let back = beta_antichain(base, &a).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Proposition 3.4 (soundness): a separating formula, when produced,
+    /// holds at the larger object and fails at the smaller one; and no
+    /// formula is produced when x ⊑ y.
+    #[test]
+    fn separating_formulas_are_sound(seed in any::<u64>(), width in 1usize..=3) {
+        let base = BaseOrder::FlatWithNull;
+        let x = shallow_object(seed, width);
+        let y = shallow_object(seed.wrapping_mul(31).wrapping_add(7), width);
+        match separating_formula(base, &x, &y) {
+            None => prop_assert!(object_leq(base, &x, &y)),
+            Some(phi) => {
+                prop_assert!(!object_leq(base, &x, &y));
+                prop_assert!(entails(base, &y, &phi));
+                prop_assert!(!entails(base, &x, &phi));
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // normalization
+    // ---------------------------------------------------------------------
+
+    /// alpha's output cardinality equals the product of the member or-set
+    /// cardinalities when all elements are distinct... in general it is
+    /// bounded by that product.
+    #[test]
+    fn alpha_cardinality_is_bounded_by_the_product(seed in any::<u64>(), width in 1usize..=3) {
+        let v = shallow_object(seed, width);
+        prop_assume!(!v.contains_empty_orset());
+        let product: usize = v
+            .elements()
+            .unwrap()
+            .iter()
+            .map(|o| o.elements().unwrap().len())
+            .product();
+        let out = alpha_set(&v).unwrap();
+        prop_assert!(out.elements().unwrap().len() <= product.max(1));
+    }
+
+    /// Normalization is coherent (Theorem 4.2): every strategy and the direct
+    /// implementation agree.
+    #[test]
+    fn normalization_is_coherent((ty, v) in typed_or_object()) {
+        prop_assume!(denotation_count(&v) <= 2048);
+        let report = check_coherence(&v, &ty, &RewriteStrategy::portfolio()).unwrap();
+        prop_assert!(report.coherent);
+    }
+
+    /// The normal form is an or-set of or-set-free objects (or the object is
+    /// or-free and unchanged), and normalization is idempotent.
+    #[test]
+    fn normal_forms_are_flat_and_idempotent((_, v) in typed_or_object()) {
+        prop_assume!(denotation_count(&v) <= 2048);
+        let nf = normalize_value(&v);
+        match &nf {
+            Value::OrSet(items) => {
+                prop_assert!(items.iter().all(|d| !d.contains_orset()));
+            }
+            other => prop_assert!(!other.contains_orset()),
+        }
+        prop_assert_eq!(normalize_value(&nf), nf.clone());
+    }
+
+    /// Lazy enumeration produces exactly the denotations of the eager
+    /// implementation (as multisets), and `denotation_count` predicts both.
+    #[test]
+    fn lazy_and_eager_denotations_agree((_, v) in typed_or_object()) {
+        prop_assume!(denotation_count(&v) <= 512);
+        let eager = denotations(&v);
+        let lazy: Vec<Value> = LazyNormalizer::new(&v).collect();
+        prop_assert_eq!(denotation_count(&v), eager.len() as u128);
+        let mut a = eager;
+        let mut b = lazy;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Corollary 4.3: the or-NRA expansion of normalize agrees with the
+    /// primitive (typed) normalization.
+    #[test]
+    fn expansion_agrees_with_primitive((ty, v) in typed_or_object()) {
+        prop_assume!(denotation_count(&v) <= 512);
+        let expansion = expand_normalize(&ty).unwrap();
+        prop_assert!(!expansion.uses_normalize());
+        let expected = normalize_value_typed(&v, &ty);
+        prop_assert_eq!(eval(&expansion, &v).unwrap(), expected);
+    }
+
+    /// Section 6 bounds: cardinality and size of normal forms stay within the
+    /// closed-form bounds for objects without empty collections.
+    #[test]
+    fn cost_bounds_hold((_, v) in typed_or_object()) {
+        prop_assume!(!v.contains_empty_collection());
+        prop_assume!(denotation_count(&v) <= 4096);
+        let report = cost::measure(&v);
+        prop_assert!(report.within_bounds, "bounds violated: {:?}", report);
+        prop_assert!(u64::from(report.cardinality <= report.normal_form_size.max(1)) == 1);
+    }
+
+    /// Proposition 6.1: the possibility count is bounded by the product over
+    /// innermost or-sets of (cardinality + 1).
+    #[test]
+    fn proposition_6_1((_, v) in typed_or_object()) {
+        prop_assume!(denotation_count(&v) <= 4096);
+        if let Some(bound) = cost::proposition_6_1_bound(&v) {
+            prop_assert!(u128::from(possibility_count(&v)) <= bound);
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // the algebra
+    // ---------------------------------------------------------------------
+
+    /// The optimizer never changes the meaning of a morphism on the inputs it
+    /// is defined on (sampled over a family of query shapes).
+    #[test]
+    fn optimizer_preserves_semantics(seed in any::<u64>(), n in 1usize..=4) {
+        use or_nra::derived;
+        let v = Value::set((0..n as i64).map(|i| Value::pair(Value::Int(i), Value::Int(i + 1))));
+        let queries = vec![
+            Morphism::map(Morphism::Proj1).then(Morphism::map(Morphism::Eta)).then(Morphism::Mu),
+            derived::select(Morphism::Proj2.then(Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(2)))).then(Morphism::Prim(or_nra::Prim::Leq))),
+            Morphism::Eta.then(Morphism::Mu).then(Morphism::map(Morphism::pair(Morphism::Proj2, Morphism::Proj1))),
+            derived::exists(Morphism::Proj1.then(Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(seed as i64 % 5)))).then(Morphism::Eq)),
+        ];
+        for q in queries {
+            let s = simplified(&q);
+            prop_assert!(s.size() <= q.size());
+            prop_assert_eq!(eval(&q, &v).unwrap(), eval(&s, &v).unwrap());
+        }
+    }
+
+    /// Theorem 5.1 on a safe fragment: projections and or-maps of or-free
+    /// primitives are lossless for every generated input of the right shape.
+    #[test]
+    fn losslessness_on_the_safe_fragment(seed in any::<u64>(), width in 1usize..=3) {
+        let config = GenConfig { max_depth: 2, max_width: width, ..GenConfig::default() };
+        let mut gen = Generator::new(seed, config);
+        // f = pi1 : <int> × {int} -> <int>
+        let ty = Type::prod(Type::orset(Type::Int), Type::set(Type::Int));
+        let x = gen.object_of(&ty);
+        prop_assume!(!x.contains_empty_orset());
+        prop_assert!(is_lossless_on(&Morphism::Proj1, &x).unwrap());
+        // g = ormap(plus) : <int × int> -> <int>
+        let ty = Type::orset(Type::prod(Type::Int, Type::Int));
+        let y = gen.object_of(&ty);
+        prop_assume!(!y.contains_empty_orset());
+        prop_assert!(is_lossless_on(&Morphism::ormap(Morphism::Prim(or_nra::Prim::Plus)), &y).unwrap());
+    }
+
+    /// The SAT reduction agrees with DPLL on random small formulae.
+    #[test]
+    fn sat_reduction_is_correct(seed in any::<u64>(), vars in 3u32..=6, extra in 0usize..=4) {
+        let mut gen = or_logic::CnfGenerator::new(seed);
+        let cnf = gen.random_kcnf(vars, 3 + extra, 2 + (vars % 2) as usize);
+        let expected = or_logic::encode::sat_by_dpll(&cnf);
+        prop_assert_eq!(or_logic::encode::sat_by_lazy_normalization(&cnf).unwrap().satisfiable, expected);
+        prop_assert_eq!(or_logic::encode::sat_by_eager_normalization(&cnf).unwrap(), expected);
+    }
+
+    /// OrQL: the interpreter and the compiled algebra agree on parameterized
+    /// queries over generated databases.
+    #[test]
+    fn orql_interpreter_agrees_with_compiler(seed in any::<u64>(), width in 1usize..=3) {
+        let db = shallow_object(seed, width);
+        prop_assume!(!db.elements().unwrap().is_empty());
+        let queries = [
+            "normalize(db)",
+            "{ x | x <- db, !orisempty(x) }",
+            "<| w | w <- normalize(db), member(1, w) |>",
+            "alpha(db)",
+        ];
+        let mut env = std::collections::HashMap::new();
+        env.insert("db".to_string(), db.clone());
+        for q in queries {
+            let expr = or_lang::parse(q).unwrap();
+            let interpreted = or_lang::interpret(&expr, &env).unwrap();
+            let compiled = or_lang::compile_query(&expr, "db").unwrap();
+            let evaluated = eval(&compiled, &db).unwrap();
+            prop_assert_eq!(interpreted, evaluated, "disagreement on {}", q);
+        }
+    }
+}
