@@ -17,9 +17,11 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(400));
     for k in [3usize, 5, 7] {
         let witness = Generator::tightness_witness(k);
-        group.bench_with_input(BenchmarkId::new("measure_witness", 3 * k), &witness, |b, v| {
-            b.iter(|| cost::measure(v))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("measure_witness", 3 * k),
+            &witness,
+            |b, v| b.iter(|| cost::measure(v)),
+        );
     }
     for components in [3usize, 5, 7] {
         let template = Workload::new(17).design_object(components, 3);

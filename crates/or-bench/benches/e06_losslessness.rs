@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 use or_nra::morphism::Morphism as M;
-use or_nra::preserve::{losslessness_sides, preserve};
 use or_nra::prelude::eval;
+use or_nra::preserve::{losslessness_sides, preserve};
 use or_object::Value;
 
 fn bench(c: &mut Criterion) {
@@ -17,9 +17,7 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(400));
     // f = ormap(plus) over an or-set of pairs — within the Theorem 5.1 class
     let f = M::ormap(M::Prim(or_nra::Prim::Plus));
-    let x = Value::orset(
-        (0..40).map(|i| Value::pair(Value::Int(i), Value::Int(i + 1))),
-    );
+    let x = Value::orset((0..40).map(|i| Value::pair(Value::Int(i), Value::Int(i + 1))));
     group.bench_function("both_sides_of_the_equation", |b| {
         b.iter(|| losslessness_sides(&f, &x).unwrap())
     });
@@ -29,7 +27,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| eval(&pf, &normalized).unwrap())
     });
     group.bench_function("f_then_normalize", |b| {
-        b.iter(|| eval(&M::compose(M::Normalize, M::compose(M::OrEta, f.clone())), &x).unwrap())
+        b.iter(|| {
+            eval(
+                &M::compose(M::Normalize, M::compose(M::OrEta, f.clone())),
+                &x,
+            )
+            .unwrap()
+        })
     });
     group.finish();
 }

@@ -26,12 +26,16 @@ fn bench(c: &mut Criterion) {
         };
         let mut gen = Generator::new(55, config);
         let v = to_antichain(base, &gen.object_of(&ty));
-        group.bench_with_input(BenchmarkId::new("alpha_a_then_beta_a", width), &v, |b, x| {
-            b.iter(|| {
-                let a = alpha_antichain(base, x).unwrap();
-                beta_antichain(base, &a).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alpha_a_then_beta_a", width),
+            &v,
+            |b, x| {
+                b.iter(|| {
+                    let a = alpha_antichain(base, x).unwrap();
+                    beta_antichain(base, &a).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

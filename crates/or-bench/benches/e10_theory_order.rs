@@ -28,12 +28,7 @@ fn bench(c: &mut Criterion) {
         .map(|_| (gen.object_of(&ty), gen.object_of(&ty)))
         .collect();
     group.bench_function("direct_order", |b| {
-        b.iter(|| {
-            pairs
-                .iter()
-                .filter(|(x, y)| object_leq(base, x, y))
-                .count()
-        })
+        b.iter(|| pairs.iter().filter(|(x, y)| object_leq(base, x, y)).count())
     });
     group.bench_function("separating_formula_search", |b| {
         b.iter(|| {

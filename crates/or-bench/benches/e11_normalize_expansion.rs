@@ -31,7 +31,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("expanded_innermost", |b| {
         b.iter(|| eval(&innermost, &v).unwrap())
     });
-    group.bench_function("build_expansion", |b| b.iter(|| expand_normalize(&ty).unwrap()));
+    group.bench_function("build_expansion", |b| {
+        b.iter(|| expand_normalize(&ty).unwrap())
+    });
     group.finish();
 }
 

@@ -24,7 +24,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| encode::sat_by_eager_normalization(&sat).unwrap())
     });
     group.bench_function("lazy_on_unsatisfiable", |b| {
-        b.iter(|| encode::sat_by_lazy_normalization(&unsat).unwrap().satisfiable)
+        b.iter(|| {
+            encode::sat_by_lazy_normalization(&unsat)
+                .unwrap()
+                .satisfiable
+        })
     });
     group.bench_function("eager_on_unsatisfiable", |b| {
         b.iter(|| encode::sat_by_eager_normalization(&unsat).unwrap())
@@ -32,10 +36,22 @@ fn bench(c: &mut Criterion) {
 
     let template = Workload::new(9).uniform_design_template(8, 3);
     group.bench_function("design_budget_lazy_hit", |b| {
-        b.iter(|| template.exists_design_within_budget(8 * 90).unwrap().0.is_some())
+        b.iter(|| {
+            template
+                .exists_design_within_budget(8 * 90)
+                .unwrap()
+                .0
+                .is_some()
+        })
     });
     group.bench_function("design_budget_lazy_miss", |b| {
-        b.iter(|| template.exists_design_within_budget(8 * 9).unwrap().0.is_some())
+        b.iter(|| {
+            template
+                .exists_design_within_budget(8 * 9)
+                .unwrap()
+                .0
+                .is_some()
+        })
     });
     group.bench_function("design_enumerate_all", |b| {
         b.iter(|| template.completed_designs().len())

@@ -1,0 +1,65 @@
+//! E13: the streaming parallel physical engine (`or-engine`) against the
+//! tree-walking interpreter, on the partitioned-scan and per-row
+//! α-expansion workloads.  This is the headline perf artifact of the engine
+//! PR: the same or-NRA⁺ query, lowered once, executed three ways.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use or_bench::experiments::{
+    alternatives_relation, e13_expand_query, e13_scan_query, priced_relation,
+};
+use or_engine::{run_plan, ExecConfig};
+use or_nra::optimize::lower;
+use or_nra::prelude::eval;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_engine_vs_interp");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let seq = ExecConfig::default();
+    let par = ExecConfig::default().with_workers(workers);
+
+    // -- partitioned scan: filter + project over (id, cost) records --------
+    let scan_query = e13_scan_query();
+    let scan_plan = lower(&scan_query).expect("scan query is lowerable");
+    for rows in [2_000usize, 10_000] {
+        let relation = priced_relation(rows);
+        let value = relation.to_value();
+        group.bench_with_input(BenchmarkId::new("scan/interp", rows), &rows, |b, _| {
+            b.iter(|| eval(&scan_query, &value).expect("interpreter"))
+        });
+        group.bench_with_input(BenchmarkId::new("scan/engine_seq", rows), &rows, |b, _| {
+            b.iter(|| run_plan(&scan_plan, &[&relation], seq).expect("engine"))
+        });
+        group.bench_with_input(BenchmarkId::new("scan/engine_par", rows), &rows, |b, _| {
+            b.iter(|| run_plan(&scan_plan, &[&relation], par).expect("engine"))
+        });
+    }
+
+    // -- per-row α-expansion ------------------------------------------------
+    let expand_query = e13_expand_query();
+    let expand_plan = lower(&expand_query).expect("expand query is lowerable");
+    let relation = alternatives_relation(500);
+    let value = relation.to_value();
+    group.bench_function("expand/interp", |b| {
+        b.iter(|| eval(&expand_query, &value).expect("interpreter"))
+    });
+    group.bench_function("expand/engine_seq", |b| {
+        b.iter(|| run_plan(&expand_plan, &[&relation], seq).expect("engine"))
+    });
+    group.bench_function("expand/engine_par", |b| {
+        b.iter(|| run_plan(&expand_plan, &[&relation], par).expect("engine"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,17 +1,21 @@
-//! `experiments` — run every experiment (E1–E12) and print its table.
+//! `experiments` — run every experiment (E1–E13) and print its table.
 //!
 //! ```text
 //! cargo run --release -p or-bench --bin experiments            # all
 //! cargo run --release -p or-bench --bin experiments -- e03 e07 # a subset
 //! ```
 //!
-//! The output of a full run is archived in EXPERIMENTS.md next to the paper's
-//! corresponding claims.
+//! Running `e13` (alone or as part of the full suite) additionally writes
+//! `BENCH_engine.json` — the machine-readable engine-vs-interpreter
+//! measurements tracked across PRs.
 
 use or_bench::experiments;
 use or_bench::Table;
 
-fn all() -> Vec<(&'static str, fn() -> Table)> {
+/// A named experiment runner.
+type Experiment = (&'static str, fn() -> Table);
+
+fn all() -> Vec<Experiment> {
     vec![
         ("e01", || experiments::e01_alpha_powerset(10)),
         ("e02", || experiments::e02_alpha_blowup(14)),
@@ -25,6 +29,15 @@ fn all() -> Vec<(&'static str, fn() -> Table)> {
         ("e10", || experiments::e10_theory_order(60)),
         ("e11", || experiments::e11_normalize_expansion(10)),
         ("e12", experiments::e12_lazy_vs_eager),
+        ("e13", || {
+            let rows = experiments::e13_engine_rows(20_000);
+            let json = experiments::engine_bench_json(&rows);
+            match std::fs::write("BENCH_engine.json", &json) {
+                Ok(()) => eprintln!("wrote BENCH_engine.json"),
+                Err(e) => eprintln!("could not write BENCH_engine.json: {e}"),
+            }
+            experiments::e13_table_from_rows(&rows)
+        }),
     ]
 }
 
@@ -40,7 +53,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matched; known names: e01..e12");
+        eprintln!("no experiment matched; known names: e01..e13");
         std::process::exit(1);
     }
 }

@@ -1,10 +1,11 @@
-//! The experiment suite: one function per experiment of DESIGN.md (E1–E12).
+//! The experiment suite: one function per experiment (E1–E12 reproduce the
+//! paper's claims; E13 measures the physical engine against the
+//! interpreter).
 //!
 //! Each function runs the workload at moderate, laptop-friendly sizes and
 //! returns a [`Table`] of the quantities the paper's corresponding claim is
 //! about.  The Criterion benches in `benches/` time the same code paths; the
-//! `experiments` binary prints these tables, and EXPERIMENTS.md archives
-//! them next to the paper's claims.
+//! `experiments` binary prints these tables.
 
 use std::time::Instant;
 
@@ -18,8 +19,8 @@ use or_nra::expand::{expand_normalize, expand_normalize_innermost};
 use or_nra::lazy::LazyNormalizer;
 use or_nra::morphism::Morphism as M;
 use or_nra::normalize::{normalize_value_typed, possibility_count, RewriteStrategy};
-use or_nra::preserve::{is_lossless_on, lossless_preconditions, preserve};
 use or_nra::prelude::eval;
+use or_nra::preserve::{is_lossless_on, lossless_preconditions, preserve};
 use or_object::alpha::{alpha_antichain, alpha_set, beta_antichain};
 use or_object::antichain::to_antichain;
 use or_object::generate::{GenConfig, Generator};
@@ -39,7 +40,15 @@ fn ms(start: Instant) -> String {
 pub fn e01_alpha_powerset(max_n: usize) -> Table {
     let mut table = Table::new(
         "E1 (Prop 2.1): powerset via alpha vs native powerset",
-        &["n", "|powerset|", "via alpha", "native", "equal", "alpha ms", "native ms"],
+        &[
+            "n",
+            "|powerset|",
+            "via alpha",
+            "native",
+            "equal",
+            "alpha ms",
+            "native ms",
+        ],
     );
     let via = powerset_via_alpha();
     for n in (2..=max_n).step_by(2) {
@@ -91,7 +100,14 @@ pub fn e02_alpha_blowup(max_n: usize) -> Table {
 pub fn e03_cardinality_bound(max_k: usize, random_objects: usize) -> Table {
     let mut table = Table::new(
         "E3 (Thm 6.2): cardinality of normal forms vs 3^(n/3)",
-        &["object", "size n", "m(x)", "3^(n/3)", "within bound", "tight"],
+        &[
+            "object",
+            "size n",
+            "m(x)",
+            "3^(n/3)",
+            "within bound",
+            "tight",
+        ],
     );
     for k in 1..=max_k {
         let x = Generator::tightness_witness(k);
@@ -136,7 +152,14 @@ pub fn e03_cardinality_bound(max_k: usize, random_objects: usize) -> Table {
 pub fn e04_size_bound(max_k: usize) -> Table {
     let mut table = Table::new(
         "E4 (Thm 6.3/6.5): size of normal forms vs (n/2)*3^(n/3) and (n/3)*3^(n/3)",
-        &["object", "size n", "size nf(x)", "(n/2)*3^(n/3)", "(n/3)*3^(n/3)", "attains tight"],
+        &[
+            "object",
+            "size n",
+            "size nf(x)",
+            "(n/2)*3^(n/3)",
+            "(n/3)*3^(n/3)",
+            "attains tight",
+        ],
     );
     for k in 2..=max_k {
         let x = Generator::tightness_witness(k);
@@ -173,7 +196,14 @@ pub fn e04_size_bound(max_k: usize) -> Table {
 pub fn e05_coherence(objects: usize) -> Table {
     let mut table = Table::new(
         "E5 (Thm 4.2): coherence of normalization across rewrite strategies",
-        &["object", "size", "strategy", "rewrite steps", "ms", "agrees"],
+        &[
+            "object",
+            "size",
+            "strategy",
+            "rewrite steps",
+            "ms",
+            "agrees",
+        ],
     );
     let config = GenConfig {
         max_depth: 4,
@@ -207,7 +237,13 @@ pub fn e05_coherence(objects: usize) -> Table {
 pub fn e06_losslessness() -> Table {
     let mut table = Table::new(
         "E6 (Thm 5.1): losslessness of normalization per morphism",
-        &["morphism", "input type", "preconditions", "lossless on samples", "preserve size"],
+        &[
+            "morphism",
+            "input type",
+            "preconditions",
+            "lossless on samples",
+            "preserve size",
+        ],
     );
     let or_int = Type::orset(Type::Int);
     let cases: Vec<(&str, M, Type, Vec<Value>)> = vec![
@@ -236,7 +272,10 @@ pub fn e06_losslessness() -> Table {
             "alpha",
             M::Alpha,
             Type::set(or_int.clone()),
-            vec![Value::set([Value::int_orset([1, 2]), Value::int_orset([3])])],
+            vec![Value::set([
+                Value::int_orset([1, 2]),
+                Value::int_orset([3]),
+            ])],
         ),
         (
             "eq at or-set type (excluded)",
@@ -251,12 +290,14 @@ pub fn e06_losslessness() -> Table {
             "rho2 at or-set type (analog only)",
             M::Rho2,
             Type::prod(or_int, Type::set(Type::Int)),
-            vec![Value::pair(Value::int_orset([1, 2]), Value::int_set([3, 4]))],
+            vec![Value::pair(
+                Value::int_orset([1, 2]),
+                Value::int_set([3, 4]),
+            )],
         ),
     ];
     for (name, f, input_ty, samples) in cases {
-        let (_, violations) =
-            lossless_preconditions(&f, &input_ty).expect("type checks");
+        let (_, violations) = lossless_preconditions(&f, &input_ty).expect("type checks");
         let lossless = samples
             .iter()
             .all(|x| is_lossless_on(&f, x).unwrap_or(false));
@@ -280,7 +321,17 @@ pub fn e06_losslessness() -> Table {
 pub fn e07_sat(max_vars: u32) -> Table {
     let mut table = Table::new(
         "E7 (Sec. 6): CNF satisfiability as an existential query over normal forms",
-        &["vars", "clauses", "denotations", "sat", "eager ms", "lazy ms", "lazy inspected", "dpll ms", "agree"],
+        &[
+            "vars",
+            "clauses",
+            "denotations",
+            "sat",
+            "eager ms",
+            "lazy ms",
+            "lazy inspected",
+            "dpll ms",
+            "agree",
+        ],
     );
     let mut gen = CnfGenerator::new(101);
     for vars in (4..=max_vars).step_by(2) {
@@ -317,7 +368,13 @@ pub fn e07_sat(max_vars: u32) -> Table {
 pub fn e08_order_closure() -> Table {
     let mut table = Table::new(
         "E8 (Prop 3.1/3.2): order = closure of elementary steps",
-        &["relation", "antichain variant", "pairs checked", "agreements", "ms"],
+        &[
+            "relation",
+            "antichain variant",
+            "pairs checked",
+            "agreements",
+            "ms",
+        ],
     );
     // the zig-zag poset 0<2, 0<3, 1<3, 1<4 over 5 points
     let leq = |a: &u8, b: &u8| a == b || matches!((a, b), (0, 2) | (0, 3) | (1, 3) | (1, 4));
@@ -334,9 +391,8 @@ pub fn e08_order_closure() -> Table {
                 subsets
                     .iter()
                     .filter(|s| {
-                        s.iter().all(|x| {
-                            s.iter().all(|y| x == y || (!leq(x, y) && !leq(y, x)))
-                        })
+                        s.iter()
+                            .all(|x| s.iter().all(|y| x == y || (!leq(x, y) && !leq(y, x))))
                     })
                     .collect()
             } else {
@@ -375,7 +431,13 @@ pub fn e08_order_closure() -> Table {
 pub fn e09_iso_roundtrip(objects: usize) -> Table {
     let mut table = Table::new(
         "E9 (Thm 3.3): alpha_a / beta_a isomorphism round-trips",
-        &["base order", "objects", "round-trips ok", "monotone pairs ok", "ms"],
+        &[
+            "base order",
+            "objects",
+            "round-trips ok",
+            "monotone pairs ok",
+            "ms",
+        ],
     );
     for base in [BaseOrder::FlatWithNull, BaseOrder::NumericLeq] {
         let config = GenConfig {
@@ -433,13 +495,22 @@ pub fn e09_iso_roundtrip(objects: usize) -> Table {
 pub fn e10_theory_order(pairs: usize) -> Table {
     let mut table = Table::new(
         "E10 (Prop 3.4): x <= y iff Th(x) includes Th(y)",
-        &["object class", "pairs", "sound witnesses", "complete (witness iff not <=)", "ms"],
+        &[
+            "object class",
+            "pairs",
+            "sound witnesses",
+            "complete (witness iff not <=)",
+            "ms",
+        ],
     );
     let base = BaseOrder::FlatWithNull;
     // depth-1 or-sets: the class for which the ∨-only language is complete
     let shallow_ty = Type::set(Type::orset(Type::prod(Type::Int, Type::Bool)));
     let deep_ty = Type::orset(Type::orset(Type::Int));
-    for (name, ty) in [("or-sets of or-free elements", shallow_ty), ("nested or-sets", deep_ty)] {
+    for (name, ty) in [
+        ("or-sets of or-free elements", shallow_ty),
+        ("nested or-sets", deep_ty),
+    ] {
         let config = GenConfig {
             max_depth: 3,
             max_width: 2,
@@ -492,7 +563,14 @@ pub fn e10_theory_order(pairs: usize) -> Table {
 pub fn e11_normalize_expansion(objects: usize) -> Table {
     let mut table = Table::new(
         "E11 (Cor 4.3): normalize primitive vs its or-NRA expansion",
-        &["type", "expansion size", "objects", "agreements", "primitive ms", "expansion ms"],
+        &[
+            "type",
+            "expansion size",
+            "objects",
+            "agreements",
+            "primitive ms",
+            "expansion ms",
+        ],
     );
     let types = [
         Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Int)),
@@ -502,7 +580,13 @@ pub fn e11_normalize_expansion(objects: usize) -> Table {
     for ty in types {
         let expanded = expand_normalize(&ty).expect("expansion");
         let expanded_inner = expand_normalize_innermost(&ty).expect("expansion");
-        let mut gen = Generator::new(13, GenConfig { max_width: 2, ..GenConfig::default() });
+        let mut gen = Generator::new(
+            13,
+            GenConfig {
+                max_width: 2,
+                ..GenConfig::default()
+            },
+        );
         let samples: Vec<Value> = (0..objects).map(|_| gen.object_of(&ty)).collect();
         let t0 = Instant::now();
         let reference: Vec<Value> = samples
@@ -538,7 +622,14 @@ pub fn e11_normalize_expansion(objects: usize) -> Table {
 pub fn e12_lazy_vs_eager() -> Table {
     let mut table = Table::new(
         "E12 (Sec. 7): lazy vs eager normalization for existential queries",
-        &["instance", "candidates", "sat", "lazy inspected", "lazy ms", "eager ms"],
+        &[
+            "instance",
+            "candidates",
+            "sat",
+            "lazy inspected",
+            "lazy ms",
+            "eager ms",
+        ],
     );
     let mut gen = CnfGenerator::new(404);
     let cases = vec![
@@ -570,7 +661,10 @@ pub fn e12_lazy_vs_eager() -> Table {
     let template = workload.uniform_design_template(8, 3);
     let budget_generous = 8 * 90;
     let budget_impossible = 8 * 9;
-    for (name, budget) in [("design budget=generous", budget_generous), ("design budget=impossible", budget_impossible)] {
+    for (name, budget) in [
+        ("design budget=generous", budget_generous),
+        ("design budget=impossible", budget_impossible),
+    ] {
         let t0 = Instant::now();
         let (witness, inspected) = template
             .exists_design_within_budget(budget)
@@ -597,6 +691,272 @@ pub fn design_possibilities(components: usize, alternatives: usize) -> u64 {
     let mut workload = Workload::new(123);
     let template = workload.uniform_design_template(components, alternatives);
     possibility_count(&template.to_value())
+}
+
+// ---------------------------------------------------------------------------
+// E13: the physical engine vs the interpreter
+// ---------------------------------------------------------------------------
+
+/// One measured configuration of the engine-vs-interpreter comparison
+/// (serialized into `BENCH_engine.json` by the `experiments` binary).
+#[derive(Debug, Clone)]
+pub struct EngineBenchRow {
+    /// Workload name.
+    pub workload: String,
+    /// Rows in the driving relation.
+    pub rows: usize,
+    /// Tree-walking interpreter wall time, milliseconds.
+    pub interp_ms: f64,
+    /// Engine wall time with one worker, milliseconds.
+    pub engine_seq_ms: f64,
+    /// Engine wall time with all hardware workers, milliseconds.
+    pub engine_par_ms: f64,
+    /// Worker threads used by the parallel run.
+    pub workers: usize,
+    /// Did all three executions produce identical results?
+    pub equal: bool,
+}
+
+impl EngineBenchRow {
+    /// Parallel-engine speedup over the interpreter.
+    pub fn speedup_vs_interp(&self) -> f64 {
+        self.interp_ms / self.engine_par_ms.max(1e-9)
+    }
+}
+
+/// Run `f` several times and report the result with the **minimum** wall
+/// time, so one-time warm-up cost (allocator, page faults) does not land in
+/// the perf trajectory.
+fn timed<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    const RUNS: usize = 3;
+    let mut best_ms = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let result = f();
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(result);
+    }
+    (out.expect("RUNS > 0"), best_ms)
+}
+
+/// The e13 relation of `(id, cost)` records.
+pub fn priced_relation(rows: usize) -> or_db::Relation {
+    let schema = or_db::Schema::new([
+        or_db::Field::new("id", Type::Int),
+        or_db::Field::new("cost", Type::Int),
+    ])
+    .expect("schema is well-formed");
+    or_db::Relation::from_records(
+        "priced",
+        schema,
+        (0..rows as i64).map(|i| Value::pair(Value::Int(i), Value::Int((i * 7) % 100))),
+    )
+    .expect("records match the schema")
+}
+
+/// The e13 relation of `(id, <alt>, <alt>)` records (or-set fields).
+pub fn alternatives_relation(rows: usize) -> or_db::Relation {
+    let schema = or_db::Schema::new([
+        or_db::Field::new("id", Type::Int),
+        or_db::Field::new("cpu", Type::orset(Type::Int)),
+        or_db::Field::new("ram", Type::orset(Type::Int)),
+    ])
+    .expect("schema is well-formed");
+    or_db::Relation::from_records(
+        "alternatives",
+        schema,
+        (0..rows as i64).map(|i| {
+            Value::pair(
+                Value::Int(i),
+                Value::pair(
+                    Value::int_orset([i % 5, (i + 1) % 5, (i + 2) % 5]),
+                    Value::int_orset([i % 3, (i + 1) % 3]),
+                ),
+            )
+        }),
+    )
+    .expect("records match the schema")
+}
+
+/// The e13 filter-and-project query (`cost ≤ 30`, keep ids).
+pub fn e13_scan_query() -> M {
+    let cheap = M::Proj2
+        .then(M::pair(M::Id, M::constant(Value::Int(30))))
+        .then(M::Prim(or_nra::Prim::Leq));
+    or_nra::derived::select(cheap).then(M::map(M::Proj1))
+}
+
+/// The e13 per-row α-expansion query.
+pub fn e13_expand_query() -> M {
+    M::map(M::Normalize.then(M::OrToSet)).then(M::Mu)
+}
+
+/// Run the engine-vs-interpreter comparison at the given driving-relation
+/// scale and return the measured rows.
+pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
+    use or_engine::{run_plan, ExecConfig};
+    use or_nra::optimize::lower;
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let seq = ExecConfig::default();
+    let par = ExecConfig::default().with_workers(workers);
+    let mut out = Vec::new();
+
+    // 1. partitioned scan: filter + project over (id, cost) records
+    {
+        let relation = priced_relation(scale);
+        let query = e13_scan_query();
+        let plan = lower(&query).expect("scan query is lowerable");
+        let (interp, interp_ms) = timed(|| relation.query(&query).expect("interpreter"));
+        let (eng_seq, engine_seq_ms) =
+            timed(|| run_plan(&plan, &[&relation], seq).expect("engine sequential"));
+        let (eng_par, engine_par_ms) =
+            timed(|| run_plan(&plan, &[&relation], par).expect("engine parallel"));
+        out.push(EngineBenchRow {
+            workload: "scan_filter_project".to_string(),
+            rows: relation.len(),
+            interp_ms,
+            engine_seq_ms,
+            engine_par_ms,
+            workers,
+            equal: interp == eng_seq && eng_seq == eng_par,
+        });
+    }
+
+    // 2. or-expand: stream every complete instance of every record
+    {
+        let relation = alternatives_relation(scale / 4);
+        let query = e13_expand_query();
+        let plan = lower(&query).expect("expand query is lowerable");
+        let (interp, interp_ms) = timed(|| relation.query(&query).expect("interpreter"));
+        let (eng_seq, engine_seq_ms) =
+            timed(|| run_plan(&plan, &[&relation], seq).expect("engine sequential"));
+        let (eng_par, engine_par_ms) =
+            timed(|| run_plan(&plan, &[&relation], par).expect("engine parallel"));
+        out.push(EngineBenchRow {
+            workload: "or_expand".to_string(),
+            rows: relation.len(),
+            interp_ms,
+            engine_seq_ms,
+            engine_par_ms,
+            workers,
+            equal: interp == eng_seq && eng_seq == eng_par,
+        });
+    }
+
+    // 3. equi-join of (id, group) against (group, tag)
+    {
+        use or_nra::physical::PhysicalPlan;
+        let left_schema = or_db::Schema::new([
+            or_db::Field::new("id", Type::Int),
+            or_db::Field::new("grp", Type::Int),
+        ])
+        .expect("schema");
+        let groups = 40i64;
+        let left = or_db::Relation::from_records(
+            "users",
+            left_schema,
+            (0..(scale / 4) as i64).map(|i| Value::pair(Value::Int(i), Value::Int(i % groups))),
+        )
+        .expect("records");
+        let right_schema = or_db::Schema::new([
+            or_db::Field::new("grp", Type::Int),
+            or_db::Field::new("tag", Type::Int),
+        ])
+        .expect("schema");
+        let right = or_db::Relation::from_records(
+            "groups",
+            right_schema,
+            (0..groups).map(|g| Value::pair(Value::Int(g), Value::Int(g * 11))),
+        )
+        .expect("records");
+        let predicate = M::pair(M::Proj1.then(M::Proj2), M::Proj2.then(M::Proj1)).then(M::Eq);
+        let plan = PhysicalPlan::scan(0).join(PhysicalPlan::scan(1), predicate.clone());
+        let pair_value = Value::pair(left.to_value(), right.to_value());
+        let interp_query =
+            or_nra::derived::cartesian_product().then(or_nra::derived::select(predicate));
+        let (interp, interp_ms) =
+            timed(|| eval(&interp_query, &pair_value).expect("interpreter join"));
+        let (eng_seq, engine_seq_ms) =
+            timed(|| run_plan(&plan, &[&left, &right], seq).expect("engine sequential"));
+        let (eng_par, engine_par_ms) =
+            timed(|| run_plan(&plan, &[&left, &right], par).expect("engine parallel"));
+        out.push(EngineBenchRow {
+            workload: "equi_join".to_string(),
+            rows: left.len(),
+            interp_ms,
+            engine_seq_ms,
+            engine_par_ms,
+            workers,
+            equal: interp == eng_seq && eng_seq == eng_par,
+        });
+    }
+
+    out
+}
+
+/// Serialize measured engine rows as the `BENCH_engine.json` document (a
+/// hand-rolled, dependency-free JSON emitter).
+pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
+    let mut out =
+        String::from("{\n  \"experiment\": \"e13_engine_vs_interp\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"interp_ms\": {:.3}, \
+             \"engine_seq_ms\": {:.3}, \"engine_par_ms\": {:.3}, \"workers\": {}, \
+             \"speedup_vs_interp\": {:.3}, \"equal\": {}}}{}\n",
+            r.workload,
+            r.rows,
+            r.interp_ms,
+            r.engine_seq_ms,
+            r.engine_par_ms,
+            r.workers,
+            r.speedup_vs_interp(),
+            r.equal,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render measured engine rows as the E13 table.
+pub fn e13_table_from_rows(rows: &[EngineBenchRow]) -> Table {
+    let mut table = Table::new(
+        "E13: physical engine vs interpreter (or-engine)",
+        &[
+            "workload",
+            "rows",
+            "interp ms",
+            "engine 1w ms",
+            "engine Nw ms",
+            "workers",
+            "speedup",
+            "equal",
+        ],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.workload.clone(),
+            r.rows.to_string(),
+            format!("{:.3}", r.interp_ms),
+            format!("{:.3}", r.engine_seq_ms),
+            format!("{:.3}", r.engine_par_ms),
+            r.workers.to_string(),
+            format!("{:.2}x", r.speedup_vs_interp()),
+            r.equal.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E13: the streaming parallel engine against the tree-walking interpreter
+/// on the partitioned-scan, or-expand and equi-join workloads.
+pub fn e13_engine_vs_interp(scale: usize) -> Table {
+    e13_table_from_rows(&e13_engine_rows(scale))
 }
 
 /// Run every experiment at the default sizes and return the tables in order.
@@ -669,7 +1029,9 @@ mod tests {
         // the excluded equality example is genuinely not lossless
         assert!(by_name
             .iter()
-            .any(|(name, pre, lossless)| name.contains("eq") && *pre != "satisfied" && *lossless == "false"));
+            .any(|(name, pre, lossless)| name.contains("eq")
+                && *pre != "satisfied"
+                && *lossless == "false"));
     }
 
     #[test]

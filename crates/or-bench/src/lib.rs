@@ -3,12 +3,13 @@
 //! The paper is a theory paper: its "evaluation" consists of worked examples,
 //! complexity bounds and expressiveness results rather than measured tables.
 //! This crate turns each of those claims into an executable experiment
-//! (E1–E12, indexed in DESIGN.md):
+//! (E1–E12), and adds the system-level measurement E13 (the physical engine
+//! against the interpreter):
 //!
 //! * [`experiments`] — one function per experiment, producing a printable
 //!   [`table::Table`] of the measured quantities next to the paper's bounds;
-//! * the `experiments` binary prints every table (EXPERIMENTS.md archives a
-//!   run);
+//! * the `experiments` binary prints every table, and running `e13` also
+//!   writes the machine-readable `BENCH_engine.json`;
 //! * `benches/` contains one Criterion benchmark per experiment, timing the
 //!   same code paths over parameter sweeps.
 

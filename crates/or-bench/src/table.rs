@@ -1,7 +1,7 @@
 //! A minimal fixed-width table printer for the experiment harness.
 //!
 //! Every experiment produces a [`Table`]; the `experiments` binary prints
-//! them, and EXPERIMENTS.md records the captured output.
+//! them (and, for E13, also emits the machine-readable `BENCH_engine.json`).
 
 use std::fmt;
 

@@ -261,7 +261,10 @@ mod tests {
         // fully known row: 1 choice — up to 4 completions, some of which may
         // coincide after set collapse.
         let count = rel.possibility_count();
-        assert!(count >= 2 && count <= 4, "unexpected completion count {count}");
+        assert!(
+            (2..=4).contains(&count),
+            "unexpected completion count {count}"
+        );
     }
 
     #[test]

@@ -162,7 +162,7 @@ impl DesignTemplate {
     ) -> Result<(Option<CompletedDesign>, u128), EvalError> {
         let mut lazy = LazyNormalizer::new(&self.to_value());
         let (witness, inspected) = lazy.find_witness(|candidate| {
-            Ok(decode_completed(candidate).map_or(false, |d| d.total_cost() <= budget))
+            Ok(decode_completed(candidate).is_some_and(|d| d.total_cost() <= budget))
         })?;
         Ok((witness.as_ref().and_then(decode_completed), inspected))
     }

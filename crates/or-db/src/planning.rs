@@ -26,7 +26,11 @@ pub struct Task {
 
 impl Task {
     /// Create a task.
-    pub fn new(name: impl Into<String>, slots: impl IntoIterator<Item = i64>, duration: i64) -> Task {
+    pub fn new(
+        name: impl Into<String>,
+        slots: impl IntoIterator<Item = i64>,
+        duration: i64,
+    ) -> Task {
         Task {
             name: name.into(),
             slots: slots.into_iter().collect(),
@@ -111,7 +115,7 @@ impl PlanningProblem {
     pub fn find_schedule_lazily(&self) -> Result<(Option<Schedule>, u128), EvalError> {
         let mut lazy = LazyNormalizer::new(&self.to_value());
         let (witness, inspected) = lazy.find_witness(|candidate| {
-            Ok(decode_schedule(candidate).map_or(false, |s| s.conflict_free()))
+            Ok(decode_schedule(candidate).is_some_and(|s| s.conflict_free()))
         })?;
         Ok((witness.as_ref().and_then(decode_schedule), inspected))
     }
@@ -128,10 +132,7 @@ impl PlanningProblem {
             };
             for &slot in &task.slots {
                 let candidate = (slot, task.duration);
-                if chosen
-                    .iter()
-                    .all(|c| !overlaps((c.1, c.2), candidate))
-                {
+                if chosen.iter().all(|c| !overlaps((c.1, c.2), candidate)) {
                     chosen.push((task.name.clone(), slot, task.duration));
                     if go(&tasks[1..], chosen) {
                         return true;
@@ -162,7 +163,11 @@ fn decode_schedule(candidate: &Value) -> Option<Schedule> {
     for item in items {
         let (name, rest) = item.as_pair()?;
         let (duration, slot) = rest.as_pair()?;
-        assignments.push((name.as_str()?.to_string(), slot.as_int()?, duration.as_int()?));
+        assignments.push((
+            name.as_str()?.to_string(),
+            slot.as_int()?,
+            duration.as_int()?,
+        ));
     }
     Some(Schedule { assignments })
 }
@@ -181,10 +186,7 @@ mod tests {
 
     fn infeasible_problem() -> PlanningProblem {
         // two tasks of duration 2 competing for the single slot 0
-        PlanningProblem::new(vec![
-            Task::new("a", [0], 2),
-            Task::new("b", [0, 1], 2),
-        ])
+        PlanningProblem::new(vec![Task::new("a", [0], 2), Task::new("b", [0, 1], 2)])
     }
 
     #[test]

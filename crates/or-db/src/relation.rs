@@ -84,6 +84,48 @@ impl Relation {
         &self.rows
     }
 
+    /// The records in contiguous batches of at most `batch_size` rows — a
+    /// convenience mirror of the batch-at-a-time granularity the physical
+    /// engine's scans use internally (`ExecConfig::batch_size`), for
+    /// external consumers that want to stream a relation the same way.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = &[Value]> {
+        self.rows.chunks(batch_size.max(1))
+    }
+
+    /// Split the records into `n` contiguous, near-equal partitions (fewer
+    /// when the relation has fewer than `n` rows; a single empty partition
+    /// for an empty relation).  Delegates to [`partition_rows`] — the same
+    /// split the engine's parallel executor applies to its driving input —
+    /// so external schedulers shard a relation identically.
+    pub fn partitions(&self, n: usize) -> Vec<&[Value]> {
+        partition_rows(&self.rows, n)
+    }
+
+    /// Bulk-load a relation from pre-encoded records (each must match the
+    /// schema's record type).  Rows are deduplicated; this is the fast path
+    /// the workload generators and benchmarks use.
+    pub fn from_records(
+        name: impl Into<String>,
+        schema: Schema,
+        records: impl IntoIterator<Item = Value>,
+    ) -> Result<Relation, RelationError> {
+        let mut relation = Relation::new(name, schema);
+        let mut rows: Vec<Value> = Vec::new();
+        for record in records {
+            if !record.has_type(&relation.schema.record_type()) {
+                return Err(RelationError::Schema(SchemaError::Mismatch(format!(
+                    "record {record} does not match schema {}",
+                    relation.schema
+                ))));
+            }
+            rows.push(record);
+        }
+        rows.sort();
+        rows.dedup();
+        relation.rows = rows;
+        Ok(relation)
+    }
+
     /// Insert a row given one value per field.
     pub fn insert(&mut self, values: Vec<Value>) -> Result<(), RelationError> {
         let record = self.schema.record(values)?;
@@ -162,6 +204,24 @@ impl Relation {
     }
 }
 
+/// Split `rows` into `n` contiguous, near-equal partitions (fewer when
+/// there are fewer rows than `n`; a single empty partition for an empty
+/// slice).  This is the split [`Relation::partitions`] exposes and the
+/// physical engine's parallel executor applies to the driving input.
+pub fn partition_rows(rows: &[Value], n: usize) -> Vec<&[Value]> {
+    let n = n.max(1).min(rows.len().max(1));
+    let base = rows.len() / n;
+    let extra = rows.len() % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        out.push(&rows[start..start + len]);
+        start += len;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,7 +235,8 @@ mod tests {
         ])
         .unwrap();
         let mut r = Relation::new("offices", schema);
-        r.insert(vec![Value::str("Joe"), Value::int_orset([515])]).unwrap();
+        r.insert(vec![Value::str("Joe"), Value::int_orset([515])])
+            .unwrap();
         r.insert(vec![Value::str("Mary"), Value::int_orset([515, 212])])
             .unwrap();
         r
@@ -185,7 +246,8 @@ mod tests {
     fn insertion_deduplicates_and_type_checks() {
         let mut r = offices();
         assert_eq!(r.len(), 2);
-        r.insert(vec![Value::str("Joe"), Value::int_orset([515])]).unwrap();
+        r.insert(vec![Value::str("Joe"), Value::int_orset([515])])
+            .unwrap();
         assert_eq!(r.len(), 2);
         assert!(r
             .insert(vec![Value::Int(1), Value::int_orset([1])])
@@ -225,18 +287,51 @@ mod tests {
     }
 
     #[test]
+    fn batches_and_partitions_cover_all_rows() {
+        let schema = Schema::new([Field::new("n", Type::Int)]).unwrap();
+        let mut r = Relation::new("numbers", schema);
+        for i in 0..10 {
+            r.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let batched: usize = r.batches(3).map(<[Value]>::len).sum();
+        assert_eq!(batched, 10);
+        assert!(r.batches(3).all(|b| b.len() <= 3));
+        for n in [1, 3, 4, 10, 50] {
+            let parts = r.partitions(n);
+            assert!(parts.len() <= n);
+            let total: usize = parts.iter().map(|p| p.len()).sum();
+            assert_eq!(total, 10, "partitions({n}) lost rows");
+            let rebuilt: Vec<Value> = parts.concat();
+            assert_eq!(rebuilt, r.records());
+        }
+        // empty relation: a single empty partition, no batches
+        let empty = Relation::new("empty", Schema::new([Field::new("n", Type::Int)]).unwrap());
+        assert_eq!(empty.partitions(4).len(), 1);
+        assert_eq!(empty.batches(8).count(), 0);
+    }
+
+    #[test]
+    fn from_records_bulk_loads_and_type_checks() {
+        let schema = Schema::new([Field::new("n", Type::Int)]).unwrap();
+        let records: Vec<Value> = [3, 1, 2, 1].iter().map(|i| Value::Int(*i)).collect();
+        let r = Relation::from_records("nums", schema.clone(), records).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(Relation::from_records("bad", schema, [Value::Bool(true)]).is_err());
+    }
+
+    #[test]
     fn queries_run_over_the_object_representation() {
         let r = offices();
         // "does anyone possibly sit in office 212?"
         let office = r.schema().field_morphism("office").unwrap();
-        let is_212 = Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(212)))
-            .then(Morphism::Eq);
+        let is_212 =
+            Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(212))).then(Morphism::Eq);
         let q = derived::exists(office.then(derived::or_exists(is_212)));
         assert_eq!(r.query(&q).unwrap(), Value::Bool(true));
         // "does everyone certainly sit in office 515?"
         let office = r.schema().field_morphism("office").unwrap();
-        let is_515 = Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(515)))
-            .then(Morphism::Eq);
+        let is_515 =
+            Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(515))).then(Morphism::Eq);
         let q = derived::forall(office.then(derived::or_forall(is_515)));
         assert_eq!(r.query(&q).unwrap(), Value::Bool(false));
     }

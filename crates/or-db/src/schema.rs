@@ -203,10 +203,7 @@ mod tests {
         let s = component_schema();
         assert_eq!(
             s.record_type(),
-            Type::prod(
-                Type::Str,
-                Type::prod(Type::orset(Type::Int), Type::Bool)
-            )
+            Type::prod(Type::Str, Type::prod(Type::orset(Type::Int), Type::Bool))
         );
         assert_eq!(s.relation_type(), Type::set(s.record_type()));
     }
@@ -214,11 +211,7 @@ mod tests {
     #[test]
     fn record_roundtrip() {
         let s = component_schema();
-        let values = vec![
-            Value::str("A"),
-            Value::int_orset([4, 7]),
-            Value::Bool(true),
-        ];
+        let values = vec![Value::str("A"), Value::int_orset([4, 7]), Value::Bool(true)];
         let record = s.record(values.clone()).unwrap();
         assert!(record.has_type(&s.record_type()));
         assert_eq!(s.explode(&record).unwrap(), values);
@@ -230,7 +223,11 @@ mod tests {
         let s = component_schema();
         assert!(s.record(vec![Value::str("A")]).is_err());
         assert!(s
-            .record(vec![Value::Int(1), Value::int_orset([1]), Value::Bool(true)])
+            .record(vec![
+                Value::Int(1),
+                Value::int_orset([1]),
+                Value::Bool(true)
+            ])
             .is_err());
         assert!(matches!(
             s.get(&Value::Int(1), "nosuch"),

@@ -33,7 +33,11 @@ impl Workload {
 
     /// A design template with `components` components, each with between 1
     /// and `max_alternatives` alternatives, costs drawn from `10..=100`.
-    pub fn design_template(&mut self, components: usize, max_alternatives: usize) -> DesignTemplate {
+    pub fn design_template(
+        &mut self,
+        components: usize,
+        max_alternatives: usize,
+    ) -> DesignTemplate {
         let vendors = ["acme", "globex", "initech", "umbrella"];
         let comps = (0..components)
             .map(|i| {
@@ -81,7 +85,12 @@ impl Workload {
     /// A planning problem with `tasks` tasks over a horizon of
     /// `horizon` slots; `slack` controls how many admissible slots each task
     /// gets (more slack makes the instance easier).
-    pub fn planning_problem(&mut self, tasks: usize, horizon: i64, slack: usize) -> PlanningProblem {
+    pub fn planning_problem(
+        &mut self,
+        tasks: usize,
+        horizon: i64,
+        slack: usize,
+    ) -> PlanningProblem {
         let ts = (0..tasks)
             .map(|i| {
                 let duration = self.rng.gen_range(1..=2);
@@ -122,7 +131,8 @@ impl Workload {
     /// by benchmarks that need "realistic" nested or-objects of a given
     /// scale).
     pub fn design_object(&mut self, components: usize, alternatives: usize) -> Value {
-        self.uniform_design_template(components, alternatives).to_value()
+        self.uniform_design_template(components, alternatives)
+            .to_value()
     }
 }
 
@@ -147,7 +157,10 @@ mod tests {
     fn planning_problems_respect_parameters() {
         let p = Workload::new(7).planning_problem(6, 10, 3);
         assert_eq!(p.tasks.len(), 6);
-        assert!(p.tasks.iter().all(|t| !t.slots.is_empty() && t.slots.len() <= 3));
+        assert!(p
+            .tasks
+            .iter()
+            .all(|t| !t.slots.is_empty() && t.slots.len() <= 3));
     }
 
     #[test]
@@ -155,7 +168,10 @@ mod tests {
         let t = Workload::new(5).codd_table(4, 200, 250);
         assert_eq!(t.len(), 200);
         let ratio = t.null_ratio();
-        assert!(ratio > 0.15 && ratio < 0.35, "null ratio {ratio} out of range");
+        assert!(
+            ratio > 0.15 && ratio < 0.35,
+            "null ratio {ratio} out of range"
+        );
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Errors reported by the physical execution engine.
+
+use std::fmt;
+
+use or_nra::physical::LowerError;
+use or_nra::EvalError;
+
+/// An error raised while building or running a physical plan.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A row-level morphism evaluation failed.
+    Eval(EvalError),
+    /// The plan references an input slot the caller did not provide.
+    MissingInput {
+        /// The referenced slot.
+        slot: usize,
+        /// How many inputs were provided.
+        provided: usize,
+    },
+    /// A filter or join predicate produced a non-boolean value.
+    NonBooleanPredicate {
+        /// A rendering of the offending value.
+        value: String,
+    },
+    /// An `AttachEnv` setup morphism did not produce an `(env, {rows})` pair.
+    BadSetupResult {
+        /// A rendering of the offending value.
+        value: String,
+    },
+    /// A row's α-expansion exceeded the configured denotation budget.
+    BudgetExceeded {
+        /// The configured per-row budget.
+        budget: u64,
+        /// The number of denotations the row would have produced.
+        needed: u128,
+    },
+    /// The engine was handed a value that is not a set of rows.
+    NotARelation {
+        /// A rendering of the offending value.
+        value: String,
+    },
+    /// A morphism could not be lowered to a plan.
+    Lower(LowerError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Eval(e) => write!(f, "evaluation error: {e}"),
+            EngineError::MissingInput { slot, provided } => write!(
+                f,
+                "plan references input slot {slot} but only {provided} inputs were provided"
+            ),
+            EngineError::NonBooleanPredicate { value } => {
+                write!(f, "predicate produced the non-boolean value {value}")
+            }
+            EngineError::BadSetupResult { value } => write!(
+                f,
+                "AttachEnv setup must produce a pair (env, {{rows}}), got {value}"
+            ),
+            EngineError::BudgetExceeded { budget, needed } => write!(
+                f,
+                "or-expansion budget exceeded: a row denotes {needed} complete \
+                 instances but the budget is {budget}"
+            ),
+            EngineError::NotARelation { value } => {
+                write!(f, "expected a set of rows, got {value}")
+            }
+            EngineError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+impl From<LowerError> for EngineError {
+    fn from(e: LowerError) -> Self {
+        EngineError::Lower(e)
+    }
+}

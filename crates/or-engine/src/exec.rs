@@ -1,0 +1,400 @@
+//! Plan execution: sequential and multi-threaded.
+//!
+//! ## Partitioning strategy
+//!
+//! A plan has one **driving scan** — the leaf reached by following
+//! `input`/`left` children ([`PhysicalPlan::driving_scan`]).  The parallel
+//! executor splits that input's rows into `workers` contiguous partitions and
+//! runs the *entire* operator pipeline over each partition in its own thread
+//! (`std::thread::scope`), which is sound because every unary operator is
+//! row-local and the binary operators broadcast their right side whole.  The
+//! per-worker row vectors are concatenated and canonicalized (sorted,
+//! deduplicated) in a final merge step — the engine's answer is a set, so
+//! the merge is exactly set union.
+//!
+//! `AttachEnv` is the one operator that must observe the **whole** input
+//! (its setup morphism runs once against the full set).  Before spawning
+//! workers the executor rewrites every scan-adjacent `AttachEnv` into an
+//! ordinary `Project` over a precomputed auxiliary input, evaluating the
+//! setup morphism exactly once; a plan that still carries an `AttachEnv` on
+//! the driving path after this rewrite is executed on a single worker.
+
+use std::thread;
+
+use or_nra::morphism::Morphism;
+use or_nra::physical::PhysicalPlan;
+use or_object::Value;
+
+use crate::error::EngineError;
+use crate::ops::{build, drain, unpack_setup_result, BuildCtx, JoinCache};
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Number of worker threads for the partitioned scan (1 = sequential).
+    pub workers: usize,
+    /// Rows per operator batch.
+    pub batch_size: usize,
+    /// Default per-row denotation budget applied to `OrExpand` operators
+    /// that do not carry their own (`None` = unbounded).
+    pub or_budget: Option<u64>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            workers: 1,
+            batch_size: 1024,
+            or_budget: None,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Sequential execution.
+    pub fn sequential() -> ExecConfig {
+        ExecConfig::default()
+    }
+
+    /// Use every available hardware thread.
+    pub fn parallel() -> ExecConfig {
+        ExecConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Override the worker count.
+    pub fn with_workers(mut self, workers: usize) -> ExecConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> ExecConfig {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Set the default or-expansion budget.
+    pub fn with_or_budget(mut self, budget: u64) -> ExecConfig {
+        self.or_budget = Some(budget);
+        self
+    }
+}
+
+/// Counters reported by [`Executor::run_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Workers that actually ran (1 for sequential plans).
+    pub workers: usize,
+    /// Rows in the merged result.
+    pub rows: usize,
+}
+
+/// The plan executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor {
+    config: ExecConfig,
+}
+
+impl Executor {
+    /// Create an executor with the given configuration.
+    pub fn new(config: ExecConfig) -> Executor {
+        Executor { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Run `plan` over the given inputs, returning the canonical (sorted,
+    /// deduplicated) result rows.
+    pub fn run(&self, plan: &PhysicalPlan, inputs: &[&[Value]]) -> Result<Vec<Value>, EngineError> {
+        self.run_with_stats(plan, inputs).map(|(rows, _)| rows)
+    }
+
+    /// Run `plan` and also report execution counters.
+    pub fn run_with_stats(
+        &self,
+        plan: &PhysicalPlan,
+        inputs: &[&[Value]],
+    ) -> Result<(Vec<Value>, ExecStats), EngineError> {
+        let arity = plan.input_arity();
+        if arity > inputs.len() {
+            return Err(EngineError::MissingInput {
+                slot: arity - 1,
+                provided: inputs.len(),
+            });
+        }
+
+        // Hoist scan-adjacent AttachEnv nodes into precomputed projections,
+        // and materialize every Join/Cartesian broadcast (right) side once —
+        // workers then scan the shared slot instead of re-running the right
+        // subplan per partition.
+        let (plan, mut extra_inputs) = prepare_attach_env(plan.clone(), inputs)?;
+        let plan = prepare_broadcast_sides(
+            plan,
+            inputs,
+            &mut extra_inputs,
+            self.config.batch_size,
+            self.config.or_budget,
+        )?;
+        let mut all_inputs: Vec<&[Value]> = inputs.to_vec();
+        for extra in &extra_inputs {
+            all_inputs.push(extra.as_slice());
+        }
+
+        let workers = if has_driving_attach_env(&plan) {
+            1
+        } else {
+            self.config.workers.max(1)
+        };
+        let driver = plan.driving_scan();
+        let driver_rows = all_inputs[driver];
+        let workers = workers.min(driver_rows.len().max(1));
+
+        // Build every equi-join probe table once; workers share them.
+        let join_cache = JoinCache::prepare(&plan, &all_inputs)?;
+        let ctx = BuildCtx {
+            inputs: &all_inputs,
+            batch_size: self.config.batch_size,
+            or_budget: self.config.or_budget,
+            join_cache: Some(&join_cache),
+        };
+
+        let mut rows = if workers <= 1 {
+            let mut op = build(&plan, ctx, None)?;
+            drain(op.as_mut())?
+        } else {
+            let partitions = or_db::partition_rows(driver_rows, workers);
+            let plan_ref = &plan;
+            let results: Vec<Result<Vec<Value>, EngineError>> = thread::scope(|scope| {
+                let handles: Vec<_> = partitions
+                    .into_iter()
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let mut op = build(plan_ref, ctx, Some(part))?;
+                            drain(op.as_mut())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .collect()
+            });
+            let mut merged = Vec::new();
+            for worker_rows in results {
+                merged.extend(worker_rows?);
+            }
+            merged
+        };
+
+        // Merge step: the result is a set, so canonicalize.
+        rows.sort();
+        rows.dedup();
+        let stats = ExecStats {
+            workers,
+            rows: rows.len(),
+        };
+        Ok((rows, stats))
+    }
+
+    /// Run `plan` and package the rows as a set value (the complex-object
+    /// representation of the result relation).
+    pub fn run_to_value(
+        &self,
+        plan: &PhysicalPlan,
+        inputs: &[&[Value]],
+    ) -> Result<Value, EngineError> {
+        Ok(Value::Set(self.run(plan, inputs)?))
+    }
+}
+
+/// Rewrite every `AttachEnv` whose input is a bare `Scan` into
+/// `Project[⟨K_env ∘ !, id⟩]` over a fresh precomputed input, evaluating the
+/// setup morphism once.  Returns the rewritten plan and the auxiliary inputs
+/// appended after the caller's slots.
+fn prepare_attach_env(
+    plan: PhysicalPlan,
+    inputs: &[&[Value]],
+) -> Result<(PhysicalPlan, Vec<Vec<Value>>), EngineError> {
+    let mut extra: Vec<Vec<Value>> = Vec::new();
+    let next_slot = inputs.len();
+    let plan = rewrite(plan, inputs, next_slot, &mut extra)?;
+    return Ok((plan, extra));
+
+    fn rewrite(
+        plan: PhysicalPlan,
+        inputs: &[&[Value]],
+        next_slot: usize,
+        extra: &mut Vec<Vec<Value>>,
+    ) -> Result<PhysicalPlan, EngineError> {
+        Ok(match plan {
+            PhysicalPlan::AttachEnv { setup, input } => {
+                if let PhysicalPlan::Scan(slot) = *input {
+                    let rows = *inputs.get(slot).ok_or(EngineError::MissingInput {
+                        slot,
+                        provided: inputs.len(),
+                    })?;
+                    let set_value = Value::set(rows.to_vec());
+                    let (env, expanded) = unpack_setup_result(&setup, &set_value)?;
+                    let slot = next_slot + extra.len();
+                    extra.push(expanded);
+                    PhysicalPlan::Scan(slot)
+                        .project(Morphism::pair(Morphism::constant(env), Morphism::Id))
+                } else {
+                    PhysicalPlan::AttachEnv {
+                        setup,
+                        input: Box::new(rewrite(*input, inputs, next_slot, extra)?),
+                    }
+                }
+            }
+            PhysicalPlan::Filter { predicate, input } => PhysicalPlan::Filter {
+                predicate,
+                input: Box::new(rewrite(*input, inputs, next_slot, extra)?),
+            },
+            PhysicalPlan::Project { f, input } => PhysicalPlan::Project {
+                f,
+                input: Box::new(rewrite(*input, inputs, next_slot, extra)?),
+            },
+            PhysicalPlan::Cartesian { left, right } => PhysicalPlan::Cartesian {
+                left: Box::new(rewrite(*left, inputs, next_slot, extra)?),
+                right: Box::new(rewrite(*right, inputs, next_slot, extra)?),
+            },
+            PhysicalPlan::Join {
+                predicate,
+                left,
+                right,
+            } => PhysicalPlan::Join {
+                predicate,
+                left: Box::new(rewrite(*left, inputs, next_slot, extra)?),
+                right: Box::new(rewrite(*right, inputs, next_slot, extra)?),
+            },
+            PhysicalPlan::OrExpand {
+                budget,
+                dedup,
+                input,
+            } => PhysicalPlan::OrExpand {
+                budget,
+                dedup,
+                input: Box::new(rewrite(*input, inputs, next_slot, extra)?),
+            },
+            leaf @ PhysicalPlan::Scan(_) => leaf,
+        })
+    }
+}
+
+/// Materialize the right (broadcast) side of every `Join`/`Cartesian` whose
+/// right child is not already a bare `Scan`: the subplan runs **once**, its
+/// rows land in a fresh auxiliary input slot, and the node's right child is
+/// rewritten to scan that slot.  Without this, every parallel worker would
+/// re-run the right subplan over its own copy.
+fn prepare_broadcast_sides(
+    plan: PhysicalPlan,
+    inputs: &[&[Value]],
+    extra: &mut Vec<Vec<Value>>,
+    batch_size: usize,
+    or_budget: Option<u64>,
+) -> Result<PhysicalPlan, EngineError> {
+    let rewrite_right = |right: PhysicalPlan,
+                         inputs: &[&[Value]],
+                         extra: &mut Vec<Vec<Value>>|
+     -> Result<PhysicalPlan, EngineError> {
+        if matches!(right, PhysicalPlan::Scan(_)) {
+            return Ok(right);
+        }
+        let rows = {
+            let all: Vec<&[Value]> = inputs
+                .iter()
+                .copied()
+                .chain(extra.iter().map(|v| v.as_slice()))
+                .collect();
+            let ctx = BuildCtx {
+                inputs: &all,
+                batch_size,
+                or_budget,
+                join_cache: None,
+            };
+            let mut op = build(&right, ctx, None)?;
+            drain(op.as_mut())?
+        };
+        let slot = inputs.len() + extra.len();
+        extra.push(rows);
+        Ok(PhysicalPlan::Scan(slot))
+    };
+    Ok(match plan {
+        leaf @ PhysicalPlan::Scan(_) => leaf,
+        PhysicalPlan::Filter { predicate, input } => PhysicalPlan::Filter {
+            predicate,
+            input: Box::new(prepare_broadcast_sides(
+                *input, inputs, extra, batch_size, or_budget,
+            )?),
+        },
+        PhysicalPlan::Project { f, input } => PhysicalPlan::Project {
+            f,
+            input: Box::new(prepare_broadcast_sides(
+                *input, inputs, extra, batch_size, or_budget,
+            )?),
+        },
+        PhysicalPlan::AttachEnv { setup, input } => PhysicalPlan::AttachEnv {
+            setup,
+            input: Box::new(prepare_broadcast_sides(
+                *input, inputs, extra, batch_size, or_budget,
+            )?),
+        },
+        PhysicalPlan::OrExpand {
+            budget,
+            dedup,
+            input,
+        } => PhysicalPlan::OrExpand {
+            budget,
+            dedup,
+            input: Box::new(prepare_broadcast_sides(
+                *input, inputs, extra, batch_size, or_budget,
+            )?),
+        },
+        PhysicalPlan::Cartesian { left, right } => {
+            let left = prepare_broadcast_sides(*left, inputs, extra, batch_size, or_budget)?;
+            let right = prepare_broadcast_sides(*right, inputs, extra, batch_size, or_budget)?;
+            let right = rewrite_right(right, inputs, extra)?;
+            PhysicalPlan::Cartesian {
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        PhysicalPlan::Join {
+            predicate,
+            left,
+            right,
+        } => {
+            let left = prepare_broadcast_sides(*left, inputs, extra, batch_size, or_budget)?;
+            let right = prepare_broadcast_sides(*right, inputs, extra, batch_size, or_budget)?;
+            let right = rewrite_right(right, inputs, extra)?;
+            PhysicalPlan::Join {
+                predicate,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+    })
+}
+
+/// Does an `AttachEnv` survive on the driving path?  (It then needs to see
+/// the whole input, so the plan cannot be partitioned.)
+fn has_driving_attach_env(plan: &PhysicalPlan) -> bool {
+    match plan {
+        PhysicalPlan::Scan(_) => false,
+        PhysicalPlan::AttachEnv { .. } => true,
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::OrExpand { input, .. } => has_driving_attach_env(input),
+        PhysicalPlan::Cartesian { left, .. } | PhysicalPlan::Join { left, .. } => {
+            has_driving_attach_env(left)
+        }
+    }
+}

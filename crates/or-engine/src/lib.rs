@@ -1,0 +1,112 @@
+//! # or-engine — a streaming, parallel physical query engine for or-NRA⁺
+//!
+//! The `or-nra` crate evaluates queries by a tree-walking interpreter over a
+//! single [`Value`](or_object::Value) tree: correct, but every operator
+//! rebuilds whole collections and nothing runs in parallel.  This crate is
+//! the physical layer that makes the same queries executable at relation
+//! scale:
+//!
+//! ```text
+//!   OrQL expression ──compile──▶ or-NRA⁺ morphism ──lower──▶ PhysicalPlan
+//!                                                              │
+//!                           or_engine::Executor  ◀─────────────┘
+//!                           (volcano operators, partitioned scans,
+//!                            per-worker batches, merge)
+//! ```
+//!
+//! ## The operator model
+//!
+//! Plans ([`or_nra::physical::PhysicalPlan`]) form a tree of **row-stream
+//! operators**: `Scan`, `Filter`, `Project`, `AttachEnv`, `Cartesian`,
+//! `Join`, and `OrExpand`.  Execution is pull-based ("volcano"), but pulls
+//! move **batches** of rows ([`exec::ExecConfig::batch_size`], default 1024)
+//! instead of single rows, so dynamic dispatch and bounds checks are
+//! amortized.  Unary operators are row-local: they touch one row at a time
+//! and keep no cross-row state (except `OrExpand`'s optional dedup filter),
+//! which is what makes partitioned execution sound.
+//!
+//! ## Partitioning strategy
+//!
+//! Every plan has a **driving scan** — follow `input`/`left` edges to a
+//! leaf.  [`exec::Executor`] splits the driving input into `workers`
+//! contiguous partitions and runs the whole pipeline over each partition in
+//! its own `std::thread::scope` thread; binary operators broadcast their
+//! (materialized) right side to every worker.  Workers return plain row
+//! vectors; the merge step concatenates, sorts and deduplicates — exactly
+//! set union, which is the correct combining operator because or-NRA's set
+//! semantics is order- and duplicate-free by construction.
+//!
+//! The one operator that must see the whole input — `AttachEnv`, carrying
+//! the OrQL environment tuple — is hoisted out of the worker pipeline before
+//! partitioning: its setup morphism runs **once** on the full input and the
+//! node is rewritten into a constant-attaching `Project`.
+//!
+//! ## Normalization budgets
+//!
+//! The conceptual level's α-expansion (`normalize`) is exponential in the
+//! worst case (Section 6 of the paper gives the exact bounds).  The engine's
+//! `OrExpand` operator therefore
+//!
+//! 1. expands **lazily**, one denotation at a time, via
+//!    [`or_nra::lazy::LazyNormalizer`] — downstream operators and early
+//!    termination see rows before the expansion is complete;
+//! 2. deduplicates **incrementally** while streaming, so the antichain of
+//!    distinct complete rows is maintained instead of a duplicate-laden
+//!    multiset;
+//! 3. enforces a **per-row denotation budget**
+//!    ([`exec::ExecConfig::or_budget`] or the plan's own
+//!    `OrExpand { budget, .. }`): a row whose denotation count exceeds the
+//!    budget aborts the query with
+//!    [`error::EngineError::BudgetExceeded`] — a reported resource limit
+//!    rather than an accidental out-of-memory.  Because
+//!    `LazyNormalizer::total()` is a closed-form count, the check costs
+//!    O(row size), not O(budget).
+//!
+//! ## Cross-checking
+//!
+//! The engine is differentially tested against the interpreter: for every
+//! lowerable morphism `m` and relation value `v`,
+//! `run_morphism_on_value(v, m) == eval(m, v)`.  The OrQL session's
+//! `ExecMode::Engine` performs the same cross-check per query at runtime.
+//!
+//! ```
+//! use or_engine::prelude::*;
+//! use or_nra::derived;
+//! use or_nra::morphism::{Morphism, Prim};
+//! use or_object::Value;
+//!
+//! // All records whose second field is at most 10, first fields only.
+//! let cheap = Morphism::Proj2
+//!     .then(Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(10))))
+//!     .then(Morphism::Prim(Prim::Leq));
+//! let query = derived::select(cheap).then(Morphism::map(Morphism::Proj1));
+//!
+//! let rows: Vec<Value> = (0..100)
+//!     .map(|i| Value::pair(Value::Int(i), Value::Int(i % 20)))
+//!     .collect();
+//!
+//! let plan = or_nra::optimize::lower(&query).unwrap();
+//! let executor = Executor::new(ExecConfig::parallel());
+//! let out = executor.run_to_value(&plan, &[&rows]).unwrap();
+//! assert_eq!(out, or_nra::eval::eval(&query, &Value::set(rows)).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod exec;
+pub mod ops;
+pub mod query;
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::error::EngineError;
+    pub use crate::exec::{ExecConfig, ExecStats, Executor};
+    pub use crate::query::{run_morphism, run_morphism_on_value, run_plan, run_plan_with_stats};
+    pub use or_nra::physical::PhysicalPlan;
+}
+
+pub use error::EngineError;
+pub use exec::{ExecConfig, ExecStats, Executor};
+pub use query::{run_morphism, run_morphism_on_value, run_plan, run_plan_with_stats};

@@ -1,0 +1,557 @@
+//! The streaming operators of the engine.
+//!
+//! Every operator implements [`Operator`]: a pull-based ("volcano")
+//! interface that yields **batches** of rows rather than single rows, so the
+//! per-row virtual-dispatch overhead is amortized over
+//! [`crate::exec::ExecConfig::batch_size`] rows.  A batch is a plain
+//! `Vec<Value>`; `None` signals exhaustion.
+//!
+//! Operator inventory (mirroring [`PhysicalPlan`]):
+//!
+//! * [`ScanOp`] — streams a row slice in batches (the slice is either a whole
+//!   input or one partition of the driving input);
+//! * [`FilterOp`] / [`ProjectOp`] — per-row morphism evaluation;
+//! * [`AttachEnvOp`] — materializes its input, runs the setup morphism once,
+//!   then streams `(env, row)` pairs;
+//! * [`CartesianOp`] / [`JoinOp`] — the right side is materialized and
+//!   broadcast, the left side streams; equi-join predicates of the shape
+//!   `eq ∘ ⟨f ∘ π₁, g ∘ π₂⟩` take a hash fast path instead of the
+//!   nested-loop probe;
+//! * [`OrExpandOp`] — per-row lazy α-expansion via
+//!   [`or_nra::lazy::LazyNormalizer`], with streaming dedup and an enforced
+//!   per-row denotation budget.
+
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use or_nra::eval::eval;
+use or_nra::lazy::LazyNormalizer;
+use or_nra::morphism::Morphism;
+use or_nra::physical::PhysicalPlan;
+use or_object::Value;
+
+use crate::error::EngineError;
+
+/// Pull-based batch iterator over rows.
+pub trait Operator {
+    /// Produce the next batch of rows, or `None` when exhausted.
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError>;
+}
+
+/// Drain an operator into a vector of rows.
+pub fn drain(op: &mut dyn Operator) -> Result<Vec<Value>, EngineError> {
+    let mut out = Vec::new();
+    while let Some(batch) = op.next_batch()? {
+        out.extend(batch);
+    }
+    Ok(out)
+}
+
+/// Everything an operator-tree build needs besides the plan itself.
+/// Cheap to copy; shared by the executor's sequential and worker paths.
+#[derive(Clone, Copy)]
+pub struct BuildCtx<'a> {
+    /// Slot-indexed row slices (caller inputs plus executor-hoisted slots).
+    pub inputs: &'a [&'a [Value]],
+    /// Rows per operator batch.
+    pub batch_size: usize,
+    /// Default per-row or-expansion budget for budget-less `OrExpand` nodes.
+    pub or_budget: Option<u64>,
+    /// Pre-built equi-join probe tables (see [`JoinCache`]); `None` when the
+    /// caller did not prepare any, in which case tables are built inline.
+    pub join_cache: Option<&'a JoinCache>,
+}
+
+/// Equi-join probe tables built **once per query** and shared by every
+/// worker.  Keyed by the address of the `Join` node inside the plan the
+/// executor holds, so lookups are exact; a plan not present in the cache
+/// simply builds its table inline.
+#[derive(Debug, Default)]
+pub struct JoinCache {
+    tables: HashMap<usize, Arc<HashMap<Value, Vec<usize>>>>,
+}
+
+impl JoinCache {
+    /// Walk `plan` and build the probe table for every equi-join whose right
+    /// side is a bare `Scan` (the executor's broadcast hoisting guarantees
+    /// this shape).  `plan` must be the same allocation later passed to
+    /// [`build`], and must not move in between.
+    pub fn prepare(plan: &PhysicalPlan, inputs: &[&[Value]]) -> Result<JoinCache, EngineError> {
+        let mut cache = JoinCache::default();
+        cache.visit(plan, inputs)?;
+        Ok(cache)
+    }
+
+    fn visit(&mut self, plan: &PhysicalPlan, inputs: &[&[Value]]) -> Result<(), EngineError> {
+        match plan {
+            PhysicalPlan::Scan(_) => {}
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::AttachEnv { input, .. }
+            | PhysicalPlan::OrExpand { input, .. } => self.visit(input, inputs)?,
+            PhysicalPlan::Cartesian { left, right } => {
+                self.visit(left, inputs)?;
+                self.visit(right, inputs)?;
+            }
+            PhysicalPlan::Join {
+                predicate,
+                left,
+                right,
+            } => {
+                self.visit(left, inputs)?;
+                self.visit(right, inputs)?;
+                if let (Some((_, right_key)), PhysicalPlan::Scan(slot)) =
+                    (equi_join_keys(predicate), &**right)
+                {
+                    if let Some(rows) = inputs.get(*slot) {
+                        let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+                        for (i, r) in rows.iter().enumerate() {
+                            table.entry(eval(&right_key, r)?).or_default().push(i);
+                        }
+                        self.tables.insert(plan_addr(plan), Arc::new(table));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, plan: &PhysicalPlan) -> Option<Arc<HashMap<Value, Vec<usize>>>> {
+        self.tables.get(&plan_addr(plan)).cloned()
+    }
+}
+
+fn plan_addr(plan: &PhysicalPlan) -> usize {
+    plan as *const PhysicalPlan as usize
+}
+
+/// Evaluate an `AttachEnv` setup morphism against the materialized input set
+/// and unpack the required `(env, {rows})` shape.  Shared by the streaming
+/// operator and the executor's pre-partitioning hoist so the two paths
+/// cannot diverge.
+pub(crate) fn unpack_setup_result(
+    setup: &Morphism,
+    set_value: &Value,
+) -> Result<(Value, Vec<Value>), EngineError> {
+    let result = eval(setup, set_value)?;
+    let (env, rows_value) = match result.as_pair() {
+        Some((env, rows_value)) => (env.clone(), rows_value.clone()),
+        None => {
+            return Err(EngineError::BadSetupResult {
+                value: result.to_string(),
+            })
+        }
+    };
+    match rows_value {
+        Value::Set(items) => Ok((env, items)),
+        other => Err(EngineError::BadSetupResult {
+            value: Value::pair(env, other).to_string(),
+        }),
+    }
+}
+
+/// Produce the rows of a broadcast (right) side: a bare `Scan` borrows its
+/// input slice directly (no clone — the executor pre-materializes broadcast
+/// subplans into scans), anything else runs the subplan to completion.
+fn materialize_right<'a>(
+    right: &'a PhysicalPlan,
+    ctx: BuildCtx<'a>,
+) -> Result<Cow<'a, [Value]>, EngineError> {
+    if let PhysicalPlan::Scan(slot) = right {
+        let rows = *ctx.inputs.get(*slot).ok_or(EngineError::MissingInput {
+            slot: *slot,
+            provided: ctx.inputs.len(),
+        })?;
+        return Ok(Cow::Borrowed(rows));
+    }
+    let mut op = build(right, ctx, None)?;
+    Ok(Cow::Owned(drain(op.as_mut())?))
+}
+
+/// Build the operator tree for `plan`.
+///
+/// `ctx.inputs` are the caller's relations (slot-indexed row slices);
+/// `driver_override`, when present, replaces the rows of the **driving
+/// scan** (the leaf reached by `input`/`left` children) — this is how the
+/// parallel executor hands each worker its partition.  Non-driving scans
+/// always read the full input.
+pub fn build<'a>(
+    plan: &'a PhysicalPlan,
+    ctx: BuildCtx<'a>,
+    driver_override: Option<&'a [Value]>,
+) -> Result<Box<dyn Operator + 'a>, EngineError> {
+    match plan {
+        PhysicalPlan::Scan(slot) => {
+            let rows = match driver_override {
+                Some(rows) => rows,
+                None => *ctx.inputs.get(*slot).ok_or(EngineError::MissingInput {
+                    slot: *slot,
+                    provided: ctx.inputs.len(),
+                })?,
+            };
+            Ok(Box::new(ScanOp {
+                rows,
+                pos: 0,
+                batch_size: ctx.batch_size,
+            }))
+        }
+        PhysicalPlan::Filter { predicate, input } => Ok(Box::new(FilterOp {
+            input: build(input, ctx, driver_override)?,
+            predicate,
+        })),
+        PhysicalPlan::Project { f, input } => Ok(Box::new(ProjectOp {
+            input: build(input, ctx, driver_override)?,
+            f,
+        })),
+        PhysicalPlan::AttachEnv { setup, input } => Ok(Box::new(AttachEnvOp {
+            input: Some(build(input, ctx, driver_override)?),
+            setup,
+            batch_size: ctx.batch_size,
+            state: None,
+        })),
+        PhysicalPlan::Cartesian { left, right } => {
+            let right_rows = materialize_right(right, ctx)?;
+            Ok(Box::new(CartesianOp {
+                left: build(left, ctx, driver_override)?,
+                right_rows,
+                pending: Vec::new(),
+                batch_size: ctx.batch_size,
+            }))
+        }
+        PhysicalPlan::Join {
+            predicate,
+            left,
+            right,
+        } => {
+            let right_rows = materialize_right(right, ctx)?;
+            let hash = match equi_join_keys(predicate) {
+                Some((left_key, right_key)) => {
+                    let table = match ctx.join_cache.and_then(|c| c.get(plan)) {
+                        Some(shared) => shared,
+                        None => {
+                            // no prepared table — build inline (key → indices
+                            // into right_rows, so rows are not cloned)
+                            let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+                            for (i, r) in right_rows.iter().enumerate() {
+                                table.entry(eval(&right_key, r)?).or_default().push(i);
+                            }
+                            Arc::new(table)
+                        }
+                    };
+                    Some(HashJoinSide { left_key, table })
+                }
+                None => None,
+            };
+            Ok(Box::new(JoinOp {
+                left: build(left, ctx, driver_override)?,
+                right_rows,
+                predicate,
+                hash,
+                pending: Vec::new(),
+                batch_size: ctx.batch_size,
+            }))
+        }
+        PhysicalPlan::OrExpand {
+            budget,
+            dedup,
+            input,
+        } => Ok(Box::new(OrExpandOp {
+            input: build(input, ctx, driver_override)?,
+            budget: budget.or(ctx.or_budget),
+            seen: if *dedup { Some(HashSet::new()) } else { None },
+            queue: Vec::new(),
+            current: None,
+            batch_size: ctx.batch_size,
+        })),
+    }
+}
+
+/// Streams a row slice in batches.
+pub struct ScanOp<'a> {
+    rows: &'a [Value],
+    pos: usize,
+    batch_size: usize,
+}
+
+impl Operator for ScanOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + self.batch_size).min(self.rows.len());
+        let batch = self.rows[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(batch))
+    }
+}
+
+/// Keeps the rows whose predicate evaluates to `true`.
+pub struct FilterOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    predicate: &'a Morphism,
+}
+
+impl Operator for FilterOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+        // Loop so that a fully-filtered batch does not end the stream.
+        while let Some(batch) = self.input.next_batch()? {
+            let mut out = Vec::with_capacity(batch.len());
+            for row in batch {
+                match eval(self.predicate, &row)? {
+                    Value::Bool(true) => out.push(row),
+                    Value::Bool(false) => {}
+                    other => {
+                        return Err(EngineError::NonBooleanPredicate {
+                            value: other.to_string(),
+                        })
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Applies a morphism to every row.
+pub struct ProjectOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    f: &'a Morphism,
+}
+
+impl Operator for ProjectOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+        match self.input.next_batch()? {
+            None => Ok(None),
+            Some(batch) => {
+                let mut out = Vec::with_capacity(batch.len());
+                for row in &batch {
+                    out.push(eval(self.f, row)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Materializes its input, evaluates `setup` once on the whole set, then
+/// streams `(env, row)` pairs.
+pub struct AttachEnvOp<'a> {
+    input: Option<Box<dyn Operator + 'a>>,
+    setup: &'a Morphism,
+    batch_size: usize,
+    state: Option<(Value, Vec<Value>, usize)>,
+}
+
+impl Operator for AttachEnvOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+        if self.state.is_none() {
+            let mut input = self.input.take().expect("AttachEnvOp polled after setup");
+            let rows = drain(input.as_mut())?;
+            let set_value = Value::set(rows);
+            let (env, rows) = unpack_setup_result(self.setup, &set_value)?;
+            self.state = Some((env, rows, 0));
+        }
+        let (env, rows, pos) = self.state.as_mut().expect("state initialized above");
+        if *pos >= rows.len() {
+            return Ok(None);
+        }
+        let end = (*pos + self.batch_size).min(rows.len());
+        let batch = rows[*pos..end]
+            .iter()
+            .map(|row| Value::pair(env.clone(), row.clone()))
+            .collect();
+        *pos = end;
+        Ok(Some(batch))
+    }
+}
+
+/// All pairs of left and (materialized) right rows.
+pub struct CartesianOp<'a> {
+    left: Box<dyn Operator + 'a>,
+    right_rows: Cow<'a, [Value]>,
+    pending: Vec<Value>,
+    batch_size: usize,
+}
+
+impl Operator for CartesianOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+        while self.pending.is_empty() {
+            match self.left.next_batch()? {
+                None => return Ok(None),
+                Some(batch) => {
+                    for l in &batch {
+                        for r in self.right_rows.iter() {
+                            self.pending.push(Value::pair(l.clone(), r.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        let take = self.pending.len().min(self.batch_size.max(1));
+        let rest = self.pending.split_off(take);
+        let batch = std::mem::replace(&mut self.pending, rest);
+        Ok(Some(batch))
+    }
+}
+
+struct HashJoinSide {
+    left_key: Morphism,
+    table: Arc<HashMap<Value, Vec<usize>>>,
+}
+
+/// Nested-loop join with a hash fast path for equality predicates.
+pub struct JoinOp<'a> {
+    left: Box<dyn Operator + 'a>,
+    right_rows: Cow<'a, [Value]>,
+    predicate: &'a Morphism,
+    hash: Option<HashJoinSide>,
+    pending: Vec<Value>,
+    batch_size: usize,
+}
+
+impl Operator for JoinOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+        while self.pending.is_empty() {
+            match self.left.next_batch()? {
+                None => return Ok(None),
+                Some(batch) => {
+                    for l in &batch {
+                        match &self.hash {
+                            Some(side) => {
+                                let key = eval(&side.left_key, l)?;
+                                if let Some(matches) = side.table.get(&key) {
+                                    for &i in matches {
+                                        self.pending.push(Value::pair(
+                                            l.clone(),
+                                            self.right_rows[i].clone(),
+                                        ));
+                                    }
+                                }
+                            }
+                            None => {
+                                for r in self.right_rows.iter() {
+                                    let pair = Value::pair(l.clone(), r.clone());
+                                    match eval(self.predicate, &pair)? {
+                                        Value::Bool(true) => self.pending.push(pair),
+                                        Value::Bool(false) => {}
+                                        other => {
+                                            return Err(EngineError::NonBooleanPredicate {
+                                                value: other.to_string(),
+                                            })
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let take = self.pending.len().min(self.batch_size.max(1));
+        let rest = self.pending.split_off(take);
+        let batch = std::mem::replace(&mut self.pending, rest);
+        Ok(Some(batch))
+    }
+}
+
+/// Recognize `eq ∘ ⟨f ∘ π₁, g ∘ π₂⟩` and return `(f, g)` — the per-side key
+/// extractors of an equi-join, with the pair projection stripped so each can
+/// be applied to its own row directly.
+fn equi_join_keys(predicate: &Morphism) -> Option<(Morphism, Morphism)> {
+    if let Morphism::Compose(eq, pair) = predicate {
+        if **eq == Morphism::Eq {
+            if let Morphism::PairWith(a, b) = &**pair {
+                if let (Some(f), Some(g)) = (
+                    strip_side(a, &Morphism::Proj1),
+                    strip_side(b, &Morphism::Proj2),
+                ) {
+                    return Some((f, g));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// If `m` has the form `f ∘ proj` (it reads only one side of the pair),
+/// return `f` (with bare `proj` becoming `id`).
+fn strip_side(m: &Morphism, proj: &Morphism) -> Option<Morphism> {
+    match m {
+        _ if m == proj => Some(Morphism::Id),
+        Morphism::Compose(f, g) => {
+            if &**g == proj {
+                Some((**f).clone())
+            } else {
+                let inner = strip_side(g, proj)?;
+                Some(Morphism::compose((**f).clone(), inner))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Per-row lazy α-expansion with streaming dedup and a denotation budget.
+pub struct OrExpandOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    budget: Option<u64>,
+    seen: Option<HashSet<Value>>,
+    queue: Vec<Value>,
+    current: Option<LazyNormalizer>,
+    batch_size: usize,
+}
+
+impl Operator for OrExpandOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+        let mut out = Vec::with_capacity(self.batch_size);
+        loop {
+            // 1. stream from the current row's expansion
+            if let Some(normalizer) = &mut self.current {
+                for denotation in normalizer.by_ref() {
+                    let fresh = match &mut self.seen {
+                        Some(seen) => seen.insert(denotation.clone()),
+                        None => true,
+                    };
+                    if fresh {
+                        out.push(denotation);
+                        if out.len() >= self.batch_size {
+                            return Ok(Some(out));
+                        }
+                    }
+                }
+                self.current = None;
+            }
+            // 2. start expanding the next queued row
+            if let Some(row) = self.queue.pop() {
+                let normalizer = LazyNormalizer::new(&row);
+                if let Some(budget) = self.budget {
+                    if normalizer.total() > u128::from(budget) {
+                        return Err(EngineError::BudgetExceeded {
+                            budget,
+                            needed: normalizer.total(),
+                        });
+                    }
+                }
+                self.current = Some(normalizer);
+                continue;
+            }
+            // 3. refill the queue from upstream
+            match self.input.next_batch()? {
+                Some(batch) => {
+                    self.queue = batch;
+                    self.queue.reverse(); // pop() then yields input order
+                }
+                None => {
+                    return if out.is_empty() {
+                        Ok(None)
+                    } else {
+                        Ok(Some(out))
+                    };
+                }
+            }
+        }
+    }
+}

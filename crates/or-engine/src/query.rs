@@ -1,0 +1,65 @@
+//! Convenience entry points that connect the engine to `or-db` relations
+//! and to or-NRA⁺ morphisms.
+
+use or_db::Relation;
+use or_nra::morphism::Morphism;
+use or_nra::optimize::lower;
+use or_nra::physical::PhysicalPlan;
+use or_object::Value;
+
+use crate::error::EngineError;
+use crate::exec::{ExecConfig, ExecStats, Executor};
+
+/// Run a physical plan over relations; slot `i` of the plan scans
+/// `relations[i]`.  Returns the result as a set value.
+pub fn run_plan(
+    plan: &PhysicalPlan,
+    relations: &[&Relation],
+    config: ExecConfig,
+) -> Result<Value, EngineError> {
+    let inputs: Vec<&[Value]> = relations.iter().map(|r| r.records()).collect();
+    Executor::new(config).run_to_value(plan, &inputs)
+}
+
+/// Run a physical plan over relations and report execution counters.
+pub fn run_plan_with_stats(
+    plan: &PhysicalPlan,
+    relations: &[&Relation],
+    config: ExecConfig,
+) -> Result<(Value, ExecStats), EngineError> {
+    let inputs: Vec<&[Value]> = relations.iter().map(|r| r.records()).collect();
+    let (rows, stats) = Executor::new(config).run_with_stats(plan, &inputs)?;
+    Ok((Value::Set(rows), stats))
+}
+
+/// Lower a set-pipeline morphism (`{record} → {t}`) and run it over a
+/// relation.  Morphisms outside the lowerable fragment report
+/// [`EngineError::Lower`]; callers can fall back to
+/// [`or_nra::eval::eval`] on [`Relation::to_value`].
+pub fn run_morphism(
+    relation: &Relation,
+    m: &Morphism,
+    config: ExecConfig,
+) -> Result<Value, EngineError> {
+    let plan = lower(m)?;
+    run_plan(&plan, &[relation], config)
+}
+
+/// Lower and run a morphism over a plain set value (the engine-side analogue
+/// of `eval(m, v)` for `v = {rows}`).
+pub fn run_morphism_on_value(
+    v: &Value,
+    m: &Morphism,
+    config: ExecConfig,
+) -> Result<Value, EngineError> {
+    let plan = lower(m)?;
+    let rows = match v {
+        Value::Set(items) => items.as_slice(),
+        other => {
+            return Err(EngineError::NotARelation {
+                value: other.to_string(),
+            })
+        }
+    };
+    Executor::new(config).run_to_value(&plan, &[rows])
+}

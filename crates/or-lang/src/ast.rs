@@ -237,6 +237,77 @@ impl Expr {
             Expr::Call(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
         }
     }
+
+    /// The free variables of the expression, in sorted order.
+    ///
+    /// `let` and comprehension generators bind; a generator's source is
+    /// evaluated *before* its variable comes into scope, and later
+    /// qualifiers see the variables of earlier generators.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = std::collections::BTreeSet::new();
+        let mut bound: Vec<String> = Vec::new();
+        collect_free(self, &mut bound, &mut out);
+        return out.into_iter().collect();
+
+        fn collect_free(
+            e: &Expr,
+            bound: &mut Vec<String>,
+            out: &mut std::collections::BTreeSet<String>,
+        ) {
+            match e {
+                Expr::Unit | Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) => {}
+                Expr::Var(name) => {
+                    if !bound.iter().any(|b| b == name) {
+                        out.insert(name.clone());
+                    }
+                }
+                Expr::Pair(a, b) | Expr::BinOp(_, a, b) => {
+                    collect_free(a, bound, out);
+                    collect_free(b, bound, out);
+                }
+                Expr::Not(a) => collect_free(a, bound, out),
+                Expr::SetLit(items) | Expr::OrSetLit(items) => {
+                    for item in items {
+                        collect_free(item, bound, out);
+                    }
+                }
+                Expr::SetComp { head, qualifiers } | Expr::OrSetComp { head, qualifiers } => {
+                    let depth = bound.len();
+                    for q in qualifiers {
+                        match q {
+                            Qualifier::Generator(name, source) => {
+                                collect_free(source, bound, out);
+                                bound.push(name.clone());
+                            }
+                            Qualifier::Guard(g) => collect_free(g, bound, out),
+                        }
+                    }
+                    collect_free(head, bound, out);
+                    bound.truncate(depth);
+                }
+                Expr::Let { name, value, body } => {
+                    collect_free(value, bound, out);
+                    bound.push(name.clone());
+                    collect_free(body, bound, out);
+                    bound.pop();
+                }
+                Expr::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    collect_free(cond, bound, out);
+                    collect_free(then_branch, bound, out);
+                    collect_free(else_branch, bound, out);
+                }
+                Expr::Call(_, args) => {
+                    for arg in args {
+                        collect_free(arg, bound, out);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Display for Expr {

@@ -10,12 +10,15 @@
 //! - : <int> = <80>
 //! ```
 //!
-//! Commands: `:quit` exits, `:env` lists the current bindings, `:help` prints
-//! a short reference.  Everything else is parsed as an OrQL statement.
+//! Commands: `:quit` exits, `:env` lists the current bindings, `:engine`
+//! toggles physical-engine execution (also `--engine` at startup), `:help`
+//! prints a short reference.  Everything else is parsed as an OrQL
+//! statement.
 
 use std::io::{self, BufRead, Write};
 
-use or_lang::session::Session;
+use or_engine::ExecConfig;
+use or_lang::session::{ExecMode, Session};
 
 const HELP: &str = "\
 OrQL quick reference
@@ -27,13 +30,21 @@ OrQL quick reference
   builtins: normalize alpha flatten orflatten union orunion member ormember
             subset intersect difference powerset toset toorset isempty
             orisempty fst snd
-  commands: :help :env :quit";
+  commands: :help :env :engine :quit";
 
 fn main() -> io::Result<()> {
     let stdin = io::stdin();
     let mut stdout = io::stdout();
-    let mut session = Session::new();
+    let engine_on_start = std::env::args().any(|a| a == "--engine");
+    let mut session = if engine_on_start {
+        Session::with_engine(ExecConfig::parallel())
+    } else {
+        Session::new()
+    };
     println!("OrQL — a query language for or-sets (type :help for help, :quit to exit)");
+    if engine_on_start {
+        println!("physical engine enabled (cross-checked against the interpreter)");
+    }
     loop {
         print!("orql> ");
         stdout.flush()?;
@@ -55,6 +66,19 @@ fn main() -> io::Result<()> {
                 for (name, ty) in session.bindings() {
                     println!("{name} : {ty}");
                 }
+                continue;
+            }
+            ":engine" => {
+                let next = match session.exec_mode() {
+                    ExecMode::Interp => ExecMode::Engine,
+                    ExecMode::Engine => ExecMode::Interp,
+                };
+                session.set_exec_mode(next);
+                let stats = session.engine_stats();
+                println!(
+                    "execution mode: {next:?} (so far: {} on engine, {} interpreter-only)",
+                    stats.engine, stats.fallback
+                );
                 continue;
             }
             _ => {}

@@ -54,8 +54,9 @@ pub fn infer_type(expr: &Expr, env: &TypeEnv) -> Result<Type, CheckError> {
         Expr::Int(_) => Ok(Type::Int),
         Expr::Bool(_) => Ok(Type::Bool),
         Expr::Str(_) => Ok(Type::Str),
-        Expr::Var(name) => lookup(env, name)
-            .ok_or_else(|| CheckError::new(format!("unbound variable {name}"))),
+        Expr::Var(name) => {
+            lookup(env, name).ok_or_else(|| CheckError::new(format!("unbound variable {name}")))
+        }
         Expr::Pair(a, b) => Ok(Type::prod(infer_type(a, env)?, infer_type(b, env)?)),
         Expr::SetLit(items) => Ok(Type::set(collection_element_type(items, env)?)),
         Expr::OrSetLit(items) => Ok(Type::orset(collection_element_type(items, env)?)),
@@ -216,7 +217,9 @@ fn infer_call(builtin: Builtin, args: &[Expr], env: &TypeEnv) -> Result<Type, Ch
     let set_elem = |t: &Type, what: &str| -> Result<Type, CheckError> {
         match t {
             Type::Set(inner) => Ok((**inner).clone()),
-            other => Err(CheckError::new(format!("{what} expects a set, found {other}"))),
+            other => Err(CheckError::new(format!(
+                "{what} expects a set, found {other}"
+            ))),
         }
     };
     let orset_elem = |t: &Type, what: &str| -> Result<Type, CheckError> {
@@ -316,11 +319,15 @@ fn infer_call(builtin: Builtin, args: &[Expr], env: &TypeEnv) -> Result<Type, Ch
         }
         Builtin::Fst => match arg(0)? {
             Type::Prod(a, _) => Ok(*a),
-            other => Err(CheckError::new(format!("fst expects a pair, found {other}"))),
+            other => Err(CheckError::new(format!(
+                "fst expects a pair, found {other}"
+            ))),
         },
         Builtin::Snd => match arg(0)? {
             Type::Prod(_, b) => Ok(*b),
-            other => Err(CheckError::new(format!("snd expects a pair, found {other}"))),
+            other => Err(CheckError::new(format!(
+                "snd expects a pair, found {other}"
+            ))),
         },
     }
 }
@@ -339,7 +346,10 @@ mod tests {
         let env = TypeEnv::new();
         assert_eq!(ty("1 + 2 * 3", &env).unwrap(), Type::Int);
         assert_eq!(ty("1 <= 2 && true", &env).unwrap(), Type::Bool);
-        assert_eq!(ty("(1, \"a\")", &env).unwrap(), Type::prod(Type::Int, Type::Str));
+        assert_eq!(
+            ty("(1, \"a\")", &env).unwrap(),
+            Type::prod(Type::Int, Type::Str)
+        );
         assert_eq!(ty("{1, 2}", &env).unwrap(), Type::set(Type::Int));
         assert_eq!(ty("<|1, 2|>", &env).unwrap(), Type::orset(Type::Int));
         assert!(ty("1 + true", &env).is_err());
@@ -364,10 +374,7 @@ mod tests {
 
     #[test]
     fn normalize_produces_the_normal_form_type() {
-        let env = vec![(
-            "db".to_string(),
-            Type::set(Type::orset(Type::Int)),
-        )];
+        let env = vec![("db".to_string(), Type::set(Type::orset(Type::Int)))];
         assert_eq!(
             ty("normalize(db)", &env).unwrap(),
             Type::orset(Type::set(Type::Int))

@@ -88,9 +88,7 @@ fn compile(expr: &Expr, env: &mut Vec<String>) -> Result<M, CompileError> {
         Expr::SetLit(items) => compile_collection(items, env, true),
         Expr::OrSetLit(items) => compile_collection(items, env, false),
         Expr::SetComp { head, qualifiers } => compile_comprehension(head, qualifiers, env, true),
-        Expr::OrSetComp { head, qualifiers } => {
-            compile_comprehension(head, qualifiers, env, false)
-        }
+        Expr::OrSetComp { head, qualifiers } => compile_comprehension(head, qualifiers, env, false),
         Expr::Let { name, value, body } => {
             let value_m = compile(value, env)?;
             env.push(name.clone());
@@ -280,7 +278,10 @@ mod tests {
             run_closed("let s = {1,2} in if member(1, s) then 1 else 0"),
             Value::Int(1)
         );
-        assert_eq!(run_closed("(1 != 2, 3 > 2)"), Value::pair(Value::Bool(true), Value::Bool(true)));
+        assert_eq!(
+            run_closed("(1 != 2, 3 > 2)"),
+            Value::pair(Value::Bool(true), Value::Bool(true))
+        );
         assert_eq!(run_closed("{}"), Value::empty_set());
     }
 
@@ -316,11 +317,7 @@ mod tests {
             Value::pair(Value::str("Joe"), Value::int_orset([515])),
             Value::pair(Value::str("Mary"), Value::int_orset([515, 212])),
         ]);
-        let out = run_query(
-            "{ fst(r) | r <- db, ormember(212, snd(r)) }",
-            "db",
-            &db,
-        );
+        let out = run_query("{ fst(r) | r <- db, ormember(212, snd(r)) }", "db", &db);
         assert_eq!(out, Value::set([Value::str("Mary")]));
     }
 
@@ -330,10 +327,7 @@ mod tests {
             run_closed("alpha({<|1,2|>, <|3|>})"),
             Value::orset([Value::int_set([1, 3]), Value::int_set([2, 3])])
         );
-        assert_eq!(
-            run_closed("powerset({1,2})").elements().unwrap().len(),
-            4
-        );
+        assert_eq!(run_closed("powerset({1,2})").elements().unwrap().len(), 4);
     }
 
     #[test]

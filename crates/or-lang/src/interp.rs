@@ -96,7 +96,9 @@ pub fn interpret(expr: &Expr, env: &Env) -> Result<Value, InterpError> {
         }
         Expr::Not(a) => match interpret(a, env)? {
             Value::Bool(b) => Ok(Value::Bool(!b)),
-            other => Err(InterpError::new(format!("! expects a boolean, got {other}"))),
+            other => Err(InterpError::new(format!(
+                "! expects a boolean, got {other}"
+            ))),
         },
         Expr::Call(builtin, args) => {
             let values: Vec<Value> = args
@@ -203,7 +205,9 @@ fn call(builtin: Builtin, args: &[Value]) -> Result<Value, InterpError> {
     let set_items = |v: &Value, what: &str| -> Result<Vec<Value>, InterpError> {
         match v {
             Value::Set(items) => Ok(items.clone()),
-            other => Err(InterpError::new(format!("{what} expects a set, got {other}"))),
+            other => Err(InterpError::new(format!(
+                "{what} expects a set, got {other}"
+            ))),
         }
     };
     let orset_items = |v: &Value, what: &str| -> Result<Vec<Value>, InterpError> {
@@ -288,11 +292,17 @@ fn call(builtin: Builtin, args: &[Value]) -> Result<Value, InterpError> {
         Builtin::OrIsEmpty => Ok(Value::Bool(orset_items(&args[0], "orisempty")?.is_empty())),
         Builtin::Fst => match args[0].as_pair() {
             Some((a, _)) => Ok(a.clone()),
-            None => Err(InterpError::new(format!("fst expects a pair, got {}", args[0]))),
+            None => Err(InterpError::new(format!(
+                "fst expects a pair, got {}",
+                args[0]
+            ))),
         },
         Builtin::Snd => match args[0].as_pair() {
             Some((_, b)) => Ok(b.clone()),
-            None => Err(InterpError::new(format!("snd expects a pair, got {}", args[0]))),
+            None => Err(InterpError::new(format!(
+                "snd expects a pair, got {}",
+                args[0]
+            ))),
         },
     }
 }
@@ -300,7 +310,7 @@ fn call(builtin: Builtin, args: &[Value]) -> Result<Value, InterpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compile::{compile_query, compile_closed};
+    use crate::compile::{compile_closed, compile_query};
     use crate::parser::parse;
     use or_nra::eval::eval;
 
@@ -313,7 +323,10 @@ mod tests {
         let env = Env::new();
         assert_eq!(interp("1 + 2 * 3", &env), Value::Int(7));
         assert_eq!(interp("{2, 1, 2}", &env), Value::int_set([1, 2]));
-        assert_eq!(interp("normalize(<| <|1,2|>, <|3|> |>)", &env), Value::int_orset([1, 2, 3]));
+        assert_eq!(
+            interp("normalize(<| <|1,2|>, <|3|> |>)", &env),
+            Value::int_orset([1, 2, 3])
+        );
         assert_eq!(
             interp("{ x | x <- {1,2,3,4}, x > 2 }", &env),
             Value::int_set([3, 4])

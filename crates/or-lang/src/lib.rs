@@ -43,4 +43,4 @@ pub use check::{check_type, infer_type, CheckError};
 pub use compile::{compile_closed, compile_query, compile_with_env, CompileError};
 pub use interp::{interpret, InterpError};
 pub use parser::{parse, parse_statement, ParseError, Statement};
-pub use session::{Session, SessionError, SessionResult};
+pub use session::{EngineStats, ExecMode, Session, SessionError, SessionResult};

@@ -39,7 +39,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 

@@ -3,13 +3,29 @@
 //! A [`Session`] holds named bindings (values with their types), evaluates
 //! statements, and reports both the value and the inferred type of every
 //! expression — like the OR-SML top level the paper describes.
+//!
+//! ## Execution modes
+//!
+//! The session can route queries through two executors:
+//!
+//! * [`ExecMode::Interp`] (default) — the direct tree-walking interpreter;
+//! * [`ExecMode::Engine`] — compile the expression to an or-NRA⁺ morphism,
+//!   [`lower`](or_nra::optimize::lower) it to a physical plan, and run it on
+//!   the streaming parallel engine (`or-engine`).  Only queries over a
+//!   single set-valued binding fall inside the lowerable fragment; anything
+//!   else silently falls back to the interpreter ([`Session::engine_stats`]
+//!   reports how often each path ran).  Every engine result is
+//!   **cross-checked** against the interpreter; a disagreement is reported
+//!   as [`SessionError::EngineMismatch`] rather than returned as data.
 
 use std::collections::HashMap;
 use std::fmt;
 
+use or_engine::{run_morphism_on_value, EngineError, ExecConfig};
 use or_object::{Type, Value};
 
 use crate::check::{infer_type, CheckError, TypeEnv};
+use crate::compile::compile_query;
 use crate::interp::{interpret, Env, InterpError};
 use crate::parser::{parse_statement, ParseError, Statement};
 
@@ -33,6 +49,18 @@ pub enum SessionError {
     Check(CheckError),
     /// Runtime error.
     Runtime(InterpError),
+    /// The physical engine failed on a query the lowering accepted.
+    Engine(String),
+    /// The engine and the interpreter disagreed on a query result — a bug in
+    /// one of them; the query and both answers are reported.
+    EngineMismatch {
+        /// The offending query source.
+        query: String,
+        /// What the engine produced.
+        engine: String,
+        /// What the interpreter produced.
+        interp: String,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -41,6 +69,16 @@ impl fmt::Display for SessionError {
             SessionError::Parse(e) => write!(f, "{e}"),
             SessionError::Check(e) => write!(f, "{e}"),
             SessionError::Runtime(e) => write!(f, "{e}"),
+            SessionError::Engine(e) => write!(f, "engine error: {e}"),
+            SessionError::EngineMismatch {
+                query,
+                engine,
+                interp,
+            } => write!(
+                f,
+                "engine/interpreter mismatch on `{query}`: engine produced \
+                 {engine}, interpreter produced {interp}"
+            ),
         }
     }
 }
@@ -65,17 +103,65 @@ impl From<InterpError> for SessionError {
     }
 }
 
+/// How the session executes queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The direct tree-walking interpreter (the default).
+    #[default]
+    Interp,
+    /// Route lowerable queries through the streaming parallel engine,
+    /// cross-checking every result against the interpreter.
+    Engine,
+}
+
+/// Counters for the engine routing (see [`Session::engine_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Statements executed (and verified) on the physical engine.
+    pub engine: u64,
+    /// Statements that fell back to the interpreter (not in the lowerable
+    /// fragment, or not a single-set-binding query).
+    pub fallback: u64,
+}
+
 /// A stateful OrQL session.
 #[derive(Debug, Default)]
 pub struct Session {
     values: Env,
     types: HashMap<String, Type>,
+    mode: ExecMode,
+    engine_config: ExecConfig,
+    stats: EngineStats,
 }
 
 impl Session {
     /// Create an empty session.
     pub fn new() -> Session {
         Session::default()
+    }
+
+    /// Create a session that routes queries through the physical engine.
+    pub fn with_engine(config: ExecConfig) -> Session {
+        Session {
+            mode: ExecMode::Engine,
+            engine_config: config,
+            ..Session::default()
+        }
+    }
+
+    /// Switch the execution mode.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The current execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// How many statements ran on the engine vs. the interpreter.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// Bind a pre-built value under a name (its type is inferred from the
@@ -90,13 +176,21 @@ impl Session {
 
     /// The current bindings, sorted by name.
     pub fn bindings(&self) -> Vec<(String, Type)> {
-        let mut out: Vec<(String, Type)> = self.types.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let mut out: Vec<(String, Type)> = self
+            .types
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         out.sort();
         out
     }
 
     fn type_env(&self) -> TypeEnv {
-        let mut env: TypeEnv = self.types.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let mut env: TypeEnv = self
+            .types
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         env.sort_by(|a, b| a.0.cmp(&b.0));
         env
     }
@@ -108,7 +202,7 @@ impl Session {
         match statement {
             Statement::Expr(expr) => {
                 let ty = infer_type(&expr, &self.type_env())?;
-                let value = interpret(&expr, &self.values)?;
+                let value = self.evaluate(source, &expr)?;
                 Ok(SessionResult {
                     value,
                     ty,
@@ -117,7 +211,7 @@ impl Session {
             }
             Statement::Bind(name, expr) => {
                 let ty = infer_type(&expr, &self.type_env())?;
-                let value = interpret(&expr, &self.values)?;
+                let value = self.evaluate(source, &expr)?;
                 self.types.insert(name.clone(), ty.clone());
                 self.values.insert(name.clone(), value.clone());
                 Ok(SessionResult {
@@ -126,6 +220,52 @@ impl Session {
                     bound: Some(name),
                 })
             }
+        }
+    }
+
+    /// Evaluate an expression under the current execution mode.
+    ///
+    /// In [`ExecMode::Engine`], lowerable queries additionally run on the
+    /// physical engine, and the two answers are compared.
+    fn evaluate(&mut self, source: &str, expr: &crate::ast::Expr) -> Result<Value, SessionError> {
+        let interpreted = interpret(expr, &self.values)?;
+        if self.mode == ExecMode::Engine {
+            match self.try_engine(expr)? {
+                Some(engine_value) => {
+                    if engine_value != interpreted {
+                        return Err(SessionError::EngineMismatch {
+                            query: source.to_string(),
+                            engine: engine_value.to_string(),
+                            interp: interpreted.to_string(),
+                        });
+                    }
+                    self.stats.engine += 1;
+                }
+                None => self.stats.fallback += 1,
+            }
+        }
+        Ok(interpreted)
+    }
+
+    /// Try to run `expr` on the physical engine.  `Ok(None)` means the query
+    /// is outside the engine's fragment (caller falls back); a genuine
+    /// engine failure is an error.
+    fn try_engine(&self, expr: &crate::ast::Expr) -> Result<Option<Value>, SessionError> {
+        // The engine executes queries over a single set-valued binding.
+        let free = expr.free_vars();
+        let [var] = free.as_slice() else {
+            return Ok(None);
+        };
+        let Some(input @ Value::Set(_)) = self.values.get(var) else {
+            return Ok(None);
+        };
+        let Ok(morphism) = compile_query(expr, var) else {
+            return Ok(None);
+        };
+        match run_morphism_on_value(input, &morphism, self.engine_config) {
+            Ok(value) => Ok(Some(value)),
+            Err(EngineError::Lower(_)) => Ok(None),
+            Err(e) => Err(SessionError::Engine(e.to_string())),
         }
     }
 }
@@ -162,6 +302,53 @@ mod tests {
         assert!(matches!(s.run("1 +"), Err(SessionError::Parse(_))));
         assert!(matches!(s.run("1 + true"), Err(SessionError::Check(_))));
         assert!(matches!(s.run("nosuchvar"), Err(SessionError::Check(_))));
+    }
+
+    #[test]
+    fn engine_mode_executes_and_cross_checks_set_queries() {
+        let mut s = Session::with_engine(ExecConfig::default().with_workers(2));
+        assert_eq!(s.exec_mode(), ExecMode::Engine);
+        s.run("let db = { (1, 10), (2, 20), (3, 30), (4, 40) }")
+            .unwrap();
+        let r = s.run("{ fst(p) | p <- db, snd(p) <= 20 }").unwrap();
+        assert_eq!(r.value, Value::int_set([1, 2]));
+        let stats = s.engine_stats();
+        assert!(
+            stats.engine >= 1,
+            "query should have taken the engine path: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn engine_mode_falls_back_outside_the_fragment() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let db = { <|1,2|>, <|3|> }").unwrap();
+        // or-monad pipeline: interpretable but not lowerable
+        let r = s.run("normalize(db)").unwrap();
+        assert_eq!(
+            r.value,
+            Value::orset([Value::int_set([1, 3]), Value::int_set([2, 3])])
+        );
+        assert!(s.engine_stats().fallback >= 1);
+    }
+
+    #[test]
+    fn engine_mode_agrees_with_interp_mode_on_a_session_script() {
+        let script = [
+            "let db = { (\"a\", 1), (\"b\", 2), (\"c\", 3) }",
+            "{ snd(r) | r <- db }",
+            "{ r | r <- db, snd(r) <= 2 }",
+            "{ (snd(r), fst(r)) | r <- db, fst(r) != \"b\" }",
+        ];
+        let mut interp = Session::new();
+        let mut engine = Session::with_engine(ExecConfig::default().with_workers(3));
+        for stmt in script {
+            let a = interp.run(stmt).unwrap();
+            let b = engine.run(stmt).unwrap();
+            assert_eq!(a.value, b.value, "disagreement on `{stmt}`");
+            assert_eq!(a.ty, b.ty);
+        }
+        assert!(engine.engine_stats().engine >= 3);
     }
 
     #[test]

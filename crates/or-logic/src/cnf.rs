@@ -26,7 +26,10 @@ pub struct Literal {
 impl Literal {
     /// Positive literal of a variable.
     pub fn pos(var: Var) -> Literal {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of a variable.
@@ -235,10 +238,7 @@ impl CnfGenerator {
                 }
             })));
         }
-        Cnf {
-            num_vars,
-            clauses,
-        }
+        Cnf { num_vars, clauses }
     }
 
     /// A formula that is satisfiable by construction: plant a hidden
@@ -279,7 +279,11 @@ impl CnfGenerator {
                 }
             })));
         }
-        let mut cnf = self.random_kcnf(num_vars.max(k as u32), num_clauses.saturating_sub(clauses.len()), k);
+        let mut cnf = self.random_kcnf(
+            num_vars.max(k as u32),
+            num_clauses.saturating_sub(clauses.len()),
+            k,
+        );
         clauses.append(&mut cnf.clauses);
         Cnf {
             num_vars: num_vars.max(k as u32),

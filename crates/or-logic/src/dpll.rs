@@ -198,9 +198,7 @@ fn branching_variable(cnf: &Cnf, assignment: &[Option<bool>]) -> Option<Var> {
         .into_iter()
         .max_by_key(|&(var, count)| (count, std::cmp::Reverse(var)))
         .map(|(var, _)| var)
-        .or_else(|| {
-            (0..cnf.num_vars).find(|&v| assignment[v as usize].is_none())
-        })
+        .or_else(|| (0..cnf.num_vars).find(|&v| assignment[v as usize].is_none()))
 }
 
 #[cfg(test)]

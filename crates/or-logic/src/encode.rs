@@ -44,9 +44,11 @@ pub fn encode_literal(lit: Literal) -> Value {
 
 /// Encode a CNF formula as an object of type `{<int × bool>}`.
 pub fn encode_cnf(cnf: &Cnf) -> Value {
-    Value::set(cnf.clauses.iter().map(|clause| {
-        Value::orset(clause.literals.iter().copied().map(encode_literal))
-    }))
+    Value::set(
+        cnf.clauses
+            .iter()
+            .map(|clause| Value::orset(clause.literals.iter().copied().map(encode_literal))),
+    )
 }
 
 /// The type of encoded formulae.
@@ -111,9 +113,8 @@ pub fn sat_by_lazy_normalization(cnf: &Cnf) -> Result<LazySatOutcome, EvalError>
     let predicate = fd_predicate();
     let mut lazy = LazyNormalizer::new(&encoded);
     let total = lazy.total();
-    let (witness, inspected) = lazy.find_witness(|candidate| {
-        Ok(eval(&predicate, candidate)? == Value::Bool(true))
-    })?;
+    let (witness, inspected) =
+        lazy.find_witness(|candidate| Ok(eval(&predicate, candidate)? == Value::Bool(true)))?;
     Ok(LazySatOutcome {
         satisfiable: witness.is_some(),
         witness,
@@ -174,7 +175,10 @@ mod tests {
             Value::pair(Value::Int(0), Value::Bool(true)),
             Value::pair(Value::Int(1), Value::Bool(false)),
         ]);
-        assert_eq!(eval(&fd_predicate(), &consistent).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval(&fd_predicate(), &consistent).unwrap(),
+            Value::Bool(true)
+        );
         let conflicting = Value::set([
             Value::pair(Value::Int(0), Value::Bool(true)),
             Value::pair(Value::Int(0), Value::Bool(false)),
@@ -228,7 +232,11 @@ mod tests {
         for round in 0..25 {
             let num_vars = 3 + (round % 4) as u32;
             let num_clauses = 2 + (round % 6);
-            let cnf = gen.random_kcnf(num_vars, num_clauses, 2 + (round % 2).min(num_vars as usize - 1));
+            let cnf = gen.random_kcnf(
+                num_vars,
+                num_clauses,
+                2 + (round % 2).min(num_vars as usize - 1),
+            );
             let expected = cnf.brute_force_satisfiable();
             assert_eq!(sat_by_dpll(&cnf), expected, "dpll on {cnf}");
             assert_eq!(

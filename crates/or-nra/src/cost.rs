@@ -158,7 +158,7 @@ pub fn measure(x: &Value) -> CostReport {
     let product_bound = proposition_6_1_bound(x);
     let card_ok = respects_cardinality_bound(cardinality, n);
     let size_ok = respects_size_bound(normal_form_size, n.max(2));
-    let product_ok = product_bound.map_or(true, |b| u128::from(cardinality) <= b);
+    let product_ok = product_bound.is_none_or(|b| u128::from(cardinality) <= b);
     CostReport {
         input_size: n,
         cardinality,
@@ -254,7 +254,10 @@ mod tests {
         ms.sort_unstable();
         assert_eq!(ms, vec![1, 2]);
         // an or-set with no nested or-sets is itself innermost
-        assert_eq!(innermost_orset_cardinalities(&Value::int_orset([1, 2, 3])), vec![3]);
+        assert_eq!(
+            innermost_orset_cardinalities(&Value::int_orset([1, 2, 3])),
+            vec![3]
+        );
     }
 
     #[test]

@@ -27,10 +27,7 @@ pub fn swap() -> M {
 /// `f × g : s × u → t × v` — apply `f` to the first component and `g` to the
 /// second.
 pub fn parallel(f: M, g: M) -> M {
-    M::pair(
-        M::compose(f, M::Proj1),
-        M::compose(g, M::Proj2),
-    )
+    M::pair(M::compose(f, M::Proj1), M::compose(g, M::Proj2))
 }
 
 /// `ρ₁ : {s} × t → {s × t}` — definable from `ρ₂` by swapping
@@ -183,7 +180,9 @@ pub fn or_forall(p: M) -> M {
 
 /// `or_intersect : <s> × <s> → <s>` — alternatives common to both.
 pub fn or_intersect() -> M {
-    or_rho1().then(or_select(or_member())).then(M::ormap(M::Proj1))
+    or_rho1()
+        .then(or_select(or_member()))
+        .then(M::ormap(M::Proj1))
 }
 
 /// `or_difference : <s> × <s> → <s>`.
@@ -195,7 +194,9 @@ pub fn or_difference() -> M {
 
 /// `or_subset : <s> × <s> → bool`.
 pub fn or_subset() -> M {
-    or_rho1().then(or_select(negate(or_member()))).then(or_is_empty())
+    or_rho1()
+        .then(or_select(negate(or_member())))
+        .then(or_is_empty())
 }
 
 // ---------------------------------------------------------------------------
@@ -239,7 +240,7 @@ pub fn powerset_via_alpha() -> M {
 // membership relation that are total and functional on the family, which
 // powerset over a cartesian product makes possible — but it is not needed by
 // any experiment, so we only reproduce the (clean) powerset-from-α direction
-// executably and record the observation in EXPERIMENTS.md.
+// executably (experiment E1).
 
 #[cfg(test)]
 mod tests {
@@ -249,7 +250,10 @@ mod tests {
     use or_object::Type;
 
     fn pair_of_sets(a: &[i64], b: &[i64]) -> Value {
-        Value::pair(Value::int_set(a.iter().copied()), Value::int_set(b.iter().copied()))
+        Value::pair(
+            Value::int_set(a.iter().copied()),
+            Value::int_set(b.iter().copied()),
+        )
     }
 
     #[test]
@@ -323,14 +327,8 @@ mod tests {
         let v = Value::pair(Value::Int(2), Value::int_orset([1, 2]));
         assert_eq!(eval(&or_member(), &v).unwrap(), Value::Bool(true));
         let v = Value::pair(Value::int_orset([1, 2, 3]), Value::int_orset([2, 3, 4]));
-        assert_eq!(
-            eval(&or_intersect(), &v).unwrap(),
-            Value::int_orset([2, 3])
-        );
-        assert_eq!(
-            eval(&or_difference(), &v).unwrap(),
-            Value::int_orset([1])
-        );
+        assert_eq!(eval(&or_intersect(), &v).unwrap(), Value::int_orset([2, 3]));
+        assert_eq!(eval(&or_difference(), &v).unwrap(), Value::int_orset([1]));
         assert_eq!(eval(&or_subset(), &v).unwrap(), Value::Bool(false));
     }
 
@@ -387,10 +385,19 @@ mod tests {
     fn derived_operators_type_check() {
         let int_set = Type::set(Type::Int);
         let pair_of = Type::prod(int_set.clone(), int_set.clone());
-        assert_eq!(output_type(&member(), &Type::prod(Type::Int, int_set.clone())).unwrap(), Type::Bool);
+        assert_eq!(
+            output_type(&member(), &Type::prod(Type::Int, int_set.clone())).unwrap(),
+            Type::Bool
+        );
         assert_eq!(output_type(&subset(), &pair_of).unwrap(), Type::Bool);
-        assert_eq!(output_type(&intersect(), &pair_of).unwrap(), int_set.clone());
-        assert_eq!(output_type(&difference(), &pair_of).unwrap(), int_set.clone());
+        assert_eq!(
+            output_type(&intersect(), &pair_of).unwrap(),
+            int_set.clone()
+        );
+        assert_eq!(
+            output_type(&difference(), &pair_of).unwrap(),
+            int_set.clone()
+        );
         assert_eq!(
             output_type(&cartesian_product(), &pair_of).unwrap(),
             Type::set(Type::prod(Type::Int, Type::Int))

@@ -43,7 +43,10 @@ impl fmt::Display for TypeError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             TypeError::Occurs { var, ty } => {
                 write!(f, "occurs check failed: 't{var} occurs in {ty}")
             }
@@ -91,7 +94,10 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::Shape { operator, value } => {
-                write!(f, "{operator} applied to a value of the wrong shape: {value}")
+                write!(
+                    f,
+                    "{operator} applied to a value of the wrong shape: {value}"
+                )
             }
             EvalError::Primitive { primitive, message } => {
                 write!(f, "primitive {primitive} failed: {message}")

@@ -344,7 +344,10 @@ mod tests {
     fn or_mu_paper_example() {
         // or_mu <<1,2,3>, <2,4>> = <1,2,3,4>
         let input = Value::orset([Value::int_orset([1, 2, 3]), Value::int_orset([2, 4])]);
-        assert_eq!(eval(&M::OrMu, &input).unwrap(), Value::int_orset([1, 2, 3, 4]));
+        assert_eq!(
+            eval(&M::OrMu, &input).unwrap(),
+            Value::int_orset([1, 2, 3, 4])
+        );
     }
 
     #[test]

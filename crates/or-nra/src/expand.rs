@@ -152,10 +152,16 @@ mod tests {
 
     fn check_expansion(v: &Value, t: &Type) {
         let expected = normalize_value_typed(v, t);
-        for expansion in [expand_normalize(t).unwrap(), expand_normalize_innermost(t).unwrap()] {
+        for expansion in [
+            expand_normalize(t).unwrap(),
+            expand_normalize_innermost(t).unwrap(),
+        ] {
             let got = eval(&expansion, v)
                 .unwrap_or_else(|e| panic!("expansion failed on {v} : {t}: {e}"));
-            assert_eq!(got, expected, "expansion of normalize at {t} applied to {v}");
+            assert_eq!(
+                got, expected,
+                "expansion of normalize at {t} applied to {v}"
+            );
         }
     }
 

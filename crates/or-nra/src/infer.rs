@@ -405,11 +405,7 @@ pub fn output_type(m: &Morphism, input: &Type) -> Result<Type, TypeError> {
     Ok(u.resolve(&out).to_type_defaulting())
 }
 
-fn expect_prod(
-    u: &mut Unifier,
-    t: &SType,
-    context: &str,
-) -> Result<(SType, SType), TypeError> {
+fn expect_prod(u: &mut Unifier, t: &SType, context: &str) -> Result<(SType, SType), TypeError> {
     let a = u.fresh();
     let b = u.fresh();
     u.unify(t, &SType::prod(a.clone(), b.clone()), context)?;
@@ -601,7 +597,10 @@ mod tests {
         assert!(infer(&M::Normalize).is_err());
         let input = Type::prod(Type::set(Type::orset(Type::Int)), Type::orset(Type::Int));
         let out = output_type(&M::Normalize, &input).unwrap();
-        assert_eq!(out, Type::orset(Type::prod(Type::set(Type::Int), Type::Int)));
+        assert_eq!(
+            out,
+            Type::orset(Type::prod(Type::set(Type::Int), Type::Int))
+        );
     }
 
     #[test]
@@ -642,11 +641,7 @@ mod tests {
     fn empty_set_constant_gets_constrained_by_context() {
         // cond(leq, eta, K{} ∘ !) : int*int -> {int*int}?  The branches force
         // the empty set to have element type int*int.
-        let m = M::cond(
-            M::Prim(Prim::Leq),
-            M::Eta,
-            M::KEmptySet.after_bang(),
-        );
+        let m = M::cond(M::Prim(Prim::Leq), M::Eta, M::KEmptySet.after_bang());
         let input = Type::prod(Type::Int, Type::Int);
         let out = output_type(&m, &input).unwrap();
         assert_eq!(out, Type::set(Type::prod(Type::Int, Type::Int)));

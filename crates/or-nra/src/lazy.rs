@@ -54,7 +54,10 @@ impl Plan {
                 .iter()
                 .map(Plan::count)
                 .fold(1u128, |acc, n| acc.saturating_mul(n)),
-            Plan::OneOf(items) => items.iter().map(Plan::count).fold(0u128, u128::saturating_add),
+            Plan::OneOf(items) => items
+                .iter()
+                .map(Plan::count)
+                .fold(0u128, u128::saturating_add),
         }
     }
 
@@ -143,10 +146,7 @@ impl LazyNormalizer {
 
     /// Search for a denotation satisfying `pred`, stopping at the first hit.
     /// Returns the witness and the number of denotations inspected.
-    pub fn find_witness<F>(
-        &mut self,
-        mut pred: F,
-    ) -> Result<(Option<Value>, u128), EvalError>
+    pub fn find_witness<F>(&mut self, mut pred: F) -> Result<(Option<Value>, u128), EvalError>
     where
         F: FnMut(&Value) -> Result<bool, EvalError>,
     {
@@ -223,7 +223,7 @@ mod tests {
         let v = or_object::generate::Generator::alpha_blowup_witness(16);
         let mut lazy = LazyNormalizer::new(&v);
         let (witness, inspected) = lazy
-            .find_witness(|d| Ok(d.elements().map_or(false, |e| e.contains(&Value::Int(0)))))
+            .find_witness(|d| Ok(d.elements().is_some_and(|e| e.contains(&Value::Int(0)))))
             .unwrap();
         assert!(witness.is_some());
         assert_eq!(inspected, 1);
@@ -234,7 +234,7 @@ mod tests {
         let v = or_object::generate::Generator::alpha_blowup_witness(8);
         let mut lazy = LazyNormalizer::new(&v);
         let (witness, inspected) = lazy
-            .find_witness(|d| Ok(d.elements().map_or(false, |e| e.contains(&Value::Int(999)))))
+            .find_witness(|d| Ok(d.elements().is_some_and(|e| e.contains(&Value::Int(999)))))
             .unwrap();
         assert!(witness.is_none());
         assert_eq!(inspected, 256);

@@ -22,7 +22,10 @@
 //! * [`derived`] — the OR-SML-style derived operator library, including
 //!   `powerset` from `alpha` (Proposition 2.1);
 //! * [`optimize`] — an equational simplifier over the monad laws and the
-//!   coherence-diagram equations.
+//!   coherence-diagram equations, plus [`optimize::lower`], the entry point
+//!   that lowers set-pipeline morphisms into physical plans;
+//! * [`physical`] — the [`physical::PhysicalPlan`] IR executed by the
+//!   streaming, parallel engine in the `or-engine` crate.
 //!
 //! ## Quick example
 //!
@@ -54,14 +57,15 @@ pub mod lazy;
 pub mod morphism;
 pub mod normalize;
 pub mod optimize;
+pub mod physical;
 pub mod preserve;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
     pub use crate::derived::{
-        cartesian_product, difference, exists, forall, intersect, member, or_difference,
-        or_exists, or_forall, or_intersect, or_member, or_select, or_subset, powerset_via_alpha,
-        select, subset,
+        cartesian_product, difference, exists, forall, intersect, member, or_difference, or_exists,
+        or_forall, or_intersect, or_member, or_select, or_subset, powerset_via_alpha, select,
+        subset,
     };
     pub use crate::error::{EvalError, TypeError};
     pub use crate::eval::{eval, eval_antichain, EvalConfig, Evaluator};
@@ -72,6 +76,8 @@ pub mod prelude {
         denotations, normalize_value, normalize_value_typed, normalize_with_strategy,
         possibility_count, RewriteStrategy,
     };
+    pub use crate::optimize::{lower, optimize, simplified};
+    pub use crate::physical::{LowerError, PhysicalPlan};
     pub use crate::preserve::{is_lossless_on, lossless_preconditions, preserve};
 }
 

@@ -28,6 +28,7 @@
 use or_object::Value;
 
 use crate::morphism::Morphism as M;
+use crate::physical::{LowerError, PhysicalPlan};
 
 /// Result statistics of a simplification run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,14 +130,7 @@ fn rewrite_compose(f: &M, g: &M) -> Option<M> {
         (M::Proj1, M::PairWith(a, _)) => Some((**a).clone()),
         (M::Proj2, M::PairWith(_, b)) => Some((**b).clone()),
         // (f1 ∘ f2) ∘ g — reassociate to expose adjacent redexes
-        (M::Compose(f1, f2), _) => {
-            let inner = rewrite_compose(f2, g)
-                .map(|r| M::compose((**f1).clone(), r));
-            match inner {
-                Some(result) => Some(result),
-                None => None,
-            }
-        }
+        (M::Compose(f1, f2), _) => rewrite_compose(f2, g).map(|r| M::compose((**f1).clone(), r)),
         // monad laws — set monad
         (M::Mu, M::Eta) => Some(M::Id),
         (M::Mu, M::Map(inner)) if **inner == M::Eta => Some(M::Id),
@@ -153,9 +147,7 @@ fn rewrite_compose(f: &M, g: &M) -> Option<M> {
         // monad laws — or-set monad
         (M::OrMu, M::OrEta) => Some(M::Id),
         (M::OrMu, M::OrMap(inner)) if **inner == M::OrEta => Some(M::Id),
-        (M::OrMap(mf), M::OrMap(mg)) => {
-            Some(M::ormap(M::compose((**mf).clone(), (**mg).clone())))
-        }
+        (M::OrMap(mf), M::OrMap(mg)) => Some(M::ormap(M::compose((**mf).clone(), (**mg).clone()))),
         (M::OrMap(mf), M::OrEta) => Some(M::compose(M::OrEta, (**mf).clone())),
         (M::OrMu, M::OrMap(inner)) => {
             if let M::OrMap(deep) = &**inner {
@@ -174,6 +166,202 @@ fn rewrite_compose(f: &M, g: &M) -> Option<M> {
         }
         _ => None,
     }
+}
+
+// ---------------------------------------------------------------------------
+// lowering to physical plans
+// ---------------------------------------------------------------------------
+
+/// Lower a morphism `{s} → {t}` into a [`PhysicalPlan`] over a single scan
+/// (input slot 0).
+///
+/// The morphism is first [`simplified`] (the monad laws collapse the
+/// comprehension compiler's `μ ∘ map(…) ∘ η` scaffolding), then its
+/// composition chain is matched against the **set-pipeline fragment**:
+///
+/// * `id` — the bare scan;
+/// * `map(f)` — [`PhysicalPlan::Project`];
+/// * `μ ∘ map(cond(p, η, K{} ∘ !))` (the `select(p)` shape) —
+///   [`PhysicalPlan::Filter`];
+/// * `μ ∘ map(ortoset ∘ normalize)` (per-row α-expansion) —
+///   [`PhysicalPlan::OrExpand`];
+/// * a leading `ρ₂ ∘ e` prefix, where `e` builds an `(env, {rows})` pair
+///   from the input set (the OrQL environment-tuple translation) —
+///   [`PhysicalPlan::AttachEnv`].
+///
+/// Anything outside this fragment (or-monad pipelines, whole-relation
+/// `normalize`, multi-generator flattening) returns a [`LowerError`]; callers
+/// such as the OrQL session fall back to the tree-walking interpreter.
+/// Binary operators (`Cartesian`, `Join`) are built directly through the
+/// [`PhysicalPlan`] builder API, since a morphism's single input cannot
+/// reference two relations.
+pub fn lower(m: &M) -> Result<PhysicalPlan, LowerError> {
+    let simplified = simplified(m);
+    let mut stages = Vec::new();
+    flatten_into(&simplified, &mut stages);
+    // `stages` is now in application order (first applied first).
+    let mut plan = PhysicalPlan::scan(0);
+    let mut i = 0;
+    // A leading prefix of row-building stages ending in ρ₂ becomes
+    // AttachEnv: `ρ₂ ∘ e` streams the set component of `e`'s output paired
+    // with its environment component.  A bare leading ρ₂ (no prefix) is NOT
+    // lowerable: it would require the engine's set-of-rows input to itself
+    // be a pair, which is outside the `{rows} → {t}` contract.
+    if let Some(rho_at) = leading_rho2_prefix(&stages) {
+        let setup = compose_stages(&stages[..rho_at]);
+        plan = plan.attach_env(setup);
+        i = rho_at + 1;
+    } else if let Some((setup, consumed)) = match_eta_scaffold(&stages) {
+        // The unsimplified comprehension shape
+        // `μ ∘ map(ρ₂ ∘ ⟨a, b⟩ ∘ d) ∘ η ∘ p`: the η wraps the whole input,
+        // the map body splits it into (env, source-set), and the μ unwraps —
+        // semantically the same AttachEnv.
+        plan = plan.attach_env(setup);
+        i = consumed;
+    }
+    while i < stages.len() {
+        let stage = stages[i];
+        let next = stages.get(i + 1).copied();
+        match stage {
+            M::Id => {
+                i += 1;
+            }
+            // η directly followed by μ cancels (the monad law μ ∘ η = id);
+            // the comprehension compiler's scaffolding reaches `lower` in
+            // this shape when the simplifier's local rewrites cannot see
+            // across the composition's association.
+            M::Eta if next == Some(&M::Mu) => {
+                i += 2;
+            }
+            M::Map(body) => {
+                // two-stage shapes consume the following μ
+                if next == Some(&M::Mu) {
+                    if let Some(p) = as_select_body(body) {
+                        plan = plan.filter(p.clone());
+                        i += 2;
+                        continue;
+                    }
+                    if is_or_expand_body(body) {
+                        plan = PhysicalPlan::OrExpand {
+                            budget: None,
+                            dedup: true,
+                            input: Box::new(plan),
+                        };
+                        i += 2;
+                        continue;
+                    }
+                }
+                plan = plan.project((**body).clone());
+                i += 1;
+            }
+            other => {
+                return Err(LowerError {
+                    unsupported: other.to_string(),
+                })
+            }
+        }
+    }
+    Ok(plan)
+}
+
+/// Flatten a composition tree into application order.
+fn flatten_into<'m>(m: &'m M, out: &mut Vec<&'m M>) {
+    match m {
+        M::Compose(f, g) => {
+            flatten_into(g, out);
+            flatten_into(f, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// If the stage list starts with zero or more non-set-operator stages
+/// followed by `ρ₂`, return the index of the `ρ₂`.
+fn leading_rho2_prefix(stages: &[&M]) -> Option<usize> {
+    let rho_at = stages.iter().position(|s| matches!(s, M::Rho2))?;
+    // A bare leading ρ₂ has no setup morphism to build the (env, {rows})
+    // pair from the input set — it is outside the lowerable fragment.
+    if rho_at == 0 {
+        return None;
+    }
+    let prefix_ok = stages[..rho_at]
+        .iter()
+        .all(|s| !matches!(s, M::Map(_) | M::Mu | M::Eta | M::OrMap(_) | M::OrMu));
+    if prefix_ok {
+        Some(rho_at)
+    } else {
+        None
+    }
+}
+
+/// Match a leading `μ ∘ map(ρ₂ ∘ ⟨a, b⟩ ∘ d) ∘ η ∘ p` scaffold (stage order
+/// `p…, η, map(…), μ`) and return the equivalent AttachEnv setup morphism
+/// `⟨a ∘ d ∘ p, b ∘ d ∘ p⟩` plus the number of stages consumed.
+fn match_eta_scaffold(stages: &[&M]) -> Option<(M, usize)> {
+    let eta_at = stages.iter().position(|s| {
+        matches!(
+            s,
+            M::Map(_) | M::Mu | M::Eta | M::Rho2 | M::OrMap(_) | M::OrMu
+        )
+    })?;
+    if !matches!(stages[eta_at], M::Eta) {
+        return None;
+    }
+    let body = match stages.get(eta_at + 1) {
+        Some(M::Map(body)) => body,
+        _ => return None,
+    };
+    if !matches!(stages.get(eta_at + 2), Some(M::Mu)) {
+        return None;
+    }
+    let mut body_stages = Vec::new();
+    flatten_into(body, &mut body_stages);
+    let (rho, rest) = body_stages.split_last()?;
+    if !matches!(rho, M::Rho2) {
+        return None;
+    }
+    let (pairw, d_stages) = rest.split_last()?;
+    let M::PairWith(a, b) = pairw else {
+        return None;
+    };
+    // p then d, then split into the pair's components
+    let mut p_stages: Vec<&M> = stages[..eta_at].to_vec();
+    p_stages.extend(d_stages.iter().copied());
+    let p = compose_stages(&p_stages);
+    let setup = M::pair(p.clone().then((**a).clone()), p.then((**b).clone()));
+    Some((setup, eta_at + 3))
+}
+
+/// Re-compose a stage slice (application order) into a single morphism.
+fn compose_stages(stages: &[&M]) -> M {
+    let mut it = stages.iter();
+    let first = it.next().map(|m| (*m).clone()).unwrap_or(M::Id);
+    it.fold(first, |acc, stage| acc.then((*stage).clone()))
+}
+
+/// Match `cond(p, η, K{} ∘ !)` — the body of the `select` encoding — and
+/// return the predicate.
+fn as_select_body(body: &M) -> Option<&M> {
+    if let M::Cond(p, then_branch, else_branch) = body {
+        if **then_branch == M::Eta && is_empty_set_constant(else_branch) {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Match `K{} ∘ !` (and bare `K{}`).
+fn is_empty_set_constant(m: &M) -> bool {
+    match m {
+        M::KEmptySet => true,
+        M::Compose(f, g) => **f == M::KEmptySet && **g == M::Bang,
+        _ => false,
+    }
+}
+
+/// Match `ortoset ∘ normalize` — the per-row α-expansion body.
+fn is_or_expand_body(body: &M) -> bool {
+    matches!(body, M::Compose(f, g) if **f == M::OrToSet && **g == M::Normalize)
 }
 
 #[cfg(test)]
@@ -214,11 +402,7 @@ mod tests {
 
     #[test]
     fn cond_with_constant_predicate_selects_branch() {
-        let m = M::cond(
-            M::constant(Value::Bool(true)),
-            M::Proj1,
-            M::Proj2,
-        );
+        let m = M::cond(M::constant(Value::Bool(true)), M::Proj1, M::Proj2);
         assert_eq!(simplified(&m), M::Proj1);
         let m = M::cond(M::constant(Value::Bool(false)), M::Proj1, M::Proj2);
         assert_eq!(simplified(&m), M::Proj2);
@@ -248,7 +432,10 @@ mod tests {
                 ]),
             ),
             (
-                M::pair(M::Proj2, M::Proj1).then(M::Proj1).then(M::OrEta).then(M::ormap(M::Id)),
+                M::pair(M::Proj2, M::Proj1)
+                    .then(M::Proj1)
+                    .then(M::OrEta)
+                    .then(M::ormap(M::Id)),
                 Value::pair(Value::Int(1), Value::Int(2)),
             ),
             (
@@ -280,6 +467,52 @@ mod tests {
         assert_eq!(s, M::Id);
         assert!(stats.rewrites >= 2);
         assert!(stats.after < stats.before);
+    }
+
+    #[test]
+    fn lower_produces_filter_project_pipelines() {
+        let cheap = M::pair(M::Id, M::constant(Value::Int(10))).then(M::Prim(Prim::Leq));
+        let query = crate::derived::select(cheap).then(M::map(M::Eta));
+        let plan = lower(&query).unwrap();
+        let rendered = plan.to_string();
+        assert!(rendered.contains("Filter"), "plan: {rendered}");
+        assert!(rendered.contains("Project"), "plan: {rendered}");
+        assert!(rendered.contains("Scan(#0)"), "plan: {rendered}");
+    }
+
+    #[test]
+    fn lower_recognizes_or_expansion() {
+        let query = M::map(M::Normalize.then(M::OrToSet)).then(M::Mu);
+        let plan = lower(&query).unwrap();
+        assert!(plan.to_string().contains("OrExpand"));
+    }
+
+    #[test]
+    fn lower_rejects_the_or_monad_fragment() {
+        assert!(lower(&M::Normalize).is_err());
+        assert!(lower(&M::ormap(M::Id).then(M::OrMu)).is_err());
+        assert!(lower(&M::Powerset).is_err());
+    }
+
+    #[test]
+    fn lower_rejects_a_bare_leading_rho2() {
+        // ρ₂ with no setup prefix would require the engine's set-of-rows
+        // input to be a pair; it must be a LowerError, not a silent no-op.
+        assert!(lower(&M::Rho2).is_err());
+        assert!(lower(&M::Rho2.then(M::map(M::Proj2))).is_err());
+    }
+
+    #[test]
+    fn lower_handles_the_comprehension_compilers_env_scaffolding() {
+        // the shape compile_query emits for `{ x | x <- db }`:
+        // map(π₂) ∘ μ ∘ map(ρ₂ ∘ ⟨id, π₂⟩) ∘ η ∘ ⟨!, id⟩
+        let query = M::pair(M::Bang, M::Id)
+            .then(M::Eta)
+            .then(M::map(M::pair(M::Id, M::Proj2).then(M::Rho2)))
+            .then(M::Mu)
+            .then(M::map(M::Proj2));
+        let plan = lower(&query).unwrap();
+        assert!(plan.to_string().contains("AttachEnv"), "plan: {plan}");
     }
 
     #[test]

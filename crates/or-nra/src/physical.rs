@@ -1,0 +1,304 @@
+//! Physical query plans: the IR between the or-NRA⁺ algebra and the
+//! streaming execution engine (`or-engine`).
+//!
+//! A [`PhysicalPlan`] describes a **row pipeline**: its input is a finite set
+//! of rows (a relation in its complex-object representation `{t}`), and every
+//! operator transforms a stream of rows into a stream of rows.  This is the
+//! classical "physical algebra" layer of a database engine — the conceptual
+//! or-NRA⁺ morphism says *what* to compute, the plan says *how* the rows
+//! flow:
+//!
+//! | operator       | morphism analogue                           | streaming? |
+//! |----------------|---------------------------------------------|------------|
+//! | `Scan`         | `id : {t} → {t}`                            | yes        |
+//! | `Project`      | `map(f)`                                    | yes        |
+//! | `Filter`       | `μ ∘ map(cond(p, η, K{} ∘ !))` (= `select`) | yes        |
+//! | `AttachEnv`    | `ρ₂ ∘ ⟨e, id⟩`                              | yes (e once) |
+//! | `Cartesian`    | `μ ∘ map(ρ₂) ∘ ρ₁` on a pair of scans       | right side materialized |
+//! | `Join`         | `select(p)` over a `Cartesian`              | right side materialized |
+//! | `OrExpand`     | `μ ∘ map(ortoset ∘ normalize)`              | yes, per-row lazy |
+//!
+//! `OrExpand` is where the conceptual level meets physical reality: each row
+//! is α-expanded into its complete (or-set-free) instances **lazily**, one
+//! denotation at a time, with optional deduplication and a per-row **budget**
+//! that turns the paper's exponential normal-form bounds (Section 6) into an
+//! enforced resource limit instead of an accidental OOM.
+//!
+//! Plans are produced either directly through the builder methods
+//! ([`PhysicalPlan::scan`], [`PhysicalPlan::filter`], …) or from a morphism
+//! by [`crate::optimize::lower`], which recognizes the set-pipeline fragment
+//! of or-NRA⁺ (including the shapes the OrQL comprehension compiler emits).
+//! Execution lives in the `or-engine` crate.
+
+use std::fmt;
+
+use crate::morphism::Morphism;
+
+/// A physical query plan over row streams.
+///
+/// `Scan(i)` reads input slot `i` of the executor; all other nodes transform
+/// the rows produced by their children.  The derived `PartialEq`/`Eq` make
+/// plans testable; [`fmt::Display`] renders an `EXPLAIN`-style tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysicalPlan {
+    /// Read every row of input slot `i`.
+    Scan(usize),
+    /// Keep the rows on which `predicate` evaluates to `true`.
+    Filter {
+        /// The row-level predicate (`row → bool`).
+        predicate: Morphism,
+        /// Upstream plan.
+        input: Box<PhysicalPlan>,
+    },
+    /// Apply `f` to every row.
+    Project {
+        /// The row-level transformer (`row → row'`).
+        f: Morphism,
+        /// Upstream plan.
+        input: Box<PhysicalPlan>,
+    },
+    /// Evaluate `setup` **once** against the materialized input set; the
+    /// result must be a pair `(env, {rows})`, and the operator then streams
+    /// `(env, row)` pairs.  This is how the OrQL comprehension translation's
+    /// environment tuples (`ρ₂ ∘ ⟨e, id⟩` prefixes) are carried through a row
+    /// pipeline: `e` runs once, not per row.
+    AttachEnv {
+        /// Morphism from the whole input set to the `(env, {rows})` pair.
+        setup: Morphism,
+        /// Upstream plan.
+        input: Box<PhysicalPlan>,
+    },
+    /// All pairs of left and right rows (right side is materialized).
+    Cartesian {
+        /// Left (streamed, partitionable) side.
+        left: Box<PhysicalPlan>,
+        /// Right (materialized, broadcast) side.
+        right: Box<PhysicalPlan>,
+    },
+    /// Pairs of left and right rows satisfying `predicate`
+    /// (`(l, r) → bool`).  A nested-loop join with the right side
+    /// materialized; equality predicates additionally take a hash fast path
+    /// in the engine.
+    Join {
+        /// The join predicate over `(left_row, right_row)` pairs.
+        predicate: Morphism,
+        /// Left (streamed, partitionable) side.
+        left: Box<PhysicalPlan>,
+        /// Right (materialized, broadcast) side.
+        right: Box<PhysicalPlan>,
+    },
+    /// Expand each row into its complete (or-set-free) instances, lazily.
+    OrExpand {
+        /// Per-row cap on the number of produced denotations; exceeding it is
+        /// a reported resource-limit error, never an OOM.  `None` = unbounded.
+        budget: Option<u64>,
+        /// Deduplicate expanded rows incrementally while streaming.
+        dedup: bool,
+        /// Upstream plan.
+        input: Box<PhysicalPlan>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Leaf: scan input slot `i`.
+    pub fn scan(i: usize) -> PhysicalPlan {
+        PhysicalPlan::Scan(i)
+    }
+
+    /// Filter this plan's rows by `predicate`.
+    pub fn filter(self, predicate: Morphism) -> PhysicalPlan {
+        PhysicalPlan::Filter {
+            predicate,
+            input: Box::new(self),
+        }
+    }
+
+    /// Map `f` over this plan's rows.
+    pub fn project(self, f: Morphism) -> PhysicalPlan {
+        PhysicalPlan::Project {
+            f,
+            input: Box::new(self),
+        }
+    }
+
+    /// Attach an environment computed once from the driving input set
+    /// (`setup : {t} → env × {t'}`).
+    pub fn attach_env(self, setup: Morphism) -> PhysicalPlan {
+        PhysicalPlan::AttachEnv {
+            setup,
+            input: Box::new(self),
+        }
+    }
+
+    /// Cartesian product with `right`.
+    pub fn cartesian(self, right: PhysicalPlan) -> PhysicalPlan {
+        PhysicalPlan::Cartesian {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Join with `right` on `predicate`.
+    pub fn join(self, right: PhysicalPlan, predicate: Morphism) -> PhysicalPlan {
+        PhysicalPlan::Join {
+            predicate,
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Or-expand each row into its complete instances (unbounded, deduped).
+    pub fn or_expand(self) -> PhysicalPlan {
+        PhysicalPlan::OrExpand {
+            budget: None,
+            dedup: true,
+            input: Box::new(self),
+        }
+    }
+
+    /// Or-expand with a per-row denotation budget.
+    pub fn or_expand_budgeted(self, budget: u64) -> PhysicalPlan {
+        PhysicalPlan::OrExpand {
+            budget: Some(budget),
+            dedup: true,
+            input: Box::new(self),
+        }
+    }
+
+    /// The highest input slot referenced, plus one (0 for a plan with no
+    /// scans, which cannot happen through the public constructors).
+    pub fn input_arity(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan(i) => i + 1,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::AttachEnv { input, .. }
+            | PhysicalPlan::OrExpand { input, .. } => input.input_arity(),
+            PhysicalPlan::Cartesian { left, right } => left.input_arity().max(right.input_arity()),
+            PhysicalPlan::Join { left, right, .. } => left.input_arity().max(right.input_arity()),
+        }
+    }
+
+    /// The input slot of the **driving scan**: the leaf reached by following
+    /// `input`/`left` children.  The parallel executor partitions this slot's
+    /// rows across workers; every other scan is broadcast whole.
+    pub fn driving_scan(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan(i) => *i,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::AttachEnv { input, .. }
+            | PhysicalPlan::OrExpand { input, .. } => input.driving_scan(),
+            PhysicalPlan::Cartesian { left, .. } | PhysicalPlan::Join { left, .. } => {
+                left.driving_scan()
+            }
+        }
+    }
+
+    /// Number of operators in the plan.
+    pub fn operator_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan(_) => 1,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::AttachEnv { input, .. }
+            | PhysicalPlan::OrExpand { input, .. } => 1 + input.operator_count(),
+            PhysicalPlan::Cartesian { left, right } => {
+                1 + left.operator_count() + right.operator_count()
+            }
+            PhysicalPlan::Join { left, right, .. } => {
+                1 + left.operator_count() + right.operator_count()
+            }
+        }
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::Scan(i) => writeln!(f, "{pad}Scan(#{i})"),
+            PhysicalPlan::Filter { predicate, input } => {
+                writeln!(f, "{pad}Filter[{predicate}]")?;
+                input.fmt_indented(f, depth + 1)
+            }
+            PhysicalPlan::Project { f: m, input } => {
+                writeln!(f, "{pad}Project[{m}]")?;
+                input.fmt_indented(f, depth + 1)
+            }
+            PhysicalPlan::AttachEnv { setup, input } => {
+                writeln!(f, "{pad}AttachEnv[{setup}]")?;
+                input.fmt_indented(f, depth + 1)
+            }
+            PhysicalPlan::Cartesian { left, right } => {
+                writeln!(f, "{pad}Cartesian")?;
+                left.fmt_indented(f, depth + 1)?;
+                right.fmt_indented(f, depth + 1)
+            }
+            PhysicalPlan::Join {
+                predicate,
+                left,
+                right,
+            } => {
+                writeln!(f, "{pad}Join[{predicate}]")?;
+                left.fmt_indented(f, depth + 1)?;
+                right.fmt_indented(f, depth + 1)
+            }
+            PhysicalPlan::OrExpand {
+                budget,
+                dedup,
+                input,
+            } => {
+                match budget {
+                    Some(b) => writeln!(f, "{pad}OrExpand[budget={b}, dedup={dedup}]")?,
+                    None => writeln!(f, "{pad}OrExpand[dedup={dedup}]")?,
+                }
+                input.fmt_indented(f, depth + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+/// Why a morphism could not be lowered to a physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// The morphism fragment that stopped the lowering.
+    pub unsupported: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "morphism is outside the lowerable set-pipeline fragment: {}",
+            self.unsupported
+        )
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morphism::Morphism as M;
+
+    #[test]
+    fn builders_compose_and_report_shape() {
+        let plan = PhysicalPlan::scan(0)
+            .filter(M::Eq)
+            .project(M::Proj1)
+            .join(PhysicalPlan::scan(1), M::Eq)
+            .or_expand_budgeted(64);
+        assert_eq!(plan.input_arity(), 2);
+        assert_eq!(plan.driving_scan(), 0);
+        assert_eq!(plan.operator_count(), 6);
+        let rendered = plan.to_string();
+        assert!(rendered.contains("OrExpand[budget=64"));
+        assert!(rendered.contains("Scan(#1)"));
+    }
+}

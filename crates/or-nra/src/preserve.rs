@@ -69,10 +69,10 @@ pub fn preserve(f: &M) -> M {
         // operators that normalization absorbs
         M::Alpha | M::OrEta | M::OrRho2 | M::OrMu => M::Id,
         // or-union
-        M::OrUnion => M::ormap(
-            M::pair(M::Proj1.then(M::OrEta), M::Proj2.then(M::OrEta)).then(M::OrUnion),
-        )
-        .then(M::OrMu),
+        M::OrUnion => {
+            M::ormap(M::pair(M::Proj1.then(M::OrEta), M::Proj2.then(M::OrEta)).then(M::OrUnion))
+                .then(M::OrMu)
+        }
         // ormap
         M::OrMap(g) => preserve(g),
         // K<> (Proposition 5.2's extra case): everything becomes inconsistent
@@ -132,15 +132,13 @@ fn walk(
             f,
             "operator outside the or-NRA fragment covered by Theorem 5.1",
         ),
-        M::Eq | M::Prim(_) => {
-            if input.contains_orset() || out.contains_orset() {
-                violation(
-                    violations,
-                    f,
-                    "primitive whose type mentions or-sets (structural equality at or-set \
+        M::Eq | M::Prim(_) if (input.contains_orset() || out.contains_orset()) => {
+            violation(
+                violations,
+                f,
+                "primitive whose type mentions or-sets (structural equality at or-set \
                      types is not preserved by normalization)",
-                );
-            }
+            );
         }
         M::Cond(p, g, h) => {
             if input.contains_orset() || out.contains_orset() {
@@ -150,14 +148,12 @@ fn walk(
             walk(g, input, violations)?;
             walk(h, input, violations)?;
         }
-        M::Rho2 | M::Mu | M::Union => {
-            if input.contains_orset() {
-                violation(
-                    violations,
-                    f,
-                    "set operator applied at a type with or-sets (it can collapse or-sets)",
-                );
-            }
+        M::Rho2 | M::Mu | M::Union if input.contains_orset() => {
+            violation(
+                violations,
+                f,
+                "set operator applied at a type with or-sets (it can collapse or-sets)",
+            );
         }
         M::Map(g) => {
             let elem = match input {
@@ -219,7 +215,10 @@ pub fn losslessness_sides(f: &M, x: &Value) -> Result<(Value, Value), EvalError>
     let pf = preserve(f);
     let lhs_input = eval(&M::OrEta.then(M::Normalize), x)?;
     let left = eval(&pf, &lhs_input)?;
-    let right = eval(&M::compose(M::Normalize, M::compose(M::OrEta, f.clone())), x)?;
+    let right = eval(
+        &M::compose(M::Normalize, M::compose(M::OrEta, f.clone())),
+        x,
+    )?;
     Ok((left, right))
 }
 

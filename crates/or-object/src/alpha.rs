@@ -101,10 +101,7 @@ pub fn alpha_set(v: &Value) -> Result<Value, ValueError> {
             )))
         }
     };
-    let lists: Vec<Vec<Value>> = items
-        .iter()
-        .map(orset_elements)
-        .collect::<Result<_, _>>()?;
+    let lists: Vec<Vec<Value>> = items.iter().map(orset_elements).collect::<Result<_, _>>()?;
     let mut out: Vec<Value> = Vec::new();
     for choice in ChoiceFunctions::new(&lists) {
         out.push(Value::set(choice.into_iter().cloned()));
@@ -125,10 +122,7 @@ pub fn alpha_bag(v: &Value) -> Result<Value, ValueError> {
             )))
         }
     };
-    let lists: Vec<Vec<Value>> = items
-        .iter()
-        .map(orset_elements)
-        .collect::<Result<_, _>>()?;
+    let lists: Vec<Vec<Value>> = items.iter().map(orset_elements).collect::<Result<_, _>>()?;
     let mut out: Vec<Value> = Vec::new();
     for choice in ChoiceFunctions::new(&lists) {
         out.push(Value::bag(choice.into_iter().cloned()));
@@ -155,10 +149,7 @@ pub fn alpha_antichain(base: BaseOrder, v: &Value) -> Result<Value, ValueError> 
             )))
         }
     };
-    let lists: Vec<Vec<Value>> = items
-        .iter()
-        .map(orset_elements)
-        .collect::<Result<_, _>>()?;
+    let lists: Vec<Vec<Value>> = items.iter().map(orset_elements).collect::<Result<_, _>>()?;
     let mut candidates: Vec<Value> = Vec::new();
     for choice in ChoiceFunctions::new(&lists) {
         let chosen: Vec<Value> = choice.into_iter().cloned().collect();
@@ -275,10 +266,7 @@ mod tests {
             out,
             Value::orset([Value::int_set([1]), Value::int_set([2])])
         );
-        assert!(!out
-            .elements()
-            .unwrap()
-            .contains(&Value::int_set([1, 2])));
+        assert!(!out.elements().unwrap().contains(&Value::int_set([1, 2])));
     }
 
     #[test]

@@ -167,9 +167,9 @@ impl Generator {
     /// or-sets over `3k` pairwise-distinct integers.  Its normal form has
     /// exactly `3^k = 3^{n/3}` elements of size `k = n/3` each.
     pub fn tightness_witness(k: usize) -> Value {
-        Value::set((0..k).map(|i| {
-            Value::int_orset([3 * i as i64, 3 * i as i64 + 1, 3 * i as i64 + 2])
-        }))
+        Value::set(
+            (0..k).map(|i| Value::int_orset([3 * i as i64, 3 * i as i64 + 1, 3 * i as i64 + 2])),
+        )
     }
 
     /// The exponential-blow-up family of Section 2: a set of `n` two-element

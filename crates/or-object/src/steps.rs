@@ -224,11 +224,7 @@ mod tests {
 
     /// A small poset used throughout: 0 < 2, 0 < 3, 1 < 3, 1 < 4 (a "zig-zag").
     fn zigzag(a: &u8, b: &u8) -> bool {
-        a == b
-            || matches!(
-                (a, b),
-                (0, 2) | (0, 3) | (1, 3) | (1, 4)
-            )
+        a == b || matches!((a, b), (0, 2) | (0, 3) | (1, 3) | (1, 4))
     }
 
     #[test]
@@ -251,7 +247,7 @@ mod tests {
             .collect();
         for a in &subsets {
             for b in &subsets {
-                let expect = hoare(a, b, |x, y| zigzag(x, y));
+                let expect = hoare(a, b, zigzag);
                 let got = reachable(a, b, zigzag, StepKind::Set, ClosureConfig::default());
                 assert_eq!(got, expect, "hoare mismatch for {a:?} vs {b:?}");
             }
@@ -265,7 +261,7 @@ mod tests {
             .collect();
         for a in &subsets {
             for b in &subsets {
-                let expect = smyth(a, b, |x, y| zigzag(x, y));
+                let expect = smyth(a, b, zigzag);
                 let got = reachable(a, b, zigzag, StepKind::OrSet, ClosureConfig::default());
                 assert_eq!(got, expect, "smyth mismatch for {a:?} vs {b:?}");
             }
@@ -281,10 +277,8 @@ mod tests {
         let antichains: Vec<&Vec<u8>> = all
             .iter()
             .filter(|s| {
-                s.iter().all(|x| {
-                    s.iter()
-                        .all(|y| x == y || (!zigzag(x, y) && !zigzag(y, x)))
-                })
+                s.iter()
+                    .all(|x| s.iter().all(|y| x == y || (!zigzag(x, y) && !zigzag(y, x))))
             })
             .collect();
         let cfg = ClosureConfig {
@@ -293,7 +287,7 @@ mod tests {
         };
         for a in &antichains {
             for b in &antichains {
-                let expect = hoare(a, b, |x, y| zigzag(x, y));
+                let expect = hoare(a, b, zigzag);
                 let got = reachable(a, b, zigzag, StepKind::Set, cfg);
                 assert_eq!(got, expect, "antichain hoare mismatch for {a:?} vs {b:?}");
             }
@@ -308,10 +302,8 @@ mod tests {
         let antichains: Vec<&Vec<u8>> = all
             .iter()
             .filter(|s| {
-                s.iter().all(|x| {
-                    s.iter()
-                        .all(|y| x == y || (!zigzag(x, y) && !zigzag(y, x)))
-                })
+                s.iter()
+                    .all(|x| s.iter().all(|y| x == y || (!zigzag(x, y) && !zigzag(y, x))))
             })
             .collect();
         let cfg = ClosureConfig {
@@ -320,7 +312,7 @@ mod tests {
         };
         for a in &antichains {
             for b in &antichains {
-                let expect = smyth(a, b, |x, y| zigzag(x, y));
+                let expect = smyth(a, b, zigzag);
                 let got = reachable(a, b, zigzag, StepKind::OrSet, cfg);
                 assert_eq!(got, expect, "antichain smyth mismatch for {a:?} vs {b:?}");
             }

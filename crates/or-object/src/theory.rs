@@ -23,7 +23,7 @@
 //! [`separating_formula`] constructs — following the proof of the
 //! proposition — a witness `φ ∈ Th(y) \ Th(x)` whenever `x ⋢ y`.
 //!
-//! The only caveat (documented in DESIGN.md) concerns the *empty or-set*:
+//! The only caveat concerns the *empty or-set*:
 //! with the minimal-theory reading, `Th(< >)` is empty, so the right-to-left
 //! direction of Proposition 3.4 can fail on objects containing empty or-sets.
 //! The paper regards such objects as conceptually inconsistent; all results
@@ -64,9 +64,12 @@ impl Formula {
     /// Disjunction of a non-empty list of formulae (right-nested).
     pub fn or_all(mut items: Vec<Formula>) -> Option<Formula> {
         let last = items.pop()?;
-        Some(items.into_iter().rev().fold(last, |acc, f| {
-            Formula::Or(Box::new(f), Box::new(acc))
-        }))
+        Some(
+            items
+                .into_iter()
+                .rev()
+                .fold(last, |acc, f| Formula::Or(Box::new(f), Box::new(acc))),
+        )
     }
 
     /// Pairing connective.
@@ -157,7 +160,7 @@ pub fn canonical_formula(x: &Value) -> Option<Formula> {
 /// the same type.  Returns `None` when `x ⊑ y` (no separating formula exists
 /// by Proposition 3.4) or when the construction cannot produce a witness
 /// (this can happen for objects containing empty or-sets, and — a genuine
-/// subtlety of the ∨-only language documented in EXPERIMENTS.md — for or-sets
+/// subtlety of the ∨-only language, measured by experiment E10 — for or-sets
 /// whose elements themselves contain or-sets).
 ///
 /// Whenever a formula is returned it is *sound*: it is entailed by `y` and
@@ -315,8 +318,16 @@ mod tests {
     fn box_means_all_elements() {
         let base = BaseOrder::NumericLeq;
         let s = Value::int_set([1, 2, 3]);
-        assert!(entails(base, &s, &Formula::box_(Formula::is(Value::Int(5)))));
-        assert!(!entails(base, &s, &Formula::box_(Formula::is(Value::Int(2)))));
+        assert!(entails(
+            base,
+            &s,
+            &Formula::box_(Formula::is(Value::Int(5)))
+        ));
+        assert!(!entails(
+            base,
+            &s,
+            &Formula::box_(Formula::is(Value::Int(2)))
+        ));
         // empty set satisfies every box formula
         assert!(entails(
             base,
@@ -329,8 +340,16 @@ mod tests {
     fn diamond_means_some_element() {
         let base = BaseOrder::NumericLeq;
         let o = Value::int_orset([1, 5]);
-        assert!(entails(base, &o, &Formula::diamond(Formula::is(Value::Int(1)))));
-        assert!(!entails(base, &o, &Formula::diamond(Formula::is(Value::Int(0)))));
+        assert!(entails(
+            base,
+            &o,
+            &Formula::diamond(Formula::is(Value::Int(1)))
+        ));
+        assert!(!entails(
+            base,
+            &o,
+            &Formula::diamond(Formula::is(Value::Int(0)))
+        ));
         // empty or-set satisfies no diamond formula
         assert!(!entails(
             base,
@@ -398,9 +417,7 @@ mod tests {
     fn proposition_3_4_left_to_right_on_samples() {
         // x ⊑ y implies Th(x) ⊇ Th(y), spot-checked on generated formulae.
         let base = BaseOrder::FlatWithNull;
-        let x = Value::set([
-            Value::pair(Value::Null, Value::str("515")),
-        ]);
+        let x = Value::set([Value::pair(Value::Null, Value::str("515"))]);
         let y = Value::set([
             Value::pair(Value::str("Joe"), Value::str("515")),
             Value::pair(Value::str("Bill"), Value::str("212")),
@@ -409,8 +426,14 @@ mod tests {
         let formulas = [
             canonical_formula(&y).unwrap(),
             Formula::box_(Formula::or(
-                Formula::both(Formula::is(Value::str("Joe")), Formula::is(Value::str("515"))),
-                Formula::both(Formula::is(Value::str("Bill")), Formula::is(Value::str("212"))),
+                Formula::both(
+                    Formula::is(Value::str("Joe")),
+                    Formula::is(Value::str("515")),
+                ),
+                Formula::both(
+                    Formula::is(Value::str("Bill")),
+                    Formula::is(Value::str("212")),
+                ),
             )),
         ];
         for phi in &formulas {

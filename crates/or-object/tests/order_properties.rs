@@ -19,7 +19,7 @@ fn small_sets() -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn divides(a: &u8, b: &u8) -> bool {
-    b % a == 0
+    b.is_multiple_of(*a)
 }
 
 proptest! {

@@ -1,0 +1,331 @@
+//! A minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this shim implements the
+//! subset of the criterion API the `or-bench` benchmarks use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up within the configured
+//! warm-up budget (which also estimates the per-iteration cost), then timed
+//! for `sample_size` samples, each sample running as many iterations as fit
+//! in `measurement_time / sample_size`.  Results are printed as
+//! `name  time: [min mean max]` and collected in a machine-readable report
+//! via [`Criterion::take_results`].
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus a displayable parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("scan", 1024)` displays as `scan/1024`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// One measured benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function[/param]` path of the benchmark.
+    pub id: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+
+    /// Drain the results recorded so far (used by JSON emitters).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark `f`, identified by `id` (a `&str` or [`BenchmarkId`]).
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = self.qualify(id.into());
+        let result = run_benchmark(
+            &id,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            &mut |b| f(b),
+        );
+        self.parent.results.push(result);
+        self
+    }
+
+    /// Benchmark `f` with an input reference.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = self.qualify(id.into());
+        let result = run_benchmark(
+            &id,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            &mut |b| f(b, input),
+        );
+        self.parent.results.push(result);
+        self
+    }
+
+    /// End the group (kept for API parity; results are already recorded).
+    pub fn finish(&mut self) {}
+
+    fn qualify(&self, id: BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.name
+        } else {
+            format!("{}/{}", self.name, id.name)
+        }
+    }
+}
+
+/// The per-benchmark timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations the next `iter` call must perform (set by the harness).
+    budget: u64,
+    /// Duration of the most recent `iter` call.
+    elapsed: Duration,
+    /// Iterations performed by the most recent `iter` call.
+    iters: u64,
+}
+
+impl Bencher {
+    fn with_budget(budget: u64) -> Bencher {
+        Bencher {
+            budget: budget.max(1),
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Run the routine for the harness-chosen number of iterations and record
+    /// the elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.budget {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.budget;
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    run: &mut dyn FnMut(&mut Bencher),
+) -> BenchResult {
+    // Warm-up: single-iteration runs until the budget is spent; the last run
+    // estimates the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        let mut b = Bencher::with_budget(1);
+        run(&mut b);
+        if b.iters > 0 {
+            per_iter = b.elapsed.max(Duration::from_nanos(1));
+        }
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+    }
+
+    // Fit sample_size samples into the measurement budget.
+    let per_sample = measurement / sample_size.max(1) as u32;
+    let iters_per_sample =
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher::with_budget(iters_per_sample);
+        run(&mut b);
+        if b.iters > 0 {
+            samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            total_iters += b.iters;
+        }
+    }
+    if samples_ns.is_empty() {
+        // the closure never called `iter`; fall back to the warm-up estimate
+        samples_ns.push(per_iter.as_nanos() as f64);
+    }
+    let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+    BenchResult {
+        id: id.to_string(),
+        min_ns: min,
+        mean_ns: mean,
+        max_ns: max,
+        iterations: total_iters,
+    }
+}
+
+/// Format nanoseconds with an adaptive unit, criterion-style.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_record_results() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+            g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].id.starts_with("g/"));
+        assert!(results.iter().all(|r| r.mean_ns > 0.0));
+    }
+}

@@ -1,0 +1,440 @@
+//! A minimal, offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim provides the
+//! subset of proptest the test suites use: the [`Strategy`] trait with
+//! `prop_map`, integer-range and tuple strategies, [`collection::vec`],
+//! `any::<T>()`, the [`proptest!`] macro with `#![proptest_config(..)]`
+//! support, and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its deterministic case seed
+//!   instead of a minimized input;
+//! * **deterministic inputs** — cases are generated from a fixed per-test
+//!   seed (derived from the test's name), so runs are reproducible;
+//! * rejected cases (`prop_assume!`) are retried with fresh input up to a
+//!   bounded factor, as in the original.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Configuration and runtime plumbing used by the [`proptest!`] macro.
+
+    /// Subset of proptest's configuration: only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases required per property.
+        pub cases: u32,
+        /// Accepted for API parity with real proptest; this shim does not
+        /// shrink, so the value is ignored.
+        pub max_shrink_iters: u32,
+        /// Accepted for API parity; rejected-case retries are bounded by a
+        /// fixed multiple of `cases` instead.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 1024,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case asked to be discarded (`prop_assume!` failed).
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Construct a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The deterministic RNG driving input generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        /// RNG for case number `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u64) -> TestRng {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            use rand::SeedableRng;
+            TestRng(rand::rngs::StdRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+
+        /// The next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.0.next_u64()
+        }
+
+        /// A uniform sample from an inclusive integer range.
+        pub fn below(&mut self, n: u64) -> u64 {
+            use rand::Rng;
+            self.0.gen_range(0..n.max(1))
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generation strategy for values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a deterministic function of the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((self.start as i128) + off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((lo as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a canonical "anything" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Produce an arbitrary value from raw random bits.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for an arbitrary value of `T` — see [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// `Just(v)`: always produce a clone of `v`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset: `vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable length specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The items `use proptest::prelude::*` is expected to bring in scope.
+
+    pub use crate::collection;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Assert a condition inside a property, failing the case (not panicking
+/// directly) so the harness can report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Discard the current case (it does not count towards `cases`) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// The property-test macro.  Supports an optional leading
+/// `#![proptest_config(..)]` and any number of `fn name(pat in strategy, ..)
+/// { body }` items (doc comments and `#[test]` attributes included).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal item-muncher for [`proptest!`].  Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.cases as u64;
+            let max_attempts = cases.saturating_mul(16).max(64);
+            let mut passed = 0u64;
+            let mut attempt = 0u64;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            while passed < cases {
+                if attempt >= max_attempts {
+                    panic!(
+                        "proptest {test_name}: too many rejected cases \
+                         ({passed}/{cases} passed after {attempt} attempts)"
+                    );
+                }
+                let mut rng = $crate::test_runner::TestRng::for_case(test_name, attempt);
+                attempt += 1;
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {test_name} failed at case seed {} : {msg}",
+                            attempt - 1
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Generated integers respect their range strategy.
+        #[test]
+        fn ranges_respected(x in -5i64..5, y in 1usize..=3) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        /// Tuples, maps, vec and assume compose.
+        #[test]
+        fn combinators_compose((a, b) in (0i64..6, 0i64..6).prop_map(|(x, y)| (x, x + y)),
+                               v in collection::vec(0u8..4, 0..5)) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(b >= a);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

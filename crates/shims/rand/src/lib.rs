@@ -1,0 +1,202 @@
+//! A minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment of this repository is fully offline, so the real
+//! `rand` cannot be fetched from crates.io.  This shim implements exactly the
+//! API surface the workspace uses — [`rngs::StdRng`], [`SeedableRng`], and the
+//! [`Rng`] extension trait with `gen`, `gen_range`, `gen_bool` and
+//! `gen_ratio` — on top of the SplitMix64 generator.  It is deterministic per
+//! seed (which is all the workload generators require), uniform enough for
+//! synthetic data, and explicitly **not** cryptographically secure.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the full output of the RNG
+/// (the shim's analogue of sampling from the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Produce a value from one 64-bit random word.
+    fn from_random_u64(word: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn from_random_u64(word: u64) -> bool {
+        word & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_random_u64(word: u64) -> u64 {
+        word
+    }
+}
+
+impl Standard for u32 {
+    fn from_random_u64(word: u64) -> u32 {
+        (word >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn from_random_u64(word: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types that can be sampled uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample uniformly from the inclusive range `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Sample uniformly from the half-open range `[lo, hi)`.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                // Modulo bias is negligible for the small spans used by the
+                // workload generators (span ≪ 2^64).
+                let offset = (rng.next_u64() as i128).rem_euclid(span);
+                ((lo as i128) + offset) as $t
+            }
+
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample from empty range");
+                let span = (hi as i128) - (lo as i128);
+                let offset = (rng.next_u64() as i128).rem_euclid(span);
+                ((lo as i128) + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Range arguments accepted by [`Rng::gen_range`] (subset of
+/// `rand::distributions::uniform::SampleRange`).  The impls are blanket over
+/// `T: SampleUniform`, matching real rand — this is what lets type inference
+/// flow from the use site into untyped range literals.
+pub trait SampleRange<T> {
+    /// Draw one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The user-facing random-value trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A random value of `T` (only the types the workspace samples are
+    /// supported: `bool`, `u32`, `u64`, `f64`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_random_u64(self.next_u64())
+    }
+
+    /// A uniform value in `range` (half-open or inclusive).
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        self.gen_range(0..denominator) < numerator
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's "standard" generator: SplitMix64.  Fast, tiny state, and
+    /// passes the statistical needs of synthetic workload generation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y: usize = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&y));
+            let z: u8 = rng.gen_range(0..3u8);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn gen_ratio_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..4000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!(hits > 800 && hits < 1200, "hits = {hits}");
+    }
+}

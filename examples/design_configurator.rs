@@ -46,7 +46,10 @@ fn main() {
     // Structural query: the recorded options for one component.
     println!("choices for the cpu component:");
     for option in template.choices_for("cpu").unwrap() {
-        println!("  {} ({} credits, {})", option.module, option.cost, option.vendor);
+        println!(
+            "  {} ({} credits, {})",
+            option.module, option.cost, option.vendor
+        );
     }
 
     // Conceptual queries.
@@ -87,6 +90,10 @@ fn main() {
     let (witness, inspected) = big.exists_design_within_budget(10 * 60).unwrap();
     println!(
         "  budget query inspected {inspected} candidates and {}",
-        if witness.is_some() { "found a design" } else { "found nothing" }
+        if witness.is_some() {
+            "found a design"
+        } else {
+            "found nothing"
+        }
     );
 }

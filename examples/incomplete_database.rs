@@ -26,7 +26,9 @@ fn main() {
         ],
     )
     .unwrap();
-    table.insert(vec![Cell::str("Joe"), Cell::int(515)]).unwrap();
+    table
+        .insert(vec![Cell::str("Joe"), Cell::int(515)])
+        .unwrap();
     table.insert(vec![Cell::Null, Cell::int(212)]).unwrap();
     table.insert(vec![Cell::str("Mary"), Cell::Null]).unwrap();
     println!(

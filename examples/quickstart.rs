@@ -41,7 +41,11 @@ fn main() {
     //    "is there a completed design that uses module 7?"
     // ------------------------------------------------------------------
     let uses_module_7 = or_nra::derived::exists(
-        Morphism::Proj2.then(Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(7))))
+        Morphism::Proj2
+            .then(Morphism::pair(
+                Morphism::Id,
+                Morphism::constant(Value::Int(7)),
+            ))
             .then(Morphism::Eq),
     );
     let query = Morphism::Normalize.then(or_exists(uses_module_7));

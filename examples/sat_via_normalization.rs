@@ -52,7 +52,10 @@ fn main() {
     describe("contradictory formula", &contradiction);
 
     let mut gen = CnfGenerator::new(2026);
-    describe("random 3-CNF (8 vars, 9 clauses)", &gen.random_kcnf(8, 9, 3));
+    describe(
+        "random 3-CNF (8 vars, 9 clauses)",
+        &gen.random_kcnf(8, 9, 3),
+    );
     describe(
         "planted satisfiable 3-CNF (7 vars, 9 clauses)",
         &gen.planted_satisfiable(7, 9, 3),

@@ -14,15 +14,21 @@
 //! * [`or_lang`] — OrQL, the comprehension-based surface language (the
 //!   OR-SML analogue) with type checker, compiler to or-NRA and REPL;
 //! * [`or_db`] — the design/planning database substrate: record schemas,
-//!   relations, Codd-table import, and synthetic workload generators.
+//!   relations, Codd-table import, and synthetic workload generators;
+//! * [`or_engine`] — the streaming, parallel physical query engine:
+//!   or-NRA⁺ morphisms lower to volcano-style plans executed over
+//!   partitioned relation scans with per-worker batches.
 //!
-//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
-//! and per-experiment index, and `EXPERIMENTS.md` for the reproduction of
-//! every quantitative claim of the paper.
+//! See the repository's `README.md` for a guided tour (crate map, the
+//! engine's operator model, and how to run the experiment suite).  The
+//! `experiments` binary in `or-bench` reproduces the quantitative claims
+//! (experiments E1–E12) and measures the engine against the interpreter
+//! (E13, archived as `BENCH_engine.json`).
 
 #![warn(missing_docs)]
 
 pub use or_db;
+pub use or_engine;
 pub use or_lang;
 pub use or_logic;
 pub use or_nra;

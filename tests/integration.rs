@@ -9,7 +9,7 @@ use or_lang::{compile_query, parse};
 use or_logic::cnf::CnfGenerator;
 use or_logic::encode;
 use or_nra::coherence::check_coherence;
-use or_nra::derived::{or_exists, exists};
+use or_nra::derived::{exists, or_exists};
 use or_nra::expand::expand_normalize;
 use or_nra::lazy::LazyNormalizer;
 use or_nra::morphism::{Morphism, Prim};
@@ -65,28 +65,28 @@ fn budget_query_agrees_between_algebra_domain_and_orql() {
     let domain_answer = witness.is_some();
 
     // Direct baseline.
-    let direct_answer = template.cheapest_cost_direct().map(|c| c <= 17).unwrap_or(false);
+    let direct_answer = template
+        .cheapest_cost_direct()
+        .map(|c| c <= 17)
+        .unwrap_or(false);
     assert_eq!(domain_answer, direct_answer);
 
     // Algebra layer over a simplified cost-only encoding of the template:
     // an or-set of costs per component.
-    let costs = Value::set(
-        template
-            .components
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                Value::pair(
-                    Value::Int(i as i64),
-                    Value::orset(c.options.iter().map(|o| Value::Int(o.cost))),
-                )
-            }),
-    );
+    let costs = Value::set(template.components.iter().enumerate().map(|(i, c)| {
+        Value::pair(
+            Value::Int(i as i64),
+            Value::orset(c.options.iter().map(|o| Value::Int(o.cost))),
+        )
+    }));
     // "is there a completed choice whose costs are all <= 9?"  (a simpler
     // predicate than summation, which or-NRA cannot express without folds)
     let all_cheap = exists(
         Morphism::Proj2
-            .then(Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(9))))
+            .then(Morphism::pair(
+                Morphism::Id,
+                Morphism::constant(Value::Int(9)),
+            ))
             .then(Morphism::Prim(Prim::Leq))
             .then(Morphism::Prim(Prim::Not)),
     )
@@ -107,25 +107,20 @@ fn budget_query_agrees_between_algebra_domain_and_orql() {
 #[test]
 fn orql_session_and_relation_queries_agree() {
     // per-person possible offices
-    let mut workload_free_rows = vec![
+    let mut workload_free_rows = [
         ("Joe", vec![515]),
         ("Mary", vec![515, 212]),
         ("Bill", vec![212, 614]),
     ];
     workload_free_rows.sort();
     let db = Value::set(workload_free_rows.iter().map(|(name, offices)| {
-        Value::pair(
-            Value::str(*name),
-            Value::int_orset(offices.iter().copied()),
-        )
+        Value::pair(Value::str(*name), Value::int_orset(offices.iter().copied()))
     }));
 
     // or-NRA query: who possibly sits in 212?
-    let possibly_212 = or_nra::derived::select(
-        Morphism::Proj2.then(or_nra::derived::or_exists(
-            Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(212))).then(Morphism::Eq),
-        )),
-    )
+    let possibly_212 = or_nra::derived::select(Morphism::Proj2.then(or_nra::derived::or_exists(
+        Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(212))).then(Morphism::Eq),
+    )))
     .then(Morphism::map(Morphism::Proj1));
     let algebra = eval(&possibly_212, &db).unwrap();
 
@@ -136,7 +131,10 @@ fn orql_session_and_relation_queries_agree() {
         .run("{ fst(r) | r <- offices, ormember(212, snd(r)) }")
         .unwrap();
     assert_eq!(orql.value, algebra);
-    assert_eq!(algebra, Value::set([Value::str("Bill"), Value::str("Mary")]));
+    assert_eq!(
+        algebra,
+        Value::set([Value::str("Bill"), Value::str("Mary")])
+    );
 }
 
 #[test]
@@ -161,7 +159,10 @@ fn codd_tables_round_trip_through_normalization() {
             assert!(bin.as_int().is_some());
         }
     }
-    assert_eq!(rel.possibility_count() as usize, completions.elements().unwrap().len());
+    assert_eq!(
+        rel.possibility_count() as usize,
+        completions.elements().unwrap().len()
+    );
 }
 
 #[test]
@@ -171,7 +172,10 @@ fn sat_reduction_agrees_with_dpll_on_a_workload() {
         let cnf = gen.random_kcnf(4 + round % 3, 4 + (round as usize % 5), 3);
         let dpll = encode::sat_by_dpll(&cnf);
         assert_eq!(encode::sat_by_eager_normalization(&cnf).unwrap(), dpll);
-        assert_eq!(encode::sat_by_lazy_normalization(&cnf).unwrap().satisfiable, dpll);
+        assert_eq!(
+            encode::sat_by_lazy_normalization(&cnf).unwrap().satisfiable,
+            dpll
+        );
     }
 }
 

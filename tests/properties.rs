@@ -18,8 +18,8 @@ use or_nra::normalize::{
     RewriteStrategy,
 };
 use or_nra::optimize::simplified;
-use or_nra::preserve::is_lossless_on;
 use or_nra::prelude::eval;
+use or_nra::preserve::is_lossless_on;
 use or_object::alpha::{alpha_antichain, alpha_set, beta_antichain};
 use or_object::antichain::{is_antichain_object, to_antichain};
 use or_object::generate::{GenConfig, Generator};
@@ -297,6 +297,42 @@ proptest! {
         let expected = or_logic::encode::sat_by_dpll(&cnf);
         prop_assert_eq!(or_logic::encode::sat_by_lazy_normalization(&cnf).unwrap().satisfiable, expected);
         prop_assert_eq!(or_logic::encode::sat_by_eager_normalization(&cnf).unwrap(), expected);
+    }
+
+    /// Differential test: the physical engine agrees with the interpreter on
+    /// every lowerable query over generated relations, in both sequential
+    /// and multi-worker configurations.
+    #[test]
+    fn engine_agrees_with_interpreter(seed in any::<u64>(), rows in 1usize..=40, workers in 1usize..=4) {
+        use or_engine::{run_morphism_on_value, ExecConfig};
+        use or_nra::derived;
+        use or_nra::Prim;
+
+        // relation of (id, (cost, <alternatives>)) records, derived
+        // deterministically from the seed
+        let relation = Value::set((0..rows as i64).map(|i| {
+            let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+            let cost = (h % 50) as i64;
+            let alts = Value::int_orset((0..1 + (i % 3)).map(|k| ((h >> 8) % 5) as i64 + k));
+            Value::pair(Value::Int(i), Value::pair(Value::Int(cost), alts))
+        }));
+        let cheap = Morphism::Proj2
+            .then(Morphism::Proj1)
+            .then(Morphism::pair(Morphism::Id, Morphism::constant(Value::Int(25))))
+            .then(Morphism::Prim(Prim::Leq));
+        let queries = vec![
+            Morphism::Id,
+            Morphism::map(Morphism::Proj1),
+            derived::select(cheap.clone()),
+            derived::select(cheap).then(Morphism::map(Morphism::Proj2)),
+            Morphism::map(Morphism::Normalize.then(Morphism::OrToSet)).then(Morphism::Mu),
+        ];
+        let config = ExecConfig::default().with_workers(workers).with_batch_size(8);
+        for q in queries {
+            let expected = eval(&q, &relation).unwrap();
+            let got = run_morphism_on_value(&relation, &q, config).unwrap();
+            prop_assert_eq!(got, expected, "engine disagreed on {} ({} workers)", q, workers);
+        }
     }
 
     /// OrQL: the interpreter and the compiled algebra agree on parameterized
