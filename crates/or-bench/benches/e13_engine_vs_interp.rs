@@ -7,9 +7,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use or_bench::experiments::{
-    alternatives_relation, e13_expand_query, e13_scan_query, priced_relation,
+    alternatives_relation, e13_expand_query, e13_planned_query, e13_scan_query, fanout_relation,
+    priced_relation,
 };
-use or_engine::{run_plan, ExecConfig};
+use or_engine::{run_plan, run_plan_optimized, ExecConfig};
 use or_nra::optimize::lower;
 use or_nra::prelude::eval;
 
@@ -56,6 +57,32 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("expand/engine_par", |b| {
         b.iter(|| run_plan(&expand_plan, &[&relation], par).expect("engine"))
+    });
+
+    // -- high-fanout α-expansion (32 worlds per row) ------------------------
+    let fanout = fanout_relation(200);
+    let fanout_value = fanout.to_value();
+    group.bench_function("expand_fanout8/interp", |b| {
+        b.iter(|| eval(&expand_query, &fanout_value).expect("interpreter"))
+    });
+    group.bench_function("expand_fanout8/engine_seq", |b| {
+        b.iter(|| run_plan(&expand_plan, &[&fanout], seq).expect("engine"))
+    });
+    group.bench_function("expand_fanout8/engine_par", |b| {
+        b.iter(|| run_plan(&expand_plan, &[&fanout], par).expect("engine"))
+    });
+
+    // -- expand-then-filter, with and without the expand planner ------------
+    let planned_query = e13_planned_query(50);
+    let planned_plan = lower(&planned_query).expect("planned query is lowerable");
+    group.bench_function("expand_planned/interp", |b| {
+        b.iter(|| eval(&planned_query, &fanout_value).expect("interpreter"))
+    });
+    group.bench_function("expand_planned/engine_unplanned", |b| {
+        b.iter(|| run_plan(&planned_plan, &[&fanout], seq).expect("engine"))
+    });
+    group.bench_function("expand_planned/engine_planned", |b| {
+        b.iter(|| run_plan_optimized(&planned_plan, &[&fanout], par).expect("engine"))
     });
 
     group.finish();

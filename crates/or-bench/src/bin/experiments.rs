@@ -8,12 +8,28 @@
 //! Running `e13` (alone or as part of the full suite) additionally writes
 //! `BENCH_engine.json` — the machine-readable engine-vs-interpreter
 //! measurements tracked across PRs.
+//!
+//! ## Regression checking
+//!
+//! ```text
+//! experiments -- check-regression [--max-slowdown 1.15] [--baseline PATH]
+//! ```
+//!
+//! reads the **committed** baseline (default `BENCH_engine.json`), re-runs
+//! the e13 measurements, and exits non-zero if any workload's
+//! `speedup_vs_interp` fell below `baseline / max-slowdown`, if any
+//! engine/interpreter cross-check failed, or if a baseline workload
+//! disappeared.  The fresh measurements are **not** written back — the
+//! committed file stays the baseline of record.
 
 use or_bench::experiments;
 use or_bench::Table;
 
 /// A named experiment runner.
 type Experiment = (&'static str, fn() -> Table);
+
+/// The driving-relation scale shared by `e13` and `check-regression`.
+const E13_SCALE: usize = 20_000;
 
 fn all() -> Vec<Experiment> {
     vec![
@@ -30,7 +46,7 @@ fn all() -> Vec<Experiment> {
         ("e11", || experiments::e11_normalize_expansion(10)),
         ("e12", experiments::e12_lazy_vs_eager),
         ("e13", || {
-            let rows = experiments::e13_engine_rows(20_000);
+            let rows = experiments::e13_engine_rows(E13_SCALE);
             let json = experiments::engine_bench_json(&rows);
             match std::fs::write("BENCH_engine.json", &json) {
                 Ok(()) => eprintln!("wrote BENCH_engine.json"),
@@ -41,8 +57,71 @@ fn all() -> Vec<Experiment> {
     ]
 }
 
+/// `check-regression`: compare a fresh e13 run against the committed
+/// baseline; process exit code 1 on any regression.
+fn check_regression(args: &[String]) -> i32 {
+    let mut max_slowdown = 1.15f64;
+    let mut baseline_path = "BENCH_engine.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-slowdown" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 1.0 => max_slowdown = v,
+                _ => {
+                    eprintln!("--max-slowdown expects a number >= 1.0");
+                    return 2;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = p.clone(),
+                None => {
+                    eprintln!("--baseline expects a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown check-regression argument: {other}");
+                return 2;
+            }
+        }
+    }
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("could not read baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let baseline = experiments::parse_engine_bench(&baseline_json);
+    if baseline.is_empty() {
+        eprintln!("baseline {baseline_path} contains no workloads");
+        return 2;
+    }
+    eprintln!("measuring fresh e13 rows (scale {E13_SCALE})...");
+    let fresh = experiments::e13_engine_rows(E13_SCALE);
+    println!("{}", experiments::e13_table_from_rows(&fresh));
+    let verdicts = experiments::check_regression(&baseline, &fresh, max_slowdown);
+    let mut failed = false;
+    for v in &verdicts {
+        let mark = if v.ok { "ok  " } else { "FAIL" };
+        println!("{mark}  {:<22} {}", v.workload, v.detail);
+        failed |= !v.ok;
+    }
+    if failed {
+        eprintln!("bench regression detected (max-slowdown {max_slowdown})");
+        1
+    } else {
+        eprintln!("no bench regression (max-slowdown {max_slowdown})");
+        0
+    }
+}
+
 fn main() {
-    let requested: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check-regression") {
+        std::process::exit(check_regression(&args[1..]));
+    }
+    let requested: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
     let mut ran = 0;
     for (name, run) in all() {
         if !requested.is_empty() && !requested.iter().any(|r| r == name) {

@@ -725,10 +725,11 @@ impl EngineBenchRow {
 }
 
 /// Run `f` several times and report the result with the **minimum** wall
-/// time, so one-time warm-up cost (allocator, page faults) does not land in
-/// the perf trajectory.
+/// time, so one-time warm-up cost (allocator, page faults) and scheduler
+/// noise do not land in the perf trajectory (the minimum is the standard
+/// low-variance estimator for CI regression gating).
 fn timed<T>(mut f: impl FnMut() -> T) -> (T, f64) {
-    const RUNS: usize = 3;
+    const RUNS: usize = 5;
     let mut best_ms = f64::INFINITY;
     let mut out = None;
     for _ in 0..RUNS {
@@ -779,6 +780,31 @@ pub fn alternatives_relation(rows: usize) -> or_db::Relation {
     .expect("records match the schema")
 }
 
+/// The e13 high-fanout relation: `(id, (<8 cpu alts>, <4 ram alts>))`
+/// records, 32 possible worlds per row.
+pub fn fanout_relation(rows: usize) -> or_db::Relation {
+    let schema = or_db::Schema::new([
+        or_db::Field::new("id", Type::Int),
+        or_db::Field::new("cpu", Type::orset(Type::Int)),
+        or_db::Field::new("ram", Type::orset(Type::Int)),
+    ])
+    .expect("schema is well-formed");
+    or_db::Relation::from_records(
+        "fanout8",
+        schema,
+        (0..rows as i64).map(|i| {
+            Value::pair(
+                Value::Int(i),
+                Value::pair(
+                    Value::int_orset((0..8).map(|k| (i + k) % 11)),
+                    Value::int_orset((0..4).map(|k| (i * 3 + k) % 7)),
+                ),
+            )
+        }),
+    )
+    .expect("records match the schema")
+}
+
 /// The e13 filter-and-project query (`cost ≤ 30`, keep ids).
 pub fn e13_scan_query() -> M {
     let cheap = M::Proj2
@@ -792,64 +818,127 @@ pub fn e13_expand_query() -> M {
     M::map(M::Normalize.then(M::OrToSet)).then(M::Mu)
 }
 
-/// Run the engine-vs-interpreter comparison at the given driving-relation
-/// scale and return the measured rows.
-pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
-    use or_engine::{run_plan, ExecConfig};
+/// The e13 expand-then-filter query: α-expand every row, then keep worlds
+/// with `id ≤ limit`.  The filter reads only the or-free `id` field, so the
+/// expand planner can push it below the expansion.
+pub fn e13_planned_query(limit: i64) -> M {
+    let keep = M::Proj1
+        .then(M::pair(M::Id, M::constant(Value::Int(limit))))
+        .then(M::Prim(or_nra::Prim::Leq));
+    e13_expand_query().then(or_nra::derived::select(keep))
+}
+
+/// Measure one `relation × query` workload: interpreter, sequential engine,
+/// and parallel engine (the parallel leg reports the worker count the
+/// executor **actually used**, via [`or_engine::ExecStats`] — not the
+/// hardware thread count the config asked for).
+fn measure_workload(name: &str, relation: &or_db::Relation, query: &M) -> EngineBenchRow {
+    use or_engine::{run_plan, run_plan_with_stats, ExecConfig};
     use or_nra::optimize::lower;
 
-    let workers = std::thread::available_parallelism()
+    let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let seq = ExecConfig::default();
-    let par = ExecConfig::default().with_workers(workers);
+    let par = ExecConfig::default().with_workers(available);
+    let plan = lower(query).expect("workload query is lowerable");
+    let (interp, interp_ms) = timed(|| relation.query(query).expect("interpreter"));
+    let (eng_seq, engine_seq_ms) =
+        timed(|| run_plan(&plan, &[relation], seq).expect("engine sequential"));
+    let ((eng_par, stats), engine_par_ms) =
+        timed(|| run_plan_with_stats(&plan, &[relation], par).expect("engine parallel"));
+    EngineBenchRow {
+        workload: name.to_string(),
+        rows: relation.len(),
+        interp_ms,
+        engine_seq_ms,
+        engine_par_ms,
+        workers: stats.workers,
+        equal: interp == eng_seq && eng_seq == eng_par,
+    }
+}
+
+/// Measure a workload through the **expand planner**
+/// ([`or_engine::run_plan_optimized`]): the sequential leg runs the
+/// unoptimized plan (the "before"), the parallel leg runs the planned plan
+/// at the planner's recommended worker count (the "after").
+fn measure_planned_workload(name: &str, relation: &or_db::Relation, query: &M) -> EngineBenchRow {
+    use or_engine::{run_plan, run_plan_optimized, ExecConfig};
+    use or_nra::optimize::lower;
+
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let seq = ExecConfig::default();
+    let par = ExecConfig::default().with_workers(available);
+    let plan = lower(query).expect("workload query is lowerable");
+    let (interp, interp_ms) = timed(|| relation.query(query).expect("interpreter"));
+    let (eng_seq, engine_seq_ms) =
+        timed(|| run_plan(&plan, &[relation], seq).expect("engine sequential"));
+    let ((eng_par, stats), engine_par_ms) = timed(|| {
+        let (value, stats, _) =
+            run_plan_optimized(&plan, &[relation], par).expect("engine planned");
+        (value, stats)
+    });
+    EngineBenchRow {
+        workload: name.to_string(),
+        rows: relation.len(),
+        interp_ms,
+        engine_seq_ms,
+        engine_par_ms,
+        workers: stats.workers,
+        equal: interp == eng_seq && eng_seq == eng_par,
+    }
+}
+
+/// Run the engine-vs-interpreter comparison at the given driving-relation
+/// scale and return the measured rows.
+pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
     let mut out = Vec::new();
 
     // 1. partitioned scan: filter + project over (id, cost) records
-    {
-        let relation = priced_relation(scale);
-        let query = e13_scan_query();
-        let plan = lower(&query).expect("scan query is lowerable");
-        let (interp, interp_ms) = timed(|| relation.query(&query).expect("interpreter"));
-        let (eng_seq, engine_seq_ms) =
-            timed(|| run_plan(&plan, &[&relation], seq).expect("engine sequential"));
-        let (eng_par, engine_par_ms) =
-            timed(|| run_plan(&plan, &[&relation], par).expect("engine parallel"));
-        out.push(EngineBenchRow {
-            workload: "scan_filter_project".to_string(),
-            rows: relation.len(),
-            interp_ms,
-            engine_seq_ms,
-            engine_par_ms,
-            workers,
-            equal: interp == eng_seq && eng_seq == eng_par,
-        });
-    }
+    out.push(measure_workload(
+        "scan_filter_project",
+        &priced_relation(scale),
+        &e13_scan_query(),
+    ));
 
     // 2. or-expand: stream every complete instance of every record
+    out.push(measure_workload(
+        "or_expand",
+        &alternatives_relation(scale / 4),
+        &e13_expand_query(),
+    ));
+
+    // 2b. high-fanout or-expand: 32 possible worlds per row
+    out.push(measure_workload(
+        "or_expand_fanout8",
+        &fanout_relation(scale / 16),
+        &e13_expand_query(),
+    ));
+
+    // 2c. expand-then-filter through the expand planner: the filter reads
+    // only the or-free id field, so the planner pushes it below the
+    // expansion (selectivity 25%)
     {
-        let relation = alternatives_relation(scale / 4);
-        let query = e13_expand_query();
-        let plan = lower(&query).expect("expand query is lowerable");
-        let (interp, interp_ms) = timed(|| relation.query(&query).expect("interpreter"));
-        let (eng_seq, engine_seq_ms) =
-            timed(|| run_plan(&plan, &[&relation], seq).expect("engine sequential"));
-        let (eng_par, engine_par_ms) =
-            timed(|| run_plan(&plan, &[&relation], par).expect("engine parallel"));
-        out.push(EngineBenchRow {
-            workload: "or_expand".to_string(),
-            rows: relation.len(),
-            interp_ms,
-            engine_seq_ms,
-            engine_par_ms,
-            workers,
-            equal: interp == eng_seq && eng_seq == eng_par,
-        });
+        let rows = scale / 16;
+        out.push(measure_planned_workload(
+            "or_expand_planned",
+            &fanout_relation(rows),
+            &e13_planned_query(rows as i64 / 4),
+        ));
     }
 
     // 3. equi-join of (id, group) against (group, tag)
     {
+        use or_engine::{run_plan, run_plan_with_stats, ExecConfig};
         use or_nra::physical::PhysicalPlan;
+
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let seq = ExecConfig::default();
+        let par = ExecConfig::default().with_workers(available);
         let left_schema = or_db::Schema::new([
             or_db::Field::new("id", Type::Int),
             or_db::Field::new("grp", Type::Int),
@@ -882,20 +971,148 @@ pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
             timed(|| eval(&interp_query, &pair_value).expect("interpreter join"));
         let (eng_seq, engine_seq_ms) =
             timed(|| run_plan(&plan, &[&left, &right], seq).expect("engine sequential"));
-        let (eng_par, engine_par_ms) =
-            timed(|| run_plan(&plan, &[&left, &right], par).expect("engine parallel"));
+        let ((eng_par, stats), engine_par_ms) =
+            timed(|| run_plan_with_stats(&plan, &[&left, &right], par).expect("engine parallel"));
         out.push(EngineBenchRow {
             workload: "equi_join".to_string(),
             rows: left.len(),
             interp_ms,
             engine_seq_ms,
             engine_par_ms,
-            workers,
+            workers: stats.workers,
             equal: interp == eng_seq && eng_seq == eng_par,
         });
     }
 
     out
+}
+
+// ---------------------------------------------------------------------------
+// bench-regression checking (the CI gate over BENCH_engine.json)
+// ---------------------------------------------------------------------------
+
+/// One workload parsed from a committed `BENCH_engine.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Workload name.
+    pub workload: String,
+    /// The committed `speedup_vs_interp`.
+    pub speedup_vs_interp: f64,
+    /// The committed `equal` flag.
+    pub equal: bool,
+}
+
+/// Parse the workload rows out of a `BENCH_engine.json` document (the exact
+/// format [`engine_bench_json`] emits; this is its dependency-free inverse).
+pub fn parse_engine_bench(json: &str) -> Vec<BaselineRow> {
+    fn field<'a>(chunk: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let at = chunk.find(&pat)? + pat.len();
+        let rest = &chunk[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+    let mut out = Vec::new();
+    for chunk in json.split("{\"workload\": \"").skip(1) {
+        let Some(name_end) = chunk.find('"') else {
+            continue;
+        };
+        let workload = chunk[..name_end].to_string();
+        let speedup = field(chunk, "speedup_vs_interp").and_then(|s| s.parse::<f64>().ok());
+        let equal = field(chunk, "equal").map(|s| s == "true");
+        if let (Some(speedup_vs_interp), Some(equal)) = (speedup, equal) {
+            out.push(BaselineRow {
+                workload,
+                speedup_vs_interp,
+                equal,
+            });
+        }
+    }
+    out
+}
+
+/// One workload's verdict in a regression check.
+#[derive(Debug, Clone)]
+pub struct RegressionVerdict {
+    /// Workload name.
+    pub workload: String,
+    /// The committed baseline speedup (`None` for a new workload).
+    pub baseline_speedup: Option<f64>,
+    /// The freshly measured speedup (`None` when the workload disappeared
+    /// from the fresh run).
+    pub fresh_speedup: Option<f64>,
+    /// Did this workload pass the check?
+    pub ok: bool,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// Compare a fresh measurement against the committed baseline.  A workload
+/// fails when
+///
+/// * its fresh `speedup_vs_interp` dropped below `baseline / max_slowdown`
+///   (so `max_slowdown = 1.15` tolerates 15% noise),
+/// * its engine/interpreter cross-check (`equal`) is false, or
+/// * it exists in the baseline but was not measured at all.
+///
+/// Workloads new in the fresh run pass (they become baseline once merged).
+pub fn check_regression(
+    baseline: &[BaselineRow],
+    fresh: &[EngineBenchRow],
+    max_slowdown: f64,
+) -> Vec<RegressionVerdict> {
+    let mut verdicts = Vec::new();
+    for f in fresh {
+        let fresh_speedup = f.speedup_vs_interp();
+        let base = baseline.iter().find(|b| b.workload == f.workload);
+        let (ok, detail) = if !f.equal {
+            (false, "engine/interpreter cross-check failed".to_string())
+        } else {
+            match base {
+                None => (true, "new workload (no baseline)".to_string()),
+                Some(b) => {
+                    let floor = b.speedup_vs_interp / max_slowdown;
+                    if fresh_speedup >= floor {
+                        (
+                            true,
+                            format!(
+                                "{fresh_speedup:.2}x vs baseline {:.2}x (floor {floor:.2}x)",
+                                b.speedup_vs_interp
+                            ),
+                        )
+                    } else {
+                        (
+                            false,
+                            format!(
+                                "slowdown: {fresh_speedup:.2}x < floor {floor:.2}x \
+                                 (baseline {:.2}x, max-slowdown {max_slowdown})",
+                                b.speedup_vs_interp
+                            ),
+                        )
+                    }
+                }
+            }
+        };
+        verdicts.push(RegressionVerdict {
+            workload: f.workload.clone(),
+            baseline_speedup: base.map(|b| b.speedup_vs_interp),
+            fresh_speedup: Some(fresh_speedup),
+            ok,
+            detail,
+        });
+    }
+    for b in baseline {
+        if !fresh.iter().any(|f| f.workload == b.workload) {
+            verdicts.push(RegressionVerdict {
+                workload: b.workload.clone(),
+                baseline_speedup: Some(b.speedup_vs_interp),
+                fresh_speedup: None,
+                ok: false,
+                detail: "workload present in baseline but not measured".to_string(),
+            });
+        }
+    }
+    verdicts
 }
 
 /// Serialize measured engine rows as the `BENCH_engine.json` document (a
@@ -1093,5 +1310,114 @@ mod tests {
     fn design_possibility_helper_scales_exponentially() {
         assert_eq!(design_possibilities(3, 2), 8);
         assert_eq!(design_possibilities(4, 3), 81);
+    }
+
+    #[test]
+    fn e13_measures_all_workloads_and_agrees_with_the_interpreter() {
+        // tiny scale: correctness of the harness, not perf
+        let rows = e13_engine_rows(160);
+        let names: Vec<&str> = rows.iter().map(|r| r.workload.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "scan_filter_project",
+                "or_expand",
+                "or_expand_fanout8",
+                "or_expand_planned",
+                "equi_join"
+            ]
+        );
+        for r in &rows {
+            assert!(r.equal, "{} disagreed with the interpreter", r.workload);
+            assert!(r.workers >= 1, "{} reported zero workers", r.workload);
+        }
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_parser() {
+        let rows = vec![
+            EngineBenchRow {
+                workload: "w1".to_string(),
+                rows: 100,
+                interp_ms: 10.0,
+                engine_seq_ms: 5.0,
+                engine_par_ms: 4.0,
+                workers: 2,
+                equal: true,
+            },
+            EngineBenchRow {
+                workload: "w2".to_string(),
+                rows: 50,
+                interp_ms: 1.0,
+                engine_seq_ms: 2.0,
+                engine_par_ms: 2.0,
+                workers: 1,
+                equal: false,
+            },
+        ];
+        let parsed = parse_engine_bench(&engine_bench_json(&rows));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].workload, "w1");
+        assert!((parsed[0].speedup_vs_interp - 2.5).abs() < 1e-9);
+        assert!(parsed[0].equal);
+        assert_eq!(parsed[1].workload, "w2");
+        assert!(!parsed[1].equal);
+    }
+
+    #[test]
+    fn regression_checker_flags_slowdowns_and_missing_workloads() {
+        let baseline = vec![
+            BaselineRow {
+                workload: "stable".to_string(),
+                speedup_vs_interp: 2.0,
+                equal: true,
+            },
+            BaselineRow {
+                workload: "regressed".to_string(),
+                speedup_vs_interp: 2.0,
+                equal: true,
+            },
+            BaselineRow {
+                workload: "dropped".to_string(),
+                speedup_vs_interp: 1.0,
+                equal: true,
+            },
+        ];
+        let fresh_row = |name: &str, par_ms: f64, equal: bool| EngineBenchRow {
+            workload: name.to_string(),
+            rows: 10,
+            interp_ms: 10.0,
+            engine_seq_ms: par_ms,
+            engine_par_ms: par_ms,
+            workers: 1,
+            equal,
+        };
+        let fresh = vec![
+            fresh_row("stable", 5.2, true),    // 1.92x >= 2.0/1.15: ok
+            fresh_row("regressed", 8.0, true), // 1.25x < 1.74x floor: fail
+            fresh_row("brand_new", 5.0, true), // no baseline: ok
+            fresh_row("unequal", 1.0, false),  // cross-check failed: fail
+        ];
+        let verdicts = check_regression(&baseline, &fresh, 1.15);
+        let by_name = |n: &str| verdicts.iter().find(|v| v.workload == n).unwrap();
+        assert!(by_name("stable").ok);
+        assert!(!by_name("regressed").ok);
+        assert!(by_name("brand_new").ok);
+        assert!(!by_name("unequal").ok);
+        assert!(!by_name("dropped").ok, "missing workloads must fail");
+        assert_eq!(verdicts.len(), 5);
+    }
+
+    #[test]
+    fn regression_checker_accepts_the_committed_baseline_format() {
+        // the committed BENCH_engine.json must stay parseable; this guards
+        // the emitter and parser against drifting apart
+        let rows = e13_engine_rows(80);
+        let json = engine_bench_json(&rows);
+        let baseline = parse_engine_bench(&json);
+        assert_eq!(baseline.len(), rows.len());
+        // a fresh run compared against itself never regresses
+        let verdicts = check_regression(&baseline, &rows, 1.15);
+        assert!(verdicts.iter().all(|v| v.ok));
     }
 }

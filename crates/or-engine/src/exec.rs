@@ -194,8 +194,9 @@ impl Executor {
             merged
         };
 
-        // Merge step: the result is a set, so canonicalize.
-        rows.sort();
+        // Merge step: the result is a set, so canonicalize.  Unstable sort:
+        // equal rows are indistinguishable and about to be deduplicated.
+        rows.sort_unstable();
         rows.dedup();
         let stats = ExecStats {
             workers,

@@ -103,10 +103,14 @@ pub mod query;
 pub mod prelude {
     pub use crate::error::EngineError;
     pub use crate::exec::{ExecConfig, ExecStats, Executor};
-    pub use crate::query::{run_morphism, run_morphism_on_value, run_plan, run_plan_with_stats};
+    pub use crate::query::{
+        run_morphism, run_morphism_on_value, run_plan, run_plan_optimized, run_plan_with_stats,
+    };
     pub use or_nra::physical::PhysicalPlan;
 }
 
 pub use error::EngineError;
 pub use exec::{ExecConfig, ExecStats, Executor};
-pub use query::{run_morphism, run_morphism_on_value, run_plan, run_plan_with_stats};
+pub use query::{
+    run_morphism, run_morphism_on_value, run_plan, run_plan_optimized, run_plan_with_stats,
+};

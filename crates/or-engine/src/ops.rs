@@ -17,18 +17,24 @@
 //!   broadcast, the left side streams; equi-join predicates of the shape
 //!   `eq ∘ ⟨f ∘ π₁, g ∘ π₂⟩` take a hash fast path instead of the
 //!   nested-loop probe;
-//! * [`OrExpandOp`] — per-row lazy α-expansion via
-//!   [`or_nra::lazy::LazyNormalizer`], with streaming dedup and an enforced
-//!   per-row denotation budget.
+//! * [`OrExpandOp`] — batched per-row lazy α-expansion via
+//!   [`or_nra::lazy::LazyNormalizer`], decoding each possible world straight
+//!   into a per-operator hash-consing arena
+//!   ([`or_object::intern::Interner`]): worlds produced by different rows
+//!   share sub-structure, streaming dedup is a `HashSet<InternId>` (O(1) per
+//!   world instead of a deep hash + deep clone), and only worlds that
+//!   survive dedup are materialized as owned [`Value`]s.  The per-row
+//!   denotation budget is enforced before any decoding happens.
 
 use std::borrow::Cow;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use or_nra::eval::eval;
 use or_nra::lazy::LazyNormalizer;
 use or_nra::morphism::Morphism;
 use or_nra::physical::PhysicalPlan;
+use or_object::intern::{IdSet, Interner};
 use or_object::Value;
 
 use crate::error::EngineError;
@@ -256,14 +262,33 @@ pub fn build<'a>(
             budget,
             dedup,
             input,
-        } => Ok(Box::new(OrExpandOp {
-            input: build(input, ctx, driver_override)?,
-            budget: budget.or(ctx.or_budget),
-            seen: if *dedup { Some(HashSet::new()) } else { None },
-            queue: Vec::new(),
-            current: None,
-            batch_size: ctx.batch_size,
-        })),
+        } => {
+            // Scan fusion: expanding directly over a scan reads the rows in
+            // place instead of cloning them into intermediate batches.
+            let source = if let PhysicalPlan::Scan(slot) = &**input {
+                let rows = match driver_override {
+                    Some(rows) => rows,
+                    None => *ctx.inputs.get(*slot).ok_or(EngineError::MissingInput {
+                        slot: *slot,
+                        provided: ctx.inputs.len(),
+                    })?,
+                };
+                ExpandSource::Rows { rows, pos: 0 }
+            } else {
+                ExpandSource::Op {
+                    input: build(input, ctx, driver_override)?,
+                    queue: Vec::new(),
+                }
+            };
+            Ok(Box::new(OrExpandOp {
+                source,
+                budget: budget.or(ctx.or_budget),
+                arena: Interner::new(),
+                seen: if *dedup { Some(IdSet::default()) } else { None },
+                current: None,
+                batch_size: ctx.batch_size,
+            }))
+        }
     }
 }
 
@@ -494,14 +519,64 @@ fn strip_side(m: &Morphism, proj: &Morphism) -> Option<Morphism> {
     }
 }
 
-/// Per-row lazy α-expansion with streaming dedup and a denotation budget.
+/// Batched per-row lazy α-expansion with interned streaming dedup and a
+/// denotation budget.
+///
+/// The operator owns a hash-consing [`Interner`] that lives for its whole
+/// input stream — the "scratch arena" of the expansion.  Every decoded
+/// world lands in the arena first ([`LazyNormalizer::next_interned`]), so
+/// repeated sub-values across rows are stored once, world identity is an
+/// [`InternId`](or_object::intern::InternId), and the dedup filter is a
+/// hash set of 4-byte ids.  Only worlds that pass dedup are materialized into owned [`Value`] rows for
+/// the output batch.
 pub struct OrExpandOp<'a> {
-    input: Box<dyn Operator + 'a>,
+    source: ExpandSource<'a>,
     budget: Option<u64>,
-    seen: Option<HashSet<Value>>,
-    queue: Vec<Value>,
+    arena: Interner,
+    seen: Option<IdSet>,
     current: Option<LazyNormalizer>,
     batch_size: usize,
+}
+
+/// Where an [`OrExpandOp`] pulls its rows from: a fused scan reading a row
+/// slice in place, or an arbitrary upstream operator with an owned queue.
+enum ExpandSource<'a> {
+    Rows {
+        rows: &'a [Value],
+        pos: usize,
+    },
+    Op {
+        input: Box<dyn Operator + 'a>,
+        queue: Vec<Value>,
+    },
+}
+
+impl ExpandSource<'_> {
+    /// Compile the next row's normalizer, or `None` when exhausted.
+    fn next_normalizer(&mut self) -> Result<Option<LazyNormalizer>, EngineError> {
+        match self {
+            ExpandSource::Rows { rows, pos } => {
+                if *pos >= rows.len() {
+                    return Ok(None);
+                }
+                let n = LazyNormalizer::new(&rows[*pos]);
+                *pos += 1;
+                Ok(Some(n))
+            }
+            ExpandSource::Op { input, queue } => loop {
+                if let Some(row) = queue.pop() {
+                    return Ok(Some(LazyNormalizer::new(&row)));
+                }
+                match input.next_batch()? {
+                    Some(batch) => {
+                        *queue = batch;
+                        queue.reverse(); // pop() then yields input order
+                    }
+                    None => return Ok(None),
+                }
+            },
+        }
+    }
 }
 
 impl Operator for OrExpandOp<'_> {
@@ -510,39 +585,42 @@ impl Operator for OrExpandOp<'_> {
         loop {
             // 1. stream from the current row's expansion
             if let Some(normalizer) = &mut self.current {
-                for denotation in normalizer.by_ref() {
-                    let fresh = match &mut self.seen {
-                        Some(seen) => seen.insert(denotation.clone()),
-                        None => true,
-                    };
-                    if fresh {
-                        out.push(denotation);
-                        if out.len() >= self.batch_size {
-                            return Ok(Some(out));
+                match &mut self.seen {
+                    // interned path: dedup by id, materialize fresh worlds
+                    Some(seen) => {
+                        while let Some(world) = normalizer.next_interned(&mut self.arena) {
+                            if seen.insert(world) {
+                                out.push(self.arena.value(world));
+                                if out.len() >= self.batch_size {
+                                    return Ok(Some(out));
+                                }
+                            }
+                        }
+                    }
+                    // no dedup requested: skip the arena entirely
+                    None => {
+                        for world in normalizer.by_ref() {
+                            out.push(world);
+                            if out.len() >= self.batch_size {
+                                return Ok(Some(out));
+                            }
                         }
                     }
                 }
                 self.current = None;
             }
-            // 2. start expanding the next queued row
-            if let Some(row) = self.queue.pop() {
-                let normalizer = LazyNormalizer::new(&row);
-                if let Some(budget) = self.budget {
-                    if normalizer.total() > u128::from(budget) {
-                        return Err(EngineError::BudgetExceeded {
-                            budget,
-                            needed: normalizer.total(),
-                        });
+            // 2. start expanding the next source row
+            match self.source.next_normalizer()? {
+                Some(normalizer) => {
+                    if let Some(budget) = self.budget {
+                        if normalizer.total() > u128::from(budget) {
+                            return Err(EngineError::BudgetExceeded {
+                                budget,
+                                needed: normalizer.total(),
+                            });
+                        }
                     }
-                }
-                self.current = Some(normalizer);
-                continue;
-            }
-            // 3. refill the queue from upstream
-            match self.input.next_batch()? {
-                Some(batch) => {
-                    self.queue = batch;
-                    self.queue.reverse(); // pop() then yields input order
+                    self.current = Some(normalizer);
                 }
                 None => {
                     return if out.is_empty() {

@@ -3,7 +3,7 @@
 
 use or_db::Relation;
 use or_nra::morphism::Morphism;
-use or_nra::optimize::lower;
+use or_nra::optimize::{lower, optimize_expansion, ExpandPlanReport, ExpandPlannerConfig};
 use or_nra::physical::PhysicalPlan;
 use or_object::Value;
 
@@ -30,6 +30,35 @@ pub fn run_plan_with_stats(
     let inputs: Vec<&[Value]> = relations.iter().map(|r| r.records()).collect();
     let (rows, stats) = Executor::new(config).run_with_stats(plan, &inputs)?;
     Ok((Value::Set(rows), stats))
+}
+
+/// Run a physical plan through the **expand planner** first, then execute.
+///
+/// The planner ([`or_nra::optimize::optimize_expansion`]) is given the
+/// relations' schema row types, so it can push filters (and, for
+/// `assume_consistent` inputs, projections) below `OrExpand` wherever the
+/// preservation conditions allow, and it caps the worker count at its
+/// cost-model recommendation — one big expand becomes that many
+/// partition-local expands.  Returns the result, the execution counters and
+/// the planner's report.
+pub fn run_plan_optimized(
+    plan: &PhysicalPlan,
+    relations: &[&Relation],
+    config: ExecConfig,
+) -> Result<(Value, ExecStats, ExpandPlanReport), EngineError> {
+    let inputs: Vec<&[Value]> = relations.iter().map(|r| r.records()).collect();
+    let planner_config = ExpandPlannerConfig {
+        row_types: relations.iter().map(|r| r.schema().record_type()).collect(),
+        ..ExpandPlannerConfig::default()
+    }
+    .with_available_workers(config.workers);
+    let (optimized, report) = optimize_expansion(plan, &inputs, &planner_config);
+    let exec_config = ExecConfig {
+        workers: report.recommended_workers,
+        ..config
+    };
+    let (rows, stats) = Executor::new(exec_config).run_with_stats(&optimized, &inputs)?;
+    Ok((Value::Set(rows), stats, report))
 }
 
 /// Lower a set-pipeline morphism (`{record} → {t}`) and run it over a

@@ -126,6 +126,111 @@ fn or_expand_matches_the_conceptual_morphism() {
     }
 }
 
+/// A relation of (id, (<cpu alternatives>, <ram alternatives>)) rows with
+/// or-set fanout `fanout` × `fanout/2`.
+fn fanout_relation(rows: i64, fanout: i64) -> Relation {
+    let schema = Schema::new([
+        Field::new("id", Type::Int),
+        Field::new("cpu", Type::orset(Type::Int)),
+        Field::new("ram", Type::orset(Type::Int)),
+    ])
+    .unwrap();
+    Relation::from_records(
+        "fanout",
+        schema,
+        (0..rows).map(|i| {
+            Value::pair(
+                Value::Int(i),
+                Value::pair(
+                    Value::int_orset((0..fanout).map(|k| (i + k) % (fanout + 3))),
+                    Value::int_orset((0..fanout / 2).map(|k| (i * 3 + k) % (fanout + 1))),
+                ),
+            )
+        }),
+    )
+    .unwrap()
+}
+
+#[test]
+fn high_fanout_expansion_matches_interpreter() {
+    // fanout 8 × 4 = 32 possible worlds per row
+    let rel = fanout_relation(40, 8);
+    let query = M::map(M::Normalize.then(M::OrToSet)).then(M::Mu);
+    let plan = lower(&query).expect("or-expand shape is lowerable");
+    let expected = rel.query(&query).unwrap();
+    for workers in [1, 4] {
+        let config = ExecConfig::default()
+            .with_workers(workers)
+            .with_batch_size(64);
+        let got = run_plan(&plan, &[&rel], config).unwrap();
+        assert_eq!(got, expected, "with {workers} workers");
+    }
+}
+
+#[test]
+fn planned_expansion_pushes_filters_and_agrees_with_interpreter() {
+    let rel = fanout_relation(30, 8);
+    // expand, then keep worlds with id ≤ 10 — the filter reads only the
+    // or-free id component, so the planner moves it below the expansion
+    let keep_id = M::Proj1
+        .then(M::pair(M::Id, M::constant(Value::Int(10))))
+        .then(M::Prim(Prim::Leq));
+    let query = M::map(M::Normalize.then(M::OrToSet))
+        .then(M::Mu)
+        .then(derived::select(keep_id));
+    let plan = lower(&query).expect("expand-then-filter is lowerable");
+    let expected = rel.query(&query).unwrap();
+    let (got, stats, report) =
+        run_plan_optimized(&plan, &[&rel], ExecConfig::default().with_workers(4)).unwrap();
+    assert_eq!(got, expected);
+    assert_eq!(
+        report.pushed_filters, 1,
+        "filter should move below OrExpand"
+    );
+    assert!(report.estimate.is_some());
+    assert!(stats.workers >= 1 && stats.workers <= 4);
+}
+
+#[test]
+fn planned_expansion_keeps_orset_reading_filters_above() {
+    let rel = fanout_relation(10, 4);
+    // a filter over the *expanded* cpu value: on worlds, cpu is a plain int
+    // — this predicate does not typecheck on unexpanded rows, so it must
+    // stay above the expansion (and the results must still agree)
+    let cpu_small = M::Proj2
+        .then(M::Proj1)
+        .then(M::pair(M::Id, M::constant(Value::Int(2))))
+        .then(M::Prim(Prim::Leq));
+    let query = M::map(M::Normalize.then(M::OrToSet))
+        .then(M::Mu)
+        .then(derived::select(cpu_small));
+    let plan = lower(&query).unwrap();
+    let expected = rel.query(&query).unwrap();
+    let (got, _, report) = run_plan_optimized(&plan, &[&rel], ExecConfig::default()).unwrap();
+    assert_eq!(got, expected);
+    assert_eq!(report.pushed_filters, 0);
+}
+
+#[test]
+fn interned_dedup_collapses_shared_worlds() {
+    // every row expands to the same two worlds: dedup must leave exactly 2
+    let rows: Vec<Value> = (0..50)
+        .map(|_| Value::int_orset([1, 2]))
+        .collect::<std::collections::HashSet<_>>() // rows themselves dedup to 1
+        .into_iter()
+        .collect();
+    let many: Vec<Value> = (0..8)
+        .map(|i| Value::pair(Value::Int(i % 2), Value::int_orset([7, 9])))
+        .collect();
+    let plan = PhysicalPlan::scan(0).or_expand();
+    let exec = Executor::new(ExecConfig::default().with_batch_size(3));
+    let out = exec.run(&plan, &[&many]).unwrap();
+    // 2 distinct ids × 2 alternatives
+    assert_eq!(out.len(), 4);
+    let out2 = exec.run(&plan, &[&rows]).unwrap();
+    assert_eq!(out2, vec![Value::Int(1), Value::Int(2)]);
+}
+
 #[test]
 fn or_expand_budget_is_enforced_and_reported() {
     // a row with 3 × 3 × 3 = 27 denotations

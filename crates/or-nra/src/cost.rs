@@ -17,7 +17,7 @@
 
 use or_object::Value;
 
-use crate::normalize::{normalize_value, possibility_count};
+use crate::normalize::{denotation_count, normalize_value, possibility_count};
 
 /// The `m(x)` measure: the number of elements of `normalize(x)` if that is an
 /// or-set, and 1 otherwise.
@@ -116,6 +116,125 @@ pub fn respects_size_bound(s: u64, n: u64) -> bool {
     lhs <= rhs
 }
 
+// ---------------------------------------------------------------------------
+// expansion-cardinality estimation (the expand planner's cost model)
+// ---------------------------------------------------------------------------
+
+/// The number of possible worlds a single relation row α-expands into
+/// (counted with multiplicity, saturating at `u128::MAX`).  This is the
+/// closed-form count of [`crate::lazy::LazyNormalizer::total`] — O(row size),
+/// no materialization — and is the per-row quantity the expand planner's
+/// cost model is built from.
+pub fn row_expansion_count(row: &Value) -> u128 {
+    denotation_count(row)
+}
+
+/// Aggregate expansion statistics over (a sample of) a relation's rows.
+///
+/// Produced by [`estimate_expansion`]; consumed by the expand planner in
+/// [`crate::optimize`] to choose operator placement and a worker count for
+/// `OrExpand`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandEstimate {
+    /// Total number of rows in the relation.
+    pub rows: usize,
+    /// How many rows were actually inspected (≤ `rows`).
+    pub sampled: usize,
+    /// Estimated total denotations over all rows (the sampled mean scaled to
+    /// `rows`, saturating).
+    pub total_denotations: u128,
+    /// The largest per-row expansion seen in the sample.
+    pub max_per_row: u128,
+    /// Rows in the sample that contain no or-set (expansion is the identity
+    /// for them).
+    pub or_free_rows: usize,
+}
+
+impl ExpandEstimate {
+    /// Mean denotations per row in the sample (1.0 for an empty relation).
+    pub fn mean_per_row(&self) -> f64 {
+        if self.rows == 0 {
+            return 1.0;
+        }
+        self.total_denotations as f64 / self.rows as f64
+    }
+
+    /// How many workers a partition-local expansion of this relation should
+    /// use, given `available` hardware threads: enough that every worker has
+    /// at least [`ExpandEstimate::MIN_DENOTATIONS_PER_WORKER`] denotations to
+    /// produce (thread startup is not free), never more than one worker per
+    /// row, and never more than `available`.
+    pub fn recommended_workers(&self, available: usize) -> usize {
+        let per_worker = u128::from(Self::MIN_DENOTATIONS_PER_WORKER);
+        let by_work = self
+            .total_denotations
+            .checked_div(per_worker)
+            .unwrap_or(0)
+            .min(available as u128) as usize;
+        by_work.clamp(1, available.max(1)).min(self.rows.max(1))
+    }
+
+    /// Minimum denotations a worker must have to be worth spawning.
+    pub const MIN_DENOTATIONS_PER_WORKER: u64 = 2048;
+}
+
+/// Estimate the expansion statistics of `rows` by inspecting at most
+/// `sample_cap` rows, evenly spaced (every row when `sample_cap >= rows`).
+/// Counting is closed-form per row, so even a full scan is O(total row
+/// size); sampling exists for relations whose rows are themselves large.
+pub fn estimate_expansion(rows: &[Value], sample_cap: usize) -> ExpandEstimate {
+    estimate_expansion_where(rows, sample_cap, |_| true)
+}
+
+/// [`estimate_expansion`] for an expansion that only sees the rows
+/// satisfying `keep` — the estimator the planner uses after pushing filters
+/// below an `OrExpand`: a sampled row failing `keep` contributes **zero**
+/// denotations (it is dropped before it can expand), so the extrapolated
+/// total reflects the filter's selectivity.
+pub fn estimate_expansion_where<F: FnMut(&Value) -> bool>(
+    rows: &[Value],
+    sample_cap: usize,
+    mut keep: F,
+) -> ExpandEstimate {
+    let sample_cap = sample_cap.max(1);
+    let stride = rows.len().div_ceil(sample_cap).max(1);
+    let mut sampled = 0usize;
+    let mut sum = 0u128;
+    let mut max_per_row = 0u128;
+    let mut or_free = 0usize;
+    let mut i = 0;
+    while i < rows.len() {
+        sampled += 1;
+        if keep(&rows[i]) {
+            let n = row_expansion_count(&rows[i]);
+            sum = sum.saturating_add(n);
+            max_per_row = max_per_row.max(n);
+            if !rows[i].contains_orset() {
+                or_free += 1;
+            }
+        }
+        i += stride;
+    }
+    let total = if sampled == 0 {
+        0
+    } else {
+        let mean_num = sum;
+        // scale the sampled sum to the full relation (integer arithmetic,
+        // saturating): total ≈ sum * rows / sampled
+        mean_num
+            .saturating_mul(rows.len() as u128)
+            .checked_div(sampled as u128)
+            .unwrap_or(0)
+    };
+    ExpandEstimate {
+        rows: rows.len(),
+        sampled,
+        total_denotations: total,
+        max_per_row,
+        or_free_rows: or_free,
+    }
+}
+
 /// Summary of the cost measurements for one object (one row of the E3/E4
 /// tables).
 ///
@@ -158,7 +277,11 @@ pub fn measure(x: &Value) -> CostReport {
     let product_bound = proposition_6_1_bound(x);
     let card_ok = respects_cardinality_bound(cardinality, n);
     let size_ok = respects_size_bound(normal_form_size, n.max(2));
-    let product_ok = product_bound.is_none_or(|b| u128::from(cardinality) <= b);
+    let product_ok = match product_bound {
+        // `Option::is_none_or` needs Rust 1.82; spelled out for the 1.75 MSRV
+        Some(b) => u128::from(cardinality) <= b,
+        None => true,
+    };
     CostReport {
         input_size: n,
         cardinality,
@@ -265,6 +388,67 @@ mod tests {
         let x = Value::pair(Value::int_set([1, 2]), Value::Int(3));
         assert_eq!(m_measure(&x), 1);
         assert_eq!(proposition_6_1_bound(&x), None);
+    }
+
+    #[test]
+    fn expansion_estimate_is_exact_on_full_scans() {
+        // rows with 6, 1, and 0-or-set shapes
+        let rows = vec![
+            Value::pair(
+                Value::Int(0),
+                Value::pair(Value::int_orset([1, 2, 3]), Value::int_orset([4, 5])),
+            ),
+            Value::pair(
+                Value::Int(1),
+                Value::pair(Value::int_orset([9]), Value::int_orset([8])),
+            ),
+            Value::pair(Value::Int(2), Value::pair(Value::Int(3), Value::Int(4))),
+        ];
+        let est = estimate_expansion(&rows, usize::MAX);
+        assert_eq!(est.rows, 3);
+        assert_eq!(est.sampled, 3);
+        assert_eq!(est.total_denotations, 6 + 1 + 1);
+        assert_eq!(est.max_per_row, 6);
+        assert_eq!(est.or_free_rows, 1);
+        assert_eq!(row_expansion_count(&rows[0]), 6);
+    }
+
+    #[test]
+    fn expansion_estimate_scales_samples_to_the_relation() {
+        let rows: Vec<Value> = (0..100)
+            .map(|i| Value::pair(Value::Int(i), Value::int_orset([0, 1])))
+            .collect();
+        let est = estimate_expansion(&rows, 10);
+        assert!(est.sampled >= 10 && est.sampled <= 100);
+        // every row has exactly 2 denotations; the extrapolation is exact
+        assert_eq!(est.total_denotations, 200);
+        assert!(est.recommended_workers(8) >= 1);
+        // an empty relation is handled
+        let empty = estimate_expansion(&[], 4);
+        assert_eq!(empty.total_denotations, 0);
+        assert_eq!(empty.recommended_workers(8), 1);
+    }
+
+    #[test]
+    fn recommended_workers_scale_with_estimated_work() {
+        let small = ExpandEstimate {
+            rows: 10,
+            sampled: 10,
+            total_denotations: 100,
+            max_per_row: 10,
+            or_free_rows: 0,
+        };
+        // not enough work to pay for a second thread
+        assert_eq!(small.recommended_workers(16), 1);
+        let big = ExpandEstimate {
+            rows: 100_000,
+            sampled: 64,
+            total_denotations: 1 << 20,
+            max_per_row: 32,
+            or_free_rows: 0,
+        };
+        assert_eq!(big.recommended_workers(8), 8);
+        assert_eq!(big.recommended_workers(1), 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! functions: "membership test, set difference, inclusion test, cartesian
 //! product, etc., and their analogs for or-sets which … are definable in
 //! or-NRA⁺".  This module provides those definitions as combinators that
-//! build [`Morphism`]s, including the `powerset`-from-`alpha` construction of
+//! build [`Morphism`](crate::morphism::Morphism)s, including the `powerset`-from-`alpha` construction of
 //! Proposition 2.1.
 //!
 //! Everything here elaborates to plain Figure-1 syntax — no new evaluator

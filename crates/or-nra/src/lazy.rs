@@ -7,26 +7,48 @@
 //! developed by Libkin in "Normalizing incomplete databases", PODS 1995.)
 //!
 //! [`LazyNormalizer`] enumerates the conceptual denotations of an object one
-//! at a time.  Internally the object is compiled into a [`Plan`] whose nodes
-//! know how many denotations they have; the `i`-th denotation is then decoded
-//! by a mixed-radix walk, so producing one element costs time proportional to
-//! the size of the object, independent of how many elements the full normal
-//! form would have.
+//! at a time.  Internally the object is compiled into a plan whose nodes
+//! **precompute** how many denotations they have (and, for product nodes,
+//! the mixed-radix divisors); the `i`-th denotation is then decoded by a
+//! mixed-radix walk, so producing one element costs time proportional to the
+//! size of the object, independent of how many elements the full normal form
+//! would have.  Counts are computed once at compile time — decoding performs
+//! no recursive re-counting and no per-call allocation beyond the output.
+//!
+//! For the physical engine's α-expansion operator,
+//! [`LazyNormalizer::next_interned`] decodes straight into an [`Interner`]
+//! arena: the denotation is produced
+//! as an [`InternId`] whose sub-structure is shared with every previously
+//! decoded world, and equality of worlds is id equality.
 
+use or_object::intern::{InternId, Interner};
 use or_object::Value;
 
 use crate::error::EvalError;
 
-/// A compiled enumeration plan for the denotations of an object.
+/// A compiled enumeration plan for the denotations of an object.  Every node
+/// carries its denotation count (with multiplicity, saturating at
+/// `u128::MAX`), computed once when the plan is built.
 #[derive(Debug, Clone)]
-enum Plan {
+struct Plan {
+    count: u128,
+    /// For constant subtrees (`count == 1` — or-free parts of the object,
+    /// which decode identically in every world): the interned id of that one
+    /// denotation, keyed by the arena token it was produced against.
+    memo: Option<(u64, InternId)>,
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone)]
+enum PlanKind {
     /// A base value: exactly one denotation.
     Leaf(Value),
     /// A pair: the product of the component enumerations.
     Pair(Box<Plan>, Box<Plan>),
     /// A set (one choice per element position): the product of the element
-    /// enumerations, assembled into a set.
-    SetOf(Vec<Plan>),
+    /// enumerations, assembled into a set.  `divisors[i]` is the product of
+    /// the counts of elements after `i` (last element varies fastest).
+    SetOf(Vec<Plan>, Vec<u128>),
     /// An or-set: the disjoint union of the element enumerations.
     OneOf(Vec<Plan>),
 }
@@ -34,12 +56,47 @@ enum Plan {
 impl Plan {
     fn compile(v: &Value) -> Plan {
         match v {
-            x if x.is_base() => Plan::Leaf(x.clone()),
-            Value::Pair(a, b) => Plan::Pair(Box::new(Plan::compile(a)), Box::new(Plan::compile(b))),
-            Value::Set(items) | Value::Bag(items) => {
-                Plan::SetOf(items.iter().map(Plan::compile).collect())
+            x if x.is_base() => Plan {
+                count: 1,
+                memo: None,
+                kind: PlanKind::Leaf(x.clone()),
+            },
+            Value::Pair(a, b) => {
+                let (a, b) = (Plan::compile(a), Plan::compile(b));
+                Plan {
+                    count: a.count.saturating_mul(b.count),
+                    memo: None,
+                    kind: PlanKind::Pair(Box::new(a), Box::new(b)),
+                }
             }
-            Value::OrSet(items) => Plan::OneOf(items.iter().map(Plan::compile).collect()),
+            Value::Set(items) | Value::Bag(items) => {
+                let items: Vec<Plan> = items.iter().map(Plan::compile).collect();
+                let mut divisors = vec![1u128; items.len()];
+                for i in (0..items.len().saturating_sub(1)).rev() {
+                    divisors[i] = divisors[i + 1].saturating_mul(items[i + 1].count);
+                }
+                let count = items
+                    .iter()
+                    .map(|p| p.count)
+                    .fold(1u128, |acc, n| acc.saturating_mul(n));
+                Plan {
+                    count,
+                    memo: None,
+                    kind: PlanKind::SetOf(items, divisors),
+                }
+            }
+            Value::OrSet(items) => {
+                let items: Vec<Plan> = items.iter().map(Plan::compile).collect();
+                let count = items
+                    .iter()
+                    .map(|p| p.count)
+                    .fold(0u128, u128::saturating_add);
+                Plan {
+                    count,
+                    memo: None,
+                    kind: PlanKind::OneOf(items),
+                }
+            }
             _ => unreachable!("all shapes covered"),
         }
     }
@@ -47,60 +104,88 @@ impl Plan {
     /// Total number of denotations (with multiplicity), saturating at
     /// `u128::MAX`.
     fn count(&self) -> u128 {
-        match self {
-            Plan::Leaf(_) => 1,
-            Plan::Pair(a, b) => a.count().saturating_mul(b.count()),
-            Plan::SetOf(items) => items
-                .iter()
-                .map(Plan::count)
-                .fold(1u128, |acc, n| acc.saturating_mul(n)),
-            Plan::OneOf(items) => items
-                .iter()
-                .map(Plan::count)
-                .fold(0u128, u128::saturating_add),
-        }
+        self.count
     }
 
     /// Decode the `idx`-th denotation (0-based, `idx < self.count()`).
     fn decode(&self, idx: u128) -> Value {
-        match self {
-            Plan::Leaf(v) => v.clone(),
-            Plan::Pair(a, b) => {
-                let nb = b.count();
-                let va = a.decode(idx / nb);
-                let vb = b.decode(idx % nb);
-                Value::pair(va, vb)
+        match &self.kind {
+            PlanKind::Leaf(v) => v.clone(),
+            PlanKind::Pair(a, b) => {
+                let nb = b.count;
+                Value::pair(a.decode(idx / nb), b.decode(idx % nb))
             }
-            Plan::SetOf(items) => {
+            PlanKind::SetOf(items, divisors) => {
                 let mut rest = idx;
                 let mut chosen = Vec::with_capacity(items.len());
-                // mixed-radix decoding, last element varies fastest
-                let radices: Vec<u128> = items.iter().map(Plan::count).collect();
-                let mut divisors = vec![1u128; items.len()];
-                for i in (0..items.len()).rev() {
-                    if i + 1 < items.len() {
-                        divisors[i] = divisors[i + 1].saturating_mul(radices[i + 1]);
-                    }
-                }
-                for (i, item) in items.iter().enumerate() {
-                    let digit = rest / divisors[i];
-                    rest %= divisors[i];
-                    chosen.push(item.decode(digit));
+                for (item, &divisor) in items.iter().zip(divisors.iter()) {
+                    chosen.push(item.decode(rest / divisor));
+                    rest %= divisor;
                 }
                 Value::set(chosen)
             }
-            Plan::OneOf(items) => {
+            PlanKind::OneOf(items) => {
                 let mut rest = idx;
                 for item in items {
-                    let n = item.count();
-                    if rest < n {
+                    if rest < item.count {
                         return item.decode(rest);
                     }
-                    rest -= n;
+                    rest -= item.count;
                 }
                 unreachable!("index out of range for or-set plan")
             }
         }
+    }
+
+    /// Decode the `idx`-th denotation directly into `arena`, sharing all
+    /// repeated sub-structure with previously interned objects.
+    ///
+    /// Constant subtrees (`count == 1`) decode to the same id in every
+    /// world; that id is memoized per arena (checked via
+    /// [`Interner::token`]), so the or-free parts of a row are interned once
+    /// per row rather than once per world.
+    fn decode_interned(&mut self, idx: u128, arena: &mut Interner) -> InternId {
+        if self.count == 1 {
+            if let Some((token, id)) = self.memo {
+                if token == arena.token() {
+                    return id;
+                }
+            }
+        }
+        let id = match &mut self.kind {
+            PlanKind::Leaf(v) => arena.intern(v),
+            PlanKind::Pair(a, b) => {
+                let nb = b.count;
+                let ia = a.decode_interned(idx / nb, arena);
+                let ib = b.decode_interned(idx % nb, arena);
+                arena.pair(ia, ib)
+            }
+            PlanKind::SetOf(items, divisors) => {
+                let mut rest = idx;
+                let mut chosen = Vec::with_capacity(items.len());
+                for (item, &divisor) in items.iter_mut().zip(divisors.iter()) {
+                    chosen.push(item.decode_interned(rest / divisor, arena));
+                    rest %= divisor;
+                }
+                arena.set(chosen)
+            }
+            PlanKind::OneOf(items) => {
+                let mut rest = idx;
+                let mut found = None;
+                for item in items {
+                    if rest < item.count {
+                        found = Some(item.decode_interned(rest, arena));
+                        break;
+                    }
+                    rest -= item.count;
+                }
+                found.expect("index out of range for or-set plan")
+            }
+        };
+        if self.count == 1 {
+            self.memo = Some((arena.token(), id));
+        }
+        id
     }
 }
 
@@ -142,6 +227,21 @@ impl LazyNormalizer {
     pub fn dedup(self) -> Value {
         let items: Vec<Value> = self.collect();
         Value::orset(items)
+    }
+
+    /// Produce the next denotation as an interned id in `arena` (the
+    /// hash-consed analogue of [`Iterator::next`]).  Sub-structure is shared
+    /// with everything previously interned into the same arena, so a
+    /// streaming consumer can deduplicate worlds with a `HashSet<InternId>`
+    /// instead of deep comparisons.
+    pub fn next_interned(&mut self, arena: &mut Interner) -> Option<InternId> {
+        if self.next >= self.total {
+            return None;
+        }
+        let next = self.next;
+        let id = self.plan.decode_interned(next, arena);
+        self.next += 1;
+        Some(id)
     }
 
     /// Search for a denotation satisfying `pred`, stopping at the first hit.
@@ -238,6 +338,35 @@ mod tests {
             .unwrap();
         assert!(witness.is_none());
         assert_eq!(inspected, 256);
+    }
+
+    #[test]
+    fn interned_enumeration_matches_plain_enumeration() {
+        let v = Value::pair(
+            Value::set([Value::int_orset([1, 2]), Value::int_orset([3, 4])]),
+            Value::int_orset([5, 6]),
+        );
+        let mut arena = Interner::new();
+        let mut interned = LazyNormalizer::new(&v);
+        let plain: Vec<Value> = LazyNormalizer::new(&v).collect();
+        let mut decoded = Vec::new();
+        while let Some(id) = interned.next_interned(&mut arena) {
+            decoded.push(arena.value(id));
+        }
+        assert_eq!(decoded, plain);
+    }
+
+    #[test]
+    fn interned_enumeration_dedups_by_id() {
+        // duplicated alternatives: 4 structural denotations, 2 distinct
+        let v = Value::set([Value::orset([Value::int_orset([1, 1, 2])])]);
+        let mut arena = Interner::new();
+        let mut lazy = LazyNormalizer::new(&v);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(id) = lazy.next_interned(&mut arena) {
+            seen.insert(id);
+        }
+        assert_eq!(seen.len(), 2);
     }
 
     #[test]

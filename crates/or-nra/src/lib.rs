@@ -8,7 +8,7 @@
 //! * [`morphism`] — the expression syntax of Figure 1 (plus the `powerset`
 //!   baseline and the `normalize` primitive of or-NRA⁺);
 //! * [`infer`] — most-general-type inference and monomorphic checking;
-//! * [`eval`] — the evaluator, under either the plain set semantics or the
+//! * [`eval`](mod@eval) — the evaluator, under either the plain set semantics or the
 //!   antichain semantics of Section 3;
 //! * [`normalize`] — the structural→conceptual passage: direct recursive
 //!   normalization and the paper's multiset-based rewriting construction;

@@ -35,7 +35,7 @@ pub enum Prim {
     Or,
     /// The canonical linear order on every object type, `s × s → bool`.
     /// This is the "lifting of linear orders from base types to arbitrary
-    /// types" provided by the OR-SML library (Section 7, citing [26]); here
+    /// types" provided by the OR-SML library (Section 7, citing \[26\]); here
     /// it is the order of the canonical value representation.
     ValueLeq,
 }

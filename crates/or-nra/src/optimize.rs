@@ -24,11 +24,88 @@
 //! Every rule preserves semantics for *well-typed* applications; the
 //! simplifier never turns a failing evaluation into a succeeding one on the
 //! original's domain because all rules are equations of the algebra.
+//!
+//! # The expand planner: placing operators around `or_α`
+//!
+//! Besides the morphism-level simplifier, this module contains a **plan**
+//! -level optimizer, [`optimize_expansion`], targeting the one physically
+//! exponential operator: `OrExpand`, the per-row α-expansion
+//! `μ ∘ map(ortoset ∘ normalize)` that turns a relation of or-set-carrying
+//! rows into the set of its complete possible worlds.
+//!
+//! ## When does a filter commute with `or_α`?
+//!
+//! A filter placed *above* an `OrExpand` runs once per possible world; the
+//! same filter placed *below* runs once per row and prevents discarded rows
+//! from being expanded at all.  The rewrite
+//!
+//! ```text
+//! Filter[p] ∘ OrExpand   ⟶   OrExpand ∘ Filter[p]
+//! ```
+//!
+//! is sound exactly when `p`'s answer is the same on a row and on every
+//! complete world of that row.  The syntactic conditions of the paper's
+//! Theorem 5.1 (checked by [`crate::preserve::commutes_with_or_alpha`]
+//! against the **unexpanded** row type) guarantee this: for such `p`,
+//! `normalize ∘ orη ∘ p = preserve(p) ∘ normalize ∘ orη` with `preserve(p)`
+//! map-like, so `p` is constant across the worlds of each row.  Predicates
+//! that *read* or-set structure — `=` at an or-set type, a primitive whose
+//! type mentions or-sets — fail the conditions and stay above the expansion.
+//!
+//! **Worked example** (mirroring the paper's Section 4 normalization): take
+//! rows of type `int × (⟨int⟩ × ⟨int⟩)`, e.g. `(7, (<1,2,3>, <4,5>))`, and
+//! the query "expand, then keep worlds with id ≤ 30":
+//!
+//! ```text
+//! Filter[leq ∘ ⟨id, K30⟩ ∘ π₁]          -- world-level filter: runs 6×/row
+//!   OrExpand[dedup=true]                 -- 6 worlds per row
+//!     Scan(#0)
+//! ```
+//!
+//! The predicate reads only the or-free `id` component, so
+//! `commutes_with_or_alpha` accepts it at the row type and the planner emits
+//!
+//! ```text
+//! OrExpand[dedup=true]                   -- expands *surviving* rows only
+//!   Filter[leq ∘ ⟨id, K30⟩ ∘ π₁]        -- row-level filter: runs 1×/row
+//!     Scan(#0)
+//! ```
+//!
+//! For a selectivity-σ filter this divides the expansion work by 1/σ.  Had
+//! the predicate compared the `⟨int⟩` field itself (structural equality at
+//! an or-set type — the paper's canonical non-preserved operation), the
+//! preconditions would flag it and the plan would be left alone.
+//!
+//! Projections move below `OrExpand` by the same theorem, with one extra
+//! proviso: Theorem 5.1 is stated for inputs free of empty or-sets.  A row
+//! containing an *empty* or-set denotes **no** worlds (`OrExpand` emits
+//! nothing), but if a projection dropped exactly the empty component before
+//! expansion, the projected row would suddenly denote a world.  Projection
+//! pushdown is therefore gated behind
+//! [`ExpandPlannerConfig::assume_consistent`], an explicit promise that no
+//! row contains an empty or-set; filters need no such promise (they drop or
+//! keep whole rows, so an inconsistent row yields nothing on either side).
+//!
+//! ## Cost model and partition-local expansion
+//!
+//! Placement is paired with a cardinality estimate: the planner samples the
+//! driving input's rows and computes their closed-form world counts
+//! ([`crate::cost::estimate_expansion`] /
+//! [`crate::cost::row_expansion_count`] — O(row size), no materialization).
+//! From the estimated total it recommends a worker count for the engine's
+//! partitioned executor ([`crate::cost::ExpandEstimate::recommended_workers`]):
+//! one big expand becomes `w` partition-local expands, each worker expanding
+//! and locally deduplicating its own row range, with the executor's merge
+//! step (set union) combining the partial world-sets.  Expansions too small
+//! to amortize a thread stay sequential.
 
-use or_object::Value;
+use or_object::{Type, Value};
 
+use crate::cost::{estimate_expansion_where, ExpandEstimate};
+use crate::infer::output_type;
 use crate::morphism::Morphism as M;
 use crate::physical::{LowerError, PhysicalPlan};
+use crate::preserve::commutes_with_or_alpha;
 
 /// Result statistics of a simplification run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -364,6 +441,304 @@ fn is_or_expand_body(body: &M) -> bool {
     matches!(body, M::Compose(f, g) if **f == M::OrToSet && **g == M::Normalize)
 }
 
+// ---------------------------------------------------------------------------
+// the expand planner (plan-level, cost-based)
+// ---------------------------------------------------------------------------
+
+/// Configuration of the expand planner (see the module docs for the rules).
+#[derive(Debug, Clone)]
+pub struct ExpandPlannerConfig {
+    /// Row types of the input slots (`row_types[i]` types `Scan(i)`'s rows).
+    /// Slots without a known type are never rewritten around — the
+    /// preservation conditions cannot be checked without a type.
+    pub row_types: Vec<Type>,
+    /// Promise that no input row contains an empty or-set (the Theorem 5.1
+    /// proviso).  Enables projection pushdown below `OrExpand`; filters are
+    /// pushed regardless.
+    pub assume_consistent: bool,
+    /// Hardware threads available to the executor.
+    pub available_workers: usize,
+    /// At most this many rows are inspected for the cardinality estimate.
+    pub sample_cap: usize,
+}
+
+impl Default for ExpandPlannerConfig {
+    fn default() -> Self {
+        ExpandPlannerConfig {
+            row_types: Vec::new(),
+            assume_consistent: false,
+            available_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            sample_cap: 64,
+        }
+    }
+}
+
+impl ExpandPlannerConfig {
+    /// Set the row type of input slot 0 (the common single-relation case).
+    pub fn with_row_type(mut self, ty: Type) -> Self {
+        self.row_types = vec![ty];
+        self
+    }
+
+    /// Promise the inputs contain no empty or-sets.
+    pub fn with_consistent_inputs(mut self) -> Self {
+        self.assume_consistent = true;
+        self
+    }
+
+    /// Override the available worker count.
+    pub fn with_available_workers(mut self, workers: usize) -> Self {
+        self.available_workers = workers.max(1);
+        self
+    }
+}
+
+/// What the expand planner did and what it measured.
+#[derive(Debug, Clone)]
+pub struct ExpandPlanReport {
+    /// Filters moved below an `OrExpand`.
+    pub pushed_filters: usize,
+    /// Projections moved below an `OrExpand`.
+    pub pushed_projects: usize,
+    /// Cardinality estimate of the driving input (when rows were provided
+    /// and the plan contains an `OrExpand`).
+    pub estimate: Option<ExpandEstimate>,
+    /// Worker count the executor should use for this plan.
+    pub recommended_workers: usize,
+}
+
+/// The row type produced by a subplan, given the input-slot row types.
+/// `None` when a type cannot be derived (unknown slot, morphism that fails
+/// to typecheck, …) — callers must then leave the plan alone.
+fn output_row_type(plan: &PhysicalPlan, row_types: &[Type]) -> Option<Type> {
+    match plan {
+        PhysicalPlan::Scan(i) => row_types.get(*i).cloned(),
+        PhysicalPlan::Filter { input, .. } => output_row_type(input, row_types),
+        PhysicalPlan::Project { f, input } => {
+            let in_ty = output_row_type(input, row_types)?;
+            output_type(f, &in_ty).ok()
+        }
+        PhysicalPlan::AttachEnv { setup, input } => {
+            // setup : {t} → env × {t'}; rows become (env, t') pairs
+            let in_ty = output_row_type(input, row_types)?;
+            match output_type(setup, &Type::set(in_ty)).ok()? {
+                Type::Prod(env, rows) => match *rows {
+                    Type::Set(elem) => Some(Type::prod(*env, *elem)),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        PhysicalPlan::Cartesian { left, right } | PhysicalPlan::Join { left, right, .. } => {
+            let l = output_row_type(left, row_types)?;
+            let r = output_row_type(right, row_types)?;
+            Some(Type::prod(l, r))
+        }
+        // each world of a row of type t is a complete instance: t with the
+        // or-set constructors stripped (Proposition 4.1's t')
+        PhysicalPlan::OrExpand { input, .. } => {
+            Some(output_row_type(input, row_types)?.strip_orsets())
+        }
+    }
+}
+
+/// Cost-based expand planning: push filters (and, for consistent inputs,
+/// projections) below `OrExpand` wherever the Theorem 5.1 preservation
+/// conditions allow, and recommend a worker count for partition-local
+/// expansion from a sampled cardinality estimate of `inputs`.
+///
+/// The rewritten plan computes the same world-set as `plan` on every input
+/// (for projections: on every input without empty or-sets, which
+/// [`ExpandPlannerConfig::assume_consistent`] promises).  See the module
+/// docs for the full rule set and a worked example.
+pub fn optimize_expansion(
+    plan: &PhysicalPlan,
+    inputs: &[&[Value]],
+    config: &ExpandPlannerConfig,
+) -> (PhysicalPlan, ExpandPlanReport) {
+    let mut report = ExpandPlanReport {
+        pushed_filters: 0,
+        pushed_projects: 0,
+        estimate: None,
+        recommended_workers: config.available_workers.max(1),
+    };
+    let plan = push_below_expand(plan.clone(), config, &mut report);
+    if contains_or_expand(&plan) {
+        if let Some(rows) = inputs.get(plan.driving_scan()) {
+            // The expansion only sees rows that pass the filters *below* it
+            // (including the ones this planner just pushed down), so sampled
+            // rows failing them must not count toward the work estimate.
+            let predicates = filters_below_expand(&plan);
+            let estimate = estimate_expansion_where(rows, config.sample_cap, |row| {
+                predicates.iter().all(|p| {
+                    // an erroring predicate cannot be pre-evaluated here;
+                    // count the row (conservative: over-estimates work)
+                    matches!(crate::eval::eval(p, row), Ok(Value::Bool(true)) | Err(_))
+                })
+            });
+            report.recommended_workers =
+                estimate.recommended_workers(config.available_workers.max(1));
+            report.estimate = Some(estimate);
+        }
+    }
+    (plan, report)
+}
+
+/// The filter predicates sitting between the outermost `OrExpand` on the
+/// driving path and its driving scan — the rows the expansion actually sees
+/// are the ones satisfying all of them.  Collection stops at any operator
+/// that changes the row shape (`Project`, `AttachEnv`, a binary node):
+/// predicates below such an operator do not apply to raw scan rows and
+/// cannot be pre-evaluated against them.
+fn filters_below_expand(plan: &PhysicalPlan) -> Vec<&M> {
+    fn below<'p>(plan: &'p PhysicalPlan, seen_expand: bool, out: &mut Vec<&'p M>) {
+        match plan {
+            PhysicalPlan::Filter { predicate, input } => {
+                if seen_expand {
+                    out.push(predicate);
+                }
+                below(input, seen_expand, out);
+            }
+            PhysicalPlan::OrExpand { input, .. } => below(input, true, out),
+            // before the expand, keep descending toward it; after it, any
+            // row-shape change invalidates raw-row pre-evaluation
+            PhysicalPlan::Project { input, .. } | PhysicalPlan::AttachEnv { input, .. } => {
+                if seen_expand {
+                    out.clear();
+                } else {
+                    below(input, seen_expand, out);
+                }
+            }
+            PhysicalPlan::Cartesian { left, .. } | PhysicalPlan::Join { left, .. } => {
+                if seen_expand {
+                    out.clear();
+                } else {
+                    below(left, seen_expand, out);
+                }
+            }
+            PhysicalPlan::Scan(_) => {}
+        }
+    }
+    let mut out = Vec::new();
+    below(plan, false, &mut out);
+    out
+}
+
+fn contains_or_expand(plan: &PhysicalPlan) -> bool {
+    match plan {
+        PhysicalPlan::Scan(_) => false,
+        PhysicalPlan::OrExpand { .. } => true,
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::AttachEnv { input, .. } => contains_or_expand(input),
+        PhysicalPlan::Cartesian { left, right } | PhysicalPlan::Join { left, right, .. } => {
+            contains_or_expand(left) || contains_or_expand(right)
+        }
+    }
+}
+
+fn push_below_expand(
+    plan: PhysicalPlan,
+    config: &ExpandPlannerConfig,
+    report: &mut ExpandPlanReport,
+) -> PhysicalPlan {
+    // children first, so a chain of operators above an expand cascades down
+    let plan = match plan {
+        PhysicalPlan::Filter { predicate, input } => PhysicalPlan::Filter {
+            predicate,
+            input: Box::new(push_below_expand(*input, config, report)),
+        },
+        PhysicalPlan::Project { f, input } => PhysicalPlan::Project {
+            f,
+            input: Box::new(push_below_expand(*input, config, report)),
+        },
+        PhysicalPlan::AttachEnv { setup, input } => PhysicalPlan::AttachEnv {
+            setup,
+            input: Box::new(push_below_expand(*input, config, report)),
+        },
+        PhysicalPlan::OrExpand {
+            budget,
+            dedup,
+            input,
+        } => PhysicalPlan::OrExpand {
+            budget,
+            dedup,
+            input: Box::new(push_below_expand(*input, config, report)),
+        },
+        PhysicalPlan::Cartesian { left, right } => PhysicalPlan::Cartesian {
+            left: Box::new(push_below_expand(*left, config, report)),
+            right: Box::new(push_below_expand(*right, config, report)),
+        },
+        PhysicalPlan::Join {
+            predicate,
+            left,
+            right,
+        } => PhysicalPlan::Join {
+            predicate,
+            left: Box::new(push_below_expand(*left, config, report)),
+            right: Box::new(push_below_expand(*right, config, report)),
+        },
+        leaf @ PhysicalPlan::Scan(_) => leaf,
+    };
+    match plan {
+        PhysicalPlan::Filter { predicate, input } => match *input {
+            PhysicalPlan::OrExpand {
+                budget,
+                dedup,
+                input: inner,
+            } if commutes_below(&predicate, &inner, config) => {
+                report.pushed_filters += 1;
+                let pushed = PhysicalPlan::OrExpand {
+                    budget,
+                    dedup,
+                    input: Box::new(PhysicalPlan::Filter {
+                        predicate,
+                        input: inner,
+                    }),
+                };
+                // the expand's new input may expose further pushdowns
+                push_below_expand(pushed, config, report)
+            }
+            other => PhysicalPlan::Filter {
+                predicate,
+                input: Box::new(other),
+            },
+        },
+        PhysicalPlan::Project { f, input } => match *input {
+            PhysicalPlan::OrExpand {
+                budget,
+                dedup,
+                input: inner,
+            } if config.assume_consistent && commutes_below(&f, &inner, config) => {
+                report.pushed_projects += 1;
+                let pushed = PhysicalPlan::OrExpand {
+                    budget,
+                    dedup,
+                    input: Box::new(PhysicalPlan::Project { f, input: inner }),
+                };
+                push_below_expand(pushed, config, report)
+            }
+            other => PhysicalPlan::Project {
+                f,
+                input: Box::new(other),
+            },
+        },
+        other => other,
+    }
+}
+
+/// Can `m` run below the `OrExpand` whose input is `inner`?  Requires the
+/// input row type to be known and the Theorem 5.1 conditions to hold for
+/// `m` at that (unexpanded) type.
+fn commutes_below(m: &M, inner: &PhysicalPlan, config: &ExpandPlannerConfig) -> bool {
+    match output_row_type(inner, &config.row_types) {
+        Some(ty) => commutes_with_or_alpha(m, &ty),
+        None => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +888,151 @@ mod tests {
             .then(M::map(M::Proj2));
         let plan = lower(&query).unwrap();
         assert!(plan.to_string().contains("AttachEnv"), "plan: {plan}");
+    }
+
+    fn fanout_row_type() -> or_object::Type {
+        use or_object::Type;
+        Type::prod(
+            Type::Int,
+            Type::prod(Type::orset(Type::Int), Type::orset(Type::Int)),
+        )
+    }
+
+    fn id_predicate(limit: i64) -> M {
+        M::Proj1
+            .then(M::pair(M::Id, M::constant(Value::Int(limit))))
+            .then(M::Prim(Prim::Leq))
+    }
+
+    #[test]
+    fn planner_pushes_orfree_filters_below_expand() {
+        let plan = PhysicalPlan::scan(0).or_expand().filter(id_predicate(3));
+        let config = ExpandPlannerConfig::default().with_row_type(fanout_row_type());
+        let (optimized, report) = optimize_expansion(&plan, &[], &config);
+        assert_eq!(report.pushed_filters, 1);
+        let rendered = optimized.to_string();
+        // OrExpand is now the root, the filter sits below it
+        assert!(
+            rendered.trim_start().starts_with("OrExpand"),
+            "plan: {rendered}"
+        );
+    }
+
+    #[test]
+    fn planner_leaves_orset_reading_filters_above_expand() {
+        // structural equality against an or-set constant reads or-set
+        // structure: the paper's canonical non-preserved operation
+        let orset_eq = M::Proj2
+            .then(M::Proj1)
+            .then(M::pair(M::Id, M::constant(Value::int_orset([1, 2]))))
+            .then(M::Eq);
+        let plan = PhysicalPlan::scan(0).or_expand().filter(orset_eq);
+        let config = ExpandPlannerConfig::default().with_row_type(fanout_row_type());
+        let (optimized, report) = optimize_expansion(&plan, &[], &config);
+        assert_eq!(report.pushed_filters, 0);
+        assert_eq!(optimized, plan);
+    }
+
+    #[test]
+    fn planner_needs_a_row_type_to_rewrite() {
+        let plan = PhysicalPlan::scan(0).or_expand().filter(id_predicate(3));
+        let (optimized, report) = optimize_expansion(&plan, &[], &ExpandPlannerConfig::default());
+        assert_eq!(report.pushed_filters, 0);
+        assert_eq!(optimized, plan);
+    }
+
+    #[test]
+    fn planner_pushes_projections_only_for_consistent_inputs() {
+        let plan = PhysicalPlan::scan(0).or_expand().project(M::Proj1);
+        let config = ExpandPlannerConfig::default().with_row_type(fanout_row_type());
+        let (kept, report) = optimize_expansion(&plan, &[], &config);
+        assert_eq!(report.pushed_projects, 0);
+        assert_eq!(kept, plan);
+        let config = config.with_consistent_inputs();
+        let (pushed, report) = optimize_expansion(&plan, &[], &config);
+        assert_eq!(report.pushed_projects, 1);
+        assert!(pushed.to_string().trim_start().starts_with("OrExpand"));
+    }
+
+    #[test]
+    fn pushed_plans_compute_the_same_worlds() {
+        use crate::normalize::normalize_value;
+        // reference semantics via the interpreter: expand-then-filter
+        let rows: Vec<Value> = (0..6)
+            .map(|i| {
+                Value::pair(
+                    Value::Int(i),
+                    Value::pair(
+                        Value::int_orset([i, i + 1, i + 2]),
+                        Value::int_orset([10 * i, 10 * i + 1]),
+                    ),
+                )
+            })
+            .collect();
+        let keep = |row: &Value| matches!(row.as_pair(), Some((Value::Int(i), _)) if *i <= 3);
+        // worlds of the filtered rows == filtered worlds of all rows
+        let mut expand_then_filter: Vec<Value> = Vec::new();
+        let mut filter_then_expand: Vec<Value> = Vec::new();
+        for row in &rows {
+            if let Value::OrSet(worlds) = normalize_value(row) {
+                expand_then_filter.extend(worlds.iter().filter(|w| keep(w)).cloned());
+                if keep(row) {
+                    filter_then_expand.extend(worlds);
+                }
+            }
+        }
+        expand_then_filter.sort();
+        expand_then_filter.dedup();
+        filter_then_expand.sort();
+        filter_then_expand.dedup();
+        assert_eq!(expand_then_filter, filter_then_expand);
+    }
+
+    #[test]
+    fn planner_reports_a_cardinality_estimate() {
+        let rows: Vec<Value> = (0..32)
+            .map(|i| {
+                Value::pair(
+                    Value::Int(i),
+                    Value::pair(Value::int_orset([0, 1, 2]), Value::int_orset([3, 4])),
+                )
+            })
+            .collect();
+        let plan = PhysicalPlan::scan(0).or_expand();
+        let config = ExpandPlannerConfig::default()
+            .with_row_type(fanout_row_type())
+            .with_available_workers(8);
+        let (_, report) = optimize_expansion(&plan, &[&rows], &config);
+        let est = report.estimate.expect("estimate for expanding plan");
+        assert_eq!(est.total_denotations, 32 * 6);
+        assert!(report.recommended_workers >= 1);
+        // tiny expansion: not worth a second worker
+        assert_eq!(report.recommended_workers, 1);
+    }
+
+    #[test]
+    fn estimate_accounts_for_pushed_filters() {
+        let rows: Vec<Value> = (0..40)
+            .map(|i| {
+                Value::pair(
+                    Value::Int(i),
+                    Value::pair(Value::int_orset([0, 1, 2]), Value::int_orset([3, 4])),
+                )
+            })
+            .collect();
+        // filter keeps ids 0..=9: selectivity 25%
+        let plan = PhysicalPlan::scan(0).or_expand().filter(id_predicate(9));
+        let config = ExpandPlannerConfig::default().with_row_type(fanout_row_type());
+        let (optimized, report) = optimize_expansion(&plan, &[&rows], &config);
+        assert_eq!(report.pushed_filters, 1);
+        assert_eq!(filters_below_expand(&optimized).len(), 1);
+        let est = report.estimate.expect("estimate");
+        // only the 10 surviving rows (6 worlds each) count toward the work
+        assert_eq!(est.total_denotations, 10 * 6);
+        // the same plan without the filter estimates the full expansion
+        let bare = PhysicalPlan::scan(0).or_expand();
+        let (_, full) = optimize_expansion(&bare, &[&rows], &config);
+        assert_eq!(full.estimate.expect("estimate").total_denotations, 40 * 6);
     }
 
     #[test]

@@ -204,6 +204,35 @@ fn walk(
     Ok(out)
 }
 
+/// Does `f` **commute with α-expansion** when applied to rows of type
+/// `input`?  True exactly when the syntactic preconditions of Theorem 5.1
+/// hold for `f` at `input` (and `f` typechecks there at all).
+///
+/// This is the test the expand planner
+/// ([`crate::optimize::optimize_expansion`]) uses to push a filter or
+/// projection below an `OrExpand` operator.  The connection: for `f` within
+/// the preconditions, Theorem 5.1 gives
+///
+/// ```text
+/// normalize ∘ orη ∘ f  =  preserve(f) ∘ normalize ∘ orη
+/// ```
+///
+/// and `preserve(f)` is map-like, so the set of complete worlds of `f(row)`
+/// equals `f` applied pointwise to the complete worlds of `row` — i.e. one
+/// may evaluate `f` *before* expanding instead of once per expanded world.
+/// A predicate that inspects or-set structure (e.g. `=` at an or-set type)
+/// fails the preconditions and is reported as non-commuting, as is any `f`
+/// that does not typecheck against the **unexpanded** row type.
+///
+/// Note the theorem's proviso: the equation is stated for inputs free of
+/// empty or-sets.  For *filters* the rewrite is sound even without the
+/// proviso (an inconsistent row expands to no worlds on either side); for
+/// *projections* that drop components the caller must separately know the
+/// rows are consistent — see the expand planner's documentation.
+pub fn commutes_with_or_alpha(f: &M, input: &Type) -> bool {
+    matches!(lossless_preconditions(f, input), Ok((_, v)) if v.is_empty())
+}
+
 /// Evaluate both sides of the losslessness equation for a concrete input
 /// object `x : s`:
 ///

@@ -14,8 +14,9 @@
 //! * [`alpha_antichain`] / [`beta_antichain`] — the antichain-semantics
 //!   mutually inverse isomorphisms of Theorem 3.3.
 
-use crate::antichain::{orset_min, set_max};
+use crate::antichain::{orset_min, orset_min_interned, set_max, set_max_interned};
 use crate::base_order::BaseOrder;
+use crate::intern::{InternId, Interner};
 use crate::value::{Value, ValueError};
 
 /// Iterate over all choice functions of `lists`: every produced vector picks
@@ -130,6 +131,38 @@ pub fn alpha_bag(v: &Value) -> Result<Value, ValueError> {
     Ok(Value::orset(out))
 }
 
+/// [`alpha_set`] with hash-consing: the combined sets share the structure of
+/// the alternatives they pick (interned once in `arena`), and the result
+/// or-set is deduplicated by interned id instead of by deep comparison.
+///
+/// The output is pointwise equal to [`alpha_set`]; only the cost profile
+/// differs.  Returns the interned id of the resulting or-set — use
+/// [`Interner::value`] to materialize it.
+pub fn alpha_set_interned(arena: &mut Interner, v: &Value) -> Result<InternId, ValueError> {
+    let items = match v {
+        Value::Set(items) => items,
+        other => {
+            return Err(ValueError::Shape(format!(
+                "alpha expects a set of or-sets, found {other}"
+            )))
+        }
+    };
+    // Intern every alternative of every or-set once, up front.
+    let lists: Vec<Vec<InternId>> = items
+        .iter()
+        .map(|o| {
+            let elems = orset_elements(o)?;
+            Ok(elems.iter().map(|x| arena.intern(x)).collect())
+        })
+        .collect::<Result<_, ValueError>>()?;
+    let mut worlds: Vec<InternId> = Vec::new();
+    for choice in ChoiceFunctions::new(&lists) {
+        let ids: Vec<InternId> = choice.into_iter().copied().collect();
+        worlds.push(arena.set(ids));
+    }
+    Ok(arena.orset(worlds))
+}
+
 /// The antichain-semantics `alpha_a : [[{<t>}]]_a -> [[<{t}>]]_a` of
 /// Theorem 3.3:
 ///
@@ -150,14 +183,20 @@ pub fn alpha_antichain(base: BaseOrder, v: &Value) -> Result<Value, ValueError> 
         }
     };
     let lists: Vec<Vec<Value>> = items.iter().map(orset_elements).collect::<Result<_, _>>()?;
+    // Candidate world-sets repeat heavily (choice functions that differ only
+    // in dominated elements collapse under max); dedup them by interned id
+    // before the quadratic minimality pass.
+    let mut arena = Interner::new();
     let mut candidates: Vec<Value> = Vec::new();
     for choice in ChoiceFunctions::new(&lists) {
         let chosen: Vec<Value> = choice.into_iter().cloned().collect();
         candidates.push(Value::set(set_max(base, &chosen)));
     }
-    candidates.sort();
-    candidates.dedup();
-    Ok(Value::orset(orset_min(base, &candidates)))
+    Ok(Value::orset(orset_min_interned(
+        base,
+        &mut arena,
+        &candidates,
+    )))
 }
 
 /// The inverse isomorphism `beta_a : [[<{t}>]]_a -> [[{<t>}]]_a` of
@@ -188,14 +227,13 @@ pub fn beta_antichain(base: BaseOrder, v: &Value) -> Result<Value, ValueError> {
             ))),
         })
         .collect::<Result<_, _>>()?;
+    let mut arena = Interner::new();
     let mut candidates: Vec<Value> = Vec::new();
     for choice in ChoiceFunctions::new(&lists) {
         let chosen: Vec<Value> = choice.into_iter().cloned().collect();
         candidates.push(Value::orset(orset_min(base, &chosen)));
     }
-    candidates.sort();
-    candidates.dedup();
-    Ok(Value::set(set_max(base, &candidates)))
+    Ok(Value::set(set_max_interned(base, &mut arena, &candidates)))
 }
 
 #[cfg(test)]
@@ -279,6 +317,44 @@ mod tests {
         let v = Value::set(orsets);
         let out = alpha_set(&v).unwrap();
         assert_eq!(out.elements().unwrap().len(), 1 << n);
+    }
+
+    #[test]
+    fn interned_alpha_matches_plain_alpha() {
+        use crate::intern::Interner;
+        let mut arena = Interner::new();
+        let cases = [
+            Value::set([Value::int_orset([2, 3]), Value::int_orset([4, 5, 3])]),
+            Value::set([Value::int_orset([1, 2]), Value::int_orset([1, 2])]),
+            Value::empty_set(),
+            Value::set([
+                Value::int_orset([1, 2]),
+                Value::empty_orset(),
+                Value::int_orset([3]),
+            ]),
+        ];
+        for v in &cases {
+            let plain = alpha_set(v).unwrap();
+            let interned = alpha_set_interned(&mut arena, v).unwrap();
+            assert_eq!(arena.value(interned), plain, "disagreement on {v}");
+        }
+        // and the error paths agree
+        assert!(alpha_set_interned(&mut arena, &Value::Int(1)).is_err());
+        assert!(alpha_set_interned(&mut arena, &Value::set([Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn interned_alpha_shares_structure_across_worlds() {
+        use crate::intern::Interner;
+        let mut arena = Interner::new();
+        // 2^8 worlds over only 16 distinct leaves: the arena stays far
+        // smaller than the materialized expansion.
+        let v = Value::set((0..8).map(|i| Value::int_orset([2 * i as i64, 2 * i as i64 + 1])));
+        let id = alpha_set_interned(&mut arena, &v).unwrap();
+        let out = arena.value(id);
+        assert_eq!(out.elements().unwrap().len(), 256);
+        // 16 leaves + 256 world sets + 1 or-set node (plus nothing else)
+        assert!(arena.len() <= 16 + 256 + 1, "arena: {}", arena.len());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! the invariant.
 
 use crate::base_order::BaseOrder;
+use crate::intern::Interner;
 use crate::order::object_leq;
 use crate::value::Value;
 
@@ -65,6 +66,38 @@ pub fn set_max(base: BaseOrder, items: &[Value]) -> Vec<Value> {
 /// Take the minimal elements of an or-set value under the structural order.
 pub fn orset_min(base: BaseOrder, items: &[Value]) -> Vec<Value> {
     min_elems(items, |a, b| object_leq(base, a, b))
+}
+
+/// Remove structural duplicates from `items` in O(n) interner operations,
+/// keeping the first occurrence of each object in input order.  This is the
+/// hash-consed replacement for the quadratic equality scans of
+/// [`max_elems`]/[`min_elems`] when many candidates coincide — e.g. the
+/// choice-function candidates of `alpha_a` over possible worlds that share
+/// most of their structure.
+pub fn dedup_interned(arena: &mut Interner, items: &[Value]) -> Vec<Value> {
+    let mut seen = std::collections::HashSet::with_capacity(items.len());
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        if seen.insert(arena.intern(item)) {
+            out.push(item.clone());
+        }
+    }
+    out
+}
+
+/// [`set_max`] with an interner-backed duplicate pass: structural duplicates
+/// are removed by id first (O(n)), so the quadratic domination scan runs on
+/// distinct elements only.  Pointwise equal to [`set_max`].
+pub fn set_max_interned(base: BaseOrder, arena: &mut Interner, items: &[Value]) -> Vec<Value> {
+    let distinct = dedup_interned(arena, items);
+    set_max(base, &distinct)
+}
+
+/// [`orset_min`] with an interner-backed duplicate pass; pointwise equal to
+/// [`orset_min`].
+pub fn orset_min_interned(base: BaseOrder, arena: &mut Interner, items: &[Value]) -> Vec<Value> {
+    let distinct = dedup_interned(arena, items);
+    orset_min(base, &distinct)
 }
 
 /// Coerce an object into the antichain semantics: recursively keep only the
@@ -162,6 +195,30 @@ mod tests {
         let v = Value::int_set([3, 5, 7]);
         let a = to_antichain(base, &v);
         assert_eq!(a, Value::int_set([7]));
+    }
+
+    #[test]
+    fn interned_max_min_match_plain_variants() {
+        let mut arena = Interner::new();
+        let base = BaseOrder::FlatWithNull;
+        let items = vec![
+            Value::pair(Value::Null, Value::str("515")),
+            Value::pair(Value::str("Joe"), Value::str("515")),
+            Value::pair(Value::Null, Value::str("515")), // duplicate
+            Value::pair(Value::Null, Value::Null),
+        ];
+        assert_eq!(
+            set_max_interned(base, &mut arena, &items),
+            set_max(base, &items)
+        );
+        assert_eq!(
+            orset_min_interned(base, &mut arena, &items),
+            orset_min(base, &items)
+        );
+        // dedup keeps first occurrences in order
+        let deduped = dedup_interned(&mut arena, &items);
+        assert_eq!(deduped.len(), 3);
+        assert_eq!(deduped[0], items[0]);
     }
 
     #[test]

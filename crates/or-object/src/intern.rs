@@ -1,0 +1,437 @@
+//! Hash-consing of complex objects.
+//!
+//! α-expansion materializes — in the worst case, exponentially — many
+//! possible worlds that share almost all of their structure: two denotations
+//! of `{(id, <a, b>), (id', <a, b>)}` differ in one chosen alternative and
+//! agree everywhere else.  Representing every world as an owned
+//! [`Value`] tree repeats that shared structure once per world, and
+//! deduplicating worlds then costs a deep traversal per comparison.
+//!
+//! An [`Interner`] stores each distinct sub-object **once** and names it by a
+//! dense [`InternId`].  Structural equality of interned objects is id
+//! equality — O(1) — and hashing an id is hashing a `u32`.  Interning is
+//! canonical: two [`Value`]s are structurally equal **iff** they intern to
+//! the same id (values are canonical by construction — sets and or-sets
+//! sorted and deduplicated — and interning proceeds bottom-up, so equal
+//! children always resolve to equal ids).
+//!
+//! The arena is the engine's "scratch" for α-expansion: an `OrExpand`
+//! operator keeps one interner for its whole input stream, so possible
+//! worlds produced by *different* rows still share their common
+//! sub-structure, and streaming dedup degenerates to a `HashSet<InternId>`.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+use crate::value::Value;
+
+/// FNV-1a, a tiny non-cryptographic hasher.  Interning hashes very small
+/// keys (a discriminant plus a few 4-byte ids) at very high rates, where the
+/// default SipHash's per-call setup dominates; FNV-1a is a multiply-xor per
+/// byte with no setup at all.
+#[derive(Debug, Default, Clone)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = if self.0 == 0 {
+            0xCBF2_9CE4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`].
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A hash set of [`InternId`]s using the fast hasher — the recommended
+/// container for streaming world dedup.
+pub type IdSet = HashSet<InternId, FnvBuildHasher>;
+
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// A reference to an interned object inside an [`Interner`].
+///
+/// Ids are only meaningful relative to the interner that produced them.
+/// Within one interner, `a == b` iff the interned objects are structurally
+/// equal, and `Hash` hashes the raw index — this is what makes interned
+/// dedup O(1) per world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InternId(u32);
+
+impl InternId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned node: the shape of a [`Value`] with children replaced by
+/// [`InternId`]s.  Collection children are kept in the canonical (value)
+/// order of the objects they name, mirroring the canonical representation of
+/// [`Value`] itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// `()`.
+    Unit,
+    /// A boolean constant.
+    Bool(bool),
+    /// An integer constant.
+    Int(i64),
+    /// A string constant.
+    Str(String),
+    /// The Codd-style null.
+    Null,
+    /// A pair of interned objects.
+    Pair(InternId, InternId),
+    /// A set (children in canonical value order, deduplicated).
+    Set(Box<[InternId]>),
+    /// An or-set (children in canonical value order, deduplicated).
+    OrSet(Box<[InternId]>),
+    /// A bag (children in canonical value order, duplicates kept).
+    Bag(Box<[InternId]>),
+}
+
+/// A hash-consing arena for complex objects.
+///
+/// Nodes live **once**, in `nodes`; the lookup index is a flat
+/// open-addressing table of ids (`u32::MAX` = empty slot) probed linearly by
+/// node hash, with equality resolved against the arena itself.  A wide
+/// world-set node is therefore never duplicated as a map key, and inserting
+/// a node costs no allocation beyond the `nodes` push.
+#[derive(Debug)]
+pub struct Interner {
+    nodes: Vec<Node>,
+    /// FNV hash of each node, parallel to `nodes` (saves re-hashing during
+    /// probe rejection and table growth).
+    hashes: Vec<u64>,
+    /// Open-addressing index into `nodes`; always a power-of-two length.
+    table: Vec<u32>,
+    token: u64,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+impl Clone for Interner {
+    fn clone(&self) -> Interner {
+        Interner {
+            nodes: self.nodes.clone(),
+            hashes: self.hashes.clone(),
+            table: self.table.clone(),
+            // a clone can diverge from the original, so it gets a fresh
+            // token: memoized ids from one are never replayed on the other
+            token: NEXT_TOKEN.fetch_add(1, AtomicOrdering::Relaxed),
+        }
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Interner {
+        Interner::new()
+    }
+}
+
+impl Interner {
+    /// An empty arena.
+    pub fn new() -> Interner {
+        Interner {
+            nodes: Vec::new(),
+            hashes: Vec::new(),
+            table: vec![EMPTY_SLOT; 64],
+            token: NEXT_TOKEN.fetch_add(1, AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// A process-unique token identifying this arena instance.  Caches that
+    /// store [`InternId`]s alongside results (e.g. the lazy normalizer's
+    /// constant-subtree memo) key them by this token, so an id from one
+    /// arena is never replayed against another.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Number of distinct interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Look up the node an id names.
+    pub fn node(&self, id: InternId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn insert(&mut self, node: Node) -> InternId {
+        let hash = Self::node_hash(&node);
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let entry = self.table[slot];
+            if entry == EMPTY_SLOT {
+                break;
+            }
+            let at = entry as usize;
+            if self.hashes[at] == hash && self.nodes[at] == node {
+                return InternId(entry);
+            }
+            slot = (slot + 1) & mask;
+        }
+        let raw = u32::try_from(self.nodes.len()).expect("intern arena overflow");
+        assert_ne!(raw, EMPTY_SLOT, "intern arena overflow");
+        self.nodes.push(node);
+        self.hashes.push(hash);
+        self.table[slot] = raw;
+        // grow at 75% load so probe chains stay short
+        if self.nodes.len() * 4 >= self.table.len() * 3 {
+            self.grow_table();
+        }
+        InternId(raw)
+    }
+
+    fn node_hash(node: &Node) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = FnvHasher::default();
+        node.hash(&mut h);
+        h.finish()
+    }
+
+    fn grow_table(&mut self) {
+        let new_len = self.table.len() * 2;
+        let mask = new_len - 1;
+        let mut table = vec![EMPTY_SLOT; new_len];
+        for (i, &hash) in self.hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
+            while table[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = i as u32;
+        }
+        self.table = table;
+    }
+
+    /// Intern a (canonical) value, bottom-up.  Equal values always produce
+    /// equal ids.
+    pub fn intern(&mut self, v: &Value) -> InternId {
+        match v {
+            Value::Unit => self.insert(Node::Unit),
+            Value::Bool(b) => self.insert(Node::Bool(*b)),
+            Value::Int(i) => self.insert(Node::Int(*i)),
+            Value::Str(s) => self.insert(Node::Str(s.clone())),
+            Value::Null => self.insert(Node::Null),
+            Value::Pair(a, b) => {
+                let ia = self.intern(a);
+                let ib = self.intern(b);
+                self.insert(Node::Pair(ia, ib))
+            }
+            Value::Set(items) => {
+                let ids: Vec<InternId> = items.iter().map(|x| self.intern(x)).collect();
+                // canonical values keep their children sorted already
+                self.insert(Node::Set(ids.into_boxed_slice()))
+            }
+            Value::OrSet(items) => {
+                let ids: Vec<InternId> = items.iter().map(|x| self.intern(x)).collect();
+                self.insert(Node::OrSet(ids.into_boxed_slice()))
+            }
+            Value::Bag(items) => {
+                let ids: Vec<InternId> = items.iter().map(|x| self.intern(x)).collect();
+                self.insert(Node::Bag(ids.into_boxed_slice()))
+            }
+        }
+    }
+
+    /// Intern a pair from already-interned components.
+    pub fn pair(&mut self, a: InternId, b: InternId) -> InternId {
+        self.insert(Node::Pair(a, b))
+    }
+
+    /// Intern a set from already-interned element ids.  The ids are sorted
+    /// into canonical value order and deduplicated, mirroring [`Value::set`].
+    pub fn set(&mut self, mut ids: Vec<InternId>) -> InternId {
+        self.canonicalize(&mut ids, true);
+        self.insert(Node::Set(ids.into_boxed_slice()))
+    }
+
+    /// Intern an or-set from already-interned element ids (sorted,
+    /// deduplicated), mirroring [`Value::orset`].
+    pub fn orset(&mut self, mut ids: Vec<InternId>) -> InternId {
+        self.canonicalize(&mut ids, true);
+        self.insert(Node::OrSet(ids.into_boxed_slice()))
+    }
+
+    /// Intern a bag from already-interned element ids (sorted, duplicates
+    /// kept), mirroring [`Value::bag`].
+    pub fn bag(&mut self, mut ids: Vec<InternId>) -> InternId {
+        self.canonicalize(&mut ids, false);
+        self.insert(Node::Bag(ids.into_boxed_slice()))
+    }
+
+    fn canonicalize(&self, ids: &mut Vec<InternId>, dedup: bool) {
+        ids.sort_by(|&a, &b| self.cmp(a, b));
+        if dedup {
+            ids.dedup(); // equal values have equal ids
+        }
+    }
+
+    /// Compare two interned objects in the same order as
+    /// [`Value`]'s derived `Ord`.  Equal ids short-circuit, and shared
+    /// sub-structure keeps the recursion shallow in practice.
+    pub fn cmp(&self, a: InternId, b: InternId) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b {
+            return Ordering::Equal;
+        }
+        fn rank(n: &Node) -> u8 {
+            // must match the declaration order of `Value`'s variants
+            match n {
+                Node::Unit => 0,
+                Node::Bool(_) => 1,
+                Node::Int(_) => 2,
+                Node::Str(_) => 3,
+                Node::Null => 4,
+                Node::Pair(..) => 5,
+                Node::Set(_) => 6,
+                Node::OrSet(_) => 7,
+                Node::Bag(_) => 8,
+            }
+        }
+        let (na, nb) = (self.node(a), self.node(b));
+        match (na, nb) {
+            (Node::Bool(x), Node::Bool(y)) => x.cmp(y),
+            (Node::Int(x), Node::Int(y)) => x.cmp(y),
+            (Node::Str(x), Node::Str(y)) => x.cmp(y),
+            (Node::Pair(a1, a2), Node::Pair(b1, b2)) => {
+                self.cmp(*a1, *b1).then_with(|| self.cmp(*a2, *b2))
+            }
+            (Node::Set(xs), Node::Set(ys))
+            | (Node::OrSet(xs), Node::OrSet(ys))
+            | (Node::Bag(xs), Node::Bag(ys)) => {
+                for (x, y) in xs.iter().zip(ys.iter()) {
+                    let ord = self.cmp(*x, *y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                xs.len().cmp(&ys.len())
+            }
+            _ => rank(na).cmp(&rank(nb)),
+        }
+    }
+
+    /// Reconstruct the [`Value`] an id names.
+    pub fn value(&self, id: InternId) -> Value {
+        match self.node(id) {
+            Node::Unit => Value::Unit,
+            Node::Bool(b) => Value::Bool(*b),
+            Node::Int(i) => Value::Int(*i),
+            Node::Str(s) => Value::Str(s.clone()),
+            Node::Null => Value::Null,
+            Node::Pair(a, b) => Value::Pair(Box::new(self.value(*a)), Box::new(self.value(*b))),
+            // children are already canonical, so rebuild without re-sorting
+            Node::Set(ids) => Value::Set(ids.iter().map(|&i| self.value(i)).collect()),
+            Node::OrSet(ids) => Value::OrSet(ids.iter().map(|&i| self.value(i)).collect()),
+            Node::Bag(ids) => Value::Bag(ids.iter().map(|&i| self.value(i)).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{GenConfig, Generator};
+
+    #[test]
+    fn equal_values_intern_to_equal_ids() {
+        let mut arena = Interner::new();
+        let a = Value::set([Value::int_orset([3, 1]), Value::int_orset([2])]);
+        let b = Value::set([Value::int_orset([1, 3]), Value::int_orset([2])]);
+        assert_eq!(arena.intern(&a), arena.intern(&b));
+        let c = Value::set([Value::int_orset([1, 3])]);
+        assert_ne!(arena.intern(&a), arena.intern(&c));
+    }
+
+    #[test]
+    fn value_round_trips() {
+        let mut arena = Interner::new();
+        let config = GenConfig {
+            max_depth: 4,
+            max_width: 3,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(7, config);
+        for _ in 0..50 {
+            let (_, v) = gen.typed_object();
+            let id = arena.intern(&v);
+            assert_eq!(arena.value(id), v);
+            // interning the round-tripped value is stable
+            assert_eq!(arena.intern(&arena.value(id)), id);
+        }
+    }
+
+    #[test]
+    fn cmp_matches_value_order() {
+        let mut arena = Interner::new();
+        let config = GenConfig {
+            max_depth: 3,
+            max_width: 3,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(11, config);
+        let values: Vec<Value> = (0..30).map(|_| gen.typed_object().1).collect();
+        for x in &values {
+            for y in &values {
+                let ix = arena.intern(x);
+                let iy = arena.intern(y);
+                assert_eq!(arena.cmp(ix, iy), x.cmp(y), "cmp disagrees on {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_match_value_constructors() {
+        let mut arena = Interner::new();
+        let e1 = arena.intern(&Value::Int(5));
+        let e2 = arena.intern(&Value::Int(1));
+        let set_id = arena.set(vec![e1, e2, e1]);
+        assert_eq!(arena.value(set_id), Value::int_set([1, 5]));
+        let orset_id = arena.orset(vec![e1, e2]);
+        assert_eq!(arena.value(orset_id), Value::int_orset([1, 5]));
+        let bag_id = arena.bag(vec![e1, e2, e1]);
+        assert_eq!(
+            arena.value(bag_id),
+            Value::bag([Value::Int(1), Value::Int(5), Value::Int(5)])
+        );
+        let pair_id = arena.pair(e1, e2);
+        assert_eq!(
+            arena.value(pair_id),
+            Value::pair(Value::Int(5), Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn sharing_keeps_the_arena_small() {
+        let mut arena = Interner::new();
+        // 100 sets over the same 5 leaves: the arena holds the leaves once
+        for i in 0..100i64 {
+            let v = Value::set([Value::Int(i % 5), Value::Int((i + 1) % 5)]);
+            arena.intern(&v);
+        }
+        // 5 leaves + at most 5*5 distinct two-element sets
+        assert!(arena.len() <= 5 + 25, "arena grew to {}", arena.len());
+    }
+}

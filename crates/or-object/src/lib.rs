@@ -19,6 +19,9 @@
 //! * [`alpha`] — the interaction operator `alpha : {<t>} → <{t}>`, its
 //!   duplicate-preserving variant `alpha_d`, and the antichain isomorphisms
 //!   `alpha_a` / `beta_a` of Theorem 3.3;
+//! * [`intern`] — a hash-consing arena so the (worst-case exponentially
+//!   many) possible worlds produced by α-expansion share structure and
+//!   compare/dedup in O(1) by interned id;
 //! * [`steps`] — the elementary information-improvement steps whose closures
 //!   characterize the Hoare and Smyth orders (Propositions 3.1 / 3.2);
 //! * [`theory`] — modal-logic theories of objects and the order
@@ -54,6 +57,7 @@ pub mod alpha;
 pub mod antichain;
 pub mod base_order;
 pub mod generate;
+pub mod intern;
 pub mod order;
 pub mod steps;
 pub mod theory;
@@ -66,6 +70,7 @@ pub mod prelude {
     pub use crate::antichain::{is_antichain_object, to_antichain};
     pub use crate::base_order::BaseOrder;
     pub use crate::generate::{GenConfig, Generator};
+    pub use crate::intern::{InternId, Interner};
     pub use crate::order::{object_leq, object_lt};
     pub use crate::theory::{entails, separating_formula, Formula};
     pub use crate::types::Type;

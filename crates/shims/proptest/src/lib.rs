@@ -19,7 +19,7 @@
 use std::ops::{Range, RangeInclusive};
 
 pub mod test_runner {
-    //! Configuration and runtime plumbing used by the [`proptest!`] macro.
+    //! Configuration and runtime plumbing used by the `proptest!` macro.
 
     /// Subset of proptest's configuration: only `cases` is honoured.
     #[derive(Debug, Clone)]
@@ -241,7 +241,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Acceptable length specifications for [`vec`].
+    /// Acceptable length specifications for [`vec`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -273,7 +273,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
