@@ -1,0 +1,47 @@
+//! E14: an OrQL session script replayed under the session's three execution
+//! modes — the tree-walking interpreter, the engine-first mode (the engine
+//! serves every plannable statement), and the engine-checked differential
+//! mode (engine + interpreter cross-check).  This is the user-facing
+//! counterpart of E13: the same statements a REPL user types, timed
+//! end-to-end through parse, type-check and execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use or_bench::experiments::{e14_replay, e14_session, hardware_workers};
+use or_engine::ExecConfig;
+use or_lang::session::ExecMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_session_engine_first");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+
+    let scale = 4_000usize;
+    let par = ExecConfig::default().with_workers(hardware_workers());
+
+    let mut interp = e14_session(ExecMode::Interp, ExecConfig::default(), scale);
+    group.bench_function("session/interp", |b| b.iter(|| e14_replay(&mut interp)));
+
+    let mut engine_seq = e14_session(ExecMode::Engine, ExecConfig::default(), scale);
+    group.bench_function("session/engine_seq", |b| {
+        b.iter(|| e14_replay(&mut engine_seq))
+    });
+
+    let mut engine_par = e14_session(ExecMode::Engine, par, scale);
+    group.bench_function("session/engine_par", |b| {
+        b.iter(|| e14_replay(&mut engine_par))
+    });
+
+    let mut checked = e14_session(ExecMode::EngineChecked, par, scale);
+    group.bench_function("session/engine_checked", |b| {
+        b.iter(|| e14_replay(&mut checked))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

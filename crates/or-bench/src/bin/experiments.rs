@@ -1,13 +1,15 @@
-//! `experiments` — run every experiment (E1–E13) and print its table.
+//! `experiments` — run every experiment (E1–E14) and print its table.
 //!
 //! ```text
 //! cargo run --release -p or-bench --bin experiments            # all
 //! cargo run --release -p or-bench --bin experiments -- e03 e07 # a subset
 //! ```
 //!
-//! Running `e13` (alone or as part of the full suite) additionally writes
-//! `BENCH_engine.json` — the machine-readable engine-vs-interpreter
-//! measurements tracked across PRs.
+//! Running `e13` (alone or as part of the full suite) additionally measures
+//! the e14 session replay and writes `BENCH_engine.json` — the
+//! machine-readable engine-vs-interpreter measurements (engine workloads
+//! *and* the session replay) tracked across PRs.  `e14` alone prints the
+//! session table without touching the file.
 //!
 //! ## Regression checking
 //!
@@ -16,10 +18,12 @@
 //! ```
 //!
 //! reads the **committed** baseline (default `BENCH_engine.json`), re-runs
-//! the e13 measurements, and exits non-zero if any workload's
-//! `speedup_vs_interp` fell below `baseline / max-slowdown`, if any
-//! engine/interpreter cross-check failed, or if a baseline workload
-//! disappeared.  The fresh measurements are **not** written back — the
+//! the e13+e14 measurements, and exits non-zero if any workload's speedup
+//! fell below `baseline / max-slowdown`, if any engine/interpreter
+//! cross-check failed, or if a baseline workload disappeared.  The parallel
+//! leg is compared only when the baseline was measured on the same core
+//! count (`available_parallelism`); otherwise the sequential leg is
+//! compared.  The fresh measurements are **not** written back — the
 //! committed file stays the baseline of record.
 
 use or_bench::experiments;
@@ -46,7 +50,7 @@ fn all() -> Vec<Experiment> {
         ("e11", || experiments::e11_normalize_expansion(10)),
         ("e12", experiments::e12_lazy_vs_eager),
         ("e13", || {
-            let rows = experiments::e13_engine_rows(E13_SCALE);
+            let rows = experiments::engine_bench_rows(E13_SCALE);
             let json = experiments::engine_bench_json(&rows);
             match std::fs::write("BENCH_engine.json", &json) {
                 Ok(()) => eprintln!("wrote BENCH_engine.json"),
@@ -54,6 +58,7 @@ fn all() -> Vec<Experiment> {
             }
             experiments::e13_table_from_rows(&rows)
         }),
+        ("e14", || experiments::e14_session_engine_first(E13_SCALE)),
     ]
 }
 
@@ -97,8 +102,8 @@ fn check_regression(args: &[String]) -> i32 {
         eprintln!("baseline {baseline_path} contains no workloads");
         return 2;
     }
-    eprintln!("measuring fresh e13 rows (scale {E13_SCALE})...");
-    let fresh = experiments::e13_engine_rows(E13_SCALE);
+    eprintln!("measuring fresh e13+e14 rows (scale {E13_SCALE})...");
+    let fresh = experiments::engine_bench_rows(E13_SCALE);
     println!("{}", experiments::e13_table_from_rows(&fresh));
     let verdicts = experiments::check_regression(&baseline, &fresh, max_slowdown);
     let mut failed = false;
@@ -132,7 +137,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matched; known names: e01..e13");
+        eprintln!("no experiment matched; known names: e01..e14");
         std::process::exit(1);
     }
 }

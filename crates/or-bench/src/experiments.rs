@@ -1,6 +1,7 @@
 //! The experiment suite: one function per experiment (E1–E12 reproduce the
 //! paper's claims; E13 measures the physical engine against the
-//! interpreter).
+//! interpreter; E14 replays an OrQL session script under the session's
+//! three execution modes).
 //!
 //! Each function runs the workload at moderate, laptop-friendly sizes and
 //! returns a [`Table`] of the quantities the paper's corresponding claim is
@@ -713,6 +714,11 @@ pub struct EngineBenchRow {
     pub engine_par_ms: f64,
     /// Worker threads used by the parallel run.
     pub workers: usize,
+    /// Hardware threads of the measuring machine
+    /// (`std::thread::available_parallelism`).  Recorded per row so that
+    /// parallel-leg numbers are only ever compared across runs on matching
+    /// core counts (see [`check_regression`]).
+    pub available_parallelism: usize,
     /// Did all three executions produce identical results?
     pub equal: bool,
 }
@@ -722,6 +728,19 @@ impl EngineBenchRow {
     pub fn speedup_vs_interp(&self) -> f64 {
         self.interp_ms / self.engine_par_ms.max(1e-9)
     }
+
+    /// Sequential-engine speedup over the interpreter (the core-count
+    /// independent leg).
+    pub fn speedup_seq(&self) -> f64 {
+        self.interp_ms / self.engine_seq_ms.max(1e-9)
+    }
+}
+
+/// The measuring machine's hardware thread count.
+pub fn hardware_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Run `f` several times and report the result with the **minimum** wall
@@ -836,9 +855,7 @@ fn measure_workload(name: &str, relation: &or_db::Relation, query: &M) -> Engine
     use or_engine::{run_plan, run_plan_with_stats, ExecConfig};
     use or_nra::optimize::lower;
 
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let available = hardware_workers();
     let seq = ExecConfig::default();
     let par = ExecConfig::default().with_workers(available);
     let plan = lower(query).expect("workload query is lowerable");
@@ -854,6 +871,7 @@ fn measure_workload(name: &str, relation: &or_db::Relation, query: &M) -> Engine
         engine_seq_ms,
         engine_par_ms,
         workers: stats.workers,
+        available_parallelism: available,
         equal: interp == eng_seq && eng_seq == eng_par,
     }
 }
@@ -866,9 +884,7 @@ fn measure_planned_workload(name: &str, relation: &or_db::Relation, query: &M) -
     use or_engine::{run_plan, run_plan_optimized, ExecConfig};
     use or_nra::optimize::lower;
 
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let available = hardware_workers();
     let seq = ExecConfig::default();
     let par = ExecConfig::default().with_workers(available);
     let plan = lower(query).expect("workload query is lowerable");
@@ -887,6 +903,7 @@ fn measure_planned_workload(name: &str, relation: &or_db::Relation, query: &M) -
         engine_seq_ms,
         engine_par_ms,
         workers: stats.workers,
+        available_parallelism: available,
         equal: interp == eng_seq && eng_seq == eng_par,
     }
 }
@@ -934,9 +951,7 @@ pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
         use or_engine::{run_plan, run_plan_with_stats, ExecConfig};
         use or_nra::physical::PhysicalPlan;
 
-        let available = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let available = hardware_workers();
         let seq = ExecConfig::default();
         let par = ExecConfig::default().with_workers(available);
         let left_schema = or_db::Schema::new([
@@ -980,11 +995,145 @@ pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
             engine_seq_ms,
             engine_par_ms,
             workers: stats.workers,
+            available_parallelism: available,
             equal: interp == eng_seq && eng_seq == eng_par,
         });
     }
 
     out
+}
+
+// ---------------------------------------------------------------------------
+// E14: engine-first sessions — Interp vs Engine vs EngineChecked
+// ---------------------------------------------------------------------------
+
+/// The e14 session script: plannable filters/projections, a multi-binding
+/// comprehension (served by the engine's hash join), a union of two
+/// sub-queries, a dependent-generator comprehension (served via `Flatten`),
+/// and one or-monad statement that falls back to the interpreter in every
+/// mode.
+pub const E14_SCRIPT: &[&str] = &[
+    "{ fst(p) | p <- parts, snd(p) <= 30 }",
+    "{ (fst(u), snd(g)) | u <- users, g <- groups, snd(u) == fst(g) }",
+    "union({ fst(p) | p <- parts, snd(p) <= 10 }, { fst(u) | u <- users, snd(u) == 0 })",
+    "{ x | xs <- nested, x <- xs }",
+    "{ (snd(p), fst(p)) | p <- parts, 90 <= snd(p) }",
+    "normalize(design)",
+];
+
+/// The bindings the e14 script runs against: `parts (id, cost)` at `scale`
+/// rows, `users (id, grp)` at `scale/4`, a small `groups (grp, tag)`
+/// relation, a `nested` set of sets, and a tiny or-set `design` for the
+/// fallback statement.
+pub fn e14_bindings(scale: usize) -> Vec<(&'static str, Value)> {
+    let groups_n = 40i64;
+    vec![
+        (
+            "parts",
+            Value::set(
+                (0..scale as i64).map(|i| Value::pair(Value::Int(i), Value::Int((i * 7) % 100))),
+            ),
+        ),
+        (
+            "users",
+            Value::set(
+                (0..(scale / 4) as i64)
+                    .map(|i| Value::pair(Value::Int(i), Value::Int(i % groups_n))),
+            ),
+        ),
+        (
+            "groups",
+            Value::set((0..groups_n).map(|g| Value::pair(Value::Int(g), Value::Int(g * 11)))),
+        ),
+        (
+            "nested",
+            Value::set((0..(scale / 8) as i64).map(|i| Value::int_set([i, i + 1, i * 3 % 50]))),
+        ),
+        (
+            "design",
+            Value::set([Value::int_orset([10, 25]), Value::int_orset([7, 9, 30])]),
+        ),
+    ]
+}
+
+/// Build a session in the given mode with the e14 bindings in place (shared
+/// with the `e14_session_engine_first` criterion bench).
+pub fn e14_session(
+    mode: or_lang::ExecMode,
+    config: or_engine::ExecConfig,
+    scale: usize,
+) -> or_lang::Session {
+    let mut session = or_lang::Session::with_engine(config);
+    session.set_exec_mode(mode);
+    for (name, value) in e14_bindings(scale) {
+        session.bind(name, value);
+    }
+    session
+}
+
+/// Replay the e14 script, returning the statement values.
+pub fn e14_replay(session: &mut or_lang::Session) -> Vec<Value> {
+    E14_SCRIPT
+        .iter()
+        .map(|stmt| session.run(stmt).expect("e14 statement").value)
+        .collect()
+}
+
+/// E14: replay [`E14_SCRIPT`] under `Interp`, engine-first `Engine`
+/// (sequential and parallel) and `EngineChecked`, and report the comparison
+/// in the `BENCH_engine.json` row format.  `engine_seq_ms`/`engine_par_ms`
+/// are the engine-first replays with 1 and all hardware workers; the
+/// `EngineChecked` replay contributes to the `equal` flag (it re-runs every
+/// engine statement on the interpreter internally and errors on mismatch).
+pub fn e14_session_rows(scale: usize) -> Vec<EngineBenchRow> {
+    use or_engine::ExecConfig;
+    use or_lang::ExecMode;
+
+    let available = hardware_workers();
+    let par = ExecConfig::default().with_workers(available);
+    let mut interp = e14_session(ExecMode::Interp, ExecConfig::default(), scale);
+    let mut engine_seq = e14_session(ExecMode::Engine, ExecConfig::default(), scale);
+    let mut engine_par = e14_session(ExecMode::Engine, par, scale);
+    let mut checked = e14_session(ExecMode::EngineChecked, par, scale);
+    let (interp_values, interp_ms) = timed(|| e14_replay(&mut interp));
+    let (seq_values, engine_seq_ms) = timed(|| e14_replay(&mut engine_seq));
+    let (par_values, engine_par_ms) = timed(|| e14_replay(&mut engine_par));
+    // the checked replay is the differential leg: engine + interpreter with
+    // a per-statement comparison (a mismatch errors out of the replay)
+    let checked_values = e14_replay(&mut checked);
+    // If a plannable statement silently fell back, the "engine" legs are no
+    // longer measuring the engine — fail the row (the regression checker
+    // reports it as a failed cross-check) instead of panicking the binary.
+    let stats = engine_par.engine_stats();
+    let engine_served = stats.engine >= 5;
+    if !engine_served {
+        eprintln!("e14: plannable statements fell back to the interpreter: {stats:?}");
+    }
+    let equal = engine_served
+        && interp_values == seq_values
+        && seq_values == par_values
+        && par_values == checked_values;
+    vec![EngineBenchRow {
+        workload: "session_engine_first".to_string(),
+        rows: scale,
+        interp_ms,
+        engine_seq_ms,
+        engine_par_ms,
+        // sessions do not expose per-statement executor stats, so this is
+        // the configured worker cap of the parallel legs, not a measured
+        // per-query count as in the e13 rows
+        workers: available,
+        available_parallelism: available,
+        equal,
+    }]
+}
+
+/// The full engine benchmark: the e13 workloads plus the e14 session replay
+/// — everything that lands in `BENCH_engine.json`.
+pub fn engine_bench_rows(scale: usize) -> Vec<EngineBenchRow> {
+    let mut rows = e13_engine_rows(scale);
+    rows.extend(e14_session_rows(scale));
+    rows
 }
 
 // ---------------------------------------------------------------------------
@@ -996,8 +1145,14 @@ pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
 pub struct BaselineRow {
     /// Workload name.
     pub workload: String,
-    /// The committed `speedup_vs_interp`.
+    /// The committed `speedup_vs_interp` (the parallel leg).
     pub speedup_vs_interp: f64,
+    /// The committed sequential-leg speedup (`interp_ms / engine_seq_ms`),
+    /// when the baseline row carries both timings.
+    pub speedup_seq: Option<f64>,
+    /// Core count of the machine that produced the baseline row (absent in
+    /// baselines predating the field).
+    pub available_parallelism: Option<usize>,
     /// The committed `equal` flag.
     pub equal: bool,
 }
@@ -1020,10 +1175,20 @@ pub fn parse_engine_bench(json: &str) -> Vec<BaselineRow> {
         let workload = chunk[..name_end].to_string();
         let speedup = field(chunk, "speedup_vs_interp").and_then(|s| s.parse::<f64>().ok());
         let equal = field(chunk, "equal").map(|s| s == "true");
+        let interp_ms = field(chunk, "interp_ms").and_then(|s| s.parse::<f64>().ok());
+        let engine_seq_ms = field(chunk, "engine_seq_ms").and_then(|s| s.parse::<f64>().ok());
+        let speedup_seq = match (interp_ms, engine_seq_ms) {
+            (Some(i), Some(s)) => Some(i / s.max(1e-9)),
+            _ => None,
+        };
+        let available_parallelism =
+            field(chunk, "available_parallelism").and_then(|s| s.parse::<usize>().ok());
         if let (Some(speedup_vs_interp), Some(equal)) = (speedup, equal) {
             out.push(BaselineRow {
                 workload,
                 speedup_vs_interp,
+                speedup_seq,
+                available_parallelism,
                 equal,
             });
         }
@@ -1050,10 +1215,16 @@ pub struct RegressionVerdict {
 /// Compare a fresh measurement against the committed baseline.  A workload
 /// fails when
 ///
-/// * its fresh `speedup_vs_interp` dropped below `baseline / max_slowdown`
+/// * its fresh speedup dropped below `baseline / max_slowdown`
 ///   (so `max_slowdown = 1.15` tolerates 15% noise),
 /// * its engine/interpreter cross-check (`equal`) is false, or
 /// * it exists in the baseline but was not measured at all.
+///
+/// The **parallel** leg (`speedup_vs_interp`) is compared only when the
+/// baseline row was measured on the same core count
+/// (`available_parallelism`); otherwise the comparison switches to the
+/// core-count-independent **sequential** leg (`interp_ms / engine_seq_ms`) —
+/// a 2-core CI runner cannot be held to a 16-core laptop's parallel numbers.
 ///
 /// Workloads new in the fresh run pass (they become baseline once merged).
 pub fn check_regression(
@@ -1063,21 +1234,44 @@ pub fn check_regression(
 ) -> Vec<RegressionVerdict> {
     let mut verdicts = Vec::new();
     for f in fresh {
-        let fresh_speedup = f.speedup_vs_interp();
         let base = baseline.iter().find(|b| b.workload == f.workload);
+        // pick the comparable leg: parallel on matching core counts,
+        // sequential otherwise (when the baseline carries it)
+        let (leg, fresh_speedup, baseline_speedup) = match base {
+            Some(b) if b.available_parallelism != Some(f.available_parallelism) => {
+                match b.speedup_seq {
+                    Some(seq) => (
+                        "sequential leg (core counts differ)",
+                        f.speedup_seq(),
+                        Some(seq),
+                    ),
+                    None => (
+                        "parallel leg (no sequential baseline)",
+                        f.speedup_vs_interp(),
+                        Some(b.speedup_vs_interp),
+                    ),
+                }
+            }
+            Some(b) => (
+                "parallel leg",
+                f.speedup_vs_interp(),
+                Some(b.speedup_vs_interp),
+            ),
+            None => ("parallel leg", f.speedup_vs_interp(), None),
+        };
         let (ok, detail) = if !f.equal {
             (false, "engine/interpreter cross-check failed".to_string())
         } else {
-            match base {
+            match baseline_speedup {
                 None => (true, "new workload (no baseline)".to_string()),
-                Some(b) => {
-                    let floor = b.speedup_vs_interp / max_slowdown;
+                Some(base_speedup) => {
+                    let floor = base_speedup / max_slowdown;
                     if fresh_speedup >= floor {
                         (
                             true,
                             format!(
-                                "{fresh_speedup:.2}x vs baseline {:.2}x (floor {floor:.2}x)",
-                                b.speedup_vs_interp
+                                "{fresh_speedup:.2}x vs baseline {base_speedup:.2}x \
+                                 (floor {floor:.2}x, {leg})"
                             ),
                         )
                     } else {
@@ -1085,8 +1279,7 @@ pub fn check_regression(
                             false,
                             format!(
                                 "slowdown: {fresh_speedup:.2}x < floor {floor:.2}x \
-                                 (baseline {:.2}x, max-slowdown {max_slowdown})",
-                                b.speedup_vs_interp
+                                 (baseline {base_speedup:.2}x, max-slowdown {max_slowdown}, {leg})"
                             ),
                         )
                     }
@@ -1095,7 +1288,7 @@ pub fn check_regression(
         };
         verdicts.push(RegressionVerdict {
             workload: f.workload.clone(),
-            baseline_speedup: base.map(|b| b.speedup_vs_interp),
+            baseline_speedup,
             fresh_speedup: Some(fresh_speedup),
             ok,
             detail,
@@ -1118,19 +1311,19 @@ pub fn check_regression(
 /// Serialize measured engine rows as the `BENCH_engine.json` document (a
 /// hand-rolled, dependency-free JSON emitter).
 pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
-    let mut out =
-        String::from("{\n  \"experiment\": \"e13_engine_vs_interp\",\n  \"results\": [\n");
+    let mut out = String::from("{\n  \"experiment\": \"engine_vs_interp\",\n  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"rows\": {}, \"interp_ms\": {:.3}, \
              \"engine_seq_ms\": {:.3}, \"engine_par_ms\": {:.3}, \"workers\": {}, \
-             \"speedup_vs_interp\": {:.3}, \"equal\": {}}}{}\n",
+             \"available_parallelism\": {}, \"speedup_vs_interp\": {:.3}, \"equal\": {}}}{}\n",
             r.workload,
             r.rows,
             r.interp_ms,
             r.engine_seq_ms,
             r.engine_par_ms,
             r.workers,
+            r.available_parallelism,
             r.speedup_vs_interp(),
             r.equal,
             if i + 1 < rows.len() { "," } else { "" },
@@ -1140,10 +1333,10 @@ pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
     out
 }
 
-/// Render measured engine rows as the E13 table.
-pub fn e13_table_from_rows(rows: &[EngineBenchRow]) -> Table {
+/// Render measured engine rows as a comparison table under `title`.
+fn engine_table(title: &str, rows: &[EngineBenchRow]) -> Table {
     let mut table = Table::new(
-        "E13: physical engine vs interpreter (or-engine)",
+        title,
         &[
             "workload",
             "rows",
@@ -1151,6 +1344,7 @@ pub fn e13_table_from_rows(rows: &[EngineBenchRow]) -> Table {
             "engine 1w ms",
             "engine Nw ms",
             "workers",
+            "cores",
             "speedup",
             "equal",
         ],
@@ -1163,6 +1357,7 @@ pub fn e13_table_from_rows(rows: &[EngineBenchRow]) -> Table {
             format!("{:.3}", r.engine_seq_ms),
             format!("{:.3}", r.engine_par_ms),
             r.workers.to_string(),
+            r.available_parallelism.to_string(),
             format!("{:.2}x", r.speedup_vs_interp()),
             r.equal.to_string(),
         ]);
@@ -1170,10 +1365,28 @@ pub fn e13_table_from_rows(rows: &[EngineBenchRow]) -> Table {
     table
 }
 
+/// Render measured engine rows as the E13 table.
+pub fn e13_table_from_rows(rows: &[EngineBenchRow]) -> Table {
+    engine_table("E13: physical engine vs interpreter (or-engine)", rows)
+}
+
+/// Render measured session-replay rows as the E14 table.
+pub fn e14_table_from_rows(rows: &[EngineBenchRow]) -> Table {
+    engine_table(
+        "E14: engine-first OrQL sessions (Interp vs Engine vs EngineChecked)",
+        rows,
+    )
+}
+
 /// E13: the streaming parallel engine against the tree-walking interpreter
 /// on the partitioned-scan, or-expand and equi-join workloads.
 pub fn e13_engine_vs_interp(scale: usize) -> Table {
     e13_table_from_rows(&e13_engine_rows(scale))
+}
+
+/// E14: the engine-first session replay.
+pub fn e14_session_engine_first(scale: usize) -> Table {
+    e14_table_from_rows(&e14_session_rows(scale))
 }
 
 /// Run every experiment at the default sizes and return the tables in order.
@@ -1343,6 +1556,7 @@ mod tests {
                 engine_seq_ms: 5.0,
                 engine_par_ms: 4.0,
                 workers: 2,
+                available_parallelism: 2,
                 equal: true,
             },
             EngineBenchRow {
@@ -1352,6 +1566,7 @@ mod tests {
                 engine_seq_ms: 2.0,
                 engine_par_ms: 2.0,
                 workers: 1,
+                available_parallelism: 8,
                 equal: false,
             },
         ];
@@ -1359,29 +1574,37 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].workload, "w1");
         assert!((parsed[0].speedup_vs_interp - 2.5).abs() < 1e-9);
+        assert!((parsed[0].speedup_seq.unwrap() - 2.0).abs() < 1e-9);
+        assert_eq!(parsed[0].available_parallelism, Some(2));
         assert!(parsed[0].equal);
         assert_eq!(parsed[1].workload, "w2");
+        assert_eq!(parsed[1].available_parallelism, Some(8));
         assert!(!parsed[1].equal);
     }
 
     #[test]
+    fn parser_accepts_baselines_without_core_counts() {
+        // the pre-available_parallelism format must keep parsing
+        let legacy = r#"{"workload": "old", "rows": 10, "interp_ms": 8.0, "engine_seq_ms": 4.0, "engine_par_ms": 2.0, "workers": 2, "speedup_vs_interp": 4.0, "equal": true}"#;
+        let parsed = parse_engine_bench(legacy);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].available_parallelism, None);
+        assert!((parsed[0].speedup_seq.unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn regression_checker_flags_slowdowns_and_missing_workloads() {
+        let base_row = |name: &str, speedup: f64| BaselineRow {
+            workload: name.to_string(),
+            speedup_vs_interp: speedup,
+            speedup_seq: Some(speedup),
+            available_parallelism: Some(1),
+            equal: true,
+        };
         let baseline = vec![
-            BaselineRow {
-                workload: "stable".to_string(),
-                speedup_vs_interp: 2.0,
-                equal: true,
-            },
-            BaselineRow {
-                workload: "regressed".to_string(),
-                speedup_vs_interp: 2.0,
-                equal: true,
-            },
-            BaselineRow {
-                workload: "dropped".to_string(),
-                speedup_vs_interp: 1.0,
-                equal: true,
-            },
+            base_row("stable", 2.0),
+            base_row("regressed", 2.0),
+            base_row("dropped", 1.0),
         ];
         let fresh_row = |name: &str, par_ms: f64, equal: bool| EngineBenchRow {
             workload: name.to_string(),
@@ -1390,6 +1613,7 @@ mod tests {
             engine_seq_ms: par_ms,
             engine_par_ms: par_ms,
             workers: 1,
+            available_parallelism: 1,
             equal,
         };
         let fresh = vec![
@@ -1409,10 +1633,64 @@ mod tests {
     }
 
     #[test]
+    fn regression_checker_compares_the_sequential_leg_across_core_counts() {
+        // baseline from a 16-core machine: parallel speedup 8x, seq 2x
+        let baseline = vec![BaselineRow {
+            workload: "w".to_string(),
+            speedup_vs_interp: 8.0,
+            speedup_seq: Some(2.0),
+            available_parallelism: Some(16),
+            equal: true,
+        }];
+        // fresh run on a 2-core machine: parallel only 1.9x (would fail the
+        // parallel floor of 8/1.15), but the sequential leg held at 2x
+        let fresh = vec![EngineBenchRow {
+            workload: "w".to_string(),
+            rows: 10,
+            interp_ms: 10.0,
+            engine_seq_ms: 5.0,
+            engine_par_ms: 5.25,
+            workers: 2,
+            available_parallelism: 2,
+            equal: true,
+        }];
+        let verdicts = check_regression(&baseline, &fresh, 1.15);
+        assert!(verdicts[0].ok, "{}", verdicts[0].detail);
+        assert!(
+            verdicts[0].detail.contains("sequential"),
+            "{}",
+            verdicts[0].detail
+        );
+        // same machine: the parallel leg is compared and fails
+        let same_core_baseline = vec![BaselineRow {
+            available_parallelism: Some(2),
+            ..baseline[0].clone()
+        }];
+        let verdicts = check_regression(&same_core_baseline, &fresh, 1.15);
+        assert!(!verdicts[0].ok, "{}", verdicts[0].detail);
+        assert!(
+            verdicts[0].detail.contains("parallel"),
+            "{}",
+            verdicts[0].detail
+        );
+    }
+
+    #[test]
+    fn e14_session_replay_agrees_across_modes() {
+        // tiny scale: correctness of the harness, not perf
+        let rows = e14_session_rows(64);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.workload, "session_engine_first");
+        assert!(r.equal, "session modes disagreed");
+        assert!(r.available_parallelism >= 1);
+    }
+
+    #[test]
     fn regression_checker_accepts_the_committed_baseline_format() {
         // the committed BENCH_engine.json must stay parseable; this guards
         // the emitter and parser against drifting apart
-        let rows = e13_engine_rows(80);
+        let rows = engine_bench_rows(80);
         let json = engine_bench_json(&rows);
         let baseline = parse_engine_bench(&json);
         assert_eq!(baseline.len(), rows.len());

@@ -39,6 +39,17 @@ pub enum EngineError {
         /// A rendering of the offending value.
         value: String,
     },
+    /// A `Flatten` operator met a row that is not a set.
+    FlattenNonSet {
+        /// A rendering of the offending row.
+        value: String,
+    },
+    /// A worker thread panicked.  The panic is caught at the join point and
+    /// surfaced as a query error instead of aborting the whole process.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// A morphism could not be lowered to a plan.
     Lower(LowerError),
 }
@@ -65,6 +76,12 @@ impl fmt::Display for EngineError {
             ),
             EngineError::NotARelation { value } => {
                 write!(f, "expected a set of rows, got {value}")
+            }
+            EngineError::FlattenNonSet { value } => {
+                write!(f, "Flatten expects every row to be a set, got {value}")
+            }
+            EngineError::WorkerPanic { message } => {
+                write!(f, "engine worker panicked: {message}")
             }
             EngineError::Lower(e) => write!(f, "{e}"),
         }

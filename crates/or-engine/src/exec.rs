@@ -7,10 +7,13 @@
 //! executor splits that input's rows into `workers` contiguous partitions and
 //! runs the *entire* operator pipeline over each partition in its own thread
 //! (`std::thread::scope`), which is sound because every unary operator is
-//! row-local and the binary operators broadcast their right side whole.  The
-//! per-worker row vectors are concatenated and canonicalized (sorted,
-//! deduplicated) in a final merge step — the engine's answer is a set, so
-//! the merge is exactly set union.
+//! row-local and the binary operators broadcast their right side whole
+//! (`Union` right sides are streamed by the lead worker only — they do not
+//! depend on the partition).  The per-worker row vectors are concatenated
+//! and canonicalized (sorted, deduplicated) in a final merge step — the
+//! engine's answer is a set, so the merge is exactly set union.  A worker
+//! that panics does not abort the process: the panic is caught at the join
+//! point and reported as [`EngineError::WorkerPanic`].
 //!
 //! `AttachEnv` is the one operator that must observe the **whole** input
 //! (its setup morphism runs once against the full set).  Before spawning
@@ -164,6 +167,7 @@ impl Executor {
             batch_size: self.config.batch_size,
             or_budget: self.config.or_budget,
             join_cache: Some(&join_cache),
+            lead_worker: true,
         };
 
         let mut rows = if workers <= 1 {
@@ -172,20 +176,13 @@ impl Executor {
         } else {
             let partitions = or_db::partition_rows(driver_rows, workers);
             let plan_ref = &plan;
-            let results: Vec<Result<Vec<Value>, EngineError>> = thread::scope(|scope| {
-                let handles: Vec<_> = partitions
-                    .into_iter()
-                    .map(|part| {
-                        scope.spawn(move || {
-                            let mut op = build(plan_ref, ctx, Some(part))?;
-                            drain(op.as_mut())
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("engine worker panicked"))
-                    .collect()
+            let results = run_partitioned_workers(partitions, |index, part| {
+                let ctx = BuildCtx {
+                    lead_worker: index == 0,
+                    ..ctx
+                };
+                let mut op = build(plan_ref, ctx, Some(part))?;
+                drain(op.as_mut())
             });
             let mut merged = Vec::new();
             for worker_rows in results {
@@ -212,8 +209,54 @@ impl Executor {
         plan: &PhysicalPlan,
         inputs: &[&[Value]],
     ) -> Result<Value, EngineError> {
-        Ok(Value::Set(self.run(plan, inputs)?))
+        Ok(canonical_set(self.run(plan, inputs)?))
     }
+}
+
+/// Package executor-produced rows as a set value.  `Value::Set` means
+/// "sorted, deduplicated" (see `or_object::value`), and the executor's merge
+/// step guarantees exactly that — this helper is the single place where
+/// engine rows become a set, with a debug assertion so no future code path
+/// can silently hand out a non-canonical `Value::Set`.
+pub(crate) fn canonical_set(rows: Vec<Value>) -> Value {
+    debug_assert!(
+        rows.windows(2).all(|w| w[0] < w[1]),
+        "engine result rows must be sorted and deduplicated before becoming a Value::Set"
+    );
+    Value::Set(rows)
+}
+
+/// Run `worker` over each partition in its own scoped thread and collect the
+/// per-worker results in partition order.  A panicking worker is converted
+/// into `Err(EngineError::WorkerPanic)` at the join point — the panic is
+/// contained to the query instead of aborting the process.
+fn run_partitioned_workers<'a>(
+    partitions: Vec<&'a [Value]>,
+    worker: impl Fn(usize, &'a [Value]) -> Result<Vec<Value>, EngineError> + Sync,
+) -> Vec<Result<Vec<Value>, EngineError>> {
+    let worker = &worker;
+    thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(index, part)| scope.spawn(move || worker(index, part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    Err(EngineError::WorkerPanic { message })
+                })
+            })
+            .collect()
+    })
 }
 
 /// Rewrite every `AttachEnv` whose input is a bare `Scan` into
@@ -285,6 +328,13 @@ fn prepare_attach_env(
                 dedup,
                 input: Box::new(rewrite(*input, inputs, next_slot, extra)?),
             },
+            PhysicalPlan::Union { left, right } => PhysicalPlan::Union {
+                left: Box::new(rewrite(*left, inputs, next_slot, extra)?),
+                right: Box::new(rewrite(*right, inputs, next_slot, extra)?),
+            },
+            PhysicalPlan::Flatten { input } => PhysicalPlan::Flatten {
+                input: Box::new(rewrite(*input, inputs, next_slot, extra)?),
+            },
             leaf @ PhysicalPlan::Scan(_) => leaf,
         })
     }
@@ -320,6 +370,7 @@ fn prepare_broadcast_sides(
                 batch_size,
                 or_budget,
                 join_cache: None,
+                lead_worker: true,
             };
             let mut op = build(&right, ctx, None)?;
             drain(op.as_mut())?
@@ -359,6 +410,22 @@ fn prepare_broadcast_sides(
                 *input, inputs, extra, batch_size, or_budget,
             )?),
         },
+        PhysicalPlan::Flatten { input } => PhysicalPlan::Flatten {
+            input: Box::new(prepare_broadcast_sides(
+                *input, inputs, extra, batch_size, or_budget,
+            )?),
+        },
+        // Union right sides stay as subplans: only the lead worker builds
+        // them (see `ops::build`), so running the subplan there once is the
+        // same total work as materializing it up front, without the buffer.
+        PhysicalPlan::Union { left, right } => {
+            let left = prepare_broadcast_sides(*left, inputs, extra, batch_size, or_budget)?;
+            let right = prepare_broadcast_sides(*right, inputs, extra, batch_size, or_budget)?;
+            PhysicalPlan::Union {
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
         PhysicalPlan::Cartesian { left, right } => {
             let left = prepare_broadcast_sides(*left, inputs, extra, batch_size, or_budget)?;
             let right = prepare_broadcast_sides(*right, inputs, extra, batch_size, or_budget)?;
@@ -393,9 +460,67 @@ fn has_driving_attach_env(plan: &PhysicalPlan) -> bool {
         PhysicalPlan::AttachEnv { .. } => true,
         PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Flatten { input }
         | PhysicalPlan::OrExpand { input, .. } => has_driving_attach_env(input),
-        PhysicalPlan::Cartesian { left, .. } | PhysicalPlan::Join { left, .. } => {
-            has_driving_attach_env(left)
+        PhysicalPlan::Cartesian { left, .. }
+        | PhysicalPlan::Join { left, .. }
+        | PhysicalPlan::Union { left, .. } => has_driving_attach_env(left),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use or_nra::eval::eval;
+
+    /// A worker whose row-level function panics must surface as
+    /// `EngineError::WorkerPanic`, not abort the process: the panic is
+    /// caught at the join point of the partitioned executor.
+    #[test]
+    fn panicking_worker_yields_error_not_abort() {
+        let rows: Vec<Value> = (0..8).map(Value::Int).collect();
+        let partitions = or_db::partition_rows(&rows, 4);
+        // a deliberately panicking per-row function standing in for a
+        // panicking morphism evaluation inside the worker pipeline
+        let results = run_partitioned_workers(partitions, |_, part| {
+            let mut out = Vec::new();
+            for row in part {
+                if *row == Value::Int(5) {
+                    panic!("deliberate morphism panic on row {row}");
+                }
+                out.push(eval(&Morphism::Id, row)?);
+            }
+            Ok(out)
+        });
+        assert_eq!(results.len(), 4);
+        let failures: Vec<&EngineError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+        assert_eq!(failures.len(), 1, "exactly one partition holds row 5");
+        match failures[0] {
+            EngineError::WorkerPanic { message } => {
+                assert!(message.contains("deliberate morphism panic"), "{message}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
         }
+        // healthy partitions still return their rows
+        let ok_rows: usize = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(Vec::len)
+            .sum();
+        assert_eq!(ok_rows, 6);
+    }
+
+    #[test]
+    fn canonical_set_accepts_sorted_deduplicated_rows() {
+        let v = canonical_set(vec![Value::Int(1), Value::Int(2), Value::Int(5)]);
+        assert_eq!(v, Value::int_set([1, 2, 5]));
+        assert_eq!(canonical_set(Vec::new()), Value::empty_set());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and deduplicated")]
+    #[cfg(debug_assertions)]
+    fn canonical_set_rejects_unsorted_rows_in_debug() {
+        let _ = canonical_set(vec![Value::Int(2), Value::Int(1)]);
     }
 }

@@ -17,6 +17,11 @@
 //!   broadcast, the left side streams; equi-join predicates of the shape
 //!   `eq ∘ ⟨f ∘ π₁, g ∘ π₂⟩` take a hash fast path instead of the
 //!   nested-loop probe;
+//! * [`UnionOp`] — streams the left side, then the right; combined with the
+//!   executor's canonical merge this is exact set union.  On partitioned
+//!   runs only the lead worker streams the right side;
+//! * [`FlattenOp`] — row-wise `μ`: each row must be a set, its elements are
+//!   streamed;
 //! * [`OrExpandOp`] — batched per-row lazy α-expansion via
 //!   [`or_nra::lazy::LazyNormalizer`], decoding each possible world straight
 //!   into a per-operator hash-consing arena
@@ -67,6 +72,12 @@ pub struct BuildCtx<'a> {
     /// Pre-built equi-join probe tables (see [`JoinCache`]); `None` when the
     /// caller did not prepare any, in which case tables are built inline.
     pub join_cache: Option<&'a JoinCache>,
+    /// Is this the lead worker of a partitioned run?  `Union` right sides
+    /// are independent of the driving partition, so only the lead worker
+    /// streams them — the canonical merge (set union) makes emitting them
+    /// once both sufficient and non-redundant.  Sequential runs and
+    /// broadcast-side materializations always build with `true`.
+    pub lead_worker: bool,
 }
 
 /// Equi-join probe tables built **once per query** and shared by every
@@ -96,10 +107,11 @@ impl JoinCache {
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::AttachEnv { input, .. }
             | PhysicalPlan::OrExpand { input, .. } => self.visit(input, inputs)?,
-            PhysicalPlan::Cartesian { left, right } => {
+            PhysicalPlan::Cartesian { left, right } | PhysicalPlan::Union { left, right } => {
                 self.visit(left, inputs)?;
                 self.visit(right, inputs)?;
             }
+            PhysicalPlan::Flatten { input } => self.visit(input, inputs)?,
             PhysicalPlan::Join {
                 predicate,
                 left,
@@ -215,6 +227,21 @@ pub fn build<'a>(
             setup,
             batch_size: ctx.batch_size,
             state: None,
+        })),
+        PhysicalPlan::Union { left, right } => Ok(Box::new(UnionOp {
+            left: build(left, ctx, driver_override)?,
+            // the right side is independent of the driving partition: only
+            // the lead worker streams it (the merge is set union)
+            right: if ctx.lead_worker {
+                Some(build(right, ctx, None)?)
+            } else {
+                None
+            },
+        })),
+        PhysicalPlan::Flatten { input } => Ok(Box::new(FlattenOp {
+            input: build(input, ctx, driver_override)?,
+            pending: Vec::new(),
+            batch_size: ctx.batch_size,
         })),
         PhysicalPlan::Cartesian { left, right } => {
             let right_rows = materialize_right(right, ctx)?;
@@ -390,6 +417,66 @@ impl Operator for AttachEnvOp<'_> {
             .map(|row| Value::pair(env.clone(), row.clone()))
             .collect();
         *pos = end;
+        Ok(Some(batch))
+    }
+}
+
+/// Streams the left side to exhaustion, then the right side.  Together with
+/// the executor's canonical merge (sort + dedup) this computes exact set
+/// union.  `right` is `None` on non-lead workers of a partitioned run: the
+/// right side does not depend on the partition, so one worker emitting it is
+/// enough.
+pub struct UnionOp<'a> {
+    left: Box<dyn Operator + 'a>,
+    right: Option<Box<dyn Operator + 'a>>,
+}
+
+impl Operator for UnionOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+        if let Some(batch) = self.left.next_batch()? {
+            return Ok(Some(batch));
+        }
+        match &mut self.right {
+            Some(right) => right.next_batch(),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Streams the elements of each input row (`μ` applied row-wise); every row
+/// must itself be a set.  Like [`CartesianOp`], the (potentially much
+/// larger) expansion of an input batch is buffered in `pending` and emitted
+/// in `batch_size` chunks, so downstream operators keep seeing bounded
+/// batches even when individual rows are huge sets.
+pub struct FlattenOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    pending: Vec<Value>,
+    batch_size: usize,
+}
+
+impl Operator for FlattenOp<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+        // Loop so that a batch of empty sets does not end the stream.
+        while self.pending.is_empty() {
+            match self.input.next_batch()? {
+                None => return Ok(None),
+                Some(batch) => {
+                    for row in batch {
+                        match row {
+                            Value::Set(items) => self.pending.extend(items),
+                            other => {
+                                return Err(EngineError::FlattenNonSet {
+                                    value: other.to_string(),
+                                })
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let take = self.pending.len().min(self.batch_size.max(1));
+        let rest = self.pending.split_off(take);
+        let batch = std::mem::replace(&mut self.pending, rest);
         Ok(Some(batch))
     }
 }

@@ -8,7 +8,7 @@ use or_nra::physical::PhysicalPlan;
 use or_object::Value;
 
 use crate::error::EngineError;
-use crate::exec::{ExecConfig, ExecStats, Executor};
+use crate::exec::{canonical_set, ExecConfig, ExecStats, Executor};
 
 /// Run a physical plan over relations; slot `i` of the plan scans
 /// `relations[i]`.  Returns the result as a set value.
@@ -29,7 +29,7 @@ pub fn run_plan_with_stats(
 ) -> Result<(Value, ExecStats), EngineError> {
     let inputs: Vec<&[Value]> = relations.iter().map(|r| r.records()).collect();
     let (rows, stats) = Executor::new(config).run_with_stats(plan, &inputs)?;
-    Ok((Value::Set(rows), stats))
+    Ok((canonical_set(rows), stats))
 }
 
 /// Run a physical plan through the **expand planner** first, then execute.
@@ -58,7 +58,7 @@ pub fn run_plan_optimized(
         ..config
     };
     let (rows, stats) = Executor::new(exec_config).run_with_stats(&optimized, &inputs)?;
-    Ok((Value::Set(rows), stats, report))
+    Ok((canonical_set(rows), stats, report))
 }
 
 /// Lower a set-pipeline morphism (`{record} → {t}`) and run it over a

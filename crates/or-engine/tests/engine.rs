@@ -108,6 +108,96 @@ fn equi_join_hash_path_agrees_with_nested_loop() {
 }
 
 #[test]
+fn union_plans_match_the_union_morphism() {
+    // ∪ ∘ ⟨map(π₁), map(π₂)⟩ lowers to a Union of two projections
+    let query = M::pair(M::map(M::Proj1), M::map(M::Proj2)).then(M::Union);
+    let plan = lower(&query).expect("union shape is lowerable");
+    assert!(plan.to_string().contains("Union"), "plan: {plan}");
+    let rows: Vec<Value> = (0..40)
+        .map(|i| Value::pair(Value::Int(i), Value::Int(100 + i % 7)))
+        .collect();
+    let expected = eval(&query, &Value::set(rows.clone())).unwrap();
+    // the right side must be emitted exactly once regardless of the worker
+    // count (lead-worker discipline), and the merge dedups across workers
+    for workers in [1, 2, 5] {
+        let exec = Executor::new(
+            ExecConfig::default()
+                .with_workers(workers)
+                .with_batch_size(8),
+        );
+        let got = exec.run_to_value(&plan, &[&rows]).unwrap();
+        assert_eq!(got, expected, "with {workers} workers");
+    }
+}
+
+#[test]
+fn union_of_filtered_pipelines_matches_interpreter() {
+    // union(cheap ids, expensive ids) — both arms filter, then project
+    let expensive = M::Proj2
+        .then(M::pair(M::constant(Value::Int(40)), M::Id))
+        .then(M::Prim(Prim::Leq));
+    let query = M::pair(
+        derived::select(cheap(10)).then(M::map(M::Proj1)),
+        derived::select(expensive).then(M::map(M::Proj1)),
+    )
+    .then(M::Union);
+    let plan = lower(&query).expect("union of pipelines is lowerable");
+    let rows = priced_rows(120);
+    let expected = eval(&query, &Value::set(rows.clone())).unwrap();
+    for workers in [1, 4] {
+        let exec = Executor::new(ExecConfig::default().with_workers(workers));
+        assert_eq!(
+            exec.run_to_value(&plan, &[&rows]).unwrap(),
+            expected,
+            "with {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn flatten_plans_match_the_mu_morphism() {
+    // rows are sets of ints; μ streams their elements
+    let rows: Vec<Value> = (0..30)
+        .map(|i| Value::int_set([i, i + 1, (i * 3) % 10]))
+        .collect();
+    let plan = lower(&M::Mu).expect("bare mu is lowerable");
+    assert!(plan.to_string().contains("Flatten"), "plan: {plan}");
+    let expected = eval(&M::Mu, &Value::set(rows.clone())).unwrap();
+    for workers in [1, 3] {
+        let exec = Executor::new(
+            ExecConfig::default()
+                .with_workers(workers)
+                .with_batch_size(4),
+        );
+        assert_eq!(
+            exec.run_to_value(&plan, &[&rows]).unwrap(),
+            expected,
+            "with {workers} workers"
+        );
+    }
+    // the dependent-generator shape: project each row to a set, then flatten
+    let nested: Vec<Value> = (0..12)
+        .map(|i| Value::pair(Value::Int(i), Value::int_set([i, i + 5])))
+        .collect();
+    let query = M::map(M::Proj2).then(M::Mu);
+    let plan = lower(&query).unwrap();
+    let expected = eval(&query, &Value::set(nested.clone())).unwrap();
+    let exec = Executor::new(ExecConfig::default().with_workers(2));
+    assert_eq!(exec.run_to_value(&plan, &[&nested]).unwrap(), expected);
+}
+
+#[test]
+fn flatten_reports_non_set_rows() {
+    let rows = vec![Value::int_set([1, 2]), Value::Int(7)];
+    let plan = lower(&M::Mu).unwrap();
+    let exec = Executor::new(ExecConfig::default());
+    assert!(matches!(
+        exec.run(&plan, &[rows.as_slice()]),
+        Err(EngineError::FlattenNonSet { .. })
+    ));
+}
+
+#[test]
 fn or_expand_matches_the_conceptual_morphism() {
     // rows with or-set fields: (name, <office alternatives>)
     let rows: Vec<Value> = vec![

@@ -11,14 +11,16 @@
 //! ```
 //!
 //! Commands: `:quit` exits, `:env` lists the current bindings, `:engine`
-//! toggles physical-engine execution (also `--engine` at startup), `:help`
+//! cycles the execution mode (interpreter → engine-first → engine with
+//! interpreter cross-check; also `--engine` at startup), `:stats` prints the
+//! engine/fallback counters with the most recent fallback reasons, `:help`
 //! prints a short reference.  Everything else is parsed as an OrQL
 //! statement.
 
 use std::io::{self, BufRead, Write};
 
 use or_engine::ExecConfig;
-use or_lang::session::{ExecMode, Session};
+use or_lang::session::{EngineStats, ExecMode, Session};
 
 const HELP: &str = "\
 OrQL quick reference
@@ -30,7 +32,22 @@ OrQL quick reference
   builtins: normalize alpha flatten orflatten union orunion member ormember
             subset intersect difference powerset toset toorset isempty
             orisempty fst snd
-  commands: :help :env :engine :quit";
+  commands: :help :env :engine :stats :quit";
+
+/// Print the session's engine statistics, including why the most recent
+/// statements fell back to the interpreter.
+fn print_stats(stats: &EngineStats) {
+    println!(
+        "engine: {} statement(s) served, {} interpreter fallback(s)",
+        stats.engine, stats.fallback
+    );
+    if !stats.fallback_reasons.is_empty() {
+        println!("recent fallback reasons:");
+        for reason in &stats.fallback_reasons {
+            println!("  {reason}");
+        }
+    }
+}
 
 fn main() -> io::Result<()> {
     let stdin = io::stdin();
@@ -43,7 +60,7 @@ fn main() -> io::Result<()> {
     };
     println!("OrQL — a query language for or-sets (type :help for help, :quit to exit)");
     if engine_on_start {
-        println!("physical engine enabled (cross-checked against the interpreter)");
+        println!("physical engine enabled (engine-first; :engine cycles modes)");
     }
     loop {
         print!("orql> ");
@@ -71,14 +88,16 @@ fn main() -> io::Result<()> {
             ":engine" => {
                 let next = match session.exec_mode() {
                     ExecMode::Interp => ExecMode::Engine,
-                    ExecMode::Engine => ExecMode::Interp,
+                    ExecMode::Engine => ExecMode::EngineChecked,
+                    ExecMode::EngineChecked => ExecMode::Interp,
                 };
                 session.set_exec_mode(next);
-                let stats = session.engine_stats();
-                println!(
-                    "execution mode: {next:?} (so far: {} on engine, {} interpreter-only)",
-                    stats.engine, stats.fallback
-                );
+                println!("execution mode: {next:?}");
+                print_stats(&session.engine_stats());
+                continue;
+            }
+            ":stats" => {
+                print_stats(&session.engine_stats());
                 continue;
             }
             _ => {}

@@ -116,55 +116,73 @@ fn run_comprehension(
     env: &Env,
     is_set: bool,
 ) -> Result<Vec<Value>, InterpError> {
-    // `envs` is the list of environments surviving the qualifiers so far.
-    let mut envs = vec![env.clone()];
-    for q in qualifiers {
-        match q {
-            Qualifier::Generator(name, source) => {
-                let mut next = Vec::new();
-                for e in &envs {
-                    let src = interpret(source, e)?;
-                    let items = match (&src, is_set) {
-                        (Value::Set(items), true) => items.clone(),
-                        (Value::OrSet(items), false) => items.clone(),
-                        (other, true) => {
-                            return Err(InterpError::new(format!(
-                                "set comprehension generator must range over a set, got {other}"
-                            )))
-                        }
-                        (other, false) => {
-                            return Err(InterpError::new(format!(
-                                "or-set comprehension generator must range over an or-set, \
-                                 got {other}"
-                            )))
-                        }
-                    };
-                    for item in items {
-                        let mut extended = e.clone();
-                        extended.insert(name.clone(), item);
-                        next.push(extended);
-                    }
+    // One mutable environment, rebound in place as the qualifier nest is
+    // walked depth-first.  A comprehension over n rows costs O(n) item
+    // insertions — not n clones of the entire environment, which for a
+    // session holding several large relations multiplies every generated
+    // row by the size of the whole database.
+    let mut scratch = env.clone();
+    let mut out = Vec::new();
+    comprehension_step(head, qualifiers, &mut scratch, is_set, &mut out)?;
+    Ok(out)
+}
+
+/// Process the first remaining qualifier (or, when none remain, evaluate the
+/// head) under the current bindings, accumulating produced values in `out`.
+///
+/// Generator variables are inserted directly into `env` and the previous
+/// binding (if any) is restored once the generator's loop completes — a
+/// *later* generator may shadow a name an earlier generator's source reads
+/// on its next iteration, e.g. `{ b | a <- xs, b <- g, g <- ys }` where the
+/// session also binds `g`.  Errors abort the whole comprehension, so no
+/// restoration is needed on the error path (`env` is a private scratch
+/// clone).
+fn comprehension_step(
+    head: &Expr,
+    qualifiers: &[Qualifier],
+    env: &mut Env,
+    is_set: bool,
+    out: &mut Vec<Value>,
+) -> Result<(), InterpError> {
+    let Some((q, rest)) = qualifiers.split_first() else {
+        out.push(interpret(head, env)?);
+        return Ok(());
+    };
+    match q {
+        Qualifier::Generator(name, source) => {
+            let items = match (interpret(source, env)?, is_set) {
+                (Value::Set(items), true) => items,
+                (Value::OrSet(items), false) => items,
+                (other, true) => {
+                    return Err(InterpError::new(format!(
+                        "set comprehension generator must range over a set, got {other}"
+                    )))
                 }
-                envs = next;
-            }
-            Qualifier::Guard(g) => {
-                let mut next = Vec::new();
-                for e in envs {
-                    match interpret(g, &e)? {
-                        Value::Bool(true) => next.push(e),
-                        Value::Bool(false) => {}
-                        other => {
-                            return Err(InterpError::new(format!(
-                                "comprehension guard must be boolean, got {other}"
-                            )))
-                        }
-                    }
+                (other, false) => {
+                    return Err(InterpError::new(format!(
+                        "or-set comprehension generator must range over an or-set, got {other}"
+                    )))
                 }
-                envs = next;
+            };
+            let shadowed = env.remove(name);
+            for item in items {
+                env.insert(name.clone(), item);
+                comprehension_step(head, rest, env, is_set, out)?;
             }
+            match shadowed {
+                Some(prev) => env.insert(name.clone(), prev),
+                None => env.remove(name),
+            };
+            Ok(())
         }
+        Qualifier::Guard(g) => match interpret(g, env)? {
+            Value::Bool(true) => comprehension_step(head, rest, env, is_set, out),
+            Value::Bool(false) => Ok(()),
+            other => Err(InterpError::new(format!(
+                "comprehension guard must be boolean, got {other}"
+            ))),
+        },
     }
-    envs.iter().map(|e| interpret(head, e)).collect()
 }
 
 fn binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, InterpError> {
@@ -379,6 +397,28 @@ mod tests {
             let via_algebra = eval(&compiled, &db).unwrap();
             assert_eq!(direct, via_algebra, "disagreement on {src}");
         }
+    }
+
+    #[test]
+    fn later_generators_shadow_and_restore_outer_bindings() {
+        // `b <- g` reads the *environment* binding of `g` on every outer
+        // iteration, even though a later generator rebinds `g` in between —
+        // the in-place rebinding must restore the outer value when its loop
+        // completes.
+        let mut env = Env::new();
+        env.insert("g".to_string(), Value::int_set([7]));
+        assert_eq!(
+            interp("{ (a, b) | a <- {1, 2}, b <- g, g <- {{9}} }", &env),
+            Value::set([
+                Value::pair(Value::Int(1), Value::Int(7)),
+                Value::pair(Value::Int(2), Value::Int(7)),
+            ])
+        );
+        // plain self-shadowing: the inner `x` wins for the head
+        assert_eq!(
+            interp("{ x | xs <- {{1, 2}, {3}}, x <- xs }", &env),
+            Value::int_set([1, 2, 3])
+        );
     }
 
     #[test]

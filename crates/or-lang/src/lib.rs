@@ -13,8 +13,15 @@
 //!   translation of Section 2);
 //! * [`interp`] — a direct interpreter used by the REPL and as a
 //!   cross-check of the elaboration;
+//! * [`plan`] — direct compilation of comprehension/union/flatten queries
+//!   over one or several relation bindings into multi-input physical plans
+//!   for the `or-engine` executor;
 //! * [`session`] — the stateful session (`let` bindings, evaluation, typing)
-//!   behind the `orql` REPL binary.
+//!   behind the `orql` REPL binary.  Sessions run in one of three
+//!   [`ExecMode`]s: interpreter-only, **engine-first** (the physical engine
+//!   serves every plannable statement, the interpreter only the rest), or
+//!   engine-checked (engine + interpreter cross-check, for differential
+//!   testing).
 //!
 //! ```
 //! use or_lang::session::Session;
@@ -36,6 +43,7 @@ pub mod compile;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod session;
 
 pub use ast::{BinOp, Builtin, Expr, Qualifier};
@@ -43,4 +51,5 @@ pub use check::{check_type, infer_type, CheckError};
 pub use compile::{compile_closed, compile_query, compile_with_env, CompileError};
 pub use interp::{interpret, InterpError};
 pub use parser::{parse, parse_statement, ParseError, Statement};
+pub use plan::{plan_query, PlanError, PlannedQuery};
 pub use session::{EngineStats, ExecMode, Session, SessionError, SessionResult};

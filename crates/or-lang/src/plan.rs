@@ -1,0 +1,347 @@
+//! Direct compilation of OrQL set queries over **relation bindings** into
+//! multi-input physical plans.
+//!
+//! The morphism route (`compile_query` + `or_nra::optimize::lower`) can only
+//! express queries over a *single* relation — a morphism has one input.  This
+//! module bypasses the morphism for the query shapes whose generators read
+//! session bindings directly, producing a [`PhysicalPlan`] in which
+//! `Scan(i)` reads the `i`-th referenced binding:
+//!
+//! * `{ head | x <- db1, y <- db2, …, guards… }` — one scan per generator
+//!   (cartesian-chained), guards become filters over the accumulated row
+//!   tuple, the head becomes the final projection.  A guard sitting directly
+//!   on a cartesian product is fused into a [`PhysicalPlan::Join`], where
+//!   equality predicates additionally take the engine's hash fast path.
+//!   A **dependent** generator (`{ x | xs <- db, x <- xs }`) projects each
+//!   row to its set of `(row, element)` pairs (`ρ₂`) and streams them with
+//!   [`PhysicalPlan::Flatten`] — carrying only the small accumulated row
+//!   tuple, where the morphism route's environment scaffolding would pair
+//!   every row with the entire input relation (quadratic);
+//! * `union(a, b)` — [`PhysicalPlan::Union`] of the two planned arms;
+//! * `flatten(e)` — [`PhysicalPlan::Flatten`];
+//! * a bare binding reference `db` — the scan itself.
+//!
+//! Row-level expressions (guards, heads) are compiled by the ordinary
+//! categorical environment translation ([`compile_with_env`]) and
+//! pre-composed with an **adapter** morphism that reshapes the engine's
+//! left-nested row tuple `((r₀, r₁), r₂)` into the compiler's environment
+//! tuple `(((unit, r₀), r₁), r₂)`.
+//!
+//! Everything outside these shapes returns a [`PlanError`] whose reason the
+//! session records as the statement's fallback reason.
+
+use std::fmt;
+
+use or_nra::morphism::Morphism as M;
+use or_nra::optimize::simplified;
+use or_nra::physical::PhysicalPlan;
+
+use crate::ast::{BinOp, Builtin, Expr, Qualifier};
+use crate::compile::compile_with_env;
+
+/// A physical plan over named session bindings: `Scan(i)` reads the relation
+/// bound to `inputs[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedQuery {
+    /// The multi-input plan.
+    pub plan: PhysicalPlan,
+    /// Binding names, one per input slot, in first-reference order.
+    pub inputs: Vec<String>,
+}
+
+/// Why an expression could not be planned directly.  The session surfaces
+/// the reason in its fallback statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// Human-readable description of the unsupported shape.
+    pub reason: String,
+    /// Whether the expression *looked like* a relational query (a
+    /// comprehension, `union`, `flatten`) that the planner nevertheless
+    /// could not handle.  Sessions retain only noteworthy reasons in their
+    /// bounded fallback diagnostics — a `let` of a literal or a scalar
+    /// expression is an expected interpreter statement, and recording it
+    /// would evict the reasons the diagnostics exist to surface.
+    pub noteworthy: bool,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn err<T>(reason: impl Into<String>) -> Result<T, PlanError> {
+    Err(PlanError {
+        reason: reason.into(),
+        noteworthy: true,
+    })
+}
+
+/// Plan a set-valued query over relation bindings.  See the module docs for
+/// the accepted shapes.
+pub fn plan_query(expr: &Expr) -> Result<PlannedQuery, PlanError> {
+    let mut inputs = Vec::new();
+    let plan = plan_expr(expr, &mut inputs)?;
+    Ok(PlannedQuery {
+        plan: fuse_joins(plan),
+        inputs,
+    })
+}
+
+/// The input slot for binding `name`, allocating one on first reference.
+fn slot_of(inputs: &mut Vec<String>, name: &str) -> usize {
+    match inputs.iter().position(|s| s == name) {
+        Some(i) => i,
+        None => {
+            inputs.push(name.to_string());
+            inputs.len() - 1
+        }
+    }
+}
+
+fn plan_expr(expr: &Expr, inputs: &mut Vec<String>) -> Result<PhysicalPlan, PlanError> {
+    match expr {
+        Expr::Var(name) => Ok(PhysicalPlan::scan(slot_of(inputs, name))),
+        Expr::Call(Builtin::Union, args) if args.len() == 2 => {
+            let left = plan_expr(&args[0], inputs)?;
+            let right = plan_expr(&args[1], inputs)?;
+            Ok(left.union_with(right))
+        }
+        Expr::Call(Builtin::Flatten, args) if args.len() == 1 => {
+            Ok(plan_expr(&args[0], inputs)?.flatten())
+        }
+        Expr::SetComp { head, qualifiers } => plan_comprehension(head, qualifiers, inputs),
+        Expr::OrSetComp { .. } => err("or-set comprehension (the engine computes set queries)"),
+        other => Err(PlanError {
+            reason: format!(
+                "expression shape is not a relation pipeline ({})",
+                shape_name(other)
+            ),
+            // set-algebra operators over relations are genuine engine gaps
+            // worth surfacing; literals, scalar expressions etc. are
+            // ordinary interpreter statements, not missed opportunities
+            noteworthy: matches!(
+                other,
+                Expr::Call(Builtin::Intersect | Builtin::Difference, _)
+            ),
+        }),
+    }
+}
+
+/// A short human-readable description of an expression's outermost shape,
+/// used in fallback reasons.
+fn shape_name(expr: &Expr) -> &'static str {
+    match expr {
+        Expr::Unit | Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) => "constant",
+        Expr::Var(_) => "variable",
+        Expr::Pair(..) => "pair expression",
+        Expr::SetLit(_) => "set literal",
+        Expr::OrSetLit(_) => "or-set literal",
+        Expr::SetComp { .. } => "set comprehension",
+        Expr::OrSetComp { .. } => "or-set comprehension",
+        Expr::Let { .. } => "let expression",
+        Expr::If { .. } => "conditional",
+        Expr::BinOp(..) => "operator expression",
+        Expr::Not(_) => "negation",
+        Expr::Call(builtin, _) => builtin.name(),
+    }
+}
+
+fn plan_comprehension(
+    head: &Expr,
+    qualifiers: &[Qualifier],
+    inputs: &mut Vec<String>,
+) -> Result<PhysicalPlan, PlanError> {
+    let mut vars: Vec<String> = Vec::new();
+    let mut plan: Option<PhysicalPlan> = None;
+    for q in qualifiers {
+        match q {
+            Qualifier::Generator(name, source) => {
+                match source {
+                    // independent generator over a session binding: a scan,
+                    // cartesian-chained onto the row built so far
+                    Expr::Var(rel) if !vars.iter().any(|v| v == rel) => {
+                        let scan = PhysicalPlan::scan(slot_of(inputs, rel));
+                        plan = Some(match plan {
+                            None => scan,
+                            Some(p) => p.cartesian(scan),
+                        });
+                    }
+                    // dependent generator: the source reads earlier
+                    // generator variables, so each row projects to the set
+                    // of `(row, element)` pairs (`ρ₂`) and `Flatten`
+                    // streams them.  Crucially the pair carries only the
+                    // small accumulated row tuple — not the morphism
+                    // route's environment tuple, which drags the entire
+                    // input relation through every row.
+                    _ => {
+                        let Some(p) = plan else {
+                            return err("first generator must range over a relation binding");
+                        };
+                        let src = row_morphism(source, &vars)?;
+                        plan = Some(p.project(M::pair(M::Id, src).then(M::Rho2)).flatten());
+                    }
+                }
+                vars.push(name.clone());
+            }
+            Qualifier::Guard(guard) => {
+                let Some(p) = plan else {
+                    return err("guard before the first generator");
+                };
+                plan = Some(p.filter(row_morphism(guard, &vars)?));
+            }
+        }
+    }
+    let Some(plan) = plan else {
+        return err("comprehension has no generator");
+    };
+    let head_m = row_morphism(head, &vars)?;
+    Ok(plan.project(head_m))
+}
+
+/// Compile `expr` (free variables ⊆ the generator variables `vars`) into a
+/// morphism over the engine's left-nested row tuple.  Equality guards are
+/// compiled side-by-side so they surface as `eq ∘ ⟨f, g⟩` — the shape the
+/// engine's equi-join detector recognizes for the hash fast path.
+fn row_morphism(expr: &Expr, vars: &[String]) -> Result<M, PlanError> {
+    if let Expr::BinOp(BinOp::Eq, a, b) = expr {
+        let ca = side_morphism(a, vars)?;
+        let cb = side_morphism(b, vars)?;
+        return Ok(M::pair(ca, cb).then(M::Eq));
+    }
+    side_morphism(expr, vars)
+}
+
+/// `adapter ; compile(expr)`, simplified so that pure projection chains
+/// collapse (letting the equi-join detector see through them).
+fn side_morphism(expr: &Expr, vars: &[String]) -> Result<M, PlanError> {
+    let body = compile_with_env(expr, vars).map_err(|e| PlanError {
+        reason: format!("row expression is not compilable over the generators: {e}"),
+        noteworthy: true,
+    })?;
+    Ok(simplified(&adapter(vars.len()).then(body)))
+}
+
+/// Reshape the engine's left-nested row tuple of `n` generator values into
+/// the compiler's environment tuple (same nesting with a `unit` at the
+/// bottom): `((r₀, r₁), r₂) ↦ (((unit, r₀), r₁), r₂)`.
+fn adapter(n: usize) -> M {
+    match n {
+        0 => M::Bang,
+        1 => M::pair(M::Bang, M::Id),
+        _ => M::pair(M::Proj1.then(adapter(n - 1)), M::Proj2),
+    }
+}
+
+/// Fuse every filter sitting directly on a cartesian product into a join —
+/// the join operator evaluates the same predicate over the same pairs, and
+/// equality predicates then take the engine's hash path instead of
+/// enumerating the product.
+fn fuse_joins(plan: PhysicalPlan) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::Filter { predicate, input } => match fuse_joins(*input) {
+            PhysicalPlan::Cartesian { left, right } => PhysicalPlan::Join {
+                predicate,
+                left,
+                right,
+            },
+            other => PhysicalPlan::Filter {
+                predicate,
+                input: Box::new(other),
+            },
+        },
+        PhysicalPlan::Project { f, input } => PhysicalPlan::Project {
+            f,
+            input: Box::new(fuse_joins(*input)),
+        },
+        PhysicalPlan::Cartesian { left, right } => PhysicalPlan::Cartesian {
+            left: Box::new(fuse_joins(*left)),
+            right: Box::new(fuse_joins(*right)),
+        },
+        PhysicalPlan::Union { left, right } => PhysicalPlan::Union {
+            left: Box::new(fuse_joins(*left)),
+            right: Box::new(fuse_joins(*right)),
+        },
+        PhysicalPlan::Flatten { input } => PhysicalPlan::Flatten {
+            input: Box::new(fuse_joins(*input)),
+        },
+        // the planner itself only emits the variants above; anything else
+        // (joins it already fused, scans) passes through unchanged
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn planned(src: &str) -> PlannedQuery {
+        plan_query(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_generator_comprehensions_plan_to_scan_pipelines() {
+        let pq = planned("{ fst(p) | p <- db, snd(p) <= 20 }");
+        assert_eq!(pq.inputs, vec!["db".to_string()]);
+        let rendered = pq.plan.to_string();
+        assert!(rendered.contains("Project"), "plan: {rendered}");
+        assert!(rendered.contains("Filter"), "plan: {rendered}");
+        assert!(rendered.contains("Scan(#0)"), "plan: {rendered}");
+    }
+
+    #[test]
+    fn multi_binding_comprehensions_plan_to_multi_input_joins() {
+        let pq = planned("{ (fst(u), snd(g)) | u <- users, g <- groups, snd(u) == fst(g) }");
+        assert_eq!(pq.inputs, vec!["users".to_string(), "groups".to_string()]);
+        assert_eq!(pq.plan.input_arity(), 2);
+        let rendered = pq.plan.to_string();
+        // the equality guard fuses the cartesian product into a join
+        assert!(rendered.contains("Join"), "plan: {rendered}");
+        assert!(!rendered.contains("Cartesian"), "plan: {rendered}");
+    }
+
+    #[test]
+    fn repeated_bindings_share_a_slot() {
+        let pq = planned("{ (x, y) | x <- db, y <- db }");
+        assert_eq!(pq.inputs, vec!["db".to_string()]);
+        assert!(pq.plan.to_string().contains("Cartesian"));
+    }
+
+    #[test]
+    fn union_and_flatten_of_bindings_plan_directly() {
+        let pq = planned("union({ fst(p) | p <- a }, { fst(q) | q <- b })");
+        assert_eq!(pq.inputs, vec!["a".to_string(), "b".to_string()]);
+        assert!(pq.plan.to_string().contains("Union"));
+        let pq = planned("flatten(nested)");
+        assert!(pq.plan.to_string().contains("Flatten"));
+    }
+
+    #[test]
+    fn dependent_generators_plan_to_flatten_pipelines() {
+        let pq = planned("{ x | xs <- db, x <- xs }");
+        assert_eq!(pq.inputs, vec!["db".to_string()]);
+        let rendered = pq.plan.to_string();
+        assert!(rendered.contains("Flatten"), "plan: {rendered}");
+        assert!(rendered.contains("Scan(#0)"), "plan: {rendered}");
+        // a dependent generator mid-chain, with a guard afterwards
+        let pq = planned("{ (fst(r), x) | r <- db, x <- snd(r), x != fst(r) }");
+        assert_eq!(pq.inputs, vec!["db".to_string()]);
+        assert!(pq.plan.to_string().contains("Flatten"));
+    }
+
+    #[test]
+    fn unsupported_shapes_report_reasons() {
+        // a leading dependent generator has no relation to scan
+        let e = plan_query(&parse("{ x | xs <- {{1}}, x <- xs }").unwrap()).unwrap_err();
+        assert!(e.reason.contains("first generator"), "{e}");
+        // or-set comprehension
+        let e = plan_query(&parse("<| x | x <- db |>").unwrap()).unwrap_err();
+        assert!(e.reason.contains("or-set"), "{e}");
+        // guard reading a binding that is not streamed through the row
+        let e = plan_query(&parse("{ x | x <- db, member(x, other) }").unwrap()).unwrap_err();
+        assert!(e.reason.contains("not compilable"), "{e}");
+    }
+}

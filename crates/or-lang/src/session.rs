@@ -6,28 +6,42 @@
 //!
 //! ## Execution modes
 //!
-//! The session can route queries through two executors:
+//! The session can route queries through three executors:
 //!
 //! * [`ExecMode::Interp`] (default) — the direct tree-walking interpreter;
-//! * [`ExecMode::Engine`] — compile the expression to an or-NRA⁺ morphism,
-//!   [`lower`](or_nra::optimize::lower) it to a physical plan, and run it on
-//!   the streaming parallel engine (`or-engine`).  Only queries over a
-//!   single set-valued binding fall inside the lowerable fragment; anything
-//!   else silently falls back to the interpreter ([`Session::engine_stats`]
-//!   reports how often each path ran).  Every engine result is
-//!   **cross-checked** against the interpreter; a disagreement is reported
-//!   as [`SessionError::EngineMismatch`] rather than returned as data.
+//! * [`ExecMode::Engine`] — **engine-first**: compile the expression to a
+//!   physical plan (either directly over the referenced relation bindings
+//!   via [`crate::plan`], or through an or-NRA⁺ morphism and
+//!   [`lower`](or_nra::optimize::lower)) and run it on the streaming
+//!   parallel engine (`or-engine`) as the *primary* executor.  The
+//!   interpreter runs only for statements outside the engine's fragment;
+//!   [`Session::engine_stats`] reports how often each path ran and *why*
+//!   the last fallbacks happened;
+//! * [`ExecMode::EngineChecked`] — the engine result is additionally
+//!   **cross-checked** against the interpreter (the pre-engine-first
+//!   behaviour); a disagreement is reported as
+//!   [`SessionError::EngineMismatch`] rather than returned as data.  This
+//!   mode pays for both executions and exists for differential testing —
+//!   the proptest suites drive sessions in this mode.
+//!
+//! The engine's fragment covers comprehensions over one *or several*
+//! set-valued bindings (multi-generator comprehensions become multi-input
+//! cartesian/join plans), `union`/`flatten` pipelines over them, dependent
+//! generators (via the `Flatten` lowering), and per-row α-expansion
+//! pipelines.  Or-monad statements (`normalize(db)` at the top level,
+//! or-set comprehensions) fall back to the interpreter.
 
 use std::collections::HashMap;
 use std::fmt;
 
-use or_engine::{run_morphism_on_value, EngineError, ExecConfig};
+use or_engine::{run_morphism_on_value, EngineError, ExecConfig, Executor};
 use or_object::{Type, Value};
 
 use crate::check::{infer_type, CheckError, TypeEnv};
 use crate::compile::compile_query;
 use crate::interp::{interpret, Env, InterpError};
 use crate::parser::{parse_statement, ParseError, Statement};
+use crate::plan::{plan_query, PlanError};
 
 /// The result of evaluating one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,7 +66,8 @@ pub enum SessionError {
     /// The physical engine failed on a query the lowering accepted.
     Engine(String),
     /// The engine and the interpreter disagreed on a query result — a bug in
-    /// one of them; the query and both answers are reported.
+    /// one of them; the query and both answers are reported.  Only raised in
+    /// [`ExecMode::EngineChecked`].
     EngineMismatch {
         /// The offending query source.
         query: String,
@@ -109,19 +124,35 @@ pub enum ExecMode {
     /// The direct tree-walking interpreter (the default).
     #[default]
     Interp,
-    /// Route lowerable queries through the streaming parallel engine,
-    /// cross-checking every result against the interpreter.
+    /// Engine-first: run plannable queries on the streaming parallel engine
+    /// and fall back to the interpreter only outside its fragment.
     Engine,
+    /// Like [`ExecMode::Engine`], but every engine result is re-computed on
+    /// the interpreter and compared — the differential-testing mode.
+    EngineChecked,
 }
 
-/// Counters for the engine routing (see [`Session::engine_stats`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters and diagnostics for the engine routing (see
+/// [`Session::engine_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Statements executed (and verified) on the physical engine.
+    /// Statements executed on the physical engine.
     pub engine: u64,
-    /// Statements that fell back to the interpreter (not in the lowerable
-    /// fragment, or not a single-set-binding query).
+    /// Statements that fell back to the interpreter (not in the plannable
+    /// fragment).
     pub fallback: u64,
+    /// The most recent *noteworthy* fallback reasons (oldest first, at most
+    /// [`EngineStats::MAX_REASONS`]), each tagged with the statement source.
+    /// Statements that merely look nothing like a relational query —
+    /// literals, scalar expressions, bare binding echoes — count toward
+    /// [`EngineStats::fallback`] but are not recorded here, so they cannot
+    /// evict the reasons worth reading.
+    pub fallback_reasons: Vec<String>,
+}
+
+impl EngineStats {
+    /// How many fallback reasons are retained.
+    pub const MAX_REASONS: usize = 8;
 }
 
 /// A stateful OrQL session.
@@ -140,10 +171,21 @@ impl Session {
         Session::default()
     }
 
-    /// Create a session that routes queries through the physical engine.
+    /// Create a session that serves queries from the physical engine
+    /// (engine-first; see [`ExecMode::Engine`]).
     pub fn with_engine(config: ExecConfig) -> Session {
         Session {
             mode: ExecMode::Engine,
+            engine_config: config,
+            ..Session::default()
+        }
+    }
+
+    /// Create a session that runs the engine *and* cross-checks every result
+    /// against the interpreter (see [`ExecMode::EngineChecked`]).
+    pub fn with_engine_checked(config: ExecConfig) -> Session {
+        Session {
+            mode: ExecMode::EngineChecked,
             engine_config: config,
             ..Session::default()
         }
@@ -159,9 +201,10 @@ impl Session {
         self.mode
     }
 
-    /// How many statements ran on the engine vs. the interpreter.
+    /// How many statements ran on the engine vs. the interpreter, and the
+    /// most recent fallback reasons.
     pub fn engine_stats(&self) -> EngineStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Bind a pre-built value under a name (its type is inferred from the
@@ -224,47 +267,121 @@ impl Session {
     }
 
     /// Evaluate an expression under the current execution mode.
-    ///
-    /// In [`ExecMode::Engine`], lowerable queries additionally run on the
-    /// physical engine, and the two answers are compared.
     fn evaluate(&mut self, source: &str, expr: &crate::ast::Expr) -> Result<Value, SessionError> {
-        let interpreted = interpret(expr, &self.values)?;
-        if self.mode == ExecMode::Engine {
-            match self.try_engine(expr)? {
-                Some(engine_value) => {
-                    if engine_value != interpreted {
-                        return Err(SessionError::EngineMismatch {
-                            query: source.to_string(),
-                            engine: engine_value.to_string(),
-                            interp: interpreted.to_string(),
-                        });
-                    }
+        match self.mode {
+            ExecMode::Interp => Ok(interpret(expr, &self.values)?),
+            // Engine-first: the engine is the serving path; the interpreter
+            // runs only when the statement is outside the plannable fragment.
+            ExecMode::Engine => match self.try_engine(expr)? {
+                Ok(value) => {
                     self.stats.engine += 1;
+                    Ok(value)
                 }
-                None => self.stats.fallback += 1,
+                Err(reason) => {
+                    self.record_fallback(source, reason);
+                    Ok(interpret(expr, &self.values)?)
+                }
+            },
+            // Differential mode: both executors run, answers must agree.
+            ExecMode::EngineChecked => {
+                let interpreted = interpret(expr, &self.values)?;
+                match self.try_engine(expr)? {
+                    Ok(engine_value) => {
+                        if engine_value != interpreted {
+                            return Err(SessionError::EngineMismatch {
+                                query: source.to_string(),
+                                engine: engine_value.to_string(),
+                                interp: interpreted.to_string(),
+                            });
+                        }
+                        self.stats.engine += 1;
+                    }
+                    Err(reason) => self.record_fallback(source, reason),
+                }
+                Ok(interpreted)
             }
         }
-        Ok(interpreted)
     }
 
-    /// Try to run `expr` on the physical engine.  `Ok(None)` means the query
-    /// is outside the engine's fragment (caller falls back); a genuine
-    /// engine failure is an error.
-    fn try_engine(&self, expr: &crate::ast::Expr) -> Result<Option<Value>, SessionError> {
-        // The engine executes queries over a single set-valued binding.
+    fn record_fallback(&mut self, source: &str, fallback: PlanError) {
+        self.stats.fallback += 1;
+        if !fallback.noteworthy {
+            return;
+        }
+        if self.stats.fallback_reasons.len() >= EngineStats::MAX_REASONS {
+            self.stats.fallback_reasons.remove(0);
+        }
+        self.stats
+            .fallback_reasons
+            .push(format!("`{source}`: {}", fallback.reason));
+    }
+
+    /// Try to run `expr` on the physical engine.  The inner `Err(fallback)`
+    /// means the statement is outside the engine's fragment (caller falls
+    /// back to the interpreter and, for `noteworthy` errors, records the
+    /// reason); the outer error is a genuine engine failure on a statement
+    /// the planner accepted.
+    fn try_engine(
+        &self,
+        expr: &crate::ast::Expr,
+    ) -> Result<Result<Value, PlanError>, SessionError> {
+        let noteworthy = |reason: String| PlanError {
+            reason,
+            noteworthy: true,
+        };
+        // A bare binding reference is an O(1) environment lookup: running
+        // the engine would clone the whole relation through a scan, re-sort
+        // an already-canonical set, and count the echo as "engine-served".
+        if matches!(expr, crate::ast::Expr::Var(_)) {
+            return Ok(Err(PlanError {
+                reason: "bare binding reference (environment lookup)".to_string(),
+                noteworthy: false,
+            }));
+        }
+        // 1. The direct route: comprehensions / union / flatten over one or
+        //    several set-valued bindings become a multi-input plan.
+        let plan_fallback = match plan_query(expr) {
+            Ok(pq) => {
+                let mut inputs: Vec<&[Value]> = Vec::with_capacity(pq.inputs.len());
+                for name in &pq.inputs {
+                    match self.values.get(name) {
+                        Some(Value::Set(rows)) => inputs.push(rows),
+                        Some(_) => {
+                            return Ok(Err(noteworthy(format!(
+                                "binding `{name}` is not a set relation"
+                            ))))
+                        }
+                        None => return Ok(Err(noteworthy(format!("unbound relation `{name}`")))),
+                    }
+                }
+                return match Executor::new(self.engine_config).run_to_value(&pq.plan, &inputs) {
+                    Ok(value) => Ok(Ok(value)),
+                    Err(e) => Err(SessionError::Engine(e.to_string())),
+                };
+            }
+            Err(e) => e,
+        };
+        // 2. The morphism route: a query over exactly one set-valued binding
+        //    is compiled to a morphism and lowered; this covers shapes the
+        //    direct planner does not (α-expansion pipelines, environment
+        //    scaffolding).
         let free = expr.free_vars();
         let [var] = free.as_slice() else {
-            return Ok(None);
+            return Ok(Err(plan_fallback));
         };
         let Some(input @ Value::Set(_)) = self.values.get(var) else {
-            return Ok(None);
+            return Ok(Err(noteworthy(format!(
+                "binding `{var}` is not a set relation"
+            ))));
         };
-        let Ok(morphism) = compile_query(expr, var) else {
-            return Ok(None);
+        let morphism = match compile_query(expr, var) {
+            Ok(m) => m,
+            Err(e) => return Ok(Err(noteworthy(e.to_string()))),
         };
         match run_morphism_on_value(input, &morphism, self.engine_config) {
-            Ok(value) => Ok(Some(value)),
-            Err(EngineError::Lower(_)) => Ok(None),
+            Ok(value) => Ok(Ok(value)),
+            // keep the lowering's own description of what stopped it
+            Err(EngineError::Lower(e)) => Ok(Err(noteworthy(e.to_string()))),
             Err(e) => Err(SessionError::Engine(e.to_string())),
         }
     }
@@ -305,7 +422,7 @@ mod tests {
     }
 
     #[test]
-    fn engine_mode_executes_and_cross_checks_set_queries() {
+    fn engine_mode_serves_set_queries_from_the_engine() {
         let mut s = Session::with_engine(ExecConfig::default().with_workers(2));
         assert_eq!(s.exec_mode(), ExecMode::Engine);
         s.run("let db = { (1, 10), (2, 20), (3, 30), (4, 40) }")
@@ -320,7 +437,61 @@ mod tests {
     }
 
     #[test]
-    fn engine_mode_falls_back_outside_the_fragment() {
+    fn engine_checked_mode_cross_checks_set_queries() {
+        let mut s = Session::with_engine_checked(ExecConfig::default().with_workers(2));
+        assert_eq!(s.exec_mode(), ExecMode::EngineChecked);
+        s.run("let db = { (1, 10), (2, 20), (3, 30), (4, 40) }")
+            .unwrap();
+        let r = s.run("{ fst(p) | p <- db, snd(p) <= 20 }").unwrap();
+        assert_eq!(r.value, Value::int_set([1, 2]));
+        assert!(s.engine_stats().engine >= 1);
+    }
+
+    #[test]
+    fn engine_mode_serves_multi_binding_comprehensions() {
+        let mut s = Session::with_engine(ExecConfig::default().with_workers(2));
+        s.run("let users = { (1, 10), (2, 20), (3, 10) }").unwrap();
+        s.run("let groups = { (10, \"a\"), (20, \"b\") }").unwrap();
+        let r = s
+            .run("{ (fst(u), snd(g)) | u <- users, g <- groups, snd(u) == fst(g) }")
+            .unwrap();
+        assert_eq!(
+            r.value,
+            Value::set([
+                Value::pair(Value::Int(1), Value::str("a")),
+                Value::pair(Value::Int(2), Value::str("b")),
+                Value::pair(Value::Int(3), Value::str("a")),
+            ])
+        );
+        let stats = s.engine_stats();
+        assert!(
+            stats.engine >= 1,
+            "multi-binding join should be engine-served: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn engine_mode_serves_union_and_dependent_generators() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let a = { 1, 2, 3 }").unwrap();
+        s.run("let b = { 3, 4 }").unwrap();
+        let engine_before = s.engine_stats().engine;
+        let r = s
+            .run("union({ x | x <- a, x <= 2 }, { y | y <- b })")
+            .unwrap();
+        assert_eq!(r.value, Value::int_set([1, 2, 3, 4]));
+        s.run("let nested = { {1, 2}, {2, 5} }").unwrap();
+        let r = s.run("{ x | xs <- nested, x <- xs }").unwrap();
+        assert_eq!(r.value, Value::int_set([1, 2, 5]));
+        assert!(
+            s.engine_stats().engine >= engine_before + 2,
+            "union and dependent-generator statements should be engine-served: {:?}",
+            s.engine_stats()
+        );
+    }
+
+    #[test]
+    fn engine_mode_falls_back_outside_the_fragment_with_reasons() {
         let mut s = Session::with_engine(ExecConfig::default());
         s.run("let db = { <|1,2|>, <|3|> }").unwrap();
         // or-monad pipeline: interpretable but not lowerable
@@ -329,7 +500,51 @@ mod tests {
             r.value,
             Value::orset([Value::int_set([1, 3]), Value::int_set([2, 3])])
         );
-        assert!(s.engine_stats().fallback >= 1);
+        let stats = s.engine_stats();
+        assert!(stats.fallback >= 1);
+        assert!(
+            stats
+                .fallback_reasons
+                .iter()
+                .any(|r| r.contains("normalize(db)")),
+            "fallback reasons should name the statement: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn fallback_reasons_are_capped_and_skip_trivial_statements() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let odb = <| 1, 2, 3 |>").unwrap();
+        // the or-set literal binding is a fallback, but not a noteworthy one
+        let baseline = s.engine_stats().fallback;
+        assert!(s.engine_stats().fallback_reasons.is_empty());
+        let n = EngineStats::MAX_REASONS as i64 + 5;
+        for i in 0..n {
+            // or-set comprehensions look like queries but are outside the
+            // engine's set fragment: each records a reason
+            s.run(&format!("<| x | x <- odb, {i} <= x |>")).unwrap();
+        }
+        // scalar statements keep counting without evicting the diagnostics
+        s.run("1 + 1").unwrap();
+        let stats = s.engine_stats();
+        assert_eq!(stats.fallback, baseline + n as u64 + 1);
+        assert_eq!(stats.fallback_reasons.len(), EngineStats::MAX_REASONS);
+        // the retained reasons are the most recent noteworthy ones
+        let last = stats.fallback_reasons.last().unwrap();
+        assert!(last.contains(&format!("{} <= x", n - 1)), "{last}");
+    }
+
+    #[test]
+    fn bare_binding_references_skip_the_engine() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let db = { 1, 2, 3 }").unwrap();
+        let r = s.run("db").unwrap();
+        assert_eq!(r.value, Value::int_set([1, 2, 3]));
+        let stats = s.engine_stats();
+        // the echo is an environment lookup, not an engine run, and leaves
+        // no noteworthy reason behind
+        assert_eq!(stats.engine, 0);
+        assert!(stats.fallback_reasons.is_empty(), "{stats:?}");
     }
 
     #[test]
@@ -339,16 +554,21 @@ mod tests {
             "{ snd(r) | r <- db }",
             "{ r | r <- db, snd(r) <= 2 }",
             "{ (snd(r), fst(r)) | r <- db, fst(r) != \"b\" }",
+            "union({ snd(r) | r <- db }, { 9 })",
         ];
         let mut interp = Session::new();
         let mut engine = Session::with_engine(ExecConfig::default().with_workers(3));
+        let mut checked = Session::with_engine_checked(ExecConfig::default().with_workers(3));
         for stmt in script {
             let a = interp.run(stmt).unwrap();
             let b = engine.run(stmt).unwrap();
+            let c = checked.run(stmt).unwrap();
             assert_eq!(a.value, b.value, "disagreement on `{stmt}`");
+            assert_eq!(a.value, c.value, "disagreement on `{stmt}` (checked)");
             assert_eq!(a.ty, b.ty);
         }
         assert!(engine.engine_stats().engine >= 3);
+        assert!(checked.engine_stats().engine >= 3);
     }
 
     #[test]

@@ -262,14 +262,21 @@ fn rewrite_compose(f: &M, g: &M) -> Option<M> {
 ///   [`PhysicalPlan::Filter`];
 /// * `μ ∘ map(ortoset ∘ normalize)` (per-row α-expansion) —
 ///   [`PhysicalPlan::OrExpand`];
+/// * a bare `μ` stage (each intermediate row is itself a set) —
+///   [`PhysicalPlan::Flatten`]; this is what the comprehension compiler's
+///   *dependent* generators (`{ x | xs <- db, x <- xs }`) reduce to after
+///   simplification: `map(ρ₂ ∘ …)` projects each row to a set of extended
+///   rows and the following `μ` streams their elements;
+/// * `∪ ∘ ⟨f, g⟩` (the `union(a, b)` translation) — [`PhysicalPlan::Union`]
+///   of the two lowered arms, each grafted onto the pipeline built so far;
 /// * a leading `ρ₂ ∘ e` prefix, where `e` builds an `(env, {rows})` pair
 ///   from the input set (the OrQL environment-tuple translation) —
 ///   [`PhysicalPlan::AttachEnv`].
 ///
 /// Anything outside this fragment (or-monad pipelines, whole-relation
-/// `normalize`, multi-generator flattening) returns a [`LowerError`]; callers
-/// such as the OrQL session fall back to the tree-walking interpreter.
-/// Binary operators (`Cartesian`, `Join`) are built directly through the
+/// `normalize`) returns a [`LowerError`]; callers such as the OrQL session
+/// fall back to the tree-walking interpreter.  Binary operators over
+/// *distinct* relations (`Cartesian`, `Join`) are built directly through the
 /// [`PhysicalPlan`] builder API, since a morphism's single input cannot
 /// reference two relations.
 pub fn lower(m: &M) -> Result<PhysicalPlan, LowerError> {
@@ -310,6 +317,23 @@ pub fn lower(m: &M) -> Result<PhysicalPlan, LowerError> {
             M::Eta if next == Some(&M::Mu) => {
                 i += 2;
             }
+            // ∪ ∘ ⟨f, g⟩: both arms consume the stream built so far, and the
+            // engine's canonical merge makes concatenation an exact union.
+            M::PairWith(a, b) if next == Some(&M::Union) => {
+                let left = graft(lower(a)?, &plan);
+                let right = graft(lower(b)?, &plan);
+                plan = PhysicalPlan::Union {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+                i += 2;
+            }
+            // a bare μ: every row of the stream is itself a set — stream the
+            // elements (row-wise flattening is partitionable).
+            M::Mu => {
+                plan = plan.flatten();
+                i += 1;
+            }
             M::Map(body) => {
                 // two-stage shapes consume the following μ
                 if next == Some(&M::Mu) {
@@ -339,6 +363,60 @@ pub fn lower(m: &M) -> Result<PhysicalPlan, LowerError> {
         }
     }
     Ok(plan)
+}
+
+/// Replace every `Scan(0)` leaf of an arm plan produced by a recursive
+/// [`lower`] call with `base` — the pipeline built so far.  `lower` emits
+/// plans over the single placeholder slot 0 ("the current stream"), so the
+/// substitution splices the arm onto the prefix.  A non-trivial prefix is
+/// duplicated into both arms of a `Union` (recomputed, not shared); the
+/// common OrQL shapes reach this with a bare scan prefix.
+fn graft(plan: PhysicalPlan, base: &PhysicalPlan) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::Scan(0) => base.clone(),
+        leaf @ PhysicalPlan::Scan(_) => leaf,
+        PhysicalPlan::Filter { predicate, input } => PhysicalPlan::Filter {
+            predicate,
+            input: Box::new(graft(*input, base)),
+        },
+        PhysicalPlan::Project { f, input } => PhysicalPlan::Project {
+            f,
+            input: Box::new(graft(*input, base)),
+        },
+        PhysicalPlan::AttachEnv { setup, input } => PhysicalPlan::AttachEnv {
+            setup,
+            input: Box::new(graft(*input, base)),
+        },
+        PhysicalPlan::Flatten { input } => PhysicalPlan::Flatten {
+            input: Box::new(graft(*input, base)),
+        },
+        PhysicalPlan::OrExpand {
+            budget,
+            dedup,
+            input,
+        } => PhysicalPlan::OrExpand {
+            budget,
+            dedup,
+            input: Box::new(graft(*input, base)),
+        },
+        PhysicalPlan::Union { left, right } => PhysicalPlan::Union {
+            left: Box::new(graft(*left, base)),
+            right: Box::new(graft(*right, base)),
+        },
+        PhysicalPlan::Cartesian { left, right } => PhysicalPlan::Cartesian {
+            left: Box::new(graft(*left, base)),
+            right: Box::new(graft(*right, base)),
+        },
+        PhysicalPlan::Join {
+            predicate,
+            left,
+            right,
+        } => PhysicalPlan::Join {
+            predicate,
+            left: Box::new(graft(*left, base)),
+            right: Box::new(graft(*right, base)),
+        },
+    }
 }
 
 /// Flatten a composition tree into application order.
@@ -536,6 +614,15 @@ fn output_row_type(plan: &PhysicalPlan, row_types: &[Type]) -> Option<Type> {
             let r = output_row_type(right, row_types)?;
             Some(Type::prod(l, r))
         }
+        PhysicalPlan::Union { left, right } => {
+            let l = output_row_type(left, row_types)?;
+            let r = output_row_type(right, row_types)?;
+            (l == r).then_some(l)
+        }
+        PhysicalPlan::Flatten { input } => match output_row_type(input, row_types)? {
+            Type::Set(elem) => Some(*elem),
+            _ => None,
+        },
         // each world of a row of type t is a complete instance: t with the
         // or-set constructors stripped (Proposition 4.1's t')
         PhysicalPlan::OrExpand { input, .. } => {
@@ -604,14 +691,18 @@ fn filters_below_expand(plan: &PhysicalPlan) -> Vec<&M> {
             PhysicalPlan::OrExpand { input, .. } => below(input, true, out),
             // before the expand, keep descending toward it; after it, any
             // row-shape change invalidates raw-row pre-evaluation
-            PhysicalPlan::Project { input, .. } | PhysicalPlan::AttachEnv { input, .. } => {
+            PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::AttachEnv { input, .. }
+            | PhysicalPlan::Flatten { input } => {
                 if seen_expand {
                     out.clear();
                 } else {
                     below(input, seen_expand, out);
                 }
             }
-            PhysicalPlan::Cartesian { left, .. } | PhysicalPlan::Join { left, .. } => {
+            PhysicalPlan::Cartesian { left, .. }
+            | PhysicalPlan::Join { left, .. }
+            | PhysicalPlan::Union { left, .. } => {
                 if seen_expand {
                     out.clear();
                 } else {
@@ -632,8 +723,11 @@ fn contains_or_expand(plan: &PhysicalPlan) -> bool {
         PhysicalPlan::OrExpand { .. } => true,
         PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::Project { input, .. }
-        | PhysicalPlan::AttachEnv { input, .. } => contains_or_expand(input),
-        PhysicalPlan::Cartesian { left, right } | PhysicalPlan::Join { left, right, .. } => {
+        | PhysicalPlan::AttachEnv { input, .. }
+        | PhysicalPlan::Flatten { input } => contains_or_expand(input),
+        PhysicalPlan::Cartesian { left, right }
+        | PhysicalPlan::Join { left, right, .. }
+        | PhysicalPlan::Union { left, right } => {
             contains_or_expand(left) || contains_or_expand(right)
         }
     }
@@ -670,6 +764,13 @@ fn push_below_expand(
         PhysicalPlan::Cartesian { left, right } => PhysicalPlan::Cartesian {
             left: Box::new(push_below_expand(*left, config, report)),
             right: Box::new(push_below_expand(*right, config, report)),
+        },
+        PhysicalPlan::Union { left, right } => PhysicalPlan::Union {
+            left: Box::new(push_below_expand(*left, config, report)),
+            right: Box::new(push_below_expand(*right, config, report)),
+        },
+        PhysicalPlan::Flatten { input } => PhysicalPlan::Flatten {
+            input: Box::new(push_below_expand(*input, config, report)),
         },
         PhysicalPlan::Join {
             predicate,
@@ -860,6 +961,36 @@ mod tests {
         let query = M::map(M::Normalize.then(M::OrToSet)).then(M::Mu);
         let plan = lower(&query).unwrap();
         assert!(plan.to_string().contains("OrExpand"));
+    }
+
+    #[test]
+    fn lower_recognizes_union_of_pipelines() {
+        // ∪ ∘ ⟨map(π₁), map(π₂)⟩ — union of two projections of the input
+        let query = M::pair(M::map(M::Proj1), M::map(M::Proj2)).then(M::Union);
+        let plan = lower(&query).unwrap();
+        let rendered = plan.to_string();
+        assert!(rendered.contains("Union"), "plan: {rendered}");
+        assert_eq!(plan.input_arity(), 1);
+        // semantics check against the interpreter
+        let v = Value::set([
+            Value::pair(Value::Int(1), Value::Int(10)),
+            Value::pair(Value::Int(2), Value::Int(20)),
+        ]);
+        let expected = eval(&query, &v).unwrap();
+        assert_eq!(expected, Value::int_set([1, 2, 10, 20]));
+    }
+
+    #[test]
+    fn lower_recognizes_row_wise_flattening() {
+        // a bare μ: {{t}} → {t}
+        let plan = lower(&M::Mu).unwrap();
+        assert!(plan.to_string().contains("Flatten"));
+        // μ after a projection (the dependent-generator shape)
+        let query = M::map(M::Proj2).then(M::Mu);
+        let plan = lower(&query).unwrap();
+        let rendered = plan.to_string();
+        assert!(rendered.contains("Flatten"), "plan: {rendered}");
+        assert!(rendered.contains("Project"), "plan: {rendered}");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! | `AttachEnv`    | `ρ₂ ∘ ⟨e, id⟩`                              | yes (e once) |
 //! | `Cartesian`    | `μ ∘ map(ρ₂) ∘ ρ₁` on a pair of scans       | right side materialized |
 //! | `Join`         | `select(p)` over a `Cartesian`              | right side materialized |
+//! | `Union`        | `∪ ∘ ⟨f, g⟩`                                | left streams, right broadcast |
+//! | `Flatten`      | `μ : {{t}} → {t}`                           | yes        |
 //! | `OrExpand`     | `μ ∘ map(ortoset ∘ normalize)`              | yes, per-row lazy |
 //!
 //! `OrExpand` is where the conceptual level meets physical reality: each row
@@ -87,6 +89,26 @@ pub enum PhysicalPlan {
         /// Right (materialized, broadcast) side.
         right: Box<PhysicalPlan>,
     },
+    /// Set union of two row streams.  The left side streams (and is
+    /// partitionable); the right side is streamed whole by one worker — the
+    /// executor's canonical merge (sort + dedup) makes the concatenation an
+    /// exact set union.
+    Union {
+        /// Left (streamed, partitionable) side.
+        left: Box<PhysicalPlan>,
+        /// Right (broadcast) side.
+        right: Box<PhysicalPlan>,
+    },
+    /// Flatten one level of nesting: every input row must itself be a set,
+    /// and its elements are streamed (`μ : {{t}} → {t}` applied row-wise).
+    /// This is how multi-generator comprehensions whose inner generator
+    /// depends on the outer row (`{ x | xs <- db, x <- xs }`) reach the
+    /// engine: the dependent generator projects each row to a set, and
+    /// `Flatten` streams the elements.
+    Flatten {
+        /// Upstream plan (rows of type `{t}`).
+        input: Box<PhysicalPlan>,
+    },
     /// Expand each row into its complete (or-set-free) instances, lazily.
     OrExpand {
         /// Per-row cap on the number of produced denotations; exceeding it is
@@ -147,6 +169,22 @@ impl PhysicalPlan {
         }
     }
 
+    /// Set union with `right`.
+    pub fn union_with(self, right: PhysicalPlan) -> PhysicalPlan {
+        PhysicalPlan::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Flatten one level of set nesting (rows must be sets; their elements
+    /// are streamed).
+    pub fn flatten(self) -> PhysicalPlan {
+        PhysicalPlan::Flatten {
+            input: Box::new(self),
+        }
+    }
+
     /// Or-expand each row into its complete instances (unbounded, deduped).
     pub fn or_expand(self) -> PhysicalPlan {
         PhysicalPlan::OrExpand {
@@ -173,8 +211,11 @@ impl PhysicalPlan {
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::AttachEnv { input, .. }
+            | PhysicalPlan::Flatten { input }
             | PhysicalPlan::OrExpand { input, .. } => input.input_arity(),
-            PhysicalPlan::Cartesian { left, right } => left.input_arity().max(right.input_arity()),
+            PhysicalPlan::Cartesian { left, right } | PhysicalPlan::Union { left, right } => {
+                left.input_arity().max(right.input_arity())
+            }
             PhysicalPlan::Join { left, right, .. } => left.input_arity().max(right.input_arity()),
         }
     }
@@ -188,10 +229,11 @@ impl PhysicalPlan {
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::AttachEnv { input, .. }
+            | PhysicalPlan::Flatten { input }
             | PhysicalPlan::OrExpand { input, .. } => input.driving_scan(),
-            PhysicalPlan::Cartesian { left, .. } | PhysicalPlan::Join { left, .. } => {
-                left.driving_scan()
-            }
+            PhysicalPlan::Cartesian { left, .. }
+            | PhysicalPlan::Join { left, .. }
+            | PhysicalPlan::Union { left, .. } => left.driving_scan(),
         }
     }
 
@@ -202,8 +244,9 @@ impl PhysicalPlan {
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::AttachEnv { input, .. }
+            | PhysicalPlan::Flatten { input }
             | PhysicalPlan::OrExpand { input, .. } => 1 + input.operator_count(),
-            PhysicalPlan::Cartesian { left, right } => {
+            PhysicalPlan::Cartesian { left, right } | PhysicalPlan::Union { left, right } => {
                 1 + left.operator_count() + right.operator_count()
             }
             PhysicalPlan::Join { left, right, .. } => {
@@ -232,6 +275,15 @@ impl PhysicalPlan {
                 writeln!(f, "{pad}Cartesian")?;
                 left.fmt_indented(f, depth + 1)?;
                 right.fmt_indented(f, depth + 1)
+            }
+            PhysicalPlan::Union { left, right } => {
+                writeln!(f, "{pad}Union")?;
+                left.fmt_indented(f, depth + 1)?;
+                right.fmt_indented(f, depth + 1)
+            }
+            PhysicalPlan::Flatten { input } => {
+                writeln!(f, "{pad}Flatten")?;
+                input.fmt_indented(f, depth + 1)
             }
             PhysicalPlan::Join {
                 predicate,
@@ -300,5 +352,19 @@ mod tests {
         let rendered = plan.to_string();
         assert!(rendered.contains("OrExpand[budget=64"));
         assert!(rendered.contains("Scan(#1)"));
+    }
+
+    #[test]
+    fn union_and_flatten_report_shape() {
+        let plan = PhysicalPlan::scan(0)
+            .flatten()
+            .union_with(PhysicalPlan::scan(1).project(M::Proj2));
+        assert_eq!(plan.input_arity(), 2);
+        // the driving scan follows the left (streamed) side
+        assert_eq!(plan.driving_scan(), 0);
+        assert_eq!(plan.operator_count(), 5);
+        let rendered = plan.to_string();
+        assert!(rendered.contains("Union"), "plan: {rendered}");
+        assert!(rendered.contains("Flatten"), "plan: {rendered}");
     }
 }

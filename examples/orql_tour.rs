@@ -6,13 +6,17 @@
 //! The script walks through the constructs the paper's OR-SML implementation
 //! offered: building sets and or-sets, comprehensions at the structural
 //! level, `normalize` to move to the conceptual level, and the derived
-//! set/or-set library.
+//! set/or-set library.  The session runs **engine-first**: every plannable
+//! statement — including the multi-binding join and the `union` below — is
+//! served by the physical engine, and the closing statistics show which
+//! statements fell back to the interpreter and why.
 
+use or_engine::ExecConfig;
 use or_lang::session::Session;
 use or_object::Value;
 
 fn main() {
-    let mut session = Session::new();
+    let mut session = Session::with_engine(ExecConfig::parallel());
 
     // bind an external database value: per-person possible office assignments
     session.bind(
@@ -23,12 +27,24 @@ fn main() {
             Value::pair(Value::str("Bill"), Value::int_orset([212, 614])),
         ]),
     );
+    // and a second relation: per-person departments
+    session.bind(
+        "departments",
+        Value::set([
+            Value::pair(Value::str("Joe"), Value::str("CS")),
+            Value::pair(Value::str("Mary"), Value::str("EE")),
+            Value::pair(Value::str("Bill"), Value::str("CS")),
+        ]),
+    );
 
     let script = [
         "# structural level -------------------------------------------------",
         "offices",
         "{ fst(r) | r <- offices }",
         "{ fst(r) | r <- offices, ormember(212, snd(r)) }",
+        "# multi-relation queries (engine-served joins and unions) -----------",
+        "{ (fst(r), snd(d)) | r <- offices, d <- departments, fst(r) == fst(d) }",
+        "union({ fst(r) | r <- offices }, { fst(d) | d <- departments, snd(d) == \"CS\" })",
         "# conceptual level -------------------------------------------------",
         "normalize(offices)",
         "<| w | w <- normalize(offices), member((\"Mary\", 212), w) |>",
@@ -57,5 +73,14 @@ fn main() {
             }
             Err(e) => println!("orql> {line}\nerror: {e}"),
         }
+    }
+
+    let stats = session.engine_stats();
+    println!(
+        "\n# engine statistics: {} statement(s) engine-served, {} interpreter fallback(s)",
+        stats.engine, stats.fallback
+    );
+    for reason in &stats.fallback_reasons {
+        println!("#   fallback: {reason}");
     }
 }

@@ -424,6 +424,53 @@ proptest! {
         }
     }
 
+    /// Engine-first sessions (no cross-check) agree with interpreter-only
+    /// sessions on generated session scripts including `union` and
+    /// multi-binding comprehensions, and the engine-checked mode agrees with
+    /// both; the plannable statements are actually served by the engine.
+    #[test]
+    fn engine_first_sessions_agree_with_interp_sessions(seed in any::<u64>(), rows in 1usize..=24, workers in 1usize..=4) {
+        use or_engine::ExecConfig;
+        use or_lang::session::Session;
+
+        // deterministic relations derived from the seed
+        let users = Value::set((0..rows as i64).map(|i| {
+            let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+            Value::pair(Value::Int(i), Value::Int((h % 5) as i64))
+        }));
+        let groups = Value::set((0..5i64).map(|g| Value::pair(Value::Int(g), Value::Int(g * 7))));
+        let nested = Value::set((0..rows as i64).map(|i| Value::int_set([i, i + 1, (i * 2) % 9])));
+        let limit = (seed % 7) as i64;
+        let script = vec![
+            format!("{{ fst(u) | u <- users, snd(u) <= {limit} }}"),
+            "{ (fst(u), snd(g)) | u <- users, g <- groups, snd(u) == fst(g) }".to_string(),
+            format!("union({{ fst(u) | u <- users }}, {{ fst(g) | g <- groups, snd(g) <= {limit} }})"),
+            "{ x | xs <- nested, x <- xs }".to_string(),
+            "{ (u, g) | u <- users, g <- groups, fst(u) != fst(g) }".to_string(),
+        ];
+        let mut interp = Session::new();
+        let mut engine = Session::with_engine(ExecConfig::default().with_workers(workers));
+        let mut checked = Session::with_engine_checked(ExecConfig::default().with_workers(workers));
+        for s in [&mut interp, &mut engine, &mut checked] {
+            s.bind("users", users.clone());
+            s.bind("groups", groups.clone());
+            s.bind("nested", nested.clone());
+        }
+        for stmt in &script {
+            let a = interp.run(stmt).unwrap();
+            let b = engine.run(stmt).unwrap();
+            let c = checked.run(stmt).unwrap();
+            prop_assert_eq!(&a.value, &b.value, "engine-first disagreed on {}", stmt);
+            prop_assert_eq!(&a.value, &c.value, "engine-checked disagreed on {}", stmt);
+            prop_assert_eq!(&a.ty, &b.ty);
+        }
+        // every script statement is plannable: engine-first must have served
+        // them all without interpreter fallback
+        let stats = engine.engine_stats();
+        prop_assert_eq!(stats.engine, script.len() as u64, "fallbacks: {:?}", stats.fallback_reasons);
+        prop_assert_eq!(stats.fallback, 0);
+    }
+
     /// OrQL: the interpreter and the compiled algebra agree on parameterized
     /// queries over generated databases.
     #[test]
