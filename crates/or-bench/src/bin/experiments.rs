@@ -3,13 +3,21 @@
 //! ```text
 //! cargo run --release -p or-bench --bin experiments            # all
 //! cargo run --release -p or-bench --bin experiments -- e03 e07 # a subset
+//! cargo run --release -p or-bench --bin experiments -- --workers 4 e13
 //! ```
 //!
 //! Running `e13` (alone or as part of the full suite) additionally measures
 //! the e14 session replay and writes `BENCH_engine.json` — the
 //! machine-readable engine-vs-interpreter measurements (engine workloads
 //! *and* the session replay) tracked across PRs.  `e14` alone prints the
-//! session table without touching the file.
+//! session table without touching the file.  Every reported number is the
+//! **median of 5 timed runs** after one discarded warmup run (the per-row
+//! `runs` field records this).
+//!
+//! `--workers N` (equivalently the `OR_ENGINE_WORKERS` environment
+//! variable) overrides the worker count of the parallel benchmark legs in
+//! `e13`/`e14`/`check-regression`, so the parallel executor is exercised
+//! even on machines whose `available_parallelism` reports 1.
 //!
 //! ## Regression checking
 //!
@@ -122,7 +130,21 @@ fn check_regression(args: &[String]) -> i32 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --workers N: override the parallel-leg worker count (exported as
+    // OR_ENGINE_WORKERS so every measurement path sees it)
+    if let Some(at) = args.iter().position(|a| a == "--workers") {
+        match args.get(at + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => {
+                std::env::set_var("OR_ENGINE_WORKERS", n.to_string());
+                args.drain(at..=at + 1);
+            }
+            _ => {
+                eprintln!("--workers expects a number >= 1");
+                std::process::exit(2);
+            }
+        }
+    }
     if args.first().map(String::as_str) == Some("check-regression") {
         std::process::exit(check_regression(&args[1..]));
     }

@@ -719,6 +719,9 @@ pub struct EngineBenchRow {
     /// parallel-leg numbers are only ever compared across runs on matching
     /// core counts (see [`check_regression`]).
     pub available_parallelism: usize,
+    /// Timed repetitions behind each reported number (the median of this
+    /// many runs, after one discarded warmup run).
+    pub runs: usize,
     /// Did all three executions produce identical results?
     pub equal: bool,
 }
@@ -743,21 +746,41 @@ pub fn hardware_workers() -> usize {
         .unwrap_or(1)
 }
 
-/// Run `f` several times and report the result with the **minimum** wall
-/// time, so one-time warm-up cost (allocator, page faults) and scheduler
-/// noise do not land in the perf trajectory (the minimum is the standard
-/// low-variance estimator for CI regression gating).
+/// Worker threads for the parallel benchmark legs: the `OR_ENGINE_WORKERS`
+/// environment variable when set to a positive number (also settable as
+/// `experiments -- --workers N`), else [`hardware_workers`].  The override
+/// lets BENCH rows exercise the parallel executor even on machines (or CI
+/// runners) whose `available_parallelism` reports 1.
+pub fn configured_workers() -> usize {
+    std::env::var("OR_ENGINE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(hardware_workers)
+}
+
+/// Timed repetitions behind every reported benchmark number: each
+/// measurement is the median of this many runs after one discarded warmup.
+pub const TIMED_RUNS: usize = 5;
+
+/// Run `f` once as a discarded warmup (allocator, page faults, lazily
+/// built caches), then [`TIMED_RUNS`] more times, and report the
+/// **median** wall time.  The median is robust against scheduler jitter in
+/// both directions — a single descheduled run cannot flake the CI gate the
+/// way best-of-N let one lucky run set an unrepeatable baseline.
 fn timed<T>(mut f: impl FnMut() -> T) -> (T, f64) {
-    const RUNS: usize = 5;
-    let mut best_ms = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..RUNS {
+    let mut out = f(); // warmup, timing discarded
+    let mut times = [0.0f64; TIMED_RUNS];
+    for slot in times.iter_mut() {
         let start = Instant::now();
         let result = f();
-        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
-        out = Some(result);
+        *slot = start.elapsed().as_secs_f64() * 1e3;
+        // drop the previous iteration's result outside the timed window:
+        // freeing last round's output is not part of the measured work
+        out = result;
     }
-    (out.expect("RUNS > 0"), best_ms)
+    times.sort_unstable_by(|a, b| a.total_cmp(b));
+    (out, times[TIMED_RUNS / 2])
 }
 
 /// The e13 relation of `(id, cost)` records.
@@ -857,7 +880,7 @@ fn measure_workload(name: &str, relation: &or_db::Relation, query: &M) -> Engine
 
     let available = hardware_workers();
     let seq = ExecConfig::default();
-    let par = ExecConfig::default().with_workers(available);
+    let par = ExecConfig::default().with_workers(configured_workers());
     let plan = lower(query).expect("workload query is lowerable");
     let (interp, interp_ms) = timed(|| relation.query(query).expect("interpreter"));
     let (eng_seq, engine_seq_ms) =
@@ -872,6 +895,7 @@ fn measure_workload(name: &str, relation: &or_db::Relation, query: &M) -> Engine
         engine_par_ms,
         workers: stats.workers,
         available_parallelism: available,
+        runs: TIMED_RUNS,
         equal: interp == eng_seq && eng_seq == eng_par,
     }
 }
@@ -886,7 +910,7 @@ fn measure_planned_workload(name: &str, relation: &or_db::Relation, query: &M) -
 
     let available = hardware_workers();
     let seq = ExecConfig::default();
-    let par = ExecConfig::default().with_workers(available);
+    let par = ExecConfig::default().with_workers(configured_workers());
     let plan = lower(query).expect("workload query is lowerable");
     let (interp, interp_ms) = timed(|| relation.query(query).expect("interpreter"));
     let (eng_seq, engine_seq_ms) =
@@ -904,6 +928,7 @@ fn measure_planned_workload(name: &str, relation: &or_db::Relation, query: &M) -
         engine_par_ms,
         workers: stats.workers,
         available_parallelism: available,
+        runs: TIMED_RUNS,
         equal: interp == eng_seq && eng_seq == eng_par,
     }
 }
@@ -953,7 +978,7 @@ pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
 
         let available = hardware_workers();
         let seq = ExecConfig::default();
-        let par = ExecConfig::default().with_workers(available);
+        let par = ExecConfig::default().with_workers(configured_workers());
         let left_schema = or_db::Schema::new([
             or_db::Field::new("id", Type::Int),
             or_db::Field::new("grp", Type::Int),
@@ -996,6 +1021,7 @@ pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
             engine_par_ms,
             workers: stats.workers,
             available_parallelism: available,
+            runs: TIMED_RUNS,
             equal: interp == eng_seq && eng_seq == eng_par,
         });
     }
@@ -1090,7 +1116,8 @@ pub fn e14_session_rows(scale: usize) -> Vec<EngineBenchRow> {
     use or_lang::ExecMode;
 
     let available = hardware_workers();
-    let par = ExecConfig::default().with_workers(available);
+    let par_workers = configured_workers();
+    let par = ExecConfig::default().with_workers(par_workers);
     let mut interp = e14_session(ExecMode::Interp, ExecConfig::default(), scale);
     let mut engine_seq = e14_session(ExecMode::Engine, ExecConfig::default(), scale);
     let mut engine_par = e14_session(ExecMode::Engine, par, scale);
@@ -1122,8 +1149,9 @@ pub fn e14_session_rows(scale: usize) -> Vec<EngineBenchRow> {
         // sessions do not expose per-statement executor stats, so this is
         // the configured worker cap of the parallel legs, not a measured
         // per-query count as in the e13 rows
-        workers: available,
+        workers: par_workers,
         available_parallelism: available,
+        runs: TIMED_RUNS,
         equal,
     }]
 }
@@ -1153,6 +1181,12 @@ pub struct BaselineRow {
     /// Core count of the machine that produced the baseline row (absent in
     /// baselines predating the field).
     pub available_parallelism: Option<usize>,
+    /// Worker threads the baseline's parallel leg actually used (absent in
+    /// baselines predating the field).  With the `--workers` /
+    /// `OR_ENGINE_WORKERS` override this can differ from
+    /// `available_parallelism`, and parallel legs are only comparable when
+    /// **both** match.
+    pub workers: Option<usize>,
     /// The committed `equal` flag.
     pub equal: bool,
 }
@@ -1183,12 +1217,14 @@ pub fn parse_engine_bench(json: &str) -> Vec<BaselineRow> {
         };
         let available_parallelism =
             field(chunk, "available_parallelism").and_then(|s| s.parse::<usize>().ok());
+        let workers = field(chunk, "workers").and_then(|s| s.parse::<usize>().ok());
         if let (Some(speedup_vs_interp), Some(equal)) = (speedup, equal) {
             out.push(BaselineRow {
                 workload,
                 speedup_vs_interp,
                 speedup_seq,
                 available_parallelism,
+                workers,
                 equal,
             });
         }
@@ -1236,22 +1272,28 @@ pub fn check_regression(
     for f in fresh {
         let base = baseline.iter().find(|b| b.workload == f.workload);
         // pick the comparable leg: parallel on matching core counts,
-        // sequential otherwise (when the baseline carries it)
+        // sequential otherwise (when the baseline carries it).  Parallel
+        // legs are only comparable when the core count AND the worker
+        // count match — the `--workers`/`OR_ENGINE_WORKERS` override can
+        // decouple the two (a legacy baseline without a `workers` field
+        // compares on core count alone, as before).
+        let parallel_comparable = |b: &BaselineRow| {
+            b.available_parallelism == Some(f.available_parallelism)
+                && b.workers.map_or(true, |w| w == f.workers)
+        };
         let (leg, fresh_speedup, baseline_speedup) = match base {
-            Some(b) if b.available_parallelism != Some(f.available_parallelism) => {
-                match b.speedup_seq {
-                    Some(seq) => (
-                        "sequential leg (core counts differ)",
-                        f.speedup_seq(),
-                        Some(seq),
-                    ),
-                    None => (
-                        "parallel leg (no sequential baseline)",
-                        f.speedup_vs_interp(),
-                        Some(b.speedup_vs_interp),
-                    ),
-                }
-            }
+            Some(b) if !parallel_comparable(b) => match b.speedup_seq {
+                Some(seq) => (
+                    "sequential leg (core or worker counts differ)",
+                    f.speedup_seq(),
+                    Some(seq),
+                ),
+                None => (
+                    "parallel leg (no sequential baseline)",
+                    f.speedup_vs_interp(),
+                    Some(b.speedup_vs_interp),
+                ),
+            },
             Some(b) => (
                 "parallel leg",
                 f.speedup_vs_interp(),
@@ -1316,7 +1358,8 @@ pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"rows\": {}, \"interp_ms\": {:.3}, \
              \"engine_seq_ms\": {:.3}, \"engine_par_ms\": {:.3}, \"workers\": {}, \
-             \"available_parallelism\": {}, \"speedup_vs_interp\": {:.3}, \"equal\": {}}}{}\n",
+             \"available_parallelism\": {}, \"runs\": {}, \"speedup_vs_interp\": {:.3}, \
+             \"equal\": {}}}{}\n",
             r.workload,
             r.rows,
             r.interp_ms,
@@ -1324,6 +1367,7 @@ pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
             r.engine_par_ms,
             r.workers,
             r.available_parallelism,
+            r.runs,
             r.speedup_vs_interp(),
             r.equal,
             if i + 1 < rows.len() { "," } else { "" },
@@ -1557,6 +1601,7 @@ mod tests {
                 engine_par_ms: 4.0,
                 workers: 2,
                 available_parallelism: 2,
+                runs: TIMED_RUNS,
                 equal: true,
             },
             EngineBenchRow {
@@ -1567,6 +1612,7 @@ mod tests {
                 engine_par_ms: 2.0,
                 workers: 1,
                 available_parallelism: 8,
+                runs: TIMED_RUNS,
                 equal: false,
             },
         ];
@@ -1599,6 +1645,7 @@ mod tests {
             speedup_vs_interp: speedup,
             speedup_seq: Some(speedup),
             available_parallelism: Some(1),
+            workers: Some(1),
             equal: true,
         };
         let baseline = vec![
@@ -1614,6 +1661,7 @@ mod tests {
             engine_par_ms: par_ms,
             workers: 1,
             available_parallelism: 1,
+            runs: TIMED_RUNS,
             equal,
         };
         let fresh = vec![
@@ -1640,6 +1688,7 @@ mod tests {
             speedup_vs_interp: 8.0,
             speedup_seq: Some(2.0),
             available_parallelism: Some(16),
+            workers: Some(16),
             equal: true,
         }];
         // fresh run on a 2-core machine: parallel only 1.9x (would fail the
@@ -1652,6 +1701,7 @@ mod tests {
             engine_par_ms: 5.25,
             workers: 2,
             available_parallelism: 2,
+            runs: TIMED_RUNS,
             equal: true,
         }];
         let verdicts = check_regression(&baseline, &fresh, 1.15);
@@ -1661,15 +1711,32 @@ mod tests {
             "{}",
             verdicts[0].detail
         );
-        // same machine: the parallel leg is compared and fails
+        // same machine and worker count: the parallel leg is compared and
+        // fails
         let same_core_baseline = vec![BaselineRow {
             available_parallelism: Some(2),
+            workers: Some(2),
             ..baseline[0].clone()
         }];
         let verdicts = check_regression(&same_core_baseline, &fresh, 1.15);
         assert!(!verdicts[0].ok, "{}", verdicts[0].detail);
         assert!(
             verdicts[0].detail.contains("parallel"),
+            "{}",
+            verdicts[0].detail
+        );
+        // same core count but a different worker count (an OR_ENGINE_WORKERS
+        // override on one side): the parallel legs are not comparable, so
+        // the checker falls back to the sequential leg and passes
+        let overridden_baseline = vec![BaselineRow {
+            available_parallelism: Some(2),
+            workers: Some(8),
+            ..baseline[0].clone()
+        }];
+        let verdicts = check_regression(&overridden_baseline, &fresh, 1.15);
+        assert!(verdicts[0].ok, "{}", verdicts[0].detail);
+        assert!(
+            verdicts[0].detail.contains("worker counts differ"),
             "{}",
             verdicts[0].detail
         );

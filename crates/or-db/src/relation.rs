@@ -6,20 +6,45 @@
 //! and benchmarks need (selection, projection, conversion to the conceptual
 //! level).
 
+use std::sync::{Arc, OnceLock};
+
 use or_nra::eval::{eval, Evaluator};
 use or_nra::morphism::Morphism;
 use or_nra::EvalError;
+use or_object::intern::{InternId, Interner};
 use or_object::{Type, Value};
 
 use crate::schema::{Schema, SchemaError};
 
+/// A relation's records interned once into a private, frozen arena: the
+/// arena serves as the **base** of the engine's per-query overlay arenas,
+/// so every query over the same relation reuses these ids and pays the
+/// interning cost zero times after the first (see
+/// [`Relation::interned`]).
+#[derive(Debug, Clone)]
+pub struct InternedRows {
+    /// The frozen arena the ids live in.
+    pub arena: Arc<Interner>,
+    /// One id per record, in record order (`ids[i]` names `records()[i]`).
+    pub ids: Vec<InternId>,
+}
+
 /// A named in-memory relation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     /// Relation name (for display and error messages).
     pub name: String,
     schema: Schema,
     rows: Vec<Value>,
+    /// Lazily built interned-rows cache; reset by every mutation.
+    interned: OnceLock<InternedRows>,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        // the interned cache is derived state, not identity
+        self.name == other.name && self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 /// Errors from relation operations.
@@ -61,6 +86,7 @@ impl Relation {
             name: name.into(),
             schema,
             rows: Vec::new(),
+            interned: OnceLock::new(),
         }
     }
 
@@ -82,6 +108,23 @@ impl Relation {
     /// The stored records (encoded as nested pairs).
     pub fn records(&self) -> &[Value] {
         &self.rows
+    }
+
+    /// The records interned once into a frozen per-relation arena.
+    ///
+    /// Built lazily on first use and cached until the relation is mutated;
+    /// the physical engine passes the arena as the base of its per-query
+    /// overlay, so repeated queries over the same relation re-intern
+    /// nothing.
+    pub fn interned(&self) -> &InternedRows {
+        self.interned.get_or_init(|| {
+            let mut arena = Interner::new();
+            let ids = self.rows.iter().map(|v| arena.intern(v)).collect();
+            InternedRows {
+                arena: Arc::new(arena),
+                ids,
+            }
+        })
     }
 
     /// The records in contiguous batches of at most `batch_size` rows — a
@@ -131,6 +174,7 @@ impl Relation {
         let record = self.schema.record(values)?;
         if !self.rows.contains(&record) {
             self.rows.push(record);
+            self.interned = OnceLock::new(); // cache follows the rows
         }
         Ok(())
     }
@@ -145,6 +189,7 @@ impl Relation {
         }
         if !self.rows.contains(&record) {
             self.rows.push(record);
+            self.interned = OnceLock::new(); // cache follows the rows
         }
         Ok(())
     }
@@ -207,8 +252,10 @@ impl Relation {
 /// Split `rows` into `n` contiguous, near-equal partitions (fewer when
 /// there are fewer rows than `n`; a single empty partition for an empty
 /// slice).  This is the split [`Relation::partitions`] exposes and the
-/// physical engine's parallel executor applies to the driving input.
-pub fn partition_rows(rows: &[Value], n: usize) -> Vec<&[Value]> {
+/// physical engine's parallel executor applies to the driving input —
+/// generic so the engine can shard interned id rows with the same
+/// geometry as value rows.
+pub fn partition_rows<T>(rows: &[T], n: usize) -> Vec<&[T]> {
     let n = n.max(1).min(rows.len().max(1));
     let base = rows.len() / n;
     let extra = rows.len() % n;

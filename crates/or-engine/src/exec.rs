@@ -1,35 +1,54 @@
-//! Plan execution: sequential and multi-threaded.
+//! Plan execution: sequential and multi-threaded, interned end to end.
+//!
+//! ## The arena discipline
+//!
+//! A query runs against one hash-consing arena
+//! ([`or_object::intern::Interner`]).  The executor interns each input
+//! relation **once** (or reuses ids the caller already interned — see
+//! [`EngineInputs`]), compiles the plan against the arena
+//! ([`crate::ops::compile`]: constants pre-interned, per-row morphisms as
+//! interned row programs, broadcast sides materialized, equi-join tables
+//! id-keyed), and from there every operator computes on `u32`-sized
+//! [`InternId`]s.  The merge step sorts and deduplicates **ids** (using the
+//! arena's cached canonical order), and only the surviving result rows are
+//! decoded back into [`Value`]s — exactly one decode per result row,
+//! observable as [`ExecStats::value_decodes`].
 //!
 //! ## Partitioning strategy
 //!
 //! A plan has one **driving scan** — the leaf reached by following
-//! `input`/`left` children ([`PhysicalPlan::driving_scan`]).  The parallel
-//! executor splits that input's rows into `workers` contiguous partitions and
-//! runs the *entire* operator pipeline over each partition in its own thread
-//! (`std::thread::scope`), which is sound because every unary operator is
-//! row-local and the binary operators broadcast their right side whole
-//! (`Union` right sides are streamed by the lead worker only — they do not
-//! depend on the partition).  The per-worker row vectors are concatenated
-//! and canonicalized (sorted, deduplicated) in a final merge step — the
-//! engine's answer is a set, so the merge is exactly set union.  A worker
-//! that panics does not abort the process: the panic is caught at the join
-//! point and reported as [`EngineError::WorkerPanic`].
+//! `input`/`left` children.  The parallel executor splits that input's id
+//! rows into `workers` contiguous partitions and runs the *entire* operator
+//! pipeline over each partition in its own thread (`std::thread::scope`).
+//! The compiled plan and the query arena are frozen into an
+//! `Arc` **base**; each worker chains a private overlay arena on top
+//! ([`Interner::with_base`]), so base ids (inputs, constants, join keys)
+//! mean the same object everywhere while workers intern new rows without
+//! any synchronization.  Each worker id-sorts and dedups its rows, decodes
+//! them (once per surviving row), and the per-worker vectors are
+//! concatenated and canonicalized in a final merge — the engine's answer is
+//! a set, so the merge is exactly set union.  A worker that panics does not
+//! abort the process: the panic is caught at the join point and reported as
+//! [`EngineError::WorkerPanic`].
 //!
 //! `AttachEnv` is the one operator that must observe the **whole** input
-//! (its setup morphism runs once against the full set).  Before spawning
-//! workers the executor rewrites every scan-adjacent `AttachEnv` into an
-//! ordinary `Project` over a precomputed auxiliary input, evaluating the
-//! setup morphism exactly once; a plan that still carries an `AttachEnv` on
-//! the driving path after this rewrite is executed on a single worker.
+//! (its setup morphism runs once against the full set).  Before interning,
+//! the executor rewrites every scan-adjacent `AttachEnv` into an ordinary
+//! `Project` over a precomputed auxiliary input, evaluating the setup
+//! morphism exactly once; a plan that still carries an `AttachEnv` on the
+//! driving path after this rewrite is executed on a single worker.
 
+use std::borrow::Cow;
+use std::sync::Arc;
 use std::thread;
 
 use or_nra::morphism::Morphism;
 use or_nra::physical::PhysicalPlan;
+use or_object::intern::{InternId, Interner};
 use or_object::Value;
 
 use crate::error::EngineError;
-use crate::ops::{build, drain, unpack_setup_result, BuildCtx, JoinCache};
+use crate::ops::{build, compile, drain, unpack_setup_result, BuildCtx};
 
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +114,84 @@ pub struct ExecStats {
     pub workers: usize,
     /// Rows in the merged result.
     pub rows: usize,
+    /// How many [`Value`] materializations the query performed — the
+    /// interner's decode counter, summed over the query arena and every
+    /// worker overlay.  On the interned serving path this is (at most) one
+    /// decode per result row: rows stay ids until the final merge.
+    /// Opaque fallbacks (morphisms outside the interned row fragment,
+    /// `AttachEnv` setups) add to it, which is exactly what makes them
+    /// visible.
+    pub value_decodes: u64,
+    /// Distinct nodes in the query arena (inputs + constants + rows built
+    /// during execution; the maximum over workers for partitioned runs).
+    pub arena_nodes: usize,
+}
+
+/// Query inputs: per-slot row slices, optionally **pre-interned** against a
+/// shared base arena.
+///
+/// The plain constructors intern everything per query.  Callers that hold
+/// relations interned once (an OrQL session's bindings, `or_db`'s
+/// per-relation cache) pass the frozen arena as `base` plus per-slot id
+/// rows: the executor overlays the query arena on the base and pays zero
+/// interning for those slots.
+pub struct EngineInputs<'a> {
+    slots: Vec<(&'a [Value], Option<&'a [InternId]>)>,
+    base: Option<Arc<Interner>>,
+}
+
+impl<'a> EngineInputs<'a> {
+    /// Inputs with no shared base: every slot is interned per query.
+    pub fn new() -> EngineInputs<'a> {
+        EngineInputs {
+            slots: Vec::new(),
+            base: None,
+        }
+    }
+
+    /// Inputs whose pre-interned slots refer to `base` (or its own base
+    /// chain).
+    pub fn with_base(base: Arc<Interner>) -> EngineInputs<'a> {
+        EngineInputs {
+            slots: Vec::new(),
+            base: Some(base),
+        }
+    }
+
+    /// Wrap plain value slices (one per slot), interning per query.
+    pub fn from_values(inputs: &'a [&'a [Value]]) -> EngineInputs<'a> {
+        EngineInputs {
+            slots: inputs.iter().map(|rows| (*rows, None)).collect(),
+            base: None,
+        }
+    }
+
+    /// Append a slot that must be interned at query time.
+    pub fn push_rows(&mut self, rows: &'a [Value]) {
+        self.slots.push((rows, None));
+    }
+
+    /// Append a slot with pre-interned ids (`ids[i]` names `rows[i]` in the
+    /// base arena).  Without a base arena the ids would be meaningless, so
+    /// they are ignored and the rows interned per query instead.
+    pub fn push_interned(&mut self, rows: &'a [Value], ids: &'a [InternId]) {
+        let ids = if self.base.is_some() && ids.len() == rows.len() {
+            Some(ids)
+        } else {
+            None
+        };
+        self.slots.push((rows, ids));
+    }
+
+    fn value_slots(&self) -> Vec<&'a [Value]> {
+        self.slots.iter().map(|(rows, _)| *rows).collect()
+    }
+}
+
+impl Default for EngineInputs<'_> {
+    fn default() -> Self {
+        EngineInputs::new()
+    }
 }
 
 /// The plan executor.
@@ -126,80 +223,7 @@ impl Executor {
         plan: &PhysicalPlan,
         inputs: &[&[Value]],
     ) -> Result<(Vec<Value>, ExecStats), EngineError> {
-        let arity = plan.input_arity();
-        if arity > inputs.len() {
-            return Err(EngineError::MissingInput {
-                slot: arity - 1,
-                provided: inputs.len(),
-            });
-        }
-
-        // Hoist scan-adjacent AttachEnv nodes into precomputed projections,
-        // and materialize every Join/Cartesian broadcast (right) side once —
-        // workers then scan the shared slot instead of re-running the right
-        // subplan per partition.
-        let (plan, mut extra_inputs) = prepare_attach_env(plan.clone(), inputs)?;
-        let plan = prepare_broadcast_sides(
-            plan,
-            inputs,
-            &mut extra_inputs,
-            self.config.batch_size,
-            self.config.or_budget,
-        )?;
-        let mut all_inputs: Vec<&[Value]> = inputs.to_vec();
-        for extra in &extra_inputs {
-            all_inputs.push(extra.as_slice());
-        }
-
-        let workers = if has_driving_attach_env(&plan) {
-            1
-        } else {
-            self.config.workers.max(1)
-        };
-        let driver = plan.driving_scan();
-        let driver_rows = all_inputs[driver];
-        let workers = workers.min(driver_rows.len().max(1));
-
-        // Build every equi-join probe table once; workers share them.
-        let join_cache = JoinCache::prepare(&plan, &all_inputs)?;
-        let ctx = BuildCtx {
-            inputs: &all_inputs,
-            batch_size: self.config.batch_size,
-            or_budget: self.config.or_budget,
-            join_cache: Some(&join_cache),
-            lead_worker: true,
-        };
-
-        let mut rows = if workers <= 1 {
-            let mut op = build(&plan, ctx, None)?;
-            drain(op.as_mut())?
-        } else {
-            let partitions = or_db::partition_rows(driver_rows, workers);
-            let plan_ref = &plan;
-            let results = run_partitioned_workers(partitions, |index, part| {
-                let ctx = BuildCtx {
-                    lead_worker: index == 0,
-                    ..ctx
-                };
-                let mut op = build(plan_ref, ctx, Some(part))?;
-                drain(op.as_mut())
-            });
-            let mut merged = Vec::new();
-            for worker_rows in results {
-                merged.extend(worker_rows?);
-            }
-            merged
-        };
-
-        // Merge step: the result is a set, so canonicalize.  Unstable sort:
-        // equal rows are indistinguishable and about to be deduplicated.
-        rows.sort_unstable();
-        rows.dedup();
-        let stats = ExecStats {
-            workers,
-            rows: rows.len(),
-        };
-        Ok((rows, stats))
+        self.run_inputs(plan, &EngineInputs::from_values(inputs))
     }
 
     /// Run `plan` and package the rows as a set value (the complex-object
@@ -210,6 +234,153 @@ impl Executor {
         inputs: &[&[Value]],
     ) -> Result<Value, EngineError> {
         Ok(canonical_set(self.run(plan, inputs)?))
+    }
+
+    /// Run `plan` over [`EngineInputs`] (possibly pre-interned against a
+    /// shared base arena) and report execution counters.  This is the
+    /// primary entry point; the slice-based methods wrap it.
+    pub fn run_inputs(
+        &self,
+        plan: &PhysicalPlan,
+        inputs: &EngineInputs<'_>,
+    ) -> Result<(Vec<Value>, ExecStats), EngineError> {
+        let value_slots = inputs.value_slots();
+        let arity = plan.input_arity();
+        if arity > value_slots.len() {
+            return Err(EngineError::MissingInput {
+                slot: arity - 1,
+                provided: value_slots.len(),
+            });
+        }
+
+        // Hoist scan-adjacent AttachEnv nodes into precomputed projections
+        // (value-level: the setup morphism sees the whole input set once).
+        let (plan, extra_inputs) = prepare_attach_env(plan.clone(), &value_slots)?;
+
+        // The query arena: fresh, or an overlay over the caller's base.
+        let mut arena = match &inputs.base {
+            Some(base) => Interner::with_base(base.clone()),
+            None => Interner::new(),
+        };
+
+        // Intern every input slot once — or borrow the caller's ids
+        // outright (a session querying a large pre-interned binding pays
+        // neither interning nor copying) — then the hoisted auxiliary
+        // slots.
+        let mut interned: Vec<Cow<'_, [InternId]>> =
+            Vec::with_capacity(inputs.slots.len() + extra_inputs.len());
+        for (rows, ids) in &inputs.slots {
+            match ids {
+                Some(ids) => interned.push(Cow::Borrowed(*ids)),
+                None => interned.push(Cow::Owned(rows.iter().map(|v| arena.intern(v)).collect())),
+            }
+        }
+        for extra in &extra_inputs {
+            interned.push(Cow::Owned(extra.iter().map(|v| arena.intern(v)).collect()));
+        }
+
+        // Compile: row programs, pre-interned constants, materialized
+        // broadcast sides, id-keyed equi-join tables.
+        let compiled = compile(
+            &plan,
+            &mut arena,
+            &interned,
+            self.config.batch_size,
+            self.config.or_budget,
+        )?;
+
+        let workers = if compiled.has_driving_attach_env() {
+            1
+        } else {
+            self.config.workers.max(1)
+        };
+        let driver = compiled.driving_scan();
+        let driver_rows =
+            interned
+                .get(driver)
+                .map(Cow::as_ref)
+                .ok_or(EngineError::MissingInput {
+                    slot: driver,
+                    provided: interned.len(),
+                })?;
+        let workers = workers.min(driver_rows.len().max(1));
+
+        let ctx = BuildCtx {
+            inputs: &interned,
+            batch_size: self.config.batch_size,
+            or_budget: self.config.or_budget,
+            lead_worker: true,
+        };
+
+        if workers <= 1 {
+            let mut op = build(&compiled, ctx, None)?;
+            let mut ids = drain(op.as_mut(), &mut arena)?;
+            // Merge step: the result is a set; sort + dedup on ids (equal
+            // rows ⟺ equal ids), then decode each survivor exactly once.
+            arena.sort_ids(&mut ids);
+            ids.dedup();
+            let rows: Vec<Value> = ids.iter().map(|&id| arena.decode(id)).collect();
+            let stats = ExecStats {
+                workers: 1,
+                rows: rows.len(),
+                value_decodes: arena.decode_count(),
+                arena_nodes: arena.len(),
+            };
+            return Ok((rows, stats));
+        }
+
+        // Freeze the query arena; workers overlay it privately.
+        let base = Arc::new(arena);
+        let partitions = or_db::partition_rows(driver_rows, workers);
+        let compiled_ref = &compiled;
+        let base_ref = &base;
+        let results = run_partitioned_workers(partitions, |index, part| {
+            let mut overlay = Interner::with_base(Arc::clone(base_ref));
+            let ctx = BuildCtx {
+                lead_worker: index == 0,
+                ..ctx
+            };
+            let mut op = build(compiled_ref, ctx, Some(part))?;
+            let mut ids = drain(op.as_mut(), &mut overlay)?;
+            overlay.sort_ids(&mut ids);
+            ids.dedup();
+            // decode once per surviving row; the vector comes out already
+            // sorted because the id order realizes the value order
+            let rows: Vec<Value> = ids.iter().map(|&id| overlay.decode(id)).collect();
+            Ok((rows, overlay.decode_count(), overlay.len()))
+        });
+        let mut merged = Vec::new();
+        // decodes performed while compiling against the query arena (e.g. a
+        // broadcast-side AttachEnv setup) happened before the freeze and
+        // belong in the sum alongside the per-worker overlay counts
+        let mut value_decodes = base.decode_count();
+        let mut arena_nodes = base.len();
+        for worker_result in results {
+            let (rows, decodes, nodes) = worker_result?;
+            value_decodes += decodes;
+            arena_nodes = arena_nodes.max(nodes);
+            merged.extend(rows);
+        }
+        // cross-worker merge: concatenation of sorted runs, canonicalized
+        merged.sort_unstable();
+        merged.dedup();
+        let stats = ExecStats {
+            workers,
+            rows: merged.len(),
+            value_decodes,
+            arena_nodes,
+        };
+        Ok((merged, stats))
+    }
+
+    /// Run over [`EngineInputs`] and package the rows as a set value.
+    pub fn run_inputs_to_value(
+        &self,
+        plan: &PhysicalPlan,
+        inputs: &EngineInputs<'_>,
+    ) -> Result<Value, EngineError> {
+        let (rows, _) = self.run_inputs(plan, inputs)?;
+        Ok(canonical_set(rows))
     }
 }
 
@@ -230,10 +401,14 @@ pub(crate) fn canonical_set(rows: Vec<Value>) -> Value {
 /// per-worker results in partition order.  A panicking worker is converted
 /// into `Err(EngineError::WorkerPanic)` at the join point — the panic is
 /// contained to the query instead of aborting the process.
-fn run_partitioned_workers<'a>(
-    partitions: Vec<&'a [Value]>,
-    worker: impl Fn(usize, &'a [Value]) -> Result<Vec<Value>, EngineError> + Sync,
-) -> Vec<Result<Vec<Value>, EngineError>> {
+fn run_partitioned_workers<'a, R, T>(
+    partitions: Vec<&'a [R]>,
+    worker: impl Fn(usize, &'a [R]) -> Result<T, EngineError> + Sync,
+) -> Vec<Result<T, EngineError>>
+where
+    R: Sync,
+    T: Send,
+{
     let worker = &worker;
     thread::scope(|scope| {
         let handles: Vec<_> = partitions
@@ -340,134 +515,6 @@ fn prepare_attach_env(
     }
 }
 
-/// Materialize the right (broadcast) side of every `Join`/`Cartesian` whose
-/// right child is not already a bare `Scan`: the subplan runs **once**, its
-/// rows land in a fresh auxiliary input slot, and the node's right child is
-/// rewritten to scan that slot.  Without this, every parallel worker would
-/// re-run the right subplan over its own copy.
-fn prepare_broadcast_sides(
-    plan: PhysicalPlan,
-    inputs: &[&[Value]],
-    extra: &mut Vec<Vec<Value>>,
-    batch_size: usize,
-    or_budget: Option<u64>,
-) -> Result<PhysicalPlan, EngineError> {
-    let rewrite_right = |right: PhysicalPlan,
-                         inputs: &[&[Value]],
-                         extra: &mut Vec<Vec<Value>>|
-     -> Result<PhysicalPlan, EngineError> {
-        if matches!(right, PhysicalPlan::Scan(_)) {
-            return Ok(right);
-        }
-        let rows = {
-            let all: Vec<&[Value]> = inputs
-                .iter()
-                .copied()
-                .chain(extra.iter().map(|v| v.as_slice()))
-                .collect();
-            let ctx = BuildCtx {
-                inputs: &all,
-                batch_size,
-                or_budget,
-                join_cache: None,
-                lead_worker: true,
-            };
-            let mut op = build(&right, ctx, None)?;
-            drain(op.as_mut())?
-        };
-        let slot = inputs.len() + extra.len();
-        extra.push(rows);
-        Ok(PhysicalPlan::Scan(slot))
-    };
-    Ok(match plan {
-        leaf @ PhysicalPlan::Scan(_) => leaf,
-        PhysicalPlan::Filter { predicate, input } => PhysicalPlan::Filter {
-            predicate,
-            input: Box::new(prepare_broadcast_sides(
-                *input, inputs, extra, batch_size, or_budget,
-            )?),
-        },
-        PhysicalPlan::Project { f, input } => PhysicalPlan::Project {
-            f,
-            input: Box::new(prepare_broadcast_sides(
-                *input, inputs, extra, batch_size, or_budget,
-            )?),
-        },
-        PhysicalPlan::AttachEnv { setup, input } => PhysicalPlan::AttachEnv {
-            setup,
-            input: Box::new(prepare_broadcast_sides(
-                *input, inputs, extra, batch_size, or_budget,
-            )?),
-        },
-        PhysicalPlan::OrExpand {
-            budget,
-            dedup,
-            input,
-        } => PhysicalPlan::OrExpand {
-            budget,
-            dedup,
-            input: Box::new(prepare_broadcast_sides(
-                *input, inputs, extra, batch_size, or_budget,
-            )?),
-        },
-        PhysicalPlan::Flatten { input } => PhysicalPlan::Flatten {
-            input: Box::new(prepare_broadcast_sides(
-                *input, inputs, extra, batch_size, or_budget,
-            )?),
-        },
-        // Union right sides stay as subplans: only the lead worker builds
-        // them (see `ops::build`), so running the subplan there once is the
-        // same total work as materializing it up front, without the buffer.
-        PhysicalPlan::Union { left, right } => {
-            let left = prepare_broadcast_sides(*left, inputs, extra, batch_size, or_budget)?;
-            let right = prepare_broadcast_sides(*right, inputs, extra, batch_size, or_budget)?;
-            PhysicalPlan::Union {
-                left: Box::new(left),
-                right: Box::new(right),
-            }
-        }
-        PhysicalPlan::Cartesian { left, right } => {
-            let left = prepare_broadcast_sides(*left, inputs, extra, batch_size, or_budget)?;
-            let right = prepare_broadcast_sides(*right, inputs, extra, batch_size, or_budget)?;
-            let right = rewrite_right(right, inputs, extra)?;
-            PhysicalPlan::Cartesian {
-                left: Box::new(left),
-                right: Box::new(right),
-            }
-        }
-        PhysicalPlan::Join {
-            predicate,
-            left,
-            right,
-        } => {
-            let left = prepare_broadcast_sides(*left, inputs, extra, batch_size, or_budget)?;
-            let right = prepare_broadcast_sides(*right, inputs, extra, batch_size, or_budget)?;
-            let right = rewrite_right(right, inputs, extra)?;
-            PhysicalPlan::Join {
-                predicate,
-                left: Box::new(left),
-                right: Box::new(right),
-            }
-        }
-    })
-}
-
-/// Does an `AttachEnv` survive on the driving path?  (It then needs to see
-/// the whole input, so the plan cannot be partitioned.)
-fn has_driving_attach_env(plan: &PhysicalPlan) -> bool {
-    match plan {
-        PhysicalPlan::Scan(_) => false,
-        PhysicalPlan::AttachEnv { .. } => true,
-        PhysicalPlan::Filter { input, .. }
-        | PhysicalPlan::Project { input, .. }
-        | PhysicalPlan::Flatten { input }
-        | PhysicalPlan::OrExpand { input, .. } => has_driving_attach_env(input),
-        PhysicalPlan::Cartesian { left, .. }
-        | PhysicalPlan::Join { left, .. }
-        | PhysicalPlan::Union { left, .. } => has_driving_attach_env(left),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,5 +569,56 @@ mod tests {
     #[cfg(debug_assertions)]
     fn canonical_set_rejects_unsorted_rows_in_debug() {
         let _ = canonical_set(vec![Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    fn sequential_queries_decode_once_per_result_row() {
+        use or_nra::morphism::{Morphism as M, Prim};
+        let rows: Vec<Value> = (0..100)
+            .map(|i| Value::pair(Value::Int(i), Value::Int(i % 10)))
+            .collect();
+        let cheap = M::Proj2
+            .then(M::pair(M::Id, M::constant(Value::Int(4))))
+            .then(M::Prim(Prim::Leq));
+        let query = or_nra::derived::select(cheap).then(M::map(M::Proj1));
+        let plan = or_nra::optimize::lower(&query).unwrap();
+        let exec = Executor::new(ExecConfig::default());
+        let (out, stats) = exec.run_with_stats(&plan, &[&rows]).unwrap();
+        assert_eq!(stats.rows, out.len());
+        assert_eq!(
+            stats.value_decodes,
+            out.len() as u64,
+            "interned execution must decode exactly once per result row"
+        );
+        assert!(stats.arena_nodes > 0);
+    }
+
+    #[test]
+    fn pre_interned_inputs_skip_requiring_a_fresh_intern() {
+        use or_nra::morphism::{Morphism as M, Prim};
+        let rows: Vec<Value> = (0..50)
+            .map(|i| Value::pair(Value::Int(i), Value::Int(i % 5)))
+            .collect();
+        let mut base = Interner::new();
+        let ids: Vec<InternId> = rows.iter().map(|v| base.intern(v)).collect();
+        let base = Arc::new(base);
+        let keep = M::Proj2
+            .then(M::pair(M::Id, M::constant(Value::Int(2))))
+            .then(M::Prim(Prim::Lt));
+        let query = or_nra::derived::select(keep);
+        let plan = or_nra::optimize::lower(&query).unwrap();
+        let mut inputs = EngineInputs::with_base(base.clone());
+        inputs.push_interned(&rows, &ids);
+        let exec = Executor::new(ExecConfig::default());
+        let (out, stats) = exec.run_inputs(&plan, &inputs).unwrap();
+        let expected = eval(&query, &Value::set(rows.clone())).unwrap();
+        assert_eq!(canonical_set(out), expected);
+        // plain (un-interned) inputs agree
+        let (out2, _) = exec.run_with_stats(&plan, &[&rows]).unwrap();
+        assert_eq!(
+            canonical_set(out2),
+            eval(&query, &Value::set(rows)).unwrap()
+        );
+        assert_eq!(stats.rows as u64, stats.value_decodes);
     }
 }

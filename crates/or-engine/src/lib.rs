@@ -25,14 +25,33 @@
 //! and keep no cross-row state (except `OrExpand`'s optional dedup filter),
 //! which is what makes partitioned execution sound.
 //!
+//! ## Interned end to end
+//!
+//! Rows are [`InternId`](or_object::intern::InternId)s in a per-query
+//! hash-consing arena, not owned [`Value`](or_object::Value) trees.  A
+//! query interns its inputs **once** (or reuses ids a session / relation
+//! cache interned earlier, via [`exec::EngineInputs`]), compiles its
+//! per-row morphisms into interned row programs
+//! ([`or_nra::rowprog::RowProgram`]) with constants pre-interned, and from
+//! there every hot operation is id-width work: equality and streaming
+//! dedup are `u32` comparisons, join probes hash 4 bytes against tables
+//! built once per query, the merge sorts ids in the arena's canonical
+//! order, and α-expansion decodes worlds straight into the arena (or-free
+//! sub-rows are *reused* as ids).  `Value`s are materialized exactly once,
+//! at the result boundary — observable as
+//! [`exec::ExecStats::value_decodes`], which equals the result row count
+//! on the interned serving path.
+//!
 //! ## Partitioning strategy
 //!
 //! Every plan has a **driving scan** — follow `input`/`left` edges to a
-//! leaf.  [`exec::Executor`] splits the driving input into `workers`
-//! contiguous partitions and runs the whole pipeline over each partition in
-//! its own `std::thread::scope` thread; binary operators broadcast their
-//! (materialized) right side to every worker.  Workers return plain row
-//! vectors; the merge step concatenates, sorts and deduplicates — exactly
+//! leaf.  [`exec::Executor`] splits the driving input's interned rows into
+//! `workers` contiguous partitions and runs the whole pipeline over each
+//! partition in its own `std::thread::scope` thread; the compiled plan and
+//! the query arena are frozen into a shared base, each worker overlays a
+//! private arena on it, and binary operators broadcast their (materialized)
+//! right side by id.  Each worker id-sorts, dedups and decodes its rows;
+//! the merge step concatenates the sorted runs and canonicalizes — exactly
 //! set union, which is the correct combining operator because or-NRA's set
 //! semantics is order- and duplicate-free by construction.
 //!
@@ -67,7 +86,8 @@
 //! The engine is differentially tested against the interpreter: for every
 //! lowerable morphism `m` and relation value `v`,
 //! `run_morphism_on_value(v, m) == eval(m, v)`.  The OrQL session's
-//! `ExecMode::Engine` performs the same cross-check per query at runtime.
+//! opt-in `ExecMode::EngineChecked` performs the same cross-check per
+//! query at runtime.
 //!
 //! ```
 //! use or_engine::prelude::*;
@@ -102,7 +122,7 @@ pub mod query;
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
     pub use crate::error::EngineError;
-    pub use crate::exec::{ExecConfig, ExecStats, Executor};
+    pub use crate::exec::{EngineInputs, ExecConfig, ExecStats, Executor};
     pub use crate::query::{
         run_morphism, run_morphism_on_value, run_plan, run_plan_optimized, run_plan_with_stats,
     };
@@ -110,7 +130,7 @@ pub mod prelude {
 }
 
 pub use error::EngineError;
-pub use exec::{ExecConfig, ExecStats, Executor};
+pub use exec::{EngineInputs, ExecConfig, ExecStats, Executor};
 pub use query::{
     run_morphism, run_morphism_on_value, run_plan, run_plan_optimized, run_plan_with_stats,
 };

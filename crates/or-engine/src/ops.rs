@@ -1,35 +1,45 @@
-//! The streaming operators of the engine.
+//! The streaming operators of the engine — interned end to end.
 //!
 //! Every operator implements [`Operator`]: a pull-based ("volcano")
 //! interface that yields **batches** of rows rather than single rows, so the
 //! per-row virtual-dispatch overhead is amortized over
 //! [`crate::exec::ExecConfig::batch_size`] rows.  A batch is a plain
-//! `Vec<Value>`; `None` signals exhaustion.
+//! `Vec<InternId>` — rows live in the query's hash-consing arena
+//! ([`or_object::intern::Interner`]) and every operator computes on
+//! `u32`-sized ids; `None` signals exhaustion.  [`Value`]s are
+//! materialized exactly once, at the executor's result boundary.
+//!
+//! Plans are **compiled** before execution ([`compile`]): per-row morphisms
+//! (filter predicates, projection heads, join keys) become interned
+//! [`RowProgram`]s with their constants pre-interned, broadcast (right)
+//! sides of joins/cartesians are materialized once into shared id rows, and
+//! equi-join probe tables are built once per query as
+//! `HashMap<InternId, …>` — the compiled tree is plain data, shared by
+//! every worker of a partitioned run.
 //!
 //! Operator inventory (mirroring [`PhysicalPlan`]):
 //!
-//! * [`ScanOp`] — streams a row slice in batches (the slice is either a whole
-//!   input or one partition of the driving input);
-//! * [`FilterOp`] / [`ProjectOp`] — per-row morphism evaluation;
-//! * [`AttachEnvOp`] — materializes its input, runs the setup morphism once,
-//!   then streams `(env, row)` pairs;
-//! * [`CartesianOp`] / [`JoinOp`] — the right side is materialized and
-//!   broadcast, the left side streams; equi-join predicates of the shape
-//!   `eq ∘ ⟨f ∘ π₁, g ∘ π₂⟩` take a hash fast path instead of the
-//!   nested-loop probe;
+//! * [`ScanOp`] — streams an id slice in batches (the slice is either a
+//!   whole interned input or one partition of the driving input);
+//! * [`FilterOp`] / [`ProjectOp`] — per-row [`RowProgram`] evaluation: no
+//!   `Value` tree is ever rebuilt;
+//! * [`AttachEnvOp`] — materializes its input, runs the setup morphism once
+//!   (the one deliberately value-level step: the setup is an arbitrary
+//!   whole-set morphism), then streams interned `(env, row)` pairs;
+//! * [`CartesianOp`] / [`JoinOp`] — the right side is a materialized id
+//!   slice broadcast to all workers; equi-join predicates of the shape
+//!   `eq ∘ ⟨f ∘ π₁, g ∘ π₂⟩` probe a prebuilt `InternId`-keyed hash table,
+//!   so a probe hashes 4 bytes instead of a row tree;
 //! * [`UnionOp`] — streams the left side, then the right; combined with the
-//!   executor's canonical merge this is exact set union.  On partitioned
+//!   executor's canonical id merge this is exact set union.  On partitioned
 //!   runs only the lead worker streams the right side;
-//! * [`FlattenOp`] — row-wise `μ`: each row must be a set, its elements are
-//!   streamed;
+//! * [`FlattenOp`] — row-wise `μ`: each row must be an interned set node,
+//!   its element ids are streamed;
 //! * [`OrExpandOp`] — batched per-row lazy α-expansion via
-//!   [`or_nra::lazy::LazyNormalizer`], decoding each possible world straight
-//!   into a per-operator hash-consing arena
-//!   ([`or_object::intern::Interner`]): worlds produced by different rows
-//!   share sub-structure, streaming dedup is a `HashSet<InternId>` (O(1) per
-//!   world instead of a deep hash + deep clone), and only worlds that
-//!   survive dedup are materialized as owned [`Value`]s.  The per-row
-//!   denotation budget is enforced before any decoding happens.
+//!   [`LazyNormalizer::of_interned`], decoding each possible world straight
+//!   into the shared arena: or-free sub-rows are reused as ids (zero
+//!   re-interning), streaming dedup is a `HashSet<InternId>`, and the
+//!   per-row denotation budget is enforced before any decoding happens.
 
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -39,109 +49,341 @@ use or_nra::eval::eval;
 use or_nra::lazy::LazyNormalizer;
 use or_nra::morphism::Morphism;
 use or_nra::physical::PhysicalPlan;
-use or_object::intern::{IdSet, Interner};
+use or_nra::rowprog::RowProgram;
+use or_object::intern::{FnvBuildHasher, IdSet, InternId, Interner, Node};
 use or_object::Value;
 
 use crate::error::EngineError;
 
-/// Pull-based batch iterator over rows.
+/// Pull-based batch iterator over interned rows.  The arena is threaded
+/// through every pull: operators construct new rows (pairs, projected
+/// values, expanded worlds) directly in it.
 pub trait Operator {
     /// Produce the next batch of rows, or `None` when exhausted.
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError>;
+    fn next_batch(&mut self, arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError>;
+
+    /// An upper bound on the rows still to come, when one is cheaply known
+    /// (scans know their slice; row-local operators pass their input's
+    /// bound through).  Accumulation sites use it to reserve once instead
+    /// of growing repeatedly.
+    fn rows_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
-/// Drain an operator into a vector of rows.
-pub fn drain(op: &mut dyn Operator) -> Result<Vec<Value>, EngineError> {
-    let mut out = Vec::new();
-    while let Some(batch) = op.next_batch()? {
+/// Drain an operator into a vector of row ids, pre-sizing from the
+/// operator's row-count hint.
+pub fn drain(op: &mut dyn Operator, arena: &mut Interner) -> Result<Vec<InternId>, EngineError> {
+    let mut out = Vec::with_capacity(op.rows_hint().unwrap_or(0));
+    while let Some(batch) = op.next_batch(arena)? {
         out.extend(batch);
     }
     Ok(out)
 }
 
-/// Everything an operator-tree build needs besides the plan itself.
-/// Cheap to copy; shared by the executor's sequential and worker paths.
+/// Everything an operator-tree build needs besides the compiled plan
+/// itself.  Cheap to copy; shared by the executor's sequential and worker
+/// paths.
 #[derive(Clone, Copy)]
 pub struct BuildCtx<'a> {
-    /// Slot-indexed row slices (caller inputs plus executor-hoisted slots).
-    pub inputs: &'a [&'a [Value]],
+    /// Slot-indexed interned inputs (caller inputs plus executor-hoisted
+    /// slots), all valid in the query arena (or its base chain).  Slots the
+    /// caller pre-interned are borrowed; slots interned at query time are
+    /// owned.
+    pub inputs: &'a [Cow<'a, [InternId]>],
     /// Rows per operator batch.
     pub batch_size: usize,
     /// Default per-row or-expansion budget for budget-less `OrExpand` nodes.
     pub or_budget: Option<u64>,
-    /// Pre-built equi-join probe tables (see [`JoinCache`]); `None` when the
-    /// caller did not prepare any, in which case tables are built inline.
-    pub join_cache: Option<&'a JoinCache>,
     /// Is this the lead worker of a partitioned run?  `Union` right sides
     /// are independent of the driving partition, so only the lead worker
     /// streams them — the canonical merge (set union) makes emitting them
-    /// once both sufficient and non-redundant.  Sequential runs and
-    /// broadcast-side materializations always build with `true`.
+    /// once both sufficient and non-redundant.  Sequential runs always
+    /// build with `true`.
     pub lead_worker: bool,
 }
 
-/// Equi-join probe tables built **once per query** and shared by every
-/// worker.  Keyed by the address of the `Join` node inside the plan the
-/// executor holds, so lookups are exact; a plan not present in the cache
-/// simply builds its table inline.
-#[derive(Debug, Default)]
-pub struct JoinCache {
-    tables: HashMap<usize, Arc<HashMap<Value, Vec<usize>>>>,
+/// An equi-join probe table: right-side key id → indices into the
+/// broadcast rows.  Hashing a key is hashing 4 bytes.
+pub type IdTable = HashMap<InternId, Vec<u32>, FnvBuildHasher>;
+
+/// The materialized right (broadcast) side of a join or cartesian product.
+#[derive(Debug, Clone)]
+pub enum Broadcast {
+    /// A bare scan: the rows are input slot `i` (shared, never copied).
+    Slot(usize),
+    /// A subplan, run **once at compile time**; its rows are shared by
+    /// every worker.
+    Rows(Arc<Vec<InternId>>),
 }
 
-impl JoinCache {
-    /// Walk `plan` and build the probe table for every equi-join whose right
-    /// side is a bare `Scan` (the executor's broadcast hoisting guarantees
-    /// this shape).  `plan` must be the same allocation later passed to
-    /// [`build`], and must not move in between.
-    pub fn prepare(plan: &PhysicalPlan, inputs: &[&[Value]]) -> Result<JoinCache, EngineError> {
-        let mut cache = JoinCache::default();
-        cache.visit(plan, inputs)?;
-        Ok(cache)
+impl Broadcast {
+    fn rows<'a>(&'a self, ctx: &BuildCtx<'a>) -> Result<&'a [InternId], EngineError> {
+        match self {
+            Broadcast::Slot(slot) => {
+                ctx.inputs
+                    .get(*slot)
+                    .map(Cow::as_ref)
+                    .ok_or(EngineError::MissingInput {
+                        slot: *slot,
+                        provided: ctx.inputs.len(),
+                    })
+            }
+            Broadcast::Rows(rows) => Ok(rows.as_slice()),
+        }
+    }
+}
+
+/// How a join evaluates its predicate.
+#[derive(Debug, Clone)]
+pub enum JoinKind {
+    /// Equality predicate `eq ∘ ⟨f ∘ π₁, g ∘ π₂⟩`: probe a prebuilt
+    /// id-keyed table with the left key.
+    Hash {
+        /// Left-side key extractor.
+        left_key: RowProgram,
+        /// Right-key id → right-row indices, built once per query.
+        table: Arc<IdTable>,
+    },
+    /// General predicate: nested-loop over the broadcast rows.
+    Loop {
+        /// The predicate over interned `(left, right)` pairs.
+        predicate: RowProgram,
+    },
+}
+
+/// A [`PhysicalPlan`] compiled against a query arena: morphisms are
+/// interned [`RowProgram`]s, broadcast sides are materialized id rows, and
+/// equi-join tables are prebuilt.  Plain shareable data — workers of a
+/// partitioned run all build their operator trees from the same compiled
+/// plan.
+#[derive(Debug, Clone)]
+pub enum CompiledPlan {
+    /// Read every row of input slot `i`.
+    Scan(usize),
+    /// Keep the rows whose predicate is true.
+    Filter {
+        /// Compiled row predicate.
+        predicate: RowProgram,
+        /// Upstream plan.
+        input: Box<CompiledPlan>,
+    },
+    /// Apply a program to every row.
+    Project {
+        /// Compiled row transformer.
+        f: RowProgram,
+        /// Upstream plan.
+        input: Box<CompiledPlan>,
+    },
+    /// Evaluate `setup` once against the materialized input set, then
+    /// stream `(env, row)` pairs.  Kept as a morphism: the setup is a
+    /// whole-set computation outside the per-row fragment.
+    AttachEnv {
+        /// The setup morphism (`{t} → env × {t'}`).
+        setup: Morphism,
+        /// Upstream plan.
+        input: Box<CompiledPlan>,
+    },
+    /// All pairs of left and broadcast rows.
+    Cartesian {
+        /// Left (streamed, partitionable) side.
+        left: Box<CompiledPlan>,
+        /// Right (materialized, broadcast) side.
+        right: Broadcast,
+    },
+    /// Pairs of left and broadcast rows satisfying the join predicate.
+    Join {
+        /// Left (streamed, partitionable) side.
+        left: Box<CompiledPlan>,
+        /// Right (materialized, broadcast) side.
+        right: Broadcast,
+        /// Hash fast path or nested loop.
+        kind: JoinKind,
+    },
+    /// Set union of two row streams.
+    Union {
+        /// Left (streamed, partitionable) side.
+        left: Box<CompiledPlan>,
+        /// Right side (streamed whole by the lead worker).
+        right: Box<CompiledPlan>,
+    },
+    /// Row-wise `μ`: every row must be a set node; its elements stream.
+    Flatten {
+        /// Upstream plan.
+        input: Box<CompiledPlan>,
+    },
+    /// Per-row lazy α-expansion.
+    OrExpand {
+        /// Per-row denotation cap (`None` = executor default).
+        budget: Option<u64>,
+        /// Deduplicate expanded rows incrementally while streaming.
+        dedup: bool,
+        /// Upstream plan.
+        input: Box<CompiledPlan>,
+    },
+}
+
+impl CompiledPlan {
+    /// The input slot of the driving scan (the leaf reached by
+    /// `input`/`left` children) — the slot the parallel executor
+    /// partitions.
+    pub fn driving_scan(&self) -> usize {
+        match self {
+            CompiledPlan::Scan(i) => *i,
+            CompiledPlan::Filter { input, .. }
+            | CompiledPlan::Project { input, .. }
+            | CompiledPlan::AttachEnv { input, .. }
+            | CompiledPlan::Flatten { input }
+            | CompiledPlan::OrExpand { input, .. } => input.driving_scan(),
+            CompiledPlan::Cartesian { left, .. }
+            | CompiledPlan::Join { left, .. }
+            | CompiledPlan::Union { left, .. } => left.driving_scan(),
+        }
     }
 
-    fn visit(&mut self, plan: &PhysicalPlan, inputs: &[&[Value]]) -> Result<(), EngineError> {
-        match plan {
-            PhysicalPlan::Scan(_) => {}
-            PhysicalPlan::Filter { input, .. }
-            | PhysicalPlan::Project { input, .. }
-            | PhysicalPlan::AttachEnv { input, .. }
-            | PhysicalPlan::OrExpand { input, .. } => self.visit(input, inputs)?,
-            PhysicalPlan::Cartesian { left, right } | PhysicalPlan::Union { left, right } => {
-                self.visit(left, inputs)?;
-                self.visit(right, inputs)?;
-            }
-            PhysicalPlan::Flatten { input } => self.visit(input, inputs)?,
-            PhysicalPlan::Join {
-                predicate,
-                left,
+    /// Does an `AttachEnv` survive on the driving path?  (It then needs to
+    /// see the whole input, so the plan cannot be partitioned.)
+    pub fn has_driving_attach_env(&self) -> bool {
+        match self {
+            CompiledPlan::Scan(_) => false,
+            CompiledPlan::AttachEnv { .. } => true,
+            CompiledPlan::Filter { input, .. }
+            | CompiledPlan::Project { input, .. }
+            | CompiledPlan::Flatten { input }
+            | CompiledPlan::OrExpand { input, .. } => input.has_driving_attach_env(),
+            CompiledPlan::Cartesian { left, .. }
+            | CompiledPlan::Join { left, .. }
+            | CompiledPlan::Union { left, .. } => left.has_driving_attach_env(),
+        }
+    }
+}
+
+/// Compile a physical plan against the query arena: intern every plan
+/// constant, compile per-row morphisms to [`RowProgram`]s, materialize
+/// non-scan broadcast sides (each subplan runs exactly once, here), and
+/// build the id-keyed probe table of every equi-join.
+pub fn compile(
+    plan: &PhysicalPlan,
+    arena: &mut Interner,
+    inputs: &[Cow<'_, [InternId]>],
+    batch_size: usize,
+    or_budget: Option<u64>,
+) -> Result<CompiledPlan, EngineError> {
+    Ok(match plan {
+        PhysicalPlan::Scan(slot) => CompiledPlan::Scan(*slot),
+        PhysicalPlan::Filter { predicate, input } => CompiledPlan::Filter {
+            predicate: RowProgram::compile(predicate, arena),
+            input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
+        },
+        PhysicalPlan::Project { f, input } => CompiledPlan::Project {
+            f: RowProgram::compile(f, arena),
+            input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
+        },
+        PhysicalPlan::AttachEnv { setup, input } => CompiledPlan::AttachEnv {
+            setup: setup.clone(),
+            input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
+        },
+        PhysicalPlan::Union { left, right } => CompiledPlan::Union {
+            left: Box::new(compile(left, arena, inputs, batch_size, or_budget)?),
+            right: Box::new(compile(right, arena, inputs, batch_size, or_budget)?),
+        },
+        PhysicalPlan::Flatten { input } => CompiledPlan::Flatten {
+            input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
+        },
+        PhysicalPlan::OrExpand {
+            budget,
+            dedup,
+            input,
+        } => CompiledPlan::OrExpand {
+            budget: *budget,
+            dedup: *dedup,
+            input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
+        },
+        PhysicalPlan::Cartesian { left, right } => {
+            let left = compile(left, arena, inputs, batch_size, or_budget)?;
+            let right = materialize_right(right, arena, inputs, batch_size, or_budget)?;
+            CompiledPlan::Cartesian {
+                left: Box::new(left),
                 right,
-            } => {
-                self.visit(left, inputs)?;
-                self.visit(right, inputs)?;
-                if let (Some((_, right_key)), PhysicalPlan::Scan(slot)) =
-                    (equi_join_keys(predicate), &**right)
-                {
-                    if let Some(rows) = inputs.get(*slot) {
-                        let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
-                        for (i, r) in rows.iter().enumerate() {
-                            table.entry(eval(&right_key, r)?).or_default().push(i);
-                        }
-                        self.tables.insert(plan_addr(plan), Arc::new(table));
-                    }
-                }
             }
         }
-        Ok(())
-    }
-
-    fn get(&self, plan: &PhysicalPlan) -> Option<Arc<HashMap<Value, Vec<usize>>>> {
-        self.tables.get(&plan_addr(plan)).cloned()
-    }
+        PhysicalPlan::Join {
+            predicate,
+            left,
+            right,
+        } => {
+            let left = compile(left, arena, inputs, batch_size, or_budget)?;
+            let right = materialize_right(right, arena, inputs, batch_size, or_budget)?;
+            let kind = match equi_join_keys(predicate) {
+                Some((left_key, right_key)) => {
+                    let left_key = RowProgram::compile(&left_key, arena);
+                    let right_key = RowProgram::compile(&right_key, arena);
+                    let rows: &[InternId] =
+                        match &right {
+                            Broadcast::Slot(slot) => inputs.get(*slot).map(Cow::as_ref).ok_or(
+                                EngineError::MissingInput {
+                                    slot: *slot,
+                                    provided: inputs.len(),
+                                },
+                            )?,
+                            Broadcast::Rows(rows) => rows.as_slice(),
+                        };
+                    // the borrow on `inputs`/`right` is disjoint from the
+                    // arena, so key programs can intern freely
+                    let mut table = IdTable::default();
+                    table.reserve(rows.len());
+                    for (i, &row) in rows.iter().enumerate() {
+                        let key = right_key.run(row, arena)?;
+                        table.entry(key).or_default().push(i as u32);
+                    }
+                    JoinKind::Hash {
+                        left_key,
+                        table: Arc::new(table),
+                    }
+                }
+                None => JoinKind::Loop {
+                    predicate: RowProgram::compile(predicate, arena),
+                },
+            };
+            CompiledPlan::Join {
+                left: Box::new(left),
+                right,
+                kind,
+            }
+        }
+    })
 }
 
-fn plan_addr(plan: &PhysicalPlan) -> usize {
-    plan as *const PhysicalPlan as usize
+/// Produce the broadcast form of a right side: a bare `Scan` is shared by
+/// slot, anything else is compiled and run to completion **once**, at
+/// compile time — workers then share the materialized id rows instead of
+/// re-running the subplan per partition.
+fn materialize_right(
+    right: &PhysicalPlan,
+    arena: &mut Interner,
+    inputs: &[Cow<'_, [InternId]>],
+    batch_size: usize,
+    or_budget: Option<u64>,
+) -> Result<Broadcast, EngineError> {
+    if let PhysicalPlan::Scan(slot) = right {
+        if inputs.get(*slot).is_none() {
+            return Err(EngineError::MissingInput {
+                slot: *slot,
+                provided: inputs.len(),
+            });
+        }
+        return Ok(Broadcast::Slot(*slot));
+    }
+    let compiled = compile(right, arena, inputs, batch_size, or_budget)?;
+    let ctx = BuildCtx {
+        inputs,
+        batch_size,
+        or_budget,
+        lead_worker: true,
+    };
+    let mut op = build(&compiled, ctx, None)?;
+    let rows = drain(op.as_mut(), arena)?;
+    Ok(Broadcast::Rows(Arc::new(rows)))
 }
 
 /// Evaluate an `AttachEnv` setup morphism against the materialized input set
@@ -169,44 +411,31 @@ pub(crate) fn unpack_setup_result(
     }
 }
 
-/// Produce the rows of a broadcast (right) side: a bare `Scan` borrows its
-/// input slice directly (no clone — the executor pre-materializes broadcast
-/// subplans into scans), anything else runs the subplan to completion.
-fn materialize_right<'a>(
-    right: &'a PhysicalPlan,
-    ctx: BuildCtx<'a>,
-) -> Result<Cow<'a, [Value]>, EngineError> {
-    if let PhysicalPlan::Scan(slot) = right {
-        let rows = *ctx.inputs.get(*slot).ok_or(EngineError::MissingInput {
-            slot: *slot,
-            provided: ctx.inputs.len(),
-        })?;
-        return Ok(Cow::Borrowed(rows));
-    }
-    let mut op = build(right, ctx, None)?;
-    Ok(Cow::Owned(drain(op.as_mut())?))
-}
-
-/// Build the operator tree for `plan`.
+/// Build the operator tree for a compiled plan.
 ///
-/// `ctx.inputs` are the caller's relations (slot-indexed row slices);
+/// `ctx.inputs` are the interned relations (slot-indexed id rows);
 /// `driver_override`, when present, replaces the rows of the **driving
 /// scan** (the leaf reached by `input`/`left` children) — this is how the
 /// parallel executor hands each worker its partition.  Non-driving scans
 /// always read the full input.
 pub fn build<'a>(
-    plan: &'a PhysicalPlan,
+    plan: &'a CompiledPlan,
     ctx: BuildCtx<'a>,
-    driver_override: Option<&'a [Value]>,
+    driver_override: Option<&'a [InternId]>,
 ) -> Result<Box<dyn Operator + 'a>, EngineError> {
     match plan {
-        PhysicalPlan::Scan(slot) => {
+        CompiledPlan::Scan(slot) => {
             let rows = match driver_override {
                 Some(rows) => rows,
-                None => *ctx.inputs.get(*slot).ok_or(EngineError::MissingInput {
-                    slot: *slot,
-                    provided: ctx.inputs.len(),
-                })?,
+                None => {
+                    ctx.inputs
+                        .get(*slot)
+                        .map(Cow::as_ref)
+                        .ok_or(EngineError::MissingInput {
+                            slot: *slot,
+                            provided: ctx.inputs.len(),
+                        })?
+                }
             };
             Ok(Box::new(ScanOp {
                 rows,
@@ -214,21 +443,21 @@ pub fn build<'a>(
                 batch_size: ctx.batch_size,
             }))
         }
-        PhysicalPlan::Filter { predicate, input } => Ok(Box::new(FilterOp {
+        CompiledPlan::Filter { predicate, input } => Ok(Box::new(FilterOp {
             input: build(input, ctx, driver_override)?,
             predicate,
         })),
-        PhysicalPlan::Project { f, input } => Ok(Box::new(ProjectOp {
+        CompiledPlan::Project { f, input } => Ok(Box::new(ProjectOp {
             input: build(input, ctx, driver_override)?,
             f,
         })),
-        PhysicalPlan::AttachEnv { setup, input } => Ok(Box::new(AttachEnvOp {
+        CompiledPlan::AttachEnv { setup, input } => Ok(Box::new(AttachEnvOp {
             input: Some(build(input, ctx, driver_override)?),
             setup,
             batch_size: ctx.batch_size,
             state: None,
         })),
-        PhysicalPlan::Union { left, right } => Ok(Box::new(UnionOp {
+        CompiledPlan::Union { left, right } => Ok(Box::new(UnionOp {
             left: build(left, ctx, driver_override)?,
             // the right side is independent of the driving partition: only
             // the lead worker streams it (the merge is set union)
@@ -238,68 +467,42 @@ pub fn build<'a>(
                 None
             },
         })),
-        PhysicalPlan::Flatten { input } => Ok(Box::new(FlattenOp {
+        CompiledPlan::Flatten { input } => Ok(Box::new(FlattenOp {
             input: build(input, ctx, driver_override)?,
             pending: Vec::new(),
             batch_size: ctx.batch_size,
         })),
-        PhysicalPlan::Cartesian { left, right } => {
-            let right_rows = materialize_right(right, ctx)?;
-            Ok(Box::new(CartesianOp {
-                left: build(left, ctx, driver_override)?,
-                right_rows,
-                pending: Vec::new(),
-                batch_size: ctx.batch_size,
-            }))
-        }
-        PhysicalPlan::Join {
-            predicate,
-            left,
-            right,
-        } => {
-            let right_rows = materialize_right(right, ctx)?;
-            let hash = match equi_join_keys(predicate) {
-                Some((left_key, right_key)) => {
-                    let table = match ctx.join_cache.and_then(|c| c.get(plan)) {
-                        Some(shared) => shared,
-                        None => {
-                            // no prepared table — build inline (key → indices
-                            // into right_rows, so rows are not cloned)
-                            let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
-                            for (i, r) in right_rows.iter().enumerate() {
-                                table.entry(eval(&right_key, r)?).or_default().push(i);
-                            }
-                            Arc::new(table)
-                        }
-                    };
-                    Some(HashJoinSide { left_key, table })
-                }
-                None => None,
-            };
-            Ok(Box::new(JoinOp {
-                left: build(left, ctx, driver_override)?,
-                right_rows,
-                predicate,
-                hash,
-                pending: Vec::new(),
-                batch_size: ctx.batch_size,
-            }))
-        }
-        PhysicalPlan::OrExpand {
+        CompiledPlan::Cartesian { left, right } => Ok(Box::new(CartesianOp {
+            left: build(left, ctx, driver_override)?,
+            right_rows: right.rows(&ctx)?,
+            pending: Vec::new(),
+            batch_size: ctx.batch_size,
+        })),
+        CompiledPlan::Join { left, right, kind } => Ok(Box::new(JoinOp {
+            left: build(left, ctx, driver_override)?,
+            right_rows: right.rows(&ctx)?,
+            kind,
+            pending: Vec::new(),
+            batch_size: ctx.batch_size,
+        })),
+        CompiledPlan::OrExpand {
             budget,
             dedup,
             input,
         } => {
-            // Scan fusion: expanding directly over a scan reads the rows in
-            // place instead of cloning them into intermediate batches.
-            let source = if let PhysicalPlan::Scan(slot) = &**input {
-                let rows = match driver_override {
-                    Some(rows) => rows,
-                    None => *ctx.inputs.get(*slot).ok_or(EngineError::MissingInput {
-                        slot: *slot,
-                        provided: ctx.inputs.len(),
-                    })?,
-                };
+            // Scan fusion: expanding directly over a scan reads the id rows
+            // in place instead of copying them through intermediate batches.
+            let source = if let CompiledPlan::Scan(slot) = &**input {
+                let rows =
+                    match driver_override {
+                        Some(rows) => rows,
+                        None => ctx.inputs.get(*slot).map(Cow::as_ref).ok_or(
+                            EngineError::MissingInput {
+                                slot: *slot,
+                                provided: ctx.inputs.len(),
+                            },
+                        )?,
+                    };
                 ExpandSource::Rows { rows, pos: 0 }
             } else {
                 ExpandSource::Op {
@@ -310,7 +513,6 @@ pub fn build<'a>(
             Ok(Box::new(OrExpandOp {
                 source,
                 budget: budget.or(ctx.or_budget),
-                arena: Interner::new(),
                 seen: if *dedup { Some(IdSet::default()) } else { None },
                 current: None,
                 batch_size: ctx.batch_size,
@@ -319,15 +521,15 @@ pub fn build<'a>(
     }
 }
 
-/// Streams a row slice in batches.
+/// Streams an id slice in batches.
 pub struct ScanOp<'a> {
-    rows: &'a [Value],
+    rows: &'a [InternId],
     pos: usize,
     batch_size: usize,
 }
 
 impl Operator for ScanOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+    fn next_batch(&mut self, _arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError> {
         if self.pos >= self.rows.len() {
             return Ok(None);
         }
@@ -336,26 +538,31 @@ impl Operator for ScanOp<'_> {
         self.pos = end;
         Ok(Some(batch))
     }
+
+    fn rows_hint(&self) -> Option<usize> {
+        Some(self.rows.len() - self.pos)
+    }
 }
 
 /// Keeps the rows whose predicate evaluates to `true`.
 pub struct FilterOp<'a> {
     input: Box<dyn Operator + 'a>,
-    predicate: &'a Morphism,
+    predicate: &'a RowProgram,
 }
 
 impl Operator for FilterOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+    fn next_batch(&mut self, arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError> {
         // Loop so that a fully-filtered batch does not end the stream.
-        while let Some(batch) = self.input.next_batch()? {
+        while let Some(batch) = self.input.next_batch(arena)? {
             let mut out = Vec::with_capacity(batch.len());
             for row in batch {
-                match eval(self.predicate, &row)? {
-                    Value::Bool(true) => out.push(row),
-                    Value::Bool(false) => {}
-                    other => {
+                let verdict = self.predicate.run(row, arena)?;
+                match arena.node(verdict) {
+                    Node::Bool(true) => out.push(row),
+                    Node::Bool(false) => {}
+                    _ => {
                         return Err(EngineError::NonBooleanPredicate {
-                            value: other.to_string(),
+                            value: arena.value(verdict).to_string(),
                         })
                     }
                 }
@@ -366,45 +573,60 @@ impl Operator for FilterOp<'_> {
         }
         Ok(None)
     }
+
+    fn rows_hint(&self) -> Option<usize> {
+        // an upper bound: filtering never adds rows
+        self.input.rows_hint()
+    }
 }
 
-/// Applies a morphism to every row.
+/// Applies a row program to every row.
 pub struct ProjectOp<'a> {
     input: Box<dyn Operator + 'a>,
-    f: &'a Morphism,
+    f: &'a RowProgram,
 }
 
 impl Operator for ProjectOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
-        match self.input.next_batch()? {
+    fn next_batch(&mut self, arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError> {
+        match self.input.next_batch(arena)? {
             None => Ok(None),
             Some(batch) => {
                 let mut out = Vec::with_capacity(batch.len());
                 for row in &batch {
-                    out.push(eval(self.f, row)?);
+                    out.push(self.f.run(*row, arena)?);
                 }
                 Ok(Some(out))
             }
         }
     }
+
+    fn rows_hint(&self) -> Option<usize> {
+        self.input.rows_hint()
+    }
 }
 
 /// Materializes its input, evaluates `setup` once on the whole set, then
-/// streams `(env, row)` pairs.
+/// streams interned `(env, row)` pairs.  The setup morphism is the one
+/// value-level evaluation in the operator inventory: it sees the whole set
+/// at once and is outside the per-row fragment, so the input ids are
+/// decoded for it and the results re-interned.
 pub struct AttachEnvOp<'a> {
     input: Option<Box<dyn Operator + 'a>>,
     setup: &'a Morphism,
     batch_size: usize,
-    state: Option<(Value, Vec<Value>, usize)>,
+    state: Option<(InternId, Vec<InternId>, usize)>,
 }
 
 impl Operator for AttachEnvOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+    fn next_batch(&mut self, arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError> {
         if self.state.is_none() {
             let mut input = self.input.take().expect("AttachEnvOp polled after setup");
-            let rows = drain(input.as_mut())?;
+            let ids = drain(input.as_mut(), arena)?;
+            let rows: Vec<Value> = ids.iter().map(|&id| arena.decode(id)).collect();
             let set_value = Value::set(rows);
             let (env, rows) = unpack_setup_result(self.setup, &set_value)?;
+            let env = arena.intern(&env);
+            let rows: Vec<InternId> = rows.iter().map(|r| arena.intern(r)).collect();
             self.state = Some((env, rows, 0));
         }
         let (env, rows, pos) = self.state.as_mut().expect("state initialized above");
@@ -412,9 +634,10 @@ impl Operator for AttachEnvOp<'_> {
             return Ok(None);
         }
         let end = (*pos + self.batch_size).min(rows.len());
+        let env = *env;
         let batch = rows[*pos..end]
             .iter()
-            .map(|row| Value::pair(env.clone(), row.clone()))
+            .map(|&row| arena.pair(env, row))
             .collect();
         *pos = end;
         Ok(Some(batch))
@@ -422,7 +645,7 @@ impl Operator for AttachEnvOp<'_> {
 }
 
 /// Streams the left side to exhaustion, then the right side.  Together with
-/// the executor's canonical merge (sort + dedup) this computes exact set
+/// the executor's canonical merge (id sort + dedup) this computes exact set
 /// union.  `right` is `None` on non-lead workers of a partitioned run: the
 /// right side does not depend on the partition, so one worker emitting it is
 /// enough.
@@ -432,41 +655,48 @@ pub struct UnionOp<'a> {
 }
 
 impl Operator for UnionOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
-        if let Some(batch) = self.left.next_batch()? {
+    fn next_batch(&mut self, arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError> {
+        if let Some(batch) = self.left.next_batch(arena)? {
             return Ok(Some(batch));
         }
         match &mut self.right {
-            Some(right) => right.next_batch(),
+            Some(right) => right.next_batch(arena),
             None => Ok(None),
         }
     }
 }
 
 /// Streams the elements of each input row (`μ` applied row-wise); every row
-/// must itself be a set.  Like [`CartesianOp`], the (potentially much
-/// larger) expansion of an input batch is buffered in `pending` and emitted
-/// in `batch_size` chunks, so downstream operators keep seeing bounded
-/// batches even when individual rows are huge sets.
+/// must be an interned set node.  Like [`CartesianOp`], the (potentially
+/// much larger) expansion of an input batch is buffered in `pending` and
+/// emitted in `batch_size` chunks, so downstream operators keep seeing
+/// bounded batches even when individual rows are huge sets.
 pub struct FlattenOp<'a> {
     input: Box<dyn Operator + 'a>,
-    pending: Vec<Value>,
+    pending: Vec<InternId>,
     batch_size: usize,
 }
 
 impl Operator for FlattenOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+    fn next_batch(&mut self, arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError> {
         // Loop so that a batch of empty sets does not end the stream.
         while self.pending.is_empty() {
-            match self.input.next_batch()? {
+            match self.input.next_batch(arena)? {
                 None => return Ok(None),
                 Some(batch) => {
+                    if let Some(&first) = batch.first() {
+                        // reserve from the first row's width as a cheap
+                        // batch-size estimate
+                        if let Node::Set(items) = arena.node(first) {
+                            self.pending.reserve(items.len() * batch.len());
+                        }
+                    }
                     for row in batch {
-                        match row {
-                            Value::Set(items) => self.pending.extend(items),
-                            other => {
+                        match arena.node(row) {
+                            Node::Set(items) => self.pending.extend(items.iter().copied()),
+                            _ => {
                                 return Err(EngineError::FlattenNonSet {
-                                    value: other.to_string(),
+                                    value: arena.value(row).to_string(),
                                 })
                             }
                         }
@@ -481,23 +711,24 @@ impl Operator for FlattenOp<'_> {
     }
 }
 
-/// All pairs of left and (materialized) right rows.
+/// All pairs of left and broadcast rows.
 pub struct CartesianOp<'a> {
     left: Box<dyn Operator + 'a>,
-    right_rows: Cow<'a, [Value]>,
-    pending: Vec<Value>,
+    right_rows: &'a [InternId],
+    pending: Vec<InternId>,
     batch_size: usize,
 }
 
 impl Operator for CartesianOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+    fn next_batch(&mut self, arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError> {
         while self.pending.is_empty() {
-            match self.left.next_batch()? {
+            match self.left.next_batch(arena)? {
                 None => return Ok(None),
                 Some(batch) => {
-                    for l in &batch {
-                        for r in self.right_rows.iter() {
-                            self.pending.push(Value::pair(l.clone(), r.clone()));
+                    self.pending.reserve(batch.len() * self.right_rows.len());
+                    for &l in &batch {
+                        for &r in self.right_rows {
+                            self.pending.push(arena.pair(l, r));
                         }
                     }
                 }
@@ -510,49 +741,43 @@ impl Operator for CartesianOp<'_> {
     }
 }
 
-struct HashJoinSide {
-    left_key: Morphism,
-    table: Arc<HashMap<Value, Vec<usize>>>,
-}
-
 /// Nested-loop join with a hash fast path for equality predicates.
 pub struct JoinOp<'a> {
     left: Box<dyn Operator + 'a>,
-    right_rows: Cow<'a, [Value]>,
-    predicate: &'a Morphism,
-    hash: Option<HashJoinSide>,
-    pending: Vec<Value>,
+    right_rows: &'a [InternId],
+    kind: &'a JoinKind,
+    pending: Vec<InternId>,
     batch_size: usize,
 }
 
 impl Operator for JoinOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+    fn next_batch(&mut self, arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError> {
         while self.pending.is_empty() {
-            match self.left.next_batch()? {
+            match self.left.next_batch(arena)? {
                 None => return Ok(None),
                 Some(batch) => {
-                    for l in &batch {
-                        match &self.hash {
-                            Some(side) => {
-                                let key = eval(&side.left_key, l)?;
-                                if let Some(matches) = side.table.get(&key) {
+                    for &l in &batch {
+                        match self.kind {
+                            JoinKind::Hash { left_key, table } => {
+                                let key = left_key.run(l, arena)?;
+                                if let Some(matches) = table.get(&key) {
+                                    self.pending.reserve(matches.len());
                                     for &i in matches {
-                                        self.pending.push(Value::pair(
-                                            l.clone(),
-                                            self.right_rows[i].clone(),
-                                        ));
+                                        self.pending
+                                            .push(arena.pair(l, self.right_rows[i as usize]));
                                     }
                                 }
                             }
-                            None => {
-                                for r in self.right_rows.iter() {
-                                    let pair = Value::pair(l.clone(), r.clone());
-                                    match eval(self.predicate, &pair)? {
-                                        Value::Bool(true) => self.pending.push(pair),
-                                        Value::Bool(false) => {}
-                                        other => {
+                            JoinKind::Loop { predicate } => {
+                                for &r in self.right_rows {
+                                    let pair = arena.pair(l, r);
+                                    let verdict = predicate.run(pair, arena)?;
+                                    match arena.node(verdict) {
+                                        Node::Bool(true) => self.pending.push(pair),
+                                        Node::Bool(false) => {}
+                                        _ => {
                                             return Err(EngineError::NonBooleanPredicate {
-                                                value: other.to_string(),
+                                                value: arena.value(verdict).to_string(),
                                             })
                                         }
                                     }
@@ -609,52 +834,55 @@ fn strip_side(m: &Morphism, proj: &Morphism) -> Option<Morphism> {
 /// Batched per-row lazy α-expansion with interned streaming dedup and a
 /// denotation budget.
 ///
-/// The operator owns a hash-consing [`Interner`] that lives for its whole
-/// input stream — the "scratch arena" of the expansion.  Every decoded
-/// world lands in the arena first ([`LazyNormalizer::next_interned`]), so
-/// repeated sub-values across rows are stored once, world identity is an
-/// [`InternId`](or_object::intern::InternId), and the dedup filter is a
-/// hash set of 4-byte ids.  Only worlds that pass dedup are materialized into owned [`Value`] rows for
-/// the output batch.
+/// Rows arrive as ids in the shared query arena; each is compiled via
+/// [`LazyNormalizer::of_interned`], so its or-free sub-structure is reused
+/// **as ids** and only genuine choice points are decoded per world.  Worlds
+/// land in the same arena — repeated sub-values across rows are stored
+/// once, world identity is an [`InternId`], and the dedup filter is a hash
+/// set of 4-byte ids.  Surviving worlds are emitted as ids; nothing is
+/// materialized here.  The per-row denotation budget is enforced from the
+/// normalizer's closed-form count before any decoding happens.
 pub struct OrExpandOp<'a> {
     source: ExpandSource<'a>,
     budget: Option<u64>,
-    arena: Interner,
     seen: Option<IdSet>,
     current: Option<LazyNormalizer>,
     batch_size: usize,
 }
 
-/// Where an [`OrExpandOp`] pulls its rows from: a fused scan reading a row
+/// Where an [`OrExpandOp`] pulls its rows from: a fused scan reading an id
 /// slice in place, or an arbitrary upstream operator with an owned queue.
 enum ExpandSource<'a> {
     Rows {
-        rows: &'a [Value],
+        rows: &'a [InternId],
         pos: usize,
     },
     Op {
         input: Box<dyn Operator + 'a>,
-        queue: Vec<Value>,
+        queue: Vec<InternId>,
     },
 }
 
 impl ExpandSource<'_> {
     /// Compile the next row's normalizer, or `None` when exhausted.
-    fn next_normalizer(&mut self) -> Result<Option<LazyNormalizer>, EngineError> {
+    fn next_normalizer(
+        &mut self,
+        arena: &mut Interner,
+    ) -> Result<Option<LazyNormalizer>, EngineError> {
         match self {
             ExpandSource::Rows { rows, pos } => {
                 if *pos >= rows.len() {
                     return Ok(None);
                 }
-                let n = LazyNormalizer::new(&rows[*pos]);
+                let n = LazyNormalizer::of_interned(arena, rows[*pos]);
                 *pos += 1;
                 Ok(Some(n))
             }
             ExpandSource::Op { input, queue } => loop {
                 if let Some(row) = queue.pop() {
-                    return Ok(Some(LazyNormalizer::new(&row)));
+                    return Ok(Some(LazyNormalizer::of_interned(arena, row)));
                 }
-                match input.next_batch()? {
+                match input.next_batch(arena)? {
                     Some(batch) => {
                         *queue = batch;
                         queue.reverse(); // pop() then yields input order
@@ -667,37 +895,27 @@ impl ExpandSource<'_> {
 }
 
 impl Operator for OrExpandOp<'_> {
-    fn next_batch(&mut self) -> Result<Option<Vec<Value>>, EngineError> {
+    fn next_batch(&mut self, arena: &mut Interner) -> Result<Option<Vec<InternId>>, EngineError> {
         let mut out = Vec::with_capacity(self.batch_size);
         loop {
             // 1. stream from the current row's expansion
             if let Some(normalizer) = &mut self.current {
-                match &mut self.seen {
-                    // interned path: dedup by id, materialize fresh worlds
-                    Some(seen) => {
-                        while let Some(world) = normalizer.next_interned(&mut self.arena) {
-                            if seen.insert(world) {
-                                out.push(self.arena.value(world));
-                                if out.len() >= self.batch_size {
-                                    return Ok(Some(out));
-                                }
-                            }
-                        }
-                    }
-                    // no dedup requested: skip the arena entirely
-                    None => {
-                        for world in normalizer.by_ref() {
-                            out.push(world);
-                            if out.len() >= self.batch_size {
-                                return Ok(Some(out));
-                            }
+                while let Some(world) = normalizer.next_interned(arena) {
+                    let fresh = match &mut self.seen {
+                        Some(seen) => seen.insert(world),
+                        None => true,
+                    };
+                    if fresh {
+                        out.push(world);
+                        if out.len() >= self.batch_size {
+                            return Ok(Some(out));
                         }
                     }
                 }
                 self.current = None;
             }
             // 2. start expanding the next source row
-            match self.source.next_normalizer()? {
+            match self.source.next_normalizer(arena)? {
                 Some(normalizer) => {
                     if let Some(budget) = self.budget {
                         if normalizer.total() > u128::from(budget) {

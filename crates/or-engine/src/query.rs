@@ -1,5 +1,13 @@
 //! Convenience entry points that connect the engine to `or-db` relations
 //! and to or-NRA⁺ morphisms.
+//!
+//! Relations are passed through their interned-rows cache
+//! ([`or_db::Relation::interned`]): the first relation's frozen arena
+//! becomes the **base** of the query arena, so its rows are never
+//! re-interned — repeated queries over the same relation pay the interning
+//! cost exactly once, at first use.  (Ids are arena-relative, so only one
+//! relation's cache can serve as the base; the remaining slots are interned
+//! into the query overlay.)
 
 use or_db::Relation;
 use or_nra::morphism::Morphism;
@@ -8,7 +16,24 @@ use or_nra::physical::PhysicalPlan;
 use or_object::Value;
 
 use crate::error::EngineError;
-use crate::exec::{canonical_set, ExecConfig, ExecStats, Executor};
+use crate::exec::{canonical_set, EngineInputs, ExecConfig, ExecStats, Executor};
+
+/// Build engine inputs for a slice of relations, using the first
+/// relation's interned cache as the shared base arena.
+fn relation_inputs<'a>(relations: &'a [&'a Relation]) -> EngineInputs<'a> {
+    match relations.split_first() {
+        Some((first, rest)) => {
+            let cache = first.interned();
+            let mut inputs = EngineInputs::with_base(cache.arena.clone());
+            inputs.push_interned(first.records(), &cache.ids);
+            for r in rest {
+                inputs.push_rows(r.records());
+            }
+            inputs
+        }
+        None => EngineInputs::new(),
+    }
+}
 
 /// Run a physical plan over relations; slot `i` of the plan scans
 /// `relations[i]`.  Returns the result as a set value.
@@ -17,8 +42,7 @@ pub fn run_plan(
     relations: &[&Relation],
     config: ExecConfig,
 ) -> Result<Value, EngineError> {
-    let inputs: Vec<&[Value]> = relations.iter().map(|r| r.records()).collect();
-    Executor::new(config).run_to_value(plan, &inputs)
+    Executor::new(config).run_inputs_to_value(plan, &relation_inputs(relations))
 }
 
 /// Run a physical plan over relations and report execution counters.
@@ -27,8 +51,7 @@ pub fn run_plan_with_stats(
     relations: &[&Relation],
     config: ExecConfig,
 ) -> Result<(Value, ExecStats), EngineError> {
-    let inputs: Vec<&[Value]> = relations.iter().map(|r| r.records()).collect();
-    let (rows, stats) = Executor::new(config).run_with_stats(plan, &inputs)?;
+    let (rows, stats) = Executor::new(config).run_inputs(plan, &relation_inputs(relations))?;
     Ok((canonical_set(rows), stats))
 }
 
@@ -57,7 +80,8 @@ pub fn run_plan_optimized(
         workers: report.recommended_workers,
         ..config
     };
-    let (rows, stats) = Executor::new(exec_config).run_with_stats(&optimized, &inputs)?;
+    let (rows, stats) =
+        Executor::new(exec_config).run_inputs(&optimized, &relation_inputs(relations))?;
     Ok((canonical_set(rows), stats, report))
 }
 

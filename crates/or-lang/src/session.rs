@@ -33,8 +33,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use or_engine::{run_morphism_on_value, EngineError, ExecConfig, Executor};
+use or_engine::{EngineInputs, ExecConfig, Executor};
+use or_object::intern::{InternId, Interner};
 use or_object::{Type, Value};
 
 use crate::check::{infer_type, CheckError, TypeEnv};
@@ -156,13 +158,43 @@ impl EngineStats {
 }
 
 /// A stateful OrQL session.
-#[derive(Debug, Default)]
+///
+/// Sessions own a long-lived interning arena: every set-valued binding is
+/// interned **once**, when bound (`let` or [`Session::bind`]), and each
+/// engine-served query overlays a throwaway query arena on top of the
+/// session arena — so repeated queries over the same bindings pay the
+/// interning cost zero times after the first.
+#[derive(Debug)]
 pub struct Session {
     values: Env,
     types: HashMap<String, Type>,
     mode: ExecMode,
     engine_config: ExecConfig,
     stats: EngineStats,
+    /// The session's interning arena (frozen from the engine's point of
+    /// view; grown in place between queries as bindings change).
+    arena: Arc<Interner>,
+    /// Per-binding interned row ids, valid in `arena`.
+    interned: HashMap<String, Vec<InternId>>,
+    /// Rows orphaned in the arena by rebinds since the last compaction;
+    /// when they rival the live rows the arena is rebuilt, so memory stays
+    /// proportional to the live bindings at amortized O(1) per bound row.
+    stale_rows: usize,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session {
+            values: Env::default(),
+            types: HashMap::new(),
+            mode: ExecMode::default(),
+            engine_config: ExecConfig::default(),
+            stats: EngineStats::default(),
+            arena: Arc::new(Interner::new()),
+            interned: HashMap::new(),
+            stale_rows: 0,
+        }
+    }
 }
 
 impl Session {
@@ -214,7 +246,60 @@ impl Session {
         if let Ok(ty) = value.infer_type() {
             self.types.insert(name.clone(), ty);
         }
+        self.cache_binding(&name, &value);
         self.values.insert(name, value);
+    }
+
+    /// Intern a set-valued binding's rows into the session arena (once, at
+    /// bind time) so every later engine query reuses the ids.  Queries only
+    /// ever *overlay* the arena, so between statements this session holds
+    /// the sole reference and `make_mut` grows it in place.
+    ///
+    /// Rebinding a name that was interned orphans the superseded rows'
+    /// nodes.  Orphans are tracked, and once they rival the live rows the
+    /// arena is **compacted** (rebuilt from the live bindings only), so
+    /// session memory stays proportional to what is currently bound while
+    /// each individual rebind stays proportional to the rebound binding —
+    /// the compaction cost is amortized over the rows that made it
+    /// necessary.
+    fn cache_binding(&mut self, name: &str, value: &Value) {
+        if let Some(old) = self.interned.remove(name) {
+            self.stale_rows += old.len().max(1);
+        }
+        // non-set bindings carry no interned rows
+        if let Value::Set(rows) = value {
+            let arena = Arc::make_mut(&mut self.arena);
+            let ids: Vec<InternId> = rows.iter().map(|r| arena.intern(r)).collect();
+            self.interned.insert(name.to_string(), ids);
+        }
+        let live: usize = self.interned.values().map(Vec::len).sum();
+        if self.stale_rows > 0 && self.stale_rows * 2 >= live.max(1) {
+            self.compact_arena(name, value);
+        }
+    }
+
+    /// Rebuild the session arena from the live bindings.  `self.values`
+    /// still holds the superseded binding for `changed`, so its rows come
+    /// from `new_value` instead.
+    fn compact_arena(&mut self, changed: &str, new_value: &Value) {
+        let mut arena = Interner::new();
+        let mut interned = HashMap::with_capacity(self.interned.len());
+        for (n, v) in &self.values {
+            if n == changed {
+                continue;
+            }
+            if let Value::Set(rows) = v {
+                let ids: Vec<InternId> = rows.iter().map(|r| arena.intern(r)).collect();
+                interned.insert(n.clone(), ids);
+            }
+        }
+        if let Value::Set(rows) = new_value {
+            let ids: Vec<InternId> = rows.iter().map(|r| arena.intern(r)).collect();
+            interned.insert(changed.to_string(), ids);
+        }
+        self.arena = Arc::new(arena);
+        self.interned = interned;
+        self.stale_rows = 0;
     }
 
     /// The current bindings, sorted by name.
@@ -256,6 +341,7 @@ impl Session {
                 let ty = infer_type(&expr, &self.type_env())?;
                 let value = self.evaluate(source, &expr)?;
                 self.types.insert(name.clone(), ty.clone());
+                self.cache_binding(&name, &value);
                 self.values.insert(name.clone(), value.clone());
                 Ok(SessionResult {
                     value,
@@ -339,13 +425,19 @@ impl Session {
             }));
         }
         // 1. The direct route: comprehensions / union / flatten over one or
-        //    several set-valued bindings become a multi-input plan.
+        //    several set-valued bindings become a multi-input plan.  Every
+        //    referenced binding was interned into the session arena at bind
+        //    time; the engine overlays a query arena on it and re-interns
+        //    nothing.
         let plan_fallback = match plan_query(expr) {
             Ok(pq) => {
-                let mut inputs: Vec<&[Value]> = Vec::with_capacity(pq.inputs.len());
+                let mut inputs = EngineInputs::with_base(self.arena.clone());
                 for name in &pq.inputs {
                     match self.values.get(name) {
-                        Some(Value::Set(rows)) => inputs.push(rows),
+                        Some(Value::Set(rows)) => match self.interned.get(name) {
+                            Some(ids) => inputs.push_interned(rows, ids),
+                            None => inputs.push_rows(rows),
+                        },
                         Some(_) => {
                             return Ok(Err(noteworthy(format!(
                                 "binding `{name}` is not a set relation"
@@ -354,7 +446,9 @@ impl Session {
                         None => return Ok(Err(noteworthy(format!("unbound relation `{name}`")))),
                     }
                 }
-                return match Executor::new(self.engine_config).run_to_value(&pq.plan, &inputs) {
+                return match Executor::new(self.engine_config)
+                    .run_inputs_to_value(&pq.plan, &inputs)
+                {
                     Ok(value) => Ok(Ok(value)),
                     Err(e) => Err(SessionError::Engine(e.to_string())),
                 };
@@ -369,7 +463,7 @@ impl Session {
         let [var] = free.as_slice() else {
             return Ok(Err(plan_fallback));
         };
-        let Some(input @ Value::Set(_)) = self.values.get(var) else {
+        let Some(Value::Set(rows)) = self.values.get(var) else {
             return Ok(Err(noteworthy(format!(
                 "binding `{var}` is not a set relation"
             ))));
@@ -378,10 +472,20 @@ impl Session {
             Ok(m) => m,
             Err(e) => return Ok(Err(noteworthy(e.to_string()))),
         };
-        match run_morphism_on_value(input, &morphism, self.engine_config) {
-            Ok(value) => Ok(Ok(value)),
+        let plan = match or_nra::optimize::lower(&morphism) {
+            Ok(plan) => plan,
             // keep the lowering's own description of what stopped it
-            Err(EngineError::Lower(e)) => Ok(Err(noteworthy(e.to_string()))),
+            Err(e) => return Ok(Err(noteworthy(e.to_string()))),
+        };
+        let mut inputs = EngineInputs::with_base(self.arena.clone());
+        match self.interned.get(var) {
+            Some(ids) => inputs.push_interned(rows, ids),
+            None => inputs.push_rows(rows),
+        }
+        // lowering already happened above, so any executor error here is a
+        // genuine engine failure, not a fragment gap
+        match Executor::new(self.engine_config).run_inputs_to_value(&plan, &inputs) {
+            Ok(value) => Ok(Ok(value)),
             Err(e) => Err(SessionError::Engine(e.to_string())),
         }
     }
@@ -569,6 +673,39 @@ mod tests {
         }
         assert!(engine.engine_stats().engine >= 3);
         assert!(checked.engine_stats().engine >= 3);
+    }
+
+    #[test]
+    fn bindings_are_interned_once_and_reused_across_statements() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let db = { (1, 10), (2, 20), (3, 30) }").unwrap();
+        assert!(s.interned.contains_key("db"), "let interns set bindings");
+        let after_bind = s.arena.len();
+        assert!(after_bind > 0);
+        // engine-served queries overlay the session arena: it must not grow
+        s.run("{ fst(p) | p <- db, snd(p) <= 20 }").unwrap();
+        s.run("{ snd(p) | p <- db }").unwrap();
+        assert_eq!(
+            s.arena.len(),
+            after_bind,
+            "queries must reuse the session arena, not grow it"
+        );
+        assert!(s.engine_stats().engine >= 2);
+        // rebinding refreshes the cache AND compacts the arena: the
+        // superseded rows' nodes are dropped, so session memory tracks the
+        // live bindings, not everything ever bound
+        s.run("let db = { (9, 9) }").unwrap();
+        assert_eq!(s.interned["db"].len(), 1);
+        assert!(
+            s.arena.len() < after_bind,
+            "rebind must rebuild the arena from live bindings ({} >= {})",
+            s.arena.len(),
+            after_bind
+        );
+        let rebound = s.run("{ fst(p) | p <- db }").unwrap();
+        assert_eq!(rebound.value, Value::int_set([9]));
+        s.run("let db = 7").unwrap();
+        assert!(!s.interned.contains_key("db"));
     }
 
     #[test]

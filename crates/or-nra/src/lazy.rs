@@ -43,6 +43,14 @@ struct Plan {
 enum PlanKind {
     /// A base value: exactly one denotation.
     Leaf(Value),
+    /// An already-interned **or-free** subtree: exactly one denotation,
+    /// namely the id itself.  Produced only by
+    /// [`LazyNormalizer::of_interned`]; decoding is the identity (no
+    /// re-interning, no materialization), which is what makes interned
+    /// α-expansion O(choices) instead of O(row size) per world.  Plans
+    /// containing this variant must be driven through
+    /// [`LazyNormalizer::next_interned`] with an arena of the same chain.
+    Interned(InternId),
     /// A pair: the product of the component enumerations.
     Pair(Box<Plan>, Box<Plan>),
     /// A set (one choice per element position): the product of the element
@@ -101,6 +109,88 @@ impl Plan {
         }
     }
 
+    /// Compile an enumeration plan straight from an interned object.
+    /// Or-free subtrees collapse to [`PlanKind::Interned`] leaves — their
+    /// one denotation *is* the id, so per-world decoding touches only the
+    /// or-set choice points.
+    fn compile_interned(arena: &Interner, id: InternId) -> Plan {
+        use or_object::intern::Node;
+        let interned_leaf = |id: InternId| Plan {
+            count: 1,
+            memo: None,
+            kind: PlanKind::Interned(id),
+        };
+        match arena.node(id) {
+            Node::Unit | Node::Bool(_) | Node::Int(_) | Node::Str(_) | Node::Null => {
+                interned_leaf(id)
+            }
+            Node::Pair(a, b) => {
+                let (a, b) = (
+                    Plan::compile_interned(arena, *a),
+                    Plan::compile_interned(arena, *b),
+                );
+                if a.is_interned_leaf() && b.is_interned_leaf() {
+                    return interned_leaf(id);
+                }
+                Plan {
+                    count: a.count.saturating_mul(b.count),
+                    memo: None,
+                    kind: PlanKind::Pair(Box::new(a), Box::new(b)),
+                }
+            }
+            node @ (Node::Set(_) | Node::Bag(_)) => {
+                let (items, is_bag) = match node {
+                    Node::Set(items) => (items, false),
+                    Node::Bag(items) => (items, true),
+                    _ => unreachable!("outer match narrows to Set | Bag"),
+                };
+                let items: Vec<Plan> = items
+                    .iter()
+                    .map(|&i| Plan::compile_interned(arena, i))
+                    .collect();
+                // A constant *set* is its own single denotation, but a bag
+                // must NOT collapse to itself: normalization converts bags
+                // to deduplicated sets, which the non-collapsed SetOf path
+                // performs via `arena.set(..)` during decoding.
+                if !is_bag && items.iter().all(Plan::is_interned_leaf) {
+                    return interned_leaf(id);
+                }
+                let mut divisors = vec![1u128; items.len()];
+                for i in (0..items.len().saturating_sub(1)).rev() {
+                    divisors[i] = divisors[i + 1].saturating_mul(items[i + 1].count);
+                }
+                let count = items
+                    .iter()
+                    .map(|p| p.count)
+                    .fold(1u128, |acc, n| acc.saturating_mul(n));
+                Plan {
+                    count,
+                    memo: None,
+                    kind: PlanKind::SetOf(items, divisors),
+                }
+            }
+            Node::OrSet(items) => {
+                let items: Vec<Plan> = items
+                    .iter()
+                    .map(|&i| Plan::compile_interned(arena, i))
+                    .collect();
+                let count = items
+                    .iter()
+                    .map(|p| p.count)
+                    .fold(0u128, u128::saturating_add);
+                Plan {
+                    count,
+                    memo: None,
+                    kind: PlanKind::OneOf(items),
+                }
+            }
+        }
+    }
+
+    fn is_interned_leaf(&self) -> bool {
+        matches!(self.kind, PlanKind::Interned(_))
+    }
+
     /// Total number of denotations (with multiplicity), saturating at
     /// `u128::MAX`.
     fn count(&self) -> u128 {
@@ -111,6 +201,10 @@ impl Plan {
     fn decode(&self, idx: u128) -> Value {
         match &self.kind {
             PlanKind::Leaf(v) => v.clone(),
+            PlanKind::Interned(_) => unreachable!(
+                "plans built by LazyNormalizer::of_interned must be driven \
+                 through next_interned (the arena is needed to decode)"
+            ),
             PlanKind::Pair(a, b) => {
                 let nb = b.count;
                 Value::pair(a.decode(idx / nb), b.decode(idx % nb))
@@ -154,6 +248,7 @@ impl Plan {
         }
         let id = match &mut self.kind {
             PlanKind::Leaf(v) => arena.intern(v),
+            PlanKind::Interned(id) => return *id,
             PlanKind::Pair(a, b) => {
                 let nb = b.count;
                 let ia = a.decode_interned(idx / nb, arena);
@@ -204,6 +299,24 @@ impl LazyNormalizer {
     /// Compile an object for lazy normalization.
     pub fn new(v: &Value) -> LazyNormalizer {
         let plan = Plan::compile(v);
+        let total = plan.count();
+        LazyNormalizer {
+            plan,
+            next: 0,
+            total,
+        }
+    }
+
+    /// Compile an **interned** object for lazy normalization.  The
+    /// normalizer enumerates the same denotations as
+    /// [`LazyNormalizer::new`] on the decoded value, but its or-free
+    /// subtrees stay as ids: driving it with
+    /// [`LazyNormalizer::next_interned`] against an arena of the same
+    /// chain performs **zero** re-interning of unchanged sub-structure.
+    /// The plain [`Iterator`] interface is not available on normalizers
+    /// built this way (there is no arena to decode against).
+    pub fn of_interned(arena: &Interner, id: InternId) -> LazyNormalizer {
+        let plan = Plan::compile_interned(arena, id);
         let total = plan.count();
         LazyNormalizer {
             plan,
@@ -367,6 +480,84 @@ mod tests {
             seen.insert(id);
         }
         assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn of_interned_enumerates_the_same_worlds_without_reinterning() {
+        let v = Value::pair(
+            Value::set([Value::int_orset([1, 2]), Value::int_orset([3, 4])]),
+            Value::pair(Value::str("fixed"), Value::int_orset([5, 6])),
+        );
+        let mut arena = Interner::new();
+        let id = arena.intern(&v);
+        let before = arena.len();
+        let mut interned = LazyNormalizer::of_interned(&arena, id);
+        let plain: Vec<Value> = LazyNormalizer::new(&v).collect();
+        assert_eq!(interned.total(), plain.len() as u128);
+        let mut decoded = Vec::new();
+        while let Some(world) = interned.next_interned(&mut arena) {
+            decoded.push(arena.value(world));
+        }
+        assert_eq!(decoded, plain);
+        // or-free subtrees were reused as ids: only genuinely new world
+        // nodes (chosen pairs/sets) may be added, never leaf re-interning
+        // of the constant "fixed" etc.
+        assert!(arena.len() > before, "worlds add composite nodes");
+        // a second pass over an equal row adds nothing at all
+        let grown = arena.len();
+        let mut again = LazyNormalizer::of_interned(&arena, id);
+        while again.next_interned(&mut arena).is_some() {}
+        assert_eq!(arena.len(), grown);
+    }
+
+    #[test]
+    fn of_interned_normalizes_bags_to_sets_like_the_value_path() {
+        // normalization converts bags to deduplicated sets; the interned
+        // compile must not short-circuit a constant bag to itself
+        let v = Value::pair(
+            Value::bag([Value::Int(1), Value::Int(1), Value::Int(2)]),
+            Value::int_orset([7, 8]),
+        );
+        let mut arena = Interner::new();
+        let id = arena.intern(&v);
+        let plain: Vec<Value> = LazyNormalizer::new(&v).collect();
+        let mut interned = LazyNormalizer::of_interned(&arena, id);
+        let mut decoded = Vec::new();
+        while let Some(world) = interned.next_interned(&mut arena) {
+            decoded.push(arena.value(world));
+        }
+        assert_eq!(decoded, plain);
+        assert_eq!(
+            decoded[0],
+            Value::pair(Value::int_set([1, 2]), Value::Int(7))
+        );
+        // a bag nested under otherwise-constant structure is converted too
+        let nested = Value::set([Value::pair(
+            Value::Int(3),
+            Value::bag([Value::Int(4), Value::Int(4)]),
+        )]);
+        let id = arena.intern(&nested);
+        let mut lazy = LazyNormalizer::of_interned(&arena, id);
+        let world = lazy.next_interned(&mut arena).unwrap();
+        assert_eq!(
+            arena.value(world),
+            Value::set([Value::pair(Value::Int(3), Value::int_set([4]))])
+        );
+    }
+
+    #[test]
+    fn of_interned_handles_empty_orsets_and_constants() {
+        let mut arena = Interner::new();
+        let none = arena.intern(&Value::set([Value::int_orset([1]), Value::empty_orset()]));
+        let lazy = LazyNormalizer::of_interned(&arena, none);
+        assert_eq!(lazy.total(), 0);
+        let constant = arena.intern(&Value::pair(Value::Int(1), Value::int_set([2, 3])));
+        let mut lazy = LazyNormalizer::of_interned(&arena, constant);
+        assert_eq!(lazy.total(), 1);
+        let world = lazy.next_interned(&mut arena).unwrap();
+        // the single denotation of an or-free row is the row itself
+        assert_eq!(world, constant);
+        assert!(lazy.next_interned(&mut arena).is_none());
     }
 
     #[test]

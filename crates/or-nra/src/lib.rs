@@ -59,6 +59,7 @@ pub mod normalize;
 pub mod optimize;
 pub mod physical;
 pub mod preserve;
+pub mod rowprog;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
@@ -79,6 +80,7 @@ pub mod prelude {
     pub use crate::optimize::{lower, optimize, simplified};
     pub use crate::physical::{LowerError, PhysicalPlan};
     pub use crate::preserve::{is_lossless_on, lossless_preconditions, preserve};
+    pub use crate::rowprog::RowProgram;
 }
 
 pub use error::{EvalError, TypeError};

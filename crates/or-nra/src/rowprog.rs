@@ -1,0 +1,536 @@
+//! Interned row programs: per-row morphism evaluation over [`InternId`]s.
+//!
+//! The physical engine's hot paths — filter predicates, projection heads,
+//! and join-key extractors — are or-NRA⁺ [`Morphism`]s evaluated once per
+//! row.  The tree-walking evaluator ([`crate::eval::eval`]) rebuilds owned
+//! [`Value`](or_object::Value) trees at every step: a projection chain `π₂ ∘ π₁` clones two
+//! subtrees to return one, and an equality test deep-compares.  When rows
+//! are interned, all of that is id arithmetic:
+//!
+//! * projections read a `Pair` node and return a child id (no clone);
+//! * equality is id equality (hash-consing makes it O(1));
+//! * constants are **pre-interned at compile time**, so `Kc ∘ !` is a
+//!   register move;
+//! * constructed results (`⟨f, g⟩`, `η`, arithmetic) intern one node,
+//!   which is a hash probe — and a hit whenever the same value was seen
+//!   before.
+//!
+//! [`RowProgram::compile`] translates the morphism fragment the engine's
+//! operators evaluate per row into a small instruction tree over ids; the
+//! few morphisms outside the fragment (`normalize`, `alpha`, `powerset` —
+//! whole-object conceptual operations the engine routes through dedicated
+//! operators anyway) compile to an [`Opaque`](RowProgram::Opaque) node that
+//! decodes, runs the tree-walking evaluator, and re-interns.  Compilation
+//! never fails; opacity is per-node, so a supported pipeline around one
+//! opaque step still runs interned.
+
+use or_object::intern::{InternId, Interner, Node};
+
+use crate::error::EvalError;
+use crate::eval::eval;
+use crate::morphism::{Morphism, Prim};
+
+/// A compiled per-row program over interned rows.
+///
+/// Programs are built once per query against the query's arena
+/// ([`RowProgram::compile`]) and evaluated once per row
+/// ([`RowProgram::run`]).  They are plain data (ids into the arena), so a
+/// compiled program is freely shared by every worker overlaying the same
+/// base arena.
+#[derive(Debug, Clone)]
+pub enum RowProgram {
+    /// The identity.
+    Id,
+    /// Sequential composition, applied left to right (`Seq([g, f])` is
+    /// `f ∘ g`).
+    Seq(Vec<RowProgram>),
+    /// First projection of a pair node.
+    Proj1,
+    /// Second projection of a pair node.
+    Proj2,
+    /// Pair formation `⟨f, g⟩`.
+    Pair(Box<RowProgram>, Box<RowProgram>),
+    /// A constant, already interned at compile time (covers `Kc`, `!`,
+    /// `K{}` and `K<>`).
+    Const(InternId),
+    /// Structural equality of a pair's components — id equality.
+    Eq,
+    /// Conditional on a boolean-producing sub-program.
+    Cond(Box<RowProgram>, Box<RowProgram>, Box<RowProgram>),
+    /// An interpreted primitive (integer/boolean ops, `value_leq`).
+    Prim(Prim),
+    /// Singleton set `η`.
+    Eta,
+    /// Set flattening `μ`.
+    Mu,
+    /// Set map.
+    Map(Box<RowProgram>),
+    /// Set pairing `ρ₂`.
+    Rho2,
+    /// Set union over a pair of sets.
+    Union,
+    /// Or-singleton `orη`.
+    OrEta,
+    /// Or-flattening `orμ`.
+    OrMu,
+    /// Or-set map.
+    OrMap(Box<RowProgram>),
+    /// Or-set pairing `orρ₂`.
+    OrRho2,
+    /// Or-union over a pair of or-sets.
+    OrUnion,
+    /// `ortoset : <s> → {s}`.
+    OrToSet,
+    /// `settoor : {s} → <s>`.
+    SetToOr,
+    /// Fallback for morphisms outside the interned fragment: decode the
+    /// row, run the tree-walking evaluator, re-intern the result.
+    Opaque(Box<Morphism>),
+}
+
+impl RowProgram {
+    /// Compile a morphism into an interned row program against `arena`,
+    /// pre-interning every constant.  Total: unsupported constructs become
+    /// per-node [`RowProgram::Opaque`] fallbacks.
+    pub fn compile(m: &Morphism, arena: &mut Interner) -> RowProgram {
+        match m {
+            Morphism::Id => RowProgram::Id,
+            Morphism::Compose(f, g) => {
+                // applied right-to-left: g first
+                let mut steps = Vec::new();
+                flatten_compose(g, arena, &mut steps);
+                flatten_compose(f, arena, &mut steps);
+                RowProgram::Seq(steps)
+            }
+            Morphism::Proj1 => RowProgram::Proj1,
+            Morphism::Proj2 => RowProgram::Proj2,
+            Morphism::PairWith(f, g) => RowProgram::Pair(
+                Box::new(RowProgram::compile(f, arena)),
+                Box::new(RowProgram::compile(g, arena)),
+            ),
+            Morphism::Bang => RowProgram::Const(arena.unit()),
+            Morphism::Const(c) => RowProgram::Const(arena.intern(c)),
+            Morphism::Eq => RowProgram::Eq,
+            Morphism::Cond(p, f, g) => RowProgram::Cond(
+                Box::new(RowProgram::compile(p, arena)),
+                Box::new(RowProgram::compile(f, arena)),
+                Box::new(RowProgram::compile(g, arena)),
+            ),
+            Morphism::Prim(p) => RowProgram::Prim(*p),
+            Morphism::Eta => RowProgram::Eta,
+            Morphism::Mu => RowProgram::Mu,
+            Morphism::Map(f) => RowProgram::Map(Box::new(RowProgram::compile(f, arena))),
+            Morphism::Rho2 => RowProgram::Rho2,
+            Morphism::Union => RowProgram::Union,
+            Morphism::KEmptySet => RowProgram::Const(arena.set(Vec::new())),
+            Morphism::OrEta => RowProgram::OrEta,
+            Morphism::OrMu => RowProgram::OrMu,
+            Morphism::OrMap(f) => RowProgram::OrMap(Box::new(RowProgram::compile(f, arena))),
+            Morphism::OrRho2 => RowProgram::OrRho2,
+            Morphism::OrUnion => RowProgram::OrUnion,
+            Morphism::KEmptyOrSet => RowProgram::Const(arena.orset(Vec::new())),
+            Morphism::OrToSet => RowProgram::OrToSet,
+            Morphism::SetToOr => RowProgram::SetToOr,
+            // whole-object conceptual operations: rare in per-row position
+            // (the engine runs α-expansion through its own operator), so
+            // they fall back to decode + eval + re-intern
+            Morphism::Alpha | Morphism::Powerset | Morphism::Normalize => {
+                RowProgram::Opaque(Box::new(m.clone()))
+            }
+        }
+    }
+
+    /// Does the program avoid the [`RowProgram::Opaque`] fallback
+    /// everywhere?  (Then per-row evaluation never materializes a
+    /// [`Value`](or_object::Value).)
+    pub fn fully_interned(&self) -> bool {
+        match self {
+            RowProgram::Opaque(_) => false,
+            RowProgram::Seq(steps) => steps.iter().all(RowProgram::fully_interned),
+            RowProgram::Pair(f, g) => f.fully_interned() && g.fully_interned(),
+            RowProgram::Cond(p, f, g) => {
+                p.fully_interned() && f.fully_interned() && g.fully_interned()
+            }
+            RowProgram::Map(f) | RowProgram::OrMap(f) => f.fully_interned(),
+            _ => true,
+        }
+    }
+
+    /// Apply the program to an interned row.
+    pub fn run(&self, row: InternId, arena: &mut Interner) -> Result<InternId, EvalError> {
+        match self {
+            RowProgram::Id => Ok(row),
+            RowProgram::Seq(steps) => {
+                let mut acc = row;
+                for step in steps {
+                    acc = step.run(acc, arena)?;
+                }
+                Ok(acc)
+            }
+            RowProgram::Proj1 => match arena.node(row) {
+                Node::Pair(a, _) => Ok(*a),
+                _ => Err(shape("pi1", row, arena)),
+            },
+            RowProgram::Proj2 => match arena.node(row) {
+                Node::Pair(_, b) => Ok(*b),
+                _ => Err(shape("pi2", row, arena)),
+            },
+            RowProgram::Pair(f, g) => {
+                let a = f.run(row, arena)?;
+                let b = g.run(row, arena)?;
+                Ok(arena.pair(a, b))
+            }
+            RowProgram::Const(id) => Ok(*id),
+            RowProgram::Eq => match arena.node(row) {
+                // hash-consing makes structural equality id equality
+                Node::Pair(a, b) => Ok(arena.bool(a == b)),
+                _ => Err(shape("eq", row, arena)),
+            },
+            RowProgram::Cond(p, f, g) => {
+                let test = p.run(row, arena)?;
+                match arena.node(test) {
+                    Node::Bool(true) => f.run(row, arena),
+                    Node::Bool(false) => g.run(row, arena),
+                    _ => Err(EvalError::NonBooleanCondition {
+                        value: arena.value(test).to_string(),
+                    }),
+                }
+            }
+            RowProgram::Prim(p) => run_prim(*p, row, arena),
+            RowProgram::Eta => Ok(arena.set(vec![row])),
+            RowProgram::Mu => {
+                let items = collection(row, arena, CollKind::Set, "mu")?;
+                let mut out = Vec::new();
+                for id in items {
+                    match arena.node(id) {
+                        Node::Set(inner) => out.extend(inner.iter().copied()),
+                        _ => return Err(shape("mu", id, arena)),
+                    }
+                }
+                Ok(arena.set(out))
+            }
+            RowProgram::Map(f) => {
+                let items = collection(row, arena, CollKind::Set, "map")?;
+                let mut out = Vec::with_capacity(items.len());
+                for id in items {
+                    out.push(f.run(id, arena)?);
+                }
+                Ok(arena.set(out))
+            }
+            RowProgram::Rho2 => match arena.node(row) {
+                Node::Pair(a, items) => {
+                    let (a, items) = (*a, *items);
+                    match arena.node(items) {
+                        Node::Set(ids) => {
+                            let ids: Vec<InternId> = ids.to_vec();
+                            let pairs = ids.iter().map(|&b| arena.pair(a, b)).collect();
+                            Ok(arena.set(pairs))
+                        }
+                        _ => Err(shape("rho2", row, arena)),
+                    }
+                }
+                _ => Err(shape("rho2", row, arena)),
+            },
+            RowProgram::Union => match arena.node(row) {
+                Node::Pair(a, b) => {
+                    let (a, b) = (*a, *b);
+                    match (arena.node(a), arena.node(b)) {
+                        (Node::Set(xs), Node::Set(ys)) => {
+                            let mut out: Vec<InternId> = xs.to_vec();
+                            out.extend(ys.iter().copied());
+                            Ok(arena.set(out))
+                        }
+                        _ => Err(shape("union", row, arena)),
+                    }
+                }
+                _ => Err(shape("union", row, arena)),
+            },
+            RowProgram::OrEta => Ok(arena.orset(vec![row])),
+            RowProgram::OrMu => {
+                let items = collection(row, arena, CollKind::OrSet, "or_mu")?;
+                let mut out = Vec::new();
+                for id in items {
+                    match arena.node(id) {
+                        Node::OrSet(inner) => out.extend(inner.iter().copied()),
+                        _ => return Err(shape("or_mu", id, arena)),
+                    }
+                }
+                Ok(arena.orset(out))
+            }
+            RowProgram::OrMap(f) => {
+                let items = collection(row, arena, CollKind::OrSet, "ormap")?;
+                let mut out = Vec::with_capacity(items.len());
+                for id in items {
+                    out.push(f.run(id, arena)?);
+                }
+                Ok(arena.orset(out))
+            }
+            RowProgram::OrRho2 => match arena.node(row) {
+                Node::Pair(a, items) => {
+                    let (a, items) = (*a, *items);
+                    match arena.node(items) {
+                        Node::OrSet(ids) => {
+                            let ids: Vec<InternId> = ids.to_vec();
+                            let pairs = ids.iter().map(|&b| arena.pair(a, b)).collect();
+                            Ok(arena.orset(pairs))
+                        }
+                        _ => Err(shape("or_rho2", row, arena)),
+                    }
+                }
+                _ => Err(shape("or_rho2", row, arena)),
+            },
+            RowProgram::OrUnion => match arena.node(row) {
+                Node::Pair(a, b) => {
+                    let (a, b) = (*a, *b);
+                    match (arena.node(a), arena.node(b)) {
+                        (Node::OrSet(xs), Node::OrSet(ys)) => {
+                            let mut out: Vec<InternId> = xs.to_vec();
+                            out.extend(ys.iter().copied());
+                            Ok(arena.orset(out))
+                        }
+                        _ => Err(shape("or_union", row, arena)),
+                    }
+                }
+                _ => Err(shape("or_union", row, arena)),
+            },
+            RowProgram::OrToSet => {
+                let items = collection(row, arena, CollKind::OrSet, "ortoset")?;
+                Ok(arena.set(items))
+            }
+            RowProgram::SetToOr => {
+                let items = collection(row, arena, CollKind::Set, "settoor")?;
+                Ok(arena.orset(items))
+            }
+            RowProgram::Opaque(m) => {
+                let input = arena.decode(row);
+                let output = eval(m, &input)?;
+                Ok(arena.intern(&output))
+            }
+        }
+    }
+}
+
+/// Append `m` (flattening nested compositions) to a step sequence in
+/// application order.
+fn flatten_compose(m: &Morphism, arena: &mut Interner, steps: &mut Vec<RowProgram>) {
+    if let Morphism::Compose(f, g) = m {
+        flatten_compose(g, arena, steps);
+        flatten_compose(f, arena, steps);
+    } else {
+        steps.push(RowProgram::compile(m, arena));
+    }
+}
+
+enum CollKind {
+    Set,
+    OrSet,
+}
+
+/// Read out the element ids of a set/or-set node (copied: the borrow on the
+/// arena must end before sub-programs can mutate it).
+fn collection(
+    id: InternId,
+    arena: &Interner,
+    kind: CollKind,
+    op: &'static str,
+) -> Result<Vec<InternId>, EvalError> {
+    match (kind, arena.node(id)) {
+        (CollKind::Set, Node::Set(items)) => Ok(items.to_vec()),
+        (CollKind::OrSet, Node::OrSet(items)) => Ok(items.to_vec()),
+        _ => Err(shape(op, id, arena)),
+    }
+}
+
+fn shape(op: &'static str, id: InternId, arena: &Interner) -> EvalError {
+    EvalError::shape(op, &arena.value(id))
+}
+
+fn run_prim(p: Prim, row: InternId, arena: &mut Interner) -> Result<InternId, EvalError> {
+    let err = |p: Prim, id: InternId, arena: &Interner| EvalError::Primitive {
+        primitive: p.name().to_string(),
+        message: format!("inapplicable to {}", arena.value(id)),
+    };
+    let int_pair = |id: InternId, arena: &Interner| -> Option<(i64, i64)> {
+        if let Node::Pair(a, b) = arena.node(id) {
+            if let (Node::Int(x), Node::Int(y)) = (arena.node(*a), arena.node(*b)) {
+                return Some((*x, *y));
+            }
+        }
+        None
+    };
+    let bool_pair = |id: InternId, arena: &Interner| -> Option<(bool, bool)> {
+        if let Node::Pair(a, b) = arena.node(id) {
+            if let (Node::Bool(x), Node::Bool(y)) = (arena.node(*a), arena.node(*b)) {
+                return Some((*x, *y));
+            }
+        }
+        None
+    };
+    match p {
+        Prim::Plus => int_pair(row, arena)
+            .map(|(a, b)| arena.int(a.wrapping_add(b)))
+            .ok_or_else(|| err(p, row, arena)),
+        Prim::Minus => int_pair(row, arena)
+            .map(|(a, b)| arena.int(a.wrapping_sub(b)))
+            .ok_or_else(|| err(p, row, arena)),
+        Prim::Times => int_pair(row, arena)
+            .map(|(a, b)| arena.int(a.wrapping_mul(b)))
+            .ok_or_else(|| err(p, row, arena)),
+        Prim::Leq => int_pair(row, arena)
+            .map(|(a, b)| arena.bool(a <= b))
+            .ok_or_else(|| err(p, row, arena)),
+        Prim::Lt => int_pair(row, arena)
+            .map(|(a, b)| arena.bool(a < b))
+            .ok_or_else(|| err(p, row, arena)),
+        Prim::Not => match arena.node(row) {
+            Node::Bool(b) => {
+                let b = !*b;
+                Ok(arena.bool(b))
+            }
+            _ => Err(err(p, row, arena)),
+        },
+        Prim::And => bool_pair(row, arena)
+            .map(|(a, b)| arena.bool(a && b))
+            .ok_or_else(|| err(p, row, arena)),
+        Prim::Or => bool_pair(row, arena)
+            .map(|(a, b)| arena.bool(a || b))
+            .ok_or_else(|| err(p, row, arena)),
+        Prim::ValueLeq => match arena.node(row) {
+            Node::Pair(a, b) => {
+                let leq = arena.cmp(*a, *b) != std::cmp::Ordering::Greater;
+                Ok(arena.bool(leq))
+            }
+            _ => Err(err(p, row, arena)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morphism::Morphism as M;
+    use or_object::generate::{GenConfig, Generator};
+    use or_object::Value;
+
+    /// Compile + run on interned input must equal the tree-walking
+    /// evaluator on the decoded input, across the whole compiled fragment.
+    fn agree(m: &M, v: &Value) {
+        let mut arena = Interner::new();
+        let prog = RowProgram::compile(m, &mut arena);
+        let row = arena.intern(v);
+        let interned = prog.run(row, &mut arena).expect("row program runs");
+        let expected = eval(m, v).expect("evaluator runs");
+        assert_eq!(
+            arena.value(interned),
+            expected,
+            "program disagrees with eval on {m} applied to {v}"
+        );
+        // re-running is stable (and interned: produces the same id)
+        assert_eq!(prog.run(row, &mut arena).unwrap(), interned);
+    }
+
+    #[test]
+    fn scalar_fragment_agrees_with_eval() {
+        let pairs = Value::pair(Value::Int(3), Value::Int(4));
+        agree(&M::Prim(Prim::Plus), &pairs);
+        agree(&M::Prim(Prim::Leq), &pairs);
+        agree(&M::pair(M::Proj2, M::Proj1), &pairs);
+        agree(
+            &M::Proj1.then(M::pair(M::Id, M::constant(Value::Int(3)))),
+            &pairs,
+        );
+        agree(
+            &M::Eq,
+            &Value::pair(Value::int_set([1, 2]), Value::int_set([2, 1])),
+        );
+        agree(
+            &M::cond(
+                M::Prim(Prim::Leq),
+                M::constant(Value::str("le")),
+                M::constant(Value::str("gt")),
+            ),
+            &pairs,
+        );
+        agree(&M::Bang, &pairs);
+        agree(&M::KEmptySet.after_bang(), &pairs);
+        agree(&M::KEmptyOrSet.after_bang(), &pairs);
+    }
+
+    #[test]
+    fn collection_fragment_agrees_with_eval() {
+        let nested = Value::set([Value::int_set([1, 2]), Value::int_set([2, 3])]);
+        agree(&M::Mu, &nested);
+        agree(&M::map(M::Eta), &Value::int_set([1, 2, 3]));
+        agree(&M::Eta, &Value::Int(7));
+        agree(
+            &M::Rho2,
+            &Value::pair(Value::Int(1), Value::int_set([2, 3])),
+        );
+        agree(
+            &M::Union,
+            &Value::pair(Value::int_set([1, 2]), Value::int_set([2, 9])),
+        );
+        let or_nested = Value::orset([Value::int_orset([1, 2]), Value::int_orset([3])]);
+        agree(&M::OrMu, &or_nested);
+        agree(&M::ormap(M::OrEta), &Value::int_orset([1, 2]));
+        agree(
+            &M::OrRho2,
+            &Value::pair(Value::Int(1), Value::int_orset([2, 3])),
+        );
+        agree(
+            &M::OrUnion,
+            &Value::pair(Value::int_orset([1]), Value::int_orset([2])),
+        );
+        agree(&M::OrToSet, &Value::int_orset([1, 2]));
+        agree(&M::SetToOr, &Value::int_set([1, 2]));
+        agree(
+            &M::Prim(Prim::ValueLeq),
+            &Value::pair(Value::Int(1), Value::str("x")),
+        );
+    }
+
+    #[test]
+    fn opaque_fallback_still_agrees() {
+        let m = M::Normalize.then(M::OrToSet);
+        assert!(!RowProgram::compile(&m, &mut Interner::new()).fully_interned());
+        agree(&m, &Value::set([Value::int_orset([1, 2])]));
+    }
+
+    #[test]
+    fn compiled_fragment_is_fully_interned() {
+        let mut arena = Interner::new();
+        let q = M::pair(M::Proj2, M::constant(Value::Int(30))).then(M::Prim(Prim::Leq));
+        assert!(RowProgram::compile(&q, &mut arena).fully_interned());
+        let q = M::pair(M::Id, M::Proj1.then(M::Proj2)).then(M::Rho2);
+        assert!(RowProgram::compile(&q, &mut arena).fully_interned());
+    }
+
+    #[test]
+    fn random_projection_pipelines_agree() {
+        // fuzz the scalar fragment over generated pair-shaped inputs
+        let config = GenConfig {
+            max_depth: 3,
+            max_width: 3,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(99, config);
+        for _ in 0..50 {
+            let (_, v) = gen.typed_object();
+            agree(&M::Id, &v);
+            agree(&M::pair(M::Id, M::Id), &v);
+            agree(&M::pair(M::Id, M::Id).then(M::Eq), &v);
+        }
+    }
+
+    #[test]
+    fn shape_errors_match_the_evaluator() {
+        let mut arena = Interner::new();
+        let row = arena.intern(&Value::Int(3));
+        let prog = RowProgram::compile(&M::Proj1, &mut arena);
+        assert!(prog.run(row, &mut arena).is_err());
+        assert!(eval(&M::Proj1, &Value::Int(3)).is_err());
+        let prog = RowProgram::compile(&M::Mu, &mut arena);
+        let row = arena.intern(&Value::int_set([1]));
+        assert!(prog.run(row, &mut arena).is_err());
+    }
+}

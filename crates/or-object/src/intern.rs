@@ -15,14 +15,50 @@
 //! sorted and deduplicated — and interning proceeds bottom-up, so equal
 //! children always resolve to equal ids).
 //!
-//! The arena is the engine's "scratch" for α-expansion: an `OrExpand`
-//! operator keeps one interner for its whole input stream, so possible
-//! worlds produced by *different* rows still share their common
-//! sub-structure, and streaming dedup degenerates to a `HashSet<InternId>`.
+//! ## The arena lifecycle
+//!
+//! The arena is the physical engine's **row currency**: a query interns its
+//! inputs once, every operator (filter, project, join probe, union, flatten,
+//! α-expansion, streaming dedup) computes on `u32`-sized ids, and values are
+//! re-materialized ([`Interner::decode`]) exactly once, at the result
+//! boundary.  Three lifetimes occur in practice:
+//!
+//! 1. **per-operator scratch** — an `OrExpand` operator's worlds share
+//!    sub-structure across rows and dedup as a `HashSet<InternId>`;
+//! 2. **per-query arena** — the executor interns the input relations and
+//!    pre-interns plan constants, then every downstream operation is
+//!    id-width work;
+//! 3. **cross-query (session / relation) arena** — a frozen arena can serve
+//!    as the shared **base** of per-query overlays
+//!    ([`Interner::with_base`]): the base's ids stay valid and mean the same
+//!    object in every overlay, so relations interned once (on `let`, or in
+//!    `Relation`'s interned-rows cache) are never re-interned by later
+//!    queries.  Overlays of a common base may diverge freely — each allocates
+//!    its own ids above the base — and are discarded when the query ends.
+//!
+//! ## Canonical order without trees
+//!
+//! The executor's merge step (sort + dedup) and the canonical collection
+//! constructors need the **order** of the underlying values, not just
+//! equality.  [`Interner::cmp`] compares structurally (with id
+//! short-circuiting); for bulk sorts, [`Interner::rank_table`] lazily
+//! computes an id→rank permutation of the whole arena (cached until the
+//! arena grows) so that sorting result ids is a `u32`-key sort
+//! ([`Interner::sort_ids`] picks whichever is cheaper).
+//!
+//! ## When decode happens
+//!
+//! [`Interner::decode`] is the **only** sanctioned way to turn engine ids
+//! back into [`Value`]s; it counts each materialization
+//! ([`Interner::decode_count`]), and the engine surfaces the counter through
+//! its `ExecStats` so tests can assert the "at most one decode per result
+//! row" discipline.  [`Interner::value`] is the raw uncounted reconstruction
+//! kept for error paths and tests.
 
 use std::collections::HashSet;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 use crate::value::Value;
 
@@ -64,8 +100,9 @@ static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// A reference to an interned object inside an [`Interner`].
 ///
-/// Ids are only meaningful relative to the interner that produced them.
-/// Within one interner, `a == b` iff the interned objects are structurally
+/// Ids are only meaningful relative to the interner that produced them (or
+/// any overlay chained on top of it via [`Interner::with_base`]).  Within
+/// one such chain, `a == b` iff the interned objects are structurally
 /// equal, and `Hash` hashes the raw index — this is what makes interned
 /// dedup O(1) per world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -111,28 +148,60 @@ pub enum Node {
 /// node hash, with equality resolved against the arena itself.  A wide
 /// world-set node is therefore never duplicated as a map key, and inserting
 /// a node costs no allocation beyond the `nodes` push.
+///
+/// An arena may be an **overlay** over a frozen base
+/// ([`Interner::with_base`]): lookups consult the base chain first, so an
+/// object already interned below always resolves to its base id, and new
+/// objects get ids above `base_len`.  The base is never mutated — overlays
+/// of a shared base are independent and may live on different threads.
 #[derive(Debug)]
 pub struct Interner {
+    /// Frozen ancestor arena (`None` for a root arena).
+    base: Option<Arc<Interner>>,
+    /// Total number of nodes in the base chain (0 for a root arena); local
+    /// node `i` has the global id `base_len + i`.
+    base_len: usize,
     nodes: Vec<Node>,
-    /// FNV hash of each node, parallel to `nodes` (saves re-hashing during
-    /// probe rejection and table growth).
+    /// FNV hash of each local node, parallel to `nodes` (used to re-place
+    /// entries when the table grows).
     hashes: Vec<u64>,
-    /// Open-addressing index into `nodes`; always a power-of-two length.
-    table: Vec<u32>,
+    /// Open-addressing index of the **local** nodes; always a power-of-two
+    /// length.  Each occupied slot packs the hash's top 32 bits (a
+    /// fingerprint, rejected without touching `nodes`) with the global id:
+    /// probes stay inside this one cache-friendly array until a
+    /// fingerprint matches.
+    table: Vec<u64>,
     token: u64,
+    /// Lazily built id→rank permutation realizing the canonical order over
+    /// the whole chain; valid while `ranks.len() == self.len()`.
+    ranks: Vec<u32>,
+    /// How many [`Value`]s this arena has materialized via
+    /// [`Interner::decode`].
+    decodes: u64,
 }
 
-const EMPTY_SLOT: u32 = u32::MAX;
+const EMPTY_SLOT: u64 = u64::MAX;
+
+/// Pack a table entry: hash fingerprint (top 32 bits) next to the global
+/// id.  `id != u32::MAX` (asserted at insert), so no entry collides with
+/// [`EMPTY_SLOT`].
+fn slot_entry(hash: u64, id: u32) -> u64 {
+    (hash & 0xFFFF_FFFF_0000_0000) | u64::from(id)
+}
 
 impl Clone for Interner {
     fn clone(&self) -> Interner {
         Interner {
+            base: self.base.clone(),
+            base_len: self.base_len,
             nodes: self.nodes.clone(),
             hashes: self.hashes.clone(),
             table: self.table.clone(),
             // a clone can diverge from the original, so it gets a fresh
             // token: memoized ids from one are never replayed on the other
             token: NEXT_TOKEN.fetch_add(1, AtomicOrdering::Relaxed),
+            ranks: self.ranks.clone(),
+            decodes: self.decodes,
         }
     }
 }
@@ -147,10 +216,33 @@ impl Interner {
     /// An empty arena.
     pub fn new() -> Interner {
         Interner {
+            base: None,
+            base_len: 0,
             nodes: Vec::new(),
             hashes: Vec::new(),
             table: vec![EMPTY_SLOT; 64],
             token: NEXT_TOKEN.fetch_add(1, AtomicOrdering::Relaxed),
+            ranks: Vec::new(),
+            decodes: 0,
+        }
+    }
+
+    /// An overlay arena on a frozen base: every id of `base` (and of its own
+    /// bases, recursively) remains valid and names the same object, and new
+    /// objects are interned locally.  Overlays are cheap (no node copying)
+    /// and independent — the parallel executor gives each worker its own
+    /// overlay of the query's shared base arena.
+    pub fn with_base(base: Arc<Interner>) -> Interner {
+        let base_len = base.len();
+        Interner {
+            base: Some(base),
+            base_len,
+            nodes: Vec::new(),
+            hashes: Vec::new(),
+            table: vec![EMPTY_SLOT; 64],
+            token: NEXT_TOKEN.fetch_add(1, AtomicOrdering::Relaxed),
+            ranks: Vec::new(),
+            decodes: 0,
         }
     }
 
@@ -162,41 +254,110 @@ impl Interner {
         self.token
     }
 
-    /// Number of distinct interned nodes.
+    /// Number of distinct interned nodes reachable through this arena
+    /// (its own plus the whole base chain).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.base_len + self.nodes.len()
     }
 
-    /// Is the arena empty?
+    /// Is the arena (including its base chain) empty?
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
+    }
+
+    /// How many [`Value`] materializations [`Interner::decode`] has
+    /// performed.
+    pub fn decode_count(&self) -> u64 {
+        self.decodes
     }
 
     /// Look up the node an id names.
     pub fn node(&self, id: InternId) -> &Node {
-        &self.nodes[id.index()]
+        let idx = id.index();
+        if idx < self.base_len {
+            self.base
+                .as_ref()
+                .expect("non-zero base_len implies a base")
+                .node(id)
+        } else {
+            &self.nodes[idx - self.base_len]
+        }
     }
 
-    fn insert(&mut self, node: Node) -> InternId {
-        let hash = Self::node_hash(&node);
+    /// Probe this level's local table for `node`.
+    fn find_local(&self, hash: u64, node: &Node) -> Option<InternId> {
         let mask = self.table.len() - 1;
+        let fingerprint = hash & 0xFFFF_FFFF_0000_0000;
         let mut slot = (hash as usize) & mask;
         loop {
             let entry = self.table[slot];
             if entry == EMPTY_SLOT {
-                break;
+                return None;
             }
-            let at = entry as usize;
-            if self.hashes[at] == hash && self.nodes[at] == node {
-                return InternId(entry);
+            if entry & 0xFFFF_FFFF_0000_0000 == fingerprint {
+                let id = entry as u32;
+                if self.nodes[id as usize - self.base_len] == *node {
+                    return Some(InternId(id));
+                }
             }
             slot = (slot + 1) & mask;
         }
-        let raw = u32::try_from(self.nodes.len()).expect("intern arena overflow");
-        assert_ne!(raw, EMPTY_SLOT, "intern arena overflow");
+    }
+
+    /// Can `node` possibly live in the base chain?  A composite node
+    /// referencing any **locally** interned child cannot: frozen base
+    /// nodes only reference base ids.  Skipping the base probe for such
+    /// nodes keeps the hot construction path (new pairs/worlds built
+    /// during execution) inside the small local table.
+    fn could_be_in_base(&self, node: &Node) -> bool {
+        if self.base_len == 0 {
+            return false;
+        }
+        let local = |id: &InternId| id.index() >= self.base_len;
+        match node {
+            Node::Pair(a, b) => !local(a) && !local(b),
+            Node::Set(xs) | Node::OrSet(xs) | Node::Bag(xs) => !xs.iter().any(local),
+            _ => true,
+        }
+    }
+
+    /// Probe the whole chain.  The local level goes first (it is small and
+    /// hot — streaming dedup hits it on every repeated world), then the
+    /// frozen base levels; a node is only ever stored at one level, so the
+    /// order does not affect the answer.
+    fn find(&self, hash: u64, node: &Node) -> Option<InternId> {
+        if let Some(id) = self.find_local(hash, node) {
+            return Some(id);
+        }
+        if self.could_be_in_base(node) {
+            let mut level = self.base.as_deref();
+            while let Some(arena) = level {
+                if let Some(id) = arena.find_local(hash, node) {
+                    return Some(id);
+                }
+                level = arena.base.as_deref();
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, node: Node) -> InternId {
+        let hash = Self::node_hash(&node);
+        if let Some(id) = self.find(hash, &node) {
+            return id;
+        }
+        let raw = u32::try_from(self.len()).expect("intern arena overflow");
+        assert_ne!(raw, u32::MAX, "intern arena overflow");
+        // find() left no slot cursor behind (the chain was probed); re-probe
+        // the local table for the insertion slot.
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        while self.table[slot] != EMPTY_SLOT {
+            slot = (slot + 1) & mask;
+        }
         self.nodes.push(node);
         self.hashes.push(hash);
-        self.table[slot] = raw;
+        self.table[slot] = slot_entry(hash, raw);
         // grow at 75% load so probe chains stay short
         if self.nodes.len() * 4 >= self.table.len() * 3 {
             self.grow_table();
@@ -220,7 +381,7 @@ impl Interner {
             while table[slot] != EMPTY_SLOT {
                 slot = (slot + 1) & mask;
             }
-            table[slot] = i as u32;
+            table[slot] = slot_entry(hash, (self.base_len + i) as u32);
         }
         self.table = table;
     }
@@ -255,6 +416,22 @@ impl Interner {
         }
     }
 
+    /// Intern a boolean (the per-row result currency of interned
+    /// predicates).
+    pub fn bool(&mut self, b: bool) -> InternId {
+        self.insert(Node::Bool(b))
+    }
+
+    /// Intern an integer.
+    pub fn int(&mut self, i: i64) -> InternId {
+        self.insert(Node::Int(i))
+    }
+
+    /// Intern the unit value.
+    pub fn unit(&mut self) -> InternId {
+        self.insert(Node::Unit)
+    }
+
     /// Intern a pair from already-interned components.
     pub fn pair(&mut self, a: InternId, b: InternId) -> InternId {
         self.insert(Node::Pair(a, b))
@@ -282,6 +459,9 @@ impl Interner {
     }
 
     fn canonicalize(&self, ids: &mut Vec<InternId>, dedup: bool) {
+        // sorted inputs (the common case: children of canonical nodes) are
+        // detected in O(n) by the sort itself; ranks are not consulted here
+        // because constructors run while the arena is still growing
         ids.sort_by(|&a, &b| self.cmp(a, b));
         if dedup {
             ids.dedup(); // equal values have equal ids
@@ -290,8 +470,20 @@ impl Interner {
 
     /// Compare two interned objects in the same order as
     /// [`Value`]'s derived `Ord`.  Equal ids short-circuit, and shared
-    /// sub-structure keeps the recursion shallow in practice.
+    /// sub-structure keeps the recursion shallow in practice.  When the
+    /// cached rank table is current, the comparison is a `u32` comparison.
     pub fn cmp(&self, a: InternId, b: InternId) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b {
+            return Ordering::Equal;
+        }
+        if self.ranks.len() == self.len() {
+            return self.ranks[a.index()].cmp(&self.ranks[b.index()]);
+        }
+        self.cmp_structural(a, b)
+    }
+
+    fn cmp_structural(&self, a: InternId, b: InternId) -> std::cmp::Ordering {
         use std::cmp::Ordering;
         if a == b {
             return Ordering::Equal;
@@ -315,14 +507,14 @@ impl Interner {
             (Node::Bool(x), Node::Bool(y)) => x.cmp(y),
             (Node::Int(x), Node::Int(y)) => x.cmp(y),
             (Node::Str(x), Node::Str(y)) => x.cmp(y),
-            (Node::Pair(a1, a2), Node::Pair(b1, b2)) => {
-                self.cmp(*a1, *b1).then_with(|| self.cmp(*a2, *b2))
-            }
+            (Node::Pair(a1, a2), Node::Pair(b1, b2)) => self
+                .cmp_structural(*a1, *b1)
+                .then_with(|| self.cmp_structural(*a2, *b2)),
             (Node::Set(xs), Node::Set(ys))
             | (Node::OrSet(xs), Node::OrSet(ys))
             | (Node::Bag(xs), Node::Bag(ys)) => {
                 for (x, y) in xs.iter().zip(ys.iter()) {
-                    let ord = self.cmp(*x, *y);
+                    let ord = self.cmp_structural(*x, *y);
                     if ord != Ordering::Equal {
                         return ord;
                     }
@@ -333,7 +525,74 @@ impl Interner {
         }
     }
 
-    /// Reconstruct the [`Value`] an id names.
+    /// The id→rank permutation realizing the canonical order over every
+    /// currently interned object: `rank_table()[a] < rank_table()[b]` iff
+    /// the object `a` names sorts strictly before the object `b` names.
+    ///
+    /// Built lazily (one structural sort of the whole arena) and cached
+    /// until the arena grows; once built, [`Interner::cmp`] and
+    /// [`Interner::sort_ids`] become `u32`-key operations.
+    pub fn rank_table(&mut self) -> &[u32] {
+        if self.ranks.len() != self.len() {
+            let total = self.len();
+            let mut order: Vec<u32> = (0..total as u32).collect();
+            {
+                let this = &*self;
+                order.sort_unstable_by(|&a, &b| this.cmp_structural(InternId(a), InternId(b)));
+            }
+            let mut ranks = vec![0u32; total];
+            for (rank, &id) in order.iter().enumerate() {
+                ranks[id as usize] = rank as u32;
+            }
+            self.ranks = ranks;
+        }
+        &self.ranks
+    }
+
+    /// Sort ids into canonical value order (ascending), so that a
+    /// subsequent `dedup()` removes exactly the structural duplicates.
+    ///
+    /// Uses the cached rank table when it is current (then the sort is a
+    /// `u32`-key sort); otherwise an O(n) pre-check recognizes
+    /// already-ordered streams — the common case for pipelines over sorted
+    /// relations, whose row-local operators preserve the driving order —
+    /// and falls back to a structural sort of just these ids (shared
+    /// sub-structure and id short-circuiting keep each comparison
+    /// shallow).  The whole-arena rank permutation is **not** built here:
+    /// ranking every node to sort one result set costs more than it saves;
+    /// long-lived arenas that sort repeatedly opt in via
+    /// [`Interner::rank_table`].
+    pub fn sort_ids(&mut self, ids: &mut [InternId]) {
+        use std::cmp::Ordering;
+        if ids.len() <= 1 {
+            return;
+        }
+        if self.ranks.len() == self.len() {
+            let ranks = &self.ranks;
+            ids.sort_unstable_by_key(|id| ranks[id.index()]);
+            return;
+        }
+        if ids
+            .windows(2)
+            .all(|w| self.cmp_structural(w[0], w[1]) != Ordering::Greater)
+        {
+            return;
+        }
+        ids.sort_unstable_by(|&a, &b| self.cmp_structural(a, b));
+    }
+
+    /// Reconstruct the [`Value`] an id names, **counting** the
+    /// materialization (see [`Interner::decode_count`]).  This is the
+    /// engine's result-boundary export; everything before it stays
+    /// id-width.
+    pub fn decode(&mut self, id: InternId) -> Value {
+        self.decodes += 1;
+        self.value(id)
+    }
+
+    /// Reconstruct the [`Value`] an id names (uncounted; prefer
+    /// [`Interner::decode`] in engine code so the decode discipline stays
+    /// observable).
     pub fn value(&self, id: InternId) -> Value {
         match self.node(id) {
             Node::Unit => Value::Unit,
@@ -403,6 +662,126 @@ mod tests {
     }
 
     #[test]
+    fn rank_table_agrees_with_value_order_on_generated_values() {
+        // the satellite contract: the id→rank canonical Ord agrees with
+        // Value::cmp on ~1k generated values
+        let mut arena = Interner::new();
+        let config = GenConfig {
+            max_depth: 3,
+            max_width: 3,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(2026, config);
+        let values: Vec<Value> = (0..1000).map(|_| gen.typed_object().1).collect();
+        let ids: Vec<InternId> = values.iter().map(|v| arena.intern(v)).collect();
+        let ranks = arena.rank_table().to_vec();
+        for (x, &ix) in values.iter().zip(&ids) {
+            for (y, &iy) in values.iter().zip(&ids).take(40) {
+                assert_eq!(
+                    ranks[ix.index()].cmp(&ranks[iy.index()]),
+                    x.cmp(y),
+                    "rank order disagrees with Value::cmp on {x} vs {y}"
+                );
+            }
+        }
+        // ranked cmp is served through cmp() once the table is fresh
+        for (x, &ix) in values.iter().zip(&ids).take(100) {
+            for (y, &iy) in values.iter().zip(&ids).take(100) {
+                assert_eq!(arena.cmp(ix, iy), x.cmp(y));
+            }
+        }
+    }
+
+    #[test]
+    fn sort_ids_realizes_the_canonical_order_on_both_paths() {
+        let mut arena = Interner::new();
+        let config = GenConfig {
+            max_depth: 3,
+            max_width: 2,
+            ..GenConfig::default()
+        };
+        let mut gen = Generator::new(3, config);
+        let mut values: Vec<Value> = (0..200).map(|_| gen.typed_object().1).collect();
+        let mut small: Vec<InternId> = values.iter().take(10).map(|v| arena.intern(v)).collect();
+        // small sort: structural path (no rank table built)
+        arena.sort_ids(&mut small);
+        let sorted_small: Vec<Value> = small.iter().map(|&i| arena.value(i)).collect();
+        assert!(sorted_small.windows(2).all(|w| w[0] <= w[1]));
+        // large sort: rank path
+        let mut ids: Vec<InternId> = values.iter().map(|v| arena.intern(v)).collect();
+        arena.sort_ids(&mut ids);
+        ids.dedup();
+        let decoded: Vec<Value> = ids.iter().map(|&i| arena.value(i)).collect();
+        values.sort();
+        values.dedup();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn overlays_share_base_ids_and_diverge_locally() {
+        let mut base = Interner::new();
+        let shared = Value::pair(Value::Int(1), Value::int_orset([2, 3]));
+        let shared_id = base.intern(&shared);
+        let base = Arc::new(base);
+        let mut left = Interner::with_base(base.clone());
+        let mut right = Interner::with_base(base.clone());
+        // base objects resolve to their base ids in every overlay
+        assert_eq!(left.intern(&shared), shared_id);
+        assert_eq!(right.intern(&shared), shared_id);
+        // new objects get fresh local ids above the base
+        let l = left.intern(&Value::str("left-only"));
+        let r = right.intern(&Value::str("right-only"));
+        assert!(l.index() >= base.len());
+        assert!(r.index() >= base.len());
+        // each overlay decodes its own and the base's objects
+        assert_eq!(left.value(l), Value::str("left-only"));
+        assert_eq!(right.value(r), Value::str("right-only"));
+        assert_eq!(left.value(shared_id), shared);
+        // a node referencing base children interns fine in the overlay
+        let mixed = left.pair(shared_id, l);
+        assert_eq!(
+            left.value(mixed),
+            Value::pair(shared.clone(), Value::str("left-only"))
+        );
+        // chains of overlays keep resolving base-first
+        let frozen_left = Arc::new(left);
+        let mut deep = Interner::with_base(frozen_left.clone());
+        assert_eq!(deep.intern(&shared), shared_id);
+        assert_eq!(deep.intern(&Value::str("left-only")), l);
+        assert_eq!(deep.len(), frozen_left.len());
+    }
+
+    #[test]
+    fn overlay_cmp_and_sort_span_the_chain() {
+        let mut base = Interner::new();
+        let a = base.intern(&Value::Int(5));
+        let mut overlay = Interner::with_base(Arc::new(base));
+        let b = overlay.intern(&Value::Int(2));
+        let c = overlay.intern(&Value::Int(9));
+        assert_eq!(overlay.cmp(b, a), std::cmp::Ordering::Less);
+        let mut ids = vec![c, a, b];
+        overlay.sort_ids(&mut ids);
+        assert_eq!(ids, vec![b, a, c]);
+        // rank table covers base and overlay ids
+        let ranks = overlay.rank_table();
+        assert!(ranks[b.index()] < ranks[a.index()]);
+        assert!(ranks[a.index()] < ranks[c.index()]);
+    }
+
+    #[test]
+    fn decode_counts_materializations() {
+        let mut arena = Interner::new();
+        let id = arena.intern(&Value::int_set([1, 2, 3]));
+        assert_eq!(arena.decode_count(), 0);
+        let v = arena.decode(id);
+        assert_eq!(v, Value::int_set([1, 2, 3]));
+        assert_eq!(arena.decode_count(), 1);
+        // value() stays uncounted (error paths, tests)
+        let _ = arena.value(id);
+        assert_eq!(arena.decode_count(), 1);
+    }
+
+    #[test]
     fn constructors_match_value_constructors() {
         let mut arena = Interner::new();
         let e1 = arena.intern(&Value::Int(5));
@@ -421,6 +800,12 @@ mod tests {
             arena.value(pair_id),
             Value::pair(Value::Int(5), Value::Int(1))
         );
+        let t = arena.bool(true);
+        let u = arena.unit();
+        let i = arena.int(42);
+        assert_eq!(arena.value(t), Value::Bool(true));
+        assert_eq!(arena.value(u), Value::Unit);
+        assert_eq!(arena.value(i), Value::Int(42));
     }
 
     #[test]
