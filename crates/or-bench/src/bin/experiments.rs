@@ -31,8 +31,20 @@
 //! cross-check failed, or if a baseline workload disappeared.  The parallel
 //! leg is compared only when the baseline was measured on the same core
 //! count (`available_parallelism`); otherwise the sequential leg is
-//! compared.  The fresh measurements are **not** written back — the
-//! committed file stays the baseline of record.
+//! compared, and multi-worker rows additionally gate on scaling
+//! efficiency (`engine_par_ms / engine_seq_ms`) when the baseline is
+//! parallel-comparable.  The fresh measurements are **not** written back —
+//! the committed file stays the baseline of record.
+//!
+//! ## README generation
+//!
+//! ```text
+//! experiments -- readme-perf [--baseline PATH]
+//! ```
+//!
+//! prints the committed baseline as the README's markdown performance
+//! table (see `docs/BENCHMARKS.md`), so the README numbers are always
+//! regenerated from `BENCH_engine.json`, never hand-edited.
 
 use or_bench::experiments;
 use or_bench::Table;
@@ -68,6 +80,43 @@ fn all() -> Vec<Experiment> {
         }),
         ("e14", || experiments::e14_session_engine_first(E13_SCALE)),
     ]
+}
+
+/// `readme-perf`: render the committed baseline as the README's markdown
+/// performance table (stdout), so the README section is regenerated rather
+/// than hand-edited.
+fn readme_perf(args: &[String]) -> i32 {
+    let mut baseline_path = "BENCH_engine.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = p.clone(),
+                None => {
+                    eprintln!("--baseline expects a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown readme-perf argument: {other}");
+                return 2;
+            }
+        }
+    }
+    let json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("could not read baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let baseline = experiments::parse_engine_bench(&json);
+    if baseline.is_empty() {
+        eprintln!("baseline {baseline_path} contains no workloads");
+        return 2;
+    }
+    print!("{}", experiments::readme_perf_table(&baseline));
+    0
 }
 
 /// `check-regression`: compare a fresh e13 run against the committed
@@ -147,6 +196,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("check-regression") {
         std::process::exit(check_regression(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("readme-perf") {
+        std::process::exit(readme_perf(&args[1..]));
     }
     let requested: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
     let mut ran = 0;

@@ -737,6 +737,16 @@ impl EngineBenchRow {
     pub fn speedup_seq(&self) -> f64 {
         self.interp_ms / self.engine_seq_ms.max(1e-9)
     }
+
+    /// Scaling efficiency of the parallel leg: parallel time over
+    /// sequential time (**lower is better**; `1.0` means the parallel leg
+    /// broke even, `0.5` means it halved the wall time).  Rows whose
+    /// parallel leg fell back to one worker (below
+    /// [`or_engine::ExecConfig::min_parallel_rows`]) sit near `1.0` by
+    /// construction.
+    pub fn par_over_seq(&self) -> f64 {
+        self.engine_par_ms / self.engine_seq_ms.max(1e-9)
+    }
 }
 
 /// The measuring machine's hardware thread count.
@@ -761,7 +771,12 @@ pub fn configured_workers() -> usize {
 
 /// Timed repetitions behind every reported benchmark number: each
 /// measurement is the median of this many runs after one discarded warmup.
-pub const TIMED_RUNS: usize = 5;
+/// Deliberately **even**: the paired seq/par measurement (`timed_pair`)
+/// alternates which leg runs first per round, and an even count gives
+/// each leg the first slot in exactly half the rounds — with an odd count
+/// one leg is measured in the (observably slower) second position more
+/// often than the other, which biases the gated `par_over_seq` ratio.
+pub const TIMED_RUNS: usize = 6;
 
 /// Run `f` once as a discarded warmup (allocator, page faults, lazily
 /// built caches), then [`TIMED_RUNS`] more times, and report the
@@ -781,6 +796,52 @@ fn timed<T>(mut f: impl FnMut() -> T) -> (T, f64) {
     }
     times.sort_unstable_by(|a, b| a.total_cmp(b));
     (out, times[TIMED_RUNS / 2])
+}
+
+/// Like [`timed`], but for **paired** legs whose *ratio* is the reported
+/// statistic — the sequential vs parallel engine legs.  The two legs'
+/// timed runs are interleaved in **ABBA order** (round 0 runs A then B,
+/// round 1 runs B then A, …) rather than measured in two separate blocks:
+/// machine drift — frequency scaling, a noisy neighbor, a CPU-quota
+/// period on a shared box — then lands on both legs and both *positions
+/// within a round* equally, instead of systematically penalizing
+/// whichever leg ran last.  Each leg reports the median of its own
+/// [`TIMED_RUNS`] runs after one discarded warmup apiece.
+fn timed_pair<A, B>(mut fa: impl FnMut() -> A, mut fb: impl FnMut() -> B) -> ((A, f64), (B, f64)) {
+    let mut out_a = fa(); // warmups, timing discarded
+    let mut out_b = fb();
+    let mut times_a = [0.0f64; TIMED_RUNS];
+    let mut times_b = [0.0f64; TIMED_RUNS];
+    {
+        // scope the closures' borrows of `out_a`/`out_b` to the loop
+        let mut run_a = |slot: &mut f64| {
+            let start = Instant::now();
+            let a = fa();
+            *slot = start.elapsed().as_secs_f64() * 1e3;
+            out_a = a; // drop the previous result outside the timed window
+        };
+        let mut run_b = |slot: &mut f64| {
+            let start = Instant::now();
+            let b = fb();
+            *slot = start.elapsed().as_secs_f64() * 1e3;
+            out_b = b;
+        };
+        for i in 0..TIMED_RUNS {
+            if i % 2 == 0 {
+                run_a(&mut times_a[i]);
+                run_b(&mut times_b[i]);
+            } else {
+                run_b(&mut times_b[i]);
+                run_a(&mut times_a[i]);
+            }
+        }
+    }
+    times_a.sort_unstable_by(|a, b| a.total_cmp(b));
+    times_b.sort_unstable_by(|a, b| a.total_cmp(b));
+    (
+        (out_a, times_a[TIMED_RUNS / 2]),
+        (out_b, times_b[TIMED_RUNS / 2]),
+    )
 }
 
 /// The e13 relation of `(id, cost)` records.
@@ -883,10 +944,12 @@ fn measure_workload(name: &str, relation: &or_db::Relation, query: &M) -> Engine
     let par = ExecConfig::default().with_workers(configured_workers());
     let plan = lower(query).expect("workload query is lowerable");
     let (interp, interp_ms) = timed(|| relation.query(query).expect("interpreter"));
-    let (eng_seq, engine_seq_ms) =
-        timed(|| run_plan(&plan, &[relation], seq).expect("engine sequential"));
-    let ((eng_par, stats), engine_par_ms) =
-        timed(|| run_plan_with_stats(&plan, &[relation], par).expect("engine parallel"));
+    // the seq and par legs interleave: par_over_seq is the gated statistic,
+    // so machine drift must not land on one leg only
+    let ((eng_seq, engine_seq_ms), ((eng_par, stats), engine_par_ms)) = timed_pair(
+        || run_plan(&plan, &[relation], seq).expect("engine sequential"),
+        || run_plan_with_stats(&plan, &[relation], par).expect("engine parallel"),
+    );
     EngineBenchRow {
         workload: name.to_string(),
         rows: relation.len(),
@@ -913,13 +976,14 @@ fn measure_planned_workload(name: &str, relation: &or_db::Relation, query: &M) -
     let par = ExecConfig::default().with_workers(configured_workers());
     let plan = lower(query).expect("workload query is lowerable");
     let (interp, interp_ms) = timed(|| relation.query(query).expect("interpreter"));
-    let (eng_seq, engine_seq_ms) =
-        timed(|| run_plan(&plan, &[relation], seq).expect("engine sequential"));
-    let ((eng_par, stats), engine_par_ms) = timed(|| {
-        let (value, stats, _) =
-            run_plan_optimized(&plan, &[relation], par).expect("engine planned");
-        (value, stats)
-    });
+    let ((eng_seq, engine_seq_ms), ((eng_par, stats), engine_par_ms)) = timed_pair(
+        || run_plan(&plan, &[relation], seq).expect("engine sequential"),
+        || {
+            let (value, stats, _) =
+                run_plan_optimized(&plan, &[relation], par).expect("engine planned");
+            (value, stats)
+        },
+    );
     EngineBenchRow {
         workload: name.to_string(),
         rows: relation.len(),
@@ -985,10 +1049,13 @@ pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
         ])
         .expect("schema");
         let groups = 40i64;
+        // full scale (not scale/4): the join must clear the executor's
+        // min_parallel_rows threshold so the parallel leg really runs
+        // multi-worker and the row exercises morsel stealing
         let left = or_db::Relation::from_records(
             "users",
             left_schema,
-            (0..(scale / 4) as i64).map(|i| Value::pair(Value::Int(i), Value::Int(i % groups))),
+            (0..scale as i64).map(|i| Value::pair(Value::Int(i), Value::Int(i % groups))),
         )
         .expect("records");
         let right_schema = or_db::Schema::new([
@@ -1123,8 +1190,10 @@ pub fn e14_session_rows(scale: usize) -> Vec<EngineBenchRow> {
     let mut engine_par = e14_session(ExecMode::Engine, par, scale);
     let mut checked = e14_session(ExecMode::EngineChecked, par, scale);
     let (interp_values, interp_ms) = timed(|| e14_replay(&mut interp));
-    let (seq_values, engine_seq_ms) = timed(|| e14_replay(&mut engine_seq));
-    let (par_values, engine_par_ms) = timed(|| e14_replay(&mut engine_par));
+    let ((seq_values, engine_seq_ms), (par_values, engine_par_ms)) = timed_pair(
+        || e14_replay(&mut engine_seq),
+        || e14_replay(&mut engine_par),
+    );
     // the checked replay is the differential leg: engine + interpreter with
     // a per-statement comparison (a mismatch errors out of the replay)
     let checked_values = e14_replay(&mut checked);
@@ -1187,6 +1256,17 @@ pub struct BaselineRow {
     /// `available_parallelism`, and parallel legs are only comparable when
     /// **both** match.
     pub workers: Option<usize>,
+    /// The committed scaling efficiency (`engine_par_ms / engine_seq_ms`,
+    /// lower is better), when the baseline row carries both timings.
+    pub par_over_seq: Option<f64>,
+    /// Rows in the baseline workload's driving relation, when recorded.
+    pub rows: Option<usize>,
+    /// The committed interpreter timing, when recorded.
+    pub interp_ms: Option<f64>,
+    /// The committed sequential-engine timing, when recorded.
+    pub engine_seq_ms: Option<f64>,
+    /// The committed parallel-engine timing, when recorded.
+    pub engine_par_ms: Option<f64>,
     /// The committed `equal` flag.
     pub equal: bool,
 }
@@ -1211,10 +1291,19 @@ pub fn parse_engine_bench(json: &str) -> Vec<BaselineRow> {
         let equal = field(chunk, "equal").map(|s| s == "true");
         let interp_ms = field(chunk, "interp_ms").and_then(|s| s.parse::<f64>().ok());
         let engine_seq_ms = field(chunk, "engine_seq_ms").and_then(|s| s.parse::<f64>().ok());
+        let engine_par_ms = field(chunk, "engine_par_ms").and_then(|s| s.parse::<f64>().ok());
         let speedup_seq = match (interp_ms, engine_seq_ms) {
             (Some(i), Some(s)) => Some(i / s.max(1e-9)),
             _ => None,
         };
+        // prefer the recorded field; recompute for baselines predating it
+        let par_over_seq = field(chunk, "par_over_seq")
+            .and_then(|s| s.parse::<f64>().ok())
+            .or(match (engine_par_ms, engine_seq_ms) {
+                (Some(p), Some(s)) => Some(p / s.max(1e-9)),
+                _ => None,
+            });
+        let rows = field(chunk, "rows").and_then(|s| s.parse::<usize>().ok());
         let available_parallelism =
             field(chunk, "available_parallelism").and_then(|s| s.parse::<usize>().ok());
         let workers = field(chunk, "workers").and_then(|s| s.parse::<usize>().ok());
@@ -1225,6 +1314,11 @@ pub fn parse_engine_bench(json: &str) -> Vec<BaselineRow> {
                 speedup_seq,
                 available_parallelism,
                 workers,
+                par_over_seq,
+                rows,
+                interp_ms,
+                engine_seq_ms,
+                engine_par_ms,
                 equal,
             });
         }
@@ -1261,6 +1355,13 @@ pub struct RegressionVerdict {
 /// (`available_parallelism`); otherwise the comparison switches to the
 /// core-count-independent **sequential** leg (`interp_ms / engine_seq_ms`) —
 /// a 2-core CI runner cannot be held to a 16-core laptop's parallel numbers.
+///
+/// Additionally, every fresh row whose parallel leg ran multi-worker
+/// (`workers >= 2`) gets a **scaling-efficiency** verdict (reported as
+/// `workload [scaling]`) when the baseline is parallel-comparable:
+/// `engine_par_ms / engine_seq_ms` may not degrade past the baseline ratio
+/// times `max_slowdown` — catching the failure mode where both legs stay
+/// fast relative to the interpreter but parallelism itself stops paying.
 ///
 /// Workloads new in the fresh run pass (they become baseline once merged).
 pub fn check_regression(
@@ -1335,6 +1436,43 @@ pub fn check_regression(
             ok,
             detail,
         });
+        // Scaling-efficiency gate: when the fresh parallel leg really ran
+        // multi-worker AND the baseline row is parallel-comparable (same
+        // core and worker counts) AND it recorded a scaling ratio, the
+        // fresh `engine_par_ms / engine_seq_ms` may not degrade past
+        // `baseline * max_slowdown`.  Lower is better here, so the bound is
+        // a ceiling, not a floor; on mismatched core counts the gate is
+        // skipped — a 1-core machine cannot be held to 4-core scaling.
+        if f.workers >= 2 {
+            if let Some(base_ratio) = base
+                .filter(|b| parallel_comparable(b))
+                .and_then(|b| b.par_over_seq)
+            {
+                let fresh_ratio = f.par_over_seq();
+                let ceiling = base_ratio * max_slowdown;
+                let ok = fresh_ratio <= ceiling;
+                let detail = if ok {
+                    format!(
+                        "par/seq {fresh_ratio:.2} vs baseline {base_ratio:.2} \
+                         (ceiling {ceiling:.2}, {} workers)",
+                        f.workers
+                    )
+                } else {
+                    format!(
+                        "scaling regression: par/seq {fresh_ratio:.2} > ceiling {ceiling:.2} \
+                         (baseline {base_ratio:.2}, max-slowdown {max_slowdown}, {} workers)",
+                        f.workers
+                    )
+                };
+                verdicts.push(RegressionVerdict {
+                    workload: format!("{} [scaling]", f.workload),
+                    baseline_speedup: Some(base_ratio),
+                    fresh_speedup: Some(fresh_ratio),
+                    ok,
+                    detail,
+                });
+            }
+        }
     }
     for b in baseline {
         if !fresh.iter().any(|f| f.workload == b.workload) {
@@ -1359,7 +1497,7 @@ pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
             "    {{\"workload\": \"{}\", \"rows\": {}, \"interp_ms\": {:.3}, \
              \"engine_seq_ms\": {:.3}, \"engine_par_ms\": {:.3}, \"workers\": {}, \
              \"available_parallelism\": {}, \"runs\": {}, \"speedup_vs_interp\": {:.3}, \
-             \"equal\": {}}}{}\n",
+             \"par_over_seq\": {:.3}, \"equal\": {}}}{}\n",
             r.workload,
             r.rows,
             r.interp_ms,
@@ -1369,11 +1507,40 @@ pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
             r.available_parallelism,
             r.runs,
             r.speedup_vs_interp(),
+            r.par_over_seq(),
             r.equal,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render the committed `BENCH_engine.json` rows as the README's
+/// performance table (GitHub-flavored markdown).  The README section is
+/// **generated**, not hand-maintained: regenerate it with
+/// `experiments -- readme-perf` after refreshing the baseline, so the
+/// prose can never drift from the committed measurements.
+pub fn readme_perf_table(baseline: &[BaselineRow]) -> String {
+    let mut out = String::from(
+        "| workload | rows | interp ms | engine 1w ms | engine Nw ms | workers | speedup | par/seq |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for b in baseline {
+        let num = |v: Option<f64>| v.map_or_else(|| "—".to_string(), |x| format!("{x:.2}"));
+        let count = |v: Option<usize>| v.map_or_else(|| "—".to_string(), |x| x.to_string());
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} | **{:.2}×** | {} |\n",
+            b.workload,
+            count(b.rows),
+            num(b.interp_ms),
+            num(b.engine_seq_ms),
+            num(b.engine_par_ms),
+            count(b.workers),
+            b.speedup_vs_interp,
+            num(b.par_over_seq),
+        ));
+    }
     out
 }
 
@@ -1646,6 +1813,11 @@ mod tests {
             speedup_seq: Some(speedup),
             available_parallelism: Some(1),
             workers: Some(1),
+            par_over_seq: None,
+            rows: None,
+            interp_ms: None,
+            engine_seq_ms: None,
+            engine_par_ms: None,
             equal: true,
         };
         let baseline = vec![
@@ -1689,6 +1861,11 @@ mod tests {
             speedup_seq: Some(2.0),
             available_parallelism: Some(16),
             workers: Some(16),
+            par_over_seq: None,
+            rows: None,
+            interp_ms: None,
+            engine_seq_ms: None,
+            engine_par_ms: None,
             equal: true,
         }];
         // fresh run on a 2-core machine: parallel only 1.9x (would fail the
@@ -1739,6 +1916,79 @@ mod tests {
             verdicts[0].detail.contains("worker counts differ"),
             "{}",
             verdicts[0].detail
+        );
+    }
+
+    #[test]
+    fn regression_checker_gates_scaling_efficiency_on_matching_cores() {
+        // baseline: 4 cores / 4 workers, the parallel leg halved the
+        // sequential time (par/seq 0.5) at a modest 2x interpreter speedup
+        let baseline = vec![BaselineRow {
+            workload: "w".to_string(),
+            speedup_vs_interp: 2.0,
+            speedup_seq: Some(2.0),
+            available_parallelism: Some(4),
+            workers: Some(4),
+            par_over_seq: Some(0.5),
+            rows: None,
+            interp_ms: None,
+            engine_seq_ms: None,
+            engine_par_ms: None,
+            equal: true,
+        }];
+        // fresh run, same machine shape: still 2x over the interpreter,
+        // but parallelism stopped paying (par/seq 0.98 > 0.5 * 1.15)
+        let fresh = vec![EngineBenchRow {
+            workload: "w".to_string(),
+            rows: 10,
+            interp_ms: 10.0,
+            engine_seq_ms: 5.0,
+            engine_par_ms: 4.9,
+            workers: 4,
+            available_parallelism: 4,
+            runs: TIMED_RUNS,
+            equal: true,
+        }];
+        let verdicts = check_regression(&baseline, &fresh, 1.15);
+        assert_eq!(
+            verdicts.len(),
+            2,
+            "expected a speedup and a scaling verdict"
+        );
+        assert!(verdicts[0].ok, "{}", verdicts[0].detail);
+        assert_eq!(verdicts[1].workload, "w [scaling]");
+        assert!(!verdicts[1].ok, "{}", verdicts[1].detail);
+        assert!(verdicts[1].detail.contains("scaling regression"));
+        // a healthy ratio passes the gate
+        let mut healthy = fresh.clone();
+        healthy[0].engine_par_ms = 2.6; // par/seq 0.52 <= 0.575
+        let verdicts = check_regression(&baseline, &healthy, 1.15);
+        assert!(verdicts.iter().all(|v| v.ok));
+        // on a different core count there is no scaling verdict at all
+        let mut elsewhere = fresh.clone();
+        elsewhere[0].available_parallelism = 1;
+        let verdicts = check_regression(&baseline, &elsewhere, 1.15);
+        assert_eq!(verdicts.len(), 1, "scaling gate must skip mismatched cores");
+    }
+
+    #[test]
+    fn readme_table_renders_the_committed_baseline_fields() {
+        let rows = vec![EngineBenchRow {
+            workload: "scan".to_string(),
+            rows: 20_000,
+            interp_ms: 10.0,
+            engine_seq_ms: 4.0,
+            engine_par_ms: 2.0,
+            workers: 4,
+            available_parallelism: 4,
+            runs: TIMED_RUNS,
+            equal: true,
+        }];
+        let table = readme_perf_table(&parse_engine_bench(&engine_bench_json(&rows)));
+        assert!(table.starts_with("| workload |"), "{table}");
+        assert!(
+            table.contains("| `scan` | 20000 | 10.00 | 4.00 | 2.00 | 4 | **5.00×** | 0.50 |"),
+            "{table}"
         );
     }
 

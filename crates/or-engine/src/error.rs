@@ -45,7 +45,11 @@ pub enum EngineError {
         value: String,
     },
     /// A worker thread panicked.  The panic is caught at the join point and
-    /// surfaced as a query error instead of aborting the whole process.
+    /// surfaced as a query error instead of aborting the whole process; on
+    /// the morsel-driven path this covers both morsels a worker claimed
+    /// from its own shard and morsels it stole from a sibling — the
+    /// claiming thread owns the failure regardless of where the rows came
+    /// from.
     WorkerPanic {
         /// The panic payload, when it was a string.
         message: String,

@@ -14,22 +14,52 @@
 //! decoded back into [`Value`]s — exactly one decode per result row,
 //! observable as [`ExecStats::value_decodes`].
 //!
-//! ## Partitioning strategy
+//! ## Morsel-driven parallelism
 //!
 //! A plan has one **driving scan** — the leaf reached by following
-//! `input`/`left` children.  The parallel executor splits that input's id
-//! rows into `workers` contiguous partitions and runs the *entire* operator
-//! pipeline over each partition in its own thread (`std::thread::scope`).
-//! The compiled plan and the query arena are frozen into an
-//! `Arc` **base**; each worker chains a private overlay arena on top
-//! ([`Interner::with_base`]), so base ids (inputs, constants, join keys)
-//! mean the same object everywhere while workers intern new rows without
-//! any synchronization.  Each worker id-sorts and dedups its rows, decodes
-//! them (once per surviving row), and the per-worker vectors are
-//! concatenated and canonicalized in a final merge — the engine's answer is
-//! a set, so the merge is exactly set union.  A worker that panics does not
-//! abort the process: the panic is caught at the join point and reported as
+//! `input`/`left` children.  The parallel executor does *not* hand each
+//! worker a fixed partition of that input.  Instead the input's row range
+//! goes into a shared [`MorselQueue`]: workers
+//! repeatedly claim **morsels** ([`ExecConfig::morsel_rows`] rows each)
+//! from their own shard of the range, and *steal* morsels from the fullest
+//! sibling shard when their own runs dry — so a skewed workload (one shard
+//! filtering to nothing, another expanding enormously) cannot idle a
+//! worker.  Each claimed morsel runs through the *entire* operator
+//! pipeline, rebuilt per morsel from the shared compiled plan.
+//!
+//! The logical worker count ([`ExecConfig::workers`]) fixes the queue's
+//! shard/steal topology and is what [`ExecStats::workers`] reports;
+//! the OS threads actually spawned — **lanes** — are clamped to the
+//! machine's core count unless the config is pinned, with surplus shards
+//! drained through the ordinary stealing path.  When more than one lane
+//! runs, the compiled plan and the query arena are frozen into an `Arc`
+//! **base**; each lane chains one private overlay arena on top
+//! ([`Interner::with_base`]) for the whole query, so base ids (inputs,
+//! constants, join keys) mean the same object everywhere while lanes
+//! intern new rows without any synchronization.  A single lane skips the
+//! freeze and interns straight into the query arena — no concurrent
+//! mutation, no overlay, sequential-parity cost.
+//!
+//! Each morsel's ids are sorted and deduped as they are produced, giving
+//! one run per morsel tagged with its driver offset; the final **multi-way
+//! id-merge** combines the runs *as ids*, comparing across overlays with
+//! [`Interner::cmp_across`] (sibling overlays may assign the same numeric
+//! id to different objects, so every merged id stays tagged with its
+//! owning lane).  Runs from row-local pipelines are pairwise disjoint in
+//! driver order, which the merge detects (one boundary comparison per
+//! adjacent pair) and rewards with a straight concatenation; otherwise a
+//! pairwise merge tree with galloping does the work, running its levels
+//! on scoped threads for large results on three or more lanes.  Only the
+//! surviving merged rows are decoded — once per result row, from the
+//! overlay that owns them.  A lane that panics does not abort the
+//! process: the panic is caught at the join point and reported as
 //! [`EngineError::WorkerPanic`].
+//!
+//! Small inputs stay sequential: below [`ExecConfig::min_parallel_rows`]
+//! driving rows the executor downgrades to one worker (thread spawn plus
+//! merge overhead would dominate), unless the caller pinned the worker
+//! count ([`ExecConfig::with_pinned_workers`]) because a cost model — the
+//! expand planner — already made that call.
 //!
 //! `AttachEnv` is the one operator that must observe the **whole** input
 //! (its setup morphism runs once against the full set).  Before interning,
@@ -39,6 +69,7 @@
 //! driving path after this rewrite is executed on a single worker.
 
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -48,18 +79,34 @@ use or_object::intern::{InternId, Interner};
 use or_object::Value;
 
 use crate::error::EngineError;
+use crate::morsel::MorselQueue;
 use crate::ops::{build, compile, drain, unpack_setup_result, BuildCtx};
 
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
-    /// Number of worker threads for the partitioned scan (1 = sequential).
+    /// Number of worker threads for morsel-driven execution
+    /// (1 = sequential).
     pub workers: usize,
     /// Rows per operator batch.
     pub batch_size: usize,
     /// Default per-row denotation budget applied to `OrExpand` operators
     /// that do not carry their own (`None` = unbounded).
     pub or_budget: Option<u64>,
+    /// Rows per morsel — the granularity of the work-stealing queue.
+    pub morsel_rows: usize,
+    /// Minimum driving-row count before the executor goes parallel.  Below
+    /// this, thread spawn and merge overhead dominate the row work (the
+    /// committed benchmarks showed a fanout-8 expansion's parallel leg
+    /// *losing* to its sequential leg on small inputs), so the executor
+    /// downgrades to one worker.  Ignored when [`ExecConfig::pin_workers`]
+    /// is set.
+    pub min_parallel_rows: usize,
+    /// Honor [`ExecConfig::workers`] exactly (still capped by the driving
+    /// row count).  Set by callers that already made a cost-model decision
+    /// — the expand planner's recommendation, or a differential test
+    /// forcing a worker count.
+    pub pin_workers: bool,
 }
 
 impl Default for ExecConfig {
@@ -68,6 +115,9 @@ impl Default for ExecConfig {
             workers: 1,
             batch_size: 1024,
             or_budget: None,
+            morsel_rows: 1024,
+            min_parallel_rows: 8192,
+            pin_workers: false,
         }
     }
 }
@@ -88,15 +138,53 @@ impl ExecConfig {
         }
     }
 
+    /// [`ExecConfig::parallel`], with the worker count overridden by the
+    /// `OR_ENGINE_WORKERS` environment variable when it is set to a
+    /// positive integer — the conventional knob the benchmark harness, CI
+    /// and the OrQL REPL all share.
+    pub fn from_env() -> ExecConfig {
+        let mut config = ExecConfig::parallel();
+        if let Some(n) = std::env::var("OR_ENGINE_WORKERS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            config.workers = n;
+        }
+        config
+    }
+
     /// Override the worker count.
     pub fn with_workers(mut self, workers: usize) -> ExecConfig {
         self.workers = workers.max(1);
         self
     }
 
+    /// Pin the worker count: use exactly `workers` (capped only by the
+    /// driving row count), bypassing the
+    /// [`ExecConfig::min_parallel_rows`] sequential fallback.
+    pub fn with_pinned_workers(mut self, workers: usize) -> ExecConfig {
+        self.workers = workers.max(1);
+        self.pin_workers = true;
+        self
+    }
+
     /// Override the batch size.
     pub fn with_batch_size(mut self, batch_size: usize) -> ExecConfig {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Override the morsel size (rows claimed per queue access).
+    pub fn with_morsel_rows(mut self, morsel_rows: usize) -> ExecConfig {
+        self.morsel_rows = morsel_rows.max(1);
+        self
+    }
+
+    /// Override the parallel threshold (driving rows below which execution
+    /// stays sequential).
+    pub fn with_min_parallel_rows(mut self, rows: usize) -> ExecConfig {
+        self.min_parallel_rows = rows;
         self
     }
 
@@ -108,12 +196,38 @@ impl ExecConfig {
 }
 
 /// Counters reported by [`Executor::run_with_stats`].
+///
+/// ```
+/// use or_engine::{ExecConfig, Executor};
+/// use or_nra::morphism::Morphism;
+/// use or_object::Value;
+///
+/// // Project each pair to its first field and inspect the counters.
+/// let rows: Vec<Value> = (0..10)
+///     .map(|i| Value::pair(Value::Int(i), Value::Int(i % 3)))
+///     .collect();
+/// let plan = or_nra::optimize::lower(&Morphism::map(Morphism::Proj1)).unwrap();
+/// let exec = Executor::new(ExecConfig::sequential());
+/// let (out, stats) = exec.run_with_stats(&plan, &[&rows]).unwrap();
+///
+/// assert_eq!(stats.workers, 1);
+/// assert_eq!(stats.rows, out.len());
+/// // interned end to end: exactly one Value materialization per result row
+/// assert_eq!(stats.value_decodes, out.len() as u64);
+/// assert!(stats.arena_nodes > 0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecStats {
     /// Workers that actually ran (1 for sequential plans).
     pub workers: usize,
     /// Rows in the merged result.
     pub rows: usize,
+    /// Morsels claimed from the work-stealing queue (0 on the sequential
+    /// path, which bypasses the queue).
+    pub morsels: u64,
+    /// Morsels a worker claimed from a *sibling's* shard — non-zero only
+    /// when the queue actually rebalanced a skewed run.
+    pub steals: u64,
     /// How many [`Value`] materializations the query performed — the
     /// interner's decode counter, summed over the query arena and every
     /// worker overlay.  On the interned serving path this is (at most) one
@@ -289,11 +403,6 @@ impl Executor {
             self.config.or_budget,
         )?;
 
-        let workers = if compiled.has_driving_attach_env() {
-            1
-        } else {
-            self.config.workers.max(1)
-        };
         let driver = compiled.driving_scan();
         let driver_rows =
             interned
@@ -303,7 +412,23 @@ impl Executor {
                     slot: driver,
                     provided: interned.len(),
                 })?;
-        let workers = workers.min(driver_rows.len().max(1));
+        let workers = if compiled.has_driving_attach_env() {
+            1
+        } else {
+            let w = self.config.workers.max(1).min(driver_rows.len().max(1));
+            // Cost-threshold sequential fallback: on small driving inputs
+            // thread spawn + merge overhead beats the row work, so go
+            // sequential — unless the caller pinned the count (the expand
+            // planner's cost model, or a test forcing a worker count).
+            if w > 1
+                && !self.config.pin_workers
+                && driver_rows.len() < self.config.min_parallel_rows
+            {
+                1
+            } else {
+                w
+            }
+        };
 
         let ctx = BuildCtx {
             inputs: &interned,
@@ -323,54 +448,187 @@ impl Executor {
             let stats = ExecStats {
                 workers: 1,
                 rows: rows.len(),
+                morsels: 0,
+                steals: 0,
                 value_decodes: arena.decode_count(),
                 arena_nodes: arena.len(),
             };
             return Ok((rows, stats));
         }
 
-        // Freeze the query arena; workers overlay it privately.
+        // Never oversubscribe the machine: `workers` is the *logical*
+        // morsel-consumer count (the queue's shard/steal topology, reported
+        // in `ExecStats`); per-thread state — the overlay arena and the
+        // output runs — belongs to **lanes**, one scoped OS thread each,
+        // capped at the hardware parallelism.  A lane drains its own shard
+        // and then steals, so shards beyond the lane count are consumed as
+        // steals from the fullest shard.  Running more OS threads than
+        // cores only adds context-switch overhead — the work-stealing
+        // queue already keeps every thread busy.  Pinned configs get one
+        // lane per worker (tests that force genuine cross-thread
+        // interleaving rely on it).
+        let lanes = if self.config.pin_workers {
+            workers
+        } else {
+            workers.min(hardware_lanes())
+        };
+
+        // Morsel granularity exists to balance load *between* lanes; with a
+        // single lane there is nothing to balance, so each claim coalesces
+        // to a whole shard — same shard/steal topology (and the same
+        // `ExecStats` claim accounting per shard), far fewer per-morsel
+        // pipeline rebuilds, and sorted runs big enough that the disjoint
+        // concat tail dominates.
+        let morsel_rows = if lanes == 1 {
+            driver_rows.len().div_ceil(workers).max(1)
+        } else {
+            self.config.morsel_rows
+        };
+        let queue = MorselQueue::new(driver_rows.len(), workers, morsel_rows);
+
+        if lanes == 1 {
+            // Single lane ⇒ no concurrent arena mutation, so skip the
+            // freeze: the morsel loop interns straight into the query
+            // arena, paying exactly the sequential path's probe depth —
+            // the morsel/steal accounting and the per-morsel pipelines
+            // stay identical to the multi-lane path.
+            let shared_len = arena.len();
+            let compiled_ref = &compiled;
+            let queue_ref = &queue;
+            let arena_ref = &mut arena;
+            let driver_ref = &driver_rows;
+            let lane = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                move || -> Result<WorkerOutput, EngineError> {
+                    let mut runs: Vec<(usize, Vec<InternId>)> = Vec::new();
+                    let mut morsels = 0u64;
+                    let mut steals = 0u64;
+                    let mut lead = true;
+                    while let Some(morsel) = queue_ref.claim(0) {
+                        morsels += 1;
+                        steals += u64::from(morsel.shard != 0);
+                        let ctx = BuildCtx {
+                            lead_worker: std::mem::take(&mut lead),
+                            ..ctx
+                        };
+                        let start = morsel.rows.start;
+                        let mut op = build(compiled_ref, ctx, Some(&driver_ref[morsel.rows]))?;
+                        let mut ids = drain(op.as_mut(), arena_ref)?;
+                        arena_ref.sort_ids(&mut ids);
+                        ids.dedup();
+                        runs.push((start, ids));
+                    }
+                    Ok(WorkerOutput {
+                        overlay: Interner::new(),
+                        runs,
+                        morsels,
+                        steals,
+                    })
+                },
+            ))
+            .unwrap_or_else(|payload| Err(panic_error(payload)))?;
+            let WorkerOutput {
+                mut runs,
+                morsels,
+                steals,
+                ..
+            } = lane;
+            // One lane ⇒ every id lives in the one query arena.  When the
+            // offset-ordered runs are pairwise disjoint (the common case:
+            // row-local pipelines preserve the driving order), the result
+            // is their concatenation — decode straight from the arena like
+            // the sequential tail, skipping the (lane, id) tagging and the
+            // merge copy entirely.
+            runs.retain(|(_, r)| !r.is_empty());
+            runs.sort_unstable_by_key(|&(start, _)| start);
+            let disjoint = runs.windows(2).all(|pair| {
+                let last = *pair[0].1.last().expect("empty runs filtered out");
+                arena.cmp(last, pair[1].1[0]) == std::cmp::Ordering::Less
+            });
+            if disjoint {
+                let total: usize = runs.iter().map(|(_, r)| r.len()).sum();
+                let mut rows: Vec<Value> = Vec::with_capacity(total);
+                for (_, run) in &runs {
+                    rows.extend(run.iter().map(|&id| arena.decode(id)));
+                }
+                let stats = ExecStats {
+                    workers,
+                    rows: rows.len(),
+                    morsels,
+                    steals,
+                    value_decodes: arena.decode_count(),
+                    arena_nodes: arena.len(),
+                };
+                return Ok((rows, stats));
+            }
+            let outputs = vec![WorkerOutput {
+                overlay: arena,
+                runs,
+                morsels,
+                steals,
+            }];
+            return Ok(finish_parallel(outputs, shared_len, 1, workers, 0, 0));
+        }
+
+        // Freeze the query arena; lanes overlay it privately.  The
+        // driving rows go into a shared morsel queue — workers claim
+        // morsel-sized row ranges from their own shard and steal from the
+        // fullest sibling shard once theirs is drained.
         let base = Arc::new(arena);
-        let partitions = or_db::partition_rows(driver_rows, workers);
+        let shared_len = base.len();
+        // whichever worker builds the first pipeline streams union right
+        // sides (they are independent of the driving rows, so exactly one
+        // pipeline instance of the whole query must emit them)
+        let lead_unclaimed = AtomicBool::new(true);
         let compiled_ref = &compiled;
         let base_ref = &base;
-        let results = run_partitioned_workers(partitions, |index, part| {
+        let queue_ref = &queue;
+        let lead_ref = &lead_unclaimed;
+        let results = run_workers(lanes, |lane| {
             let mut overlay = Interner::with_base(Arc::clone(base_ref));
-            let ctx = BuildCtx {
-                lead_worker: index == 0,
-                ..ctx
-            };
-            let mut op = build(compiled_ref, ctx, Some(part))?;
-            let mut ids = drain(op.as_mut(), &mut overlay)?;
-            overlay.sort_ids(&mut ids);
-            ids.dedup();
-            // decode once per surviving row; the vector comes out already
-            // sorted because the id order realizes the value order
-            let rows: Vec<Value> = ids.iter().map(|&id| overlay.decode(id)).collect();
-            Ok((rows, overlay.decode_count(), overlay.len()))
+            let mut runs: Vec<(usize, Vec<InternId>)> = Vec::new();
+            let mut morsels = 0u64;
+            let mut steals = 0u64;
+            while let Some(morsel) = queue_ref.claim(lane) {
+                morsels += 1;
+                steals += u64::from(morsel.shard != lane);
+                let ctx = BuildCtx {
+                    lead_worker: lead_ref.swap(false, Ordering::Relaxed),
+                    ..ctx
+                };
+                let start = morsel.rows.start;
+                let mut op = build(compiled_ref, ctx, Some(&driver_rows[morsel.rows]))?;
+                let mut ids = drain(op.as_mut(), &mut overlay)?;
+                // sort/dedup per *morsel*, not per worker: a morsel's output
+                // usually arrives already ordered (row-local operators
+                // preserve the driving order), so the sort's O(n) pre-check
+                // passes — whereas a stolen morsel appended to a worker-wide
+                // run would force a full structural re-sort of the run
+                overlay.sort_ids(&mut ids);
+                ids.dedup();
+                runs.push((start, ids));
+            }
+            Ok(WorkerOutput {
+                overlay,
+                runs,
+                morsels,
+                steals,
+            })
         });
-        let mut merged = Vec::new();
+        let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(lanes);
+        for result in results {
+            outputs.push(result?);
+        }
         // decodes performed while compiling against the query arena (e.g. a
         // broadcast-side AttachEnv setup) happened before the freeze and
-        // belong in the sum alongside the per-worker overlay counts
-        let mut value_decodes = base.decode_count();
-        let mut arena_nodes = base.len();
-        for worker_result in results {
-            let (rows, decodes, nodes) = worker_result?;
-            value_decodes += decodes;
-            arena_nodes = arena_nodes.max(nodes);
-            merged.extend(rows);
-        }
-        // cross-worker merge: concatenation of sorted runs, canonicalized
-        merged.sort_unstable();
-        merged.dedup();
-        let stats = ExecStats {
+        // belong in the sum alongside the per-lane overlay counts
+        Ok(finish_parallel(
+            outputs,
+            shared_len,
+            lanes,
             workers,
-            rows: merged.len(),
-            value_decodes,
-            arena_nodes,
-        };
-        Ok((merged, stats))
+            base.decode_count(),
+            base.len(),
+        ))
     }
 
     /// Run over [`EngineInputs`] and package the rows as a set value.
@@ -397,41 +655,296 @@ pub(crate) fn canonical_set(rows: Vec<Value>) -> Value {
     Value::Set(rows)
 }
 
-/// Run `worker` over each partition in its own scoped thread and collect the
-/// per-worker results in partition order.  A panicking worker is converted
-/// into `Err(EngineError::WorkerPanic)` at the join point — the panic is
-/// contained to the query instead of aborting the process.
-fn run_partitioned_workers<'a, R, T>(
-    partitions: Vec<&'a [R]>,
-    worker: impl Fn(usize, &'a [R]) -> Result<T, EngineError> + Sync,
-) -> Vec<Result<T, EngineError>>
-where
-    R: Sync,
-    T: Send,
-{
-    let worker = &worker;
-    thread::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .into_iter()
-            .enumerate()
-            .map(|(index, part)| scope.spawn(move || worker(index, part)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|payload| {
-                    let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                        (*s).to_string()
-                    } else if let Some(s) = payload.downcast_ref::<String>() {
-                        s.clone()
-                    } else {
-                        "non-string panic payload".to_string()
-                    };
-                    Err(EngineError::WorkerPanic { message })
-                })
+/// The machine's hardware thread count, read once per process.
+/// `std::thread::available_parallelism` is a syscall (`sched_getaffinity`
+/// on Linux) — paying it per query is measurable on sub-millisecond
+/// queries, and the affinity mask does not change under the executor.
+fn hardware_lanes() -> usize {
+    static LANES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *LANES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Merge the per-lane outputs and decode the survivors — the tail every
+/// morsel-driven run (single- or multi-lane) shares.  The multi-way
+/// id-merge runs over the lane outputs' runs; each surviving id is decoded
+/// exactly once, from the arena that owns it.  `base_decodes`/`base_nodes`
+/// fold in the frozen base's counters on the multi-lane path (the
+/// single-lane path has no separate base: its one output arena already
+/// carries the whole chain).
+fn finish_parallel(
+    outputs: Vec<WorkerOutput>,
+    shared_len: usize,
+    lanes: usize,
+    workers: usize,
+    base_decodes: u64,
+    base_nodes: usize,
+) -> (Vec<Value>, ExecStats) {
+    let morsels: u64 = outputs.iter().map(|o| o.morsels).sum();
+    let steals: u64 = outputs.iter().map(|o| o.steals).sum();
+
+    // Multi-way id-merge: per-morsel sorted runs merge *as ids*, each
+    // id tagged with its owning overlay (sibling overlays may reuse the
+    // same numeric id for different objects), compared across overlays
+    // via the shared base.  Only the survivors are decoded — once per
+    // result row, from the overlay that owns them.
+    let merged = merge_worker_runs(&outputs, shared_len, lanes);
+    let mut overlays: Vec<Interner> = outputs.into_iter().map(|o| o.overlay).collect();
+    let rows: Vec<Value> = merged
+        .iter()
+        .map(|&(w, id)| overlays[w as usize].decode(id))
+        .collect();
+
+    let value_decodes = base_decodes + overlays.iter().map(Interner::decode_count).sum::<u64>();
+    let arena_nodes = overlays
+        .iter()
+        .map(Interner::len)
+        .max()
+        .unwrap_or(0)
+        .max(base_nodes);
+    let stats = ExecStats {
+        workers,
+        rows: rows.len(),
+        morsels,
+        steals,
+        value_decodes,
+        arena_nodes,
+    };
+    (rows, stats)
+}
+
+/// What one worker lane (OS thread) hands back: its overlay arena (ids in
+/// `runs` are only meaningful *in this arena*), one sorted deduplicated id
+/// run **per claimed morsel** — each tagged with the morsel's driver-row
+/// offset so the merge can order runs by driving position — and its queue
+/// counters.
+struct WorkerOutput {
+    overlay: Interner,
+    runs: Vec<(usize, Vec<InternId>)>,
+    morsels: u64,
+    steals: u64,
+}
+
+/// Merge the per-morsel sorted id runs into one sorted, deduplicated run
+/// of `(worker, id)` pairs — the multi-way merge that replaces re-sorting
+/// decoded values.  Comparison is [`Interner::cmp_across`] through the
+/// shared base (equal base ids short-circuit without a structural walk).
+/// Runs enter the pairwise merge tree ordered by their morsel's driver-row
+/// offset: over a value-ordered driving input, adjacent runs then cover
+/// adjacent value ranges and almost every pairwise merge degenerates to
+/// [`merge_two`]'s concatenation fast path.  On ≥ 3 lanes with large
+/// runs each tree level merges its pairs on scoped threads.
+/// A merge run: each surviving id tagged with the lane whose overlay owns
+/// it (sibling overlays may reuse a numeric id for different objects).
+type TaggedRun = Vec<(u32, InternId)>;
+
+fn merge_worker_runs(
+    outputs: &[WorkerOutput],
+    shared_len: usize,
+    lanes: usize,
+) -> Vec<(u32, InternId)> {
+    let total: usize = outputs
+        .iter()
+        .map(|o| o.runs.iter().map(|(_, r)| r.len()).sum::<usize>())
+        .sum();
+    // below this many rows, spawning merge threads costs more than merging
+    const PARALLEL_MERGE_MIN_ROWS: usize = 1 << 14;
+    let parallel = lanes > 2 && total >= PARALLEL_MERGE_MIN_ROWS;
+    let mut tagged: Vec<(usize, u32, &[InternId])> = outputs
+        .iter()
+        .enumerate()
+        .flat_map(|(w, o)| {
+            o.runs
+                .iter()
+                .filter(|(_, r)| !r.is_empty())
+                .map(move |(start, r)| (*start, w as u32, r.as_slice()))
+        })
+        .collect();
+    tagged.sort_unstable_by_key(|&(start, _, _)| start);
+    let arena_of = |w: u32| &outputs[w as usize].overlay;
+    // Flat-concat fast path: row-local pipelines preserve driver order, so
+    // runs ordered by driver offset usually cover strictly increasing value
+    // ranges.  One boundary comparison per adjacent pair proves it; then
+    // the whole result is a single copy pass instead of a merge tree that
+    // re-copies every row log(runs) times.
+    let disjoint = tagged.windows(2).all(|pair| {
+        let (_, wa, ra) = pair[0];
+        let (_, wb, rb) = pair[1];
+        let last = *ra.last().expect("empty runs filtered out");
+        arena_of(wa).cmp_across(last, arena_of(wb), rb[0], shared_len) == std::cmp::Ordering::Less
+    });
+    if disjoint {
+        let mut out = Vec::with_capacity(total);
+        for (_, w, r) in tagged {
+            out.extend(r.iter().map(|&id| (w, id)));
+        }
+        return out;
+    }
+    let mut runs: Vec<Vec<(u32, InternId)>> = tagged
+        .into_iter()
+        .map(|(_, w, r)| r.iter().map(|&id| (w, id)).collect())
+        .collect();
+    while runs.len() > 1 {
+        let mut iter = runs.into_iter();
+        let mut pairs: Vec<(TaggedRun, Option<TaggedRun>)> = Vec::new();
+        while let Some(a) = iter.next() {
+            pairs.push((a, iter.next()));
+        }
+        let merge_pair = |(a, b): (TaggedRun, Option<TaggedRun>)| match b {
+            Some(b) => merge_two(a, b, &arena_of, shared_len),
+            None => a,
+        };
+        runs = if parallel && pairs.len() > 1 {
+            thread::scope(|scope| {
+                pairs
+                    .into_iter()
+                    .map(|pair| scope.spawn(|| merge_pair(pair)))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("merge threads do not panic"))
+                    .collect()
             })
+        } else {
+            pairs.into_iter().map(merge_pair).collect()
+        };
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Merge two sorted deduplicated `(worker, id)` runs, dropping cross-run
+/// duplicates (equal objects in sibling overlays).
+///
+/// Structural `cmp_across` comparisons are the expensive part of the
+/// merge, so the merge avoids them wherever the runs allow:
+///
+/// * **disjoint runs** (the common case: contiguous shards +
+///   order-preserving pipelines make worker runs cover disjoint value
+///   ranges unless morsels were stolen) are detected with one boundary
+///   comparison and concatenated;
+/// * interleaved runs use a **galloping merge** — an exponential search
+///   finds each crossover and the segment below it is bulk-copied, so the
+///   comparison count scales with the number of interleaved segments
+///   (roughly the steal count), not with the row count.
+fn merge_two<'a>(
+    a: Vec<(u32, InternId)>,
+    b: Vec<(u32, InternId)>,
+    arena_of: &impl Fn(u32) -> &'a Interner,
+    shared_len: usize,
+) -> Vec<(u32, InternId)> {
+    use std::cmp::Ordering as Ord;
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let cmp = |x: (u32, InternId), y: (u32, InternId)| {
+        arena_of(x.0).cmp_across(x.1, arena_of(y.0), y.1, shared_len)
+    };
+    if cmp(*a.last().expect("non-empty"), b[0]) == Ord::Less {
+        let mut out = a;
+        out.extend_from_slice(&b);
+        return out;
+    }
+    if cmp(*b.last().expect("non-empty"), a[0]) == Ord::Less {
+        let mut out = b;
+        out.extend_from_slice(&a);
+        return out;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match cmp(a[i], b[j]) {
+            Ord::Less => {
+                let run = gallop_below(&a[i..], b[j], &cmp);
+                out.extend_from_slice(&a[i..i + run]);
+                i += run;
+            }
+            Ord::Greater => {
+                let run = gallop_below(&b[j..], a[i], &cmp);
+                out.extend_from_slice(&b[j..j + run]);
+                j += run;
+            }
+            Ord::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Length of the longest prefix of the sorted `run` that sorts strictly
+/// below `bound` — exponential probe doubling from index 1, then a binary
+/// search over the last octave.  `run[0] < bound` must already hold.
+fn gallop_below(
+    run: &[(u32, InternId)],
+    bound: (u32, InternId),
+    cmp: &impl Fn((u32, InternId), (u32, InternId)) -> std::cmp::Ordering,
+) -> usize {
+    use std::cmp::Ordering as Ord;
+    debug_assert!(cmp(run[0], bound) == Ord::Less);
+    let mut hi = 1;
+    while hi < run.len() && cmp(run[hi], bound) == Ord::Less {
+        hi *= 2;
+    }
+    let (mut left, mut right) = (hi / 2, hi.min(run.len()));
+    while left < right {
+        let mid = left + (right - left) / 2;
+        if cmp(run[mid], bound) == Ord::Less {
+            left = mid + 1;
+        } else {
+            right = mid;
+        }
+    }
+    left
+}
+
+/// Run `worker(lane)` on one scoped OS thread per lane `0..lanes` — the
+/// calling thread doubles as lane 0, saving one spawn — and collect the
+/// results in lane order.  Each call runs under `catch_unwind`, so a
+/// panicking worker is converted into `Err(EngineError::WorkerPanic)`
+/// without taking down its thread-mates or the process.
+fn run_workers<T: Send>(
+    lanes: usize,
+    worker: impl Fn(usize) -> Result<T, EngineError> + Sync,
+) -> Vec<Result<T, EngineError>> {
+    let lanes = lanes.max(1);
+    let worker = &worker;
+    let run_one = move |lane: usize| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker(lane)))
+            .unwrap_or_else(|payload| Err(panic_error(payload)))
+    };
+    thread::scope(|scope| {
+        let handles: Vec<_> = (1..lanes)
+            .map(|lane| scope.spawn(move || run_one(lane)))
+            .collect();
+        let first = run_one(0);
+        std::iter::once(first)
+            .chain(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panics are caught per call")),
+            )
             .collect()
     })
+}
+
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> EngineError {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    EngineError::WorkerPanic { message }
 }
 
 /// Rewrite every `AttachEnv` whose input is a bare `Scan` into
@@ -529,9 +1042,9 @@ mod tests {
         let partitions = or_db::partition_rows(&rows, 4);
         // a deliberately panicking per-row function standing in for a
         // panicking morphism evaluation inside the worker pipeline
-        let results = run_partitioned_workers(partitions, |_, part| {
+        let results = run_workers(partitions.len(), |index| {
             let mut out = Vec::new();
-            for row in part {
+            for row in partitions[index] {
                 if *row == Value::Int(5) {
                     panic!("deliberate morphism panic on row {row}");
                 }
@@ -555,6 +1068,65 @@ mod tests {
             .map(Vec::len)
             .sum();
         assert_eq!(ok_rows, 6);
+    }
+
+    /// Sibling worker overlays allocate local ids independently, so after a
+    /// steal two workers' result runs can carry the *same numeric id* for
+    /// *different objects*.  The merge must keep every id tagged with its
+    /// owning overlay and decode it there — an id must never leak into a
+    /// sibling worker's arena.
+    #[test]
+    fn stolen_morsel_overlay_ids_never_leak_into_sibling_decodes() {
+        let mut base = Interner::new();
+        let shared = base.intern(&Value::Int(42));
+        let shared_len = base.len();
+        let base = Arc::new(base);
+        let mut a = Interner::with_base(base.clone());
+        let mut b = Interner::with_base(base.clone());
+        // worker A built "alpha", worker B (after stealing A's rows) built
+        // "beta" — at the same overlay-local id
+        let ida = a.intern(&Value::str("alpha"));
+        let idb = b.intern(&Value::str("beta"));
+        assert_eq!(ida, idb, "sibling overlays reuse numeric ids");
+        // both also produced the shared base object and one common overlay
+        // object ("dup"), which must merge to a single row
+        let dupa = a.intern(&Value::str("dup"));
+        let dupb = b.intern(&Value::str("dup"));
+        let mut ids_a = vec![shared, ida, dupa];
+        a.sort_ids(&mut ids_a);
+        let mut ids_b = vec![shared, idb, dupb];
+        b.sort_ids(&mut ids_b);
+        let outputs = vec![
+            WorkerOutput {
+                overlay: a,
+                runs: vec![(0, ids_a)],
+                morsels: 2,
+                steals: 0,
+            },
+            WorkerOutput {
+                overlay: b,
+                runs: vec![(1, ids_b)],
+                morsels: 1,
+                steals: 1,
+            },
+        ];
+        let merged = merge_worker_runs(&outputs, shared_len, 2);
+        let mut overlays: Vec<Interner> = outputs.into_iter().map(|o| o.overlay).collect();
+        let rows: Vec<Value> = merged
+            .iter()
+            .map(|&(w, id)| overlays[w as usize].decode(id))
+            .collect();
+        // "alpha" and "beta" both survive (distinct objects behind one
+        // numeric id); "dup" and the shared int merge to one row each
+        assert_eq!(
+            rows,
+            vec![
+                Value::Int(42),
+                Value::str("alpha"),
+                Value::str("beta"),
+                Value::str("dup"),
+            ]
+        );
     }
 
     #[test]

@@ -42,18 +42,30 @@
 //! [`exec::ExecStats::value_decodes`], which equals the result row count
 //! on the interned serving path.
 //!
-//! ## Partitioning strategy
+//! ## Morsel-driven parallelism
 //!
 //! Every plan has a **driving scan** — follow `input`/`left` edges to a
-//! leaf.  [`exec::Executor`] splits the driving input's interned rows into
-//! `workers` contiguous partitions and runs the whole pipeline over each
-//! partition in its own `std::thread::scope` thread; the compiled plan and
-//! the query arena are frozen into a shared base, each worker overlays a
-//! private arena on it, and binary operators broadcast their (materialized)
-//! right side by id.  Each worker id-sorts, dedups and decodes its rows;
-//! the merge step concatenates the sorted runs and canonicalizes — exactly
-//! set union, which is the correct combining operator because or-NRA's set
-//! semantics is order- and duplicate-free by construction.
+//! leaf.  [`exec::Executor`] puts the driving input's row range into a
+//! shared work-stealing [`morsel::MorselQueue`]: each worker claims
+//! **morsels** (small row ranges) from its own shard of the range and
+//! steals from the fullest sibling shard when its own drains, so skew
+//! cannot idle a worker.  Each morsel runs the whole operator pipeline on
+//! the claiming worker's thread (`std::thread::scope`); the compiled plan
+//! and the query arena are frozen into a shared base, each worker overlays
+//! a private arena on it, and binary operators broadcast their
+//! (materialized) right side by id — equi-joins against a large build side
+//! probe a hash-**partitioned** table ([`ops::JoinTable`]).  Each worker
+//! id-sorts and dedups the run it accumulated; a final **multi-way
+//! id-merge** combines the per-worker runs (comparing ids *across* worker
+//! overlays through the shared base, never decoding) and only the
+//! surviving rows are materialized — exactly set union, which is the
+//! correct combining operator because or-NRA's set semantics is order- and
+//! duplicate-free by construction.  Inputs smaller than
+//! [`exec::ExecConfig::min_parallel_rows`] stay sequential.
+//!
+//! The full design — layer by layer, with the stealing protocol and the
+//! arena-ownership rules — is written down in `docs/ENGINE.md` at the
+//! repository root.
 //!
 //! The one operator that must see the whole input — `AttachEnv`, carrying
 //! the OrQL environment tuple — is hoisted out of the worker pipeline before
@@ -116,6 +128,7 @@
 
 pub mod error;
 pub mod exec;
+pub mod morsel;
 pub mod ops;
 pub mod query;
 

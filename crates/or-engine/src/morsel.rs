@@ -1,0 +1,282 @@
+//! The morsel dispatcher: a shared, lock-free work queue over the driving
+//! input's row range, with work stealing.
+//!
+//! The parallel executor no longer hands each worker one static partition.
+//! Instead the driving input's `0..rows` range is split into `workers`
+//! contiguous **shards**, and workers repeatedly claim small **morsels**
+//! (fixed-size row ranges, [`crate::exec::ExecConfig::morsel_rows`] rows
+//! each) from the front of a shard:
+//!
+//! * a worker prefers its **own** shard — morsels it claims there are
+//!   contiguous with its previous ones, so the scan stays cache-friendly;
+//! * when its own shard is drained it **steals**: it picks the shard with
+//!   the most rows remaining and claims a morsel from that shard's front.
+//!
+//! Skew therefore cannot idle workers: a worker whose shard filters down to
+//! nothing (or whose rows expand to nothing) migrates to wherever rows
+//! remain, one morsel at a time.
+//!
+//! Each shard is a single `AtomicU64` packing `(next, end)` row offsets.
+//! A claim is one `compare_exchange` bumping `next`; `next` is monotonic
+//! and `end` never changes, so there is no ABA problem and no lock.  The
+//! queue hands out every row of `0..rows` exactly once, across any
+//! interleaving of claims — the property the unit tests pin down.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pack a shard's `(next, end)` row offsets into one atomic word.
+fn pack(next: usize, end: usize) -> u64 {
+    debug_assert!(next <= u32::MAX as usize && end <= u32::MAX as usize);
+    ((next as u64) << 32) | end as u64
+}
+
+fn unpack(word: u64) -> (usize, usize) {
+    ((word >> 32) as usize, (word & u32::MAX as u64) as usize)
+}
+
+/// A claimed morsel: which shard it came from and the row range to run.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Morsel {
+    /// The shard the rows were claimed from (`!= worker` means a steal).
+    pub shard: usize,
+    /// Row offsets into the driving input.
+    pub rows: Range<usize>,
+}
+
+/// A shared morsel queue over `0..rows`, sharded per worker.
+///
+/// See the [module docs](self) for the protocol.  The queue is `Sync`:
+/// one instance is shared by reference across all worker threads.
+#[derive(Debug)]
+pub struct MorselQueue {
+    shards: Vec<AtomicU64>,
+    morsel_rows: usize,
+}
+
+impl MorselQueue {
+    /// Shard `0..rows` into `workers` near-equal contiguous ranges, to be
+    /// claimed `morsel_rows` rows at a time.
+    pub fn new(rows: usize, workers: usize, morsel_rows: usize) -> MorselQueue {
+        let workers = workers.max(1);
+        let base = rows / workers;
+        let extra = rows % workers;
+        let mut shards = Vec::with_capacity(workers);
+        let mut start = 0;
+        for i in 0..workers {
+            let len = base + usize::from(i < extra);
+            shards.push(AtomicU64::new(pack(start, start + len)));
+            start += len;
+        }
+        MorselQueue {
+            shards,
+            morsel_rows: morsel_rows.max(1),
+        }
+    }
+
+    /// Rows not yet claimed from shard `i`.
+    pub fn remaining(&self, shard: usize) -> usize {
+        let (next, end) = unpack(self.shards[shard].load(Ordering::Relaxed));
+        end - next
+    }
+
+    /// Claim up to `morsel_rows` rows from the front of shard `i`.
+    fn claim_from(&self, shard: usize) -> Option<Range<usize>> {
+        let slot = &self.shards[shard];
+        let mut word = slot.load(Ordering::Relaxed);
+        loop {
+            let (next, end) = unpack(word);
+            if next >= end {
+                return None;
+            }
+            let take = (next + self.morsel_rows).min(end);
+            match slot.compare_exchange_weak(
+                word,
+                pack(take, end),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(next..take),
+                Err(actual) => word = actual,
+            }
+        }
+    }
+
+    /// Claim the next morsel for `worker`: from its own shard while that
+    /// lasts, then by stealing from the fullest sibling shard.  `None`
+    /// means every row of the queue has been claimed.
+    pub fn claim(&self, worker: usize) -> Option<Morsel> {
+        if let Some(rows) = self.claim_from(worker) {
+            return Some(Morsel {
+                shard: worker,
+                rows,
+            });
+        }
+        loop {
+            // steal from the shard with the most rows remaining; re-scan on
+            // a lost race (another thief may have emptied our pick)
+            let victim = (0..self.shards.len())
+                .filter(|&s| s != worker)
+                .max_by_key(|&s| self.remaining(s))
+                .filter(|&s| self.remaining(s) > 0)?;
+            if let Some(rows) = self.claim_from(victim) {
+                return Some(Morsel {
+                    shard: victim,
+                    rows,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single worker: the queue hands out its shard front-to-back in
+    /// morsel-sized ranges and then steals nothing (there is nothing to
+    /// steal from).
+    #[test]
+    fn single_worker_drains_in_order() {
+        let q = MorselQueue::new(10, 1, 4);
+        let claims: Vec<Morsel> = std::iter::from_fn(|| q.claim(0)).collect();
+        assert_eq!(
+            claims,
+            vec![
+                Morsel {
+                    shard: 0,
+                    rows: 0..4
+                },
+                Morsel {
+                    shard: 0,
+                    rows: 4..8
+                },
+                Morsel {
+                    shard: 0,
+                    rows: 8..10
+                },
+            ]
+        );
+        assert_eq!(q.claim(0), None);
+    }
+
+    /// The stealing protocol: a worker that drains its own shard claims
+    /// morsels from the fullest sibling, and the union of all claims covers
+    /// every row exactly once — no overlap, no loss, under any interleaving
+    /// (simulated here by draining worker 0 first).
+    #[test]
+    fn exhausted_worker_steals_from_fullest_shard() {
+        let q = MorselQueue::new(30, 3, 5);
+        // worker 0 owns rows 0..10; drain them
+        assert_eq!(
+            q.claim(0).unwrap(),
+            Morsel {
+                shard: 0,
+                rows: 0..5
+            }
+        );
+        assert_eq!(
+            q.claim(0).unwrap(),
+            Morsel {
+                shard: 0,
+                rows: 5..10
+            }
+        );
+        // worker 2 takes one morsel of its own shard (20..30), leaving
+        // shard 1 the fullest
+        assert_eq!(
+            q.claim(2).unwrap(),
+            Morsel {
+                shard: 2,
+                rows: 20..25
+            }
+        );
+        // worker 0 is exhausted: it must steal, and from shard 1 (10 rows
+        // remaining beats shard 2's 5)
+        assert_eq!(
+            q.claim(0).unwrap(),
+            Morsel {
+                shard: 1,
+                rows: 10..15
+            }
+        );
+        // drain everything, from any worker; assert exact coverage
+        let mut claimed: Vec<Range<usize>> = vec![0..5, 5..10, 20..25, 10..15];
+        for w in [1, 0, 2, 0, 1] {
+            if let Some(m) = q.claim(w) {
+                claimed.push(m.rows);
+            }
+        }
+        claimed.sort_by_key(|r| r.start);
+        let covered: Vec<usize> = claimed.iter().cloned().flatten().collect();
+        assert_eq!(
+            covered,
+            (0..30).collect::<Vec<_>>(),
+            "every row exactly once"
+        );
+        for w in 0..3 {
+            assert_eq!(q.claim(w), None);
+        }
+    }
+
+    /// Adversarial skew: all rows in one shard.  Every worker still makes
+    /// progress by stealing from it.
+    #[test]
+    fn skewed_queue_feeds_every_worker() {
+        // 4 workers, 7 rows: shards get 2,2,2,1 — now drain shard 3 and
+        // verify workers 0..3 all steal successfully from wherever rows are
+        let q = MorselQueue::new(7, 4, 1);
+        let mut seen = Vec::new();
+        // interleave claims across workers until exhaustion
+        let mut active = true;
+        while active {
+            active = false;
+            for w in 0..4 {
+                if let Some(m) = q.claim(w) {
+                    assert_eq!(m.rows.len(), 1);
+                    seen.push(m.rows.start);
+                    active = true;
+                }
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    /// Concurrent torture: many threads hammer the queue; the union of the
+    /// claims is an exact partition of the row space.
+    #[test]
+    fn concurrent_claims_partition_the_rows() {
+        let q = MorselQueue::new(10_000, 4, 7);
+        let results: Vec<Vec<Range<usize>>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|w| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(m) = q.claim(w) {
+                            mine.push(m.rows);
+                        }
+                        mine
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut rows: Vec<usize> = results.into_iter().flatten().flatten().collect();
+        rows.sort_unstable();
+        assert_eq!(rows.len(), 10_000);
+        assert_eq!(rows, (0..10_000).collect::<Vec<_>>());
+    }
+
+    /// An empty queue yields nothing for any worker.
+    #[test]
+    fn empty_queue_yields_none() {
+        let q = MorselQueue::new(0, 3, 8);
+        for w in 0..3 {
+            assert_eq!(q.claim(w), None);
+        }
+    }
+}

@@ -13,9 +13,11 @@
 //! (filter predicates, projection heads, join keys) become interned
 //! [`RowProgram`]s with their constants pre-interned, broadcast (right)
 //! sides of joins/cartesians are materialized once into shared id rows, and
-//! equi-join probe tables are built once per query as
-//! `HashMap<InternId, …>` — the compiled tree is plain data, shared by
-//! every worker of a partitioned run.
+//! equi-join probe tables are built once per query as id-keyed hash maps —
+//! [`JoinTable`]s, hash-**partitioned** on both the build and the probe
+//! side once the build side reaches [`JOIN_PARTITION_MIN_ROWS`] rows.  The
+//! compiled tree is plain data, shared by every worker of a morsel-driven
+//! run.
 //!
 //! Operator inventory (mirroring [`PhysicalPlan`]):
 //!
@@ -28,8 +30,9 @@
 //!   whole-set morphism), then streams interned `(env, row)` pairs;
 //! * [`CartesianOp`] / [`JoinOp`] — the right side is a materialized id
 //!   slice broadcast to all workers; equi-join predicates of the shape
-//!   `eq ∘ ⟨f ∘ π₁, g ∘ π₂⟩` probe a prebuilt `InternId`-keyed hash table,
-//!   so a probe hashes 4 bytes instead of a row tree;
+//!   `eq ∘ ⟨f ∘ π₁, g ∘ π₂⟩` probe a prebuilt `InternId`-keyed
+//!   [`JoinTable`] (partitioned by key hash for large build sides), so a
+//!   probe hashes 4 bytes instead of a row tree;
 //! * [`UnionOp`] — streams the left side, then the right; combined with the
 //!   executor's canonical id merge this is exact set union.  On partitioned
 //!   runs only the lead worker streams the right side;
@@ -107,6 +110,86 @@ pub struct BuildCtx<'a> {
 /// broadcast rows.  Hashing a key is hashing 4 bytes.
 pub type IdTable = HashMap<InternId, Vec<u32>, FnvBuildHasher>;
 
+/// Build sides at or above this many rows get a hash-**partitioned** probe
+/// table instead of one monolithic map.
+pub const JOIN_PARTITION_MIN_ROWS: usize = 4096;
+
+/// Number of hash partitions of a partitioned probe table (a power of two;
+/// the partition index is the key hash's top bits).
+pub const JOIN_PARTITIONS: usize = 16;
+
+/// The hash partition a key id belongs to.  A Fibonacci (multiplicative)
+/// hash over the raw id, deliberately *not* the FNV the per-partition
+/// `HashMap` uses — correlated hashes would funnel each partition's keys
+/// into a fraction of its buckets.
+fn join_partition(key: InternId) -> usize {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    ((key.index() as u64).wrapping_mul(GOLDEN) >> 60) as usize
+}
+
+/// An equi-join probe table, hash-partitioned when the build side is large.
+///
+/// Small build sides keep the single id-keyed map.  At
+/// [`JOIN_PARTITION_MIN_ROWS`] rows the build side is split into
+/// [`JOIN_PARTITIONS`] sub-tables by key hash: both sides of the join are
+/// then effectively partitioned — build rows land in the sub-table their
+/// key hashes to, and each probe hashes its left key once to select the one
+/// sub-table it can possibly match, touching a fraction of the build
+/// instead of one large cache-hostile map.
+#[derive(Debug)]
+pub enum JoinTable {
+    /// One map over the whole build side.
+    Single(IdTable),
+    /// [`JOIN_PARTITIONS`] maps; a key's partition is `join_partition`.
+    Partitioned(Vec<IdTable>),
+}
+
+impl JoinTable {
+    /// Build the probe table over the broadcast rows, keyed by `right_key`.
+    fn build(
+        rows: &[InternId],
+        right_key: &RowProgram,
+        arena: &mut Interner,
+    ) -> Result<JoinTable, EngineError> {
+        if rows.len() < JOIN_PARTITION_MIN_ROWS {
+            let mut table = IdTable::default();
+            table.reserve(rows.len());
+            for (i, &row) in rows.iter().enumerate() {
+                let key = right_key.run(row, arena)?;
+                table.entry(key).or_default().push(i as u32);
+            }
+            return Ok(JoinTable::Single(table));
+        }
+        let mut parts: Vec<IdTable> = (0..JOIN_PARTITIONS).map(|_| IdTable::default()).collect();
+        for part in &mut parts {
+            part.reserve(rows.len() / JOIN_PARTITIONS);
+        }
+        for (i, &row) in rows.iter().enumerate() {
+            let key = right_key.run(row, arena)?;
+            parts[join_partition(key)]
+                .entry(key)
+                .or_default()
+                .push(i as u32);
+        }
+        Ok(JoinTable::Partitioned(parts))
+    }
+
+    /// The build-row indices whose key equals `key`.
+    pub fn get(&self, key: InternId) -> Option<&[u32]> {
+        match self {
+            JoinTable::Single(table) => table.get(&key).map(Vec::as_slice),
+            JoinTable::Partitioned(parts) => {
+                parts[join_partition(key)].get(&key).map(Vec::as_slice)
+            }
+        }
+    }
+
+    /// Is this the partitioned (large-build) form?
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self, JoinTable::Partitioned(_))
+    }
+}
+
 /// The materialized right (broadcast) side of a join or cartesian product.
 #[derive(Debug, Clone)]
 pub enum Broadcast {
@@ -142,8 +225,9 @@ pub enum JoinKind {
     Hash {
         /// Left-side key extractor.
         left_key: RowProgram,
-        /// Right-key id → right-row indices, built once per query.
-        table: Arc<IdTable>,
+        /// Right-key id → right-row indices, built once per query and
+        /// hash-partitioned for large build sides.
+        table: Arc<JoinTable>,
     },
     /// General predicate: nested-loop over the broadcast rows.
     Loop {
@@ -330,12 +414,7 @@ pub fn compile(
                         };
                     // the borrow on `inputs`/`right` is disjoint from the
                     // arena, so key programs can intern freely
-                    let mut table = IdTable::default();
-                    table.reserve(rows.len());
-                    for (i, &row) in rows.iter().enumerate() {
-                        let key = right_key.run(row, arena)?;
-                        table.entry(key).or_default().push(i as u32);
-                    }
+                    let table = JoinTable::build(rows, &right_key, arena)?;
                     JoinKind::Hash {
                         left_key,
                         table: Arc::new(table),
@@ -760,7 +839,7 @@ impl Operator for JoinOp<'_> {
                         match self.kind {
                             JoinKind::Hash { left_key, table } => {
                                 let key = left_key.run(l, arena)?;
-                                if let Some(matches) = table.get(&key) {
+                                if let Some(matches) = table.get(key) {
                                     self.pending.reserve(matches.len());
                                     for &i in matches {
                                         self.pending
@@ -936,5 +1015,71 @@ impl Operator for OrExpandOp<'_> {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a key program `Proj1` (key = first field of each pair row).
+    fn key_program(arena: &mut Interner) -> RowProgram {
+        RowProgram::compile(&Morphism::Proj1, arena)
+    }
+
+    /// Intern `n` pair rows `(i % groups, i)`.
+    fn keyed_rows(arena: &mut Interner, n: i64, groups: i64) -> Vec<InternId> {
+        (0..n)
+            .map(|i| {
+                let k = arena.intern(&Value::Int(i % groups));
+                let v = arena.intern(&Value::Int(i));
+                arena.pair(k, v)
+            })
+            .collect()
+    }
+
+    /// Small build sides stay a single map; large ones partition, and both
+    /// forms answer every probe identically.
+    #[test]
+    fn join_table_partitions_large_build_sides() {
+        let mut arena = Interner::new();
+        let small = keyed_rows(&mut arena, 64, 8);
+        let key = key_program(&mut arena);
+        let t = JoinTable::build(&small, &key, &mut arena).unwrap();
+        assert!(!t.is_partitioned(), "64 rows stay a single map");
+
+        let n = (JOIN_PARTITION_MIN_ROWS + 100) as i64;
+        let large = keyed_rows(&mut arena, n, 97);
+        let t = JoinTable::build(&large, &key, &mut arena).unwrap();
+        assert!(t.is_partitioned(), "{n} rows get a partitioned table");
+
+        // every key id answers with exactly the build rows holding that key
+        for g in 0..97i64 {
+            let key_id = arena.intern(&Value::Int(g));
+            let matches = t.get(key_id).unwrap();
+            let expected: Vec<u32> = (0..n).filter(|i| i % 97 == g).map(|i| i as u32).collect();
+            assert_eq!(matches, expected.as_slice(), "key {g}");
+        }
+        // a key absent from the build side misses in the partitioned form too
+        let missing = arena.intern(&Value::Int(1_000_000));
+        assert_eq!(t.get(missing), None);
+    }
+
+    /// The partition selector spreads ids across all partitions (no
+    /// degenerate funnel into one sub-table).
+    #[test]
+    fn join_partition_spreads_keys() {
+        let mut arena = Interner::new();
+        let mut hits = vec![0usize; JOIN_PARTITIONS];
+        for raw in 0..10_000i64 {
+            let id = arena.intern(&Value::Int(raw));
+            hits[join_partition(id)] += 1;
+        }
+        // consecutive ids should never all collapse into a few partitions
+        let populated = hits.iter().filter(|&&h| h > 0).count();
+        assert!(
+            populated >= JOIN_PARTITIONS / 2,
+            "partition histogram {hits:?}"
+        );
     }
 }

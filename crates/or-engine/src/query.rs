@@ -62,8 +62,45 @@ pub fn run_plan_with_stats(
 /// `assume_consistent` inputs, projections) below `OrExpand` wherever the
 /// preservation conditions allow, and it caps the worker count at its
 /// cost-model recommendation — one big expand becomes that many
-/// partition-local expands.  Returns the result, the execution counters and
-/// the planner's report.
+/// partition-local expands.  The recommended worker count is **pinned**:
+/// the planner's cost model has already judged the input large enough to
+/// parallelize, so the executor's own
+/// [`ExecConfig::min_parallel_rows`] fallback is bypassed.  Returns the
+/// result, the execution counters and the planner's report.
+///
+/// ```
+/// use or_db::{Field, Relation, Schema};
+/// use or_engine::prelude::*;
+/// use or_nra::morphism::Morphism;
+/// use or_object::{Type, Value};
+///
+/// // A relation of (id, <alternative cost>) records.
+/// let schema = Schema::new([
+///     Field::new("id", Type::Int),
+///     Field::new("cost", Type::orset(Type::Int)),
+/// ])
+/// .unwrap();
+/// let rel = Relation::from_records(
+///     "parts",
+///     schema,
+///     (0..8).map(|i| {
+///         Value::pair(Value::Int(i), Value::int_orset([i, i + 100]))
+///     }),
+/// )
+/// .unwrap();
+///
+/// // α-expand each record into its possible worlds, then union them.
+/// let expand = Morphism::map(Morphism::Normalize.then(Morphism::OrToSet))
+///     .then(Morphism::Mu);
+/// let plan = or_nra::optimize::lower(&expand).unwrap();
+/// let (out, stats, report) =
+///     run_plan_optimized(&plan, &[&rel], ExecConfig::parallel()).unwrap();
+///
+/// // 8 records × 2 alternatives = 16 distinct worlds.
+/// assert_eq!(stats.rows, 16);
+/// assert!(matches!(out, Value::Set(ref items) if items.len() == 16));
+/// assert!(report.recommended_workers >= 1);
+/// ```
 pub fn run_plan_optimized(
     plan: &PhysicalPlan,
     relations: &[&Relation],
@@ -78,6 +115,9 @@ pub fn run_plan_optimized(
     let (optimized, report) = optimize_expansion(plan, &inputs, &planner_config);
     let exec_config = ExecConfig {
         workers: report.recommended_workers,
+        // The planner's cost model owns the parallelize-or-not decision;
+        // don't second-guess it with the row-count threshold.
+        pin_workers: true,
         ..config
     };
     let (rows, stats) =

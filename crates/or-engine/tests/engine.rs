@@ -44,11 +44,43 @@ fn filter_project_pipeline_matches_interpreter() {
 fn parallel_execution_reports_worker_count() {
     let rows = priced_rows(100);
     let plan = PhysicalPlan::scan(0).filter(cheap(25));
-    let exec = Executor::new(ExecConfig::default().with_workers(4));
+    // pinned workers bypass the small-input sequential fallback
+    let exec = Executor::new(ExecConfig::default().with_pinned_workers(4));
     let (result_rows, stats) = exec.run_with_stats(&plan, &[&rows]).unwrap();
     assert_eq!(stats.workers, 4);
     assert_eq!(stats.rows, result_rows.len());
     assert!(!result_rows.is_empty());
+    assert!(
+        stats.morsels >= 4,
+        "each worker claimed at least one morsel"
+    );
+}
+
+/// Regression test for the fanout-8 benchmark anomaly: on a small driving
+/// input the parallel leg used to pay thread + merge overhead for no gain.
+/// The executor now falls back to one worker below
+/// `ExecConfig::min_parallel_rows` unless the worker count is pinned.
+#[test]
+fn small_inputs_fall_back_to_sequential_unless_pinned() {
+    let rows = priced_rows(100);
+    let plan = PhysicalPlan::scan(0).filter(cheap(25));
+    // unpinned: 100 rows < min_parallel_rows ⇒ sequential
+    let exec = Executor::new(ExecConfig::default().with_workers(8));
+    let (_, stats) = exec.run_with_stats(&plan, &[&rows]).unwrap();
+    assert_eq!(stats.workers, 1, "below the cost threshold runs sequential");
+    assert_eq!(stats.morsels, 0, "the sequential path bypasses the queue");
+    // lowering the threshold re-enables parallelism for the same input
+    let exec = Executor::new(
+        ExecConfig::default()
+            .with_workers(8)
+            .with_min_parallel_rows(50),
+    );
+    let (_, stats) = exec.run_with_stats(&plan, &[&rows]).unwrap();
+    assert_eq!(stats.workers, 8);
+    // pinning always wins over the threshold
+    let exec = Executor::new(ExecConfig::default().with_pinned_workers(8));
+    let (_, stats) = exec.run_with_stats(&plan, &[&rows]).unwrap();
+    assert_eq!(stats.workers, 8);
 }
 
 #[test]
@@ -105,6 +137,38 @@ fn equi_join_hash_path_agrees_with_nested_loop() {
     let b = exec.run_to_value(&loop_plan, &[&users, &groups]).unwrap();
     assert_eq!(a, b);
     assert_eq!(a.elements().unwrap().len(), 30);
+}
+
+/// A build side past `JOIN_PARTITION_MIN_ROWS` goes through the
+/// hash-partitioned probe table; results must match the nested-loop join
+/// over the same data, sequentially and under pinned parallel workers.
+#[test]
+fn partitioned_hash_join_agrees_with_nested_loop() {
+    let n_right = (or_engine::ops::JOIN_PARTITION_MIN_ROWS + 500) as i64;
+    let left: Vec<Value> = (0..120)
+        .map(|i| Value::pair(Value::Int(i), Value::Int(i % 40)))
+        .collect();
+    let right: Vec<Value> = (0..n_right)
+        .map(|j| Value::pair(Value::Int(j % 40), Value::Int(j)))
+        .collect();
+    // snd(left) == fst(right), in the shape the hash detector accepts
+    let equi = M::pair(M::Proj1.then(M::Proj2), M::Proj2.then(M::Proj1)).then(M::Eq);
+    // …and in a both() wrapper it does not, forcing the nested loop
+    let generic = derived::both(
+        M::pair(M::Proj1.then(M::Proj2), M::Proj2.then(M::Proj1)).then(M::Eq),
+        derived::always(),
+    );
+    let hash_plan = PhysicalPlan::scan(0).join(PhysicalPlan::scan(1), equi);
+    let loop_plan = PhysicalPlan::scan(0).join(PhysicalPlan::scan(1), generic);
+    let seq = Executor::new(ExecConfig::sequential());
+    let expected = seq.run_to_value(&loop_plan, &[&left, &right]).unwrap();
+    let got_seq = seq.run_to_value(&hash_plan, &[&left, &right]).unwrap();
+    assert_eq!(got_seq, expected);
+    for workers in [2, 4] {
+        let par = Executor::new(ExecConfig::default().with_pinned_workers(workers));
+        let got = par.run_to_value(&hash_plan, &[&left, &right]).unwrap();
+        assert_eq!(got, expected, "with {workers} pinned workers");
+    }
 }
 
 #[test]

@@ -53,8 +53,10 @@ fn main() -> io::Result<()> {
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     let engine_on_start = std::env::args().any(|a| a == "--engine");
+    // `from_env` honors OR_ENGINE_WORKERS, so the REPL's worker count can
+    // be pinned from the shell without a rebuild.
     let mut session = if engine_on_start {
-        Session::with_engine(ExecConfig::parallel())
+        Session::with_engine(ExecConfig::from_env())
     } else {
         Session::new()
     };

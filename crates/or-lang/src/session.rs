@@ -228,6 +228,23 @@ impl Session {
         self.mode = mode;
     }
 
+    /// Set the worker count for subsequent engine-served queries.
+    ///
+    /// Workers are **pinned** ([`ExecConfig::with_pinned_workers`]): a
+    /// session caller asking for `n` workers gets `n` worker threads even on
+    /// inputs below the executor's [`ExecConfig::min_parallel_rows`]
+    /// sequential-fallback threshold.  To keep the threshold heuristic
+    /// instead, construct the session with
+    /// [`Session::with_engine`]`(ExecConfig::parallel())`.
+    pub fn set_engine_workers(&mut self, workers: usize) {
+        self.engine_config = self.engine_config.with_pinned_workers(workers);
+    }
+
+    /// The engine configuration used for engine-served queries.
+    pub fn engine_config(&self) -> ExecConfig {
+        self.engine_config
+    }
+
     /// The current execution mode.
     pub fn exec_mode(&self) -> ExecMode {
         self.mode
@@ -538,6 +555,24 @@ mod tests {
             stats.engine >= 1,
             "query should have taken the engine path: {stats:?}"
         );
+    }
+
+    #[test]
+    fn set_engine_workers_pins_the_worker_count() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.set_engine_workers(4);
+        let config = s.engine_config();
+        assert_eq!(config.workers, 4);
+        assert!(
+            config.pin_workers,
+            "session-requested workers must bypass the min_parallel_rows fallback"
+        );
+        // Pinned workers still serve small engine queries correctly.
+        s.run("let db = { (1, 10), (2, 20), (3, 30), (4, 40) }")
+            .unwrap();
+        let r = s.run("{ fst(p) | p <- db, snd(p) <= 20 }").unwrap();
+        assert_eq!(r.value, Value::int_set([1, 2]));
+        assert!(s.engine_stats().engine >= 1);
     }
 
     #[test]

@@ -488,20 +488,7 @@ impl Interner {
         if a == b {
             return Ordering::Equal;
         }
-        fn rank(n: &Node) -> u8 {
-            // must match the declaration order of `Value`'s variants
-            match n {
-                Node::Unit => 0,
-                Node::Bool(_) => 1,
-                Node::Int(_) => 2,
-                Node::Str(_) => 3,
-                Node::Null => 4,
-                Node::Pair(..) => 5,
-                Node::Set(_) => 6,
-                Node::OrSet(_) => 7,
-                Node::Bag(_) => 8,
-            }
-        }
+        let rank = variant_rank;
         let (na, nb) = (self.node(a), self.node(b));
         match (na, nb) {
             (Node::Bool(x), Node::Bool(y)) => x.cmp(y),
@@ -522,6 +509,56 @@ impl Interner {
                 xs.len().cmp(&ys.len())
             }
             _ => rank(na).cmp(&rank(nb)),
+        }
+    }
+
+    /// Compare an object of `self` against an object of a **sibling**
+    /// arena, in [`Value`]'s canonical order.
+    ///
+    /// Both arenas must overlay (a chain over) one shared frozen base, and
+    /// `shared_len` is that base's [`Interner::len`]: an id below
+    /// `shared_len` names the same object in both arenas, so equal ids in
+    /// the shared region short-circuit to `Equal` without a walk — the same
+    /// trick [`Interner::cmp`] plays within one arena.  Ids at or above
+    /// `shared_len` are overlay-local: the *same* numeric id may name
+    /// *different* objects in the two arenas, so they are always compared
+    /// structurally, each side resolved in its own arena.
+    ///
+    /// This is what lets the parallel executor merge per-worker sorted id
+    /// runs without decoding them: worker overlays diverge above the query
+    /// arena's freeze point, and `cmp_across` is the comparison under which
+    /// those runs are still mutually ordered.
+    pub fn cmp_across(
+        &self,
+        a: InternId,
+        other: &Interner,
+        b: InternId,
+        shared_len: usize,
+    ) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b && a.index() < shared_len {
+            return Ordering::Equal;
+        }
+        let (na, nb) = (self.node(a), other.node(b));
+        match (na, nb) {
+            (Node::Bool(x), Node::Bool(y)) => x.cmp(y),
+            (Node::Int(x), Node::Int(y)) => x.cmp(y),
+            (Node::Str(x), Node::Str(y)) => x.cmp(y),
+            (Node::Pair(a1, a2), Node::Pair(b1, b2)) => self
+                .cmp_across(*a1, other, *b1, shared_len)
+                .then_with(|| self.cmp_across(*a2, other, *b2, shared_len)),
+            (Node::Set(xs), Node::Set(ys))
+            | (Node::OrSet(xs), Node::OrSet(ys))
+            | (Node::Bag(xs), Node::Bag(ys)) => {
+                for (x, y) in xs.iter().zip(ys.iter()) {
+                    let ord = self.cmp_across(*x, other, *y, shared_len);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                xs.len().cmp(&ys.len())
+            }
+            _ => variant_rank(na).cmp(&variant_rank(nb)),
         }
     }
 
@@ -606,6 +643,22 @@ impl Interner {
             Node::OrSet(ids) => Value::OrSet(ids.iter().map(|&i| self.value(i)).collect()),
             Node::Bag(ids) => Value::Bag(ids.iter().map(|&i| self.value(i)).collect()),
         }
+    }
+}
+
+/// Variant order of [`Node`], matching the declaration order of `Value`'s
+/// variants (which derived `Ord` compares first).
+fn variant_rank(n: &Node) -> u8 {
+    match n {
+        Node::Unit => 0,
+        Node::Bool(_) => 1,
+        Node::Int(_) => 2,
+        Node::Str(_) => 3,
+        Node::Null => 4,
+        Node::Pair(..) => 5,
+        Node::Set(_) => 6,
+        Node::OrSet(_) => 7,
+        Node::Bag(_) => 8,
     }
 }
 
@@ -766,6 +819,72 @@ mod tests {
         let ranks = overlay.rank_table();
         assert!(ranks[b.index()] < ranks[a.index()]);
         assert!(ranks[a.index()] < ranks[c.index()]);
+    }
+
+    /// `cmp_across` orders sibling-overlay objects like `Value`'s `Ord`,
+    /// and never confuses numerically equal overlay-local ids: the same id
+    /// above the shared base names *different* objects in the two arenas.
+    #[test]
+    fn cmp_across_sibling_overlays_matches_value_order() {
+        use std::cmp::Ordering;
+        let mut base = Interner::new();
+        let shared = base.intern(&Value::pair(Value::Int(1), Value::Int(2)));
+        let shared_len = base.len();
+        let base = Arc::new(base);
+        let mut left = Interner::with_base(base.clone());
+        let mut right = Interner::with_base(base.clone());
+        // same numeric id in both overlays, different objects
+        let l = left.intern(&Value::str("apple"));
+        let r = right.intern(&Value::str("banana"));
+        assert_eq!(l, r, "siblings allocate local ids independently");
+        assert_eq!(left.cmp_across(l, &right, r, shared_len), Ordering::Less);
+        assert_eq!(right.cmp_across(r, &left, l, shared_len), Ordering::Greater);
+        // equal ids in the shared region short-circuit to Equal
+        assert_eq!(
+            left.cmp_across(shared, &right, shared, shared_len),
+            Ordering::Equal
+        );
+        // structurally equal overlay-local objects compare Equal
+        let lv = left.intern(&Value::int_set([7, 9]));
+        let rv = right.intern(&Value::int_set([7, 9]));
+        assert_eq!(left.cmp_across(lv, &right, rv, shared_len), Ordering::Equal);
+        // mixed-region comparisons agree with the value order
+        assert_eq!(
+            left.cmp_across(shared, &right, rv, shared_len),
+            base.value(shared).cmp(&Value::int_set([7, 9]))
+        );
+    }
+
+    /// Exhaustive agreement between `cmp_across` and `Value`'s `Ord` over
+    /// generated values split across two diverging overlays.
+    #[test]
+    fn cmp_across_agrees_with_value_ord_on_generated_values() {
+        let mut base = Interner::new();
+        base.intern(&Value::Int(0));
+        base.intern(&Value::str("base"));
+        let shared_len = base.len();
+        let base = Arc::new(base);
+        let mut left = Interner::with_base(base.clone());
+        let mut right = Interner::with_base(base);
+        let values: Vec<Value> = (0..20i64)
+            .map(|i| match i % 4 {
+                0 => Value::Int(i),
+                1 => Value::pair(Value::Int(i), Value::str("base")),
+                2 => Value::int_set([i, i + 1]),
+                _ => Value::int_orset([i % 3, i]),
+            })
+            .collect();
+        for x in &values {
+            let ix = left.intern(x);
+            for y in &values {
+                let iy = right.intern(y);
+                assert_eq!(
+                    left.cmp_across(ix, &right, iy, shared_len),
+                    x.cmp(y),
+                    "cmp_across disagrees with Value::cmp on {x} vs {y}"
+                );
+            }
+        }
     }
 
     #[test]
