@@ -1,0 +1,37 @@
+//! E15: concurrent session replay — N client threads replay the e14
+//! statements against ONE shared, frozen session snapshot (the or-server
+//! serving story as a library benchmark).  Per-query engine workers are
+//! pinned to 1 so the client count is the only parallelism axis; the
+//! interesting comparison is how per-fan-out wall time moves as clients
+//! share the frozen arena.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use or_bench::experiments::{e15_core, e15_fanout};
+use or_engine::ExecConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_concurrent_replay");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+
+    let scale = 4_000usize;
+    let core = Arc::new(e15_core(scale));
+    let config = ExecConfig::default().with_pinned_workers(1);
+
+    for clients in [1usize, 2, 4, 8] {
+        let core = Arc::clone(&core);
+        group.bench_function(format!("replay/clients_{clients}"), move |b| {
+            b.iter(|| e15_fanout(&core, clients, config))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,9 @@
-//! `experiments` — run every experiment (E1–E14) and print its table.
+//! `experiments` — run every experiment (E1–E15) and print its table.
+//!
+//! `e15` (the concurrent session replay) reports per-client latency over a
+//! shared frozen snapshot; its rows are printed only and never written to
+//! `BENCH_engine.json` (thread-scheduling noise would make them a flaky
+//! regression baseline).
 //!
 //! ```text
 //! cargo run --release -p or-bench --bin experiments            # all
@@ -79,6 +84,7 @@ fn all() -> Vec<Experiment> {
             experiments::e13_table_from_rows(&rows)
         }),
         ("e14", || experiments::e14_session_engine_first(E13_SCALE)),
+        ("e15", || experiments::e15_concurrent_replay(E13_SCALE)),
     ]
 }
 
@@ -211,7 +217,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matched; known names: e01..e14");
+        eprintln!("no experiment matched; known names: e01..e15");
         std::process::exit(1);
     }
 }

@@ -1600,6 +1600,137 @@ pub fn e14_session_engine_first(scale: usize) -> Table {
     e14_table_from_rows(&e14_session_rows(scale))
 }
 
+// ---------------------------------------------------------------------------
+// E15: concurrent replay — N clients share one frozen session snapshot
+// ---------------------------------------------------------------------------
+
+/// Build the shared, frozen core the e15 clients query: the e14 bindings
+/// interned into one [`or_lang::SessionCore`] whose snapshot every client
+/// thread then reads through `Arc`-shared overlay arenas.
+pub fn e15_core(scale: usize) -> or_lang::SessionCore {
+    let mut core = or_lang::SessionCore::new();
+    for (name, value) in e14_bindings(scale) {
+        core.bind(name, value);
+    }
+    core
+}
+
+/// One client's replay: every [`E14_SCRIPT`] statement evaluated read-only
+/// against the shared core (`eval_statement` takes `&self`, so any number
+/// of these run concurrently).
+pub fn e15_replay(core: &or_lang::SessionCore, config: or_engine::ExecConfig) -> Vec<Value> {
+    E14_SCRIPT
+        .iter()
+        .map(|stmt| {
+            core.eval_statement(
+                stmt,
+                or_lang::ExecMode::Engine,
+                config,
+                or_lang::QueryBudget::unlimited(),
+            )
+            .expect("e15 statement")
+            .value
+        })
+        .collect()
+}
+
+/// Fan `clients` replay threads out over one shared core.  Returns each
+/// client's values, each client's own wall-clock latency (ms), and the
+/// whole fan-out's wall time (ms).
+pub fn e15_fanout(
+    core: &std::sync::Arc<or_lang::SessionCore>,
+    clients: usize,
+    config: or_engine::ExecConfig,
+) -> (Vec<Vec<Value>>, Vec<f64>, f64) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let core = std::sync::Arc::clone(core);
+            std::thread::spawn(move || {
+                let begin = Instant::now();
+                let values = e15_replay(&core, config);
+                (values, begin.elapsed().as_secs_f64() * 1e3)
+            })
+        })
+        .collect();
+    let mut values = Vec::with_capacity(clients);
+    let mut latencies = Vec::with_capacity(clients);
+    for handle in handles {
+        let (v, ms) = handle.join().expect("e15 client thread");
+        values.push(v);
+        latencies.push(ms);
+    }
+    (values, latencies, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// E15: the or-server serving story as a library benchmark — 1, 2, 4 and 8
+/// client threads replay the e14 statements against ONE shared frozen
+/// snapshot, recording **per-client latency** (median and worst across
+/// [`TIMED_RUNS`] rounds after a warmup) and aggregate throughput.  Every
+/// client's every answer is checked against the sequential interpreter
+/// (`equal`).  Engine workers are pinned to 1 per query so the client
+/// count is the only parallelism axis.
+pub fn e15_concurrent_replay(scale: usize) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E15: concurrent replay of {} statements over one shared frozen snapshot \
+             (scale {scale}, per-query workers 1, median of {TIMED_RUNS} rounds)",
+            E14_SCRIPT.len()
+        ),
+        &[
+            "clients",
+            "median_client_ms",
+            "worst_client_ms",
+            "wall_ms",
+            "stmts_per_s",
+            "equal",
+        ],
+    );
+    let core = std::sync::Arc::new(e15_core(scale));
+    let config = or_engine::ExecConfig::default().with_pinned_workers(1);
+    // the differential reference: the sequential interpreter
+    let expected: Vec<Value> = E14_SCRIPT
+        .iter()
+        .map(|stmt| {
+            core.eval_statement(
+                stmt,
+                or_lang::ExecMode::Interp,
+                or_engine::ExecConfig::default(),
+                or_lang::QueryBudget::unlimited(),
+            )
+            .expect("e15 interp reference")
+            .value
+        })
+        .collect();
+    for clients in [1usize, 2, 4, 8] {
+        let _ = e15_fanout(&core, clients, config); // warmup, discarded
+        let mut latencies: Vec<f64> = Vec::with_capacity(clients * TIMED_RUNS);
+        let mut walls = [0.0f64; TIMED_RUNS];
+        let mut equal = true;
+        for wall in walls.iter_mut() {
+            let (values, round_latencies, round_wall) = e15_fanout(&core, clients, config);
+            equal &= values.iter().all(|v| *v == expected);
+            latencies.extend(round_latencies);
+            *wall = round_wall;
+        }
+        latencies.sort_unstable_by(|a, b| a.total_cmp(b));
+        walls.sort_unstable_by(|a, b| a.total_cmp(b));
+        let median_client = latencies[latencies.len() / 2];
+        let worst_client = latencies[latencies.len() - 1];
+        let wall = walls[TIMED_RUNS / 2];
+        let stmts_per_s = (clients * E14_SCRIPT.len()) as f64 / (wall / 1e3);
+        table.push_row(vec![
+            clients.to_string(),
+            format!("{median_client:.2}"),
+            format!("{worst_client:.2}"),
+            format!("{wall:.2}"),
+            format!("{stmts_per_s:.0}"),
+            equal.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Run every experiment at the default sizes and return the tables in order.
 pub fn run_all() -> Vec<Table> {
     vec![
@@ -2001,6 +2132,19 @@ mod tests {
         assert_eq!(r.workload, "session_engine_first");
         assert!(r.equal, "session modes disagreed");
         assert!(r.available_parallelism >= 1);
+    }
+
+    #[test]
+    fn e15_concurrent_clients_agree_with_the_interpreter() {
+        // tiny scale: correctness of the fan-out harness, not perf
+        let core = std::sync::Arc::new(e15_core(64));
+        let config = or_engine::ExecConfig::default().with_pinned_workers(1);
+        let expected = e15_replay(&core, config);
+        let (values, latencies, wall) = e15_fanout(&core, 4, config);
+        assert_eq!(values.len(), 4);
+        assert!(values.iter().all(|v| *v == expected));
+        assert_eq!(latencies.len(), 4);
+        assert!(latencies.iter().all(|ms| *ms <= wall + 1e-3));
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub enum EngineError {
         /// A rendering of the offending row.
         value: String,
     },
+    /// The query ran past its wall-clock budget
+    /// ([`crate::exec::ExecConfig::time_budget`]).  Checked at batch
+    /// boundaries, so a query is cancelled within one batch of work of the
+    /// deadline rather than running to completion; a zero budget rejects
+    /// the query at admission, before any row work.
+    TimeBudgetExceeded {
+        /// The configured wall-clock budget, in milliseconds.
+        budget_ms: u128,
+    },
     /// A worker thread panicked.  The panic is caught at the join point and
     /// surfaced as a query error instead of aborting the whole process; on
     /// the morsel-driven path this covers both morsels a worker claimed
@@ -84,6 +93,10 @@ impl fmt::Display for EngineError {
             EngineError::FlattenNonSet { value } => {
                 write!(f, "Flatten expects every row to be a set, got {value}")
             }
+            EngineError::TimeBudgetExceeded { budget_ms } => write!(
+                f,
+                "time budget exceeded: the query ran past its {budget_ms} ms wall-clock budget"
+            ),
             EngineError::WorkerPanic { message } => {
                 write!(f, "engine worker panicked: {message}")
             }

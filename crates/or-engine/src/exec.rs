@@ -80,7 +80,7 @@ use or_object::Value;
 
 use crate::error::EngineError;
 use crate::morsel::MorselQueue;
-use crate::ops::{build, compile, drain, unpack_setup_result, BuildCtx};
+use crate::ops::{build, compile, drain_within, unpack_setup_result, BuildCtx};
 
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +107,14 @@ pub struct ExecConfig {
     /// — the expand planner's recommendation, or a differential test
     /// forcing a worker count.
     pub pin_workers: bool,
+    /// Wall-clock budget for the whole query (`None` = unbounded).  Checked
+    /// once at admission — before any row work, so a zero budget rejects
+    /// the query deterministically — and then at every batch boundary on
+    /// every lane, so an over-budget query is cancelled within one batch of
+    /// work of the deadline with [`EngineError::TimeBudgetExceeded`].
+    /// This is the admission-control knob a serving layer hands out per
+    /// query.
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Default for ExecConfig {
@@ -118,6 +126,7 @@ impl Default for ExecConfig {
             morsel_rows: 1024,
             min_parallel_rows: 8192,
             pin_workers: false,
+            time_budget: None,
         }
     }
 }
@@ -192,6 +201,44 @@ impl ExecConfig {
     pub fn with_or_budget(mut self, budget: u64) -> ExecConfig {
         self.or_budget = Some(budget);
         self
+    }
+
+    /// Set the wall-clock budget for the whole query.  A zero duration
+    /// rejects every query at admission — useful for deterministically
+    /// exercising the over-budget error path.
+    pub fn with_time_budget(mut self, budget: std::time::Duration) -> ExecConfig {
+        self.time_budget = Some(budget);
+        self
+    }
+}
+
+/// A running query's wall-clock deadline.  `check` compares elapsed time
+/// against the budget with `>=`, so a [`std::time::Duration::ZERO`] budget
+/// trips on the very first check regardless of clock granularity — the
+/// property the admission-control tests rely on.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Deadline {
+    start: std::time::Instant,
+    budget: std::time::Duration,
+}
+
+impl Deadline {
+    fn begin(budget: std::time::Duration) -> Deadline {
+        Deadline {
+            start: std::time::Instant::now(),
+            budget,
+        }
+    }
+
+    /// `Err(TimeBudgetExceeded)` once the budget has elapsed.
+    pub(crate) fn check(&self) -> Result<(), EngineError> {
+        if self.start.elapsed() >= self.budget {
+            Err(EngineError::TimeBudgetExceeded {
+                budget_ms: self.budget.as_millis(),
+            })
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -358,6 +405,14 @@ impl Executor {
         plan: &PhysicalPlan,
         inputs: &EngineInputs<'_>,
     ) -> Result<(Vec<Value>, ExecStats), EngineError> {
+        // Admission: start the wall clock before any work and check it
+        // immediately, so a zero budget rejects the query deterministically
+        // without touching a single row.
+        let deadline = self.config.time_budget.map(Deadline::begin);
+        if let Some(deadline) = &deadline {
+            deadline.check()?;
+        }
+
         let value_slots = inputs.value_slots();
         let arity = plan.input_arity();
         if arity > value_slots.len() {
@@ -439,7 +494,7 @@ impl Executor {
 
         if workers <= 1 {
             let mut op = build(&compiled, ctx, None)?;
-            let mut ids = drain(op.as_mut(), &mut arena)?;
+            let mut ids = drain_within(op.as_mut(), &mut arena, deadline.as_ref())?;
             // Merge step: the result is a set; sort + dedup on ids (equal
             // rows ⟺ equal ids), then decode each survivor exactly once.
             arena.sort_ids(&mut ids);
@@ -512,7 +567,7 @@ impl Executor {
                         };
                         let start = morsel.rows.start;
                         let mut op = build(compiled_ref, ctx, Some(&driver_ref[morsel.rows]))?;
-                        let mut ids = drain(op.as_mut(), arena_ref)?;
+                        let mut ids = drain_within(op.as_mut(), arena_ref, deadline.as_ref())?;
                         arena_ref.sort_ids(&mut ids);
                         ids.dedup();
                         runs.push((start, ids));
@@ -597,7 +652,7 @@ impl Executor {
                 };
                 let start = morsel.rows.start;
                 let mut op = build(compiled_ref, ctx, Some(&driver_rows[morsel.rows]))?;
-                let mut ids = drain(op.as_mut(), &mut overlay)?;
+                let mut ids = drain_within(op.as_mut(), &mut overlay, deadline.as_ref())?;
                 // sort/dedup per *morsel*, not per worker: a morsel's output
                 // usually arrives already ordered (row-local operators
                 // preserve the driving order), so the sort's O(n) pre-check
@@ -1127,6 +1182,25 @@ mod tests {
                 Value::str("dup"),
             ]
         );
+    }
+
+    /// A zero wall-clock budget must reject the query at admission, before
+    /// any row work, and with `>=` semantics the rejection is deterministic
+    /// on any clock.  A generous budget lets the same query through.
+    #[test]
+    fn zero_time_budget_rejects_at_admission() {
+        let rows: Vec<Value> = (0..16).map(Value::Int).collect();
+        let plan = or_nra::optimize::lower(&Morphism::map(Morphism::Id)).unwrap();
+        let exec =
+            Executor::new(ExecConfig::sequential().with_time_budget(std::time::Duration::ZERO));
+        match exec.run(&plan, &[&rows]) {
+            Err(EngineError::TimeBudgetExceeded { budget_ms: 0 }) => {}
+            other => panic!("expected TimeBudgetExceeded, got {other:?}"),
+        }
+        let exec = Executor::new(
+            ExecConfig::sequential().with_time_budget(std::time::Duration::from_secs(60)),
+        );
+        assert_eq!(exec.run(&plan, &[&rows]).unwrap().len(), 16);
     }
 
     #[test]

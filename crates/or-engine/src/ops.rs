@@ -77,8 +77,22 @@ pub trait Operator {
 /// Drain an operator into a vector of row ids, pre-sizing from the
 /// operator's row-count hint.
 pub fn drain(op: &mut dyn Operator, arena: &mut Interner) -> Result<Vec<InternId>, EngineError> {
+    drain_within(op, arena, None)
+}
+
+/// [`drain`] with a wall-clock deadline, checked between batches: a query
+/// whose budget expires mid-pipeline is cancelled within one batch of work
+/// of the deadline instead of running to completion.
+pub(crate) fn drain_within(
+    op: &mut dyn Operator,
+    arena: &mut Interner,
+    deadline: Option<&crate::exec::Deadline>,
+) -> Result<Vec<InternId>, EngineError> {
     let mut out = Vec::with_capacity(op.rows_hint().unwrap_or(0));
     while let Some(batch) = op.next_batch(arena)? {
+        if let Some(deadline) = deadline {
+            deadline.check()?;
+        }
         out.extend(batch);
     }
     Ok(out)

@@ -16,8 +16,17 @@
 //! engine/fallback counters with the most recent fallback reasons, `:help`
 //! prints a short reference.  Everything else is parsed as an OrQL
 //! statement.
+//!
+//! ## Script mode
+//!
+//! `orql --script FILE` runs `FILE` non-interactively (one statement per
+//! line; blank lines and `--` comments skipped) and **exits non-zero on
+//! the first parse, type or evaluation error**, printing the failing line
+//! — so CI jobs and server smoke tests can trust the exit code.  Combine
+//! with `--engine` to run the script engine-first.
 
 use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
 
 use or_engine::ExecConfig;
 use or_lang::session::{EngineStats, ExecMode, Session};
@@ -49,10 +58,39 @@ fn print_stats(stats: &EngineStats) {
     }
 }
 
-fn main() -> io::Result<()> {
-    let stdin = io::stdin();
-    let mut stdout = io::stdout();
-    let engine_on_start = std::env::args().any(|a| a == "--engine");
+/// Run a script file to completion, printing each result like the REPL
+/// would.  Returns a failure exit code after printing the failing line, so
+/// callers (CI, smoke tests) can gate on the status.
+fn run_script_file(session: &mut Session, path: &str) -> ExitCode {
+    let script = match std::fs::read_to_string(path) {
+        Ok(script) => script,
+        Err(e) => {
+            eprintln!("error: cannot read script `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match session.run_script(&script) {
+        Ok(results) => {
+            for result in results {
+                let name = result.bound.unwrap_or_else(|| "-".to_string());
+                println!("{name} : {} = {}", result.ty, result.value);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}:{}: `{}`: {}", e.line, e.source, e.error);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let engine_on_start = args.iter().any(|a| a == "--engine");
+    let script = args
+        .iter()
+        .position(|a| a == "--script")
+        .and_then(|i| args.get(i + 1).cloned());
     // `from_env` honors OR_ENGINE_WORKERS, so the REPL's worker count can
     // be pinned from the shell without a rebuild.
     let mut session = if engine_on_start {
@@ -60,6 +98,21 @@ fn main() -> io::Result<()> {
     } else {
         Session::new()
     };
+    if let Some(path) = script {
+        return run_script_file(&mut session, &path);
+    }
+    match repl(&mut session, engine_on_start) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn repl(session: &mut Session, engine_on_start: bool) -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
     println!("OrQL — a query language for or-sets (type :help for help, :quit to exit)");
     if engine_on_start {
         println!("physical engine enabled (engine-first; :engine cycles modes)");

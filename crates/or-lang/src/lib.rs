@@ -52,4 +52,7 @@ pub use compile::{compile_closed, compile_query, compile_with_env, CompileError}
 pub use interp::{interpret, InterpError};
 pub use parser::{parse, parse_statement, ParseError, Statement};
 pub use plan::{plan_query, PlanError, PlannedQuery};
-pub use session::{EngineStats, ExecMode, Session, SessionError, SessionResult};
+pub use session::{
+    EngineStats, Evaluated, ExecMode, QueryBudget, Route, ScriptError, Session, SessionCore,
+    SessionError, SessionResult,
+};

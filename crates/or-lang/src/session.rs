@@ -1,8 +1,29 @@
-//! Stateful OrQL sessions: the engine behind the `orql` REPL.
+//! Stateful OrQL sessions: the engine behind the `orql` REPL and the
+//! `or-server` service.
 //!
 //! A [`Session`] holds named bindings (values with their types), evaluates
 //! statements, and reports both the value and the inferred type of every
 //! expression — like the OR-SML top level the paper describes.
+//!
+//! ## The core/shell split
+//!
+//! All binding state lives in a [`SessionCore`]: the value environment, the
+//! type environment, and a frozen-arena [`Snapshot`] of every set-valued
+//! binding's interned rows.  Evaluation on a core is **read-only** —
+//! [`SessionCore::eval_statement`] takes `&self`, runs the statement to a
+//! complete [`Evaluated`] outcome (value, type, routing decision), and
+//! mutates nothing; [`SessionCore::commit`] then applies the outcome's
+//! binding, if any.  This split is what makes sessions shareable: a server
+//! can hand one `Arc<SessionCore>` to any number of concurrent readers
+//! (each engine query chains a private overlay arena on the core's frozen
+//! snapshot base), while writers clone-and-swap the core.  It is also what
+//! makes error handling atomic — a statement that fails mid-evaluation has
+//! by construction published nothing: no partial `let` binding, no partial
+//! statistics, because both are applied only after evaluation succeeded.
+//!
+//! [`Session`] is the single-threaded shell over a core: it adds the
+//! execution mode, the engine configuration, and the [`EngineStats`]
+//! counters, and drives eval-then-commit per statement.
 //!
 //! ## Execution modes
 //!
@@ -30,13 +51,23 @@
 //! generators (via the `Flatten` lowering), and per-row α-expansion
 //! pipelines.  Or-monad statements (`normalize(db)` at the top level,
 //! or-set comprehensions) fall back to the interpreter.
+//!
+//! ## Per-query budgets
+//!
+//! [`QueryBudget`] carries per-query admission limits — an α-expansion
+//! denotation cap and a wall-clock budget — that tighten the session's
+//! engine configuration for one statement ([`Session::run_budgeted`],
+//! or the `budget` parameter of [`SessionCore::eval_statement`]).  Budgets
+//! are enforced on the **engine** path (a zero time budget rejects an
+//! engine-served statement at admission, before any row work); statements
+//! the engine cannot serve fall back to the un-budgeted interpreter, so a
+//! serving layer that needs hard limits should also bound what it accepts.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
 
 use or_engine::{EngineInputs, ExecConfig, Executor};
-use or_object::intern::{InternId, Interner};
+use or_object::snapshot::Snapshot;
 use or_object::{Type, Value};
 
 use crate::check::{infer_type, CheckError, TypeEnv};
@@ -65,7 +96,8 @@ pub enum SessionError {
     Check(CheckError),
     /// Runtime error.
     Runtime(InterpError),
-    /// The physical engine failed on a query the lowering accepted.
+    /// The physical engine failed on a query the lowering accepted —
+    /// including a query rejected or cancelled by its [`QueryBudget`].
     Engine(String),
     /// The engine and the interpreter disagreed on a query result — a bug in
     /// one of them; the query and both answers are reported.  Only raised in
@@ -134,6 +166,103 @@ pub enum ExecMode {
     EngineChecked,
 }
 
+/// Per-query admission limits, layered over the session's
+/// [`ExecConfig`] for one statement.  Both limits **tighten** the config:
+/// when the config already carries a budget, the smaller of the two wins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Cap on per-row α-expansion denotations
+    /// ([`ExecConfig::or_budget`]); exceeding it fails the statement with
+    /// [`SessionError::Engine`].
+    pub denotations: Option<u64>,
+    /// Wall-clock budget for the whole query
+    /// ([`ExecConfig::time_budget`]).  Checked at admission — a zero
+    /// budget deterministically rejects the statement before any row work
+    /// — and at every batch boundary thereafter.
+    pub time: Option<std::time::Duration>,
+}
+
+impl QueryBudget {
+    /// No limits (the default).
+    pub fn unlimited() -> QueryBudget {
+        QueryBudget::default()
+    }
+
+    /// Cap the per-row denotation count.
+    pub fn with_denotations(mut self, denotations: u64) -> QueryBudget {
+        self.denotations = Some(denotations);
+        self
+    }
+
+    /// Cap the wall-clock time.
+    pub fn with_time(mut self, time: std::time::Duration) -> QueryBudget {
+        self.time = Some(time);
+        self
+    }
+
+    /// Tighten `config` with this budget's limits.
+    fn apply_to(&self, mut config: ExecConfig) -> ExecConfig {
+        if let Some(denotations) = self.denotations {
+            config.or_budget = Some(match config.or_budget {
+                Some(existing) => existing.min(denotations),
+                None => denotations,
+            });
+        }
+        if let Some(time) = self.time {
+            config.time_budget = Some(match config.time_budget {
+                Some(existing) => existing.min(time),
+                None => time,
+            });
+        }
+        config
+    }
+}
+
+/// How a statement was executed — the routing decision
+/// [`SessionCore::eval_statement`] reports and [`EngineStats::record`]
+/// tallies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// Interpreter mode: no routing decision was made.
+    Interp,
+    /// Served by the physical engine.
+    Engine,
+    /// Outside the engine's fragment; the interpreter served it.  `reason`
+    /// is the formatted diagnostic for *noteworthy* fallbacks (`None` for
+    /// statements that merely look nothing like a relational query).
+    Fallback {
+        /// Diagnostic text, already tagged with the statement source.
+        reason: Option<String>,
+    },
+}
+
+impl Route {
+    fn from_fallback(source: &str, fallback: PlanError) -> Route {
+        Route::Fallback {
+            reason: fallback
+                .noteworthy
+                .then(|| format!("`{source}`: {}", fallback.reason)),
+        }
+    }
+}
+
+/// A fully evaluated statement, not yet committed: the value and type to
+/// report, the name to bind (for `let` statements), and the routing
+/// decision to tally.  Produced read-only by
+/// [`SessionCore::eval_statement`]; nothing becomes visible to later
+/// statements until [`SessionCore::commit`] applies it.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// The computed value.
+    pub value: Value,
+    /// Its inferred type.
+    pub ty: Type,
+    /// The name to bind, if the statement was a `let`.
+    pub bound: Option<String>,
+    /// How the statement was executed.
+    pub route: Route,
+}
+
 /// Counters and diagnostics for the engine routing (see
 /// [`Session::engine_stats`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -155,46 +284,305 @@ pub struct EngineStats {
 impl EngineStats {
     /// How many fallback reasons are retained.
     pub const MAX_REASONS: usize = 8;
+
+    /// Tally one successfully evaluated statement's routing decision.
+    /// Callers record only *after* the statement fully succeeded, so a
+    /// failed statement never leaves a partial increment behind.
+    pub fn record(&mut self, route: &Route) {
+        match route {
+            Route::Interp => {}
+            Route::Engine => self.engine += 1,
+            Route::Fallback { reason } => {
+                self.fallback += 1;
+                if let Some(reason) = reason {
+                    if self.fallback_reasons.len() >= EngineStats::MAX_REASONS {
+                        self.fallback_reasons.remove(0);
+                    }
+                    self.fallback_reasons.push(reason.clone());
+                }
+            }
+        }
+    }
 }
 
-/// A stateful OrQL session.
+/// The shareable heart of a session: bindings (values + types) and the
+/// frozen-arena [`Snapshot`] holding every set-valued binding's interned
+/// rows.
 ///
-/// Sessions own a long-lived interning arena: every set-valued binding is
-/// interned **once**, when bound (`let` or [`Session::bind`]), and each
-/// engine-served query overlays a throwaway query arena on top of the
-/// session arena — so repeated queries over the same bindings pay the
-/// interning cost zero times after the first.
-#[derive(Debug)]
-pub struct Session {
+/// Evaluation is read-only (`&self`), so one core behind an `Arc` serves
+/// any number of concurrent readers — each engine-served query chains a
+/// private overlay arena on the snapshot's frozen base and drops it when
+/// done.  Mutation is explicit and separate: [`SessionCore::commit`] (or
+/// [`SessionCore::bind`]) publishes a binding, with the snapshot's
+/// copy-on-write semantics protecting readers that hold an older clone.
+#[derive(Debug, Clone, Default)]
+pub struct SessionCore {
     values: Env,
     types: HashMap<String, Type>,
+    /// Interned rows of every set-valued binding, against a frozen base
+    /// arena shared by all engine-served queries.  Rebinds accrue garbage
+    /// that the snapshot compacts once it rivals the live nodes, so
+    /// [`SessionCore::arena_nodes`] stays proportional to the live
+    /// bindings.
+    snapshot: Snapshot,
+}
+
+impl SessionCore {
+    /// An empty core.
+    pub fn new() -> SessionCore {
+        SessionCore::default()
+    }
+
+    /// The current bindings, sorted by name.
+    pub fn bindings(&self) -> Vec<(String, Type)> {
+        let mut out: Vec<(String, Type)> = self
+            .types
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Look up a binding's value.
+    pub fn value(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// The interned-relation snapshot behind the core.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Total nodes in the session arena (live bindings plus rebind garbage
+    /// not yet compacted).
+    pub fn arena_nodes(&self) -> usize {
+        self.snapshot.arena_nodes()
+    }
+
+    /// Bind a pre-built value under a name (its type is inferred from the
+    /// value; values containing nulls cannot be bound this way).
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) {
+        let name = name.into();
+        if let Ok(ty) = value.infer_type() {
+            self.types.insert(name.clone(), ty);
+        }
+        self.publish(&name, &value);
+        self.values.insert(name, value);
+    }
+
+    /// Publish a binding's rows into the snapshot (set values) or retract
+    /// any stale publication (non-set values, which carry no interned
+    /// rows).  The snapshot's node-accurate garbage accounting compacts the
+    /// arena once rebind garbage rivals the live nodes.
+    fn publish(&mut self, name: &str, value: &Value) {
+        match value {
+            Value::Set(rows) => self.snapshot.publish(name, rows.clone()),
+            _ => {
+                self.snapshot.retract(name);
+            }
+        }
+    }
+
+    /// Parse, type-check and evaluate one statement **without mutating
+    /// anything** — bindings, snapshot and statistics are untouched no
+    /// matter how the statement fares.  On success the returned
+    /// [`Evaluated`] carries everything a later [`SessionCore::commit`]
+    /// needs; on error the core is exactly as it was, so the same
+    /// statement can be retried (the error-atomicity guarantee the
+    /// concurrent server relies on).
+    pub fn eval_statement(
+        &self,
+        source: &str,
+        mode: ExecMode,
+        config: ExecConfig,
+        budget: QueryBudget,
+    ) -> Result<Evaluated, SessionError> {
+        let statement = parse_statement(source)?;
+        let (expr, bound) = match statement {
+            Statement::Expr(expr) => (expr, None),
+            Statement::Bind(name, expr) => (expr, Some(name)),
+        };
+        let ty = infer_type(&expr, &self.type_env())?;
+        let config = budget.apply_to(config);
+        let (value, route) = match mode {
+            ExecMode::Interp => (interpret(&expr, &self.values)?, Route::Interp),
+            // Engine-first: the engine is the serving path; the interpreter
+            // runs only when the statement is outside the plannable fragment.
+            ExecMode::Engine => match self.try_engine(&expr, config)? {
+                Ok(value) => (value, Route::Engine),
+                Err(fallback) => (
+                    interpret(&expr, &self.values)?,
+                    Route::from_fallback(source, fallback),
+                ),
+            },
+            // Differential mode: both executors run, answers must agree.
+            ExecMode::EngineChecked => {
+                let interpreted = interpret(&expr, &self.values)?;
+                match self.try_engine(&expr, config)? {
+                    Ok(engine_value) => {
+                        if engine_value != interpreted {
+                            return Err(SessionError::EngineMismatch {
+                                query: source.to_string(),
+                                engine: engine_value.to_string(),
+                                interp: interpreted.to_string(),
+                            });
+                        }
+                        (interpreted, Route::Engine)
+                    }
+                    Err(fallback) => (interpreted, Route::from_fallback(source, fallback)),
+                }
+            }
+        };
+        Ok(Evaluated {
+            value,
+            ty,
+            bound,
+            route,
+        })
+    }
+
+    /// Apply a successful evaluation's binding (if it was a `let`) and
+    /// return the reportable result.  This is the *only* place statement
+    /// evaluation mutates the core — callers that evaluated on a shared
+    /// core decide here whether (and into which clone) to commit.
+    pub fn commit(&mut self, evaluated: Evaluated) -> SessionResult {
+        let Evaluated {
+            value, ty, bound, ..
+        } = evaluated;
+        if let Some(name) = &bound {
+            self.types.insert(name.clone(), ty.clone());
+            self.publish(name, &value);
+            self.values.insert(name.clone(), value.clone());
+        }
+        SessionResult { value, ty, bound }
+    }
+
+    fn type_env(&self) -> TypeEnv {
+        let mut env: TypeEnv = self
+            .types
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        env.sort_by(|a, b| a.0.cmp(&b.0));
+        env
+    }
+
+    /// Try to run `expr` on the physical engine.  The inner `Err(fallback)`
+    /// means the statement is outside the engine's fragment (caller falls
+    /// back to the interpreter and, for `noteworthy` errors, records the
+    /// reason); the outer error is a genuine engine failure on a statement
+    /// the planner accepted.
+    fn try_engine(
+        &self,
+        expr: &crate::ast::Expr,
+        config: ExecConfig,
+    ) -> Result<Result<Value, PlanError>, SessionError> {
+        let noteworthy = |reason: String| PlanError {
+            reason,
+            noteworthy: true,
+        };
+        // A bare binding reference is an O(1) environment lookup: running
+        // the engine would clone the whole relation through a scan, re-sort
+        // an already-canonical set, and count the echo as "engine-served".
+        if matches!(expr, crate::ast::Expr::Var(_)) {
+            return Ok(Err(PlanError {
+                reason: "bare binding reference (environment lookup)".to_string(),
+                noteworthy: false,
+            }));
+        }
+        // 1. The direct route: comprehensions / union / flatten over one or
+        //    several set-valued bindings become a multi-input plan.  Every
+        //    referenced binding was published into the snapshot at bind
+        //    time; the engine overlays a query arena on its frozen base and
+        //    re-interns nothing.
+        let plan_fallback = match plan_query(expr) {
+            Ok(pq) => {
+                let mut inputs = EngineInputs::with_base(self.snapshot.arena().clone());
+                for name in &pq.inputs {
+                    match self.snapshot.get(name) {
+                        Some(published) => inputs.push_interned(published.rows(), published.ids()),
+                        None if self.values.contains_key(name) => {
+                            return Ok(Err(noteworthy(format!(
+                                "binding `{name}` is not a set relation"
+                            ))))
+                        }
+                        None => return Ok(Err(noteworthy(format!("unbound relation `{name}`")))),
+                    }
+                }
+                return match Executor::new(config).run_inputs_to_value(&pq.plan, &inputs) {
+                    Ok(value) => Ok(Ok(value)),
+                    Err(e) => Err(SessionError::Engine(e.to_string())),
+                };
+            }
+            Err(e) => e,
+        };
+        // 2. The morphism route: a query over exactly one set-valued binding
+        //    is compiled to a morphism and lowered; this covers shapes the
+        //    direct planner does not (α-expansion pipelines, environment
+        //    scaffolding).
+        let free = expr.free_vars();
+        let [var] = free.as_slice() else {
+            return Ok(Err(plan_fallback));
+        };
+        let Some(published) = self.snapshot.get(var) else {
+            return Ok(Err(noteworthy(format!(
+                "binding `{var}` is not a set relation"
+            ))));
+        };
+        let morphism = match compile_query(expr, var) {
+            Ok(m) => m,
+            Err(e) => return Ok(Err(noteworthy(e.to_string()))),
+        };
+        let plan = match or_nra::optimize::lower(&morphism) {
+            Ok(plan) => plan,
+            // keep the lowering's own description of what stopped it
+            Err(e) => return Ok(Err(noteworthy(e.to_string()))),
+        };
+        let mut inputs = EngineInputs::with_base(self.snapshot.arena().clone());
+        inputs.push_interned(published.rows(), published.ids());
+        // lowering already happened above, so any executor error here is a
+        // genuine engine failure, not a fragment gap
+        match Executor::new(config).run_inputs_to_value(&plan, &inputs) {
+            Ok(value) => Ok(Ok(value)),
+            Err(e) => Err(SessionError::Engine(e.to_string())),
+        }
+    }
+}
+
+/// A script run's failure: which line, which statement, what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptError {
+    /// 1-based line number of the failing statement.
+    pub line: usize,
+    /// The failing statement's source.
+    pub source: String,
+    /// The underlying session error.
+    pub error: SessionError,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: `{}`: {}", self.line, self.source, self.error)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// A stateful OrQL session: a [`SessionCore`] plus the execution mode,
+/// engine configuration, and routing statistics.
+///
+/// Sessions own a long-lived interning arena (the core's snapshot): every
+/// set-valued binding is interned **once**, when bound (`let` or
+/// [`Session::bind`]), and each engine-served query overlays a throwaway
+/// query arena on top — so repeated queries over the same bindings pay the
+/// interning cost zero times after the first.
+#[derive(Debug, Default)]
+pub struct Session {
+    core: SessionCore,
     mode: ExecMode,
     engine_config: ExecConfig,
     stats: EngineStats,
-    /// The session's interning arena (frozen from the engine's point of
-    /// view; grown in place between queries as bindings change).
-    arena: Arc<Interner>,
-    /// Per-binding interned row ids, valid in `arena`.
-    interned: HashMap<String, Vec<InternId>>,
-    /// Rows orphaned in the arena by rebinds since the last compaction;
-    /// when they rival the live rows the arena is rebuilt, so memory stays
-    /// proportional to the live bindings at amortized O(1) per bound row.
-    stale_rows: usize,
-}
-
-impl Default for Session {
-    fn default() -> Session {
-        Session {
-            values: Env::default(),
-            types: HashMap::new(),
-            mode: ExecMode::default(),
-            engine_config: ExecConfig::default(),
-            stats: EngineStats::default(),
-            arena: Arc::new(Interner::new()),
-            interned: HashMap::new(),
-            stale_rows: 0,
-        }
-    }
 }
 
 impl Session {
@@ -221,6 +609,28 @@ impl Session {
             engine_config: config,
             ..Session::default()
         }
+    }
+
+    /// Wrap an existing core (for example one loaded by a server) in a
+    /// session shell.
+    pub fn from_core(core: SessionCore, mode: ExecMode, config: ExecConfig) -> Session {
+        Session {
+            core,
+            mode,
+            engine_config: config,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The shareable core holding this session's bindings.
+    pub fn core(&self) -> &SessionCore {
+        &self.core
+    }
+
+    /// Consume the session, keeping its core (to freeze behind an `Arc`
+    /// and serve, say).
+    pub fn into_core(self) -> SessionCore {
+        self.core
     }
 
     /// Switch the execution mode.
@@ -259,258 +669,68 @@ impl Session {
     /// Bind a pre-built value under a name (its type is inferred from the
     /// value; values containing nulls cannot be bound this way).
     pub fn bind(&mut self, name: impl Into<String>, value: Value) {
-        let name = name.into();
-        if let Ok(ty) = value.infer_type() {
-            self.types.insert(name.clone(), ty);
-        }
-        self.cache_binding(&name, &value);
-        self.values.insert(name, value);
-    }
-
-    /// Intern a set-valued binding's rows into the session arena (once, at
-    /// bind time) so every later engine query reuses the ids.  Queries only
-    /// ever *overlay* the arena, so between statements this session holds
-    /// the sole reference and `make_mut` grows it in place.
-    ///
-    /// Rebinding a name that was interned orphans the superseded rows'
-    /// nodes.  Orphans are tracked, and once they rival the live rows the
-    /// arena is **compacted** (rebuilt from the live bindings only), so
-    /// session memory stays proportional to what is currently bound while
-    /// each individual rebind stays proportional to the rebound binding —
-    /// the compaction cost is amortized over the rows that made it
-    /// necessary.
-    fn cache_binding(&mut self, name: &str, value: &Value) {
-        if let Some(old) = self.interned.remove(name) {
-            self.stale_rows += old.len().max(1);
-        }
-        // non-set bindings carry no interned rows
-        if let Value::Set(rows) = value {
-            let arena = Arc::make_mut(&mut self.arena);
-            let ids: Vec<InternId> = rows.iter().map(|r| arena.intern(r)).collect();
-            self.interned.insert(name.to_string(), ids);
-        }
-        let live: usize = self.interned.values().map(Vec::len).sum();
-        if self.stale_rows > 0 && self.stale_rows * 2 >= live.max(1) {
-            self.compact_arena(name, value);
-        }
-    }
-
-    /// Rebuild the session arena from the live bindings.  `self.values`
-    /// still holds the superseded binding for `changed`, so its rows come
-    /// from `new_value` instead.
-    fn compact_arena(&mut self, changed: &str, new_value: &Value) {
-        let mut arena = Interner::new();
-        let mut interned = HashMap::with_capacity(self.interned.len());
-        for (n, v) in &self.values {
-            if n == changed {
-                continue;
-            }
-            if let Value::Set(rows) = v {
-                let ids: Vec<InternId> = rows.iter().map(|r| arena.intern(r)).collect();
-                interned.insert(n.clone(), ids);
-            }
-        }
-        if let Value::Set(rows) = new_value {
-            let ids: Vec<InternId> = rows.iter().map(|r| arena.intern(r)).collect();
-            interned.insert(changed.to_string(), ids);
-        }
-        self.arena = Arc::new(arena);
-        self.interned = interned;
-        self.stale_rows = 0;
+        self.core.bind(name, value);
     }
 
     /// The current bindings, sorted by name.
     pub fn bindings(&self) -> Vec<(String, Type)> {
-        let mut out: Vec<(String, Type)> = self
-            .types
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        out.sort();
-        out
-    }
-
-    fn type_env(&self) -> TypeEnv {
-        let mut env: TypeEnv = self
-            .types
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        env.sort_by(|a, b| a.0.cmp(&b.0));
-        env
+        self.core.bindings()
     }
 
     /// Parse, type-check and evaluate one statement, updating the session
     /// state if it is a binding.
     pub fn run(&mut self, source: &str) -> Result<SessionResult, SessionError> {
-        let statement = parse_statement(source)?;
-        match statement {
-            Statement::Expr(expr) => {
-                let ty = infer_type(&expr, &self.type_env())?;
-                let value = self.evaluate(source, &expr)?;
-                Ok(SessionResult {
-                    value,
-                    ty,
-                    bound: None,
-                })
-            }
-            Statement::Bind(name, expr) => {
-                let ty = infer_type(&expr, &self.type_env())?;
-                let value = self.evaluate(source, &expr)?;
-                self.types.insert(name.clone(), ty.clone());
-                self.cache_binding(&name, &value);
-                self.values.insert(name.clone(), value.clone());
-                Ok(SessionResult {
-                    value,
-                    ty,
-                    bound: Some(name),
-                })
-            }
-        }
+        self.run_budgeted(source, QueryBudget::unlimited())
     }
 
-    /// Evaluate an expression under the current execution mode.
-    fn evaluate(&mut self, source: &str, expr: &crate::ast::Expr) -> Result<Value, SessionError> {
-        match self.mode {
-            ExecMode::Interp => Ok(interpret(expr, &self.values)?),
-            // Engine-first: the engine is the serving path; the interpreter
-            // runs only when the statement is outside the plannable fragment.
-            ExecMode::Engine => match self.try_engine(expr)? {
-                Ok(value) => {
-                    self.stats.engine += 1;
-                    Ok(value)
-                }
-                Err(reason) => {
-                    self.record_fallback(source, reason);
-                    Ok(interpret(expr, &self.values)?)
-                }
-            },
-            // Differential mode: both executors run, answers must agree.
-            ExecMode::EngineChecked => {
-                let interpreted = interpret(expr, &self.values)?;
-                match self.try_engine(expr)? {
-                    Ok(engine_value) => {
-                        if engine_value != interpreted {
-                            return Err(SessionError::EngineMismatch {
-                                query: source.to_string(),
-                                engine: engine_value.to_string(),
-                                interp: interpreted.to_string(),
-                            });
-                        }
-                        self.stats.engine += 1;
-                    }
-                    Err(reason) => self.record_fallback(source, reason),
-                }
-                Ok(interpreted)
-            }
-        }
+    /// [`Session::run`] with per-statement admission limits.  Evaluation is
+    /// atomic: on error, no binding is published and no statistic is
+    /// incremented — the session is exactly as it was, and the same
+    /// statement can be retried (with a different budget, say).
+    pub fn run_budgeted(
+        &mut self,
+        source: &str,
+        budget: QueryBudget,
+    ) -> Result<SessionResult, SessionError> {
+        let evaluated = self
+            .core
+            .eval_statement(source, self.mode, self.engine_config, budget)?;
+        self.stats.record(&evaluated.route);
+        Ok(self.core.commit(evaluated))
     }
 
-    fn record_fallback(&mut self, source: &str, fallback: PlanError) {
-        self.stats.fallback += 1;
-        if !fallback.noteworthy {
-            return;
-        }
-        if self.stats.fallback_reasons.len() >= EngineStats::MAX_REASONS {
-            self.stats.fallback_reasons.remove(0);
-        }
-        self.stats
-            .fallback_reasons
-            .push(format!("`{source}`: {}", fallback.reason));
-    }
-
-    /// Try to run `expr` on the physical engine.  The inner `Err(fallback)`
-    /// means the statement is outside the engine's fragment (caller falls
-    /// back to the interpreter and, for `noteworthy` errors, records the
-    /// reason); the outer error is a genuine engine failure on a statement
-    /// the planner accepted.
-    fn try_engine(
-        &self,
-        expr: &crate::ast::Expr,
-    ) -> Result<Result<Value, PlanError>, SessionError> {
-        let noteworthy = |reason: String| PlanError {
-            reason,
-            noteworthy: true,
-        };
-        // A bare binding reference is an O(1) environment lookup: running
-        // the engine would clone the whole relation through a scan, re-sort
-        // an already-canonical set, and count the echo as "engine-served".
-        if matches!(expr, crate::ast::Expr::Var(_)) {
-            return Ok(Err(PlanError {
-                reason: "bare binding reference (environment lookup)".to_string(),
-                noteworthy: false,
-            }));
-        }
-        // 1. The direct route: comprehensions / union / flatten over one or
-        //    several set-valued bindings become a multi-input plan.  Every
-        //    referenced binding was interned into the session arena at bind
-        //    time; the engine overlays a query arena on it and re-interns
-        //    nothing.
-        let plan_fallback = match plan_query(expr) {
-            Ok(pq) => {
-                let mut inputs = EngineInputs::with_base(self.arena.clone());
-                for name in &pq.inputs {
-                    match self.values.get(name) {
-                        Some(Value::Set(rows)) => match self.interned.get(name) {
-                            Some(ids) => inputs.push_interned(rows, ids),
-                            None => inputs.push_rows(rows),
-                        },
-                        Some(_) => {
-                            return Ok(Err(noteworthy(format!(
-                                "binding `{name}` is not a set relation"
-                            ))))
-                        }
-                        None => return Ok(Err(noteworthy(format!("unbound relation `{name}`")))),
-                    }
-                }
-                return match Executor::new(self.engine_config)
-                    .run_inputs_to_value(&pq.plan, &inputs)
-                {
-                    Ok(value) => Ok(Ok(value)),
-                    Err(e) => Err(SessionError::Engine(e.to_string())),
-                };
+    /// Run a multi-statement script: one statement per line, with blank
+    /// lines and `--` comment lines skipped.  Statements run in order; the
+    /// first failure stops the run and reports the 1-based line number and
+    /// source of the failing statement (what `orql --script` prints before
+    /// exiting non-zero).
+    pub fn run_script(&mut self, script: &str) -> Result<Vec<SessionResult>, ScriptError> {
+        let mut results = Vec::new();
+        for (index, line) in script.lines().enumerate() {
+            let statement = line.trim();
+            if statement.is_empty() || statement.starts_with("--") {
+                continue;
             }
-            Err(e) => e,
-        };
-        // 2. The morphism route: a query over exactly one set-valued binding
-        //    is compiled to a morphism and lowered; this covers shapes the
-        //    direct planner does not (α-expansion pipelines, environment
-        //    scaffolding).
-        let free = expr.free_vars();
-        let [var] = free.as_slice() else {
-            return Ok(Err(plan_fallback));
-        };
-        let Some(Value::Set(rows)) = self.values.get(var) else {
-            return Ok(Err(noteworthy(format!(
-                "binding `{var}` is not a set relation"
-            ))));
-        };
-        let morphism = match compile_query(expr, var) {
-            Ok(m) => m,
-            Err(e) => return Ok(Err(noteworthy(e.to_string()))),
-        };
-        let plan = match or_nra::optimize::lower(&morphism) {
-            Ok(plan) => plan,
-            // keep the lowering's own description of what stopped it
-            Err(e) => return Ok(Err(noteworthy(e.to_string()))),
-        };
-        let mut inputs = EngineInputs::with_base(self.arena.clone());
-        match self.interned.get(var) {
-            Some(ids) => inputs.push_interned(rows, ids),
-            None => inputs.push_rows(rows),
+            match self.run(statement) {
+                Ok(result) => results.push(result),
+                Err(error) => {
+                    return Err(ScriptError {
+                        line: index + 1,
+                        source: statement.to_string(),
+                        error,
+                    })
+                }
+            }
         }
-        // lowering already happened above, so any executor error here is a
-        // genuine engine failure, not a fragment gap
-        match Executor::new(self.engine_config).run_inputs_to_value(&plan, &inputs) {
-            Ok(value) => Ok(Ok(value)),
-            Err(e) => Err(SessionError::Engine(e.to_string())),
-        }
+        Ok(results)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn bindings_persist_across_statements() {
@@ -714,33 +934,186 @@ mod tests {
     fn bindings_are_interned_once_and_reused_across_statements() {
         let mut s = Session::with_engine(ExecConfig::default());
         s.run("let db = { (1, 10), (2, 20), (3, 30) }").unwrap();
-        assert!(s.interned.contains_key("db"), "let interns set bindings");
-        let after_bind = s.arena.len();
+        assert!(
+            s.core().snapshot().get("db").is_some(),
+            "let publishes set bindings into the snapshot"
+        );
+        let after_bind = s.core().arena_nodes();
         assert!(after_bind > 0);
         // engine-served queries overlay the session arena: it must not grow
         s.run("{ fst(p) | p <- db, snd(p) <= 20 }").unwrap();
         s.run("{ snd(p) | p <- db }").unwrap();
         assert_eq!(
-            s.arena.len(),
+            s.core().arena_nodes(),
             after_bind,
             "queries must reuse the session arena, not grow it"
         );
         assert!(s.engine_stats().engine >= 2);
-        // rebinding refreshes the cache AND compacts the arena: the
-        // superseded rows' nodes are dropped, so session memory tracks the
-        // live bindings, not everything ever bound
+        // rebinding refreshes the published rows
         s.run("let db = { (9, 9) }").unwrap();
-        assert_eq!(s.interned["db"].len(), 1);
-        assert!(
-            s.arena.len() < after_bind,
-            "rebind must rebuild the arena from live bindings ({} >= {})",
-            s.arena.len(),
-            after_bind
-        );
+        assert_eq!(s.core().snapshot().get("db").unwrap().rows().len(), 1);
         let rebound = s.run("{ fst(p) | p <- db }").unwrap();
         assert_eq!(rebound.value, Value::int_set([9]));
+        // a non-set rebind retracts the publication
         s.run("let db = 7").unwrap();
-        assert!(!s.interned.contains_key("db"));
+        assert!(s.core().snapshot().get("db").is_none());
+    }
+
+    /// The rebind-growth satellite: `let db = …` in a loop must not grow
+    /// the session arena without bound.  The snapshot's node-accurate
+    /// garbage accounting re-freezes once stranded nodes rival the live
+    /// ones, so the high-water mark stays within a small multiple of one
+    /// binding's size — not the sum over every rebind.
+    #[test]
+    fn repeated_rebinds_keep_the_session_arena_bounded() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let probe = { 1, 2, 3 }").unwrap();
+        let mut high_water = 0;
+        for round in 0..40i64 {
+            // disjoint values each round, so every rebind strands the
+            // previous round's nodes
+            let base = 1_000 + round * 10_000;
+            let rows: Vec<String> = (base..base + 1_500).map(|i| i.to_string()).collect();
+            s.run(&format!("let db = {{ {} }}", rows.join(", ")))
+                .unwrap();
+            high_water = high_water.max(s.core().arena_nodes());
+        }
+        // live data is ~1 503 nodes; 40 uncompacted rebinds would be ~60k
+        assert!(
+            high_water < 3 * 4_096,
+            "arena high-water {high_water} suggests rebind garbage is never compacted"
+        );
+        // the live bindings still serve correctly after compactions
+        let r = s.run("{ x | x <- probe, 2 <= x }").unwrap();
+        assert_eq!(r.value, Value::int_set([2, 3]));
+        let r = s.run("{ x | x <- db, x <= 391004 }").unwrap();
+        assert_eq!(
+            r.value,
+            Value::set((391_000..=391_004).map(Value::Int).collect::<Vec<_>>())
+        );
+    }
+
+    /// The error-atomicity satellite: a statement that fails mid-evaluation
+    /// (here: rejected by a zero time budget at engine admission) must
+    /// leave no partial binding and no partial statistics, and the same
+    /// statement must rerun successfully afterwards.
+    #[test]
+    fn failed_statement_leaves_session_uncorrupted() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let db = { (1, 10), (2, 20), (3, 30), (4, 40) }")
+            .unwrap();
+        let stats_before = s.engine_stats();
+        let bindings_before = s.bindings();
+        let nodes_before = s.core().arena_nodes();
+
+        let statement = "let out = { fst(p) | p <- db, snd(p) <= 20 }";
+        let err = s.run_budgeted(
+            statement,
+            QueryBudget::unlimited().with_time(Duration::ZERO),
+        );
+        match err {
+            Err(SessionError::Engine(e)) => assert!(e.contains("time budget"), "{e}"),
+            other => panic!("expected an engine budget error, got {other:?}"),
+        }
+
+        // no partial binding became visible …
+        assert_eq!(s.bindings(), bindings_before);
+        assert!(
+            matches!(s.run("out"), Err(SessionError::Check(_))),
+            "partial `let` binding must not be visible after a failed statement"
+        );
+        // … no partial statistics were recorded, and the arena is untouched
+        assert_eq!(s.engine_stats(), stats_before);
+        assert_eq!(s.core().arena_nodes(), nodes_before);
+
+        // the very same statement reruns successfully without the budget
+        let r = s.run(statement).unwrap();
+        assert_eq!(r.value, Value::int_set([1, 2]));
+        assert_eq!(r.bound.as_deref(), Some("out"));
+        assert_eq!(s.run("out").unwrap().value, Value::int_set([1, 2]));
+    }
+
+    /// Budgets tighten, never loosen: a session config that already carries
+    /// an or-budget keeps the smaller of the two.
+    #[test]
+    fn budgets_tighten_the_session_config() {
+        let config = ExecConfig::default().with_or_budget(4);
+        let tightened = QueryBudget::unlimited()
+            .with_denotations(16)
+            .apply_to(config);
+        assert_eq!(tightened.or_budget, Some(4));
+        let tightened = QueryBudget::unlimited()
+            .with_denotations(2)
+            .apply_to(config);
+        assert_eq!(tightened.or_budget, Some(2));
+        let timed = QueryBudget::unlimited()
+            .with_time(Duration::from_millis(5))
+            .apply_to(ExecConfig::default().with_time_budget(Duration::from_millis(50)));
+        assert_eq!(timed.time_budget, Some(Duration::from_millis(5)));
+    }
+
+    /// One frozen core serves concurrent readers: evaluation is `&self`,
+    /// so threads sharing an `Arc<SessionCore>` need no locking at all.
+    #[test]
+    fn shared_core_serves_concurrent_readers() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SessionCore>();
+
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let db = { (1, 10), (2, 20), (3, 30), (4, 40) }")
+            .unwrap();
+        let core = Arc::new(s.into_core());
+        let config = ExecConfig::default().with_workers(2);
+        let results: Vec<Value> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|i| {
+                    let core = Arc::clone(&core);
+                    scope.spawn(move || {
+                        let statement = format!("{{ fst(p) | p <- db, snd(p) <= {}0 }}", i + 1);
+                        core.eval_statement(
+                            &statement,
+                            ExecMode::Engine,
+                            config,
+                            QueryBudget::unlimited(),
+                        )
+                        .unwrap()
+                        .value
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (i, value) in results.iter().enumerate() {
+            assert_eq!(
+                value,
+                &Value::set((1..=i as i64 + 1).map(Value::Int).collect::<Vec<_>>())
+            );
+        }
+    }
+
+    #[test]
+    fn scripts_report_the_failing_line() {
+        let mut s = Session::new();
+        let script = "\
+-- a comment, then a blank line
+
+let db = { 1, 2, 3 }
+{ x | x <- db, x <= 2 }
+{ x | x <- nosuchbinding }
+{ x | x <- db }";
+        let err = s.run_script(script).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert_eq!(err.source, "{ x | x <- nosuchbinding }");
+        assert!(matches!(err.error, SessionError::Check(_)));
+        // statements before the failure committed; the one after did not run
+        assert_eq!(s.bindings().len(), 1);
+        // a clean script returns every result
+        let mut s = Session::new();
+        let results = s.run_script("let a = { 1 }\n{ x | x <- a }").unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].value, Value::int_set([1]));
     }
 
     #[test]

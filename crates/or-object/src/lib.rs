@@ -22,6 +22,9 @@
 //! * [`intern`] — a hash-consing arena so the (worst-case exponentially
 //!   many) possible worlds produced by α-expansion share structure and
 //!   compare/dedup in O(1) by interned id;
+//! * [`snapshot`] — frozen, shareable database snapshots (named relations
+//!   interned against an `Arc`-frozen arena) with copy-on-write republish
+//!   and amortized compaction — the unit concurrent readers share;
 //! * [`steps`] — the elementary information-improvement steps whose closures
 //!   characterize the Hoare and Smyth orders (Propositions 3.1 / 3.2);
 //! * [`theory`] — modal-logic theories of objects and the order
@@ -59,6 +62,7 @@ pub mod base_order;
 pub mod generate;
 pub mod intern;
 pub mod order;
+pub mod snapshot;
 pub mod steps;
 pub mod theory;
 pub mod types;
@@ -72,6 +76,7 @@ pub mod prelude {
     pub use crate::generate::{GenConfig, Generator};
     pub use crate::intern::{InternId, Interner};
     pub use crate::order::{object_leq, object_lt};
+    pub use crate::snapshot::{Published, Snapshot};
     pub use crate::theory::{entails, separating_formula, Formula};
     pub use crate::types::Type;
     pub use crate::value::{Value, ValueError};

@@ -1,0 +1,125 @@
+//! `or-server` — serve named or-databases over HTTP/JSON.
+//!
+//! ```text
+//! or-server [--addr HOST:PORT] [--db NAME=SCRIPT.orql]... [options]
+//!
+//!   --addr HOST:PORT       bind address (default 127.0.0.1:7171)
+//!   --db NAME=PATH         load a database from an OrQL script (repeatable)
+//!   --http-workers N       HTTP worker threads (default 4)
+//!   --engine-workers N     engine worker threads per query
+//!                          (default: OR_ENGINE_WORKERS or available cores)
+//!   --or-budget N          default per-query denotation budget
+//!   --time-budget-ms N     default per-query wall-clock budget
+//!   --interp               serve via the reference interpreter (no engine)
+//! ```
+//!
+//! Databases are loaded before the listener starts serving; a script error
+//! aborts startup with a non-zero exit and the failing line.  Stop the
+//! server with `POST /shutdown` — it drains in-flight connections and
+//! exits cleanly.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use or_engine::ExecConfig;
+use or_lang::ExecMode;
+use or_server::{Server, ServerConfig};
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut dbs: Vec<(String, String)> = Vec::new();
+    let mut config = ServerConfig {
+        exec: ExecConfig::from_env(),
+        ..ServerConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => match value("--addr") {
+                Ok(v) => addr = v,
+                Err(e) => return fail(&e),
+            },
+            "--db" => match value("--db") {
+                Ok(v) => match v.split_once('=') {
+                    Some((name, path)) if !name.is_empty() && !path.is_empty() => {
+                        dbs.push((name.to_string(), path.to_string()));
+                    }
+                    _ => return fail("--db expects NAME=PATH"),
+                },
+                Err(e) => return fail(&e),
+            },
+            "--http-workers" => match value("--http-workers").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n >= 1 => config.http_workers = n,
+                _ => return fail("--http-workers expects a positive integer"),
+            },
+            "--engine-workers" => match value("--engine-workers").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n >= 1 => config.exec = config.exec.with_workers(n),
+                _ => return fail("--engine-workers expects a positive integer"),
+            },
+            "--or-budget" => match value("--or-budget").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => config.exec = config.exec.with_or_budget(n),
+                _ => return fail("--or-budget expects an integer"),
+            },
+            "--time-budget-ms" => match value("--time-budget-ms").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => {
+                    config.exec = config.exec.with_time_budget(Duration::from_millis(n));
+                }
+                _ => return fail("--time-budget-ms expects an integer"),
+            },
+            "--interp" => config.mode = ExecMode::Interp,
+            "--help" | "-h" => {
+                println!(
+                    "usage: or-server [--addr HOST:PORT] [--db NAME=SCRIPT.orql]... \
+                     [--http-workers N] [--engine-workers N] [--or-budget N] \
+                     [--time-budget-ms N] [--interp]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let server = match Server::bind(&addr, config) {
+        Ok(server) => server,
+        Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
+    };
+    for (name, path) in &dbs {
+        let script = match std::fs::read_to_string(path) {
+            Ok(script) => script,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        if let Err(e) = server.load_db(name, &script) {
+            return fail(&format!("{path}:{}: `{}`: {}", e.line, e.source, e.error));
+        }
+        eprintln!("loaded database `{name}` from {path}");
+    }
+
+    let local = match server.local_addr() {
+        Ok(local) => local.to_string(),
+        Err(_) => addr.clone(),
+    };
+    eprintln!(
+        "or-server listening on {local} ({} database{}: {}); POST /shutdown to stop",
+        dbs.len(),
+        if dbs.len() == 1 { "" } else { "s" },
+        if dbs.is_empty() {
+            "none".to_string()
+        } else {
+            server.db_names().join(", ")
+        },
+    );
+    match server.serve() {
+        Ok(()) => {
+            eprintln!("or-server: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("serve failed: {e}")),
+    }
+}

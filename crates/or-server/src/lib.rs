@@ -1,0 +1,48 @@
+//! # or-server: a concurrent or-database service
+//!
+//! A long-lived process that keeps named OrQL databases resident — each one
+//! a frozen, `Arc`-shared interner arena plus interned relation snapshots —
+//! and serves statements over HTTP/JSON from a small thread pool.
+//!
+//! The service is the concurrency story of the workspace made load-bearing:
+//!
+//! * reads share one frozen arena snapshot and evaluate lock-free, each
+//!   query chaining its own overlay arena on the shared base
+//!   (`Interner::with_base`);
+//! * writes (`let` statements) are serialized, committed copy-on-write, and
+//!   published by swapping an `Arc<SessionCore>` — in-flight readers keep
+//!   the snapshot they started with;
+//! * per-query denotation and wall-clock budgets act as admission control,
+//!   rejecting or-set products too large to serve before (or shortly after)
+//!   they start.
+//!
+//! ## Endpoints
+//!
+//! | endpoint         | body                                       | result |
+//! |------------------|--------------------------------------------|--------|
+//! | `GET /healthz`   | —                                          | liveness + db count |
+//! | `GET /stats`     | —                                          | per-db counters, routes, arena size |
+//! | `POST /query`    | `{"db", "statement", "budget"?}`           | value, type, route |
+//! | `POST /shutdown` | —                                          | begins graceful shutdown |
+//!
+//! See `docs/SERVER.md` for the full endpoint reference and the ownership
+//! model, and [`server`] for the concurrency design.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use or_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:7171", ServerConfig::default())?;
+//! server.load_db("example", "let db = { (1, 10), (2, 20) }")?;
+//! let handle = server.handle(); // call handle.shutdown() from elsewhere
+//! server.serve()?; // blocks until shutdown
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use crate::json::{Json, JsonError};
+pub use crate::server::{Server, ServerConfig, ServerHandle};

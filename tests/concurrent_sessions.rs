@@ -1,0 +1,149 @@
+//! Concurrent-session differential test: N threads replaying interleaved
+//! query scripts against ONE shared, frozen session snapshot must produce
+//! exactly the answers the sequential reference interpreter produces — for
+//! every engine worker count in the matrix.
+//!
+//! This is the serving contract of `or-server` distilled to a library-level
+//! test: `SessionCore` is `Send + Sync`, `eval_statement` takes `&self`,
+//! and every engine query chains a private overlay arena on the shared
+//! frozen base, so concurrent readers cannot observe — or cause — any
+//! mutation of the snapshot.
+
+use std::sync::Arc;
+
+use or_engine::ExecConfig;
+use or_lang::session::{ExecMode, QueryBudget, Session, SessionCore};
+
+/// The shared database every thread queries.
+const DB_SCRIPT: &str = "\
+let parts = { (1, 30), (2, 45), (3, 10), (4, 80), (5, 55), (6, 21), (7, 64), (8, 7) }
+let quotes = { (1, 100), (1, 101), (2, 100), (3, 102), (4, 101), (5, 102), (6, 100), (8, 101) }
+let options = { <|10, 20|>, <|30, 40|>, <|50, 60|> }
+";
+
+/// Read-only statements the threads replay, interleaved.  A mix of
+/// engine-served comprehensions, joins, or-set queries and interpreter
+/// fallbacks, so the concurrent run exercises both routes.
+const QUERIES: &[&str] = &[
+    "{ fst(p) | p <- parts, snd(p) <= 45 }",
+    "{ snd(q) | q <- quotes, c <- parts, fst(q) == fst(c), snd(c) <= 30 }",
+    "{ (fst(p), snd(p) + 1) | p <- parts, snd(p) >= 55 }",
+    "{ x + y | x <- { 1, 2 }, y <- { 10, 20 } }",
+    "alpha(options)",
+    "{ p | p <- parts, snd(p) <= 10 }",
+    "{ fst(q) | q <- quotes, snd(q) == 101 }",
+    "{ snd(p) | p <- parts }",
+];
+
+fn frozen_core() -> SessionCore {
+    let mut session = Session::with_engine(ExecConfig::default());
+    session.run_script(DB_SCRIPT).expect("load shared db");
+    session.into_core()
+}
+
+/// Sequential reference answers, computed by the interpreter.
+fn reference_answers(core: &SessionCore) -> Vec<String> {
+    QUERIES
+        .iter()
+        .map(|q| {
+            let evaluated = core
+                .eval_statement(
+                    q,
+                    ExecMode::Interp,
+                    ExecConfig::default(),
+                    QueryBudget::unlimited(),
+                )
+                .unwrap_or_else(|e| panic!("interp `{q}`: {e}"));
+            evaluated.value.to_string()
+        })
+        .collect()
+}
+
+/// N threads share one `Arc<SessionCore>`; each replays every query in a
+/// rotated order so different statements run concurrently against the same
+/// frozen arena.  Every answer must equal the sequential interpreter's.
+fn replay_concurrently(threads: usize, workers: usize) {
+    let core = Arc::new(frozen_core());
+    let expected = reference_answers(&core);
+    let config = ExecConfig::default().with_pinned_workers(workers);
+    let nodes_before = core.arena_nodes();
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let core = Arc::clone(&core);
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for round in 0..3 {
+                    for i in 0..QUERIES.len() {
+                        // rotate by thread and round to interleave
+                        let i = (i + t + round) % QUERIES.len();
+                        let q = QUERIES[i];
+                        let evaluated = core
+                            .eval_statement(q, ExecMode::Engine, config, QueryBudget::unlimited())
+                            .unwrap_or_else(|e| panic!("thread {t} `{q}`: {e}"));
+                        assert_eq!(
+                            evaluated.value.to_string(),
+                            expected[i],
+                            "thread {t} workers {workers} `{q}`"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("replay thread");
+    }
+
+    // the shared snapshot is frozen: no reader grew its arena
+    assert_eq!(core.arena_nodes(), nodes_before);
+}
+
+#[test]
+fn four_threads_agree_with_sequential_interpreter_one_worker() {
+    replay_concurrently(4, 1);
+}
+
+#[test]
+fn four_threads_agree_with_sequential_interpreter_two_workers() {
+    replay_concurrently(4, 2);
+}
+
+#[test]
+fn six_threads_agree_with_sequential_interpreter_four_workers() {
+    replay_concurrently(6, 4);
+}
+
+/// Writers interleaved with readers: each thread binds into its own
+/// *private* session forked from the shared core, so concurrent `let`
+/// statements never contend and the shared core is untouched.
+#[test]
+fn private_forks_can_write_while_the_shared_core_serves() {
+    let core = Arc::new(frozen_core());
+    let nodes_before = core.arena_nodes();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || {
+                // fork: clone the shared core into a private session
+                let mut session = Session::from_core(
+                    (*core).clone(),
+                    ExecMode::Engine,
+                    ExecConfig::default().with_pinned_workers(2),
+                );
+                session
+                    .run(&format!("let mine = {{ fst(p) + {t} | p <- parts }}"))
+                    .expect("private bind");
+                let result = session.run("{ x | x <- mine }").expect("read back");
+                // the fork sees its own binding …
+                assert!(result.value.to_string().contains(&(1 + t).to_string()));
+                // … the shared core never does
+                assert!(core.value("mine").is_none());
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer thread");
+    }
+    assert_eq!(core.arena_nodes(), nodes_before);
+}
