@@ -65,6 +65,19 @@ pub enum EngineError {
     },
     /// A morphism could not be lowered to a plan.
     Lower(LowerError),
+    /// The static plan verifier ([`or_nra::verify`]) rejected the plan
+    /// before execution.  Raised by the [`crate::exec::ExecConfig::verify`]
+    /// gate; the query publishes nothing.
+    InvariantViolation {
+        /// The stable rule identifier (e.g. `V01`); the catalog lives in
+        /// `docs/ANALYZE.md`.
+        rule: String,
+        /// Slash-separated path of the offending operator from the plan
+        /// root.
+        path: String,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -101,6 +114,21 @@ impl fmt::Display for EngineError {
                 write!(f, "engine worker panicked: {message}")
             }
             EngineError::Lower(e) => write!(f, "{e}"),
+            EngineError::InvariantViolation { rule, path, detail } => {
+                write!(f, "plan invariant violation [{rule}] at {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl EngineError {
+    /// Build an [`EngineError::InvariantViolation`] from a static-verifier
+    /// finding.
+    pub fn from_violation(v: &or_nra::verify::Violation) -> Self {
+        EngineError::InvariantViolation {
+            rule: v.rule.id().to_string(),
+            path: v.path.clone(),
+            detail: v.message.clone(),
         }
     }
 }

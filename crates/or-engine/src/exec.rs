@@ -115,6 +115,13 @@ pub struct ExecConfig {
     /// This is the admission-control knob a serving layer hands out per
     /// query.
     pub time_budget: Option<std::time::Duration>,
+    /// Run the static plan verifier ([`or_nra::verify`]) before executing
+    /// and reject plans with `Deny`-severity violations as
+    /// [`EngineError::InvariantViolation`].  At this level only structural
+    /// rules can fire (the executor has no schemas); the typed rules engage
+    /// in the schema-aware entry points (`crate::query`) and the session
+    /// layer.  Defaults to on in debug builds, off in release.
+    pub verify: bool,
 }
 
 impl Default for ExecConfig {
@@ -127,6 +134,7 @@ impl Default for ExecConfig {
             min_parallel_rows: 8192,
             pin_workers: false,
             time_budget: None,
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -420,6 +428,22 @@ impl Executor {
                 slot: arity - 1,
                 provided: value_slots.len(),
             });
+        }
+
+        // Static verification gate: reject plans the rule catalog denies
+        // before doing any row work.  The executor has no schemas, so only
+        // the structural/budget rules can fire here; schema-aware callers
+        // (`crate::query`, the session layer) run the typed rules too.
+        if self.config.verify {
+            let vconfig = or_nra::verify::VerifyConfig {
+                provided_inputs: Some(value_slots.len()),
+                or_budget: self.config.or_budget,
+                ..or_nra::verify::VerifyConfig::default()
+            };
+            let violations = or_nra::verify::verify_plan(plan, &vconfig);
+            if let Some(v) = or_nra::verify::first_deny(&violations) {
+                return Err(EngineError::from_violation(v));
+            }
         }
 
         // Hoist scan-adjacent AttachEnv nodes into precomputed projections

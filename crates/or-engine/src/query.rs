@@ -13,10 +13,41 @@ use or_db::Relation;
 use or_nra::morphism::Morphism;
 use or_nra::optimize::{lower, optimize_expansion, ExpandPlanReport, ExpandPlannerConfig};
 use or_nra::physical::PhysicalPlan;
+use or_nra::verify::{first_deny, verify_plan, VerifyConfig};
 use or_object::Value;
 
 use crate::error::EngineError;
 use crate::exec::{canonical_set, EngineInputs, ExecConfig, ExecStats, Executor};
+
+/// Schema-aware verification gate: these entry points know the relations'
+/// record types, so the full typed rule catalog engages (the executor-level
+/// gate in [`Executor::run_inputs`] sees only arity).  `assume_consistent`
+/// mirrors the expand planner's setting for the same plan.
+fn verify_against_relations(
+    plan: &PhysicalPlan,
+    relations: &[&Relation],
+    config: &ExecConfig,
+    assume_consistent: bool,
+) -> Result<(), EngineError> {
+    if !config.verify {
+        return Ok(());
+    }
+    let vconfig = VerifyConfig {
+        provided_inputs: Some(relations.len()),
+        row_types: relations
+            .iter()
+            .map(|r| Some(r.schema().record_type()))
+            .collect(),
+        or_budget: config.or_budget,
+        require_budgets: false,
+        assume_consistent,
+    };
+    let violations = verify_plan(plan, &vconfig);
+    match first_deny(&violations) {
+        Some(v) => Err(EngineError::from_violation(v)),
+        None => Ok(()),
+    }
+}
 
 /// Build engine inputs for a slice of relations, using the first
 /// relation's interned cache as the shared base arena.
@@ -42,6 +73,7 @@ pub fn run_plan(
     relations: &[&Relation],
     config: ExecConfig,
 ) -> Result<Value, EngineError> {
+    verify_against_relations(plan, relations, &config, false)?;
     Executor::new(config).run_inputs_to_value(plan, &relation_inputs(relations))
 }
 
@@ -51,6 +83,7 @@ pub fn run_plan_with_stats(
     relations: &[&Relation],
     config: ExecConfig,
 ) -> Result<(Value, ExecStats), EngineError> {
+    verify_against_relations(plan, relations, &config, false)?;
     let (rows, stats) = Executor::new(config).run_inputs(plan, &relation_inputs(relations))?;
     Ok((canonical_set(rows), stats))
 }
@@ -113,6 +146,15 @@ pub fn run_plan_optimized(
     }
     .with_available_workers(config.workers);
     let (optimized, report) = optimize_expansion(plan, &inputs, &planner_config);
+    // Verify the *optimized* plan — this is where a planner bug pushing a
+    // non-preserving operator below the expansion (rule V08) would
+    // actually be caught.  The consistency promise matches the planner's.
+    verify_against_relations(
+        &optimized,
+        relations,
+        &config,
+        planner_config.assume_consistent,
+    )?;
     let exec_config = ExecConfig {
         workers: report.recommended_workers,
         // The planner's cost model owns the parallelize-or-not decision;

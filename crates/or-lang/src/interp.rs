@@ -4,10 +4,22 @@
 //! followed by evaluation ([`crate::compile`]); having both lets the tests
 //! cross-check the elaboration, and gives the REPL a path that avoids
 //! building intermediate morphisms for every keystroke.
+//!
+//! The interpreter honors the same admission-control budgets as the engine
+//! ([`InterpLimits`]): a wall-clock deadline checked on a stride through
+//! the evaluation loop, and a denotation budget checked — via the
+//! closed-form [`LazyNormalizer::total`] count, so the check costs O(value
+//! size), not O(budget) — before the two builtins whose output is
+//! exponential in their input (`normalize`, `alpha`).  This closes the PR 8
+//! gap where a statement falling back from the engine escaped the server's
+//! per-query budgets.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
+use or_nra::lazy::LazyNormalizer;
 use or_nra::normalize::normalize_value;
 use or_object::alpha::alpha_set;
 use or_object::Value;
@@ -40,8 +52,138 @@ impl std::error::Error for InterpError {}
 /// A runtime environment mapping variable names to values.
 pub type Env = HashMap<String, Value>;
 
-/// Evaluate an expression in an environment.
+/// Admission-control budgets for one interpreted statement — the
+/// interpreter-side mirror of the engine's `ExecConfig::{or_budget,
+/// time_budget}`, built once per statement by the session layer.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpLimits {
+    /// Absolute wall-clock deadline (`None` = unbounded; also `None` when
+    /// `now + budget` overflows the clock, which only an effectively
+    /// unbounded budget can do).
+    deadline: Option<Instant>,
+    /// The configured wall-clock budget in milliseconds, kept for error
+    /// messages.
+    budget_ms: u128,
+    /// Denotation budget: a value whose normalization denotes more than
+    /// this many complete instances is rejected before it is built.
+    denotations: Option<u64>,
+}
+
+impl InterpLimits {
+    /// No budgets: the interpreter behaves exactly as before.
+    pub fn unbounded() -> InterpLimits {
+        InterpLimits {
+            deadline: None,
+            budget_ms: 0,
+            denotations: None,
+        }
+    }
+
+    /// Budgets for one statement.  The deadline clock starts **now**, so
+    /// build this right before interpreting; a zero `time_budget` rejects
+    /// the statement at admission, matching the engine's `Deadline`
+    /// semantics.
+    pub fn new(denotations: Option<u64>, time_budget: Option<Duration>) -> InterpLimits {
+        InterpLimits {
+            deadline: time_budget.and_then(|b| Instant::now().checked_add(b)),
+            budget_ms: time_budget.map(|b| b.as_millis()).unwrap_or(0),
+            denotations,
+        }
+    }
+
+    /// Are both budgets absent?
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none() && self.denotations.is_none()
+    }
+
+    fn time_error(&self) -> InterpError {
+        InterpError::new(format!(
+            "time budget exceeded: the statement ran past its {} ms wall-clock budget",
+            self.budget_ms
+        ))
+    }
+}
+
+impl Default for InterpLimits {
+    fn default() -> Self {
+        InterpLimits::unbounded()
+    }
+}
+
+/// Per-statement interpreter context: the budgets plus a stride counter so
+/// the deadline clock is read once per 256 evaluation steps, not on every
+/// node.
+struct Ctx<'a> {
+    limits: &'a InterpLimits,
+    ticks: Cell<u32>,
+}
+
+impl Ctx<'_> {
+    /// One evaluation step: every 256th step reads the clock.
+    fn tick(&self) -> Result<(), InterpError> {
+        let Some(deadline) = self.limits.deadline else {
+            return Ok(());
+        };
+        let t = self.ticks.get().wrapping_add(1);
+        self.ticks.set(t);
+        if t % 256 == 0 && Instant::now() >= deadline {
+            return Err(self.limits.time_error());
+        }
+        Ok(())
+    }
+
+    /// Unstrided deadline check, for admission and for just-before points
+    /// of no return.
+    fn check_deadline(&self) -> Result<(), InterpError> {
+        match self.limits.deadline {
+            Some(d) if Instant::now() >= d => Err(self.limits.time_error()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Denotation-budget admission for an exponential-output builtin:
+    /// counts `v`'s complete denotations in closed form *before* anything
+    /// is materialized.
+    fn check_denotations(&self, v: &Value, what: &str) -> Result<(), InterpError> {
+        let Some(budget) = self.limits.denotations else {
+            return Ok(());
+        };
+        let total = LazyNormalizer::new(v).total();
+        if total > u128::from(budget) {
+            return Err(InterpError::new(format!(
+                "or-expansion budget exceeded: the argument of {what} denotes {total} \
+                 complete instances but the budget is {budget}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate an expression in an environment, with no budgets.
 pub fn interpret(expr: &Expr, env: &Env) -> Result<Value, InterpError> {
+    interpret_limited(expr, env, &InterpLimits::unbounded())
+}
+
+/// Evaluate an expression in an environment under admission-control
+/// budgets.  A zero time budget rejects the statement before any work;
+/// otherwise the deadline is checked on a stride through the evaluation
+/// loop, so an over-budget statement stops within a bounded amount of work
+/// of its deadline instead of running to completion.
+pub fn interpret_limited(
+    expr: &Expr,
+    env: &Env,
+    limits: &InterpLimits,
+) -> Result<Value, InterpError> {
+    let ctx = Ctx {
+        limits,
+        ticks: Cell::new(0),
+    };
+    ctx.check_deadline()?;
+    eval_expr(expr, env, &ctx)
+}
+
+fn eval_expr(expr: &Expr, env: &Env, ctx: &Ctx<'_>) -> Result<Value, InterpError> {
+    ctx.tick()?;
     match expr {
         Expr::Unit => Ok(Value::Unit),
         Expr::Int(i) => Ok(Value::Int(*i)),
@@ -51,50 +193,53 @@ pub fn interpret(expr: &Expr, env: &Env) -> Result<Value, InterpError> {
             .get(name)
             .cloned()
             .ok_or_else(|| InterpError::new(format!("unbound variable {name}"))),
-        Expr::Pair(a, b) => Ok(Value::pair(interpret(a, env)?, interpret(b, env)?)),
+        Expr::Pair(a, b) => Ok(Value::pair(
+            eval_expr(a, env, ctx)?,
+            eval_expr(b, env, ctx)?,
+        )),
         Expr::SetLit(items) => Ok(Value::set(
             items
                 .iter()
-                .map(|e| interpret(e, env))
+                .map(|e| eval_expr(e, env, ctx))
                 .collect::<Result<Vec<_>, _>>()?,
         )),
         Expr::OrSetLit(items) => Ok(Value::orset(
             items
                 .iter()
-                .map(|e| interpret(e, env))
+                .map(|e| eval_expr(e, env, ctx))
                 .collect::<Result<Vec<_>, _>>()?,
         )),
         Expr::SetComp { head, qualifiers } => {
-            let results = run_comprehension(head, qualifiers, env, true)?;
+            let results = run_comprehension(head, qualifiers, env, true, ctx)?;
             Ok(Value::set(results))
         }
         Expr::OrSetComp { head, qualifiers } => {
-            let results = run_comprehension(head, qualifiers, env, false)?;
+            let results = run_comprehension(head, qualifiers, env, false, ctx)?;
             Ok(Value::orset(results))
         }
         Expr::Let { name, value, body } => {
-            let v = interpret(value, env)?;
+            let v = eval_expr(value, env, ctx)?;
             let mut inner = env.clone();
             inner.insert(name.clone(), v);
-            interpret(body, &inner)
+            eval_expr(body, &inner, ctx)
         }
         Expr::If {
             cond,
             then_branch,
             else_branch,
-        } => match interpret(cond, env)? {
-            Value::Bool(true) => interpret(then_branch, env),
-            Value::Bool(false) => interpret(else_branch, env),
+        } => match eval_expr(cond, env, ctx)? {
+            Value::Bool(true) => eval_expr(then_branch, env, ctx),
+            Value::Bool(false) => eval_expr(else_branch, env, ctx),
             other => Err(InterpError::new(format!(
                 "condition did not evaluate to a boolean: {other}"
             ))),
         },
         Expr::BinOp(op, a, b) => {
-            let va = interpret(a, env)?;
-            let vb = interpret(b, env)?;
+            let va = eval_expr(a, env, ctx)?;
+            let vb = eval_expr(b, env, ctx)?;
             binop(*op, &va, &vb)
         }
-        Expr::Not(a) => match interpret(a, env)? {
+        Expr::Not(a) => match eval_expr(a, env, ctx)? {
             Value::Bool(b) => Ok(Value::Bool(!b)),
             other => Err(InterpError::new(format!(
                 "! expects a boolean, got {other}"
@@ -103,9 +248,9 @@ pub fn interpret(expr: &Expr, env: &Env) -> Result<Value, InterpError> {
         Expr::Call(builtin, args) => {
             let values: Vec<Value> = args
                 .iter()
-                .map(|e| interpret(e, env))
+                .map(|e| eval_expr(e, env, ctx))
                 .collect::<Result<Vec<_>, _>>()?;
-            call(*builtin, &values)
+            call(*builtin, &values, ctx)
         }
     }
 }
@@ -115,6 +260,7 @@ fn run_comprehension(
     qualifiers: &[Qualifier],
     env: &Env,
     is_set: bool,
+    ctx: &Ctx<'_>,
 ) -> Result<Vec<Value>, InterpError> {
     // One mutable environment, rebound in place as the qualifier nest is
     // walked depth-first.  A comprehension over n rows costs O(n) item
@@ -123,7 +269,7 @@ fn run_comprehension(
     // row by the size of the whole database.
     let mut scratch = env.clone();
     let mut out = Vec::new();
-    comprehension_step(head, qualifiers, &mut scratch, is_set, &mut out)?;
+    comprehension_step(head, qualifiers, &mut scratch, is_set, &mut out, ctx)?;
     Ok(out)
 }
 
@@ -143,14 +289,15 @@ fn comprehension_step(
     env: &mut Env,
     is_set: bool,
     out: &mut Vec<Value>,
+    ctx: &Ctx<'_>,
 ) -> Result<(), InterpError> {
     let Some((q, rest)) = qualifiers.split_first() else {
-        out.push(interpret(head, env)?);
+        out.push(eval_expr(head, env, ctx)?);
         return Ok(());
     };
     match q {
         Qualifier::Generator(name, source) => {
-            let items = match (interpret(source, env)?, is_set) {
+            let items = match (eval_expr(source, env, ctx)?, is_set) {
                 (Value::Set(items), true) => items,
                 (Value::OrSet(items), false) => items,
                 (other, true) => {
@@ -166,8 +313,9 @@ fn comprehension_step(
             };
             let shadowed = env.remove(name);
             for item in items {
+                ctx.tick()?;
                 env.insert(name.clone(), item);
-                comprehension_step(head, rest, env, is_set, out)?;
+                comprehension_step(head, rest, env, is_set, out, ctx)?;
             }
             match shadowed {
                 Some(prev) => env.insert(name.clone(), prev),
@@ -175,8 +323,8 @@ fn comprehension_step(
             };
             Ok(())
         }
-        Qualifier::Guard(g) => match interpret(g, env)? {
-            Value::Bool(true) => comprehension_step(head, rest, env, is_set, out),
+        Qualifier::Guard(g) => match eval_expr(g, env, ctx)? {
+            Value::Bool(true) => comprehension_step(head, rest, env, is_set, out, ctx),
             Value::Bool(false) => Ok(()),
             other => Err(InterpError::new(format!(
                 "comprehension guard must be boolean, got {other}"
@@ -219,7 +367,7 @@ fn binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, InterpError> {
     })
 }
 
-fn call(builtin: Builtin, args: &[Value]) -> Result<Value, InterpError> {
+fn call(builtin: Builtin, args: &[Value], ctx: &Ctx<'_>) -> Result<Value, InterpError> {
     let set_items = |v: &Value, what: &str| -> Result<Vec<Value>, InterpError> {
         match v {
             Value::Set(items) => Ok(items.clone()),
@@ -237,8 +385,22 @@ fn call(builtin: Builtin, args: &[Value]) -> Result<Value, InterpError> {
         }
     };
     match builtin {
-        Builtin::Normalize => Ok(normalize_value(&args[0])),
-        Builtin::Alpha => alpha_set(&args[0]).map_err(|e| InterpError::new(e.to_string())),
+        Builtin::Normalize => {
+            // The one exponential-output operation the fallback path can
+            // reach: admit it against the denotation budget (closed-form
+            // count, same semantics as the engine's OrExpand admission)
+            // and the deadline before materializing anything.
+            ctx.check_denotations(&args[0], "normalize")?;
+            ctx.check_deadline()?;
+            Ok(normalize_value(&args[0]))
+        }
+        Builtin::Alpha => {
+            // alpha produces exactly one output per complete denotation of
+            // its input, so the same closed-form admission applies.
+            ctx.check_denotations(&args[0], "alpha")?;
+            ctx.check_deadline()?;
+            alpha_set(&args[0]).map_err(|e| InterpError::new(e.to_string()))
+        }
         Builtin::Flatten => {
             let mut out = Vec::new();
             for item in set_items(&args[0], "flatten")? {
@@ -419,6 +581,46 @@ mod tests {
             interp("{ x | xs <- {{1, 2}, {3}}, x <- xs }", &env),
             Value::int_set([1, 2, 3])
         );
+    }
+
+    #[test]
+    fn zero_time_budget_rejects_at_admission() {
+        let env = Env::new();
+        let limits = InterpLimits::new(None, Some(Duration::ZERO));
+        let err = interpret_limited(&parse("1 + 1").unwrap(), &env, &limits).unwrap_err();
+        assert!(
+            err.message.contains("time budget exceeded"),
+            "unexpected: {err}"
+        );
+        // the same statement is fine without a budget
+        assert!(
+            interpret_limited(&parse("1 + 1").unwrap(), &env, &InterpLimits::unbounded()).is_ok()
+        );
+    }
+
+    #[test]
+    fn denotation_budget_gates_normalize_and_alpha() {
+        // 2^10 = 1024 complete denotations; a budget of 1000 must reject
+        // it *before* materialization, on both exponential builtins.
+        let mut env = Env::new();
+        env.insert(
+            "db".to_string(),
+            Value::set((0..10).map(|i| Value::int_orset([i, i + 100]))),
+        );
+        let limits = InterpLimits::new(Some(1_000), None);
+        for src in ["normalize(db)", "alpha(db)"] {
+            let err = interpret_limited(&parse(src).unwrap(), &env, &limits).unwrap_err();
+            assert!(
+                err.message.contains("or-expansion budget exceeded")
+                    && err.message.contains("1024"),
+                "unexpected for {src}: {err}"
+            );
+        }
+        // a budget of exactly 1024 admits it
+        let limits = InterpLimits::new(Some(1_024), None);
+        for src in ["normalize(db)", "alpha(db)"] {
+            assert!(interpret_limited(&parse(src).unwrap(), &env, &limits).is_ok());
+        }
     }
 
     #[test]

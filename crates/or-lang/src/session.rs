@@ -66,13 +66,15 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use or_engine::{EngineInputs, ExecConfig, Executor};
+use or_engine::{EngineError, EngineInputs, ExecConfig, Executor};
+use or_nra::physical::PhysicalPlan;
+use or_nra::verify::{first_deny, verify_plan, VerifyConfig};
 use or_object::snapshot::Snapshot;
 use or_object::{Type, Value};
 
 use crate::check::{infer_type, CheckError, TypeEnv};
 use crate::compile::compile_query;
-use crate::interp::{interpret, Env, InterpError};
+use crate::interp::{interpret_limited, Env, InterpError, InterpLimits};
 use crate::parser::{parse_statement, ParseError, Statement};
 use crate::plan::{plan_query, PlanError};
 
@@ -404,21 +406,35 @@ impl SessionCore {
             Statement::Bind(name, expr) => (expr, Some(name)),
         };
         let ty = infer_type(&expr, &self.type_env())?;
-        let config = budget.apply_to(config);
+        let mut config = budget.apply_to(config);
+        // Differential mode is the session's checked mode: the static plan
+        // verifier gates every engine-served statement regardless of build
+        // profile.
+        if matches!(mode, ExecMode::EngineChecked) {
+            config.verify = true;
+        }
+        // The interpreter honors the same admission budgets as the engine,
+        // on every route it can serve: Interp mode, the Engine-mode
+        // fallback, and the EngineChecked cross-check.  The deadline clock
+        // starts here, per statement.
+        let limits = InterpLimits::new(config.or_budget, config.time_budget);
         let (value, route) = match mode {
-            ExecMode::Interp => (interpret(&expr, &self.values)?, Route::Interp),
+            ExecMode::Interp => (
+                interpret_limited(&expr, &self.values, &limits)?,
+                Route::Interp,
+            ),
             // Engine-first: the engine is the serving path; the interpreter
             // runs only when the statement is outside the plannable fragment.
             ExecMode::Engine => match self.try_engine(&expr, config)? {
                 Ok(value) => (value, Route::Engine),
                 Err(fallback) => (
-                    interpret(&expr, &self.values)?,
+                    interpret_limited(&expr, &self.values, &limits)?,
                     Route::from_fallback(source, fallback),
                 ),
             },
             // Differential mode: both executors run, answers must agree.
             ExecMode::EngineChecked => {
-                let interpreted = interpret(&expr, &self.values)?;
+                let interpreted = interpret_limited(&expr, &self.values, &limits)?;
                 match self.try_engine(&expr, config)? {
                     Ok(engine_value) => {
                         if engine_value != interpreted {
@@ -468,6 +484,94 @@ impl SessionCore {
         env
     }
 
+    /// The engine-level row type of a set-relation binding, when the
+    /// session's type table knows it.
+    fn row_type_of(&self, name: &str) -> Option<Type> {
+        match self.types.get(name) {
+            Some(Type::Set(elem)) => Some((**elem).clone()),
+            _ => None,
+        }
+    }
+
+    /// Schema-aware static verification of an engine plan against the
+    /// session's type table (`ExecConfig::verify` gate).  The session is
+    /// the one caller that knows both the plan *and* the bindings' row
+    /// types, so the whole typed rule catalog engages here.  A
+    /// `Deny`-severity violation is an outer error: the statement fails
+    /// and — by eval-then-commit atomicity — publishes nothing.
+    fn verify_typed(
+        &self,
+        plan: &PhysicalPlan,
+        input_names: &[&str],
+        config: &ExecConfig,
+    ) -> Result<(), SessionError> {
+        if !config.verify {
+            return Ok(());
+        }
+        let vconfig = VerifyConfig {
+            provided_inputs: Some(input_names.len()),
+            row_types: input_names.iter().map(|n| self.row_type_of(n)).collect(),
+            or_budget: config.or_budget,
+            require_budgets: false,
+            assume_consistent: false,
+        };
+        let violations = verify_plan(plan, &vconfig);
+        match first_deny(&violations) {
+            Some(v) => Err(SessionError::Engine(
+                EngineError::from_violation(v).to_string(),
+            )),
+            None => Ok(()),
+        }
+    }
+
+    /// The plan [`SessionCore::eval_statement`] would hand the engine for
+    /// `source`, without executing anything — `None` when the statement is
+    /// outside the plannable fragment (the interpreter would serve it).
+    /// Mirrors [`try_engine`](SessionCore::eval_statement)'s two routes:
+    /// the direct multi-input planner, then single-binding morphism
+    /// compilation + lowering.  This is the entry point `or-analyze
+    /// verify-plans` uses to check whole scripts statement by statement.
+    pub fn plan_statement(&self, source: &str) -> Result<Option<PlannedStatement>, SessionError> {
+        let statement = parse_statement(source)?;
+        let expr = match statement {
+            Statement::Expr(expr) => expr,
+            Statement::Bind(_, expr) => expr,
+        };
+        infer_type(&expr, &self.type_env())?;
+        if matches!(expr, crate::ast::Expr::Var(_)) {
+            return Ok(None); // bare binding echo: environment lookup
+        }
+        if let Ok(pq) = plan_query(&expr) {
+            if !pq.inputs.iter().all(|n| self.snapshot.get(n).is_some()) {
+                return Ok(None); // some input is not a published relation
+            }
+            let row_types = pq.inputs.iter().map(|n| self.row_type_of(n)).collect();
+            return Ok(Some(PlannedStatement {
+                plan: pq.plan,
+                inputs: pq.inputs,
+                row_types,
+            }));
+        }
+        let free = expr.free_vars();
+        let [var] = free.as_slice() else {
+            return Ok(None);
+        };
+        if self.snapshot.get(var).is_none() {
+            return Ok(None);
+        }
+        let Ok(morphism) = compile_query(&expr, var) else {
+            return Ok(None);
+        };
+        let Ok(plan) = or_nra::optimize::lower(&morphism) else {
+            return Ok(None);
+        };
+        Ok(Some(PlannedStatement {
+            row_types: vec![self.row_type_of(var)],
+            inputs: vec![var.clone()],
+            plan,
+        }))
+    }
+
     /// Try to run `expr` on the physical engine.  The inner `Err(fallback)`
     /// means the statement is outside the engine's fragment (caller falls
     /// back to the interpreter and, for `noteworthy` errors, records the
@@ -510,6 +614,8 @@ impl SessionCore {
                         None => return Ok(Err(noteworthy(format!("unbound relation `{name}`")))),
                     }
                 }
+                let names: Vec<&str> = pq.inputs.iter().map(String::as_str).collect();
+                self.verify_typed(&pq.plan, &names, &config)?;
                 return match Executor::new(config).run_inputs_to_value(&pq.plan, &inputs) {
                     Ok(value) => Ok(Ok(value)),
                     Err(e) => Err(SessionError::Engine(e.to_string())),
@@ -539,6 +645,7 @@ impl SessionCore {
             // keep the lowering's own description of what stopped it
             Err(e) => return Ok(Err(noteworthy(e.to_string()))),
         };
+        self.verify_typed(&plan, &[var.as_str()], &config)?;
         let mut inputs = EngineInputs::with_base(self.snapshot.arena().clone());
         inputs.push_interned(published.rows(), published.ids());
         // lowering already happened above, so any executor error here is a
@@ -548,6 +655,19 @@ impl SessionCore {
             Err(e) => Err(SessionError::Engine(e.to_string())),
         }
     }
+}
+
+/// The engine plan a statement would execute, with the session context a
+/// static verifier needs: which binding feeds each scan slot and its row
+/// type.  Produced by [`SessionCore::plan_statement`].
+#[derive(Debug, Clone)]
+pub struct PlannedStatement {
+    /// The physical plan the engine would run.
+    pub plan: PhysicalPlan,
+    /// The binding name per scan slot.
+    pub inputs: Vec<String>,
+    /// The row type per scan slot, when the session's type table knows it.
+    pub row_types: Vec<Option<Type>>,
 }
 
 /// A script run's failure: which line, which statement, what went wrong.

@@ -25,7 +25,11 @@
 //!   coherence-diagram equations, plus [`optimize::lower`], the entry point
 //!   that lowers set-pipeline morphisms into physical plans;
 //! * [`physical`] — the [`physical::PhysicalPlan`] IR executed by the
-//!   streaming, parallel engine in the `or-engine` crate.
+//!   streaming, parallel engine in the `or-engine` crate;
+//! * [`verify`] — the static plan-invariant verifier: a typed checker that
+//!   walks a [`physical::PhysicalPlan`] against a numbered rule catalog
+//!   (arity, typing, Theorem 5.1 placement, budget admission) without
+//!   executing it.  See `docs/ANALYZE.md`.
 //!
 //! ## Quick example
 //!
@@ -45,6 +49,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod coherence;
 pub mod cost;
@@ -60,6 +65,7 @@ pub mod optimize;
 pub mod physical;
 pub mod preserve;
 pub mod rowprog;
+pub mod verify;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
@@ -81,6 +87,7 @@ pub mod prelude {
     pub use crate::physical::{LowerError, PhysicalPlan};
     pub use crate::preserve::{is_lossless_on, lossless_preconditions, preserve};
     pub use crate::rowprog::RowProgram;
+    pub use crate::verify::{first_deny, verify_plan, Rule, Severity, VerifyConfig, Violation};
 }
 
 pub use error::{EvalError, TypeError};

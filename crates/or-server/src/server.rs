@@ -45,6 +45,14 @@ use or_lang::session::{
 use crate::http::{read_request, write_response, Request};
 use crate::json::Json;
 
+/// Recover a lock guard even when a previous holder panicked.  Every
+/// shared structure behind these locks is updated atomically (the per-db
+/// core is swapped whole under the writer protocol; stats records are
+/// plain counters), so a poisoned guard still holds consistent data — a
+/// panicking handler thread must not wedge every later request.
+fn relock<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
@@ -158,23 +166,13 @@ impl Server {
             queries: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         });
-        self.state
-            .dbs
-            .write()
-            .expect("db registry lock")
-            .insert(name.to_string(), db);
+        relock(self.state.dbs.write()).insert(name.to_string(), db);
         Ok(())
     }
 
     /// Names of the resident databases.
     pub fn db_names(&self) -> Vec<String> {
-        self.state
-            .dbs
-            .read()
-            .expect("db registry lock")
-            .keys()
-            .cloned()
-            .collect()
+        relock(self.state.dbs.read()).keys().cloned().collect()
     }
 
     /// Serve until shutdown is requested, then drain and return.  Blocks
@@ -190,7 +188,7 @@ impl Server {
                 let rx = Arc::clone(&rx);
                 let state = Arc::clone(&state);
                 std::thread::spawn(move || loop {
-                    let next = rx.lock().expect("worker queue lock").recv();
+                    let next = relock(rx.lock()).recv();
                     match next {
                         Ok(stream) => handle_connection(&state, stream),
                         // the accept loop dropped the sender: shutdown
@@ -266,7 +264,7 @@ fn route(state: &State, request: &Request) -> (u16, String) {
 }
 
 fn healthz(state: &State) -> (u16, String) {
-    let dbs = state.dbs.read().expect("db registry lock").len();
+    let dbs = relock(state.dbs.read()).len();
     let body = Json::obj([
         ("ok", Json::Bool(true)),
         ("status", Json::str("serving")),
@@ -280,11 +278,11 @@ fn healthz(state: &State) -> (u16, String) {
 }
 
 fn stats(state: &State) -> (u16, String) {
-    let dbs = state.dbs.read().expect("db registry lock");
+    let dbs = relock(state.dbs.read());
     let mut entries: Vec<(String, Json)> = Vec::with_capacity(dbs.len());
     for (name, db) in dbs.iter() {
-        let engine_stats = db.stats.lock().expect("stats lock").clone();
-        let core = db.core.read().expect("core lock").clone();
+        let engine_stats = relock(db.stats.lock()).clone();
+        let core = relock(db.core.read()).clone();
         entries.push((
             name.clone(),
             Json::Obj(vec![
@@ -341,7 +339,7 @@ fn query(state: &State, body: &str) -> (u16, String) {
         }
     }
     let db = {
-        let dbs = state.dbs.read().expect("db registry lock");
+        let dbs = relock(state.dbs.read());
         match dbs.get(db_name) {
             Some(db) => Arc::clone(db),
             None => return (404, error_body(&format!("unknown database `{db_name}`"))),
@@ -389,22 +387,22 @@ fn run_statement(
         // Writer path: the mutex serializes `let` statements, so this
         // evaluation runs against the latest core with no competing commit
         // (readers are unaffected — they hold their own `Arc`).
-        let guard = db.write.lock().expect("writer lock");
-        let core = db.core.read().expect("core lock").clone();
+        let guard = relock(db.write.lock());
+        let core = relock(db.core.read()).clone();
         let evaluated = core.eval_statement(statement, config.mode, config.exec, budget)?;
         let route = evaluated.route.clone();
         let mut next = (*core).clone();
         let result = next.commit(evaluated);
-        *db.core.write().expect("core lock") = Arc::new(next);
+        *relock(db.core.write()) = Arc::new(next);
         drop(guard);
-        db.stats.lock().expect("stats lock").record(&route);
+        relock(db.stats.lock()).record(&route);
         Ok((result, route))
     } else {
         // Reader path: grab the current snapshot and evaluate lock-free.
-        let core = db.core.read().expect("core lock").clone();
+        let core = relock(db.core.read()).clone();
         let evaluated = core.eval_statement(statement, config.mode, config.exec, budget)?;
         let route = evaluated.route.clone();
-        db.stats.lock().expect("stats lock").record(&route);
+        relock(db.stats.lock()).record(&route);
         let result = SessionResult {
             value: evaluated.value,
             ty: evaluated.ty,

@@ -13,6 +13,8 @@
 //! `name  time: [min mean max]` and collected in a machine-readable report
 //! via [`Criterion::take_results`].
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -16,6 +16,8 @@
 //! * rejected cases (`prop_assume!`) are retried with fresh input up to a
 //!   bounded factor, as in the original.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod test_runner {

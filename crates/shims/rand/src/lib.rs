@@ -8,6 +8,8 @@
 //! seed (which is all the workload generators require), uniform enough for
 //! synthetic data, and explicitly **not** cryptographically secure.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of random 64-bit words.
 pub trait RngCore {
     /// The next 64 random bits.

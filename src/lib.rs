@@ -26,6 +26,7 @@
 //! (E13, archived as `BENCH_engine.json`).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use or_db;
 pub use or_engine;

@@ -1,108 +1,23 @@
-//! Documentation link audit: every **relative** markdown link in
-//! `README.md` and `docs/*.md` must point at a file (or directory) that
-//! actually exists in the repository.
-//!
-//! The CI `doc-links` job runs exactly this test, so a doc that moves or a
-//! link that rots fails the build instead of 404ing for a reader.  External
-//! links (`http(s)://`) and intra-page anchors (`#...`) are out of scope —
-//! the audit is about keeping the *repository's own* cross-references
-//! honest.
+//! Repository lint, run as a tier-1 test: delegates to the `or-analyze`
+//! lint pass (rules `L01`–`L06`, catalogued in `docs/ANALYZE.md`), which
+//! subsumes the markdown link audit this file used to hand-roll as its
+//! `L06` rule.  The CI `static-analysis` job runs the same pass through
+//! the `or-analyze` binary; keeping the delegation here means a plain
+//! `cargo test` catches a broken doc link or a lint regression too.
 
-use std::path::{Path, PathBuf};
-
-/// Extract `(link target, byte offset)` pairs for every inline markdown
-/// link `[text](target)` in `source`.  Reference-style links are not used
-/// in this repository; images (`![..](..)`) share the inline syntax and
-/// are audited the same way.
-fn markdown_link_targets(source: &str) -> Vec<(String, usize)> {
-    let bytes = source.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
-            let start = i + 2;
-            if let Some(rel_end) = source[start..].find(')') {
-                let target = &source[start..start + rel_end];
-                out.push((target.to_string(), i));
-                i = start + rel_end;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Is this link target in scope for the audit (a relative path into the
-/// repository)?
-fn is_relative_file_link(target: &str) -> bool {
-    !(target.is_empty()
-        || target.starts_with("http://")
-        || target.starts_with("https://")
-        || target.starts_with("mailto:")
-        || target.starts_with('#'))
-}
-
-fn audit_file(repo_root: &Path, doc: &Path, failures: &mut Vec<String>) {
-    let source = std::fs::read_to_string(doc)
-        .unwrap_or_else(|e| panic!("could not read {}: {e}", doc.display()));
-    let doc_dir = doc.parent().expect("doc files live in a directory");
-    for (target, offset) in markdown_link_targets(&source) {
-        if !is_relative_file_link(&target) {
-            continue;
-        }
-        // strip an in-file anchor: FILE.md#section points at FILE.md
-        let path_part = target.split('#').next().expect("split yields a first");
-        if path_part.is_empty() {
-            continue;
-        }
-        let resolved = doc_dir.join(path_part);
-        if !resolved.exists() {
-            let line = source[..offset].bytes().filter(|&b| b == b'\n').count() + 1;
-            failures.push(format!(
-                "{}:{line}: broken relative link `{target}` (resolved to {})",
-                doc.strip_prefix(repo_root).unwrap_or(doc).display(),
-                resolved.display(),
-            ));
-        }
-    }
-}
+use std::path::PathBuf;
 
 #[test]
-fn every_relative_markdown_link_resolves() {
-    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let mut docs = vec![repo_root.join("README.md")];
-    let docs_dir = repo_root.join("docs");
-    let entries = std::fs::read_dir(&docs_dir)
-        .unwrap_or_else(|e| panic!("could not list {}: {e}", docs_dir.display()));
-    for entry in entries {
-        let path = entry.expect("readable dir entry").path();
-        if path.extension().is_some_and(|e| e == "md") {
-            docs.push(path);
-        }
-    }
+fn or_analyze_lint_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let findings = or_analyze::lint_repo(&root);
     assert!(
-        docs.len() >= 3,
-        "expected README.md plus at least docs/ENGINE.md and docs/BENCHMARKS.md, found {docs:?}"
+        findings.is_empty(),
+        "or-analyze lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
     );
-
-    let mut failures = Vec::new();
-    for doc in &docs {
-        audit_file(&repo_root, doc, &mut failures);
-    }
-    assert!(
-        failures.is_empty(),
-        "broken documentation links:\n{}",
-        failures.join("\n")
-    );
-}
-
-#[test]
-fn the_link_extractor_sees_inline_links() {
-    let targets = markdown_link_targets("see [a](x.md) and ![img](y.png) but not http://z");
-    let names: Vec<&str> = targets.iter().map(|(t, _)| t.as_str()).collect();
-    assert_eq!(names, vec!["x.md", "y.png"]);
-    assert!(is_relative_file_link("docs/ENGINE.md"));
-    assert!(!is_relative_file_link("https://example.com"));
-    assert!(!is_relative_file_link("#anchor"));
 }
