@@ -22,6 +22,12 @@
 //!   block/fn/impl/trait anywhere.
 //! * **L06 doc-links** — every relative markdown link in `README.md` and
 //!   `docs/*.md` resolves to a real file.
+//! * **L07 columnar-kernels** — the engine's columnar kernel module works
+//!   on pre-resolved column slices only: no `Interner` table probes of any
+//!   kind inside the kernel loops.  Operands are resolved to columns once
+//!   per block *outside* the kernels; a per-row arena walk inside them
+//!   would reintroduce the pointer chasing the columnar layout amortizes
+//!   away.
 //!
 //! The matchers are substring heuristics over source lines (comments and
 //! `#[cfg(test)]` regions excluded for the code rules), deliberately
@@ -98,6 +104,23 @@ const ID_EQUALITY_SCOPE: [&str; 3] = [
     "crates/or-engine/src/exec.rs",
 ];
 
+/// Columnar kernel modules (rule L07): tight loops over pre-resolved
+/// slices, with every arena access banned.
+const COLUMNAR_KERNEL_SCOPE: [&str; 1] = ["crates/or-engine/src/kernels.rs"];
+
+/// Arena-access tokens banned inside columnar kernels (rule L07): naming
+/// the `Interner` type at all, plus every method that walks or grows the
+/// node table.
+const KERNEL_ARENA_TOKENS: [&str; 7] = [
+    concat!("Inter", "ner"),
+    concat!(".int", "ern("),
+    concat!(".no", "de("),
+    concat!(".dec", "ode("),
+    concat!(".val", "ue("),
+    concat!(".gather_", "path("),
+    concat!(".resolve_", "ints("),
+];
+
 /// Crate roots that must carry the `forbid` attribute (rule L05).
 const CRATE_ROOT_GLOBS: [&str; 3] = [
     "src/lib.rs",
@@ -116,6 +139,7 @@ pub fn lint_repo(root: &Path) -> Vec<Finding> {
     lint_id_equality(root, &sources, &mut findings);
     lint_forbid_unsafe(root, &sources, &mut findings);
     lint_doc_links(root, &mut findings);
+    lint_columnar_kernels(root, &sources, &mut findings);
 
     findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
     findings
@@ -344,6 +368,38 @@ fn lint_forbid_unsafe(root: &Path, sources: &[PathBuf], findings: &mut Vec<Findi
     }
 }
 
+/// L07: columnar kernels take pre-resolved slices; the arena stays out.
+/// Resolution (`gather_path`/`resolve_ints`) happens once per block in the
+/// operator layer — a per-row `Interner` probe inside a kernel loop defeats
+/// the SoA layout's point.
+fn lint_columnar_kernels(root: &Path, sources: &[PathBuf], findings: &mut Vec<Finding>) {
+    for rel in sources {
+        let rel_str = path_str(rel);
+        if !COLUMNAR_KERNEL_SCOPE.contains(&rel_str.as_str()) {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        for (line_no, line) in code_lines(&source) {
+            for pattern in KERNEL_ARENA_TOKENS {
+                if line.contains(pattern) {
+                    findings.push(Finding {
+                        rule: "L07",
+                        file: rel.clone(),
+                        line: line_no,
+                        message: format!(
+                            "`{pattern}…` inside a columnar kernel module; kernels work \
+                             on pre-resolved column slices — resolve operands once per \
+                             block in the operator layer instead"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Expand a path pattern with at most one `*` component (e.g.
 /// `crates/*/src/lib.rs`) against the filesystem.
 fn expand_one_star(root: &Path, pattern: &str) -> Vec<PathBuf> {
@@ -524,11 +580,21 @@ mod tests {
             format!("fn out(arena: &I) {{\n    let v = arena{DECODE}id);\n}}\n"),
         )
         .unwrap();
+        // a per-row arena probe inside the columnar kernel module
+        fs::write(
+            engine.join("kernels.rs"),
+            format!(
+                "fn kernel(arena: &I, ids: &[u32]) {{\n    \
+                 for &id in ids {{ let _ = arena{}id); }}\n}}\n",
+                KERNEL_ARENA_TOKENS[2]
+            ),
+        )
+        .unwrap();
         fs::write(dir.join("README.md"), "[missing](docs/NOPE.md)\n").unwrap();
 
         let findings = lint_repo(&dir);
         let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
-        for expected in ["L01", "L02", "L03", "L04", "L06"] {
+        for expected in ["L01", "L02", "L03", "L04", "L06", "L07"] {
             assert!(
                 rules.contains(&expected),
                 "expected {expected} in {findings:?}"

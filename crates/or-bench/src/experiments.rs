@@ -859,6 +859,42 @@ pub fn priced_relation(rows: usize) -> or_db::Relation {
     .expect("records match the schema")
 }
 
+/// The columnar-filter-project relation of **wide** `(id, sku, cost,
+/// weight, rank, score)` records — six int columns, so a row-at-a-time
+/// executor materializes three times more fields than the query touches
+/// and late materialization has something to win.
+pub fn wide_relation(rows: usize) -> or_db::Relation {
+    let schema = or_db::Schema::new([
+        or_db::Field::new("id", Type::Int),
+        or_db::Field::new("sku", Type::Int),
+        or_db::Field::new("cost", Type::Int),
+        or_db::Field::new("weight", Type::Int),
+        or_db::Field::new("rank", Type::Int),
+        or_db::Field::new("score", Type::Int),
+    ])
+    .expect("schema is well-formed");
+    or_db::Relation::from_records(
+        "wide",
+        schema,
+        (0..rows as i64).map(|i| {
+            Value::pair(
+                Value::Int(i),
+                Value::pair(
+                    Value::Int(i * 31 % 9973),
+                    Value::pair(
+                        Value::Int((i * 13) % 100),
+                        Value::pair(
+                            Value::Int(i % 50),
+                            Value::pair(Value::Int(i % 10), Value::Int((i * 7) % 1000)),
+                        ),
+                    ),
+                ),
+            )
+        }),
+    )
+    .expect("records match the schema")
+}
+
 /// The e13 relation of `(id, <alt>, <alt>)` records (or-set fields).
 pub fn alternatives_relation(rows: usize) -> or_db::Relation {
     let schema = or_db::Schema::new([
@@ -914,6 +950,25 @@ pub fn e13_scan_query() -> M {
         .then(M::pair(M::Id, M::constant(Value::Int(30))))
         .then(M::Prim(or_nra::Prim::Leq));
     or_nra::derived::select(cheap).then(M::map(M::Proj1))
+}
+
+/// The columnar-filter-project query over [`wide_relation`]: keep rows
+/// with `cost ≤ 4` (~5% selectivity — `cost` cycles through 0..100) and
+/// project `(id, rank)`.  Predicate and projection both stay inside the
+/// columnar fragment: one compare-into-selection-mask kernel over the
+/// `cost` column, then two gathers — the other four columns are never
+/// touched.
+pub fn columnar_filter_project_query() -> M {
+    let cost = M::Proj2.then(M::Proj2).then(M::Proj1);
+    let rank = M::Proj2
+        .then(M::Proj2)
+        .then(M::Proj2)
+        .then(M::Proj2)
+        .then(M::Proj1);
+    let cheap = cost
+        .then(M::pair(M::Id, M::constant(Value::Int(4))))
+        .then(M::Prim(or_nra::Prim::Leq));
+    or_nra::derived::select(cheap).then(M::map(M::pair(M::Proj1, rank)))
 }
 
 /// The e13 per-row α-expansion query.
@@ -1000,28 +1055,34 @@ fn measure_planned_workload(name: &str, relation: &or_db::Relation, query: &M) -
 /// Run the engine-vs-interpreter comparison at the given driving-relation
 /// scale and return the measured rows.
 pub fn e13_engine_rows(scale: usize) -> Vec<EngineBenchRow> {
-    let mut out = Vec::new();
-
-    // 1. partitioned scan: filter + project over (id, cost) records
-    out.push(measure_workload(
-        "scan_filter_project",
-        &priced_relation(scale),
-        &e13_scan_query(),
-    ));
-
-    // 2. or-expand: stream every complete instance of every record
-    out.push(measure_workload(
-        "or_expand",
-        &alternatives_relation(scale / 4),
-        &e13_expand_query(),
-    ));
-
-    // 2b. high-fanout or-expand: 32 possible worlds per row
-    out.push(measure_workload(
-        "or_expand_fanout8",
-        &fanout_relation(scale / 16),
-        &e13_expand_query(),
-    ));
+    let mut out = vec![
+        // 1. partitioned scan: filter + project over (id, cost) records
+        measure_workload(
+            "scan_filter_project",
+            &priced_relation(scale),
+            &e13_scan_query(),
+        ),
+        // 1b. columnar filter + project over wide six-column records: the
+        // selective predicate (~5%) reads one column and the projection
+        // gathers two — the late-materialization showcase
+        measure_workload(
+            "columnar_filter_project",
+            &wide_relation(scale),
+            &columnar_filter_project_query(),
+        ),
+        // 2. or-expand: stream every complete instance of every record
+        measure_workload(
+            "or_expand",
+            &alternatives_relation(scale / 4),
+            &e13_expand_query(),
+        ),
+        // 2b. high-fanout or-expand: 32 possible worlds per row
+        measure_workload(
+            "or_expand_fanout8",
+            &fanout_relation(scale / 16),
+            &e13_expand_query(),
+        ),
+    ];
 
     // 2c. expand-then-filter through the expand planner: the filter reads
     // only the or-free id field, so the planner pushes it below the
@@ -1225,11 +1286,83 @@ pub fn e14_session_rows(scale: usize) -> Vec<EngineBenchRow> {
     }]
 }
 
-/// The full engine benchmark: the e13 workloads plus the e14 session replay
-/// — everything that lands in `BENCH_engine.json`.
+/// E14b: the statement-shape plan cache, measured cold vs warm.  The
+/// **cold** leg (`engine_seq_ms`) replays [`E14_SCRIPT`] on a brand-new
+/// engine-first session per timed round, so every plannable statement pays
+/// the full parse → lower → optimize → verify pipeline; the **warm** leg
+/// (`engine_par_ms`) replays against one primed session, so every
+/// plannable statement is served from the statement-shape cache.
+/// `par_over_seq` therefore reads as warm-over-cold, and the row's `equal`
+/// flag also folds in the cache contract: a cold replay only misses, warm
+/// replays only hit.
+pub fn e14_plan_cache_rows(scale: usize) -> Vec<EngineBenchRow> {
+    use or_engine::ExecConfig;
+    use or_lang::ExecMode;
+
+    let available = hardware_workers();
+    // `normalize(design)` falls back to the interpreter in every mode;
+    // the other statements are engine-served and cache-tracked
+    let plannable = (E14_SCRIPT.len() - 1) as u64;
+    let mut interp = e14_session(ExecMode::Interp, ExecConfig::default(), scale);
+    let (interp_values, interp_ms) = timed(|| e14_replay(&mut interp));
+
+    // cold leg: sessions are pre-built outside the timed window ([`timed`]
+    // runs one discarded warmup plus TIMED_RUNS rounds, hence the +1), so
+    // the measurement is the replay alone, never the relation binding
+    let mut cold_sessions: Vec<_> = (0..=TIMED_RUNS)
+        .map(|_| e14_session(ExecMode::Engine, ExecConfig::default(), scale))
+        .collect();
+    let ((cold_values, cold_misses, cold_hits), cold_ms) = timed(|| {
+        let mut session = cold_sessions.pop().expect("one session per timed round");
+        let values = e14_replay(&mut session);
+        let stats = session.engine_stats();
+        (values, stats.plan_cache_misses, stats.plan_cache_hits)
+    });
+
+    // warm leg: one session, primed once, then every timed replay hits
+    let mut warm = e14_session(ExecMode::Engine, ExecConfig::default(), scale);
+    let primed_values = e14_replay(&mut warm);
+    let misses_after_priming = warm.engine_stats().plan_cache_misses;
+    let (warm_values, warm_ms) = timed(|| e14_replay(&mut warm));
+    let warm_stats = warm.engine_stats();
+
+    let cache_behaved = cold_misses == plannable
+        && cold_hits == 0
+        && misses_after_priming == plannable
+        && warm_stats.plan_cache_misses == plannable
+        && warm_stats.plan_cache_hits == plannable * (TIMED_RUNS as u64 + 1);
+    if !cache_behaved {
+        eprintln!(
+            "e14b: plan cache misbehaved: cold {cold_misses} miss(es)/{cold_hits} hit(s), \
+             warm {warm_stats:?}"
+        );
+    }
+    let equal = cache_behaved
+        && interp_values == cold_values
+        && cold_values == primed_values
+        && primed_values == warm_values;
+    vec![EngineBenchRow {
+        workload: "session_plan_cache".to_string(),
+        rows: scale,
+        interp_ms,
+        engine_seq_ms: cold_ms,
+        engine_par_ms: warm_ms,
+        // both legs run the sequential executor: the measured contrast is
+        // compile-and-verify vs cache hit, not parallelism
+        workers: 1,
+        available_parallelism: available,
+        runs: TIMED_RUNS,
+        equal,
+    }]
+}
+
+/// The full engine benchmark: the e13 workloads plus the e14 session
+/// replays (engine-first and plan-cache) — everything that lands in
+/// `BENCH_engine.json`.
 pub fn engine_bench_rows(scale: usize) -> Vec<EngineBenchRow> {
     let mut rows = e13_engine_rows(scale);
     rows.extend(e14_session_rows(scale));
+    rows.extend(e14_plan_cache_rows(scale));
     rows
 }
 
@@ -1371,7 +1504,20 @@ pub fn check_regression(
 ) -> Vec<RegressionVerdict> {
     let mut verdicts = Vec::new();
     for f in fresh {
-        let base = baseline.iter().find(|b| b.workload == f.workload);
+        // A baseline file can carry the same workload measured on several
+        // machine shapes (merged runs from a laptop and a CI runner).
+        // Prefer the row whose worker AND core counts match the fresh
+        // measurement — that one supports the strict parallel comparison —
+        // and only fall back to the first name match (the legacy behavior)
+        // when no shape-matched row exists.
+        let base = baseline
+            .iter()
+            .find(|b| {
+                b.workload == f.workload
+                    && b.workers == Some(f.workers)
+                    && b.available_parallelism == Some(f.available_parallelism)
+            })
+            .or_else(|| baseline.iter().find(|b| b.workload == f.workload));
         // pick the comparable leg: parallel on matching core counts,
         // sequential otherwise (when the baseline carries it).  Parallel
         // legs are only comparable when the core count AND the worker
@@ -1876,6 +2022,7 @@ mod tests {
             names,
             vec![
                 "scan_filter_project",
+                "columnar_filter_project",
                 "or_expand",
                 "or_expand_fanout8",
                 "or_expand_planned",
@@ -1886,6 +2033,35 @@ mod tests {
             assert!(r.equal, "{} disagreed with the interpreter", r.workload);
             assert!(r.workers >= 1, "{} reported zero workers", r.workload);
         }
+    }
+
+    #[test]
+    fn columnar_filter_project_workload_runs_fully_columnar() {
+        use or_engine::{run_plan_with_stats, ExecConfig};
+        use or_nra::optimize::lower;
+
+        // the showcase workload must actually exercise the vectorized
+        // kernels: every batch columnar, none falling back to scalar rows
+        let relation = wide_relation(256);
+        let plan = lower(&columnar_filter_project_query()).expect("lowerable");
+        let config = ExecConfig::default().with_batch_size(64);
+        let (value, stats) = run_plan_with_stats(&plan, &[&relation], config).expect("engine");
+        assert!(!value.elements().unwrap().is_empty());
+        assert!(stats.columnar_batches >= 1, "{stats:?}");
+        assert_eq!(stats.scalar_fallback_batches, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn e14_plan_cache_row_hits_after_priming() {
+        // tiny scale: correctness of the harness, not perf
+        let rows = e14_plan_cache_rows(64);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.workload, "session_plan_cache");
+        // `equal` folds in the cache contract (cold replays only miss,
+        // warm replays only hit) alongside the value cross-check
+        assert!(r.equal, "plan-cache replay legs disagreed");
+        assert_eq!(r.workers, 1);
     }
 
     #[test]
@@ -2045,6 +2221,64 @@ mod tests {
         assert!(verdicts[0].ok, "{}", verdicts[0].detail);
         assert!(
             verdicts[0].detail.contains("worker counts differ"),
+            "{}",
+            verdicts[0].detail
+        );
+    }
+
+    #[test]
+    fn regression_checker_prefers_the_shape_matched_baseline_row() {
+        // two baseline rows for the same workload: a 16-core laptop's (high
+        // parallel speedup, listed first) and a 2-core CI runner's.  A
+        // fresh 2-core run must be held to the runner's parallel numbers,
+        // not dodge them via the laptop row's sequential-leg fallback.
+        let laptop = BaselineRow {
+            workload: "w".to_string(),
+            speedup_vs_interp: 8.0,
+            speedup_seq: Some(2.0),
+            available_parallelism: Some(16),
+            workers: Some(16),
+            par_over_seq: None,
+            rows: None,
+            interp_ms: None,
+            engine_seq_ms: None,
+            engine_par_ms: None,
+            equal: true,
+        };
+        let runner = BaselineRow {
+            speedup_vs_interp: 3.0,
+            available_parallelism: Some(2),
+            workers: Some(2),
+            ..laptop.clone()
+        };
+        let baseline = vec![laptop.clone(), runner];
+        // fresh 2-core run at 2.0x parallel: fine against the laptop's
+        // sequential fallback (2.0 >= 2.0/1.15) but below the runner's
+        // parallel floor of 3.0/1.15 ≈ 2.61
+        let fresh = vec![EngineBenchRow {
+            workload: "w".to_string(),
+            rows: 10,
+            interp_ms: 10.0,
+            engine_seq_ms: 5.0,
+            engine_par_ms: 5.0,
+            workers: 2,
+            available_parallelism: 2,
+            runs: TIMED_RUNS,
+            equal: true,
+        }];
+        let verdicts = check_regression(&baseline, &fresh, 1.15);
+        assert!(!verdicts[0].ok, "{}", verdicts[0].detail);
+        assert!(
+            verdicts[0].detail.contains("parallel"),
+            "{}",
+            verdicts[0].detail
+        );
+        // with only the laptop row present, the sequential fallback still
+        // applies as before
+        let verdicts = check_regression(&[laptop], &fresh, 1.15);
+        assert!(verdicts[0].ok, "{}", verdicts[0].detail);
+        assert!(
+            verdicts[0].detail.contains("sequential"),
             "{}",
             verdicts[0].detail
         );

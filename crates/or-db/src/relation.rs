@@ -29,6 +29,23 @@ pub struct InternedRows {
     pub ids: Vec<InternId>,
 }
 
+/// The relation sliced into columns over its interned records: one id
+/// column per schema field, in schema order (SoA).  `columns[f][r]` names
+/// field `f` of record `r` in the same frozen arena as
+/// [`Relation::interned`] — the typed column view the engine's columnar
+/// kernels gather per block, precomputed once per relation for consumers
+/// that want whole columns (statistics, column scans) without walking
+/// record spines per row.
+#[derive(Debug, Clone)]
+pub struct InternedColumns {
+    /// The frozen arena the column ids live in (shared with
+    /// [`InternedRows`]).
+    pub arena: Arc<Interner>,
+    /// One id column per schema field: `columns[f][r]` is field `f` of
+    /// record `r`.
+    pub columns: Vec<Vec<InternId>>,
+}
+
 /// A named in-memory relation.
 #[derive(Debug, Clone)]
 pub struct Relation {
@@ -38,6 +55,8 @@ pub struct Relation {
     rows: Vec<Value>,
     /// Lazily built interned-rows cache; reset by every mutation.
     interned: OnceLock<InternedRows>,
+    /// Lazily built columnar view over the interned rows; reset with it.
+    columns: OnceLock<InternedColumns>,
 }
 
 impl PartialEq for Relation {
@@ -87,6 +106,7 @@ impl Relation {
             schema,
             rows: Vec::new(),
             interned: OnceLock::new(),
+            columns: OnceLock::new(),
         }
     }
 
@@ -123,6 +143,34 @@ impl Relation {
             InternedRows {
                 arena: Arc::new(arena),
                 ids,
+            }
+        })
+    }
+
+    /// The relation's columnar (SoA) view: one id column per schema field
+    /// over the interned records, sharing the frozen per-relation arena of
+    /// [`Relation::interned`].
+    ///
+    /// Built lazily on first use and cached until the relation is mutated.
+    /// Schema checking guarantees every record carries the full pair
+    /// spine, so the per-field gather cannot fail.
+    pub fn interned_columns(&self) -> &InternedColumns {
+        self.columns.get_or_init(|| {
+            let interned = self.interned();
+            let columns = (0..self.schema.arity())
+                .map(|f| {
+                    let path = self.schema.field_path(f).expect("field index in range");
+                    let mut column = Vec::new();
+                    interned
+                        .arena
+                        .gather_path(&interned.ids, &path, &mut column)
+                        .expect("schema-checked records carry every field");
+                    column
+                })
+                .collect();
+            InternedColumns {
+                arena: interned.arena.clone(),
+                columns,
             }
         })
     }
@@ -174,7 +222,8 @@ impl Relation {
         let record = self.schema.record(values)?;
         if !self.rows.contains(&record) {
             self.rows.push(record);
-            self.interned = OnceLock::new(); // cache follows the rows
+            self.interned = OnceLock::new(); // caches follow the rows
+            self.columns = OnceLock::new();
         }
         Ok(())
     }
@@ -189,7 +238,8 @@ impl Relation {
         }
         if !self.rows.contains(&record) {
             self.rows.push(record);
-            self.interned = OnceLock::new(); // cache follows the rows
+            self.interned = OnceLock::new(); // caches follow the rows
+            self.columns = OnceLock::new();
         }
         Ok(())
     }
@@ -355,6 +405,26 @@ mod tests {
         let empty = Relation::new("empty", Schema::new([Field::new("n", Type::Int)]).unwrap());
         assert_eq!(empty.partitions(4).len(), 1);
         assert_eq!(empty.batches(8).count(), 0);
+    }
+
+    #[test]
+    fn interned_columns_agree_with_field_projection_and_follow_mutations() {
+        let mut r = offices();
+        let cols = r.interned_columns();
+        assert_eq!(cols.columns.len(), 2);
+        for (f, field) in r.schema().fields().iter().enumerate() {
+            let decoded: Vec<Value> = cols.columns[f]
+                .iter()
+                .map(|&id| cols.arena.value(id))
+                .collect();
+            assert_eq!(decoded, r.project(&field.name).unwrap(), "{}", field.name);
+        }
+        // the column arena is the row arena: column ids are row-field ids
+        assert!(Arc::ptr_eq(&cols.arena, &r.interned().arena));
+        // mutation invalidates the columnar cache along with the rows
+        r.insert(vec![Value::str("Ann"), Value::int_orset([7])])
+            .unwrap();
+        assert_eq!(r.interned_columns().columns[0].len(), 3);
     }
 
     #[test]

@@ -78,6 +78,7 @@ use or_nra::physical::PhysicalPlan;
 use or_object::intern::{InternId, Interner};
 use or_object::Value;
 
+use crate::column::ColumnarCounters;
 use crate::error::EngineError;
 use crate::morsel::MorselQueue;
 use crate::ops::{build, compile, drain_within, unpack_setup_result, BuildCtx};
@@ -115,6 +116,11 @@ pub struct ExecConfig {
     /// This is the admission-control knob a serving layer hands out per
     /// query.
     pub time_budget: Option<std::time::Duration>,
+    /// Use the columnar block path for operators whose row programs fall
+    /// in the column-expressible fragment (see `crate::column`).  On by
+    /// default; the differential suite turns it off to pin the scalar
+    /// path against the same plans.
+    pub columnar: bool,
     /// Run the static plan verifier ([`or_nra::verify`]) before executing
     /// and reject plans with `Deny`-severity violations as
     /// [`EngineError::InvariantViolation`].  At this level only structural
@@ -134,6 +140,7 @@ impl Default for ExecConfig {
             min_parallel_rows: 8192,
             pin_workers: false,
             time_budget: None,
+            columnar: true,
             verify: cfg!(debug_assertions),
         }
     }
@@ -211,6 +218,15 @@ impl ExecConfig {
         self
     }
 
+    /// Enable or disable the columnar block path (enabled by default).
+    /// `with_columnar(false)` forces every batch through the scalar
+    /// row-program path — the lever the differential tests use to assert
+    /// columnar == scalar.
+    pub fn with_columnar(mut self, columnar: bool) -> ExecConfig {
+        self.columnar = columnar;
+        self
+    }
+
     /// Set the wall-clock budget for the whole query.  A zero duration
     /// rejects every query at admission — useful for deterministically
     /// exercising the over-budget error path.
@@ -270,6 +286,9 @@ impl Deadline {
 /// // interned end to end: exactly one Value materialization per result row
 /// assert_eq!(stats.value_decodes, out.len() as u64);
 /// assert!(stats.arena_nodes > 0);
+/// // the projection is a bare field path: one columnar batch, no fallback
+/// assert_eq!(stats.columnar_batches, 1);
+/// assert_eq!(stats.scalar_fallback_batches, 0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecStats {
@@ -294,6 +313,16 @@ pub struct ExecStats {
     /// Distinct nodes in the query arena (inputs + constants + rows built
     /// during execution; the maximum over workers for partitioned runs).
     pub arena_nodes: usize,
+    /// Batches the columnar-eligible operators (filter, project,
+    /// hash-join probe) handled entirely with block kernels, summed over
+    /// all worker lanes.
+    pub columnar_batches: u64,
+    /// Batches those same operators pushed through the per-row scalar
+    /// path instead — because the row program fell outside the column
+    /// fragment at compile time, a batch's row shapes did not match at
+    /// runtime, or [`ExecConfig::columnar`] is off.  Zero here means the
+    /// columnar path handled 100% of the eligible batches.
+    pub scalar_fallback_batches: u64,
 }
 
 /// Query inputs: per-slot row slices, optionally **pre-interned** against a
@@ -509,11 +538,16 @@ impl Executor {
             }
         };
 
+        // One set of columnar/scalar batch counters per query, shared by
+        // every operator of every worker lane (plain relaxed atomics).
+        let counters = ColumnarCounters::new();
         let ctx = BuildCtx {
             inputs: &interned,
             batch_size: self.config.batch_size,
             or_budget: self.config.or_budget,
             lead_worker: true,
+            columnar: self.config.columnar,
+            counters: &counters,
         };
 
         if workers <= 1 {
@@ -524,6 +558,7 @@ impl Executor {
             arena.sort_ids(&mut ids);
             ids.dedup();
             let rows: Vec<Value> = ids.iter().map(|&id| arena.decode(id)).collect();
+            let (columnar_batches, scalar_fallback_batches) = counters.snapshot();
             let stats = ExecStats {
                 workers: 1,
                 rows: rows.len(),
@@ -531,6 +566,8 @@ impl Executor {
                 steals: 0,
                 value_decodes: arena.decode_count(),
                 arena_nodes: arena.len(),
+                columnar_batches,
+                scalar_fallback_batches,
             };
             return Ok((rows, stats));
         }
@@ -558,8 +595,17 @@ impl Executor {
         // `ExecStats` claim accounting per shard), far fewer per-morsel
         // pipeline rebuilds, and sorted runs big enough that the disjoint
         // concat tail dominates.
+        // Morsel claims hand out whole id-blocks: when a morsel holds at
+        // least one batch, its size is truncated to a multiple of the
+        // batch size, so every claimed range decomposes into full columnar
+        // blocks (plus one tail block at the end of the relation) instead
+        // of leaving a sub-batch stub per morsel.  The defaults (1024 /
+        // 1024) make a morsel exactly one block.
+        let block = self.config.batch_size.max(1);
         let morsel_rows = if lanes == 1 {
             driver_rows.len().div_ceil(workers).max(1)
+        } else if self.config.morsel_rows >= block {
+            self.config.morsel_rows - self.config.morsel_rows % block
         } else {
             self.config.morsel_rows
         };
@@ -629,6 +675,7 @@ impl Executor {
                 for (_, run) in &runs {
                     rows.extend(run.iter().map(|&id| arena.decode(id)));
                 }
+                let (columnar_batches, scalar_fallback_batches) = counters.snapshot();
                 let stats = ExecStats {
                     workers,
                     rows: rows.len(),
@@ -636,6 +683,8 @@ impl Executor {
                     steals,
                     value_decodes: arena.decode_count(),
                     arena_nodes: arena.len(),
+                    columnar_batches,
+                    scalar_fallback_batches,
                 };
                 return Ok((rows, stats));
             }
@@ -645,7 +694,15 @@ impl Executor {
                 morsels,
                 steals,
             }];
-            return Ok(finish_parallel(outputs, shared_len, 1, workers, 0, 0));
+            return Ok(finish_parallel(
+                outputs,
+                shared_len,
+                1,
+                workers,
+                0,
+                0,
+                counters.snapshot(),
+            ));
         }
 
         // Freeze the query arena; lanes overlay it privately.  The
@@ -707,6 +764,7 @@ impl Executor {
             workers,
             base.decode_count(),
             base.len(),
+            counters.snapshot(),
         ))
     }
 
@@ -718,6 +776,18 @@ impl Executor {
     ) -> Result<Value, EngineError> {
         let (rows, _) = self.run_inputs(plan, inputs)?;
         Ok(canonical_set(rows))
+    }
+
+    /// [`Executor::run_inputs_to_value`] that also reports execution
+    /// counters — what a serving layer needs to aggregate columnar/scalar
+    /// batch statistics across statements.
+    pub fn run_inputs_to_value_with_stats(
+        &self,
+        plan: &PhysicalPlan,
+        inputs: &EngineInputs<'_>,
+    ) -> Result<(Value, ExecStats), EngineError> {
+        let (rows, stats) = self.run_inputs(plan, inputs)?;
+        Ok((canonical_set(rows), stats))
     }
 }
 
@@ -761,6 +831,7 @@ fn finish_parallel(
     workers: usize,
     base_decodes: u64,
     base_nodes: usize,
+    (columnar_batches, scalar_fallback_batches): (u64, u64),
 ) -> (Vec<Value>, ExecStats) {
     let morsels: u64 = outputs.iter().map(|o| o.morsels).sum();
     let steals: u64 = outputs.iter().map(|o| o.steals).sum();
@@ -791,6 +862,8 @@ fn finish_parallel(
         steals,
         value_decodes,
         arena_nodes,
+        columnar_batches,
+        scalar_fallback_batches,
     };
     (rows, stats)
 }

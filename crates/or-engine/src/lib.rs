@@ -42,6 +42,19 @@
 //! [`exec::ExecStats::value_decodes`], which equals the result row count
 //! on the interned serving path.
 //!
+//! ## Columnar blocks
+//!
+//! On top of the id representation, the hot per-row operators (filter,
+//! project, hash-join probe) run **columnar** whenever their row program
+//! falls in the column-expressible fragment ([`or_nra::colprog`]): a batch
+//! becomes an [`column::IdBlock`] — operand columns gathered once per
+//! block, a branch-free compare kernel ([`kernels`]) writing a selection
+//! vector, survivors reassembled by gather.  Batches whose row shapes
+//! don't match fall back to the scalar row-program path *per batch*
+//! (identical results, identical errors), and
+//! [`exec::ExecStats::columnar_batches`] /
+//! [`exec::ExecStats::scalar_fallback_batches`] report the split.
+//!
 //! ## Morsel-driven parallelism
 //!
 //! Every plan has a **driving scan** — follow `input`/`left` edges to a
@@ -127,8 +140,10 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod column;
 pub mod error;
 pub mod exec;
+pub mod kernels;
 pub mod morsel;
 pub mod ops;
 pub mod query;

@@ -48,14 +48,16 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use or_nra::colprog::{ColumnPredicate, ColumnProgram};
 use or_nra::eval::eval;
 use or_nra::lazy::LazyNormalizer;
 use or_nra::morphism::Morphism;
 use or_nra::physical::PhysicalPlan;
 use or_nra::rowprog::RowProgram;
-use or_object::intern::{FnvBuildHasher, IdSet, InternId, Interner, Node};
+use or_object::intern::{Field, FnvBuildHasher, IdSet, InternId, Interner, Node};
 use or_object::Value;
 
+use crate::column::{self, ColumnarCounters, IdBlock};
 use crate::error::EngineError;
 
 /// Pull-based batch iterator over interned rows.  The arena is threaded
@@ -118,7 +120,21 @@ pub struct BuildCtx<'a> {
     /// once both sufficient and non-redundant.  Sequential runs always
     /// build with `true`.
     pub lead_worker: bool,
+    /// Use the columnar block path where the compiled plan offers one
+    /// ([`crate::exec::ExecConfig::columnar`]; differential tests force it
+    /// off to pin the scalar path).
+    pub columnar: bool,
+    /// The query's shared columnar/scalar batch counters — one set per
+    /// execution, shared by every operator and worker lane.
+    pub counters: &'a ColumnarCounters,
 }
+
+/// Discard bucket for compile-time broadcast materialization
+/// ([`materialize_right`] runs a subplan *inside* `compile`, before the
+/// executor's per-query counters exist).  Those batches are part of plan
+/// compilation, not the streamed pipeline, so they are deliberately kept
+/// out of [`crate::exec::ExecStats`].
+static COMPILE_TIME_COUNTERS: ColumnarCounters = ColumnarCounters::new();
 
 /// An equi-join probe table: right-side key id → indices into the
 /// broadcast rows.  Hashing a key is hashing 4 bytes.
@@ -239,6 +255,10 @@ pub enum JoinKind {
     Hash {
         /// Left-side key extractor.
         left_key: RowProgram,
+        /// The key extractor as a bare field path, when it is one — the
+        /// columnar probe gathers the whole key column in one pass
+        /// instead of running `left_key` per row.
+        key_path: Option<Vec<Field>>,
         /// Right-key id → right-row indices, built once per query and
         /// hash-partitioned for large build sides.
         table: Arc<JoinTable>,
@@ -263,6 +283,10 @@ pub enum CompiledPlan {
     Filter {
         /// Compiled row predicate.
         predicate: RowProgram,
+        /// The predicate's columnar form, when it falls in the
+        /// column-expressible compare fragment — chosen once at compile
+        /// time ([`ColumnPredicate::of`]).
+        columnar: Option<ColumnPredicate>,
         /// Upstream plan.
         input: Box<CompiledPlan>,
     },
@@ -270,6 +294,10 @@ pub enum CompiledPlan {
     Project {
         /// Compiled row transformer.
         f: RowProgram,
+        /// The transformer's columnar form (gathers + pair formation),
+        /// when every operation is column-expressible
+        /// ([`ColumnProgram::of`]).
+        columnar: Option<ColumnProgram>,
         /// Upstream plan.
         input: Box<CompiledPlan>,
     },
@@ -369,14 +397,24 @@ pub fn compile(
 ) -> Result<CompiledPlan, EngineError> {
     Ok(match plan {
         PhysicalPlan::Scan(slot) => CompiledPlan::Scan(*slot),
-        PhysicalPlan::Filter { predicate, input } => CompiledPlan::Filter {
-            predicate: RowProgram::compile(predicate, arena),
-            input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
-        },
-        PhysicalPlan::Project { f, input } => CompiledPlan::Project {
-            f: RowProgram::compile(f, arena),
-            input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
-        },
+        PhysicalPlan::Filter { predicate, input } => {
+            let predicate = RowProgram::compile(predicate, arena);
+            let columnar = ColumnPredicate::of(&predicate);
+            CompiledPlan::Filter {
+                predicate,
+                columnar,
+                input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
+            }
+        }
+        PhysicalPlan::Project { f, input } => {
+            let f = RowProgram::compile(f, arena);
+            let columnar = ColumnProgram::of(&f);
+            CompiledPlan::Project {
+                f,
+                columnar,
+                input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
+            }
+        }
         PhysicalPlan::AttachEnv { setup, input } => CompiledPlan::AttachEnv {
             setup: setup.clone(),
             input: Box::new(compile(input, arena, inputs, batch_size, or_budget)?),
@@ -429,8 +467,13 @@ pub fn compile(
                     // the borrow on `inputs`/`right` is disjoint from the
                     // arena, so key programs can intern freely
                     let table = JoinTable::build(rows, &right_key, arena)?;
+                    let key_path = match ColumnProgram::of(&left_key) {
+                        Some(ColumnProgram::Path(p)) => Some(p),
+                        _ => None,
+                    };
                     JoinKind::Hash {
                         left_key,
+                        key_path,
                         table: Arc::new(table),
                     }
                 }
@@ -473,6 +516,8 @@ fn materialize_right(
         batch_size,
         or_budget,
         lead_worker: true,
+        columnar: true,
+        counters: &COMPILE_TIME_COUNTERS,
     };
     let mut op = build(&compiled, ctx, None)?;
     let rows = drain(op.as_mut(), arena)?;
@@ -536,13 +581,30 @@ pub fn build<'a>(
                 batch_size: ctx.batch_size,
             }))
         }
-        CompiledPlan::Filter { predicate, input } => Ok(Box::new(FilterOp {
+        CompiledPlan::Filter {
+            predicate,
+            columnar,
+            input,
+        } => Ok(Box::new(FilterOp {
             input: build(input, ctx, driver_override)?,
             predicate,
+            columnar: if ctx.columnar {
+                columnar.as_ref()
+            } else {
+                None
+            },
+            block: IdBlock::default(),
+            counters: ctx.counters,
         })),
-        CompiledPlan::Project { f, input } => Ok(Box::new(ProjectOp {
+        CompiledPlan::Project { f, columnar, input } => Ok(Box::new(ProjectOp {
             input: build(input, ctx, driver_override)?,
             f,
+            columnar: if ctx.columnar {
+                columnar.as_ref()
+            } else {
+                None
+            },
+            counters: ctx.counters,
         })),
         CompiledPlan::AttachEnv { setup, input } => Ok(Box::new(AttachEnvOp {
             input: Some(build(input, ctx, driver_override)?),
@@ -577,6 +639,9 @@ pub fn build<'a>(
             kind,
             pending: Vec::new(),
             batch_size: ctx.batch_size,
+            columnar: ctx.columnar,
+            block: IdBlock::default(),
+            counters: ctx.counters,
         })),
         CompiledPlan::OrExpand {
             budget,
@@ -637,10 +702,17 @@ impl Operator for ScanOp<'_> {
     }
 }
 
-/// Keeps the rows whose predicate evaluates to `true`.
+/// Keeps the rows whose predicate evaluates to `true`.  Columnar fast
+/// path: gather the operand columns once per batch, run a branch-free
+/// compare kernel into the block's selection vector, gather survivors;
+/// any shape mismatch re-runs the whole batch through the scalar row
+/// program (identical rows, identical errors).
 pub struct FilterOp<'a> {
     input: Box<dyn Operator + 'a>,
     predicate: &'a RowProgram,
+    columnar: Option<&'a ColumnPredicate>,
+    block: IdBlock,
+    counters: &'a ColumnarCounters,
 }
 
 impl Operator for FilterOp<'_> {
@@ -648,18 +720,26 @@ impl Operator for FilterOp<'_> {
         // Loop so that a fully-filtered batch does not end the stream.
         while let Some(batch) = self.input.next_batch(arena)? {
             let mut out = Vec::with_capacity(batch.len());
-            for row in batch {
-                let verdict = self.predicate.run(row, arena)?;
-                match arena.node(verdict) {
-                    Node::Bool(true) => out.push(row),
-                    Node::Bool(false) => {}
-                    _ => {
-                        return Err(EngineError::NonBooleanPredicate {
-                            value: arena.value(verdict).to_string(),
-                        })
+            let columnar = match self.columnar {
+                Some(pred) => column::filter_block(pred, &batch, arena, &mut self.block, &mut out),
+                None => false,
+            };
+            if !columnar {
+                out.clear();
+                for &row in &batch {
+                    let verdict = self.predicate.run(row, arena)?;
+                    match arena.node(verdict) {
+                        Node::Bool(true) => out.push(row),
+                        Node::Bool(false) => {}
+                        _ => {
+                            return Err(EngineError::NonBooleanPredicate {
+                                value: arena.value(verdict).to_string(),
+                            })
+                        }
                     }
                 }
             }
+            self.counters.note(columnar);
             if !out.is_empty() {
                 return Ok(Some(out));
             }
@@ -673,10 +753,15 @@ impl Operator for FilterOp<'_> {
     }
 }
 
-/// Applies a row program to every row.
+/// Applies a row program to every row.  Columnar fast path: a projection
+/// chain is one gather pass over the batch; pair formation interns once
+/// per output row at the result boundary.  Shape mismatches re-run the
+/// batch through the scalar row program.
 pub struct ProjectOp<'a> {
     input: Box<dyn Operator + 'a>,
     f: &'a RowProgram,
+    columnar: Option<&'a ColumnProgram>,
+    counters: &'a ColumnarCounters,
 }
 
 impl Operator for ProjectOp<'_> {
@@ -685,9 +770,17 @@ impl Operator for ProjectOp<'_> {
             None => Ok(None),
             Some(batch) => {
                 let mut out = Vec::with_capacity(batch.len());
-                for row in &batch {
-                    out.push(self.f.run(*row, arena)?);
+                let columnar = match self.columnar {
+                    Some(prog) => column::project_block(prog, &batch, arena, &mut out),
+                    None => false,
+                };
+                if !columnar {
+                    out.clear();
+                    for row in &batch {
+                        out.push(self.f.run(*row, arena)?);
+                    }
                 }
+                self.counters.note(columnar);
                 Ok(Some(out))
             }
         }
@@ -834,13 +927,20 @@ impl Operator for CartesianOp<'_> {
     }
 }
 
-/// Nested-loop join with a hash fast path for equality predicates.
+/// Nested-loop join with a hash fast path for equality predicates.  When
+/// the left key is a bare field path, the hash probe runs columnar: the
+/// whole key column is gathered in one pass and probed as a batch
+/// ([`column::probe_block`]); a left row without the key path re-runs the
+/// batch through the per-row key program.
 pub struct JoinOp<'a> {
     left: Box<dyn Operator + 'a>,
     right_rows: &'a [InternId],
     kind: &'a JoinKind,
     pending: Vec<InternId>,
     batch_size: usize,
+    columnar: bool,
+    block: IdBlock,
+    counters: &'a ColumnarCounters,
 }
 
 impl Operator for JoinOp<'_> {
@@ -848,10 +948,26 @@ impl Operator for JoinOp<'_> {
         while self.pending.is_empty() {
             match self.left.next_batch(arena)? {
                 None => return Ok(None),
-                Some(batch) => {
-                    for &l in &batch {
-                        match self.kind {
-                            JoinKind::Hash { left_key, table } => {
+                Some(batch) => match self.kind {
+                    JoinKind::Hash {
+                        left_key,
+                        key_path,
+                        table,
+                    } => {
+                        let columnar = match key_path {
+                            Some(path) if self.columnar => column::probe_block(
+                                path,
+                                &batch,
+                                self.right_rows,
+                                table,
+                                arena,
+                                &mut self.block,
+                                &mut self.pending,
+                            ),
+                            _ => false,
+                        };
+                        if !columnar {
+                            for &l in &batch {
                                 let key = left_key.run(l, arena)?;
                                 if let Some(matches) = table.get(key) {
                                     self.pending.reserve(matches.len());
@@ -861,24 +977,27 @@ impl Operator for JoinOp<'_> {
                                     }
                                 }
                             }
-                            JoinKind::Loop { predicate } => {
-                                for &r in self.right_rows {
-                                    let pair = arena.pair(l, r);
-                                    let verdict = predicate.run(pair, arena)?;
-                                    match arena.node(verdict) {
-                                        Node::Bool(true) => self.pending.push(pair),
-                                        Node::Bool(false) => {}
-                                        _ => {
-                                            return Err(EngineError::NonBooleanPredicate {
-                                                value: arena.value(verdict).to_string(),
-                                            })
-                                        }
+                        }
+                        self.counters.note(columnar);
+                    }
+                    JoinKind::Loop { predicate } => {
+                        for &l in &batch {
+                            for &r in self.right_rows {
+                                let pair = arena.pair(l, r);
+                                let verdict = predicate.run(pair, arena)?;
+                                match arena.node(verdict) {
+                                    Node::Bool(true) => self.pending.push(pair),
+                                    Node::Bool(false) => {}
+                                    _ => {
+                                        return Err(EngineError::NonBooleanPredicate {
+                                            value: arena.value(verdict).to_string(),
+                                        })
                                     }
                                 }
                             }
                         }
                     }
-                }
+                },
             }
         }
         let take = self.pending.len().min(self.batch_size.max(1));

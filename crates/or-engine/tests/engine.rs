@@ -480,3 +480,71 @@ fn partition_accessors_feed_the_engine() {
     let batched: usize = rel.batches(10).map(<[Value]>::len).sum();
     assert_eq!(batched, rel.len());
 }
+
+#[test]
+fn benchmark_shapes_run_fully_columnar() {
+    // The two committed benchmark workloads must be handled 100% by the
+    // columnar path: zero scalar-fallback batches, and forcing the scalar
+    // path produces identical rows.
+    let rows = priced_rows(5000);
+    // scan_filter_project: select(cost <= 30) then map(fst)
+    let query = derived::select(cheap(30)).then(M::map(M::Proj1));
+    let plan = lower(&query).expect("lowerable");
+    let exec = Executor::new(ExecConfig::sequential());
+    let (columnar_rows, stats) = exec.run_with_stats(&plan, &[&rows]).unwrap();
+    assert!(stats.columnar_batches > 0);
+    assert_eq!(
+        stats.scalar_fallback_batches, 0,
+        "filter+project over (id, cost) pairs must stay columnar"
+    );
+    let scalar_exec = Executor::new(ExecConfig::sequential().with_columnar(false));
+    let (scalar_rows, scalar_stats) = scalar_exec.run_with_stats(&plan, &[&rows]).unwrap();
+    assert_eq!(columnar_rows, scalar_rows);
+    assert_eq!(scalar_stats.columnar_batches, 0);
+    assert!(scalar_stats.scalar_fallback_batches > 0);
+
+    // equi_join: join on snd(left) == fst(right)
+    let left: Vec<Value> = (0..2000)
+        .map(|i| Value::pair(Value::Int(i), Value::Int(i % 40)))
+        .collect();
+    let right: Vec<Value> = (0..40)
+        .map(|g| Value::pair(Value::Int(g), Value::Int(g * 100)))
+        .collect();
+    let predicate = M::pair(M::Proj1.then(M::Proj2), M::Proj2.then(M::Proj1)).then(M::Eq);
+    let plan = PhysicalPlan::scan(0).join(PhysicalPlan::scan(1), predicate);
+    let (join_rows, stats) = exec.run_with_stats(&plan, &[&left, &right]).unwrap();
+    assert_eq!(join_rows.len(), 2000);
+    assert!(stats.columnar_batches > 0);
+    assert_eq!(
+        stats.scalar_fallback_batches, 0,
+        "hash probe with a path key must stay columnar"
+    );
+    let (scalar_join, _) = scalar_exec.run_with_stats(&plan, &[&left, &right]).unwrap();
+    assert_eq!(join_rows, scalar_join);
+}
+
+#[test]
+fn columnar_fallback_preserves_error_parity() {
+    // A row that breaks the analyzed column shape (a string where the
+    // integer compare expects an int) makes the columnar path fall back
+    // per batch — and the scalar path then raises exactly the error the
+    // interpreter would.  Columnar on and off must be indistinguishable,
+    // errors included.
+    let mut rows = priced_rows(100);
+    rows.push(Value::pair(Value::Int(1000), Value::str("oops")));
+    let query = derived::select(cheap(50));
+    let plan = lower(&query).expect("lowerable");
+    let col_err = Executor::new(ExecConfig::sequential().with_batch_size(32))
+        .run(&plan, &[&rows])
+        .unwrap_err();
+    let scalar_err = Executor::new(
+        ExecConfig::sequential()
+            .with_batch_size(32)
+            .with_columnar(false),
+    )
+    .run(&plan, &[&rows])
+    .unwrap_err();
+    assert_eq!(format!("{col_err:?}"), format!("{scalar_err:?}"));
+    // the interpreter rejects the same relation
+    assert!(eval(&query, &Value::set(rows)).is_err());
+}

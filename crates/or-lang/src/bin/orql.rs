@@ -50,6 +50,14 @@ fn print_stats(stats: &EngineStats) {
         "engine: {} statement(s) served, {} interpreter fallback(s)",
         stats.engine, stats.fallback
     );
+    println!(
+        "plan cache: {} hit(s), {} miss(es)",
+        stats.plan_cache_hits, stats.plan_cache_misses
+    );
+    println!(
+        "batches: {} columnar, {} scalar fallback",
+        stats.columnar_batches, stats.scalar_fallback_batches
+    );
     if !stats.fallback_reasons.is_empty() {
         println!("recent fallback reasons:");
         for reason in &stats.fallback_reasons {

@@ -52,6 +52,25 @@
 //! pipelines.  Or-monad statements (`normalize(db)` at the top level,
 //! or-set comprehensions) fall back to the interpreter.
 //!
+//! ## The statement-shape plan cache
+//!
+//! Engine-served statements are compiled once per *shape*: the core keeps a
+//! cache keyed by the normalized statement expression (the binding name of a
+//! `let` is stripped, so `let out = q` and `q` share an entry) mapping to
+//! the compiled — and, when verification is on, verified — physical plan
+//! plus the input bindings it scans and their row types.  A repeated
+//! statement skips planning, lowering, optimization and re-verification
+//! entirely and goes straight to execution.  Hits are validated per lookup:
+//! every input must still be a published relation with the row type the plan
+//! was compiled against, so a rebind that changes a relation's record type
+//! can never be served a stale plan (type-changing rebinds also eagerly
+//! invalidate the affected entries).  Rebinds that keep the type *hit* the
+//! cache and see the fresh rows — plans reference bindings by name and read
+//! the snapshot at execution time.  The cache is shared across clones of a
+//! core (an `Arc`), so a server's copy-on-write binding swaps keep it warm.
+//! Hit/miss counts ride on each statement's [`Route`] and are tallied into
+//! [`EngineStats`] only when the statement succeeds.
+//!
 //! ## Per-query budgets
 //!
 //! [`QueryBudget`] carries per-query admission limits — an α-expansion
@@ -65,6 +84,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use or_engine::{EngineError, EngineInputs, ExecConfig, Executor};
 use or_nra::physical::PhysicalPlan;
@@ -228,7 +248,16 @@ pub enum Route {
     /// Interpreter mode: no routing decision was made.
     Interp,
     /// Served by the physical engine.
-    Engine,
+    Engine {
+        /// Whether the physical plan came from the statement-shape cache
+        /// (skipping plan/lower/optimize, and verification when the entry
+        /// was already verified under the same budget).
+        cache_hit: bool,
+        /// Batches the engine's columnar kernels served for this statement.
+        columnar_batches: u64,
+        /// Batches that fell back to the per-row scalar loop.
+        scalar_fallback_batches: u64,
+    },
     /// Outside the engine's fragment; the interpreter served it.  `reason`
     /// is the formatted diagnostic for *noteworthy* fallbacks (`None` for
     /// statements that merely look nothing like a relational query).
@@ -281,6 +310,16 @@ pub struct EngineStats {
     /// [`EngineStats::fallback`] but are not recorded here, so they cannot
     /// evict the reasons worth reading.
     pub fallback_reasons: Vec<String>,
+    /// Engine-served statements whose plan came from the statement-shape
+    /// cache.
+    pub plan_cache_hits: u64,
+    /// Engine-served statements that compiled (and cached) a fresh plan.
+    pub plan_cache_misses: u64,
+    /// Batches served by the columnar kernels across engine-served
+    /// statements (see [`or_engine::ExecStats`]).
+    pub columnar_batches: u64,
+    /// Batches that fell back to the per-row scalar loop.
+    pub scalar_fallback_batches: u64,
 }
 
 impl EngineStats {
@@ -293,7 +332,17 @@ impl EngineStats {
     pub fn record(&mut self, route: &Route) {
         match route {
             Route::Interp => {}
-            Route::Engine => self.engine += 1,
+            Route::Engine {
+                cache_hit,
+                columnar_batches,
+                scalar_fallback_batches,
+            } => {
+                self.engine += 1;
+                self.plan_cache_hits += u64::from(*cache_hit);
+                self.plan_cache_misses += u64::from(!*cache_hit);
+                self.columnar_batches += columnar_batches;
+                self.scalar_fallback_batches += scalar_fallback_batches;
+            }
             Route::Fallback { reason } => {
                 self.fallback += 1;
                 if let Some(reason) = reason {
@@ -304,6 +353,67 @@ impl EngineStats {
                 }
             }
         }
+    }
+}
+
+/// One statement shape's compiled plan, with the context needed to decide
+/// whether it is still current: which bindings feed its scan slots and the
+/// row types it was compiled (and possibly verified) against.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    plan: PhysicalPlan,
+    inputs: Vec<String>,
+    row_types: Vec<Option<Type>>,
+    /// The `or_budget` the plan was statically verified under, when it was
+    /// — a hit under the same budget skips re-verification.
+    verified_under: Option<Option<u64>>,
+}
+
+/// The statement-shape plan cache: normalized statement expression →
+/// [`CachedPlan`].  Purely a memo — entries are validated against the
+/// live bindings on every lookup, so dropping the whole cache is always
+/// safe (and is the capacity-eviction strategy).
+#[derive(Debug, Default)]
+struct PlanCache {
+    plans: Mutex<HashMap<String, CachedPlan>>,
+}
+
+impl PlanCache {
+    /// How many statement shapes are retained before the cache is dropped
+    /// wholesale and rebuilt from use.
+    const CAPACITY: usize = 128;
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, CachedPlan>> {
+        self.plans.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get(&self, shape: &str) -> Option<CachedPlan> {
+        self.lock().get(shape).cloned()
+    }
+
+    fn remove(&self, shape: &str) {
+        self.lock().remove(shape);
+    }
+
+    fn insert(&self, shape: String, plan: CachedPlan) {
+        let mut plans = self.lock();
+        if plans.len() >= PlanCache::CAPACITY && !plans.contains_key(&shape) {
+            plans.clear();
+        }
+        plans.insert(shape, plan);
+    }
+
+    fn mark_verified(&self, shape: &str, or_budget: Option<u64>) {
+        if let Some(entry) = self.lock().get_mut(shape) {
+            entry.verified_under = Some(or_budget);
+        }
+    }
+
+    /// Drop every entry that scans `name` — the eager half of rebind
+    /// invalidation (the per-lookup row-type check is the backstop).
+    fn invalidate_referencing(&self, name: &str) {
+        self.lock()
+            .retain(|_, plan| !plan.inputs.iter().any(|input| input == name));
     }
 }
 
@@ -327,6 +437,12 @@ pub struct SessionCore {
     /// [`SessionCore::arena_nodes`] stays proportional to the live
     /// bindings.
     snapshot: Snapshot,
+    /// Statement-shape plan cache, shared (`Arc`) across clones of the
+    /// core so copy-on-write binding swaps keep it warm.  A memo, not
+    /// state: every lookup re-validates the entry against the live
+    /// bindings, so it is exempt from the eval-then-commit atomicity
+    /// story.
+    plans: Arc<PlanCache>,
 }
 
 impl SessionCore {
@@ -367,6 +483,9 @@ impl SessionCore {
     pub fn bind(&mut self, name: impl Into<String>, value: Value) {
         let name = name.into();
         if let Ok(ty) = value.infer_type() {
+            if self.types.get(&name) != Some(&ty) {
+                self.plans.invalidate_referencing(&name);
+            }
             self.types.insert(name.clone(), ty);
         }
         self.publish(&name, &value);
@@ -426,7 +545,7 @@ impl SessionCore {
             // Engine-first: the engine is the serving path; the interpreter
             // runs only when the statement is outside the plannable fragment.
             ExecMode::Engine => match self.try_engine(&expr, config)? {
-                Ok(value) => (value, Route::Engine),
+                Ok((value, route)) => (value, route),
                 Err(fallback) => (
                     interpret_limited(&expr, &self.values, &limits)?,
                     Route::from_fallback(source, fallback),
@@ -436,7 +555,7 @@ impl SessionCore {
             ExecMode::EngineChecked => {
                 let interpreted = interpret_limited(&expr, &self.values, &limits)?;
                 match self.try_engine(&expr, config)? {
-                    Ok(engine_value) => {
+                    Ok((engine_value, route)) => {
                         if engine_value != interpreted {
                             return Err(SessionError::EngineMismatch {
                                 query: source.to_string(),
@@ -444,7 +563,7 @@ impl SessionCore {
                                 interp: interpreted.to_string(),
                             });
                         }
-                        (interpreted, Route::Engine)
+                        (interpreted, route)
                     }
                     Err(fallback) => (interpreted, Route::from_fallback(source, fallback)),
                 }
@@ -467,6 +586,9 @@ impl SessionCore {
             value, ty, bound, ..
         } = evaluated;
         if let Some(name) = &bound {
+            if self.types.get(name) != Some(&ty) {
+                self.plans.invalidate_referencing(name);
+            }
             self.types.insert(name.clone(), ty.clone());
             self.publish(name, &value);
             self.values.insert(name.clone(), value.clone());
@@ -572,6 +694,66 @@ impl SessionCore {
         }))
     }
 
+    /// Whether a cached plan may serve under the current bindings: every
+    /// input it scans must still be a published set relation with the row
+    /// type the plan was compiled against.  (Row *contents* are free to
+    /// differ — plans reference bindings by name and read the snapshot at
+    /// execution time.)
+    fn cached_plan_current(&self, cached: &CachedPlan) -> bool {
+        cached.inputs.len() == cached.row_types.len()
+            && cached
+                .inputs
+                .iter()
+                .zip(&cached.row_types)
+                .all(|(name, ty)| {
+                    self.snapshot.get(name).is_some() && self.row_type_of(name) == *ty
+                })
+    }
+
+    /// Verify (unless the entry is already verified under this budget),
+    /// execute, and memoize one statement-shape plan.  On a miss the entry
+    /// is inserted after verification passes, so a statement that later
+    /// fails at admission (a budget, say) still leaves a valid memo for the
+    /// retry.
+    fn run_plan(
+        &self,
+        shape: &str,
+        mut cached: CachedPlan,
+        config: ExecConfig,
+        cache_hit: bool,
+    ) -> Result<(Value, Route), SessionError> {
+        if config.verify && cached.verified_under != Some(config.or_budget) {
+            let names: Vec<&str> = cached.inputs.iter().map(String::as_str).collect();
+            self.verify_typed(&cached.plan, &names, &config)?;
+            cached.verified_under = Some(config.or_budget);
+            if cache_hit {
+                self.plans.mark_verified(shape, config.or_budget);
+            }
+        }
+        let mut inputs = EngineInputs::with_base(self.snapshot.arena().clone());
+        for name in &cached.inputs {
+            let published = self
+                .snapshot
+                .get(name)
+                .expect("plan inputs were checked against the snapshot");
+            inputs.push_interned(published.rows(), published.ids());
+        }
+        if !cache_hit {
+            self.plans.insert(shape.to_string(), cached.clone());
+        }
+        match Executor::new(config).run_inputs_to_value_with_stats(&cached.plan, &inputs) {
+            Ok((value, stats)) => Ok((
+                value,
+                Route::Engine {
+                    cache_hit,
+                    columnar_batches: stats.columnar_batches,
+                    scalar_fallback_batches: stats.scalar_fallback_batches,
+                },
+            )),
+            Err(e) => Err(SessionError::Engine(e.to_string())),
+        }
+    }
+
     /// Try to run `expr` on the physical engine.  The inner `Err(fallback)`
     /// means the statement is outside the engine's fragment (caller falls
     /// back to the interpreter and, for `noteworthy` errors, records the
@@ -581,7 +763,7 @@ impl SessionCore {
         &self,
         expr: &crate::ast::Expr,
         config: ExecConfig,
-    ) -> Result<Result<Value, PlanError>, SessionError> {
+    ) -> Result<Result<(Value, Route), PlanError>, SessionError> {
         let noteworthy = |reason: String| PlanError {
             reason,
             noteworthy: true,
@@ -595,6 +777,17 @@ impl SessionCore {
                 noteworthy: false,
             }));
         }
+        // 0. The statement-shape cache: a statement whose normalized
+        //    expression was planned before — against inputs that still
+        //    carry the same row types — skips planning, lowering and
+        //    (same-budget) verification entirely.
+        let shape = format!("{expr:?}");
+        if let Some(cached) = self.plans.get(&shape) {
+            if self.cached_plan_current(&cached) {
+                return self.run_plan(&shape, cached, config, true).map(Ok);
+            }
+            self.plans.remove(&shape);
+        }
         // 1. The direct route: comprehensions / union / flatten over one or
         //    several set-valued bindings become a multi-input plan.  Every
         //    referenced binding was published into the snapshot at bind
@@ -602,10 +795,9 @@ impl SessionCore {
         //    re-interns nothing.
         let plan_fallback = match plan_query(expr) {
             Ok(pq) => {
-                let mut inputs = EngineInputs::with_base(self.snapshot.arena().clone());
                 for name in &pq.inputs {
                     match self.snapshot.get(name) {
-                        Some(published) => inputs.push_interned(published.rows(), published.ids()),
+                        Some(_) => {}
                         None if self.values.contains_key(name) => {
                             return Ok(Err(noteworthy(format!(
                                 "binding `{name}` is not a set relation"
@@ -614,12 +806,14 @@ impl SessionCore {
                         None => return Ok(Err(noteworthy(format!("unbound relation `{name}`")))),
                     }
                 }
-                let names: Vec<&str> = pq.inputs.iter().map(String::as_str).collect();
-                self.verify_typed(&pq.plan, &names, &config)?;
-                return match Executor::new(config).run_inputs_to_value(&pq.plan, &inputs) {
-                    Ok(value) => Ok(Ok(value)),
-                    Err(e) => Err(SessionError::Engine(e.to_string())),
+                let row_types = pq.inputs.iter().map(|n| self.row_type_of(n)).collect();
+                let cached = CachedPlan {
+                    plan: pq.plan,
+                    inputs: pq.inputs,
+                    row_types,
+                    verified_under: None,
                 };
+                return self.run_plan(&shape, cached, config, false).map(Ok);
             }
             Err(e) => e,
         };
@@ -631,11 +825,11 @@ impl SessionCore {
         let [var] = free.as_slice() else {
             return Ok(Err(plan_fallback));
         };
-        let Some(published) = self.snapshot.get(var) else {
+        if self.snapshot.get(var).is_none() {
             return Ok(Err(noteworthy(format!(
                 "binding `{var}` is not a set relation"
             ))));
-        };
+        }
         let morphism = match compile_query(expr, var) {
             Ok(m) => m,
             Err(e) => return Ok(Err(noteworthy(e.to_string()))),
@@ -645,15 +839,13 @@ impl SessionCore {
             // keep the lowering's own description of what stopped it
             Err(e) => return Ok(Err(noteworthy(e.to_string()))),
         };
-        self.verify_typed(&plan, &[var.as_str()], &config)?;
-        let mut inputs = EngineInputs::with_base(self.snapshot.arena().clone());
-        inputs.push_interned(published.rows(), published.ids());
-        // lowering already happened above, so any executor error here is a
-        // genuine engine failure, not a fragment gap
-        match Executor::new(config).run_inputs_to_value(&plan, &inputs) {
-            Ok(value) => Ok(Ok(value)),
-            Err(e) => Err(SessionError::Engine(e.to_string())),
-        }
+        let cached = CachedPlan {
+            row_types: vec![self.row_type_of(var)],
+            inputs: vec![var.clone()],
+            plan,
+            verified_under: None,
+        };
+        self.run_plan(&shape, cached, config, false).map(Ok)
     }
 }
 
@@ -1211,6 +1403,69 @@ mod tests {
                 &Value::set((1..=i as i64 + 1).map(Value::Int).collect::<Vec<_>>())
             );
         }
+    }
+
+    /// The statement-shape plan cache: a repeated statement skips
+    /// plan/lower/verify (observable as a cache hit), and the `let`-bound
+    /// variant of the same expression shares the entry because the binding
+    /// name is stripped from the shape key.
+    #[test]
+    fn repeated_statements_hit_the_plan_cache() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let db = { (1, 10), (2, 20), (3, 30) }").unwrap();
+        let q = "{ fst(p) | p <- db, snd(p) <= 20 }";
+        assert_eq!(s.run(q).unwrap().value, Value::int_set([1, 2]));
+        assert_eq!(s.run(q).unwrap().value, Value::int_set([1, 2]));
+        let r = s.run(&format!("let out = {q}")).unwrap();
+        assert_eq!(r.value, Value::int_set([1, 2]));
+        let stats = s.engine_stats();
+        assert_eq!(stats.plan_cache_misses, 1, "{stats:?}");
+        assert_eq!(stats.plan_cache_hits, 2, "{stats:?}");
+        // the benchmark-shaped filter+project runs fully columnar
+        assert!(stats.columnar_batches >= 1, "{stats:?}");
+        assert_eq!(stats.scalar_fallback_batches, 0, "{stats:?}");
+    }
+
+    /// Rebinding an input with the *same* record type keeps the cache warm
+    /// and serves the fresh rows — plans reference bindings by name and
+    /// read the snapshot at execution time.
+    #[test]
+    fn plan_cache_survives_same_type_rebinds_and_serves_fresh_rows() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let db = { (1, 10), (2, 20) }").unwrap();
+        let q = "{ fst(p) | p <- db, snd(p) <= 20 }";
+        assert_eq!(s.run(q).unwrap().value, Value::int_set([1, 2]));
+        s.run("let db = { (7, 10), (8, 99) }").unwrap();
+        assert_eq!(s.run(q).unwrap().value, Value::int_set([7]));
+        let stats = s.engine_stats();
+        assert_eq!(stats.plan_cache_hits, 1, "{stats:?}");
+        assert_eq!(stats.plan_cache_misses, 1, "{stats:?}");
+    }
+
+    /// The staleness guarantee: a rebind that *changes* a relation's record
+    /// type must never be served the old plan — the statement recompiles
+    /// (a miss), both eagerly (commit invalidates referencing entries) and
+    /// as a backstop (every lookup re-checks the input row types).
+    #[test]
+    fn cached_plans_are_not_served_across_type_changing_rebinds() {
+        let mut s = Session::with_engine(ExecConfig::default());
+        s.run("let db = { (1, 10), (2, 20) }").unwrap();
+        let q = "{ fst(p) | p <- db }";
+        assert_eq!(s.run(q).unwrap().value, Value::int_set([1, 2]));
+        // same statement, new record type: still well-typed, fresh plan
+        s.run("let db = { ((5, 6), 7) }").unwrap();
+        let r = s.run(q).unwrap();
+        assert_eq!(
+            r.value,
+            Value::set([Value::pair(Value::Int(5), Value::Int(6))])
+        );
+        let stats = s.engine_stats();
+        assert_eq!(stats.plan_cache_hits, 0, "{stats:?}");
+        assert_eq!(stats.plan_cache_misses, 2, "{stats:?}");
+        // the backstop alone also holds: plant the stale entry again via a
+        // shared core clone, whose cache is the same Arc
+        let clone = s.core().clone();
+        assert!(Arc::ptr_eq(&clone.plans, &s.core().plans));
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Column programs: the column-expressible fragment of [`RowProgram`].
+//!
+//! The physical engine's scalar path evaluates a [`RowProgram`] once per
+//! row — an enum-dispatch tree walk that interns every intermediate value
+//! (a filter like `snd(p) <= 30` interns one pair and one boolean *per
+//! row*).  But the dominant per-row programs are tiny and regular:
+//! projection chains, pre-interned constants, and a single comparison on
+//! top.  For those, the whole batch can be processed **columnar**: resolve
+//! each operand to a column of ids (one pair-spine walk per row, see
+//! [`Interner::gather_path`](or_object::intern::Interner::gather_path)),
+//! then run a branch-free compare kernel over the plain slices — no
+//! intermediate interning, no per-row dispatch.
+//!
+//! This module is the *analysis*: [`ColumnProgram::of`] abstractly
+//! interprets a [`RowProgram`] over the algebra of field paths and
+//! constants, and [`ColumnPredicate::of`] recognizes the
+//! `compare ∘ ⟨operand, operand⟩` shape (with optional negations) that the
+//! engine's filter kernels execute.  Programs outside the fragment return
+//! `None` and keep the scalar path — the fallback is **per operator**, so
+//! one inexpressible predicate does not de-columnarize the rest of a plan.
+//! Execution lives in `or-engine` (`column`/`kernels` modules), which also
+//! falls back per *batch* when row shapes fail to match at runtime, so the
+//! columnar path always agrees with the scalar path — errors included.
+
+use or_object::intern::{Field, InternId};
+
+use crate::morphism::Prim;
+use crate::rowprog::RowProgram;
+
+/// A column-expressible row transformer: what a [`RowProgram`] denotes
+/// when it only projects, pairs, and emits pre-interned constants.
+///
+/// `Path(p)` is the field of the input row at `p` (the empty path is the
+/// row itself); `Const` is a compile-time-interned constant; `Pair` builds
+/// a row from two column-expressible parts (the one construction that
+/// still interns — once per *surviving* row, at the result boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnProgram {
+    /// The field of the input row at this pair-spine path.
+    Path(Vec<Field>),
+    /// A constant interned at compile time.
+    Const(InternId),
+    /// Pair formation from two column-expressible parts.
+    Pair(Box<ColumnProgram>, Box<ColumnProgram>),
+}
+
+impl ColumnProgram {
+    /// Analyze a row program: `Some` iff every operation is
+    /// column-expressible (identity, projections, pair formation,
+    /// constants, and compositions thereof).
+    pub fn of(prog: &RowProgram) -> Option<ColumnProgram> {
+        eval_on(prog, ColumnProgram::Path(Vec::new()))
+    }
+
+    /// The program as a bare field path, if that is all it is.
+    pub fn as_path(&self) -> Option<&[Field]> {
+        match self {
+            ColumnProgram::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Is this an operand a compare kernel can consume (a gatherable
+    /// column or a broadcast constant — not a constructed pair)?
+    fn is_operand(&self) -> bool {
+        matches!(self, ColumnProgram::Path(_) | ColumnProgram::Const(_))
+    }
+
+    /// Can this program error on *some* input row?  Constants and the
+    /// identity cannot; a non-empty path errors on rows missing the pair
+    /// spine.  Totality is what licenses discarding a branch during
+    /// [`project`] simplification without changing error behavior.
+    fn is_total(&self) -> bool {
+        match self {
+            ColumnProgram::Const(_) => true,
+            ColumnProgram::Path(p) => p.is_empty(),
+            ColumnProgram::Pair(a, b) => a.is_total() && b.is_total(),
+        }
+    }
+}
+
+/// Abstractly interpret `prog` applied to the row denoted by `input`.
+fn eval_on(prog: &RowProgram, input: ColumnProgram) -> Option<ColumnProgram> {
+    match prog {
+        RowProgram::Id => Some(input),
+        RowProgram::Proj1 => project(input, Field::Fst),
+        RowProgram::Proj2 => project(input, Field::Snd),
+        RowProgram::Const(c) => Some(ColumnProgram::Const(*c)),
+        RowProgram::Pair(f, g) => {
+            let a = eval_on(f, input.clone())?;
+            let b = eval_on(g, input)?;
+            Some(ColumnProgram::Pair(Box::new(a), Box::new(b)))
+        }
+        RowProgram::Seq(steps) => steps.iter().try_fold(input, |acc, s| eval_on(s, acc)),
+        _ => None,
+    }
+}
+
+/// Project one field off an abstract value.  A projection off a
+/// constructed `Pair` is simplified to the kept branch **only when the
+/// discarded branch is total**: the scalar path evaluates both branches
+/// per row, so dropping one that could error would diverge from the
+/// scalar error behavior.  (The total case is common — query planners
+/// scaffold predicates as `compare ∘ … ∘ ⟨!, id⟩`, pairing the row with a
+/// unit environment that a projection immediately discards.)  Projections
+/// off a `Const` stay out of the fragment.
+fn project(input: ColumnProgram, field: Field) -> Option<ColumnProgram> {
+    match input {
+        ColumnProgram::Path(mut p) => {
+            p.push(field);
+            Some(ColumnProgram::Path(p))
+        }
+        ColumnProgram::Pair(a, b) => {
+            let (keep, drop) = match field {
+                Field::Fst => (a, b),
+                Field::Snd => (b, a),
+            };
+            drop.is_total().then_some(*keep)
+        }
+        ColumnProgram::Const(_) => None,
+    }
+}
+
+/// The comparison a columnar filter kernel runs over its operand columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnCmp {
+    /// Structural equality — **id equality** under hash-consing, so the
+    /// kernel compares raw `u32`s without resolving nodes.
+    IdEq,
+    /// Integer `<=` (operand columns resolved to `i64` first).
+    IntLeq,
+    /// Integer `<` (operand columns resolved to `i64` first).
+    IntLt,
+}
+
+/// A column-expressible filter predicate: `cmp(a, b)`, optionally negated
+/// (trailing `not`s in the row program toggle [`ColumnPredicate::negate`]).
+/// Operands are restricted to gatherable columns and broadcast constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnPredicate {
+    /// The comparison kernel.
+    pub cmp: ColumnCmp,
+    /// Left operand (a [`ColumnProgram::Path`] or [`ColumnProgram::Const`]).
+    pub a: ColumnProgram,
+    /// Right operand (same restriction).
+    pub b: ColumnProgram,
+    /// Invert the comparison's verdict (`not (a <= b)`, `a != b`, …).
+    pub negate: bool,
+}
+
+impl ColumnPredicate {
+    /// Recognize a row program of the shape
+    /// `not* ∘ (eq | leq | lt) ∘ ⟨operand, operand⟩` (or the point-free
+    /// variant where the comparison reads an already-paired row), with
+    /// every operand column-expressible.
+    pub fn of(prog: &RowProgram) -> Option<ColumnPredicate> {
+        let steps: &[RowProgram] = match prog {
+            RowProgram::Seq(steps) => steps,
+            single => std::slice::from_ref(single),
+        };
+        // strip trailing negations
+        let mut negate = false;
+        let mut end = steps.len();
+        while end > 0 && matches!(steps[end - 1], RowProgram::Prim(Prim::Not)) {
+            negate = !negate;
+            end -= 1;
+        }
+        if end == 0 {
+            return None;
+        }
+        let cmp = match &steps[end - 1] {
+            RowProgram::Eq => ColumnCmp::IdEq,
+            RowProgram::Prim(Prim::Leq) => ColumnCmp::IntLeq,
+            RowProgram::Prim(Prim::Lt) => ColumnCmp::IntLt,
+            _ => return None,
+        };
+        // everything before the comparison must denote the operand pair
+        let operand_pair = steps[..end - 1]
+            .iter()
+            .try_fold(ColumnProgram::Path(Vec::new()), |acc, s| eval_on(s, acc))?;
+        let (a, b) = match operand_pair {
+            ColumnProgram::Pair(a, b) => (*a, *b),
+            // the comparison reads a pair already present in the row: its
+            // components are the row's own fields
+            ColumnProgram::Path(p) => {
+                let mut fst = p.clone();
+                let mut snd = p;
+                fst.push(Field::Fst);
+                snd.push(Field::Snd);
+                (ColumnProgram::Path(fst), ColumnProgram::Path(snd))
+            }
+            ColumnProgram::Const(_) => return None,
+        };
+        if !a.is_operand() || !b.is_operand() {
+            return None;
+        }
+        Some(ColumnPredicate { cmp, a, b, negate })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morphism::Morphism as M;
+    use or_object::intern::Interner;
+    use or_object::Value;
+
+    fn compile(m: &M) -> RowProgram {
+        RowProgram::compile(m, &mut Interner::new())
+    }
+
+    #[test]
+    fn projection_chains_become_paths() {
+        let prog = compile(&M::Proj2.then(M::Proj1).then(M::Proj1));
+        assert_eq!(
+            ColumnProgram::of(&prog),
+            Some(ColumnProgram::Path(vec![
+                Field::Snd,
+                Field::Fst,
+                Field::Fst
+            ]))
+        );
+        assert_eq!(
+            ColumnProgram::of(&compile(&M::Id)),
+            Some(ColumnProgram::Path(Vec::new()))
+        );
+    }
+
+    #[test]
+    fn pair_heads_become_pair_programs() {
+        // the equi-join bench projection: (fst(fst(r)), snd(snd(r)))
+        let prog = compile(&M::pair(M::Proj1.then(M::Proj1), M::Proj2.then(M::Proj2)));
+        let col = ColumnProgram::of(&prog).expect("column-expressible");
+        assert_eq!(
+            col,
+            ColumnProgram::Pair(
+                Box::new(ColumnProgram::Path(vec![Field::Fst, Field::Fst])),
+                Box::new(ColumnProgram::Path(vec![Field::Snd, Field::Snd])),
+            )
+        );
+    }
+
+    #[test]
+    fn constant_compare_predicates_are_recognized() {
+        // the e13 filter: snd(p) <= 30
+        let m = M::Proj2
+            .then(M::pair(M::Id, M::constant(Value::Int(30))))
+            .then(M::Prim(Prim::Leq));
+        let pred = ColumnPredicate::of(&compile(&m)).expect("columnar");
+        assert_eq!(pred.cmp, ColumnCmp::IntLeq);
+        assert_eq!(pred.a, ColumnProgram::Path(vec![Field::Snd]));
+        assert!(matches!(pred.b, ColumnProgram::Const(_)));
+        assert!(!pred.negate);
+    }
+
+    #[test]
+    fn equality_and_negation_are_recognized() {
+        // snd(fst(r)) == fst(snd(r)), the equi-join predicate shape
+        let m = M::pair(M::Proj1.then(M::Proj2), M::Proj2.then(M::Proj1)).then(M::Eq);
+        let pred = ColumnPredicate::of(&compile(&m)).expect("columnar");
+        assert_eq!(pred.cmp, ColumnCmp::IdEq);
+        assert!(!pred.negate);
+        // a doubly-negated leq folds back to leq
+        let m = M::Prim(Prim::Leq)
+            .then(M::Prim(Prim::Not))
+            .then(M::Prim(Prim::Not));
+        let pred = ColumnPredicate::of(&compile(&m)).expect("columnar");
+        assert_eq!(pred.cmp, ColumnCmp::IntLeq);
+        assert!(!pred.negate);
+        // point-free: the row *is* the operand pair
+        assert_eq!(pred.a, ColumnProgram::Path(vec![Field::Fst]));
+        assert_eq!(pred.b, ColumnProgram::Path(vec![Field::Snd]));
+        // single negation survives
+        let m = M::pair(M::Proj1, M::Proj2)
+            .then(M::Eq)
+            .then(M::Prim(Prim::Not));
+        let pred = ColumnPredicate::of(&compile(&m)).expect("columnar");
+        assert!(pred.negate);
+    }
+
+    #[test]
+    fn env_scaffolded_predicates_are_recognized() {
+        // the session planner's guard shape:
+        // Leq ∘ ⟨π₂∘π₂, K20∘!⟩ ∘ ⟨!, id⟩ — the unit environment is
+        // discarded by a projection off a constructed pair, which is safe
+        // to simplify because the dropped branch (a constant) is total
+        let m = M::pair(M::Bang, M::Id)
+            .then(M::pair(
+                M::Proj2.then(M::Proj2),
+                M::Bang.then(M::constant(Value::Int(20))),
+            ))
+            .then(M::Prim(Prim::Leq));
+        let pred = ColumnPredicate::of(&compile(&m)).expect("columnar");
+        assert_eq!(pred.cmp, ColumnCmp::IntLeq);
+        assert_eq!(pred.a, ColumnProgram::Path(vec![Field::Snd]));
+        assert!(matches!(pred.b, ColumnProgram::Const(_)));
+    }
+
+    #[test]
+    fn out_of_fragment_programs_fall_back() {
+        assert_eq!(ColumnProgram::of(&compile(&M::Eta)), None);
+        assert_eq!(ColumnProgram::of(&compile(&M::map(M::Proj1))), None);
+        assert_eq!(ColumnPredicate::of(&compile(&M::Prim(Prim::Plus))), None);
+        // a projection off a constructed pair is not simplified when the
+        // discarded branch could error (here: a projection of the row)
+        let m = M::pair(M::Proj2, M::Proj1).then(M::Proj1);
+        assert_eq!(ColumnProgram::of(&compile(&m)), None);
+        // value_leq needs the arena's structural order — not columnar
+        let m = M::Prim(Prim::ValueLeq);
+        assert_eq!(ColumnPredicate::of(&compile(&m)), None);
+    }
+}

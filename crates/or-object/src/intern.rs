@@ -141,6 +141,18 @@ pub enum Node {
     Bag(Box<[InternId]>),
 }
 
+/// One step of a tuple-field path: records are right-nested [`Node::Pair`]
+/// spines, so "the `k`-th field" is `Snd^k` followed by `Fst` (or a final
+/// `Snd` for the last field).  Column views ([`Interner::gather_path`]) and
+/// the engine's columnar kernels address fields by these paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// The first component of a pair (`Proj1`).
+    Fst,
+    /// The second component of a pair (`Proj2`).
+    Snd,
+}
+
 /// A hash-consing arena for complex objects.
 ///
 /// Nodes live **once**, in `nodes`; the lookup index is a flat
@@ -618,6 +630,59 @@ impl Interner {
         ids.sort_unstable_by(|&a, &b| self.cmp_structural(a, b));
     }
 
+    /// Follow a [`Field`] path through pair spines: `project_path(id,
+    /// [Snd, Fst])` is the id of `fst(snd(x))`.  `None` when any node along
+    /// the way is not a [`Node::Pair`] — the caller decides whether that is
+    /// a type error (scalar fallback) or impossible (typed plans).
+    pub fn project_path(&self, id: InternId, path: &[Field]) -> Option<InternId> {
+        let mut at = id;
+        for step in path {
+            match self.node(at) {
+                Node::Pair(a, b) => at = if *step == Field::Fst { *a } else { *b },
+                _ => return None,
+            }
+        }
+        Some(at)
+    }
+
+    /// A typed **column view** over interned tuple rows: resolve the field
+    /// at `path` for every row into `out` (cleared first).  This is the
+    /// columnar engine's resolve step — one pass of pair-spine walks per
+    /// column, after which the kernels work on plain id slices with no
+    /// arena probes.  `Err(i)` reports the first row whose shape does not
+    /// match (row `i` is not a pair spine deep enough for `path`).
+    pub fn gather_path(
+        &self,
+        rows: &[InternId],
+        path: &[Field],
+        out: &mut Vec<InternId>,
+    ) -> Result<(), usize> {
+        out.clear();
+        out.reserve(rows.len());
+        for (i, &row) in rows.iter().enumerate() {
+            match self.project_path(row, path) {
+                Some(id) => out.push(id),
+                None => return Err(i),
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a column of ids to its integer values (the typed view behind
+    /// columnar comparison kernels).  `Err(i)` reports the first id that is
+    /// not a [`Node::Int`].
+    pub fn resolve_ints(&self, ids: &[InternId], out: &mut Vec<i64>) -> Result<(), usize> {
+        out.clear();
+        out.reserve(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            match self.node(id) {
+                Node::Int(v) => out.push(*v),
+                _ => return Err(i),
+            }
+        }
+        Ok(())
+    }
+
     /// Reconstruct the [`Value`] an id names, **counting** the
     /// materialization (see [`Interner::decode_count`]).  This is the
     /// engine's result-boundary export; everything before it stays
@@ -666,6 +731,38 @@ fn variant_rank(n: &Node) -> u8 {
 mod tests {
     use super::*;
     use crate::generate::{GenConfig, Generator};
+
+    #[test]
+    fn column_views_gather_tuple_fields() {
+        let mut arena = Interner::new();
+        // (id, (cost, tag)) records: three-field right-nested spines
+        let rows: Vec<InternId> = (0..10i64)
+            .map(|i| {
+                arena.intern(&Value::pair(
+                    Value::Int(i),
+                    Value::pair(Value::Int(i * 7), Value::Int(i % 3)),
+                ))
+            })
+            .collect();
+        let mut col = Vec::new();
+        arena
+            .gather_path(&rows, &[Field::Snd, Field::Fst], &mut col)
+            .expect("rows are deep enough");
+        let mut ints = Vec::new();
+        arena.resolve_ints(&col, &mut ints).expect("costs are ints");
+        assert_eq!(ints, (0..10i64).map(|i| i * 7).collect::<Vec<_>>());
+        // the empty path is the row itself
+        arena.gather_path(&rows, &[], &mut col).expect("identity");
+        assert_eq!(col, rows);
+        // a path through a non-pair reports the offending row index
+        let flat = arena.intern(&Value::Int(1));
+        let mixed = [rows[0], flat];
+        assert_eq!(arena.gather_path(&mixed, &[Field::Fst], &mut col), Err(1));
+        // and ints that aren't ints report theirs
+        let b = arena.intern(&Value::Bool(true));
+        let mut out = Vec::new();
+        assert_eq!(arena.resolve_ints(&[flat, b], &mut out), Err(1));
+    }
 
     #[test]
     fn equal_values_intern_to_equal_ids() {

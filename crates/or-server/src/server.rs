@@ -297,6 +297,22 @@ fn stats(state: &State) -> (u16, String) {
                 ("engine".into(), Json::int(engine_stats.engine)),
                 ("fallback".into(), Json::int(engine_stats.fallback)),
                 (
+                    "plan_cache_hits".into(),
+                    Json::int(engine_stats.plan_cache_hits),
+                ),
+                (
+                    "plan_cache_misses".into(),
+                    Json::int(engine_stats.plan_cache_misses),
+                ),
+                (
+                    "columnar_batches".into(),
+                    Json::int(engine_stats.columnar_batches),
+                ),
+                (
+                    "scalar_fallback_batches".into(),
+                    Json::int(engine_stats.scalar_fallback_batches),
+                ),
+                (
                     "fallback_reasons".into(),
                     Json::Arr(
                         engine_stats
@@ -349,7 +365,7 @@ fn query(state: &State, body: &str) -> (u16, String) {
     match run_statement(state, &db, statement, budget) {
         Ok((result, route)) => {
             let route_name = match &route {
-                Route::Engine => "engine",
+                Route::Engine { .. } => "engine",
                 Route::Interp => "interp",
                 Route::Fallback { .. } => "fallback",
             };
@@ -423,20 +439,29 @@ mod tests {
             .load_db("example", "let db = { (1, 10), (2, 20), (3, 30) }")
             .unwrap();
         assert_eq!(server.db_names(), vec!["example".to_string()]);
-        let (status, body) = query(
-            &server.state,
-            r#"{"db": "example", "statement": "{ fst(p) | p <- db, snd(p) <= 20 }"}"#,
-        );
+        let request = r#"{"db": "example", "statement": "{ fst(p) | p <- db, snd(p) <= 20 }"}"#;
+        let (status, body) = query(&server.state, request);
         assert_eq!(status, 200, "{body}");
         let parsed = Json::parse(&body).unwrap();
         assert_eq!(parsed.get("value").unwrap().as_str(), Some("{1, 2}"));
         assert_eq!(parsed.get("route").unwrap().as_str(), Some("engine"));
+        // the repeat hits the statement-shape plan cache
+        let (status, body) = query(&server.state, request);
+        assert_eq!(status, 200, "{body}");
         let (status, body) = stats(&server.state);
         assert_eq!(status, 200);
         let parsed = Json::parse(&body).unwrap();
         let example = parsed.get("dbs").unwrap().get("example").unwrap();
-        assert_eq!(example.get("queries").unwrap().as_u64(), Some(1));
-        assert_eq!(example.get("engine").unwrap().as_u64(), Some(1));
+        assert_eq!(example.get("queries").unwrap().as_u64(), Some(2));
+        assert_eq!(example.get("engine").unwrap().as_u64(), Some(2));
+        assert_eq!(example.get("plan_cache_misses").unwrap().as_u64(), Some(1));
+        assert_eq!(example.get("plan_cache_hits").unwrap().as_u64(), Some(1));
+        // the benchmark-shaped filter+project runs fully columnar
+        assert!(example.get("columnar_batches").unwrap().as_u64() >= Some(1));
+        assert_eq!(
+            example.get("scalar_fallback_batches").unwrap().as_u64(),
+            Some(0)
+        );
     }
 
     #[test]
